@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: ECC capability (DESIGN.md Section 6, item 5).
+ *
+ * AR2's entire budget is the ECC-capability margin of the final
+ * retry step, so the strength of the code directly sets how much
+ * tPRE can be shaved. This sweep shows the profiled reduction and
+ * the end-to-end PnAR2 gain as the code strengthens from 40 to 120
+ * correctable bits per KiB (the paper's design point is 72 [73]).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/rpt.hh"
+#include "ssd/ssd.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+using namespace ssdrr;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t requests = argc > 1 ? std::atoll(argv[1]) : 600;
+
+    bench::header("Ablation: ECC capability", "DESIGN.md item 5",
+                  "profiled tPRE reduction and PnAR2 gain vs code "
+                  "strength (usr_1, 1K P/E, 6 months)");
+
+    bench::row({"capability", "worst red.", "best red.", "Base[us]",
+                "PnAR2[us]", "gain"},
+               12);
+    for (double cap : {40.0, 56.0, 72.0, 90.0, 120.0}) {
+        nand::Calibration cal;
+        cal.eccCapability = cap;
+        const nand::ErrorModel model(cal);
+        const core::Rpt rpt = core::RptBuilder(model).buildDefault();
+        double worst = 1.0, best = 0.0;
+        for (std::size_t pe = 0; pe < rpt.peBins(); ++pe) {
+            for (std::size_t rt = 0; rt < rpt.retBins(); ++rt) {
+                worst = std::min(worst, rpt.entryAt(pe, rt));
+                best = std::max(best, rpt.entryAt(pe, rt));
+            }
+        }
+
+        ssd::Config cfg = ssd::Config::small();
+        cfg.eccCapability = cap;
+        cfg.basePeKilo = 1.0;
+        cfg.baseRetentionMonths = 6.0;
+        const workload::Trace trace = workload::generateSynthetic(
+            workload::findWorkload("usr_1"), cfg.logicalPages(),
+            requests, 42);
+
+        double rt[2];
+        const core::Mechanism mechs[2] = {core::Mechanism::Baseline,
+                                          core::Mechanism::PnAR2};
+        for (int i = 0; i < 2; ++i) {
+            ssd::Ssd ssd(cfg, mechs[i]);
+            rt[i] = ssd.replay(trace).avgResponseUs;
+        }
+        bench::row({bench::fmt(cap, 0), bench::pct(worst, 1),
+                    bench::pct(best, 1), bench::fmt(rt[0], 0),
+                    bench::fmt(rt[1], 0),
+                    bench::pct(1.0 - rt[1] / rt[0])},
+                   12);
+    }
+
+    std::printf("\nexpected shape: weaker codes leave little margin (small "
+                "reductions, more retry\nsteps in the Baseline too); "
+                "beyond ~90 bits the reduction saturates at the\n"
+                "precharge cliff, so stronger ECC stops paying.\n");
+    return 0;
+}

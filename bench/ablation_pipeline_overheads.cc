@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ablation: what PR2's gain is made of (DESIGN.md Section 6,
+ * items 1 and 5).
+ *
+ * PR2 removes tDMA + tECC from each retry step's critical path, so
+ * its benefit scales with (tDMA + tECC) / (tR + tDMA + tECC). This
+ * bench sweeps tECC and tDMA to show that sensitivity, and measures
+ * the cost of PR2's speculative extra step (die-busy inflation) for
+ * reads that need no retry.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/retry_controller.hh"
+#include "ecc/engine.hh"
+#include "nand/error_model.hh"
+#include "ssd/channel.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+double
+planCompletionUs(core::Mechanism m, const nand::TimingParams &timing,
+                 const nand::ErrorModel &model, const core::Rpt &rpt,
+                 int steps)
+{
+    core::RetryController rc(m, timing, model, &rpt);
+    ssd::Channel ch;
+    ecc::EccEngine ecc(timing.tECC, 72.0);
+    nand::PageErrorProfile prof;
+    prof.retrySteps = steps;
+    prof.finalErrors = 30.0;
+    prof.decayRatio = 2.56;
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+    return sim::toUsec(
+        rc.planRead(0, nand::PageType::LSB, prof, op, ch, ecc)
+            .completion);
+}
+
+} // namespace
+
+int
+main()
+{
+    const nand::ErrorModel model;
+    const core::Rpt rpt = core::RptBuilder(model).buildDefault();
+
+    bench::header("Ablation: PR2 gain vs tECC and tDMA",
+                  "DESIGN.md items 1/5",
+                  "PR2's per-read gain over Baseline for N_RR = 8 as the "
+                  "off-die latencies scale");
+
+    bench::row({"tECC[us]", "tDMA[us]", "Base[us]", "PR2[us]", "gain"});
+    for (double ecc_us : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+        for (double dma_us : {8.0, 16.0, 32.0}) {
+            nand::TimingParams t;
+            t.tECC = sim::usec(ecc_us);
+            t.tDMA = sim::usec(dma_us);
+            const double base = planCompletionUs(
+                core::Mechanism::Baseline, t, model, rpt, 8);
+            const double pr2 =
+                planCompletionUs(core::Mechanism::PR2, t, model, rpt, 8);
+            bench::row({bench::fmt(ecc_us, 0), bench::fmt(dma_us, 0),
+                        bench::fmt(base, 0), bench::fmt(pr2, 0),
+                        bench::pct(1.0 - pr2 / base)});
+        }
+    }
+
+    std::printf("\nSpeculation cost: die-busy time for a no-retry read "
+                "(the RESET-killed extra step)\n");
+    const nand::TimingParams t;
+    core::RetryController base_rc(core::Mechanism::Baseline, t, model,
+                                  &rpt);
+    core::RetryController pr2_rc(core::Mechanism::PR2, t, model, &rpt);
+    nand::PageErrorProfile fresh;
+    fresh.retrySteps = 0;
+    fresh.finalErrors = 5.0;
+    fresh.decayRatio = 16.0;
+    const nand::OperatingPoint op{0.0, 0.0, 30.0};
+    for (auto *rc : {&base_rc, &pr2_rc}) {
+        ssd::Channel ch;
+        ecc::EccEngine ecc(t.tECC, 72.0);
+        const core::ReadPlan plan =
+            rc->planRead(0, nand::PageType::LSB, fresh, op, ch, ecc);
+        std::printf("  %-10s dieEnd = %5.0f us, completion = %5.0f us\n",
+                    core::name(rc->mechanism()),
+                    sim::toUsec(plan.dieEnd),
+                    sim::toUsec(plan.completion));
+    }
+    std::printf("expected: PR2 holds the die a few us longer (RESET "
+                "window) without delaying\nthe host response; the cost "
+                "only matters under very deep per-die queues.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: AR2's safety margin (DESIGN.md Section 6, item 4).
+ *
+ * The paper reserves 14 bits of ECC capability (7 for temperature +
+ * 7 for outlier pages) when profiling the RPT. Sweeping the margin
+ * shows the trade-off this buys: a small margin allows deeper tPRE
+ * cuts but risks timing fallbacks (a full default-timing redo); a
+ * large margin is safe but leaves latency on the table.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/retry_controller.hh"
+#include "ecc/engine.hh"
+#include "nand/error_model.hh"
+#include "ssd/channel.hh"
+
+using namespace ssdrr;
+
+int
+main()
+{
+    bench::header("Ablation: AR2 safety margin",
+                  "DESIGN.md item 4 (paper Section 5.2.3 / 6.2)",
+                  "margin sweep at (1K P/E, 6 months, 30C): profiled "
+                  "reduction, per-read latency, fallback rate over 4000 "
+                  "pages");
+
+    const nand::TimingParams timing;
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+
+    bench::row({"margin[b]", "reduction", "avgRT[us]", "fallbacks",
+                "vs 14b"},
+               11);
+    double rt14 = 0.0;
+    for (double margin : {0.0, 4.0, 7.0, 10.0, 14.0, 20.0, 28.0}) {
+        nand::Calibration cal;
+        cal.safetyMarginBits = margin;
+        const nand::ErrorModel model(cal);
+        const core::Rpt rpt = core::RptBuilder(model).buildDefault();
+        core::RetryController rc(core::Mechanism::PnAR2, timing, model,
+                                 &rpt);
+
+        double sum_us = 0.0;
+        int fallbacks = 0;
+        const int pages = 4000;
+        for (int p = 0; p < pages; ++p) {
+            ssd::Channel ch;
+            ecc::EccEngine ecc(timing.tECC, 72.0);
+            const nand::PageErrorProfile prof =
+                model.pageProfile(0, p / 576, p % 576, op);
+            const core::ReadPlan plan = rc.planRead(
+                0, nand::pageTypeOf(p % 3), prof, op, ch, ecc);
+            sum_us += sim::toUsec(plan.completion);
+            fallbacks += plan.timingFallback ? 1 : 0;
+        }
+        const double avg = sum_us / pages;
+        if (margin == 14.0)
+            rt14 = avg;
+        bench::row({bench::fmt(margin, 0),
+                    bench::pct(rpt.lookup(op).pre, 1), bench::fmt(avg),
+                    std::to_string(fallbacks),
+                    rt14 > 0.0 ? bench::pct(avg / rt14 - 1.0, 2) : "-"},
+                   11);
+    }
+    std::printf("\nexpected shape: fallbacks only at tiny margins; "
+                "latency roughly flat beyond the\nsafe point (the "
+                "reduction grid is coarse), so the 14-bit margin costs "
+                "little.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: fixed-width table
+ * printing and common sweep grids, so every bench binary emits the
+ * same style of rows the paper's tables and figures report.
+ */
+
+#ifndef SSDRR_BENCH_BENCH_UTIL_HH
+#define SSDRR_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ssdrr::bench {
+
+/** Print a section header for one experiment. */
+inline void
+header(const std::string &experiment, const std::string &paper_ref,
+       const std::string &what)
+{
+    std::printf("\n=== %s — %s ===\n%s\n\n", experiment.c_str(),
+                paper_ref.c_str(), what.c_str());
+}
+
+/** Print one row of fixed-width cells. */
+inline void
+row(const std::vector<std::string> &cells, int width = 12)
+{
+    for (const auto &c : cells)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double v, int prec = 1)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+pct(double v, int prec = 1)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, 100.0 * v);
+    return buf;
+}
+
+/** The paper's P/E-cycle grid in kilo-cycles (Figs. 5, 7-11, 14). */
+inline const std::vector<double> &
+pecGrid()
+{
+    static const std::vector<double> g = {0.0, 1.0, 2.0};
+    return g;
+}
+
+/** The paper's retention-age grid in months. */
+inline const std::vector<double> &
+retentionGrid()
+{
+    static const std::vector<double> g = {0.0, 3.0, 6.0, 9.0, 12.0};
+    return g;
+}
+
+} // namespace ssdrr::bench
+
+#endif // SSDRR_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 5: distribution of the number of retry steps per read under
+ * different P/E-cycle counts (0 / 1K / 2K) and retention ages
+ * (0-12 months), sampled over many model pages. Also checks the
+ * section 3.1 call-outs printed in the paper.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "nand/error_model.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+struct Dist {
+    double avg = 0.0;
+    int min = 0;
+    int max = 0;
+    double fracAtLeast7 = 0.0;
+};
+
+Dist
+sample(const nand::ErrorModel &model, const nand::OperatingPoint &op,
+       int pages)
+{
+    Dist d;
+    d.min = 1 << 30;
+    double sum = 0.0;
+    int ge7 = 0;
+    for (int p = 0; p < pages; ++p) {
+        const int n =
+            model.pageProfile(0, p / 576, p % 576, op).retrySteps;
+        sum += n;
+        d.min = std::min(d.min, n);
+        d.max = std::max(d.max, n);
+        ge7 += n >= 7 ? 1 : 0;
+    }
+    d.avg = sum / pages;
+    d.fracAtLeast7 = static_cast<double>(ge7) / pages;
+    return d;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int pages = argc > 1 ? std::atoi(argv[1]) : 20000;
+    bench::header("Fig. 5", "read-retry characteristics",
+                  "retry steps per read vs (PEC, retention age); " +
+                      std::to_string(pages) + " pages per cell");
+
+    const nand::ErrorModel model;
+    bench::row({"PEC[K]", "tRET[mo]", "avg", "min", "max", "P(N>=7)"});
+    for (double pe : bench::pecGrid()) {
+        for (double ret : {0.0, 1.0, 3.0, 6.0, 9.0, 12.0}) {
+            const Dist d = sample(model, {pe, ret, 85.0}, pages);
+            bench::row({bench::fmt(pe, 0), bench::fmt(ret, 0),
+                        bench::fmt(d.avg, 2), std::to_string(d.min),
+                        std::to_string(d.max), bench::pct(d.fracAtLeast7)});
+        }
+        std::printf("\n");
+    }
+
+    std::printf("paper anchors: fresh reads need 0 steps; avg 19.9 steps "
+                "at (2K, 12mo);\n54.4%% of reads need >=7 steps at "
+                "(0, 6mo); >=8 steps at (1K, 3mo).\n");
+    return 0;
+}

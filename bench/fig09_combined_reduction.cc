@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 9: M_ERR in the final retry step when reducing tPRE and
+ * tDISCH simultaneously, under the paper's five operating
+ * conditions. Shows the superlinear coupling (a shortened discharge
+ * steals precharge budget) and why AR2 spends the whole margin on
+ * tPRE alone.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "nand/error_model.hh"
+
+using namespace ssdrr;
+
+int
+main()
+{
+    bench::header("Fig. 9",
+                  "combined reduction of tPRE and tDISCH",
+                  "M_ERR (mean final-step errors + dM_ERR) vs dtPRE for "
+                  "several dtDISCH lines;\ncapability = 72, '-' = beyond "
+                  "300 errors");
+
+    const nand::ErrorModel model;
+    const std::vector<std::pair<double, double>> conditions = {
+        {1.0, 0.0}, {2.0, 0.0}, {0.0, 12.0}, {1.0, 12.0}, {2.0, 12.0}};
+    const std::vector<double> dpre = {0.0,  0.07, 0.14, 0.20, 0.27,
+                                      0.34, 0.40, 0.47, 0.54, 0.60};
+    const std::vector<double> ddisch = {0.0, 0.07, 0.14, 0.20, 0.27,
+                                        0.34, 0.40};
+
+    for (const auto &[pe, ret] : conditions) {
+        const nand::OperatingPoint op{pe, ret, 85.0};
+        std::printf("--- (PEC, tRET) = (%.0fK, %.0f mo), base M_ERR mean "
+                    "= %.1f ---\n",
+                    pe, ret, model.finalErrorsMean(op));
+        std::vector<std::string> head = {"dPRE\\dDIS"};
+        for (double d : ddisch)
+            head.push_back(bench::pct(d, 0));
+        bench::row(head, 9);
+        for (double p : dpre) {
+            std::vector<std::string> cells = {bench::pct(p, 0)};
+            for (double d : ddisch) {
+                nand::TimingReduction red;
+                red.pre = p;
+                red.disch = d;
+                const double m = model.finalErrorsMean(op) +
+                                 model.deltaErrors(red, op);
+                cells.push_back(m > 300.0 ? "-" : bench::fmt(m, 0));
+            }
+            bench::row(cells, 9);
+        }
+        std::printf("\n");
+    }
+
+    std::printf(
+        "paper anchors: (54%% pre + 20%% disch) blows past capability at "
+        "(1K, 0)\nwhile each alone adds only 35 / 8 errors; combined "
+        "reduction is superlinear;\nreducing tPRE beats reducing tDISCH "
+        "for swapped (x, y).\n");
+    return 0;
+}

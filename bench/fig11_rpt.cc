@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 11 + the RPT of Figure 13: the minimum safe tPRE (maximum
+ * safe reduction) per operating condition with the 14-bit safety
+ * margin, and the resulting Read-timing Parameter Table that AR2
+ * ships in the SSD.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/rpt.hh"
+#include "nand/error_model.hh"
+#include "nand/timing.hh"
+
+using namespace ssdrr;
+
+int
+main()
+{
+    bench::header("Fig. 11 / Fig. 13 RPT",
+                  "minimum tPRE for safe tRETRY reduction",
+                  "max safe tPRE reduction (14-bit margin: 7 temperature "
+                  "+ 7 outlier) and the profiled RPT");
+
+    const nand::ErrorModel model;
+    const nand::TimingParams timing;
+
+    bench::row({"PEC[K]", "tRET[mo]", "reduction", "tPRE[us]",
+                "rho(tR)"});
+    double lo = 1.0, hi = 0.0;
+    for (double pe : bench::pecGrid()) {
+        for (double ret : bench::retentionGrid()) {
+            const double x = model.maxSafePreReduction({pe, ret, 85.0});
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+            nand::TimingReduction red;
+            red.pre = x;
+            bench::row({bench::fmt(pe, 0), bench::fmt(ret, 0),
+                        bench::pct(x, 1),
+                        bench::fmt(sim::toUsec(timing.tPRE) * (1.0 - x)),
+                        bench::fmt(timing.rho(red), 3)});
+        }
+        std::printf("\n");
+    }
+    std::printf("range: %.1f%% .. %.1f%% (paper: min 40%%, max 54%%)\n\n",
+                100.0 * lo, 100.0 * hi);
+
+    // The deployed artifact: 6x6 RPT (36 entries, 144 bytes).
+    const core::Rpt rpt = core::RptBuilder(model).buildDefault();
+    std::printf("RPT (%zu entries, %zu bytes): tPRE reduction [%%] per "
+                "(PEC bin x retention bin)\n",
+                rpt.entries(), rpt.storageBytes());
+    std::vector<std::string> head = {"PEC\\tRET"};
+    for (std::size_t rt = 0; rt < rpt.retBins(); ++rt)
+        head.push_back("<" + bench::fmt(rpt.retEdge(rt), 0) + "mo");
+    bench::row(head, 9);
+    for (std::size_t pe = 0; pe < rpt.peBins(); ++pe) {
+        std::vector<std::string> cells = {
+            "<" + bench::fmt(rpt.peEdge(pe) * 1000.0, 0)};
+        for (std::size_t rt = 0; rt < rpt.retBins(); ++rt)
+            cells.push_back(bench::pct(rpt.entryAt(pe, rt), 1));
+        bench::row(cells, 9);
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figures 12 and 13: the phase-level timeline of one page read under
+ * each mechanism, for a read needing N retry steps on an idle
+ * channel. Prints the latency decomposition the figures draw:
+ * initial read, retry walk, and the Eq. 2-5 closed forms.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/retry_controller.hh"
+#include "ecc/engine.hh"
+#include "nand/error_model.hh"
+#include "ssd/channel.hh"
+
+using namespace ssdrr;
+
+int
+main(int argc, char **argv)
+{
+    const int n = argc > 1 ? std::atoi(argv[1]) : 8;
+    bench::header("Figs. 12-13", "per-mechanism read-retry timelines",
+                  "completion latency for one LSB-page read with N_RR = " +
+                      std::to_string(n) +
+                      " retry steps on an idle channel");
+
+    const nand::TimingParams timing;
+    const nand::ErrorModel model;
+    const core::Rpt rpt = core::RptBuilder(model).buildDefault();
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+
+    nand::PageErrorProfile prof;
+    prof.retrySteps = n;
+    prof.finalErrors = 30.0;
+    prof.decayRatio = 2.56;
+
+    const double tR = sim::toUsec(timing.tR(nand::PageType::LSB));
+    const double tDMA = sim::toUsec(timing.tDMA);
+    const double tECC = sim::toUsec(timing.tECC);
+    const nand::TimingReduction red = rpt.lookup(op);
+    const double tR_red =
+        sim::toUsec(timing.tR(nand::PageType::LSB, red));
+
+    std::printf("tR = %.0f us, reduced tR = %.0f us (tPRE -%.0f%%), "
+                "tDMA = %.0f us, tECC = %.0f us\n\n",
+                tR, tR_red, 100.0 * red.pre, tDMA, tECC);
+
+    std::printf("%-15s %10s %12s   %s\n", "mechanism", "tREAD[us]",
+                "vs Baseline", "equation");
+    double baseline = 0.0;
+    for (core::Mechanism m :
+         {core::Mechanism::Baseline, core::Mechanism::PR2,
+          core::Mechanism::AR2, core::Mechanism::PnAR2,
+          core::Mechanism::PSO, core::Mechanism::PSO_PnAR2,
+          core::Mechanism::NoRR}) {
+        core::RetryController rc(m, timing, model, &rpt);
+        ssd::Channel ch;
+        ecc::EccEngine ecc(timing.tECC, 72.0);
+        const core::ReadPlan plan =
+            rc.planRead(0, nand::PageType::LSB, prof, op, ch, ecc);
+        const double us = sim::toUsec(plan.completion);
+        if (m == core::Mechanism::Baseline)
+            baseline = us;
+
+        const char *eq = "";
+        switch (m) {
+          case core::Mechanism::Baseline:
+            eq = "(N+1)(tR+tDMA+tECC)            [Eq. 2+3]";
+            break;
+          case core::Mechanism::PR2:
+            eq = "(N+1)tR + tDMA + tECC          [Eq. 4]";
+            break;
+          case core::Mechanism::AR2:
+            eq = "read + tSET + N(rho*tR+tDMA+tECC) [Eq. 5]";
+            break;
+          case core::Mechanism::PnAR2:
+            eq = "read + tSET + N*rho*tR + tDMA + tECC";
+            break;
+          case core::Mechanism::PSO:
+            eq = "Baseline with N' = max(3, 0.3N)  [84]";
+            break;
+          case core::Mechanism::PSO_PnAR2:
+            eq = "PnAR2 with N' = max(3, 0.3N)";
+            break;
+          case core::Mechanism::NoRR:
+            eq = "tR + tDMA + tECC (ideal)";
+            break;
+          case core::Mechanism::Sentinel:
+          case core::Mechanism::Sentinel_PnAR2:
+            eq = "Sentinel [56] step transform";
+            break;
+        }
+        std::printf("%-15s %10.1f %11.1f%%   %s\n", core::name(m), us,
+                    100.0 * (1.0 - us / baseline), eq);
+    }
+    return 0;
+}

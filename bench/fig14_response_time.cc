@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 14: normalized SSD response time of Baseline / PR2 / AR2 /
+ * PnAR2 / NoRR across the twelve Table 2 workloads and a grid of
+ * (P/E-cycle, retention-age) operating points. The headline system
+ * result: PR2 and AR2 each beat Baseline, PnAR2 combines them
+ * synergistically, and the gain grows with worse conditions.
+ *
+ * Usage: fig14_response_time [requests-per-trace] [workload ...]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "ssd/ssd.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+struct Cell {
+    double base = 0.0;
+    double norm[5] = {0.0}; // Baseline, PR2, AR2, PnAR2, NoRR
+    double steps = 0.0;
+};
+
+constexpr core::Mechanism kMechs[5] = {
+    core::Mechanism::Baseline, core::Mechanism::PR2,
+    core::Mechanism::AR2, core::Mechanism::PnAR2, core::Mechanism::NoRR};
+
+Cell
+runCell(const workload::SyntheticSpec &spec, double pe, double ret,
+        std::uint64_t requests)
+{
+    ssd::Config cfg = ssd::Config::small();
+    cfg.basePeKilo = pe;
+    cfg.baseRetentionMonths = ret;
+
+    const workload::Trace trace = workload::generateSynthetic(
+        spec, cfg.logicalPages(), requests, 42);
+
+    Cell cell;
+    for (int i = 0; i < 5; ++i) {
+        ssd::Ssd ssd(cfg, kMechs[i]);
+        const ssd::RunStats st = ssd.replay(trace);
+        if (i == 0) {
+            cell.base = st.avgResponseUs;
+            cell.steps = st.avgRetrySteps;
+        }
+        cell.norm[i] = st.avgResponseUs / cell.base;
+    }
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t requests = argc > 1 ? std::atoll(argv[1]) : 600;
+    std::vector<workload::SyntheticSpec> specs;
+    if (argc > 2) {
+        for (int i = 2; i < argc; ++i)
+            specs.push_back(workload::findWorkload(argv[i]));
+    } else {
+        specs = workload::allWorkloads();
+    }
+
+    bench::header("Fig. 14",
+                  "response time of PR2 / AR2 / PnAR2 vs Baseline",
+                  "avg response time normalized to Baseline per "
+                  "(workload, PEC, retention); " +
+                      std::to_string(requests) + " requests per trace");
+
+    const std::vector<std::pair<double, double>> grid = {
+        {0.0, 1.0}, {0.0, 12.0}, {1.0, 3.0},
+        {1.0, 6.0}, {2.0, 6.0},  {2.0, 12.0}};
+
+    // Per-mechanism aggregates for the paper's headline numbers.
+    double sum[5] = {0.0};
+    double best[5] = {1.0, 1.0, 1.0, 1.0, 1.0};
+    int cells = 0;
+
+    bench::row({"workload", "PEC[K]", "tRET", "steps", "Base[us]", "PR2",
+                "AR2", "PnAR2", "NoRR"},
+               10);
+    for (const auto &spec : specs) {
+        for (const auto &[pe, ret] : grid) {
+            const Cell c = runCell(spec, pe, ret, requests);
+            bench::row({spec.name, bench::fmt(pe, 0), bench::fmt(ret, 0),
+                        bench::fmt(c.steps, 1), bench::fmt(c.base, 0),
+                        bench::fmt(c.norm[1], 3), bench::fmt(c.norm[2], 3),
+                        bench::fmt(c.norm[3], 3),
+                        bench::fmt(c.norm[4], 3)},
+                       10);
+            for (int i = 0; i < 5; ++i) {
+                sum[i] += c.norm[i];
+                best[i] = std::min(best[i], c.norm[i]);
+            }
+            ++cells;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("mechanism      avg reduction   max reduction   (paper: "
+                "avg / max)\n");
+    const char *paper[5] = {"-", "17.7% / 38.3%", "11.9% / 18.1%",
+                            "28.9% / 51.8%", "upper bound"};
+    for (int i = 1; i < 5; ++i) {
+        std::printf("%-12s %12.1f%% %15.1f%%   %s\n",
+                    core::name(kMechs[i]), 100.0 * (1.0 - sum[i] / cells),
+                    100.0 * (1.0 - best[i]), paper[i]);
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 15: performance of the proposal when combined with PSO
+ * [84], the state-of-the-art retry-step-count reducer. PSO+PnAR2
+ * must beat PSO (by ~17% on average in read-dominant workloads, up
+ * to 31.5%) and close part of the remaining gap to the ideal NoRR.
+ *
+ * Usage: fig15_pso [requests-per-trace] [workload ...]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "ssd/ssd.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+using namespace ssdrr;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t requests = argc > 1 ? std::atoll(argv[1]) : 600;
+    std::vector<workload::SyntheticSpec> specs;
+    if (argc > 2) {
+        for (int i = 2; i < argc; ++i)
+            specs.push_back(workload::findWorkload(argv[i]));
+    } else {
+        specs = workload::allWorkloads();
+    }
+
+    bench::header("Fig. 15", "combining PR2+AR2 with PSO [84]",
+                  "avg response time normalized to Baseline; "
+                  "PSO+PnAR2 vs PSO vs ideal NoRR; " +
+                      std::to_string(requests) + " requests per trace");
+
+    const std::vector<std::pair<double, double>> grid = {
+        {0.0, 12.0}, {1.0, 6.0}, {2.0, 12.0}};
+
+    double gain_sum = 0.0, gain_max = 0.0;
+    double gain_sum_read = 0.0, gain_max_read = 0.0;
+    int cells = 0, cells_read = 0;
+
+    bench::row({"workload", "PEC[K]", "tRET", "PSO", "PSO+PnAR2", "NoRR",
+                "gain", "PSO/NoRR"},
+               11);
+    for (const auto &spec : specs) {
+        for (const auto &[pe, ret] : grid) {
+            ssd::Config cfg = ssd::Config::small();
+            cfg.basePeKilo = pe;
+            cfg.baseRetentionMonths = ret;
+            const workload::Trace trace = workload::generateSynthetic(
+                spec, cfg.logicalPages(), requests, 42);
+
+            double rt[4];
+            const core::Mechanism mechs[4] = {
+                core::Mechanism::Baseline, core::Mechanism::PSO,
+                core::Mechanism::PSO_PnAR2, core::Mechanism::NoRR};
+            for (int i = 0; i < 4; ++i) {
+                ssd::Ssd ssd(cfg, mechs[i]);
+                rt[i] = ssd.replay(trace).avgResponseUs;
+            }
+            const double gain = 1.0 - rt[2] / rt[1];
+            gain_sum += gain;
+            gain_max = std::max(gain_max, gain);
+            if (spec.readRatio > 0.5) {
+                gain_sum_read += gain;
+                gain_max_read = std::max(gain_max_read, gain);
+                ++cells_read;
+            }
+            ++cells;
+            bench::row({spec.name, bench::fmt(pe, 0), bench::fmt(ret, 0),
+                        bench::fmt(rt[1] / rt[0], 3),
+                        bench::fmt(rt[2] / rt[0], 3),
+                        bench::fmt(rt[3] / rt[0], 3), bench::pct(gain),
+                        bench::fmt(rt[1] / rt[3], 2) + "x"},
+                       11);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("PSO+PnAR2 over PSO: avg %.1f%% (max %.1f%%); "
+                "read-dominant avg %.1f%% (max %.1f%%)\n"
+                "paper: 17%% avg / 31.5%% max in read-dominant, "
+                "3.6%% avg / 9.4%% max in write-dominant\n",
+                100.0 * gain_sum / cells, 100.0 * gain_max,
+                100.0 * gain_sum_read / cells_read,
+                100.0 * gain_max_read);
+    return 0;
+}

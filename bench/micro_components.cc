@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrate components: BCH
+ * decode cost vs error count (substantiating the tECC = 20 us
+ * engine model), event-queue throughput, reservation-timeline
+ * operations, and error-model page profiling (the per-read hot path
+ * of the SSD simulator).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/retry_controller.hh"
+#include "ecc/bch.hh"
+#include "ecc/engine.hh"
+#include "nand/error_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/reservation.hh"
+#include "sim/rng.hh"
+#include "ssd/channel.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+// ----- BCH codec -----
+
+void
+BM_BchDecode(benchmark::State &state)
+{
+    const int errors = static_cast<int>(state.range(0));
+    static const ecc::BchCode code(14, 72, 8192);
+    sim::Rng rng(7);
+    std::vector<std::uint8_t> data(8192);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.uniformInt(2));
+    const auto clean = code.encode(data);
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto cw = clean;
+        for (int k = 0; k < errors; ++k)
+            cw[rng.uniformInt(cw.size())] ^= 1;
+        state.ResumeTiming();
+        auto res = code.decode(cw);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_BchDecode)->Arg(0)->Arg(1)->Arg(8)->Arg(32)->Arg(72);
+
+void
+BM_BchEncode(benchmark::State &state)
+{
+    static const ecc::BchCode code(14, 72, 8192);
+    sim::Rng rng(7);
+    std::vector<std::uint8_t> data(8192);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.uniformInt(2));
+    for (auto _ : state) {
+        auto cw = code.encode(data);
+        benchmark::DoNotOptimize(cw);
+    }
+}
+BENCHMARK(BM_BchEncode);
+
+// ----- Simulation kernel -----
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int events = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < events; ++i)
+            eq.schedule(static_cast<sim::Tick>((i * 7919) % 100000),
+                        [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_ReservationAcquire(benchmark::State &state)
+{
+    sim::Rng rng(3);
+    for (auto _ : state) {
+        sim::ReservationTimeline tl;
+        for (int i = 0; i < 1000; ++i)
+            tl.acquire(rng.uniformInt(100000), 1 + rng.uniformInt(30));
+        benchmark::DoNotOptimize(tl.horizon());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ReservationAcquire);
+
+// ----- Error model (per-read hot path) -----
+
+void
+BM_PageProfile(benchmark::State &state)
+{
+    const nand::ErrorModel model;
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+    std::uint64_t page = 0;
+    for (auto _ : state) {
+        auto prof = model.pageProfile(0, page / 576, page % 576, op);
+        benchmark::DoNotOptimize(prof);
+        ++page;
+    }
+}
+BENCHMARK(BM_PageProfile);
+
+void
+BM_PlanRead(benchmark::State &state)
+{
+    const nand::TimingParams timing;
+    const nand::ErrorModel model;
+    const core::Rpt rpt = core::RptBuilder(model).buildDefault();
+    core::RetryController rc(core::Mechanism::PnAR2, timing, model,
+                             &rpt);
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+    ssd::Channel ch;
+    ecc::EccEngine ecc(timing.tECC, 72.0);
+    std::uint64_t page = 0;
+    for (auto _ : state) {
+        const auto prof = model.pageProfile(0, 0, page % 576, op);
+        const auto plan = rc.planRead(
+            static_cast<sim::Tick>(page) * sim::usec(200),
+            nand::pageTypeOf(page % 3), prof, op, ch, ecc);
+        benchmark::DoNotOptimize(plan);
+        ch.releaseBefore(static_cast<sim::Tick>(page) * sim::usec(200));
+        ecc.releaseBefore(static_cast<sim::Tick>(page) * sim::usec(200));
+        ++page;
+    }
+}
+BENCHMARK(BM_PlanRead);
+
+} // namespace
+
+BENCHMARK_MAIN();

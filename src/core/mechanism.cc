@@ -1,0 +1,109 @@
+#include "core/mechanism.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::core {
+
+const char *
+name(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::Baseline:
+        return "Baseline";
+      case Mechanism::PR2:
+        return "PR2";
+      case Mechanism::AR2:
+        return "AR2";
+      case Mechanism::PnAR2:
+        return "PnAR2";
+      case Mechanism::NoRR:
+        return "NoRR";
+      case Mechanism::PSO:
+        return "PSO";
+      case Mechanism::PSO_PnAR2:
+        return "PSO+PnAR2";
+      case Mechanism::Sentinel:
+        return "Sentinel";
+      case Mechanism::Sentinel_PnAR2:
+        return "Sentinel+PnAR2";
+    }
+    return "?";
+}
+
+Mechanism
+parseMechanism(const std::string &s)
+{
+    for (Mechanism m :
+         {Mechanism::Baseline, Mechanism::PR2, Mechanism::AR2,
+          Mechanism::PnAR2, Mechanism::NoRR, Mechanism::PSO,
+          Mechanism::PSO_PnAR2, Mechanism::Sentinel,
+          Mechanism::Sentinel_PnAR2}) {
+        if (s == name(m))
+            return m;
+    }
+    SSDRR_FATAL("unknown mechanism: ", s);
+}
+
+bool
+usesPipelining(Mechanism m)
+{
+    return m == Mechanism::PR2 || m == Mechanism::PnAR2 ||
+           m == Mechanism::PSO_PnAR2 || m == Mechanism::Sentinel_PnAR2;
+}
+
+bool
+usesAdaptiveTiming(Mechanism m)
+{
+    return m == Mechanism::AR2 || m == Mechanism::PnAR2 ||
+           m == Mechanism::PSO_PnAR2 || m == Mechanism::Sentinel_PnAR2;
+}
+
+bool
+usesStepReduction(Mechanism m)
+{
+    return m == Mechanism::PSO || m == Mechanism::PSO_PnAR2 ||
+           m == Mechanism::Sentinel || m == Mechanism::Sentinel_PnAR2;
+}
+
+int
+psoSteps(int n_rr)
+{
+    SSDRR_ASSERT(n_rr >= 0, "negative retry count");
+    if (n_rr == 0)
+        return 0;
+    // ~70% fewer steps, floored at three ("every read still incurs
+    // at least three retry steps in an aged SSD", Section 3.1) but
+    // never worse than the default table walk would have been.
+    const int reduced = static_cast<int>(std::ceil(0.3 * n_rr));
+    return std::min(n_rr, std::max(3, reduced));
+}
+
+int
+sentinelSteps(int n_rr)
+{
+    SSDRR_ASSERT(n_rr >= 0, "negative retry count");
+    if (n_rr == 0)
+        return 0;
+    // [56] reports the average step count dropping from 6.6 to 1.2:
+    // the Sentinel-cell VOPT estimate lets ordinary retries finish in
+    // a single near-optimal step; only pages whose VOPT drifted far
+    // beyond the estimator's range (long original walks) need a short
+    // residual search.
+    const int reduced =
+        std::max(1, static_cast<int>(std::ceil(0.18 * (n_rr - 5))));
+    return std::min(n_rr, reduced);
+}
+
+int
+transformedSteps(Mechanism m, int n_rr)
+{
+    if (m == Mechanism::PSO || m == Mechanism::PSO_PnAR2)
+        return psoSteps(n_rr);
+    if (m == Mechanism::Sentinel || m == Mechanism::Sentinel_PnAR2)
+        return sentinelSteps(n_rr);
+    return n_rr;
+}
+
+} // namespace ssdrr::core

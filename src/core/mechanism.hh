@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Read-retry mechanism taxonomy (paper Section 7.2/7.3).
+ *
+ *  Baseline - high-end SSD with out-of-order scheduling and
+ *             program/erase suspension, regular read-retry (Fig 12a).
+ *  PR2      - Pipelined Read-Retry: CACHE READ pipelining of retry
+ *             steps plus RESET of the speculative step (Fig 12b).
+ *  AR2      - Adaptive Read-Retry: reduced tPRE per the RPT, applied
+ *             with SET FEATURE once per retry operation (Fig 13).
+ *  PnAR2    - PR2 + AR2 combined.
+ *  NoRR     - ideal SSD where no read-retry occurs (upper bound).
+ *  PSO      - state-of-the-art prior work [84] that reduces the
+ *             *number* of retry steps by reusing recently-optimized
+ *             VREF values from process-similar pages.
+ *  PSO_PnAR2- PSO with PR2+AR2 layered on top (Section 7.3).
+ *  Sentinel - concurrent work [56]: spare "Sentinel" cells in each
+ *             page let the controller estimate VOPT after the first
+ *             read, cutting the average step count from ~6.6 to ~1.2
+ *             (Section 9) but not eliminating retry entirely.
+ *  Sentinel_PnAR2 - Sentinel with PR2+AR2 layered on top, the
+ *             combination Section 9 argues for.
+ */
+
+#ifndef SSDRR_CORE_MECHANISM_HH
+#define SSDRR_CORE_MECHANISM_HH
+
+#include <string>
+
+namespace ssdrr::core {
+
+enum class Mechanism {
+    Baseline,
+    PR2,
+    AR2,
+    PnAR2,
+    NoRR,
+    PSO,
+    PSO_PnAR2,
+    Sentinel,
+    Sentinel_PnAR2,
+};
+
+/** Short display name ("PnAR2", ...). */
+const char *name(Mechanism m);
+
+/** Parse a mechanism name; fatal on unknown input. */
+Mechanism parseMechanism(const std::string &s);
+
+/** True if the mechanism pipelines retry steps with CACHE READ. */
+bool usesPipelining(Mechanism m);
+
+/** True if the mechanism reduces tPRE via the RPT. */
+bool usesAdaptiveTiming(Mechanism m);
+
+/** True if the mechanism reduces the retry-step count ([84], [56]). */
+bool usesStepReduction(Mechanism m);
+
+/**
+ * PSO step-count transform: ~70% fewer steps but never below three
+ * for a read that needed retries (Section 3.1: "for every page read,
+ * it requires at least three retry steps").
+ */
+int psoSteps(int n_rr);
+
+/**
+ * Sentinel step-count transform [56]: the per-page VOPT estimate
+ * from the Sentinel cells lets most retries finish in one step
+ * (average drops from 6.6 to 1.2), but the estimate is imperfect so
+ * long walks keep a short tail.
+ */
+int sentinelSteps(int n_rr);
+
+/** The step transform a mechanism applies (identity for most). */
+int transformedSteps(Mechanism m, int n_rr);
+
+} // namespace ssdrr::core
+
+#endif // SSDRR_CORE_MECHANISM_HH

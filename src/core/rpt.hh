@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Read-timing Parameter Table (RPT) - AR2's profiling artifact
+ * (paper Section 6.2, Figure 13).
+ *
+ * SSD manufacturers profile each chip offline and store, per
+ * (P/E-cycle, retention-age) bin, the best safe tPRE value. The
+ * controller queries the table when a read failure occurs and
+ * applies the reduction with one SET FEATURE command.
+ *
+ * RptBuilder emulates the offline profiling pass using the
+ * ErrorModel: for each bin it evaluates the most pessimistic corner
+ * (max PEC, max retention) at the 85C profiling temperature with
+ * the 14-bit safety margin (7 temperature + 7 outlier bits).
+ */
+
+#ifndef SSDRR_CORE_RPT_HH
+#define SSDRR_CORE_RPT_HH
+
+#include <vector>
+
+#include "nand/error_model.hh"
+#include "nand/timing.hh"
+#include "nand/types.hh"
+
+namespace ssdrr::core {
+
+class Rpt
+{
+  public:
+    /** One profiled entry. */
+    struct Entry {
+        double maxPeKilo;          ///< bin upper edge (exclusive)
+        double maxRetentionMonths; ///< bin upper edge (exclusive)
+        double preReduction;       ///< safe tPRE reduction fraction
+    };
+
+    Rpt(std::vector<double> pe_edges, std::vector<double> ret_edges,
+        std::vector<double> reductions);
+
+    /** Safe timing reduction for an operating point. */
+    nand::TimingReduction lookup(const nand::OperatingPoint &op) const;
+
+    std::size_t peBins() const { return pe_edges_.size(); }
+    std::size_t retBins() const { return ret_edges_.size(); }
+    std::size_t entries() const { return reductions_.size(); }
+
+    /** Storage footprint: 4 bytes per entry (paper: ~144 B/chip). */
+    std::size_t storageBytes() const { return entries() * 4; }
+
+    double entryAt(std::size_t pe_bin, std::size_t ret_bin) const;
+    double peEdge(std::size_t i) const { return pe_edges_[i]; }
+    double retEdge(std::size_t i) const { return ret_edges_[i]; }
+
+  private:
+    std::size_t binOf(const std::vector<double> &edges, double v) const;
+
+    std::vector<double> pe_edges_;
+    std::vector<double> ret_edges_;
+    std::vector<double> reductions_; // pe-major
+};
+
+class RptBuilder
+{
+  public:
+    explicit RptBuilder(const nand::ErrorModel &model) : model_(model) {}
+
+    /** Paper-like 6x6 grid (36 combinations, 144 bytes). */
+    Rpt buildDefault() const;
+
+    /** Custom grid. */
+    Rpt build(const std::vector<double> &pe_edges,
+              const std::vector<double> &ret_edges) const;
+
+  private:
+    const nand::ErrorModel &model_;
+};
+
+} // namespace ssdrr::core
+
+#endif // SSDRR_CORE_RPT_HH

@@ -1,0 +1,193 @@
+#include "ecc/bch.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::ecc {
+
+BchCode::BchCode(int m, int t, int data_bits)
+    : gf_(m), t_(t), data_bits_(data_bits)
+{
+    SSDRR_ASSERT(t >= 1, "BCH needs t >= 1");
+    SSDRR_ASSERT(data_bits >= 1, "BCH needs data");
+
+    // Build the generator polynomial as the LCM of the minimal
+    // polynomials of alpha^1 .. alpha^(2t): collect the cyclotomic
+    // cosets of those exponents, then multiply (x - alpha^j) over
+    // each coset. The product has GF(2) coefficients.
+    const std::uint32_t n = gf_.n();
+    std::set<std::uint32_t> roots;
+    std::set<std::uint32_t> seen;
+    for (std::uint32_t i = 1; i <= static_cast<std::uint32_t>(2 * t);
+         ++i) {
+        if (seen.count(i))
+            continue;
+        // Walk the coset {i, 2i, 4i, ...} mod n.
+        std::uint32_t j = i;
+        do {
+            seen.insert(j);
+            roots.insert(j);
+            j = static_cast<std::uint32_t>(
+                (2ull * j) % static_cast<std::uint64_t>(n));
+        } while (j != i);
+    }
+
+    // Multiply out prod (x - alpha^j) over GF(2^m).
+    std::vector<std::uint32_t> g = {1};
+    for (std::uint32_t j : roots) {
+        const std::uint32_t root = gf_.alphaPow(j);
+        std::vector<std::uint32_t> ng(g.size() + 1, 0);
+        for (std::size_t k = 0; k < g.size(); ++k) {
+            // (g(x)) * (x + root): x*g_k contributes to ng[k+1],
+            // root*g_k contributes to ng[k].
+            ng[k + 1] ^= g[k];
+            ng[k] ^= gf_.mul(g[k], root);
+        }
+        g.swap(ng);
+    }
+
+    gen_.resize(g.size());
+    for (std::size_t k = 0; k < g.size(); ++k) {
+        SSDRR_ASSERT(g[k] <= 1, "generator polynomial not binary");
+        gen_[k] = static_cast<std::uint8_t>(g[k]);
+    }
+    parity_bits_ = static_cast<int>(gen_.size()) - 1;
+
+    SSDRR_ASSERT(data_bits_ + parity_bits_ <= static_cast<int>(n),
+                 "code too long: ", data_bits_ + parity_bits_, " > ", n);
+}
+
+std::vector<std::uint8_t>
+BchCode::encode(const std::vector<std::uint8_t> &data) const
+{
+    SSDRR_ASSERT(static_cast<int>(data.size()) == data_bits_,
+                 "encode expects ", data_bits_, " bits, got ", data.size());
+
+    // Systematic encoding: remainder of data(x) * x^parity mod g(x).
+    // rem holds parity_bits_ coefficients; process data MSB-first.
+    std::vector<std::uint8_t> rem(parity_bits_, 0);
+    for (int i = data_bits_ - 1; i >= 0; --i) {
+        const std::uint8_t feedback =
+            static_cast<std::uint8_t>(data[i] ^ rem[parity_bits_ - 1]);
+        for (int j = parity_bits_ - 1; j > 0; --j)
+            rem[j] = static_cast<std::uint8_t>(rem[j - 1] ^
+                                               (feedback & gen_[j]));
+        rem[0] = static_cast<std::uint8_t>(feedback & gen_[0]);
+    }
+
+    // Codeword layout: bits [0, parity) = parity, [parity, n') = data,
+    // i.e., coefficient i of the codeword polynomial is codeword[i].
+    std::vector<std::uint8_t> cw(codewordBits());
+    std::copy(rem.begin(), rem.end(), cw.begin());
+    std::copy(data.begin(), data.end(), cw.begin() + parity_bits_);
+    return cw;
+}
+
+std::vector<std::uint32_t>
+BchCode::computeSyndromes(const std::vector<std::uint8_t> &cw) const
+{
+    std::vector<std::uint32_t> syn(2 * t_, 0);
+    for (int i = 0; i < codewordBits(); ++i) {
+        if (!cw[i])
+            continue;
+        for (int j = 0; j < 2 * t_; ++j) {
+            syn[j] ^= gf_.alphaPow(static_cast<std::int64_t>(i) * (j + 1));
+        }
+    }
+    return syn;
+}
+
+BchCode::DecodeResult
+BchCode::decode(std::vector<std::uint8_t> &cw) const
+{
+    SSDRR_ASSERT(static_cast<int>(cw.size()) == codewordBits(),
+                 "decode expects ", codewordBits(), " bits");
+    DecodeResult res;
+
+    const auto syn = computeSyndromes(cw);
+    if (std::all_of(syn.begin(), syn.end(),
+                    [](std::uint32_t s) { return s == 0; })) {
+        res.ok = true;
+        return res;
+    }
+
+    // Berlekamp-Massey: find the error-locator polynomial sigma(x).
+    std::vector<std::uint32_t> sigma = {1};
+    std::vector<std::uint32_t> prev = {1};
+    std::uint32_t b = 1;
+    int l = 0, mshift = 1;
+    for (int nstep = 0; nstep < 2 * t_; ++nstep) {
+        std::uint32_t d = syn[nstep];
+        for (int i = 1; i <= l; ++i) {
+            if (i < static_cast<int>(sigma.size()))
+                d ^= gf_.mul(sigma[i], syn[nstep - i]);
+        }
+        if (d == 0) {
+            ++mshift;
+        } else if (2 * l <= nstep) {
+            std::vector<std::uint32_t> tmp = sigma;
+            const std::uint32_t coef = gf_.div(d, b);
+            if (static_cast<int>(sigma.size()) <
+                static_cast<int>(prev.size()) + mshift)
+                sigma.resize(prev.size() + mshift, 0);
+            for (std::size_t i = 0; i < prev.size(); ++i)
+                sigma[i + mshift] ^= gf_.mul(coef, prev[i]);
+            l = nstep + 1 - l;
+            prev = tmp;
+            b = d;
+            mshift = 1;
+        } else {
+            const std::uint32_t coef = gf_.div(d, b);
+            if (static_cast<int>(sigma.size()) <
+                static_cast<int>(prev.size()) + mshift)
+                sigma.resize(prev.size() + mshift, 0);
+            for (std::size_t i = 0; i < prev.size(); ++i)
+                sigma[i + mshift] ^= gf_.mul(coef, prev[i]);
+            ++mshift;
+        }
+    }
+
+    while (!sigma.empty() && sigma.back() == 0)
+        sigma.pop_back();
+    const int nu = static_cast<int>(sigma.size()) - 1;
+    if (nu > t_) {
+        res.ok = false; // more errors than the code can locate
+        return res;
+    }
+
+    // Chien search over the (possibly shortened) codeword positions:
+    // position i is in error iff sigma(alpha^{-i}) == 0.
+    std::vector<int> error_pos;
+    for (int i = 0; i < codewordBits(); ++i) {
+        std::uint32_t v = 0;
+        for (int k = 0; k <= nu; ++k) {
+            if (sigma[k])
+                v ^= gf_.mul(sigma[k],
+                             gf_.alphaPow(-static_cast<std::int64_t>(i) *
+                                          k));
+        }
+        if (v == 0) {
+            error_pos.push_back(i);
+            if (static_cast<int>(error_pos.size()) > nu)
+                break;
+        }
+    }
+
+    if (static_cast<int>(error_pos.size()) != nu) {
+        // sigma has roots outside the shortened support or a wrong
+        // root count: uncorrectable (this is what triggers read-retry
+        // in the SSD controller).
+        res.ok = false;
+        return res;
+    }
+
+    for (int p : error_pos)
+        cw[p] ^= 1;
+    res.ok = true;
+    res.correctedErrors = nu;
+    return res;
+}
+
+} // namespace ssdrr::ecc

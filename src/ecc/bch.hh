@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Binary BCH encoder/decoder.
+ *
+ * A systematic, optionally shortened BCH code over GF(2^m) correcting
+ * up to t bit errors per codeword. The paper's ECC design point is
+ * t = 72 over a 1-KiB (8192 data bit) codeword, which instantiates
+ * here as BchCode(14, 72, 8192). Decoding is classical:
+ * syndromes -> Berlekamp-Massey -> Chien search.
+ *
+ * The SSD-level simulator uses the cheaper CapabilityModel; this
+ * codec substantiates the capability assumption and powers the
+ * decode-latency microbenchmark.
+ */
+
+#ifndef SSDRR_ECC_BCH_HH
+#define SSDRR_ECC_BCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/gf.hh"
+
+namespace ssdrr::ecc {
+
+class BchCode
+{
+  public:
+    struct DecodeResult {
+        bool ok = false;          ///< errors (if any) fully corrected
+        int correctedErrors = 0;  ///< number of bit flips applied
+    };
+
+    /**
+     * @param m field degree (codeword length bound 2^m - 1)
+     * @param t correction capability in bits
+     * @param data_bits message length (shortens the code if
+     *        data_bits + parity < 2^m - 1)
+     */
+    BchCode(int m, int t, int data_bits);
+
+    int t() const { return t_; }
+    int dataBits() const { return data_bits_; }
+    int parityBits() const { return parity_bits_; }
+    int codewordBits() const { return data_bits_ + parity_bits_; }
+
+    /**
+     * Systematic encode: returns data || parity as a bit vector
+     * (one byte per bit, values 0/1).
+     */
+    std::vector<std::uint8_t>
+    encode(const std::vector<std::uint8_t> &data) const;
+
+    /**
+     * Decode in place. Returns ok = false when more than t errors
+     * are present and the failure is detectable (the read-retry
+     * trigger condition in the SSD).
+     */
+    DecodeResult decode(std::vector<std::uint8_t> &codeword) const;
+
+    /** Generator polynomial coefficients (GF(2), degree order). */
+    const std::vector<std::uint8_t> &generator() const { return gen_; }
+
+  private:
+    std::vector<std::uint32_t>
+    computeSyndromes(const std::vector<std::uint8_t> &cw) const;
+
+    GaloisField gf_;
+    int t_;
+    int data_bits_;
+    int parity_bits_;
+    std::vector<std::uint8_t> gen_; // generator poly bits, gen_[0] = x^0
+};
+
+} // namespace ssdrr::ecc
+
+#endif // SSDRR_ECC_BCH_HH

@@ -1,0 +1,4 @@
+#include "ecc/engine.hh"
+
+// EccEngine and CapabilityModel are header-only; this translation
+// unit anchors the component in the library.

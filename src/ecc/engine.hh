@@ -1,0 +1,96 @@
+/**
+ * @file
+ * ECC engine model used inside the SSD data path.
+ *
+ * Each channel owns one engine (Section 3.2.1: "the data of page A
+ * is decoded by the ECC engine dedicated to the channel"). The
+ * simulator models the engine as a serial resource with a fixed
+ * decode latency tECC and a hard correction capability in errors
+ * per 1-KiB codeword. Decode windows are placed on a gap-filling
+ * reservation timeline so independent reads interleave their
+ * decodes with a retry plan's own (widely spaced) decodes.
+ */
+
+#ifndef SSDRR_ECC_ENGINE_HH
+#define SSDRR_ECC_ENGINE_HH
+
+#include "sim/reservation.hh"
+#include "sim/types.hh"
+
+namespace ssdrr::ecc {
+
+/** Pure capability model: decode succeeds iff errors fit. */
+class CapabilityModel
+{
+  public:
+    explicit CapabilityModel(double errors_per_kib = 72.0)
+        : capability_(errors_per_kib)
+    {
+    }
+
+    double capability() const { return capability_; }
+
+    /** True if a codeword with @p errors_per_kib raw errors decodes. */
+    bool
+    correctable(double errors_per_kib) const
+    {
+        return errors_per_kib <= capability_;
+    }
+
+    /** ECC-capability margin (paper footnote 5); negative if over. */
+    double
+    margin(double errors_per_kib) const
+    {
+        return capability_ - errors_per_kib;
+    }
+
+  private:
+    double capability_;
+};
+
+/**
+ * Serial decode resource with reserve-ahead semantics: a transaction
+ * reserves the next free window at-or-after its data arrives.
+ */
+class EccEngine
+{
+  public:
+    EccEngine(sim::Tick t_ecc, double capability)
+        : t_ecc_(t_ecc), model_(capability)
+    {
+    }
+
+    sim::Tick tEcc() const { return t_ecc_; }
+    const CapabilityModel &model() const { return model_; }
+
+    /**
+     * Reserve one decode slot no earlier than @p earliest.
+     * @return tick at which the decode starts.
+     */
+    sim::Tick
+    acquire(sim::Tick earliest)
+    {
+        return timeline_.acquire(earliest, t_ecc_);
+    }
+
+    /** Number of decodes performed. */
+    std::uint64_t decodes() const { return timeline_.grants(); }
+
+    /** End of the last reserved decode window. */
+    sim::Tick busyUntil() const { return timeline_.horizon(); }
+
+    /** Total busy time reserved so far (utilization stat). */
+    sim::Tick totalBusy() const { return timeline_.totalBusy(); }
+
+    /** Forget reservations that ended before @p now. */
+    void releaseBefore(sim::Tick now) { timeline_.releaseBefore(now); }
+
+  private:
+    sim::Tick t_ecc_;
+    CapabilityModel model_;
+    sim::ReservationTimeline timeline_;
+};
+
+} // namespace ssdrr::ecc
+
+#endif // SSDRR_ECC_ENGINE_HH

@@ -1,0 +1,101 @@
+#include "ecc/gf.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::ecc {
+
+namespace {
+
+/** Standard primitive polynomials over GF(2), indexed by m. */
+constexpr std::uint32_t kPrimPoly[] = {
+    0,      0,      0,
+    0xB,    // m=3:  x^3 + x + 1
+    0x13,   // m=4:  x^4 + x + 1
+    0x25,   // m=5:  x^5 + x^2 + 1
+    0x43,   // m=6:  x^6 + x + 1
+    0x89,   // m=7:  x^7 + x^3 + 1
+    0x11D,  // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,  // m=9:  x^9 + x^4 + 1
+    0x409,  // m=10: x^10 + x^3 + 1
+    0x805,  // m=11: x^11 + x^2 + 1
+    0x1053, // m=12: x^12 + x^6 + x^4 + x + 1
+    0x201B, // m=13: x^13 + x^4 + x^3 + x + 1
+    0x4443, // m=14: x^14 + x^10 + x^6 + x + 1
+};
+
+} // namespace
+
+GaloisField::GaloisField(int m) : m_(m)
+{
+    SSDRR_ASSERT(m >= 3 && m <= 14, "GF(2^m) supports m in [3,14], got ",
+                 m);
+    n_ = (1u << m) - 1;
+    prim_ = kPrimPoly[m];
+
+    exp_.resize(2 * n_);
+    log_.assign(n_ + 1, 0);
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+        exp_[i] = x;
+        log_[x] = i;
+        x <<= 1;
+        if (x & (1u << m))
+            x ^= prim_;
+    }
+    SSDRR_ASSERT(x == 1, "polynomial 0x", std::hex, prim_,
+                 " is not primitive for m=", std::dec, m);
+    // Duplicate so alphaPow can skip one modular reduction.
+    for (std::uint32_t i = 0; i < n_; ++i)
+        exp_[n_ + i] = exp_[i];
+}
+
+std::uint32_t
+GaloisField::mul(std::uint32_t a, std::uint32_t b) const
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return exp_[log_[a] + log_[b]];
+}
+
+std::uint32_t
+GaloisField::div(std::uint32_t a, std::uint32_t b) const
+{
+    SSDRR_ASSERT(b != 0, "division by zero in GF(2^", m_, ")");
+    if (a == 0)
+        return 0;
+    return exp_[log_[a] + n_ - log_[b]];
+}
+
+std::uint32_t
+GaloisField::inv(std::uint32_t a) const
+{
+    SSDRR_ASSERT(a != 0, "inverse of zero in GF(2^", m_, ")");
+    return exp_[n_ - log_[a]];
+}
+
+std::uint32_t
+GaloisField::alphaPow(std::int64_t i) const
+{
+    std::int64_t r = i % static_cast<std::int64_t>(n_);
+    if (r < 0)
+        r += n_;
+    return exp_[static_cast<std::size_t>(r)];
+}
+
+std::uint32_t
+GaloisField::log(std::uint32_t a) const
+{
+    SSDRR_ASSERT(a != 0 && a <= n_, "log of invalid element ", a);
+    return log_[a];
+}
+
+std::uint32_t
+GaloisField::pow(std::uint32_t a, std::uint64_t e) const
+{
+    if (a == 0)
+        return e == 0 ? 1 : 0;
+    const std::uint64_t le = (static_cast<std::uint64_t>(log_[a]) * e) % n_;
+    return exp_[static_cast<std::size_t>(le)];
+}
+
+} // namespace ssdrr::ecc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Galois field GF(2^m) arithmetic with log/antilog tables.
+ *
+ * Supports m in [3, 14]; m = 14 is what a t=72, 1-KiB-codeword BCH
+ * code (the paper's ECC design point, Section 2.4) requires, since
+ * the codeword of 8192 data bits + ~1008 parity bits exceeds the
+ * GF(2^13) length bound.
+ */
+
+#ifndef SSDRR_ECC_GF_HH
+#define SSDRR_ECC_GF_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ssdrr::ecc {
+
+class GaloisField
+{
+  public:
+    explicit GaloisField(int m);
+
+    int m() const { return m_; }
+    /** Multiplicative group order: 2^m - 1. */
+    std::uint32_t n() const { return n_; }
+    /** Field size: 2^m. */
+    std::uint32_t size() const { return n_ + 1; }
+
+    /** Addition = subtraction = XOR in characteristic 2. */
+    static std::uint32_t add(std::uint32_t a, std::uint32_t b)
+    {
+        return a ^ b;
+    }
+
+    std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+    std::uint32_t div(std::uint32_t a, std::uint32_t b) const;
+    std::uint32_t inv(std::uint32_t a) const;
+
+    /** alpha^i for any integer exponent (reduced mod n). */
+    std::uint32_t alphaPow(std::int64_t i) const;
+
+    /** Discrete log base alpha; a must be nonzero. */
+    std::uint32_t log(std::uint32_t a) const;
+
+    /** a^e for a in the field, e >= 0. */
+    std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+    /** Primitive polynomial used for this m (bitmask, degree m). */
+    std::uint32_t primitivePoly() const { return prim_; }
+
+  private:
+    int m_;
+    std::uint32_t n_;
+    std::uint32_t prim_;
+    std::vector<std::uint32_t> exp_; // alpha^i, i in [0, 2n)
+    std::vector<std::uint32_t> log_;
+};
+
+} // namespace ssdrr::ecc
+
+#endif // SSDRR_ECC_GF_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SSD-internal address types: logical page numbers and physical
+ * page coordinates across channels/dies/planes.
+ */
+
+#ifndef SSDRR_FTL_ADDRESS_HH
+#define SSDRR_FTL_ADDRESS_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ssdrr::ftl {
+
+/** Logical page number (one page = 16 KiB by default). */
+using Lpn = std::uint64_t;
+
+constexpr Lpn kInvalidLpn = std::numeric_limits<Lpn>::max();
+constexpr std::uint64_t kInvalidPpn =
+    std::numeric_limits<std::uint64_t>::max();
+
+/**
+ * Physical page coordinates. A "plane index" flattens
+ * (channel, die, plane) so the block manager can keep one allocator
+ * per plane; helpers convert back to the hierarchy.
+ */
+struct Ppn {
+    std::uint32_t plane = 0; ///< global plane index
+    std::uint32_t block = 0; ///< block within plane
+    std::uint32_t page = 0;  ///< page within block
+
+    bool
+    operator==(const Ppn &o) const
+    {
+        return plane == o.plane && block == o.block && page == o.page;
+    }
+};
+
+/** Layout parameters needed to flatten/unflatten addresses. */
+struct AddressLayout {
+    std::uint32_t channels = 4;
+    std::uint32_t diesPerChannel = 4;
+    std::uint32_t planesPerDie = 2;
+    std::uint32_t blocksPerPlane = 1888;
+    std::uint32_t pagesPerBlock = 576;
+
+    std::uint32_t
+    totalPlanes() const
+    {
+        return channels * diesPerChannel * planesPerDie;
+    }
+
+    std::uint32_t
+    totalDies() const
+    {
+        return channels * diesPerChannel;
+    }
+
+    std::uint64_t
+    pagesPerPlane() const
+    {
+        return static_cast<std::uint64_t>(blocksPerPlane) * pagesPerBlock;
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        return pagesPerPlane() * totalPlanes();
+    }
+
+    std::uint32_t
+    channelOf(const Ppn &p) const
+    {
+        return p.plane / (diesPerChannel * planesPerDie);
+    }
+
+    /** Die index global across the SSD (channel-major). */
+    std::uint32_t
+    dieOf(const Ppn &p) const
+    {
+        return p.plane / planesPerDie;
+    }
+
+    std::uint32_t
+    planeInDie(const Ppn &p) const
+    {
+        return p.plane % planesPerDie;
+    }
+
+    /** Flat block id across the SSD (stable hash key). */
+    std::uint64_t
+    flatBlock(const Ppn &p) const
+    {
+        return static_cast<std::uint64_t>(p.plane) * blocksPerPlane +
+               p.block;
+    }
+
+    /** Flat page id across the SSD. */
+    std::uint64_t
+    flatPage(const Ppn &p) const
+    {
+        return flatBlock(p) * pagesPerBlock + p.page;
+    }
+
+    Ppn
+    fromFlatPage(std::uint64_t fp) const
+    {
+        Ppn p;
+        p.page = static_cast<std::uint32_t>(fp % pagesPerBlock);
+        const std::uint64_t fb = fp / pagesPerBlock;
+        p.block = static_cast<std::uint32_t>(fb % blocksPerPlane);
+        p.plane = static_cast<std::uint32_t>(fb / blocksPerPlane);
+        return p;
+    }
+};
+
+} // namespace ssdrr::ftl
+
+#endif // SSDRR_FTL_ADDRESS_HH

@@ -1,0 +1,160 @@
+#include "ftl/block_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::ftl {
+
+BlockManager::BlockManager(const AddressLayout &layout, double base_pe_kilo)
+    : layout_(layout), base_pe_kilo_(base_pe_kilo),
+      planes_(layout.totalPlanes())
+{
+    SSDRR_ASSERT(base_pe_kilo >= 0.0, "negative base P/E cycles");
+    for (auto &pl : planes_) {
+        pl.blocks.resize(layout_.blocksPerPlane);
+        for (std::uint32_t b = 0; b < layout_.blocksPerPlane; ++b) {
+            Block &blk = pl.blocks[b];
+            blk.owner.assign(layout_.pagesPerBlock, kInvalidLpn);
+            blk.epoch.assign(layout_.pagesPerBlock, 0);
+            pl.freeList.push_back(b);
+        }
+    }
+}
+
+BlockManager::Block &
+BlockManager::block(std::uint32_t plane, std::uint32_t b)
+{
+    SSDRR_ASSERT(plane < planes_.size(), "plane out of range: ", plane);
+    SSDRR_ASSERT(b < layout_.blocksPerPlane, "block out of range: ", b);
+    return planes_[plane].blocks[b];
+}
+
+const BlockManager::Block &
+BlockManager::block(std::uint32_t plane, std::uint32_t b) const
+{
+    SSDRR_ASSERT(plane < planes_.size(), "plane out of range: ", plane);
+    SSDRR_ASSERT(b < layout_.blocksPerPlane, "block out of range: ", b);
+    return planes_[plane].blocks[b];
+}
+
+void
+BlockManager::openFrontier(Plane &pl)
+{
+    SSDRR_ASSERT(!pl.freeList.empty(),
+                 "plane out of free blocks (GC failed to keep up)");
+    pl.frontier = pl.freeList.front();
+    pl.freeList.pop_front();
+    pl.blocks[pl.frontier].inFreeList = false;
+}
+
+Ppn
+BlockManager::allocate(std::uint32_t plane, Lpn lpn, sim::Tick epoch)
+{
+    SSDRR_ASSERT(plane < planes_.size(), "plane out of range: ", plane);
+    Plane &pl = planes_[plane];
+    if (pl.frontier == kNoFrontier)
+        openFrontier(pl);
+
+    Block &blk = pl.blocks[pl.frontier];
+    SSDRR_ASSERT(blk.writePtr < layout_.pagesPerBlock,
+                 "frontier block already full");
+
+    Ppn ppn{plane, pl.frontier, blk.writePtr};
+    blk.owner[blk.writePtr] = lpn;
+    blk.epoch[blk.writePtr] = epoch;
+    ++blk.valid;
+    ++blk.writePtr;
+    if (blk.writePtr == layout_.pagesPerBlock)
+        pl.frontier = kNoFrontier;
+    return ppn;
+}
+
+std::size_t
+BlockManager::freeBlocks(std::uint32_t plane) const
+{
+    SSDRR_ASSERT(plane < planes_.size(), "plane out of range: ", plane);
+    return planes_[plane].freeList.size();
+}
+
+void
+BlockManager::invalidate(const Ppn &ppn)
+{
+    Block &blk = block(ppn.plane, ppn.block);
+    SSDRR_ASSERT(ppn.page < layout_.pagesPerBlock, "page out of range");
+    SSDRR_ASSERT(blk.owner[ppn.page] != kInvalidLpn,
+                 "double invalidate of plane ", ppn.plane, " block ",
+                 ppn.block, " page ", ppn.page);
+    blk.owner[ppn.page] = kInvalidLpn;
+    SSDRR_ASSERT(blk.valid > 0, "valid-count underflow");
+    --blk.valid;
+}
+
+bool
+BlockManager::isValid(const Ppn &ppn) const
+{
+    return block(ppn.plane, ppn.block).owner[ppn.page] != kInvalidLpn;
+}
+
+Lpn
+BlockManager::lpnOf(const Ppn &ppn) const
+{
+    return block(ppn.plane, ppn.block).owner[ppn.page];
+}
+
+std::uint32_t
+BlockManager::validCount(std::uint32_t plane, std::uint32_t b) const
+{
+    return block(plane, b).valid;
+}
+
+bool
+BlockManager::pickVictim(std::uint32_t plane, std::uint32_t &block_out) const
+{
+    SSDRR_ASSERT(plane < planes_.size(), "plane out of range: ", plane);
+    const Plane &pl = planes_[plane];
+    bool found = false;
+    std::uint32_t best_valid = 0;
+    for (std::uint32_t b = 0; b < layout_.blocksPerPlane; ++b) {
+        const Block &blk = pl.blocks[b];
+        if (blk.inFreeList || b == pl.frontier)
+            continue;
+        if (blk.writePtr < layout_.pagesPerBlock)
+            continue; // only fully-written blocks are GC candidates
+        if (!found || blk.valid < best_valid) {
+            found = true;
+            best_valid = blk.valid;
+            block_out = b;
+        }
+    }
+    return found;
+}
+
+void
+BlockManager::erase(std::uint32_t plane, std::uint32_t b)
+{
+    Block &blk = block(plane, b);
+    SSDRR_ASSERT(!blk.inFreeList, "erasing a free block");
+    SSDRR_ASSERT(blk.valid == 0, "erasing block with ", blk.valid,
+                 " valid pages");
+    blk.owner.assign(layout_.pagesPerBlock, kInvalidLpn);
+    blk.epoch.assign(layout_.pagesPerBlock, 0);
+    blk.writePtr = 0;
+    ++blk.eraseCount;
+    ++total_erases_;
+    blk.inFreeList = true;
+    planes_[plane].freeList.push_back(b);
+}
+
+double
+BlockManager::peKilo(std::uint32_t plane, std::uint32_t b) const
+{
+    return base_pe_kilo_ +
+           static_cast<double>(block(plane, b).eraseCount) / 1000.0;
+}
+
+sim::Tick
+BlockManager::epochOf(const Ppn &ppn) const
+{
+    return block(ppn.plane, ppn.block).epoch[ppn.page];
+}
+
+} // namespace ssdrr::ftl

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-plane block allocation, validity and wear tracking.
+ *
+ * Tracks, per physical block: the reverse map (page -> LPN), the
+ * write frontier, valid-page count, erase count, and per-page
+ * program epochs used to derive retention age. Pages programmed
+ * during preconditioning carry a sentinel epoch meaning "programmed
+ * baseRetention months ago" (the paper's aged cold data).
+ */
+
+#ifndef SSDRR_FTL_BLOCK_MANAGER_HH
+#define SSDRR_FTL_BLOCK_MANAGER_HH
+
+#include <deque>
+#include <vector>
+
+#include "ftl/address.hh"
+#include "sim/types.hh"
+
+namespace ssdrr::ftl {
+
+/** Epoch sentinel: page programmed before the simulation started. */
+constexpr sim::Tick kBaseEpoch = sim::kTickNever;
+
+class BlockManager
+{
+  public:
+    BlockManager(const AddressLayout &layout, double base_pe_kilo);
+
+    const AddressLayout &layout() const { return layout_; }
+
+    // ----- allocation -----
+
+    /**
+     * Allocate the next free page in @p plane (opens a new block
+     * from the free list when the current one fills).
+     * @param epoch program time (kBaseEpoch for preconditioning)
+     * @param lpn owner logical page
+     */
+    Ppn allocate(std::uint32_t plane, Lpn lpn, sim::Tick epoch);
+
+    /** Free blocks remaining in a plane (GC trigger input). */
+    std::size_t freeBlocks(std::uint32_t plane) const;
+
+    // ----- validity -----
+
+    void invalidate(const Ppn &ppn);
+    bool isValid(const Ppn &ppn) const;
+    Lpn lpnOf(const Ppn &ppn) const;
+    std::uint32_t validCount(std::uint32_t plane,
+                             std::uint32_t block) const;
+
+    /**
+     * Greedy victim selection: the fully-written, non-frontier block
+     * with the fewest valid pages. Returns false if no candidate.
+     */
+    bool pickVictim(std::uint32_t plane, std::uint32_t &block_out) const;
+
+    /** Erase a block: clears validity, bumps wear, returns to free. */
+    void erase(std::uint32_t plane, std::uint32_t block);
+
+    // ----- wear / retention -----
+
+    /** P/E cycles of a block in thousands (base + runtime erases). */
+    double peKilo(std::uint32_t plane, std::uint32_t block) const;
+
+    /** Program epoch of a page (kBaseEpoch if preconditioned). */
+    sim::Tick epochOf(const Ppn &ppn) const;
+
+    std::uint64_t totalErases() const { return total_erases_; }
+
+  private:
+    struct Block {
+        std::vector<Lpn> owner;      ///< page -> LPN (kInvalidLpn = dead)
+        std::vector<sim::Tick> epoch;
+        std::uint32_t writePtr = 0;
+        std::uint32_t valid = 0;
+        std::uint32_t eraseCount = 0;
+        bool inFreeList = true;
+    };
+
+    struct Plane {
+        std::vector<Block> blocks;
+        std::deque<std::uint32_t> freeList;
+        std::uint32_t frontier = kNoFrontier;
+    };
+
+    static constexpr std::uint32_t kNoFrontier = 0xFFFFFFFFu;
+
+    Block &block(std::uint32_t plane, std::uint32_t b);
+    const Block &block(std::uint32_t plane, std::uint32_t b) const;
+    void openFrontier(Plane &pl);
+
+    AddressLayout layout_;
+    double base_pe_kilo_;
+    std::vector<Plane> planes_;
+    std::uint64_t total_erases_ = 0;
+};
+
+} // namespace ssdrr::ftl
+
+#endif // SSDRR_FTL_BLOCK_MANAGER_HH

@@ -1,0 +1,135 @@
+#include "ftl/ftl.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::ftl {
+
+Ftl::Ftl(const AddressLayout &layout, std::uint64_t logical_pages,
+         double base_pe_kilo, double base_retention_months,
+         std::size_t gc_threshold)
+    : layout_(layout), map_(logical_pages), bm_(layout, base_pe_kilo),
+      base_retention_months_(base_retention_months),
+      gc_threshold_(gc_threshold)
+{
+    SSDRR_ASSERT(logical_pages > 0, "empty logical space");
+    SSDRR_ASSERT(logical_pages + layout.totalPlanes() *
+                     (gc_threshold + 2) * layout.pagesPerBlock <=
+                     layout.totalPages(),
+                 "logical capacity ", logical_pages,
+                 " leaves no over-provisioning headroom (total ",
+                 layout.totalPages(), ")");
+}
+
+std::uint32_t
+Ftl::nextPlane()
+{
+    const std::uint32_t p = plane_cursor_;
+    plane_cursor_ = (plane_cursor_ + 1) % layout_.totalPlanes();
+    return p;
+}
+
+void
+Ftl::precondition()
+{
+    SSDRR_ASSERT(map_.mappedCount() == 0, "precondition on used FTL");
+    for (Lpn lpn = 0; lpn < map_.logicalPages(); ++lpn) {
+        const std::uint32_t plane = nextPlane();
+        const Ppn ppn = bm_.allocate(plane, lpn, kBaseEpoch);
+        map_.bind(lpn, layout_.flatPage(ppn));
+    }
+}
+
+Ppn
+Ftl::translate(Lpn lpn) const
+{
+    return layout_.fromFlatPage(map_.lookup(lpn));
+}
+
+WriteAlloc
+Ftl::hostWrite(Lpn lpn, sim::Tick now)
+{
+    WriteAlloc out;
+    if (map_.mapped(lpn)) {
+        const Ppn old = layout_.fromFlatPage(map_.unbind(lpn));
+        bm_.invalidate(old);
+    }
+    const std::uint32_t plane = nextPlane();
+    out.ppn = bm_.allocate(plane, lpn, now);
+    map_.bind(lpn, layout_.flatPage(out.ppn));
+    maybeCollect(plane, now, out.gc);
+    return out;
+}
+
+void
+Ftl::maybeCollect(std::uint32_t plane, sim::Tick now,
+                  std::vector<GcWork> &out)
+{
+    // Keep collecting victims until the plane is healthy again; each
+    // iteration frees exactly one block (minus the pages the moves
+    // consume in destination blocks, which land on other planes'
+    // frontiers only if we spread them -- we keep moves in-plane to
+    // bound the interaction, like a per-plane background GC).
+    int guard = 0;
+    while (bm_.freeBlocks(plane) < gc_threshold_) {
+        SSDRR_ASSERT(++guard <= 8, "GC thrashing on plane ", plane);
+        std::uint32_t victim = 0;
+        if (!bm_.pickVictim(plane, victim)) {
+            SSDRR_WARN("plane ", plane, " has no GC candidate");
+            return;
+        }
+        GcWork work;
+        work.plane = plane;
+        work.victimBlock = victim;
+        for (std::uint32_t pg = 0; pg < layout_.pagesPerBlock; ++pg) {
+            const Ppn from{plane, victim, pg};
+            if (!bm_.isValid(from))
+                continue;
+            GcMove move;
+            move.lpn = bm_.lpnOf(from);
+            move.from = from;
+            // Valid data keeps its original program epoch? No: a GC
+            // move reprograms the data, so retention restarts now.
+            const sim::Tick epoch = now;
+            bm_.invalidate(from);
+            move.to = bm_.allocate(plane, move.lpn, epoch);
+            map_.bind(move.lpn, layout_.flatPage(move.to));
+            ++gc_page_moves_;
+            work.moves.push_back(move);
+        }
+        bm_.erase(plane, victim);
+        ++gc_collections_;
+        out.push_back(std::move(work));
+    }
+}
+
+void
+Ftl::commitGcMove(const GcMove &)
+{
+    // Mapping updates happen eagerly in maybeCollect (the simulator
+    // serializes FTL metadata updates); the hook exists for the SSD
+    // layer's accounting and future deferred-commit policies.
+}
+
+double
+Ftl::retentionMonths(const Ppn &ppn, sim::Tick now) const
+{
+    const sim::Tick epoch = bm_.epochOf(ppn);
+    if (epoch == kBaseEpoch)
+        return base_retention_months_;
+    SSDRR_ASSERT(now >= epoch, "page programmed in the future");
+    // One month ~ 2.63e6 seconds; trace runs last seconds, so
+    // runtime-written pages are effectively fresh.
+    return sim::toMsec(now - epoch) / (2.63e9);
+}
+
+nand::OperatingPoint
+Ftl::opPoint(const Ppn &ppn, sim::Tick now, double temperature_c) const
+{
+    nand::OperatingPoint op;
+    op.peKilo = bm_.peKilo(ppn.plane, ppn.block);
+    op.retentionMonths = retentionMonths(ppn, now);
+    op.temperatureC = temperature_c;
+    return op;
+}
+
+} // namespace ssdrr::ftl

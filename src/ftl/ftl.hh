@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Page-level FTL facade: translation, write allocation with
+ * channel/die/plane striping, preconditioning, and GC policy.
+ */
+
+#ifndef SSDRR_FTL_FTL_HH
+#define SSDRR_FTL_FTL_HH
+
+#include <optional>
+#include <vector>
+
+#include "ftl/address.hh"
+#include "ftl/block_manager.hh"
+#include "ftl/gc.hh"
+#include "ftl/mapping.hh"
+#include "nand/types.hh"
+#include "sim/types.hh"
+
+namespace ssdrr::ftl {
+
+/** Outcome of a host write: the new page plus any GC to perform. */
+struct WriteAlloc {
+    Ppn ppn;
+    std::vector<GcWork> gc;
+};
+
+class Ftl
+{
+  public:
+    /**
+     * @param layout physical layout
+     * @param logical_pages exported capacity in pages
+     * @param base_pe_kilo preconditioned wear (paper's PEC knob)
+     * @param base_retention_months preconditioned age (tRET knob)
+     * @param gc_threshold free blocks per plane below which GC runs
+     */
+    Ftl(const AddressLayout &layout, std::uint64_t logical_pages,
+        double base_pe_kilo, double base_retention_months,
+        std::size_t gc_threshold = 4);
+
+    const AddressLayout &layout() const { return layout_; }
+    BlockManager &blocks() { return bm_; }
+    const BlockManager &blocks() const { return bm_; }
+    const PageMap &map() const { return map_; }
+
+    /**
+     * Map every logical page to a physical page, striped across
+     * planes, with the base epoch (aged data). Called once before
+     * replaying a trace (the paper preconditions the simulated SSD
+     * to a given PEC / retention point).
+     */
+    void precondition();
+
+    /** Physical location of a logical page (host read path). */
+    Ppn translate(Lpn lpn) const;
+
+    /**
+     * Allocate a new physical page for @p lpn at time @p now,
+     * invalidating the old binding, and run GC if the target plane
+     * dropped below the free-block threshold.
+     */
+    WriteAlloc hostWrite(Lpn lpn, sim::Tick now);
+
+    /**
+     * Finish a GC move: rebind @p lpn from the victim to @p to.
+     * (The allocation itself happened in hostWrite's GC planning;
+     * this keeps the map consistent.)
+     */
+    void commitGcMove(const GcMove &move);
+
+    /** Operating point of a physical page at time @p now. */
+    nand::OperatingPoint opPoint(const Ppn &ppn, sim::Tick now,
+                                 double temperature_c) const;
+
+    /** Effective retention age in months of a page at @p now. */
+    double retentionMonths(const Ppn &ppn, sim::Tick now) const;
+
+    std::uint64_t logicalPages() const { return map_.logicalPages(); }
+    std::uint64_t gcCollections() const { return gc_collections_; }
+    std::uint64_t gcPageMoves() const { return gc_page_moves_; }
+
+  private:
+    /** Run GC on @p plane until it is back above the threshold. */
+    void maybeCollect(std::uint32_t plane, sim::Tick now,
+                      std::vector<GcWork> &out);
+    std::uint32_t nextPlane();
+
+    AddressLayout layout_;
+    PageMap map_;
+    BlockManager bm_;
+    double base_retention_months_;
+    std::size_t gc_threshold_;
+    std::uint32_t plane_cursor_ = 0;
+    std::uint64_t gc_collections_ = 0;
+    std::uint64_t gc_page_moves_ = 0;
+};
+
+} // namespace ssdrr::ftl
+
+#endif // SSDRR_FTL_FTL_HH

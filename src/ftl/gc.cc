@@ -1,0 +1,4 @@
+#include "ftl/gc.hh"
+
+// GC action types are header-only; the collection policy lives in
+// Ftl::maybeCollect (ftl.cc) because it needs the mapping tables.

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Greedy garbage collection policy.
+ *
+ * When a plane's free-block count drops below a threshold, the FTL
+ * relocates the valid pages of the min-valid victim block and erases
+ * it. GC emits explicit actions (page moves + an erase) so the SSD
+ * layer can execute them as real transactions that occupy dies and
+ * channels — GC reads of aged cold pages go through the same
+ * read-retry machinery as host reads.
+ */
+
+#ifndef SSDRR_FTL_GC_HH
+#define SSDRR_FTL_GC_HH
+
+#include <vector>
+
+#include "ftl/address.hh"
+
+namespace ssdrr::ftl {
+
+/** One page relocation: read @p from, program @p to, remap @p lpn. */
+struct GcMove {
+    Lpn lpn = kInvalidLpn;
+    Ppn from;
+    Ppn to;
+};
+
+/** Result of collecting one victim block. */
+struct GcWork {
+    std::uint32_t plane = 0;
+    std::uint32_t victimBlock = 0;
+    std::vector<GcMove> moves;
+};
+
+} // namespace ssdrr::ftl
+
+#endif // SSDRR_FTL_GC_HH

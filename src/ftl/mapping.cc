@@ -1,0 +1,47 @@
+#include "ftl/mapping.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::ftl {
+
+PageMap::PageMap(std::uint64_t logical_pages)
+    : l2p_(logical_pages, kInvalidPpn)
+{
+}
+
+bool
+PageMap::mapped(Lpn lpn) const
+{
+    SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
+    return l2p_[lpn] != kInvalidPpn;
+}
+
+std::uint64_t
+PageMap::lookup(Lpn lpn) const
+{
+    SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
+    SSDRR_ASSERT(l2p_[lpn] != kInvalidPpn, "reading unmapped LPN ", lpn);
+    return l2p_[lpn];
+}
+
+void
+PageMap::bind(Lpn lpn, std::uint64_t fp)
+{
+    SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
+    if (l2p_[lpn] == kInvalidPpn)
+        ++mapped_;
+    l2p_[lpn] = fp;
+}
+
+std::uint64_t
+PageMap::unbind(Lpn lpn)
+{
+    SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
+    const std::uint64_t old = l2p_[lpn];
+    SSDRR_ASSERT(old != kInvalidPpn, "unbinding unmapped LPN ", lpn);
+    l2p_[lpn] = kInvalidPpn;
+    --mapped_;
+    return old;
+}
+
+} // namespace ssdrr::ftl

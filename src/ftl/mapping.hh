@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Page-level logical-to-physical mapping table.
+ */
+
+#ifndef SSDRR_FTL_MAPPING_HH
+#define SSDRR_FTL_MAPPING_HH
+
+#include <vector>
+
+#include "ftl/address.hh"
+
+namespace ssdrr::ftl {
+
+class PageMap
+{
+  public:
+    explicit PageMap(std::uint64_t logical_pages);
+
+    std::uint64_t logicalPages() const { return l2p_.size(); }
+
+    bool mapped(Lpn lpn) const;
+
+    /** Physical flat page of @p lpn; panics if unmapped. */
+    std::uint64_t lookup(Lpn lpn) const;
+
+    /** Bind @p lpn to flat physical page @p fp. */
+    void bind(Lpn lpn, std::uint64_t fp);
+
+    /** Remove the binding of @p lpn (returns the old flat page). */
+    std::uint64_t unbind(Lpn lpn);
+
+    std::uint64_t mappedCount() const { return mapped_; }
+
+  private:
+    std::vector<std::uint64_t> l2p_;
+    std::uint64_t mapped_ = 0;
+};
+
+} // namespace ssdrr::ftl
+
+#endif // SSDRR_FTL_MAPPING_HH

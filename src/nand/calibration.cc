@@ -1,0 +1,5 @@
+#include "nand/calibration.hh"
+
+// Calibration is a plain constant aggregate; this translation unit
+// exists so the header stays a cheap include while leaving room for
+// future file-based calibration loading.

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Calibration constants for the NAND error model.
+ *
+ * We do not have the authors' 160 real 3D TLC chips, so the error
+ * model is an analytic surface fitted to every numeric anchor the
+ * paper publishes. Each constant below is annotated with the anchor
+ * it serves; tests/nand/error_model_anchor_test.cc re-derives the
+ * anchors from these constants.
+ *
+ * Anchors (all at 85C unless stated; PEC in thousands, t in months):
+ *  - N_RR(0,0) = 0; avg N_RR(2,12) = 19.9; avg N_RR(0,3) > 3;
+ *    P(N_RR >= 7 | 0,6) ~ 54.4%; min N_RR(1,3) >= 8       (Fig. 5, 3.1)
+ *  - M_ERR(0,3) = 15, M_ERR(1,12) = 30, M_ERR(2,12) = 35;
+ *    margin 44.4% of 72 at (2,12,30C); +5 errors at 30C, +3 at 55C
+ *                                                        (Fig. 7, 5.1)
+ *  - tPRE reducible 47% / tEVAL 10% / tDISCH 27% at (2,12);
+ *    dM(tEVAL 20%) = 30 even fresh; dM(tPRE 47%) at (2,12) is 1.6x
+ *    the (2,0) value; dM(tPRE 54%; 1,0) = 35; dM(tDISCH 20%; 1,0) = 8;
+ *    dM(tDISCH 7%) <= 4 anywhere                         (Fig. 8, 5.2.1)
+ *  - combined (tPRE 54%, tDISCH 20%) blows past capability (Fig. 9)
+ *  - temperature adds up to 7 errors at 30C, (2,12)      (Fig. 10)
+ *  - with a 14-bit safety margin, min tPRE reduction 40% (worst
+ *    condition) and max 54% (best condition)             (Fig. 11)
+ */
+
+#ifndef SSDRR_NAND_CALIBRATION_HH
+#define SSDRR_NAND_CALIBRATION_HH
+
+namespace ssdrr::nand {
+
+struct Calibration {
+    // ----- ECC design point (Section 2.4 / 7.1) -----
+    /** Correctable raw bit errors per 1-KiB codeword of the ECC the
+     *  SSD actually ships (the evaluation knob). */
+    double eccCapability = 72.0;
+    /** Capability the chip's retry table was designed against [73].
+     *  The per-step error decay is anchored here, so evaluating a
+     *  stronger or weaker ECC changes where the walk stops without
+     *  changing the chip physics. */
+    double designCapability = 72.0;
+
+    // ----- Retry-step count surface (Fig. 5) -----
+    /** N_avg = nRet*log1p(t/nTau)*(1 + nPeCoup*PEC) + nPe*PEC.
+     *  nRet is set so that P(N >= 7) = 54.4% at (0, 6 months) under
+     *  the log-normal per-page variation below (Fig. 5 dot-circle). */
+    double nRet = 4.12;
+    double nTau = 1.5;
+    double nPeCoup = 0.10;
+    double nPe = 4.20;
+    /** Log-normal sigma of per-page retry-count variation. */
+    double nSigma = 0.18;
+
+    // ----- Final-step error surface M_ERR (Fig. 7) -----
+    /** M_max = mBase + mPe*PEC + mRet*log1p(t/nTau) + temp adder. */
+    double mBase = 5.0;
+    double mPe = 5.0;
+    double mRet = 9.1;
+    /** Additive errors at lower temperature: mTemp*(85-T)/55. */
+    double mTemp = 5.0;
+    /** Mean final-step errors as a fraction of the max. */
+    double mMeanFrac = 0.62;
+    /** Log-normal sigma of per-page final-error variation. */
+    double mSigma = 0.18;
+
+    // ----- Per-step error decay (Fig. 4b) -----
+    /** Minimum per-step error decay ratio toward the final step. */
+    double decayRatio = 2.2;
+    /** E(N-1) >= failGuard * capability so step N-1 always fails. */
+    double failGuard = 1.06;
+    /** Error growth per step when overshooting past VOPT. */
+    double overshootRatio = 1.9;
+
+    // ----- Timing-reduction penalty dM_ERR (Figs. 8-10) -----
+    /** Condition scaling g = (1+gPe*PEC)*(1+gRet*log1p(t/nTau)). */
+    double gPe = 1.0 / 15.0;
+    double gRet = 0.273;
+    /** dM_pre = aPre*g*(exp(x/xPre)-1) + cliff. */
+    double aPre = 0.612;
+    double xPre = 0.135;
+    /** Precharge collapses below a minimum charge time. */
+    double cliffStart = 0.55;
+    double cliffSlope = 400.0;
+    /** dM_eval = aEval*g*(exp(x/xEval)-1). */
+    double aEval = 1.11;
+    double xEval = 0.06;
+    /** dM_disch = aDisch*g*(exp(x/xDisch)-1). */
+    double aDisch = 0.91;
+    double xDisch = 0.09;
+    /** Residual BL charge couples tDISCH cuts into the precharge. */
+    double dischCoupling = 0.35;
+    /** Temperature penalty on dM: min(tTemp*dM, tTempCap)*(85-T)/55
+     *  additional errors at temperature T. The cap reproduces
+     *  Fig. 10's bound: at most 7 additional errors at 30C even
+     *  under a 1-year retention age at 2K P/E cycles. */
+    double tTemp = 0.33;
+    double tTempCap = 7.0;
+
+    // ----- RPT construction (Fig. 11 / Section 6.2) -----
+    /** Safety margin in bits: 7 temperature + 7 outlier pages. */
+    double safetyMarginBits = 14.0;
+    /** Reduction grid granularity (paper steps: 6.7%). */
+    double reductionStep = 1.0 / 15.0;
+    /** Largest tPRE reduction ever attempted. */
+    double maxReduction = 0.60;
+
+    // ----- Retry table -----
+    int retryTableSteps = 44;
+
+    /** Worst-case operating condition prescribed by manufacturers
+     *  (1-year retention [24] at 1.5K P/E cycles [73]). */
+    static constexpr double worstPeKilo = 1.5;
+    static constexpr double worstRetentionMonths = 12.0;
+};
+
+} // namespace ssdrr::nand
+
+#endif // SSDRR_NAND_CALIBRATION_HH

@@ -1,0 +1,161 @@
+#include "nand/chip.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::nand {
+
+Chip::Chip(sim::EventQueue &eq, const Geometry &geom,
+           const TimingParams &timing, std::uint32_t chip_id)
+    : eq_(eq), geom_(geom), timing_(timing), chip_id_(chip_id),
+      dies_(geom.dies)
+{
+}
+
+Chip::Die &
+Chip::die(std::uint32_t d)
+{
+    SSDRR_ASSERT(d < dies_.size(), "die out of range: ", d);
+    return dies_[d];
+}
+
+const Chip::Die &
+Chip::die(std::uint32_t d) const
+{
+    SSDRR_ASSERT(d < dies_.size(), "die out of range: ", d);
+    return dies_[d];
+}
+
+bool
+Chip::dieIdle(std::uint32_t d) const
+{
+    return die(d).op == DieOp::None;
+}
+
+DieOp
+Chip::dieOp(std::uint32_t d) const
+{
+    return die(d).op;
+}
+
+sim::Tick
+Chip::dieFreeAt(std::uint32_t d) const
+{
+    const Die &s = die(d);
+    return s.op == DieOp::None ? eq_.now() : s.freeAt;
+}
+
+const TimingReduction &
+Chip::dieTiming(std::uint32_t d) const
+{
+    return die(d).timing;
+}
+
+sim::Tick
+Chip::tR(std::uint32_t d, PageType t) const
+{
+    return timing_.tR(t, die(d).timing);
+}
+
+void
+Chip::beginArrayOp(std::uint32_t d, DieOp op, sim::Tick dur, Callback done)
+{
+    Die &s = die(d);
+    SSDRR_ASSERT(s.op == DieOp::None, "die ", d, " of chip ", chip_id_,
+                 " already busy with op ", static_cast<int>(s.op));
+    s.op = op;
+    s.freeAt = eq_.now() + dur;
+    s.pendingDone = std::move(done);
+    s.completion = eq_.schedule(s.freeAt, [this, d] { complete(d); });
+}
+
+void
+Chip::complete(std::uint32_t d)
+{
+    Die &s = die(d);
+    SSDRR_ASSERT(s.op != DieOp::None, "spurious completion on die ", d);
+    s.op = DieOp::None;
+    s.completion = 0;
+    Callback cb = std::move(s.pendingDone);
+    s.pendingDone = nullptr;
+    if (cb)
+        cb();
+}
+
+void
+Chip::occupyRead(std::uint32_t d, sim::Tick until, Callback done)
+{
+    SSDRR_ASSERT(until >= eq_.now(), "read window ends in the past");
+    beginArrayOp(d, DieOp::Read, until - eq_.now(), std::move(done));
+}
+
+void
+Chip::beginProgram(std::uint32_t d, Callback done)
+{
+    beginArrayOp(d, DieOp::Program, timing_.tPROG, std::move(done));
+}
+
+void
+Chip::beginErase(std::uint32_t d, Callback done)
+{
+    beginArrayOp(d, DieOp::Erase, timing_.tBERS, std::move(done));
+}
+
+bool
+Chip::suspend(std::uint32_t d)
+{
+    Die &s = die(d);
+    if (s.op != DieOp::Program && s.op != DieOp::Erase)
+        return false;
+    SSDRR_ASSERT(!s.suspended, "die ", d, " already holds a suspended op");
+    const bool cancelled = eq_.cancel(s.completion);
+    SSDRR_ASSERT(cancelled, "could not cancel completion for suspend");
+    s.remaining = s.freeAt - eq_.now();
+    s.suspended = true;
+    s.suspendedOp = s.op;
+    s.suspendedDone = std::move(s.pendingDone);
+    s.pendingDone = nullptr;
+    s.op = DieOp::None;
+    s.completion = 0;
+    ++suspend_count_;
+    return true;
+}
+
+bool
+Chip::hasSuspended(std::uint32_t d) const
+{
+    return die(d).suspended;
+}
+
+void
+Chip::resume(std::uint32_t d, sim::Tick when)
+{
+    Die &s = die(d);
+    SSDRR_ASSERT(s.suspended, "resume without a suspended op on die ", d);
+    SSDRR_ASSERT(s.op == DieOp::None, "die busy at resume time");
+    SSDRR_ASSERT(when >= eq_.now(), "resume in the past");
+    const DieOp op = s.suspendedOp;
+    Callback done = std::move(s.suspendedDone);
+    const sim::Tick dur = s.remaining + timing_.tSUS;
+    s.suspended = false;
+    s.suspendedOp = DieOp::None;
+    s.suspendedDone = nullptr;
+    s.remaining = 0;
+    if (when == eq_.now()) {
+        beginArrayOp(d, op, dur, std::move(done));
+    } else {
+        eq_.schedule(when, [this, d, op, dur, done = std::move(done),
+                            this_when = when]() mutable {
+            beginArrayOp(d, op, dur, std::move(done));
+        });
+    }
+}
+
+void
+Chip::setFeature(std::uint32_t d, const TimingReduction &red)
+{
+    Die &s = die(d);
+    SSDRR_ASSERT(red.pre >= 0.0 && red.pre < 1.0, "bad feature value");
+    s.timing = red;
+}
+
+} // namespace ssdrr::nand

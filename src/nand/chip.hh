@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Command-level NAND chip model.
+ *
+ * Tracks per-die occupancy and the advanced-command state the paper
+ * relies on: CACHE READ pipelining (cache register), RESET of an
+ * in-flight operation, SET FEATURE read-timing overrides, and
+ * program/erase suspension. The transaction scheduler drives this
+ * model; the chip enforces die-level invariants (no overlapping
+ * array operations) and owns suspension bookkeeping.
+ */
+
+#ifndef SSDRR_NAND_CHIP_HH
+#define SSDRR_NAND_CHIP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nand/timing.hh"
+#include "nand/types.hh"
+#include "sim/event_queue.hh"
+
+namespace ssdrr::nand {
+
+/** Kind of array operation occupying a die. */
+enum class DieOp : std::uint8_t {
+    None,
+    Read,
+    Program,
+    Erase,
+};
+
+class Chip
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Chip(sim::EventQueue &eq, const Geometry &geom,
+         const TimingParams &timing, std::uint32_t chip_id);
+
+    const Geometry &geometry() const { return geom_; }
+    const TimingParams &timing() const { return timing_; }
+    std::uint32_t id() const { return chip_id_; }
+
+    /** True if the die array is free right now. */
+    bool dieIdle(std::uint32_t die) const;
+
+    /** Operation currently occupying the die array. */
+    DieOp dieOp(std::uint32_t die) const;
+
+    /** Tick at which the die array becomes free. */
+    sim::Tick dieFreeAt(std::uint32_t die) const;
+
+    /** Current SET FEATURE timing override of a die. */
+    const TimingReduction &dieTiming(std::uint32_t die) const;
+
+    /** Effective tR for a page type honoring the die's feature state. */
+    sim::Tick tR(std::uint32_t die, PageType t) const;
+
+    /**
+     * Occupy the die array for a read transaction until @p until.
+     * Read transactions manage their internal sense/cache-read
+     * pipeline themselves (see core::RetryController); the chip
+     * records the busy window and fires @p done at @p until.
+     */
+    void occupyRead(std::uint32_t die, sim::Tick until, Callback done);
+
+    /** Begin a program; completes after tPROG unless suspended. */
+    void beginProgram(std::uint32_t die, Callback done);
+
+    /** Begin an erase; completes after tBERS unless suspended. */
+    void beginErase(std::uint32_t die, Callback done);
+
+    /**
+     * Suspend the in-flight program/erase on @p die so reads can be
+     * served. @retval false if nothing suspendable is in flight.
+     */
+    bool suspend(std::uint32_t die);
+
+    /** True if the die has a suspended program/erase. */
+    bool hasSuspended(std::uint32_t die) const;
+
+    /**
+     * Resume the suspended operation at @p when; its completion is
+     * rescheduled for the remaining time plus the resume overhead.
+     */
+    void resume(std::uint32_t die, sim::Tick when);
+
+    /** Apply a SET FEATURE timing override (takes tSET on the die). */
+    void setFeature(std::uint32_t die, const TimingReduction &red);
+
+    /** Number of suspensions performed (stat). */
+    std::uint64_t suspendCount() const { return suspend_count_; }
+
+  private:
+    struct Die {
+        DieOp op = DieOp::None;
+        sim::Tick freeAt = 0;
+        sim::EventId completion = 0;
+        Callback pendingDone;
+        // Suspension state for program/erase.
+        sim::Tick remaining = 0;
+        bool suspended = false;
+        DieOp suspendedOp = DieOp::None;
+        Callback suspendedDone;
+        TimingReduction timing;
+    };
+
+    Die &die(std::uint32_t d);
+    const Die &die(std::uint32_t d) const;
+    void beginArrayOp(std::uint32_t d, DieOp op, sim::Tick dur,
+                      Callback done);
+    void complete(std::uint32_t d);
+
+    sim::EventQueue &eq_;
+    Geometry geom_;
+    TimingParams timing_;
+    std::uint32_t chip_id_;
+    std::vector<Die> dies_;
+    std::uint64_t suspend_count_ = 0;
+};
+
+} // namespace ssdrr::nand
+
+#endif // SSDRR_NAND_CHIP_HH

@@ -1,0 +1,21 @@
+#include "nand/retry_table.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::nand {
+
+RetryTable::RetryTable(int steps, double step_mv)
+    : steps_(steps), step_mv_(step_mv)
+{
+    SSDRR_ASSERT(steps > 0, "retry table needs at least one entry");
+    SSDRR_ASSERT(step_mv > 0.0, "retry step granularity must be positive");
+}
+
+double
+RetryTable::offsetMv(int k) const
+{
+    SSDRR_ASSERT(k >= 0 && k <= steps_, "retry step out of range: ", k);
+    return -step_mv_ * static_cast<double>(k);
+}
+
+} // namespace ssdrr::nand

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Manufacturer read-retry table model.
+ *
+ * Real chips ship a prescribed sequence of VREF offset vectors; each
+ * retry step applies the next entry, walking the read references
+ * toward lower voltages to chase retention-induced VTH shift
+ * (paper Figure 4(a)). We model the table as uniformly spaced
+ * downward offsets; what matters to the system study is the number
+ * of entries and the per-step granularity.
+ */
+
+#ifndef SSDRR_NAND_RETRY_TABLE_HH
+#define SSDRR_NAND_RETRY_TABLE_HH
+
+#include <cstdint>
+
+namespace ssdrr::nand {
+
+class RetryTable
+{
+  public:
+    /**
+     * @param steps number of retry entries the chip supports
+     * @param step_mv VREF shift per entry in millivolts
+     */
+    explicit RetryTable(int steps = 44, double step_mv = 30.0);
+
+    /** Number of retry entries available. */
+    int steps() const { return steps_; }
+
+    /** Per-step VREF granularity (mV). */
+    double stepMv() const { return step_mv_; }
+
+    /**
+     * VREF offset applied at retry step @p k (1-based; step 0 is the
+     * initial read with default VREF). Negative = shifted down.
+     */
+    double offsetMv(int k) const;
+
+  private:
+    int steps_;
+    double step_mv_;
+};
+
+} // namespace ssdrr::nand
+
+#endif // SSDRR_NAND_RETRY_TABLE_HH

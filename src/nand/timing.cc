@@ -1,0 +1,39 @@
+#include "nand/timing.hh"
+
+namespace ssdrr::nand {
+
+sim::Tick
+TimingParams::senseLatency(const TimingReduction &r) const
+{
+    SSDRR_ASSERT(r.pre >= 0.0 && r.pre < 1.0, "bad tPRE reduction ", r.pre);
+    SSDRR_ASSERT(r.eval >= 0.0 && r.eval < 1.0, "bad tEVAL reduction");
+    SSDRR_ASSERT(r.disch >= 0.0 && r.disch < 1.0, "bad tDISCH reduction");
+    const double pre = static_cast<double>(tPRE) * (1.0 - r.pre);
+    const double ev = static_cast<double>(tEVAL) * (1.0 - r.eval);
+    const double di = static_cast<double>(tDISCH) * (1.0 - r.disch);
+    return static_cast<sim::Tick>(pre + ev + di);
+}
+
+sim::Tick
+TimingParams::tR(PageType t, const TimingReduction &r) const
+{
+    return static_cast<sim::Tick>(nSense(t)) * senseLatency(r);
+}
+
+sim::Tick
+TimingParams::tRAvg(const TimingReduction &r) const
+{
+    // LSB + CSB + MSB = (2 + 3 + 2) senses over three page types.
+    return (tR(PageType::LSB, r) + tR(PageType::CSB, r) +
+            tR(PageType::MSB, r)) /
+           3;
+}
+
+double
+TimingParams::rho(const TimingReduction &r) const
+{
+    return static_cast<double>(senseLatency(r)) /
+           static_cast<double>(senseLatency());
+}
+
+} // namespace ssdrr::nand

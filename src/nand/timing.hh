@@ -1,0 +1,67 @@
+/**
+ * @file
+ * NAND flash timing parameters (paper Table 1 and Equation 1).
+ *
+ * The chip-level read latency is
+ *   tR = N_SENSE * (tPRE + tEVAL + tDISCH)
+ * with N_SENSE = {2, 3, 2} for {LSB, CSB, MSB} pages, giving
+ * tR = {78, 117, 78} us and the 90 us average quoted in Table 1.
+ */
+
+#ifndef SSDRR_NAND_TIMING_HH
+#define SSDRR_NAND_TIMING_HH
+
+#include "nand/types.hh"
+#include "sim/types.hh"
+
+namespace ssdrr::nand {
+
+/**
+ * Fractional reduction of the read-timing parameters, as applied by
+ * AR2 through SET FEATURE (0 = default timing, 0.4 = 40% shorter).
+ */
+struct TimingReduction {
+    double pre = 0.0;
+    double eval = 0.0;
+    double disch = 0.0;
+
+    bool
+    none() const
+    {
+        return pre == 0.0 && eval == 0.0 && disch == 0.0;
+    }
+};
+
+/** Timing parameter set for one NAND chip generation. */
+struct TimingParams {
+    sim::Tick tPRE = sim::usec(24);
+    sim::Tick tEVAL = sim::usec(5);
+    sim::Tick tDISCH = sim::usec(10);
+    sim::Tick tDMA = sim::usec(16);  ///< 16 KiB page at 1 Gb/s
+    sim::Tick tECC = sim::usec(20);  ///< 72 b / 1 KiB codeword engine
+    sim::Tick tPROG = sim::usec(700);
+    sim::Tick tBERS = sim::msec(5);
+    sim::Tick tSET = sim::usec(1);   ///< SET FEATURE
+    sim::Tick tRST = sim::usec(5);   ///< RESET during read
+    sim::Tick tSUS = sim::usec(20);  ///< program/erase suspend overhead
+    sim::Tick tCMD = sim::nsec(200); ///< command/address cycle overhead
+
+    /** Paper Table 1 values (the defaults above). */
+    static TimingParams table1() { return TimingParams{}; }
+
+    /** Latency of one sensing round, optionally with reduced timing. */
+    sim::Tick senseLatency(const TimingReduction &r = {}) const;
+
+    /** Chip-level page read latency tR (Equation 1). */
+    sim::Tick tR(PageType t, const TimingReduction &r = {}) const;
+
+    /** Average tR across the three page types (Table 1: ~90 us). */
+    sim::Tick tRAvg(const TimingReduction &r = {}) const;
+
+    /** rho = tR(reduced) / tR(default); Equation 5's reduction ratio. */
+    double rho(const TimingReduction &r) const;
+};
+
+} // namespace ssdrr::nand
+
+#endif // SSDRR_NAND_TIMING_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Basic NAND flash types: page kinds, operating conditions,
+ * physical geometry and addresses.
+ */
+
+#ifndef SSDRR_NAND_TYPES_HH
+#define SSDRR_NAND_TYPES_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::nand {
+
+/**
+ * Bit position of a TLC page within its wordline.
+ *
+ * TLC NAND stores three logical pages per wordline. The paper's
+ * footnote 14: N_SENSE = {2, 3, 2} for {LSB, CSB, MSB} pages under
+ * the standard Gray coding (Figure 3(b)).
+ */
+enum class PageType : std::uint8_t { LSB = 0, CSB = 1, MSB = 2 };
+
+/** Number of sensing rounds needed to read a page of this type. */
+constexpr int
+nSense(PageType t)
+{
+    switch (t) {
+      case PageType::LSB:
+        return 2;
+      case PageType::CSB:
+        return 3;
+      case PageType::MSB:
+        return 2;
+    }
+    return 3;
+}
+
+/** Page index within a block -> page type (LSB/CSB/MSB interleaved). */
+constexpr PageType
+pageTypeOf(std::uint32_t page_in_block)
+{
+    return static_cast<PageType>(page_in_block % 3);
+}
+
+constexpr const char *
+pageTypeName(PageType t)
+{
+    switch (t) {
+      case PageType::LSB:
+        return "LSB";
+      case PageType::CSB:
+        return "CSB";
+      case PageType::MSB:
+        return "MSB";
+    }
+    return "?";
+}
+
+/**
+ * Operating condition of a page at read time.
+ *
+ * The paper characterizes error behaviour over P/E-cycle count,
+ * retention age and operating temperature (Sections 4-5).
+ */
+struct OperatingPoint {
+    /** Program/erase cycles, in thousands (paper: 0, 1K, 2K). */
+    double peKilo = 0.0;
+    /** Effective retention age at 30C, in months (paper: 0..12). */
+    double retentionMonths = 0.0;
+    /** Operating temperature in Celsius (paper: 30, 55, 85). */
+    double temperatureC = 85.0;
+};
+
+/** Geometry of one NAND flash chip (paper Section 7.1 / Figure 1). */
+struct Geometry {
+    std::uint32_t dies = 4;
+    std::uint32_t planesPerDie = 2;
+    std::uint32_t blocksPerPlane = 1888;
+    std::uint32_t pagesPerBlock = 576;
+    std::uint32_t pageBytes = 16 * 1024;
+
+    std::uint64_t
+    blocksPerDie() const
+    {
+        return static_cast<std::uint64_t>(planesPerDie) * blocksPerPlane;
+    }
+
+    std::uint64_t
+    pagesPerDie() const
+    {
+        return blocksPerDie() * pagesPerBlock;
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        return static_cast<std::uint64_t>(dies) * pagesPerDie();
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return totalPages() * pageBytes;
+    }
+};
+
+/** Physical page address within one chip. */
+struct PhysAddr {
+    std::uint32_t die = 0;
+    std::uint32_t plane = 0;
+    std::uint32_t block = 0; ///< block within plane
+    std::uint32_t page = 0;  ///< page within block
+
+    /** Flat block id within the chip (for hashing / tables). */
+    std::uint64_t
+    flatBlock(const Geometry &g) const
+    {
+        return (static_cast<std::uint64_t>(die) * g.planesPerDie + plane) *
+                   g.blocksPerPlane +
+               block;
+    }
+
+    /** Flat page id within the chip. */
+    std::uint64_t
+    flatPage(const Geometry &g) const
+    {
+        return flatBlock(g) * g.pagesPerBlock + page;
+    }
+
+    PageType type() const { return pageTypeOf(page); }
+
+    bool
+    operator==(const PhysAddr &o) const
+    {
+        return die == o.die && plane == o.plane && block == o.block &&
+               page == o.page;
+    }
+};
+
+} // namespace ssdrr::nand
+
+#endif // SSDRR_NAND_TYPES_HH

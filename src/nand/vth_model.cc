@@ -1,0 +1,193 @@
+#include "nand/vth_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::nand {
+
+namespace {
+
+// Fresh 48-layer 3D TLC distribution parameters (volts). The erased
+// state is wide and negative; programmed states are tight and evenly
+// spaced, as in Figure 3(b).
+constexpr double kErasedMean = -2.5;
+constexpr double kErasedSigma = 0.48;
+constexpr double kP1Mean = 0.0;
+constexpr double kStateGap = 0.8;
+constexpr double kProgSigma = 0.11;
+
+// Aging coefficients. Retention shifts each programmed state toward
+// the neutral level proportionally to its charge, on a log time
+// scale (Section 2.3: retention loss dominates in 3D NAND).
+constexpr double kNeutral = -3.0;
+constexpr double kShiftPerLog = 0.035;
+constexpr double kShiftPeCoupling = 0.10; // per 1K P/E cycles
+constexpr double kWidenPerLog = 0.06;
+constexpr double kWidenPerPeKilo = 0.22;
+constexpr double kRetTau = 1.5; // months
+
+double
+gaussTail(double x)
+{
+    // P(N(0,1) > x)
+    return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+} // namespace
+
+const std::array<std::uint8_t, VthModel::kStates> VthModel::kGrayCode = {
+    // (MSB << 2) | (CSB << 1) | LSB, per Figure 3(b):
+    // E=111, P1=110, P2=100, P3=000, P4=010, P5=011, P6=001, P7=101.
+    // Bit flips between adjacent states: LSB at boundaries {0, 4},
+    // CSB at {1, 3, 5}, MSB at {2, 6} - matching N_SENSE = {2, 3, 2}.
+    0b111, 0b110, 0b100, 0b000, 0b010, 0b011, 0b001, 0b101};
+
+VthModel::VthModel()
+{
+    mean_[0] = kErasedMean;
+    sigma_[0] = kErasedSigma;
+    for (int s = 1; s < kStates; ++s) {
+        mean_[s] = kP1Mean + kStateGap * (s - 1);
+        sigma_[s] = kProgSigma;
+    }
+}
+
+void
+VthModel::age(const OperatingPoint &op)
+{
+    const double logt = std::log1p(op.retentionMonths / kRetTau);
+    const double pe = op.peKilo;
+    for (int s = 1; s < kStates; ++s) {
+        const double charge = mean_[s] - kNeutral;
+        mean_[s] -= kShiftPerLog * charge * logt *
+                    (1.0 + kShiftPeCoupling * pe);
+        sigma_[s] *= (1.0 + kWidenPerLog * logt) *
+                     (1.0 + kWidenPerPeKilo * pe);
+    }
+    // The erased state drifts slightly upward with disturb/cycling.
+    mean_[0] += 0.02 * pe;
+    sigma_[0] *= (1.0 + 0.05 * pe);
+}
+
+double
+VthModel::stateMean(int state) const
+{
+    SSDRR_ASSERT(state >= 0 && state < kStates, "bad state ", state);
+    return mean_[state];
+}
+
+double
+VthModel::stateSigma(int state) const
+{
+    SSDRR_ASSERT(state >= 0 && state < kStates, "bad state ", state);
+    return sigma_[state];
+}
+
+double
+VthModel::defaultVref(int b) const
+{
+    SSDRR_ASSERT(b >= 0 && b < kBoundaries, "bad boundary ", b);
+    // Fresh-distribution midpoints, like the factory default VREF.
+    VthModel fresh;
+    return 0.5 * (fresh.mean_[b] + fresh.mean_[b + 1]);
+}
+
+double
+VthModel::boundaryErrorProb(int b, double vref) const
+{
+    SSDRR_ASSERT(b >= 0 && b < kBoundaries, "bad boundary ", b);
+    // A cell in state b read as > vref, or a cell in state b+1 read
+    // as < vref; each state holds 1/8 of random-data cells.
+    const double lo = gaussTail((vref - mean_[b]) / sigma_[b]);
+    const double hi = gaussTail((mean_[b + 1] - vref) / sigma_[b + 1]);
+    return (lo + hi) / static_cast<double>(kStates);
+}
+
+const std::vector<int> &
+VthModel::boundariesOf(PageType t)
+{
+    // Derived from kGrayCode: boundary b is sensed by the page whose
+    // bit flips between states b and b+1.
+    static const std::vector<int> lsb = {0, 4};
+    static const std::vector<int> csb = {1, 3, 5};
+    static const std::vector<int> msb = {2, 6};
+    switch (t) {
+      case PageType::LSB:
+        return lsb;
+      case PageType::CSB:
+        return csb;
+      case PageType::MSB:
+        return msb;
+    }
+    return csb;
+}
+
+int
+VthModel::bitOf(PageType t, int state)
+{
+    SSDRR_ASSERT(state >= 0 && state < kStates, "bad state ", state);
+    const std::uint8_t code = kGrayCode[state];
+    switch (t) {
+      case PageType::MSB:
+        return (code >> 2) & 1;
+      case PageType::CSB:
+        return (code >> 1) & 1;
+      case PageType::LSB:
+        return code & 1;
+    }
+    return 0;
+}
+
+double
+VthModel::pageRber(PageType t, double offset_v) const
+{
+    double p = 0.0;
+    for (int b : boundariesOf(t))
+        p += boundaryErrorProb(b, defaultVref(b) + offset_v);
+    return p;
+}
+
+double
+VthModel::optimalVref(int b) const
+{
+    // Golden-section search between adjacent means; the overlap
+    // integrand is unimodal in vref.
+    double lo = mean_[b];
+    double hi = mean_[b + 1];
+    if (lo > hi)
+        std::swap(lo, hi);
+    constexpr double kGr = 0.6180339887498949;
+    double a = lo, c = hi;
+    double x1 = c - kGr * (c - a);
+    double x2 = a + kGr * (c - a);
+    double f1 = boundaryErrorProb(b, x1);
+    double f2 = boundaryErrorProb(b, x2);
+    for (int it = 0; it < 80 && (c - a) > 1e-6; ++it) {
+        if (f1 < f2) {
+            c = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = c - kGr * (c - a);
+            f1 = boundaryErrorProb(b, x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + kGr * (c - a);
+            f2 = boundaryErrorProb(b, x2);
+        }
+    }
+    return 0.5 * (a + c);
+}
+
+double
+VthModel::pageRberAtOpt(PageType t) const
+{
+    double p = 0.0;
+    for (int b : boundariesOf(t))
+        p += boundaryErrorProb(b, optimalVref(b));
+    return p;
+}
+
+} // namespace ssdrr::nand

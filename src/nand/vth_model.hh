@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Physical threshold-voltage distribution model for 3D TLC NAND.
+ *
+ * Eight Gaussian VTH states per cell (Figure 3(b)); retention loss
+ * shifts the programmed states downward and widens them, P/E cycling
+ * widens them further (Section 2.3). The Gray code of Figure 3(b)
+ * determines which read-reference boundaries each page type senses:
+ * LSB -> {V0, V4}, CSB -> {V1, V3, V5}, MSB -> {V2, V6}, matching
+ * N_SENSE = {2, 3, 2}.
+ *
+ * This model backs the distribution-level studies (Figure 4(a)-like
+ * sweeps, VOPT search, retry-table walks in voltage space); the
+ * system-level simulator uses the calibrated ErrorModel instead.
+ */
+
+#ifndef SSDRR_NAND_VTH_MODEL_HH
+#define SSDRR_NAND_VTH_MODEL_HH
+
+#include <array>
+#include <vector>
+
+#include "nand/types.hh"
+
+namespace ssdrr::nand {
+
+class VthModel
+{
+  public:
+    static constexpr int kStates = 8;
+    static constexpr int kBoundaries = 7;
+
+    /** Gray coding of Figure 3(b): state -> (MSB, LSB, CSB) bits. */
+    static const std::array<std::uint8_t, kStates> kGrayCode;
+
+    VthModel();
+
+    /**
+     * Age the distributions: retention loss shifts programmed states
+     * down (proportionally to their level) and widens them; P/E
+     * cycling widens and couples with retention.
+     */
+    void age(const OperatingPoint &op);
+
+    /** Mean VTH of a state (volts). */
+    double stateMean(int state) const;
+    /** Std-dev of a state (volts). */
+    double stateSigma(int state) const;
+
+    /** Default (fresh-optimal) read reference for boundary b. */
+    double defaultVref(int b) const;
+
+    /**
+     * Probability that a random cell is misread across boundary
+     * @p b when sensing with reference voltage @p vref. Only
+     * adjacent-state overlap is considered.
+     */
+    double boundaryErrorProb(int b, double vref) const;
+
+    /**
+     * RBER of a page of type @p t when each of its boundaries is
+     * sensed at default VREF + @p offset_v.
+     */
+    double pageRber(PageType t, double offset_v) const;
+
+    /** Numerically locate VOPT of boundary @p b (golden search). */
+    double optimalVref(int b) const;
+
+    /** RBER of a page when every boundary sits at its own VOPT. */
+    double pageRberAtOpt(PageType t) const;
+
+    /** Boundaries sensed by a page type (Gray code derived). */
+    static const std::vector<int> &boundariesOf(PageType t);
+
+    /** Bit of @p page type stored by a cell in @p state. */
+    static int bitOf(PageType t, int state);
+
+  private:
+    std::array<double, kStates> mean_;
+    std::array<double, kStates> sigma_;
+};
+
+} // namespace ssdrr::nand
+
+#endif // SSDRR_NAND_VTH_MODEL_HH

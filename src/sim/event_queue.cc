@@ -1,0 +1,97 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::sim {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    SSDRR_ASSERT(when >= now_, "scheduling into the past: when=", when,
+                 " now=", now_);
+    SSDRR_ASSERT(cb, "scheduling a null callback");
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id, std::move(cb)});
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    return schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= next_id_)
+        return false;
+    // We cannot remove from the heap directly; remember the id and
+    // skip it when popped. The set stays small because entries are
+    // erased when their heap node surfaces.
+    if (cancelled_.count(id))
+        return false;
+    // Only mark as cancelled if it could still be pending. We cannot
+    // know cheaply whether it already ran, so callers must not cancel
+    // events they know have executed; pending() stays correct because
+    // popRunnable erases stale markers.
+    cancelled_.insert(id);
+    return true;
+}
+
+std::size_t
+EventQueue::pending() const
+{
+    // cancelled_ may contain ids that already ran only if the caller
+    // cancelled an executed event, which the API forbids; under the
+    // contract every cancelled id is still in the heap.
+    return heap_.size() - cancelled_.size();
+}
+
+bool
+EventQueue::popRunnable(Entry &out)
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        auto it = cancelled_.find(e.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        out = std::move(e);
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick until)
+{
+    Entry e;
+    while (!heap_.empty()) {
+        if (heap_.top().when > until)
+            break;
+        if (!popRunnable(e))
+            break;
+        SSDRR_ASSERT(e.when >= now_, "time went backwards");
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+    return now_;
+}
+
+bool
+EventQueue::step()
+{
+    Entry e;
+    if (!popRunnable(e))
+        return false;
+    now_ = e.when;
+    ++executed_;
+    e.cb();
+    return true;
+}
+
+} // namespace ssdrr::sim

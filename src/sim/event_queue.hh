@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single-threaded event queue keyed by (tick, sequence). Events
+ * scheduled at the same tick execute in scheduling order, which keeps
+ * whole-SSD simulations deterministic. Cancellation is supported via
+ * EventId (used by program/erase suspension and the PR2 RESET path).
+ */
+
+#ifndef SSDRR_SIM_EVENT_QUEUE_HH
+#define SSDRR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ssdrr::sim {
+
+/** Handle for cancelling a scheduled event. */
+using EventId = std::uint64_t;
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute time @p when (must be >= now()).
+     * @return handle usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb at now() + @p delay. */
+    EventId scheduleAfter(Tick delay, Callback cb);
+
+    /**
+     * Cancel a pending event.
+     * @retval true if the event was pending and is now cancelled.
+     * @retval false if it already ran, was cancelled, or never existed.
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const;
+
+    /** True if no runnable events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /**
+     * Run events until the queue drains or @p until is reached.
+     * Events scheduled exactly at @p until are executed.
+     * @return the tick of the last executed event (now()).
+     */
+    Tick run(Tick until = kTickNever);
+
+    /** Execute at most one event. @retval false if queue was empty. */
+    bool step();
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    bool popRunnable(Entry &out);
+
+    Tick now_ = 0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace ssdrr::sim
+
+#endif // SSDRR_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,52 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ssdrr::sim {
+
+namespace {
+std::atomic<std::uint64_t> warn_counter{0};
+} // namespace
+
+/**
+ * Panic throws (rather than abort()) so unit tests can assert that
+ * invariant violations are detected. Outside tests the exception is
+ * uncaught and terminates the process with a diagnostic.
+ */
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    warn_counter.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+std::uint64_t
+warnCount()
+{
+    return warn_counter.load(std::memory_order_relaxed);
+}
+
+} // namespace ssdrr::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 fatal/panic idiom.
+ *
+ * panic():  an internal invariant was violated (a simulator bug).
+ * fatal():  the simulation cannot continue due to user error
+ *           (bad configuration, invalid arguments).
+ * warn():   something is off but the simulation can proceed.
+ */
+
+#ifndef SSDRR_SIM_LOGGING_HH
+#define SSDRR_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ssdrr::sim {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Number of warn() calls so far (useful in tests). */
+std::uint64_t warnCount();
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace ssdrr::sim
+
+#define SSDRR_PANIC(...)                                                    \
+    ::ssdrr::sim::panicImpl(__FILE__, __LINE__,                             \
+                            ::ssdrr::sim::detail::format(__VA_ARGS__))
+
+#define SSDRR_FATAL(...)                                                    \
+    ::ssdrr::sim::fatalImpl(__FILE__, __LINE__,                             \
+                            ::ssdrr::sim::detail::format(__VA_ARGS__))
+
+#define SSDRR_WARN(...)                                                     \
+    ::ssdrr::sim::warnImpl(__FILE__, __LINE__,                              \
+                           ::ssdrr::sim::detail::format(__VA_ARGS__))
+
+/** Assert a simulator invariant; always enabled (not tied to NDEBUG). */
+#define SSDRR_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            SSDRR_PANIC("assertion failed: " #cond " ",                     \
+                        ::ssdrr::sim::detail::format(__VA_ARGS__));         \
+        }                                                                   \
+    } while (0)
+
+#endif // SSDRR_SIM_LOGGING_HH

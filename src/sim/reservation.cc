@@ -1,0 +1,73 @@
+#include "sim/reservation.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::sim {
+
+Tick
+ReservationTimeline::acquire(Tick earliest, Tick dur)
+{
+    SSDRR_ASSERT(dur > 0, "zero-length reservation");
+
+    Tick start = earliest;
+    // Walk intervals that could overlap [start, start + dur); the
+    // first interval ending after `earliest` is the first candidate
+    // conflict.
+    auto it = busy_.begin();
+    // Skip intervals entirely before `earliest` quickly: the first
+    // interval whose end > earliest.
+    if (!busy_.empty()) {
+        it = busy_.upper_bound(earliest);
+        if (it != busy_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > earliest)
+                it = prev; // overlaps earliest
+        }
+    }
+    while (it != busy_.end() && it->first < start + dur) {
+        if (it->second > start)
+            start = it->second; // bump past this interval
+        ++it;
+    }
+
+    // Insert [start, start + dur), merging with neighbours.
+    Tick s = start;
+    Tick e = start + dur;
+    auto next = busy_.lower_bound(s);
+    if (next != busy_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->second == s) { // merge left
+            s = prev->first;
+            busy_.erase(prev);
+        }
+    }
+    next = busy_.lower_bound(e);
+    if (next != busy_.end() && next->first == e) { // merge right
+        e = next->second;
+        busy_.erase(next);
+    }
+    busy_[s] = e;
+
+    total_busy_ += dur;
+    ++grants_;
+    return start;
+}
+
+Tick
+ReservationTimeline::horizon() const
+{
+    return busy_.empty() ? 0 : busy_.rbegin()->second;
+}
+
+void
+ReservationTimeline::releaseBefore(Tick now)
+{
+    for (auto it = busy_.begin(); it != busy_.end();) {
+        if (it->second <= now)
+            it = busy_.erase(it);
+        else
+            break;
+    }
+}
+
+} // namespace ssdrr::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Gap-filling reservation timeline for serially-shared resources.
+ *
+ * A read-retry plan reserves several short windows (DMA bursts, ECC
+ * decodes) spread over a long interval. Tracking only a busy-until
+ * watermark would let one plan blockade the resource between its own
+ * windows; this timeline keeps the set of reserved intervals and
+ * grants the first gap that fits, which models a work-conserving
+ * arbiter interleaving independent transactions.
+ */
+
+#ifndef SSDRR_SIM_RESERVATION_HH
+#define SSDRR_SIM_RESERVATION_HH
+
+#include <cstdint>
+#include <map>
+
+#include "sim/types.hh"
+
+namespace ssdrr::sim {
+
+class ReservationTimeline
+{
+  public:
+    /**
+     * Reserve @p dur starting no earlier than @p earliest; the
+     * earliest gap that fits wins. Adjacent reservations are merged.
+     * @return granted start tick.
+     */
+    Tick acquire(Tick earliest, Tick dur);
+
+    /** End of the last reservation (0 if none). */
+    Tick horizon() const;
+
+    /** Total reserved time. */
+    Tick totalBusy() const { return total_busy_; }
+
+    /** Number of grants issued. */
+    std::uint64_t grants() const { return grants_; }
+
+    /**
+     * Drop bookkeeping for intervals that end at or before @p now
+     * (completed traffic can no longer conflict). Keeps the map
+     * small during long simulations.
+     */
+    void releaseBefore(Tick now);
+
+    /** Number of tracked intervals (for tests). */
+    std::size_t intervals() const { return busy_.size(); }
+
+  private:
+    std::map<Tick, Tick> busy_; ///< start -> end, disjoint, sorted
+    Tick total_busy_ = 0;
+    std::uint64_t grants_ = 0;
+};
+
+} // namespace ssdrr::sim
+
+#endif // SSDRR_SIM_RESERVATION_HH

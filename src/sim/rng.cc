@@ -1,0 +1,198 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::sim {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t v)
+{
+    std::uint64_t s = v;
+    return splitmix64(s);
+}
+
+std::uint64_t
+hashStream(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+           std::uint64_t c, std::uint64_t d)
+{
+    std::uint64_t h = seed;
+    h = mix64(h ^ mix64(a + 0x1'0001));
+    h = mix64(h ^ mix64(b + 0x2'0003));
+    h = mix64(h ^ mix64(c + 0x4'0005));
+    h = mix64(h ^ mix64(d + 0x8'0007));
+    return h;
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed all 256 bits of state from splitmix64 per the xoshiro
+    // authors' recommendation; guards against the all-zero state.
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9E3779B97F4A7C15ull;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    SSDRR_ASSERT(n > 0, "uniformInt requires n > 0");
+    // Rejection-free for our purposes; modulo bias is negligible for
+    // n << 2^64 and tests only rely on coarse uniformity.
+    return next() % n;
+}
+
+double
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double a = 6.283185307179586476925286766559 * u2;
+    cached_normal_ = r * std::sin(a);
+    has_cached_normal_ = true;
+    return r * std::cos(a);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::exponential(double rate)
+{
+    SSDRR_ASSERT(rate > 0.0, "exponential requires rate > 0");
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 1e-300);
+    return -std::log(u) / rate;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    SSDRR_ASSERT(p > 0.0 && p <= 1.0, "geometric requires 0 < p <= 1");
+    if (p >= 1.0)
+        return 0;
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 1e-300);
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+namespace {
+
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    SSDRR_ASSERT(n > 0, "Zipf population must be positive");
+    SSDRR_ASSERT(theta >= 0.0 && theta < 1.0,
+                 "Zipf skew must be in [0, 1), got ", theta);
+    zeta2_ = zeta(2, theta);
+    zetan_ = zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t
+ZipfGenerator::operator()(Rng &rng) const
+{
+    if (theta_ == 0.0)
+        return rng.uniformInt(n_);
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+}
+
+} // namespace ssdrr::sim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * A xoshiro256** generator seeded via splitmix64. Every stochastic
+ * component takes an explicit Rng (or a derived stream) so whole-SSD
+ * simulations are bit-reproducible given a seed. hashStream() derives
+ * independent streams from structural coordinates (chip, block, page),
+ * which is how per-page process variation stays stable regardless of
+ * access order.
+ */
+
+#ifndef SSDRR_SIM_RNG_HH
+#define SSDRR_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace ssdrr::sim {
+
+/** splitmix64 step; also used as a mixing/hash function. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless 64-bit mix of a value (finalizer of splitmix64). */
+std::uint64_t mix64(std::uint64_t v);
+
+/** Combine structural coordinates into a stream seed. */
+std::uint64_t hashStream(std::uint64_t seed, std::uint64_t a,
+                         std::uint64_t b = 0, std::uint64_t c = 0,
+                         std::uint64_t d = 0);
+
+/**
+ * xoshiro256** pseudo-random generator with distribution helpers.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Raw 64 uniform bits. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n) for n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double normal();
+
+    /** Normal with mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /** Log-normal: exp(normal(mu, sigma)). */
+    double logNormal(double mu, double sigma);
+
+    /** Exponential with given rate (mean 1/rate). */
+    double exponential(double rate);
+
+    /** Geometric-like integer >= 0 with success probability p. */
+    std::uint64_t geometric(double p);
+
+    /** Bernoulli trial. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+/**
+ * Bounded Zipfian sampler over [0, n) with skew theta in [0, 1).
+ *
+ * Implements the Gray et al. quantile method used by YCSB; theta = 0
+ * degenerates to uniform, theta ~0.99 is the YCSB default hot-spot
+ * distribution.
+ */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(std::uint64_t n, double theta);
+
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2_;
+};
+
+} // namespace ssdrr::sim
+
+#endif // SSDRR_SIM_RNG_HH

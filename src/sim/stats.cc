@@ -1,0 +1,128 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::sim {
+
+void
+Accumulator::add(double v)
+{
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    // Welford's online variance update.
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+void
+Histogram::add(double v)
+{
+    samples_.push_back(v);
+    sorted_ = false;
+}
+
+double
+Histogram::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : samples_)
+        s += v;
+    return s / static_cast<double>(samples_.size());
+}
+
+double
+Histogram::percentile(double p) const
+{
+    SSDRR_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const auto n = samples_.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return samples_[rank - 1];
+}
+
+double
+Histogram::min() const
+{
+    return percentile(0.0001);
+}
+
+double
+Histogram::max() const
+{
+    return percentile(100.0);
+}
+
+void
+Histogram::reset()
+{
+    samples_.clear();
+    sorted_ = false;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    stats_[name] = value;
+}
+
+void
+StatSet::inc(const std::string &name, double delta)
+{
+    stats_[name] += delta;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    SSDRR_ASSERT(it != stats_.end(), "unknown stat: ", name);
+    return it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return stats_.count(name) != 0;
+}
+
+std::string
+StatSet::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : stats_)
+        os << prefix << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace ssdrr::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lightweight statistics collection (counters, accumulators,
+ * histograms) used across the simulator for response-time and
+ * utilization reporting.
+ */
+
+#ifndef SSDRR_SIM_STATS_HH
+#define SSDRR_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ssdrr::sim {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; tracks count/sum/min/max/mean/variance. */
+class Accumulator
+{
+  public:
+    void add(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Population variance (Welford). */
+    double variance() const { return count_ ? m2_ / count_ : 0.0; }
+    double stddev() const;
+
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Histogram over double samples with exact percentile queries.
+ *
+ * Samples are stored; percentile() sorts lazily. Intended for offline
+ * reporting of per-request response times (up to a few million
+ * samples), not for per-event hot paths.
+ */
+class Histogram
+{
+  public:
+    void add(double v);
+
+    std::uint64_t count() const { return samples_.size(); }
+    double mean() const;
+    /** p in [0, 100]; nearest-rank percentile. */
+    double percentile(double p) const;
+    double min() const;
+    double max() const;
+
+    void reset();
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/** Named stat registry for end-of-run dumps. */
+class StatSet
+{
+  public:
+    void set(const std::string &name, double value);
+    void inc(const std::string &name, double delta = 1.0);
+    double get(const std::string &name) const;
+    bool has(const std::string &name) const;
+
+    std::string dump(const std::string &prefix = "") const;
+
+    const std::map<std::string, double> &all() const { return stats_; }
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+} // namespace ssdrr::sim
+
+#endif // SSDRR_SIM_STATS_HH

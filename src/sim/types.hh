@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental simulation types and time units.
+ *
+ * Simulated time is measured in integer nanoseconds. All latency
+ * parameters in the paper are given in microseconds or milliseconds
+ * (Table 1); the helpers below convert to ticks.
+ */
+
+#ifndef SSDRR_SIM_TYPES_HH
+#define SSDRR_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ssdrr::sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel meaning "never" / "not scheduled". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick nsec(double ns) { return static_cast<Tick>(ns); }
+
+/** Convert microseconds to ticks. */
+constexpr Tick usec(double us) { return static_cast<Tick>(us * 1e3); }
+
+/** Convert milliseconds to ticks. */
+constexpr Tick msec(double ms) { return static_cast<Tick>(ms * 1e6); }
+
+/** Convert seconds to ticks. */
+constexpr Tick sec(double s) { return static_cast<Tick>(s * 1e9); }
+
+/** Ticks to microseconds (for reporting). */
+constexpr double toUsec(Tick t) { return static_cast<double>(t) / 1e3; }
+
+/** Ticks to milliseconds (for reporting). */
+constexpr double toMsec(Tick t) { return static_cast<double>(t) / 1e6; }
+
+} // namespace ssdrr::sim
+
+#endif // SSDRR_SIM_TYPES_HH

@@ -1,0 +1,65 @@
+#include "ssd/config.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::ssd {
+
+Config
+Config::small()
+{
+    Config c;
+    c.blocksPerPlane = 64;
+    return c;
+}
+
+ftl::AddressLayout
+Config::layout() const
+{
+    ftl::AddressLayout l;
+    l.channels = channels;
+    l.diesPerChannel = diesPerChannel;
+    l.planesPerDie = planesPerDie;
+    l.blocksPerPlane = blocksPerPlane;
+    l.pagesPerBlock = pagesPerBlock;
+    return l;
+}
+
+nand::Geometry
+Config::chipGeometry() const
+{
+    nand::Geometry g;
+    g.dies = diesPerChannel;
+    g.planesPerDie = planesPerDie;
+    g.blocksPerPlane = blocksPerPlane;
+    g.pagesPerBlock = pagesPerBlock;
+    g.pageBytes = pageBytes;
+    return g;
+}
+
+std::uint64_t
+Config::totalPages() const
+{
+    return layout().totalPages();
+}
+
+std::uint64_t
+Config::logicalPages() const
+{
+    return static_cast<std::uint64_t>(
+        static_cast<double>(totalPages()) * userFraction);
+}
+
+void
+Config::validate() const
+{
+    SSDRR_ASSERT(channels > 0 && diesPerChannel > 0 && planesPerDie > 0,
+                 "degenerate geometry");
+    SSDRR_ASSERT(blocksPerPlane > gcThreshold + 2,
+                 "too few blocks per plane for GC headroom");
+    SSDRR_ASSERT(userFraction > 0.0 && userFraction < 0.97,
+                 "userFraction must leave over-provisioning, got ",
+                 userFraction);
+    SSDRR_ASSERT(eccCapability > 0.0, "ECC capability must be positive");
+}
+
+} // namespace ssdrr::ssd

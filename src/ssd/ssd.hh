@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Top-level SSD model: host interface, FTL, TSU, chips, channels,
+ * ECC engines and the configured read-retry mechanism.
+ *
+ * This is the system the paper evaluates in Section 7: a trace is
+ * replayed against an SSD preconditioned to a (PEC, retention)
+ * operating point, and the per-request response time is collected
+ * under each retry mechanism.
+ */
+
+#ifndef SSDRR_SSD_SSD_HH
+#define SSDRR_SSD_SSD_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mechanism.hh"
+#include "core/retry_controller.hh"
+#include "core/rpt.hh"
+#include "ecc/engine.hh"
+#include "ftl/ftl.hh"
+#include "nand/chip.hh"
+#include "nand/error_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "ssd/channel.hh"
+#include "ssd/config.hh"
+#include "ssd/transaction.hh"
+#include "ssd/tsu.hh"
+#include "workload/trace.hh"
+
+namespace ssdrr::ssd {
+
+/** One host I/O request (page-granular). */
+struct HostRequest {
+    std::uint64_t id = 0;
+    sim::Tick arrival = 0;
+    ftl::Lpn lpn = 0;      ///< first logical page
+    std::uint32_t pages = 1;
+    bool isRead = true;
+};
+
+/** End-of-run result summary. */
+struct RunStats {
+    double avgReadResponseUs = 0.0;
+    double avgWriteResponseUs = 0.0;
+    double avgResponseUs = 0.0;
+    double p99ResponseUs = 0.0;
+    double maxResponseUs = 0.0;
+    double avgRetrySteps = 0.0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t suspensions = 0;
+    std::uint64_t gcCollections = 0;
+    std::uint64_t timingFallbacks = 0;
+    std::uint64_t readFailures = 0;
+    /** Read-reclaim rewrites issued (refresh policy, Section 9). */
+    std::uint64_t refreshes = 0;
+    double simulatedMs = 0.0;
+    /** Mean busy fraction of the channel buses over the run. */
+    double channelUtilization = 0.0;
+    /** Mean busy fraction of the per-channel ECC engines. */
+    double eccUtilization = 0.0;
+};
+
+class Ssd
+{
+  public:
+    Ssd(const Config &cfg, core::Mechanism mech);
+
+    const Config &config() const { return cfg_; }
+    core::Mechanism mechanism() const { return mech_; }
+    sim::EventQueue &eventQueue() { return eq_; }
+    const nand::ErrorModel &errorModel() const { return model_; }
+    const core::Rpt &rpt() const { return rpt_; }
+    ftl::Ftl &ftl() { return ftl_; }
+
+    /** Submit one request at the current simulated time. */
+    void submit(const HostRequest &req);
+
+    /**
+     * Replay a whole trace: schedules every record at its arrival
+     * time, runs the event loop to completion, and returns the run
+     * summary.
+     */
+    RunStats replay(const workload::Trace &trace);
+
+    /** Drain all outstanding work (after manual submit()s). */
+    void drain();
+
+    /** Current aggregated statistics. */
+    RunStats stats() const;
+
+    /** Response-time distribution in microseconds. */
+    const sim::Histogram &responseTimes() const { return resp_all_; }
+    const sim::Histogram &readResponseTimes() const { return resp_read_; }
+
+  private:
+    struct Pending {
+        sim::Tick arrival = 0;
+        std::uint32_t remaining = 0;
+        bool isRead = true;
+    };
+
+    void buildReadTxn(ftl::Lpn lpn, std::uint64_t host_id, TxnKind kind,
+                      std::uint64_t gc_tag = 0);
+    /** Read-reclaim: rewrite @p lpn to reset its retention age. */
+    void refreshPage(ftl::Lpn lpn);
+    void buildWriteTxn(ftl::Lpn lpn, std::uint64_t host_id);
+    void scheduleGc(std::vector<ftl::GcWork> work);
+    void finishHostPage(std::uint64_t host_id);
+    Txn txnFor(const ftl::Ppn &ppn);
+
+    Config cfg_;
+    core::Mechanism mech_;
+    sim::EventQueue eq_;
+    nand::ErrorModel model_;
+    core::Rpt rpt_;
+    core::RetryController rc_;
+    ftl::Ftl ftl_;
+    std::vector<std::unique_ptr<nand::Chip>> chips_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<std::unique_ptr<ecc::EccEngine>> eccs_;
+    std::unique_ptr<Tsu> tsu_;
+
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    struct GcState {
+        std::uint32_t pendingMoves = 0;
+        std::uint32_t plane = 0;
+        std::uint32_t block = 0;
+    };
+    std::unordered_map<std::uint64_t, GcState> gc_;
+    std::unordered_map<std::uint64_t, ftl::Ppn> gc_dest_;
+    std::uint64_t next_txn_id_ = 1;
+    std::uint64_t next_gc_tag_ = 1;
+
+    sim::Histogram resp_all_;
+    sim::Histogram resp_read_;
+    sim::Histogram resp_write_;
+    sim::Accumulator retry_steps_;
+    std::uint64_t timing_fallbacks_ = 0;
+    std::uint64_t read_failures_ = 0;
+    std::uint64_t refreshes_ = 0;
+    std::uint64_t host_reads_ = 0;
+    std::uint64_t host_writes_ = 0;
+};
+
+} // namespace ssdrr::ssd
+
+#endif // SSDRR_SSD_SSD_HH

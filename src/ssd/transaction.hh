@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SSD-internal transaction types scheduled by the TSU.
+ */
+
+#ifndef SSDRR_SSD_TRANSACTION_HH
+#define SSDRR_SSD_TRANSACTION_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "ftl/address.hh"
+#include "nand/error_model.hh"
+#include "nand/types.hh"
+
+namespace ssdrr::ssd {
+
+constexpr std::uint64_t kNoHost = std::numeric_limits<std::uint64_t>::max();
+
+enum class TxnKind : std::uint8_t {
+    HostRead,
+    HostWrite,
+    GcRead,
+    GcWrite,
+    Erase,
+};
+
+constexpr bool
+isRead(TxnKind k)
+{
+    return k == TxnKind::HostRead || k == TxnKind::GcRead;
+}
+
+constexpr bool
+isWrite(TxnKind k)
+{
+    return k == TxnKind::HostWrite || k == TxnKind::GcWrite;
+}
+
+struct Txn {
+    TxnKind kind = TxnKind::HostRead;
+    std::uint64_t id = 0;
+    std::uint64_t hostId = kNoHost; ///< owning host request, if any
+    std::uint64_t gcTag = 0;        ///< links GC moves to their erase
+    ftl::Lpn lpn = ftl::kInvalidLpn;
+    ftl::Ppn ppn;
+    std::uint32_t channel = 0;
+    std::uint32_t dieGlobal = 0; ///< channel * diesPerChannel + die
+    nand::PageType type = nand::PageType::LSB;
+    nand::OperatingPoint op;        ///< reads only
+    nand::PageErrorProfile profile; ///< reads only
+};
+
+} // namespace ssdrr::ssd
+
+#endif // SSDRR_SSD_TRANSACTION_HH

@@ -1,0 +1,181 @@
+#include "ssd/tsu.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::ssd {
+
+Tsu::Tsu(sim::EventQueue &eq, const Config &cfg,
+         std::vector<nand::Chip *> chips, std::vector<Channel *> channels,
+         std::vector<ecc::EccEngine *> eccs,
+         const core::RetryController &rc)
+    : eq_(eq), cfg_(cfg), chips_(std::move(chips)),
+      channels_(std::move(channels)), eccs_(std::move(eccs)), rc_(rc),
+      dies_(cfg.totalDies())
+{
+    SSDRR_ASSERT(chips_.size() == cfg_.channels, "one chip per channel");
+    SSDRR_ASSERT(channels_.size() == cfg_.channels, "channel count");
+    SSDRR_ASSERT(eccs_.size() == cfg_.channels, "one ECC per channel");
+}
+
+nand::Chip &
+Tsu::chipOf(std::uint32_t die_global)
+{
+    return *chips_[die_global / cfg_.diesPerChannel];
+}
+
+std::uint32_t
+Tsu::dieLocal(std::uint32_t die_global) const
+{
+    return die_global % cfg_.diesPerChannel;
+}
+
+std::size_t
+Tsu::backlog() const
+{
+    std::size_t n = 0;
+    for (const auto &d : dies_)
+        n += d.reads.size() + d.writes.size() + d.erases.size();
+    return n;
+}
+
+void
+Tsu::enqueue(Txn txn)
+{
+    SSDRR_ASSERT(txn.dieGlobal < dies_.size(), "die out of range");
+    const std::uint32_t g = txn.dieGlobal;
+    DieQueue &q = dies_[g];
+    switch (txn.kind) {
+      case TxnKind::HostRead:
+        // Host reads jump ahead of GC reads (out-of-order read
+        // priority, [36, 86]).
+        q.reads.push_back(std::move(txn));
+        break;
+      case TxnKind::GcRead:
+        q.reads.push_back(std::move(txn));
+        break;
+      case TxnKind::HostWrite:
+      case TxnKind::GcWrite:
+        q.writes.push_back(std::move(txn));
+        break;
+      case TxnKind::Erase:
+        q.erases.push_back(std::move(txn));
+        break;
+    }
+    dispatch(g);
+}
+
+void
+Tsu::dispatch(std::uint32_t g)
+{
+    DieQueue &q = dies_[g];
+    nand::Chip &chip = chipOf(g);
+    const std::uint32_t die = dieLocal(g);
+
+    if (q.busy) {
+        // Suspension: a waiting read may preempt an in-flight
+        // program/erase on this die.
+        if (cfg_.suspension && !q.reads.empty() &&
+            (chip.dieOp(die) == nand::DieOp::Program ||
+             chip.dieOp(die) == nand::DieOp::Erase) &&
+            !chip.hasSuspended(die)) {
+            chip.suspend(die);
+            Txn txn = std::move(q.reads.front());
+            q.reads.pop_front();
+            execRead(g, std::move(txn));
+        }
+        return;
+    }
+
+    if (!q.reads.empty()) {
+        Txn txn = std::move(q.reads.front());
+        q.reads.pop_front();
+        q.busy = true;
+        execRead(g, std::move(txn));
+    } else if (!q.writes.empty()) {
+        Txn txn = std::move(q.writes.front());
+        q.writes.pop_front();
+        q.busy = true;
+        execWrite(g, std::move(txn));
+    } else if (!q.erases.empty()) {
+        Txn txn = std::move(q.erases.front());
+        q.erases.pop_front();
+        q.busy = true;
+        execErase(g, std::move(txn));
+    } else if (chip.hasSuspended(die)) {
+        // Nothing pending: resume the suspended program/erase.
+        q.busy = true;
+        chip.resume(die, eq_.now());
+    }
+}
+
+void
+Tsu::execRead(std::uint32_t g, Txn txn)
+{
+    ++reads_;
+    nand::Chip &chip = chipOf(g);
+    const std::uint32_t die = dieLocal(g);
+    Channel &ch = *channels_[txn.channel];
+    ecc::EccEngine &ecc = *eccs_[txn.channel];
+
+    // Completed traffic can no longer conflict with new reservations;
+    // dropping it keeps the timelines small over long runs.
+    ch.releaseBefore(eq_.now());
+    ecc.releaseBefore(eq_.now());
+
+    const core::ReadPlan plan =
+        rc_.planRead(eq_.now(), txn.type, txn.profile, txn.op, ch, ecc);
+
+    chip.occupyRead(die, plan.dieEnd, [this, g] { dieFreed(g); });
+
+    eq_.schedule(plan.completion,
+                 [this, txn = std::move(txn), plan] {
+                     if (read_done_)
+                         read_done_(txn, plan);
+                 });
+}
+
+void
+Tsu::execWrite(std::uint32_t g, Txn txn)
+{
+    ++writes_;
+    Channel &ch = *channels_[txn.channel];
+    // Data-in transfer over the channel, then the program pulse.
+    const sim::Tick dma_start = ch.acquire(eq_.now(), cfg_.timing.tDMA);
+    const sim::Tick dma_end = dma_start + cfg_.timing.tDMA;
+    eq_.schedule(dma_end, [this, g, txn = std::move(txn)] {
+        nand::Chip &chip = chipOf(g);
+        const std::uint32_t die = dieLocal(g);
+        chip.beginProgram(die, [this, g, txn] {
+            dies_[g].busy = false;
+            if (write_done_)
+                write_done_(txn);
+            dispatch(g);
+        });
+    });
+}
+
+void
+Tsu::execErase(std::uint32_t g, Txn txn)
+{
+    ++erases_;
+    nand::Chip &chip = chipOf(g);
+    const std::uint32_t die = dieLocal(g);
+    chip.beginErase(die, [this, g, txn = std::move(txn)] {
+        dies_[g].busy = false;
+        if (erase_done_)
+            erase_done_(txn);
+        dispatch(g);
+    });
+}
+
+void
+Tsu::dieFreed(std::uint32_t g)
+{
+    // A read's die window ended. If more reads wait, run them;
+    // otherwise resume any suspended program/erase; otherwise the
+    // die goes idle.
+    dies_[g].busy = false;
+    dispatch(g);
+}
+
+} // namespace ssdrr::ssd

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Transaction Scheduling Unit (TSU).
+ *
+ * Out-of-order scheduler in the style of high-end SSD controllers
+ * (paper Section 7.2 Baseline, [36, 86]): per-die queues with read
+ * priority over writes and erases, plus program/erase suspension
+ * ([50, 91]) so a queued read can preempt an in-flight program or
+ * erase on its die.
+ */
+
+#ifndef SSDRR_SSD_TSU_HH
+#define SSDRR_SSD_TSU_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/retry_controller.hh"
+#include "ecc/engine.hh"
+#include "nand/chip.hh"
+#include "ssd/channel.hh"
+#include "ssd/config.hh"
+#include "ssd/transaction.hh"
+
+namespace ssdrr::ssd {
+
+class Tsu
+{
+  public:
+    /** Called when a read's data is available (with its plan). */
+    using ReadDone = std::function<void(const Txn &, const core::ReadPlan &)>;
+    /** Called when a program or erase completes. */
+    using TxnDone = std::function<void(const Txn &)>;
+
+    Tsu(sim::EventQueue &eq, const Config &cfg,
+        std::vector<nand::Chip *> chips, std::vector<Channel *> channels,
+        std::vector<ecc::EccEngine *> eccs,
+        const core::RetryController &rc);
+
+    void onReadDone(ReadDone cb) { read_done_ = std::move(cb); }
+    void onWriteDone(TxnDone cb) { write_done_ = std::move(cb); }
+    void onEraseDone(TxnDone cb) { erase_done_ = std::move(cb); }
+
+    /** Queue a transaction and try to dispatch its die. */
+    void enqueue(Txn txn);
+
+    /** Sum of queued (not yet dispatched) transactions. */
+    std::size_t backlog() const;
+
+    std::uint64_t dispatchedReads() const { return reads_; }
+    std::uint64_t dispatchedWrites() const { return writes_; }
+    std::uint64_t dispatchedErases() const { return erases_; }
+
+  private:
+    struct DieQueue {
+        std::deque<Txn> reads;
+        std::deque<Txn> writes;
+        std::deque<Txn> erases;
+        bool busy = false;
+    };
+
+    nand::Chip &chipOf(std::uint32_t die_global);
+    std::uint32_t dieLocal(std::uint32_t die_global) const;
+
+    void dispatch(std::uint32_t die_global);
+    void execRead(std::uint32_t die_global, Txn txn);
+    void execWrite(std::uint32_t die_global, Txn txn);
+    void execErase(std::uint32_t die_global, Txn txn);
+    void dieFreed(std::uint32_t die_global);
+
+    sim::EventQueue &eq_;
+    Config cfg_;
+    std::vector<nand::Chip *> chips_;
+    std::vector<Channel *> channels_;
+    std::vector<ecc::EccEngine *> eccs_;
+    const core::RetryController &rc_;
+
+    std::vector<DieQueue> dies_;
+    ReadDone read_done_;
+    TxnDone write_done_;
+    TxnDone erase_done_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t erases_ = 0;
+};
+
+} // namespace ssdrr::ssd
+
+#endif // SSDRR_SSD_TSU_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Umbrella header for the ssdrr library.
+ *
+ * Pulls in the public API surface a downstream user needs to run
+ * the paper's experiments: configure an SSD, pick a read-retry
+ * mechanism, generate or load a workload, replay it, and inspect
+ * the characterization models behind the results.
+ *
+ *   #include "ssdrr.hh"
+ *
+ * Layering (each header is also usable on its own):
+ *   sim/      event kernel, RNG, stats
+ *   nand/     chip substrate + calibrated error surfaces
+ *   ecc/      BCH codec + engine model
+ *   ftl/      translation, wear and GC
+ *   ssd/      controller, scheduler, top-level Ssd
+ *   core/     the paper's mechanisms (PR2 / AR2 / ...) and RPT
+ *   workload/ traces, Table-2 suites, MSR CSV I/O
+ */
+
+#ifndef SSDRR_SSDRR_HH
+#define SSDRR_SSDRR_HH
+
+#include "core/mechanism.hh"
+#include "core/predictive.hh"
+#include "core/retry_controller.hh"
+#include "core/rpt.hh"
+#include "ecc/bch.hh"
+#include "ecc/engine.hh"
+#include "ftl/ftl.hh"
+#include "nand/chip.hh"
+#include "nand/error_model.hh"
+#include "nand/retry_table.hh"
+#include "nand/timing.hh"
+#include "nand/vth_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "ssd/config.hh"
+#include "ssd/ssd.hh"
+#include "workload/export.hh"
+#include "workload/msr_parser.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace.hh"
+
+#endif // SSDRR_SSDRR_HH

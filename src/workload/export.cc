@@ -1,0 +1,87 @@
+#include "workload/export.hh"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::workload {
+
+void
+writeMsrTrace(std::ostream &out, const Trace &trace,
+              const MsrExportOptions &opt)
+{
+    SSDRR_ASSERT(opt.pageBytes > 0, "page size must be positive");
+    for (const TraceRecord &r : trace.records()) {
+        // Arrival ticks are nanoseconds; filetime counts 100 ns.
+        const std::uint64_t ts = opt.baseFiletime + r.arrival / 100;
+        const std::uint64_t offset =
+            r.lpn * static_cast<std::uint64_t>(opt.pageBytes);
+        const std::uint64_t size =
+            static_cast<std::uint64_t>(r.pages) * opt.pageBytes;
+        out << ts << ',' << opt.host << ',' << opt.disk << ','
+            << (r.isRead ? "Read" : "Write") << ',' << offset << ','
+            << size << ",0\n";
+    }
+}
+
+void
+saveMsrTrace(const std::string &path, const Trace &trace,
+             const MsrExportOptions &opt)
+{
+    std::ofstream out(path);
+    if (!out)
+        SSDRR_FATAL("cannot create trace file: ", path);
+    writeMsrTrace(out, trace, opt);
+}
+
+TraceProfile
+profileTrace(const Trace &trace)
+{
+    TraceProfile p;
+    p.records = trace.size();
+    if (trace.empty())
+        return p;
+
+    p.readRatio = trace.readRatio();
+    p.coldRatio = trace.coldRatio();
+    p.footprintPages = trace.footprintPages();
+    p.durationSec = sim::toMsec(trace.duration()) / 1000.0;
+    p.avgIops = p.durationSec > 0.0
+                    ? static_cast<double>(p.records) / p.durationSec
+                    : 0.0;
+
+    std::unordered_set<std::uint64_t> read_pages, written_pages;
+    std::uint64_t total_pages = 0;
+    for (const TraceRecord &r : trace.records()) {
+        total_pages += r.pages;
+        p.maxPagesPerRequest = std::max(p.maxPagesPerRequest, r.pages);
+        auto &set = r.isRead ? read_pages : written_pages;
+        for (std::uint32_t i = 0; i < r.pages; ++i)
+            set.insert(r.lpn + i);
+    }
+    p.avgPagesPerRequest =
+        static_cast<double>(total_pages) / static_cast<double>(p.records);
+    p.distinctReadPages = read_pages.size();
+    p.distinctWrittenPages = written_pages.size();
+    return p;
+}
+
+std::string
+formatProfile(const TraceProfile &p, const std::string &name)
+{
+    std::ostringstream os;
+    os << "trace " << name << ": " << p.records << " requests over "
+       << p.durationSec << " s (" << p.avgIops << " IOPS)\n"
+       << "  read ratio " << p.readRatio << ", cold ratio "
+       << p.coldRatio << "\n"
+       << "  request size avg " << p.avgPagesPerRequest << " pages, max "
+       << p.maxPagesPerRequest << "\n"
+       << "  footprint " << p.footprintPages << " pages ("
+       << p.distinctReadPages << " read, " << p.distinctWrittenPages
+       << " written distinct)\n";
+    return os.str();
+}
+
+} // namespace ssdrr::workload

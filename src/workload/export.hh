@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Trace export and summary statistics.
+ *
+ * Writes traces back to the MSR-Cambridge CSV format [76] (so
+ * synthetic Table-2 traces can be consumed by other simulators, and
+ * parser/exporter round-trip exactly), and computes the summary
+ * profile a storage engineer inspects before a run: rates, size
+ * distribution, and read/write mix over time.
+ */
+
+#ifndef SSDRR_WORKLOAD_EXPORT_HH
+#define SSDRR_WORKLOAD_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace ssdrr::workload {
+
+struct MsrExportOptions {
+    std::uint32_t pageBytes = 16 * 1024;
+    /** Hostname column value. */
+    std::string host = "ssdrr";
+    /** Disk-number column value. */
+    std::uint32_t disk = 0;
+    /** Timestamp of the first record (Windows filetime, 100 ns). */
+    std::uint64_t baseFiletime = 128166372000000000ull;
+};
+
+/** Write @p trace as MSR CSV rows to @p out. */
+void writeMsrTrace(std::ostream &out, const Trace &trace,
+                   const MsrExportOptions &opt = {});
+
+/** Write to a file path; fatal if the file cannot be created. */
+void saveMsrTrace(const std::string &path, const Trace &trace,
+                  const MsrExportOptions &opt = {});
+
+/** Summary profile of a trace. */
+struct TraceProfile {
+    std::uint64_t records = 0;
+    double readRatio = 0.0;
+    double coldRatio = 0.0;
+    double avgIops = 0.0;       ///< records per second of trace time
+    double avgPagesPerRequest = 0.0;
+    std::uint32_t maxPagesPerRequest = 0;
+    std::uint64_t footprintPages = 0;
+    std::uint64_t distinctReadPages = 0;
+    std::uint64_t distinctWrittenPages = 0;
+    double durationSec = 0.0;
+};
+
+/** Compute the summary profile of @p trace. */
+TraceProfile profileTrace(const Trace &trace);
+
+/** Render the profile as a human-readable multi-line string. */
+std::string formatProfile(const TraceProfile &profile,
+                          const std::string &name);
+
+} // namespace ssdrr::workload
+
+#endif // SSDRR_WORKLOAD_EXPORT_HH

@@ -1,0 +1,100 @@
+#include "workload/msr_parser.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::workload {
+
+namespace {
+
+bool
+splitCsv(const std::string &line, std::vector<std::string> &fields)
+{
+    fields.clear();
+    std::stringstream ss(line);
+    std::string f;
+    while (std::getline(ss, f, ','))
+        fields.push_back(f);
+    return fields.size() >= 6;
+}
+
+} // namespace
+
+Trace
+parseMsrTrace(std::istream &in, const std::string &name,
+              const MsrParseOptions &opt)
+{
+    std::vector<TraceRecord> recs;
+    std::vector<std::string> fields;
+    std::string line;
+    std::uint64_t skipped = 0;
+    std::uint64_t t0 = 0;
+    bool have_t0 = false;
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (!splitCsv(line, fields)) {
+            ++skipped;
+            continue;
+        }
+        try {
+            const std::uint64_t ts = std::stoull(fields[0]);
+            const std::string &type = fields[3];
+            const std::uint64_t offset = std::stoull(fields[4]);
+            const std::uint64_t size = std::stoull(fields[5]);
+            if (size == 0) {
+                ++skipped;
+                continue;
+            }
+            TraceRecord r;
+            const bool is_read = type == "Read" || type == "read";
+            const bool is_write = type == "Write" || type == "write";
+            if (!is_read && !is_write) {
+                ++skipped;
+                continue;
+            }
+            r.isRead = is_read;
+            if (!have_t0) {
+                t0 = ts;
+                have_t0 = true;
+            }
+            // Windows filetime is in 100 ns units.
+            const std::uint64_t rel = opt.rebaseTime ? ts - t0 : ts;
+            r.arrival = rel * 100;
+            r.lpn = offset / opt.pageBytes;
+            const std::uint64_t end =
+                (offset + size + opt.pageBytes - 1) / opt.pageBytes;
+            r.pages = static_cast<std::uint32_t>(
+                std::max<std::uint64_t>(1, end - r.lpn));
+            recs.push_back(r);
+            if (opt.maxRecords && recs.size() >= opt.maxRecords)
+                break;
+        } catch (const std::exception &) {
+            ++skipped;
+        }
+    }
+
+    if (skipped)
+        SSDRR_WARN("trace ", name, ": skipped ", skipped,
+                   " malformed lines");
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.arrival < b.arrival;
+                     });
+    return Trace(name, std::move(recs));
+}
+
+Trace
+loadMsrTrace(const std::string &path, const MsrParseOptions &opt)
+{
+    std::ifstream in(path);
+    if (!in)
+        SSDRR_FATAL("cannot open trace file: ", path);
+    return parseMsrTrace(in, path, opt);
+}
+
+} // namespace ssdrr::workload

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Parser for MSR-Cambridge block I/O traces [76].
+ *
+ * Format (CSV): Timestamp,Hostname,DiskNumber,Type,Offset,Size,
+ * ResponseTime, with the timestamp in Windows filetime units
+ * (100 ns since 1601) and offset/size in bytes. Users who have the
+ * original traces can replay them directly; the repository's
+ * benches default to the synthetic Table 2 generators.
+ */
+
+#ifndef SSDRR_WORKLOAD_MSR_PARSER_HH
+#define SSDRR_WORKLOAD_MSR_PARSER_HH
+
+#include <istream>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace ssdrr::workload {
+
+struct MsrParseOptions {
+    std::uint32_t pageBytes = 16 * 1024;
+    /** Keep at most this many records (0 = all). */
+    std::uint64_t maxRecords = 0;
+    /** Rebase arrival times so the first record starts at 0. */
+    bool rebaseTime = true;
+};
+
+/** Parse an MSR CSV stream; malformed lines are skipped (warned). */
+Trace parseMsrTrace(std::istream &in, const std::string &name,
+                    const MsrParseOptions &opt = {});
+
+/** Parse from a file path; fatal if the file cannot be opened. */
+Trace loadMsrTrace(const std::string &path,
+                   const MsrParseOptions &opt = {});
+
+} // namespace ssdrr::workload
+
+#endif // SSDRR_WORKLOAD_MSR_PARSER_HH

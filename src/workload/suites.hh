@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The twelve evaluated workloads (paper Table 2): six MSR-Cambridge
+ * enterprise traces and six YCSB cloud-serving workloads, expressed
+ * as synthetic specs matching the published read/cold ratios.
+ */
+
+#ifndef SSDRR_WORKLOAD_SUITES_HH
+#define SSDRR_WORKLOAD_SUITES_HH
+
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace ssdrr::workload {
+
+/** stg_0, hm_0, prn_1, proj_1, mds_1, usr_1. */
+std::vector<SyntheticSpec> msrcSuite();
+
+/** YCSB-A .. YCSB-F. */
+std::vector<SyntheticSpec> ycsbSuite();
+
+/** All twelve, MSRC first (Table 2 order). */
+std::vector<SyntheticSpec> allWorkloads();
+
+/** Find a spec by name; fatal if unknown. */
+SyntheticSpec findWorkload(const std::string &name);
+
+} // namespace ssdrr::workload
+
+#endif // SSDRR_WORKLOAD_SUITES_HH

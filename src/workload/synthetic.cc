@@ -1,0 +1,105 @@
+#include "workload/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace ssdrr::workload {
+
+Trace
+generateSynthetic(const SyntheticSpec &spec, std::uint64_t logical_pages,
+                  std::uint64_t requests, std::uint64_t seed)
+{
+    SSDRR_ASSERT(spec.readRatio >= 0.0 && spec.readRatio <= 1.0,
+                 "read ratio out of range");
+    SSDRR_ASSERT(spec.coldRatio >= 0.0 && spec.coldRatio <= 1.0,
+                 "cold ratio out of range");
+    SSDRR_ASSERT(spec.iops > 0.0, "iops must be positive");
+    SSDRR_ASSERT(logical_pages >= 64, "logical space too small");
+
+    sim::Rng rng(sim::hashStream(seed, 0x517E, requests));
+
+    const auto footprint = static_cast<std::uint64_t>(
+        std::max(32.0, static_cast<double>(logical_pages) *
+                           std::clamp(spec.footprintFraction, 0.01, 1.0)));
+
+    // The cold region absorbs coldRatio of the reads. Its size is
+    // proportional to the cold read share so region densities are
+    // comparable; at least a few pages each.
+    auto cold_pages = static_cast<std::uint64_t>(
+        static_cast<double>(footprint) * spec.coldRatio);
+    cold_pages = std::clamp<std::uint64_t>(cold_pages, 16, footprint - 16);
+    const std::uint64_t hot_pages = footprint - cold_pages;
+
+    // Cold region occupies the top of the touched space so hot LPNs
+    // are dense and low (helps trace readability).
+    const std::uint64_t cold_base = hot_pages;
+
+    sim::ZipfGenerator cold_pick(cold_pages, spec.zipfTheta);
+    sim::ZipfGenerator hot_pick(hot_pages, spec.zipfTheta);
+
+    // Request sizes: geometric around meanPages.
+    const double size_p =
+        std::clamp(1.0 / std::max(spec.meanPages, 1.0), 0.2, 1.0);
+
+    std::vector<TraceRecord> recs;
+    recs.reserve(requests);
+    double t_ns = 0.0;
+    const double mean_gap_ns = 1e9 / spec.iops;
+
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        t_ns += rng.exponential(1.0 / mean_gap_ns);
+        TraceRecord r;
+        r.arrival = static_cast<sim::Tick>(t_ns);
+        r.isRead = rng.chance(spec.readRatio);
+        r.pages = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(1 + rng.geometric(size_p),
+                                    spec.maxPages));
+        if (r.isRead && rng.chance(spec.coldRatio)) {
+            const std::uint64_t off = cold_pick(rng);
+            r.lpn = cold_base + std::min(off, cold_pages - r.pages);
+        } else {
+            const std::uint64_t off = hot_pick(rng);
+            r.lpn = std::min(off, hot_pages - r.pages);
+        }
+        recs.push_back(r);
+    }
+
+    // Second pass: pin the trace's measured cold ratio to the spec.
+    // A read is "cold" iff none of its pages is ever written during
+    // the trace (Table 2); reads aimed at the cold region qualify by
+    // construction (writes never target it), but a hot-region read
+    // can still miss every written page when the write working set
+    // is small. Redirect such reads onto written pages so the warm
+    // share matches the spec.
+    std::unordered_set<std::uint64_t> written;
+    std::vector<std::uint64_t> written_list;
+    for (const TraceRecord &r : recs) {
+        if (r.isRead)
+            continue;
+        for (std::uint32_t i = 0; i < r.pages; ++i) {
+            if (written.insert(r.lpn + i).second)
+                written_list.push_back(r.lpn + i);
+        }
+    }
+    if (!written_list.empty()) {
+        for (TraceRecord &r : recs) {
+            if (!r.isRead || r.lpn >= cold_base)
+                continue;
+            bool warm = false;
+            for (std::uint32_t i = 0; i < r.pages && !warm; ++i)
+                warm = written.count(r.lpn + i) != 0;
+            if (!warm) {
+                r.lpn = written_list[rng.uniformInt(written_list.size())];
+            }
+        }
+    }
+
+    return Trace(spec.name, std::move(recs));
+}
+
+} // namespace ssdrr::workload

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Synthetic trace generation matched to the paper's Table 2.
+ *
+ * We do not ship the MSR-Cambridge or YCSB traces; instead each
+ * workload is generated to match the two characteristics the paper
+ * reports and that drive its results: the read ratio (how much
+ * read-retry matters at all) and the cold ratio (how many reads hit
+ * long-retention pages, which need many retry steps).
+ *
+ * Mechanics: the logical space is split into a cold region (only
+ * ever read -> pages keep their preconditioned retention age) and a
+ * hot region (read and written -> rewritten pages become young).
+ * Reads target the cold region with probability close to the target
+ * cold ratio; writes only target the hot region. Arrivals are
+ * Poisson at a configurable rate; request sizes follow a small
+ * geometric distribution; accesses within each region are Zipfian.
+ */
+
+#ifndef SSDRR_WORKLOAD_SYNTHETIC_HH
+#define SSDRR_WORKLOAD_SYNTHETIC_HH
+
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace ssdrr::workload {
+
+struct SyntheticSpec {
+    std::string name = "synthetic";
+    double readRatio = 0.5;   ///< Table 2 read ratio target
+    double coldRatio = 0.5;   ///< Table 2 cold ratio target
+    double iops = 3000.0;     ///< mean arrival rate
+    double zipfTheta = 0.8;   ///< skew within each region
+    double footprintFraction = 0.5; ///< of logical space touched
+    double meanPages = 1.3;   ///< mean request size in pages
+    std::uint32_t maxPages = 8;
+};
+
+/**
+ * Generate @p requests records over a logical space of
+ * @p logical_pages pages.
+ */
+Trace generateSynthetic(const SyntheticSpec &spec,
+                        std::uint64_t logical_pages,
+                        std::uint64_t requests, std::uint64_t seed);
+
+} // namespace ssdrr::workload
+
+#endif // SSDRR_WORKLOAD_SYNTHETIC_HH

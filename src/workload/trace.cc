@@ -1,0 +1,71 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::workload {
+
+Trace::Trace(std::string name, std::vector<TraceRecord> records)
+    : name_(std::move(name)), records_(std::move(records))
+{
+    for (std::size_t i = 1; i < records_.size(); ++i)
+        SSDRR_ASSERT(records_[i].arrival >= records_[i - 1].arrival,
+                     "trace arrivals must be non-decreasing");
+}
+
+double
+Trace::readRatio() const
+{
+    if (records_.empty())
+        return 0.0;
+    std::uint64_t reads = 0;
+    for (const auto &r : records_)
+        reads += r.isRead ? 1 : 0;
+    return static_cast<double>(reads) /
+           static_cast<double>(records_.size());
+}
+
+double
+Trace::coldRatio() const
+{
+    // Cold ratio (paper Section 7.1): fraction of reads whose target
+    // pages are never updated during the entire execution.
+    std::unordered_set<std::uint64_t> written;
+    for (const auto &r : records_) {
+        if (r.isRead)
+            continue;
+        for (std::uint32_t i = 0; i < r.pages; ++i)
+            written.insert(r.lpn + i);
+    }
+    std::uint64_t reads = 0, cold = 0;
+    for (const auto &r : records_) {
+        if (!r.isRead)
+            continue;
+        ++reads;
+        bool any_written = false;
+        for (std::uint32_t i = 0; i < r.pages && !any_written; ++i)
+            any_written = written.count(r.lpn + i) != 0;
+        cold += any_written ? 0 : 1;
+    }
+    return reads ? static_cast<double>(cold) / static_cast<double>(reads)
+                 : 0.0;
+}
+
+std::uint64_t
+Trace::footprintPages() const
+{
+    std::uint64_t hi = 0;
+    for (const auto &r : records_)
+        hi = std::max(hi, r.lpn + r.pages);
+    return hi;
+}
+
+sim::Tick
+Trace::duration() const
+{
+    return records_.empty() ? 0 : records_.back().arrival;
+}
+
+} // namespace ssdrr::workload

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Block I/O trace representation plus the I/O characteristics the
+ * paper reports per workload (Table 2: read ratio and cold ratio).
+ */
+
+#ifndef SSDRR_WORKLOAD_TRACE_HH
+#define SSDRR_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ssdrr::workload {
+
+struct TraceRecord {
+    sim::Tick arrival = 0;
+    std::uint64_t lpn = 0;     ///< first logical page
+    std::uint32_t pages = 1;   ///< request length in pages
+    bool isRead = true;
+};
+
+class Trace
+{
+  public:
+    Trace() = default;
+    Trace(std::string name, std::vector<TraceRecord> records);
+
+    const std::string &name() const { return name_; }
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /** Fraction of read requests (Table 2 "Read ratio"). */
+    double readRatio() const;
+
+    /**
+     * Fraction of read requests whose target pages are never
+     * written during the trace (Table 2 "Cold ratio").
+     */
+    double coldRatio() const;
+
+    /** Largest LPN touched plus one. */
+    std::uint64_t footprintPages() const;
+
+    /** Arrival time of the last record. */
+    sim::Tick duration() const;
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace ssdrr::workload
+
+#endif // SSDRR_WORKLOAD_TRACE_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the mechanism taxonomy and the PSO step transform.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/mechanism.hh"
+
+namespace ssdrr::core {
+namespace {
+
+constexpr Mechanism kAll[] = {
+    Mechanism::Baseline, Mechanism::PR2,  Mechanism::AR2,
+    Mechanism::PnAR2,    Mechanism::NoRR, Mechanism::PSO,
+    Mechanism::PSO_PnAR2,
+};
+
+TEST(Mechanism, NamesRoundTripThroughParse)
+{
+    for (Mechanism m : kAll)
+        EXPECT_EQ(parseMechanism(name(m)), m);
+}
+
+TEST(Mechanism, ParseRejectsUnknown)
+{
+    EXPECT_THROW(parseMechanism("WarpDrive"), std::runtime_error);
+    EXPECT_THROW(parseMechanism(""), std::runtime_error);
+    EXPECT_THROW(parseMechanism("pr2"), std::runtime_error)
+        << "names are case-sensitive";
+}
+
+TEST(Mechanism, PipeliningFlags)
+{
+    EXPECT_FALSE(usesPipelining(Mechanism::Baseline));
+    EXPECT_TRUE(usesPipelining(Mechanism::PR2));
+    EXPECT_FALSE(usesPipelining(Mechanism::AR2));
+    EXPECT_TRUE(usesPipelining(Mechanism::PnAR2));
+    EXPECT_FALSE(usesPipelining(Mechanism::NoRR));
+    EXPECT_FALSE(usesPipelining(Mechanism::PSO));
+    EXPECT_TRUE(usesPipelining(Mechanism::PSO_PnAR2));
+}
+
+TEST(Mechanism, AdaptiveTimingFlags)
+{
+    EXPECT_FALSE(usesAdaptiveTiming(Mechanism::Baseline));
+    EXPECT_FALSE(usesAdaptiveTiming(Mechanism::PR2));
+    EXPECT_TRUE(usesAdaptiveTiming(Mechanism::AR2));
+    EXPECT_TRUE(usesAdaptiveTiming(Mechanism::PnAR2));
+    EXPECT_FALSE(usesAdaptiveTiming(Mechanism::NoRR));
+    EXPECT_FALSE(usesAdaptiveTiming(Mechanism::PSO));
+    EXPECT_TRUE(usesAdaptiveTiming(Mechanism::PSO_PnAR2));
+}
+
+TEST(Mechanism, StepReductionFlags)
+{
+    for (Mechanism m : kAll) {
+        const bool expect =
+            m == Mechanism::PSO || m == Mechanism::PSO_PnAR2;
+        EXPECT_EQ(usesStepReduction(m), expect) << name(m);
+    }
+}
+
+TEST(PsoSteps, ZeroStaysZero)
+{
+    // A read that needed no retry is untouched by PSO.
+    EXPECT_EQ(psoSteps(0), 0);
+}
+
+TEST(PsoSteps, FloorsAtThreeSteps)
+{
+    // Section 3.1: "for every page read, it requires at least three
+    // retry steps" — PSO cannot avoid retry entirely.
+    for (int n = 1; n <= 10; ++n)
+        EXPECT_GE(psoSteps(n), std::min(n, 3)) << "n=" << n;
+    EXPECT_EQ(psoSteps(1), 1) << "cannot exceed the original count";
+    EXPECT_EQ(psoSteps(2), 2);
+    EXPECT_EQ(psoSteps(3), 3);
+    EXPECT_EQ(psoSteps(8), 3);
+}
+
+TEST(PsoSteps, ReducesByAboutSeventyPercent)
+{
+    // "an existing technique can reduce the average number of
+    // read-retry steps by about 70%".
+    EXPECT_EQ(psoSteps(10), 3);
+    EXPECT_EQ(psoSteps(20), 6);
+    EXPECT_EQ(psoSteps(30), 9);
+    EXPECT_EQ(psoSteps(44), 14); // ceil(0.3 * 44)
+}
+
+TEST(PsoSteps, NeverExceedsOriginal)
+{
+    for (int n = 0; n <= 44; ++n)
+        EXPECT_LE(psoSteps(n), std::max(n, 0)) << "n=" << n;
+}
+
+TEST(PsoSteps, MonotoneInInput)
+{
+    for (int n = 1; n <= 43; ++n)
+        EXPECT_LE(psoSteps(n), psoSteps(n + 1));
+}
+
+TEST(PsoSteps, NegativePanics)
+{
+    EXPECT_THROW(psoSteps(-1), std::logic_error);
+}
+
+} // namespace
+} // namespace ssdrr::core

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Behavioural tests for the retry controller beyond the exact
+ * latency equations (those live in retry_latency_test.cc): step
+ * decisions, fallback handling and RPT integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/retry_controller.hh"
+#include "ecc/engine.hh"
+#include "nand/error_model.hh"
+#include "ssd/channel.hh"
+
+namespace ssdrr::core {
+namespace {
+
+class RetryControllerTest : public ::testing::Test
+{
+  protected:
+    RetryControllerTest() : rpt_(RptBuilder(model_).buildDefault()) {}
+
+    ReadPlan
+    planFor(Mechanism m, const nand::PageErrorProfile &prof,
+            const nand::OperatingPoint &op)
+    {
+        RetryController rc(m, timing_, model_, &rpt_);
+        ssd::Channel ch;
+        ecc::EccEngine ecc(timing_.tECC, 72.0);
+        return rc.planRead(0, nand::PageType::LSB, prof, op, ch, ecc);
+    }
+
+    nand::TimingParams timing_;
+    nand::ErrorModel model_;
+    Rpt rpt_;
+};
+
+TEST_F(RetryControllerTest, AdaptiveMechanismRequiresRpt)
+{
+    EXPECT_THROW(RetryController(Mechanism::AR2, timing_, model_, nullptr),
+                 std::logic_error);
+    EXPECT_THROW(
+        RetryController(Mechanism::PnAR2, timing_, model_, nullptr),
+        std::logic_error);
+    EXPECT_NO_THROW(
+        RetryController(Mechanism::Baseline, timing_, model_, nullptr));
+    EXPECT_NO_THROW(
+        RetryController(Mechanism::PR2, timing_, model_, nullptr));
+}
+
+TEST_F(RetryControllerTest, StepCountMatchesProfileForRealPages)
+{
+    // Across a population of model-generated pages, the planned step
+    // count must equal the profiled count for non-PSO mechanisms.
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+    for (int p = 0; p < 200; ++p) {
+        const nand::PageErrorProfile prof =
+            model_.pageProfile(0, p / 64, p % 64, op);
+        for (Mechanism m : {Mechanism::Baseline, Mechanism::PR2,
+                            Mechanism::AR2, Mechanism::PnAR2}) {
+            const ReadPlan plan = planFor(m, prof, op);
+            EXPECT_EQ(plan.retrySteps, prof.retrySteps)
+                << name(m) << " page " << p;
+            EXPECT_TRUE(plan.success);
+            EXPECT_FALSE(plan.timingFallback)
+                << "profiled reduction must never inflate steps";
+            EXPECT_EQ(plan.extraSteps, 0);
+        }
+    }
+}
+
+TEST_F(RetryControllerTest, PsoStepCountMatchesTransform)
+{
+    const nand::OperatingPoint op{2.0, 12.0, 30.0};
+    for (int p = 0; p < 100; ++p) {
+        const nand::PageErrorProfile prof =
+            model_.pageProfile(0, p / 64, p % 64, op);
+        const ReadPlan plan = planFor(Mechanism::PSO, prof, op);
+        EXPECT_EQ(plan.retrySteps, psoSteps(prof.retrySteps)) << p;
+    }
+}
+
+TEST_F(RetryControllerTest, FallbackRedoesWalkWithDefaultTiming)
+{
+    // Force the worst case the paper describes in Section 6.2: the
+    // page's final-step errors leave less margin than the profiled
+    // reduction consumes, so the reduced walk exhausts the table and
+    // AR2 must redo the retry with default tPRE.
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+    const nand::TimingReduction red = rpt_.lookup(op);
+    const double extra = model_.deltaErrors(red, op);
+    ASSERT_GT(extra, 1.0);
+
+    nand::PageErrorProfile outlier;
+    outlier.retrySteps = 5;
+    // Succeeds with default timing, but reduction pushes it over.
+    outlier.finalErrors = 72.0 - extra / 2.0;
+    // High decay keeps step N-1 failing even with shrunk finals, so
+    // the default-timing walk needs exactly outlier.retrySteps.
+    outlier.decayRatio = 2.4;
+
+    const ReadPlan plan = planFor(Mechanism::AR2, outlier, op);
+    EXPECT_TRUE(plan.success) << "the default-timing redo saves the read";
+    EXPECT_TRUE(plan.timingFallback);
+    EXPECT_EQ(plan.extraSteps, model_.cal().retryTableSteps)
+        << "the wasted reduced-timing walk is accounted as extra";
+    EXPECT_EQ(plan.retrySteps,
+              model_.cal().retryTableSteps + outlier.retrySteps);
+
+    // The fallback plan is still a valid (if slow) read: it must be
+    // slower than the default-timing walk alone would have been.
+    const ReadPlan base = planFor(Mechanism::Baseline, outlier, op);
+    EXPECT_GT(plan.completion, base.completion);
+}
+
+TEST_F(RetryControllerTest, FallbackAlsoWorksPipelined)
+{
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+    const nand::TimingReduction red = rpt_.lookup(op);
+    const double extra = model_.deltaErrors(red, op);
+
+    nand::PageErrorProfile outlier;
+    outlier.retrySteps = 5;
+    outlier.finalErrors = 72.0 - extra / 2.0;
+    outlier.decayRatio = 2.4;
+
+    const ReadPlan plan = planFor(Mechanism::PnAR2, outlier, op);
+    EXPECT_TRUE(plan.success);
+    EXPECT_TRUE(plan.timingFallback);
+    // Pipelining keeps even the fallback cheaper than sequential.
+    const ReadPlan seq = planFor(Mechanism::AR2, outlier, op);
+    EXPECT_LT(plan.completion, seq.completion);
+}
+
+TEST_F(RetryControllerTest, DieEndNeverBeforeLastTransfer)
+{
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+    for (int p = 0; p < 100; ++p) {
+        const nand::PageErrorProfile prof =
+            model_.pageProfile(1, p / 64, p % 64, op);
+        for (Mechanism m :
+             {Mechanism::Baseline, Mechanism::PR2, Mechanism::AR2,
+              Mechanism::PnAR2, Mechanism::NoRR, Mechanism::PSO,
+              Mechanism::PSO_PnAR2}) {
+            const ReadPlan plan = planFor(m, prof, op);
+            EXPECT_GT(plan.dieEnd, 0u) << name(m);
+            EXPECT_GE(plan.completion, plan.dieEnd - timing_.tRST -
+                                           timing_.tSET - timing_.tECC)
+                << name(m) << ": die end races far past completion";
+        }
+    }
+}
+
+TEST_F(RetryControllerTest, MechanismOrderingHoldsPerPage)
+{
+    // For every page: NoRR <= PSO+PnAR2 <= ... <= Baseline in
+    // completion time. (PSO variants excluded from the middle since
+    // they change the step count.)
+    const nand::OperatingPoint op{2.0, 9.0, 30.0};
+    for (int p = 0; p < 150; ++p) {
+        const nand::PageErrorProfile prof =
+            model_.pageProfile(2, p / 64, p % 64, op);
+        const sim::Tick norr =
+            planFor(Mechanism::NoRR, prof, op).completion;
+        const sim::Tick pnar2 =
+            planFor(Mechanism::PnAR2, prof, op).completion;
+        const sim::Tick pr2 = planFor(Mechanism::PR2, prof, op).completion;
+        const sim::Tick ar2 = planFor(Mechanism::AR2, prof, op).completion;
+        const sim::Tick base =
+            planFor(Mechanism::Baseline, prof, op).completion;
+        EXPECT_LE(norr, pnar2) << p;
+        EXPECT_LE(pnar2, pr2) << p;
+        EXPECT_LE(pnar2, ar2) << p;
+        EXPECT_LE(pr2, base) << p;
+        EXPECT_LE(ar2, base) << p;
+    }
+}
+
+TEST_F(RetryControllerTest, FreshPagesSeeNoMechanismDifferenceInCompletion)
+{
+    const nand::OperatingPoint fresh{0.0, 0.0, 30.0};
+    const nand::PageErrorProfile prof =
+        model_.pageProfile(0, 0, 0, fresh);
+    ASSERT_EQ(prof.retrySteps, 0);
+    const sim::Tick base =
+        planFor(Mechanism::Baseline, prof, fresh).completion;
+    for (Mechanism m : {Mechanism::PR2, Mechanism::AR2, Mechanism::PnAR2,
+                        Mechanism::NoRR, Mechanism::PSO}) {
+        EXPECT_EQ(planFor(m, prof, fresh).completion, base) << name(m);
+    }
+}
+
+} // namespace
+} // namespace ssdrr::core

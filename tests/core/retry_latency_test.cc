@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Exact latency-equation tests for every retry mechanism against an
+ * uncontended channel and ECC engine (paper Equations 2-5 and
+ * Figures 12-13). These pin the mechanism timelines tick-for-tick.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/retry_controller.hh"
+#include "ecc/engine.hh"
+#include "nand/error_model.hh"
+#include "ssd/channel.hh"
+
+namespace ssdrr::core {
+namespace {
+
+/** Fixture providing fresh resources and a synthetic N-step page. */
+class RetryLatency : public ::testing::Test
+{
+  protected:
+    RetryLatency() : rpt_(RptBuilder(model_).buildDefault()) {}
+
+    /** A page profile needing exactly @p n retry steps. */
+    nand::PageErrorProfile
+    profile(int n) const
+    {
+        nand::PageErrorProfile p;
+        p.retrySteps = n;
+        p.finalErrors = 30.0;
+        // Guarantee step N-1 fails: 30 * 2.56 = 76.8 > 72.
+        p.decayRatio = 2.56;
+        return p;
+    }
+
+    ReadPlan
+    plan(Mechanism m, int n, const nand::OperatingPoint &op,
+         nand::PageType type = nand::PageType::LSB)
+    {
+        RetryController rc(m, timing_, model_, &rpt_);
+        ssd::Channel ch;
+        ecc::EccEngine ecc(timing_.tECC, 72.0);
+        return rc.planRead(0, type, profile(n), op, ch, ecc);
+    }
+
+    nand::TimingParams timing_;
+    nand::ErrorModel model_;
+    Rpt rpt_;
+    const nand::OperatingPoint op_{1.0, 6.0, 30.0};
+
+    // Common shorthands (LSB page: N_SENSE = 2 -> tR = 78 us).
+    const sim::Tick tR_ = timing_.tR(nand::PageType::LSB);
+    const sim::Tick tDMA_ = timing_.tDMA;
+    const sim::Tick tECC_ = timing_.tECC;
+    const sim::Tick tSET_ = timing_.tSET;
+};
+
+// ----- Equation 2/3: Baseline -----
+
+TEST_F(RetryLatency, BaselineNoRetryIsPlainRead)
+{
+    const ReadPlan p = plan(Mechanism::Baseline, 0, op_);
+    EXPECT_EQ(p.retrySteps, 0);
+    EXPECT_TRUE(p.success);
+    EXPECT_EQ(p.completion, tR_ + tDMA_ + tECC_);
+    EXPECT_EQ(p.dieEnd, tR_ + tDMA_)
+        << "die is free after the transfer; ECC runs in the engine";
+}
+
+TEST_F(RetryLatency, BaselineRetryIsLinearInSteps)
+{
+    // tREAD = (N_RR + 1) * (tR + tDMA + tECC)   [Eq. 2 + 3]
+    for (int n : {1, 2, 5, 10, 20}) {
+        const ReadPlan p = plan(Mechanism::Baseline, n, op_);
+        EXPECT_EQ(p.retrySteps, n);
+        EXPECT_EQ(p.completion,
+                  static_cast<sim::Tick>(n + 1) * (tR_ + tDMA_ + tECC_))
+            << "n=" << n;
+    }
+}
+
+TEST_F(RetryLatency, BaselineCsbPageUsesLongerSense)
+{
+    const sim::Tick tR_csb = timing_.tR(nand::PageType::CSB); // 117 us
+    const ReadPlan p =
+        plan(Mechanism::Baseline, 3, op_, nand::PageType::CSB);
+    EXPECT_EQ(p.completion, 4u * (tR_csb + tDMA_ + tECC_));
+}
+
+// ----- Equation 4 / Figure 12(b): PR2 -----
+
+TEST_F(RetryLatency, Pr2PipelinesRetrySteps)
+{
+    // tRETRY = N_RR * tR + tDMA + tECC, so
+    // tREAD = (N_RR + 1) * tR + tDMA + tECC   [Eq. 4]
+    for (int n : {1, 2, 5, 10, 20}) {
+        const ReadPlan p = plan(Mechanism::PR2, n, op_);
+        EXPECT_EQ(p.retrySteps, n);
+        EXPECT_EQ(p.completion,
+                  static_cast<sim::Tick>(n + 1) * tR_ + tDMA_ + tECC_)
+            << "n=" << n;
+    }
+}
+
+TEST_F(RetryLatency, Pr2SavesDmaAndEccPerStep)
+{
+    // PR2 saves (N_RR - 1 + 1) * (tDMA + tECC) vs Baseline... more
+    // precisely Eq.3 - Eq.4 = N_RR * (tDMA + tECC).
+    const int n = 8;
+    const ReadPlan base = plan(Mechanism::Baseline, n, op_);
+    const ReadPlan pr2 = plan(Mechanism::PR2, n, op_);
+    EXPECT_EQ(base.completion - pr2.completion,
+              static_cast<sim::Tick>(n) * (tDMA_ + tECC_));
+}
+
+TEST_F(RetryLatency, Pr2StepLatencyReduction)
+{
+    // Section 1: PR2 reduces the latency of a retry step by 28.5%
+    // (tDMA + tECC = 36 us out of tR + tDMA + tECC = 126 us with the
+    // average tR of 90 us; with LSB tR = 78: 36/114 = 31.6%).
+    const sim::Tick tR_avg = timing_.tRAvg();
+    const double step_full = sim::toUsec(tR_avg + tDMA_ + tECC_);
+    const double step_pr2 = sim::toUsec(tR_avg);
+    EXPECT_NEAR(1.0 - step_pr2 / step_full, 0.285, 0.01);
+}
+
+TEST_F(RetryLatency, Pr2NoRetryPaysSpeculationOnDieOnly)
+{
+    // With zero retries PR2 still speculatively sensed step 1; the
+    // RESET (tRST) kills it after the ECC verdict. Completion is
+    // unchanged; only the die-busy window can extend.
+    const ReadPlan p = plan(Mechanism::PR2, 0, op_);
+    EXPECT_EQ(p.completion, tR_ + tDMA_ + tECC_);
+    EXPECT_GE(p.dieEnd, tR_ + tDMA_);
+    EXPECT_LE(p.dieEnd, tR_ + tDMA_ + tECC_ + timing_.tRST);
+}
+
+TEST_F(RetryLatency, Pr2DieBusyCoversSpeculativeStep)
+{
+    // With n retries, the (n+1)-th speculative step is killed by
+    // RESET ~tECC + tRST after its sensing started: die end must be
+    // at least the last real transfer and at most spec end + reset.
+    const int n = 4;
+    const ReadPlan p = plan(Mechanism::PR2, n, op_);
+    EXPECT_GE(p.dieEnd, p.completion - tECC_)
+        << "die busy at least until the last transfer";
+    EXPECT_LE(p.dieEnd, p.completion + timing_.tRST);
+}
+
+// ----- Equation 5 / Figure 13: AR2 -----
+
+TEST_F(RetryLatency, Ar2ShortensOnlyRetrySteps)
+{
+    // tREAD = (tR + tDMA + tECC)           [initial, default timing]
+    //       + tSET + N_RR * (rho*tR + tDMA + tECC)      [Eq. 5-ish]
+    const nand::TimingReduction red = rpt_.lookup(op_);
+    ASSERT_GT(red.pre, 0.0);
+    const sim::Tick tR_red = timing_.tR(nand::PageType::LSB, red);
+
+    for (int n : {1, 3, 9}) {
+        const ReadPlan p = plan(Mechanism::AR2, n, op_);
+        EXPECT_EQ(p.retrySteps, n);
+        EXPECT_EQ(p.completion,
+                  (tR_ + tDMA_ + tECC_) + tSET_ +
+                      static_cast<sim::Tick>(n) *
+                          (tR_red + tDMA_ + tECC_))
+            << "n=" << n;
+    }
+}
+
+TEST_F(RetryLatency, Ar2ReductionIsAtLeastQuarterOfTr)
+{
+    // Fig. 11: >= 40% tPRE cut -> >= 24.6% shorter sensing.
+    const nand::TimingReduction red = rpt_.lookup(op_);
+    EXPECT_LE(timing_.rho(red), 0.754);
+    EXPECT_GE(red.pre, 0.40);
+}
+
+TEST_F(RetryLatency, Ar2NoRetryNeverAppliesSetFeature)
+{
+    const ReadPlan p = plan(Mechanism::AR2, 0, op_);
+    EXPECT_EQ(p.completion, tR_ + tDMA_ + tECC_)
+        << "AR2 touches timing only after a read failure";
+}
+
+TEST_F(RetryLatency, Ar2BeatsBaselineForAnyRetryCount)
+{
+    for (int n : {1, 2, 5, 20}) {
+        const ReadPlan base = plan(Mechanism::Baseline, n, op_);
+        const ReadPlan ar2 = plan(Mechanism::AR2, n, op_);
+        EXPECT_LT(ar2.completion, base.completion) << "n=" << n;
+    }
+}
+
+// ----- PnAR2: PR2 + AR2 -----
+
+TEST_F(RetryLatency, Pnar2CombinesPipeliningAndReducedTr)
+{
+    // Fig. 13 (PR2 assumed): initial read fails, SET FEATURE after
+    // the verdict, then pipelined reduced-tR steps; the final step's
+    // transfer and decode close the read.
+    const nand::TimingReduction red = rpt_.lookup(op_);
+    const sim::Tick tR_red = timing_.tR(nand::PageType::LSB, red);
+
+    for (int n : {1, 3, 9}) {
+        const ReadPlan p = plan(Mechanism::PnAR2, n, op_);
+        EXPECT_EQ(p.retrySteps, n);
+        EXPECT_EQ(p.completion,
+                  (tR_ + tDMA_ + tECC_) + tSET_ +
+                      static_cast<sim::Tick>(n) * tR_red + tDMA_ + tECC_)
+            << "n=" << n;
+    }
+}
+
+TEST_F(RetryLatency, Pnar2IsTheFastestRealMechanismBeyondTwoSteps)
+{
+    for (int n : {2, 4, 12}) {
+        const sim::Tick pnar2 = plan(Mechanism::PnAR2, n, op_).completion;
+        EXPECT_LE(pnar2, plan(Mechanism::PR2, n, op_).completion)
+            << "n=" << n;
+        EXPECT_LT(pnar2, plan(Mechanism::AR2, n, op_).completion)
+            << "n=" << n;
+        EXPECT_LT(pnar2, plan(Mechanism::Baseline, n, op_).completion)
+            << "n=" << n;
+    }
+}
+
+TEST_F(RetryLatency, Pr2BeatsPnar2AtExactlyOneStep)
+{
+    // Inherent crossover in the paper's own equations: with a single
+    // retry step, PR2 pipelines it behind the initial sensing
+    // (Eq. 4), while PnAR2 must wait for the initial ECC verdict +
+    // SET FEATURE before its (shorter) retry sensing (Fig. 13), so
+    // the transfer/decode of the initial read lands on PnAR2's
+    // critical path.
+    const sim::Tick pr2 = plan(Mechanism::PR2, 1, op_).completion;
+    const sim::Tick pnar2 = plan(Mechanism::PnAR2, 1, op_).completion;
+    EXPECT_LT(pr2, pnar2);
+    // Both still beat Baseline.
+    EXPECT_LT(pnar2, plan(Mechanism::Baseline, 1, op_).completion);
+}
+
+TEST_F(RetryLatency, Pnar2SynergyExceedsSumOfParts)
+{
+    // Section 7.2: "PR2 and AR2 improve SSD performance in a
+    // synergistic manner" — the combined saving is at least the sum
+    // of the individual savings (pipelining makes tR dominant, so
+    // shrinking tR helps more under PR2).
+    const int n = 10;
+    const sim::Tick base = plan(Mechanism::Baseline, n, op_).completion;
+    const sim::Tick pr2 = plan(Mechanism::PR2, n, op_).completion;
+    const sim::Tick ar2 = plan(Mechanism::AR2, n, op_).completion;
+    const sim::Tick both = plan(Mechanism::PnAR2, n, op_).completion;
+    EXPECT_GE((base - pr2) + (base - ar2), base - both - tSET_);
+    EXPECT_GT(base - both, (base - pr2));
+    EXPECT_GT(base - both, (base - ar2));
+}
+
+// ----- NoRR: ideal upper bound -----
+
+TEST_F(RetryLatency, NorrIgnoresProfileEntirely)
+{
+    for (int n : {0, 5, 44}) {
+        const ReadPlan p = plan(Mechanism::NoRR, n, op_);
+        EXPECT_EQ(p.retrySteps, 0);
+        EXPECT_EQ(p.completion, tR_ + tDMA_ + tECC_);
+        EXPECT_TRUE(p.success);
+    }
+}
+
+// ----- PSO and PSO+PnAR2 -----
+
+TEST_F(RetryLatency, PsoReducesStepsButKeepsBaselineTimeline)
+{
+    const int n = 20;
+    const int n_pso = psoSteps(n); // 6
+    const ReadPlan p = plan(Mechanism::PSO, n, op_);
+    EXPECT_EQ(p.retrySteps, n_pso);
+    EXPECT_EQ(p.completion,
+              static_cast<sim::Tick>(n_pso + 1) * (tR_ + tDMA_ + tECC_));
+}
+
+TEST_F(RetryLatency, PsoPnar2StacksAllThreeOptimizations)
+{
+    const int n = 20;
+    const int n_pso = psoSteps(n);
+    const nand::TimingReduction red = rpt_.lookup(op_);
+    const sim::Tick tR_red = timing_.tR(nand::PageType::LSB, red);
+    const ReadPlan p = plan(Mechanism::PSO_PnAR2, n, op_);
+    EXPECT_EQ(p.retrySteps, n_pso);
+    EXPECT_EQ(p.completion,
+              (tR_ + tDMA_ + tECC_) + tSET_ +
+                  static_cast<sim::Tick>(n_pso) * tR_red + tDMA_ + tECC_);
+    EXPECT_LT(p.completion, plan(Mechanism::PSO, n, op_).completion);
+}
+
+// ----- Unreadable pages -----
+
+TEST_F(RetryLatency, UnreadablePageWalksWholeTableAndFails)
+{
+    nand::PageErrorProfile bad;
+    bad.retrySteps = 10;
+    bad.finalErrors = 100.0; // beyond capability even at VOPT
+    bad.decayRatio = 2.0;
+    RetryController rc(Mechanism::Baseline, timing_, model_, &rpt_);
+    ssd::Channel ch;
+    ecc::EccEngine ecc(timing_.tECC, 72.0);
+    const ReadPlan p =
+        rc.planRead(0, nand::PageType::LSB, bad, op_, ch, ecc);
+    EXPECT_FALSE(p.success);
+    EXPECT_EQ(p.retrySteps, model_.cal().retryTableSteps)
+        << "all prescribed VREF sets are tried before giving up";
+}
+
+// ----- Start offsets and contention -----
+
+TEST_F(RetryLatency, PlansShiftWithStartTime)
+{
+    RetryController rc(Mechanism::PR2, timing_, model_, &rpt_);
+    ssd::Channel ch;
+    ecc::EccEngine ecc(timing_.tECC, 72.0);
+    const sim::Tick t0 = sim::usec(500);
+    const ReadPlan p =
+        rc.planRead(t0, nand::PageType::LSB, profile(3), op_, ch, ecc);
+    EXPECT_EQ(p.completion, t0 + 4u * tR_ + tDMA_ + tECC_);
+}
+
+TEST_F(RetryLatency, BusyChannelDelaysTransfer)
+{
+    RetryController rc(Mechanism::Baseline, timing_, model_, &rpt_);
+    ssd::Channel ch;
+    ecc::EccEngine ecc(timing_.tECC, 72.0);
+    // Saturate the channel for the first 200 us.
+    ch.acquire(0, sim::usec(200));
+    const ReadPlan p =
+        rc.planRead(0, nand::PageType::LSB, profile(0), op_, ch, ecc);
+    EXPECT_EQ(p.completion, sim::usec(200) + tDMA_ + tECC_)
+        << "sense (78 us) finishes, transfer waits for the bus";
+}
+
+TEST_F(RetryLatency, BusyEccEngineDelaysDecodeOnly)
+{
+    RetryController rc(Mechanism::Baseline, timing_, model_, &rpt_);
+    ssd::Channel ch;
+    ecc::EccEngine ecc(timing_.tECC, 72.0);
+    ecc.acquire(0); // busy [0, 20 us)
+    ecc.acquire(sim::usec(90));  // busy [90, 110); read's DMA ends at 94
+    const ReadPlan p =
+        rc.planRead(0, nand::PageType::LSB, profile(0), op_, ch, ecc);
+    EXPECT_EQ(p.completion, sim::usec(110) + tECC_);
+    EXPECT_EQ(p.dieEnd, tR_ + tDMA_) << "die frees at transfer end";
+}
+
+} // namespace
+} // namespace ssdrr::core

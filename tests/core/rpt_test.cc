@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the Read-timing Parameter Table and its offline builder
+ * (paper Section 6.2, Figure 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/rpt.hh"
+
+namespace ssdrr::core {
+namespace {
+
+TEST(Rpt, LookupSelectsCorrectBin)
+{
+    // 2 PE bins x 2 retention bins with distinct values.
+    const Rpt rpt({1.0, 2.0}, {6.0, 12.0}, {0.54, 0.47, 0.47, 0.40});
+    EXPECT_DOUBLE_EQ(rpt.lookup({0.5, 3.0, 30.0}).pre, 0.54);
+    EXPECT_DOUBLE_EQ(rpt.lookup({0.5, 9.0, 30.0}).pre, 0.47);
+    EXPECT_DOUBLE_EQ(rpt.lookup({1.5, 3.0, 30.0}).pre, 0.47);
+    EXPECT_DOUBLE_EQ(rpt.lookup({1.5, 9.0, 30.0}).pre, 0.40);
+}
+
+TEST(Rpt, BinEdgesAreInclusiveUpper)
+{
+    const Rpt rpt({1.0, 2.0}, {6.0, 12.0}, {0.54, 0.47, 0.47, 0.40});
+    EXPECT_DOUBLE_EQ(rpt.lookup({1.0, 6.0, 30.0}).pre, 0.54)
+        << "exactly at the edge belongs to the lower bin";
+}
+
+TEST(Rpt, BeyondProfiledRangeClampsToMostConservativeBin)
+{
+    const Rpt rpt({1.0, 2.0}, {6.0, 12.0}, {0.54, 0.47, 0.47, 0.40});
+    EXPECT_DOUBLE_EQ(rpt.lookup({5.0, 24.0, 30.0}).pre, 0.40);
+}
+
+TEST(Rpt, LookupOnlyReducesPrecharge)
+{
+    const Rpt rpt({1.0}, {6.0}, {0.47});
+    const nand::TimingReduction r = rpt.lookup({0.5, 3.0, 30.0});
+    EXPECT_GT(r.pre, 0.0);
+    EXPECT_DOUBLE_EQ(r.eval, 0.0) << "AR2 never touches tEVAL (5.2.1)";
+    EXPECT_DOUBLE_EQ(r.disch, 0.0) << "AR2 never touches tDISCH (5.2.2)";
+}
+
+TEST(Rpt, StorageFootprintMatchesPaper)
+{
+    // Section 6.2: "with 36 (PEC, tRET) combinations, we estimate
+    // the table size to be only 144 bytes per chip".
+    const nand::ErrorModel model;
+    const Rpt rpt = RptBuilder(model).buildDefault();
+    EXPECT_EQ(rpt.entries(), 36u);
+    EXPECT_EQ(rpt.storageBytes(), 144u);
+    EXPECT_EQ(rpt.peBins(), 6u);
+    EXPECT_EQ(rpt.retBins(), 6u);
+}
+
+TEST(Rpt, DefaultTableEntriesWithinPaperRange)
+{
+    // Fig. 11: min 40%, max 54% reduction across all conditions.
+    const nand::ErrorModel model;
+    const Rpt rpt = RptBuilder(model).buildDefault();
+    for (std::size_t pe = 0; pe < rpt.peBins(); ++pe) {
+        for (std::size_t rt = 0; rt < rpt.retBins(); ++rt) {
+            const double x = rpt.entryAt(pe, rt);
+            EXPECT_GE(x, 0.40) << "bin (" << pe << "," << rt << ")";
+            EXPECT_LE(x, 0.54) << "bin (" << pe << "," << rt << ")";
+        }
+    }
+}
+
+TEST(Rpt, EntriesMonotoneInBothAxes)
+{
+    // Worse conditions never allow a larger reduction.
+    const nand::ErrorModel model;
+    const Rpt rpt = RptBuilder(model).buildDefault();
+    for (std::size_t pe = 0; pe < rpt.peBins(); ++pe)
+        for (std::size_t rt = 0; rt + 1 < rpt.retBins(); ++rt)
+            EXPECT_GE(rpt.entryAt(pe, rt), rpt.entryAt(pe, rt + 1));
+    for (std::size_t rt = 0; rt < rpt.retBins(); ++rt)
+        for (std::size_t pe = 0; pe + 1 < rpt.peBins(); ++pe)
+            EXPECT_GE(rpt.entryAt(pe, rt), rpt.entryAt(pe + 1, rt));
+}
+
+TEST(Rpt, BuilderHonorsCustomGrid)
+{
+    const nand::ErrorModel model;
+    const Rpt rpt = RptBuilder(model).build({2.0}, {12.0});
+    EXPECT_EQ(rpt.entries(), 1u);
+    // Single worst-case bin must equal the model's direct answer.
+    EXPECT_DOUBLE_EQ(rpt.entryAt(0, 0),
+                     model.maxSafePreReduction({2.0, 12.0, 85.0}));
+}
+
+TEST(Rpt, LookupAgreesWithModelAtBinCorners)
+{
+    // The table is profiled at each bin's pessimistic corner: a
+    // lookup anywhere in the bin returns a reduction that is safe at
+    // the corner, hence safe in the whole bin (monotonicity).
+    const nand::ErrorModel model;
+    const Rpt rpt = RptBuilder(model).buildDefault();
+    for (double pe : {0.1, 0.7, 1.2, 1.9}) {
+        for (double ret : {0.5, 2.5, 5.0, 11.0}) {
+            const nand::OperatingPoint op{pe, ret, 85.0};
+            const double table = rpt.lookup(op).pre;
+            const double direct = model.maxSafePreReduction(op);
+            EXPECT_LE(table, direct + 1e-9)
+                << "table must never be more aggressive than direct "
+                   "profiling at ("
+                << pe << ", " << ret << ")";
+        }
+    }
+}
+
+TEST(Rpt, ConstructionValidatesShape)
+{
+    EXPECT_THROW(Rpt({}, {1.0}, {}), std::logic_error);
+    EXPECT_THROW(Rpt({1.0}, {1.0}, {0.4, 0.4}), std::logic_error)
+        << "entry count mismatch";
+    EXPECT_THROW(Rpt({2.0, 1.0}, {1.0}, {0.4, 0.4}), std::logic_error)
+        << "edges must increase";
+    EXPECT_THROW(Rpt({1.0}, {2.0, 2.0}, {0.4, 0.4}), std::logic_error);
+}
+
+TEST(Rpt, EntryAtValidatesBin)
+{
+    const Rpt rpt({1.0}, {1.0}, {0.4});
+    EXPECT_THROW(rpt.entryAt(1, 0), std::logic_error);
+    EXPECT_THROW(rpt.entryAt(0, 1), std::logic_error);
+}
+
+} // namespace
+} // namespace ssdrr::core

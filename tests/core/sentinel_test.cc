@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the Sentinel [56] step transform and its combination
+ * with PR2/AR2 (paper Section 9's complementarity argument).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/retry_controller.hh"
+#include "ecc/engine.hh"
+#include "nand/error_model.hh"
+#include "ssd/channel.hh"
+
+namespace ssdrr::core {
+namespace {
+
+TEST(SentinelSteps, ZeroStaysZero)
+{
+    EXPECT_EQ(sentinelSteps(0), 0);
+}
+
+TEST(SentinelSteps, MostRetriesFinishInOneStep)
+{
+    for (int n = 1; n <= 5; ++n)
+        EXPECT_EQ(sentinelSteps(n), 1) << "n=" << n;
+}
+
+TEST(SentinelSteps, LongWalksKeepAShortTail)
+{
+    EXPECT_EQ(sentinelSteps(10), 1);
+    EXPECT_EQ(sentinelSteps(16), 2);
+    EXPECT_EQ(sentinelSteps(20), 3);
+    EXPECT_EQ(sentinelSteps(44), 8);
+}
+
+TEST(SentinelSteps, AveragePointMatchesPaper)
+{
+    // [56]: average steps drop from 6.6 to 1.2. Check at the quoted
+    // operating point: a population averaging ~6.6 steps must come
+    // out near 1.2 after the transform.
+    const nand::ErrorModel model;
+    const nand::OperatingPoint op{0.0, 6.0, 85.0}; // avg ~6.6 steps
+    double before = 0.0, after = 0.0;
+    const int pages = 4000;
+    for (int p = 0; p < pages; ++p) {
+        const int n =
+            model.pageProfile(0, p / 576, p % 576, op).retrySteps;
+        before += n;
+        after += sentinelSteps(n);
+    }
+    before /= pages;
+    after /= pages;
+    EXPECT_NEAR(before, 6.6, 0.6);
+    EXPECT_NEAR(after, 1.2, 0.35);
+}
+
+TEST(SentinelSteps, NeverExceedsOriginalAndMonotone)
+{
+    for (int n = 0; n <= 44; ++n) {
+        EXPECT_LE(sentinelSteps(n), std::max(n, 0));
+        if (n > 0) {
+            EXPECT_LE(sentinelSteps(n - 1), sentinelSteps(n));
+        }
+    }
+}
+
+TEST(TransformedSteps, DispatchesPerMechanism)
+{
+    EXPECT_EQ(transformedSteps(Mechanism::Baseline, 10), 10);
+    EXPECT_EQ(transformedSteps(Mechanism::PnAR2, 10), 10);
+    EXPECT_EQ(transformedSteps(Mechanism::PSO, 10), psoSteps(10));
+    EXPECT_EQ(transformedSteps(Mechanism::PSO_PnAR2, 10), psoSteps(10));
+    EXPECT_EQ(transformedSteps(Mechanism::Sentinel, 10),
+              sentinelSteps(10));
+    EXPECT_EQ(transformedSteps(Mechanism::Sentinel_PnAR2, 10),
+              sentinelSteps(10));
+}
+
+TEST(SentinelMechanism, FlagsAndNames)
+{
+    EXPECT_EQ(parseMechanism("Sentinel"), Mechanism::Sentinel);
+    EXPECT_EQ(parseMechanism("Sentinel+PnAR2"),
+              Mechanism::Sentinel_PnAR2);
+    EXPECT_FALSE(usesPipelining(Mechanism::Sentinel));
+    EXPECT_TRUE(usesPipelining(Mechanism::Sentinel_PnAR2));
+    EXPECT_FALSE(usesAdaptiveTiming(Mechanism::Sentinel));
+    EXPECT_TRUE(usesAdaptiveTiming(Mechanism::Sentinel_PnAR2));
+    EXPECT_TRUE(usesStepReduction(Mechanism::Sentinel));
+    EXPECT_TRUE(usesStepReduction(Mechanism::Sentinel_PnAR2));
+}
+
+TEST(SentinelMechanism, StackingPnar2StillHelps)
+{
+    // Section 9: "Both of our proposed techniques can complement the
+    // Sentinel-based approach". Even at ~1.2 steps, shortening each
+    // step must reduce completion for every retrying page.
+    const nand::TimingParams timing;
+    const nand::ErrorModel model;
+    const Rpt rpt = RptBuilder(model).buildDefault();
+    RetryController sentinel(Mechanism::Sentinel, timing, model, &rpt);
+    RetryController stacked(Mechanism::Sentinel_PnAR2, timing, model,
+                            &rpt);
+    const nand::OperatingPoint op{1.0, 6.0, 30.0};
+
+    double sum_s = 0.0, sum_x = 0.0;
+    for (int p = 0; p < 300; ++p) {
+        const nand::PageErrorProfile prof =
+            model.pageProfile(0, 0, p, op);
+        ssd::Channel ch1, ch2;
+        ecc::EccEngine e1(timing.tECC, 72.0), e2(timing.tECC, 72.0);
+        const ReadPlan ps = sentinel.planRead(0, nand::PageType::LSB,
+                                              prof, op, ch1, e1);
+        const ReadPlan px = stacked.planRead(0, nand::PageType::LSB,
+                                             prof, op, ch2, e2);
+        EXPECT_EQ(ps.retrySteps, px.retrySteps);
+        sum_s += sim::toUsec(ps.completion);
+        sum_x += sim::toUsec(px.completion);
+    }
+    EXPECT_LT(sum_x, sum_s)
+        << "PR2+AR2 on top of Sentinel reduces average latency";
+}
+
+TEST(SentinelMechanism, SentinelBeatsPsoOnStepCount)
+{
+    // [56] reduces steps further than PSO (1.2 vs >= 3 in aged SSDs).
+    for (int n : {5, 10, 20, 44})
+        EXPECT_LT(sentinelSteps(n), psoSteps(n)) << "n=" << n;
+}
+
+} // namespace
+} // namespace ssdrr::core

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the BCH encoder/decoder: round trips at every error
+ * count up to t, detection beyond t, and the paper's t=72 design
+ * point (Section 2.4: 72 correctable bits per 1-KiB codeword).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "ecc/bch.hh"
+#include "sim/rng.hh"
+
+namespace ssdrr::ecc {
+namespace {
+
+std::vector<std::uint8_t>
+randomData(int bits, sim::Rng &rng)
+{
+    std::vector<std::uint8_t> d(bits);
+    for (auto &b : d)
+        b = static_cast<std::uint8_t>(rng.uniformInt(2));
+    return d;
+}
+
+/** Flip @p k distinct random bits of @p cw. */
+std::set<int>
+inject(std::vector<std::uint8_t> &cw, int k, sim::Rng &rng)
+{
+    std::set<int> pos;
+    while (static_cast<int>(pos.size()) < k)
+        pos.insert(static_cast<int>(rng.uniformInt(cw.size())));
+    for (int p : pos)
+        cw[p] ^= 1;
+    return pos;
+}
+
+TEST(Bch, ParametersOfSmallCode)
+{
+    // Classic BCH(15, 7, t=2) over GF(2^4): 8 parity bits.
+    const BchCode code(4, 2, 7);
+    EXPECT_EQ(code.t(), 2);
+    EXPECT_EQ(code.dataBits(), 7);
+    EXPECT_EQ(code.parityBits(), 8);
+    EXPECT_EQ(code.codewordBits(), 15);
+}
+
+TEST(Bch, GeneratorOfBch15_7_2IsKnownPolynomial)
+{
+    // g(x) = x^8 + x^7 + x^6 + x^4 + 1 for the (15, 7) 2-error code.
+    const BchCode code(4, 2, 7);
+    const std::vector<std::uint8_t> expected = {1, 0, 0, 0, 1, 0, 1, 1, 1};
+    EXPECT_EQ(code.generator(), expected);
+}
+
+TEST(Bch, EncodeIsSystematic)
+{
+    sim::Rng rng(1);
+    const BchCode code(6, 3, 30);
+    const auto data = randomData(30, rng);
+    const auto cw = code.encode(data);
+    ASSERT_EQ(static_cast<int>(cw.size()), code.codewordBits());
+    for (int i = 0; i < 30; ++i)
+        EXPECT_EQ(cw[code.parityBits() + i], data[i])
+            << "data must appear verbatim in the codeword";
+}
+
+TEST(Bch, CleanCodewordDecodesWithZeroCorrections)
+{
+    sim::Rng rng(2);
+    const BchCode code(6, 3, 30);
+    auto cw = code.encode(randomData(30, rng));
+    const auto res = code.decode(cw);
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.correctedErrors, 0);
+}
+
+TEST(Bch, CorrectsExactlyInjectedBits)
+{
+    sim::Rng rng(3);
+    const BchCode code(8, 5, 100);
+    const auto data = randomData(100, rng);
+    const auto clean = code.encode(data);
+    for (int k = 1; k <= 5; ++k) {
+        auto cw = clean;
+        inject(cw, k, rng);
+        const auto res = code.decode(cw);
+        EXPECT_TRUE(res.ok) << k << " errors";
+        EXPECT_EQ(res.correctedErrors, k);
+        EXPECT_EQ(cw, clean) << "decoded codeword must match original";
+    }
+}
+
+TEST(Bch, ErrorsInParityAreAlsoCorrected)
+{
+    sim::Rng rng(4);
+    const BchCode code(8, 4, 64);
+    const auto clean = code.encode(randomData(64, rng));
+    auto cw = clean;
+    // Flip bits 0 and 1, which live in the parity section.
+    cw[0] ^= 1;
+    cw[1] ^= 1;
+    const auto res = code.decode(cw);
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.correctedErrors, 2);
+    EXPECT_EQ(cw, clean);
+}
+
+TEST(Bch, DetectsMoreThanTErrors)
+{
+    sim::Rng rng(5);
+    const BchCode code(8, 4, 64);
+    int detected = 0;
+    const int trials = 40;
+    for (int i = 0; i < trials; ++i) {
+        auto cw = code.encode(randomData(64, rng));
+        const auto orig = cw;
+        inject(cw, 9, rng); // > 2t would surely fail; 2t+1 = 9
+        const auto res = code.decode(cw);
+        if (!res.ok)
+            ++detected;
+        else
+            EXPECT_NE(cw, orig) << "ok=true with wrong correction";
+    }
+    // Miscorrection is possible in principle but must be rare.
+    EXPECT_GE(detected, trials * 3 / 4);
+}
+
+TEST(Bch, ShorteningKeepsParityCount)
+{
+    // Shortened code: same generator, fewer data bits.
+    const BchCode full(8, 4, 200);
+    const BchCode shortened(8, 4, 64);
+    EXPECT_EQ(full.parityBits(), shortened.parityBits());
+    EXPECT_LT(shortened.codewordBits(), full.codewordBits());
+}
+
+TEST(Bch, RejectsOversizedCode)
+{
+    // 2^4 - 1 = 15 total bits; t=2 needs 8 parity -> max 7 data bits.
+    EXPECT_THROW(BchCode(4, 2, 8), std::logic_error);
+    EXPECT_NO_THROW(BchCode(4, 2, 7));
+}
+
+TEST(Bch, EncodeRejectsWrongLength)
+{
+    const BchCode code(6, 2, 20);
+    EXPECT_THROW(code.encode(std::vector<std::uint8_t>(19)),
+                 std::logic_error);
+    std::vector<std::uint8_t> bad(code.codewordBits() + 1, 0);
+    EXPECT_THROW(code.decode(bad), std::logic_error);
+}
+
+TEST(Bch, PaperDesignPointInstantiates)
+{
+    // Section 2.4 / 7.1: 72 correctable bits per 1-KiB (8192-bit)
+    // codeword requires GF(2^14); parity = at most 72 * 14 bits.
+    const BchCode code(14, 72, 8192);
+    EXPECT_EQ(code.t(), 72);
+    EXPECT_EQ(code.dataBits(), 8192);
+    EXPECT_LE(code.parityBits(), 72 * 14);
+    EXPECT_GT(code.parityBits(), 0);
+    // Code rate sanity: parity overhead roughly 12%, i.e., the spare
+    // area of a 16-KiB page with ~2 KiB spare can host it.
+    const double overhead =
+        static_cast<double>(code.parityBits()) / code.dataBits();
+    EXPECT_LT(overhead, 0.13);
+}
+
+TEST(Bch, PaperCodeCorrectsSeventyTwoErrors)
+{
+    sim::Rng rng(6);
+    const BchCode code(14, 72, 8192);
+    const auto data = randomData(8192, rng);
+    const auto clean = code.encode(data);
+
+    auto cw = clean;
+    inject(cw, 72, rng);
+    const auto res = code.decode(cw);
+    EXPECT_TRUE(res.ok) << "t errors must be correctable";
+    EXPECT_EQ(res.correctedErrors, 72);
+    EXPECT_EQ(cw, clean);
+}
+
+TEST(Bch, PaperCodeFlagsSeventyThreeErrors)
+{
+    sim::Rng rng(7);
+    const BchCode code(14, 72, 8192);
+    auto cw = code.encode(randomData(8192, rng));
+    inject(cw, 73, rng);
+    const auto res = code.decode(cw);
+    EXPECT_FALSE(res.ok)
+        << "t+1 errors must trigger the read-retry condition";
+}
+
+/**
+ * Round-trip sweep over (m, t, data_bits) x error count: decode must
+ * restore the exact codeword for every k <= t.
+ */
+class BchRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(BchRoundTrip, AllCorrectableErrorCounts)
+{
+    const auto [m, t, data_bits] = GetParam();
+    sim::Rng rng(static_cast<std::uint64_t>(m * 1000 + t * 10));
+    const BchCode code(m, t, data_bits);
+    const auto clean = code.encode(randomData(data_bits, rng));
+    for (int k = 0; k <= t; ++k) {
+        auto cw = clean;
+        inject(cw, k, rng);
+        const auto res = code.decode(cw);
+        ASSERT_TRUE(res.ok) << "k=" << k;
+        ASSERT_EQ(res.correctedErrors, k);
+        ASSERT_EQ(cw, clean) << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, BchRoundTrip,
+    ::testing::Values(std::make_tuple(4, 2, 7), std::make_tuple(5, 3, 15),
+                      std::make_tuple(6, 4, 30), std::make_tuple(8, 8, 128),
+                      std::make_tuple(10, 16, 512),
+                      std::make_tuple(12, 24, 1024),
+                      std::make_tuple(13, 40, 4096)));
+
+} // namespace
+} // namespace ssdrr::ecc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * End-to-end ECC datapath: the simulator's CapabilityModel treats
+ * "decode succeeds iff errors <= t" as an axiom; this test closes
+ * the loop by injecting the error model's per-step error counts into
+ * real BCH codewords and checking the real decoder agrees with the
+ * capability model on every step of a retry walk.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ecc/bch.hh"
+#include "ecc/engine.hh"
+#include "nand/error_model.hh"
+#include "sim/rng.hh"
+
+namespace ssdrr::ecc {
+namespace {
+
+class Datapath : public ::testing::Test
+{
+  protected:
+    // Scaled-down code with the same rate regime as the paper's
+    // t=72/8192: t=12 over 1024 data bits keeps the test fast while
+    // the capability threshold stays exact.
+    Datapath() : code_(12, 12, 1024), cap_(12.0) {}
+
+    /** Encode random data, flip @p errors bits, decode. */
+    bool
+    decodesWith(int errors, sim::Rng &rng) const
+    {
+        std::vector<std::uint8_t> data(1024);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.uniformInt(2));
+        auto cw = code_.encode(data);
+        std::set<int> pos;
+        while (static_cast<int>(pos.size()) < errors)
+            pos.insert(static_cast<int>(rng.uniformInt(cw.size())));
+        for (int p : pos)
+            cw[p] ^= 1;
+        const auto res = code_.decode(cw);
+        if (res.ok) {
+            // Corrected data must equal the original.
+            for (int i = 0; i < 1024; ++i)
+                EXPECT_EQ(cw[code_.parityBits() + i], data[i]);
+        }
+        return res.ok;
+    }
+
+    BchCode code_;
+    CapabilityModel cap_;
+};
+
+TEST_F(Datapath, RealDecoderMatchesCapabilityModelAtEveryCount)
+{
+    sim::Rng rng(11);
+    for (int errors = 0; errors <= 16; ++errors) {
+        const bool predicted = cap_.correctable(errors);
+        const bool actual = decodesWith(errors, rng);
+        if (errors <= 12) {
+            EXPECT_TRUE(predicted);
+            EXPECT_TRUE(actual) << errors << " errors";
+        } else {
+            EXPECT_FALSE(predicted);
+            EXPECT_FALSE(actual) << errors << " errors";
+        }
+    }
+}
+
+TEST_F(Datapath, RetryWalkVerdictsMatchRealDecoder)
+{
+    // Take a model-generated retry walk and re-enact it on real
+    // codewords: the per-step pass/fail verdicts of the capability
+    // model (what the SSD simulator uses) and of the real decoder
+    // (what hardware would do) must be identical.
+    nand::Calibration cal;
+    cal.eccCapability = 12.0;    // match the scaled-down code
+    cal.designCapability = 12.0; // retry table designed for it
+    // Scale error surfaces down with the capability so walks make
+    // sense at t=12 (errors per 1024-bit codeword).
+    cal.mBase = 1.0;
+    cal.mPe = 1.0;
+    cal.mRet = 1.7;
+    cal.mTemp = 1.0;
+    const nand::ErrorModel model(cal);
+    // Mild condition: walks of a handful of steps (mean ~4).
+    const nand::OperatingPoint op{0.25, 1.5, 85.0};
+
+    sim::Rng rng(13);
+    int walks = 0;
+    for (int p = 0; p < 40 && walks < 8; ++p) {
+        const nand::PageErrorProfile prof =
+            model.pageProfile(0, 0, p, op);
+        if (prof.retrySteps < 1 || prof.retrySteps > 6)
+            continue; // keep the test fast
+        ++walks;
+        for (int k = 0; k <= prof.retrySteps; ++k) {
+            const double e = model.stepErrors(prof, k);
+            const int errors = std::min(
+                static_cast<int>(std::lround(e)), code_.codewordBits());
+            const bool predicted = cap_.correctable(e);
+            const bool actual = decodesWith(errors, rng);
+            EXPECT_EQ(predicted, actual)
+                << "page " << p << " step " << k << " errors " << e;
+        }
+    }
+    EXPECT_GE(walks, 3) << "enough walks exercised";
+}
+
+TEST_F(Datapath, EngineLatencyIsIndependentOfErrorCount)
+{
+    // The hardware engine model charges a flat tECC per codeword
+    // regardless of the error count (pipelined decoders); verify the
+    // model's reservation behaviour reflects that.
+    EccEngine engine(sim::usec(20), 12.0);
+    const sim::Tick t0 = engine.acquire(0);
+    const sim::Tick t1 = engine.acquire(0);
+    EXPECT_EQ(t1 - t0, sim::usec(20));
+}
+
+} // namespace
+} // namespace ssdrr::ecc

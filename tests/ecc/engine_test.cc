@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the in-datapath ECC engine and capability model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/engine.hh"
+
+namespace ssdrr::ecc {
+namespace {
+
+TEST(CapabilityModel, ThresholdSemantics)
+{
+    const CapabilityModel cap(72.0);
+    EXPECT_DOUBLE_EQ(cap.capability(), 72.0);
+    EXPECT_TRUE(cap.correctable(0.0));
+    EXPECT_TRUE(cap.correctable(72.0)) << "boundary is correctable";
+    EXPECT_FALSE(cap.correctable(72.1));
+}
+
+TEST(CapabilityModel, MarginIsSignedDistance)
+{
+    const CapabilityModel cap(72.0);
+    EXPECT_DOUBLE_EQ(cap.margin(40.0), 32.0);
+    EXPECT_DOUBLE_EQ(cap.margin(72.0), 0.0);
+    EXPECT_DOUBLE_EQ(cap.margin(100.0), -28.0);
+}
+
+TEST(EccEngine, FirstDecodeStartsImmediately)
+{
+    EccEngine e(sim::usec(20), 72.0);
+    EXPECT_EQ(e.acquire(sim::usec(5)), sim::usec(5));
+    EXPECT_EQ(e.busyUntil(), sim::usec(25));
+    EXPECT_EQ(e.decodes(), 1u);
+}
+
+TEST(EccEngine, BackToBackDecodesSerialize)
+{
+    EccEngine e(sim::usec(20), 72.0);
+    EXPECT_EQ(e.acquire(0), 0u);
+    EXPECT_EQ(e.acquire(0), sim::usec(20))
+        << "second decode waits for the first";
+    EXPECT_EQ(e.acquire(sim::usec(100)), sim::usec(100));
+    EXPECT_EQ(e.totalBusy(), sim::usec(60));
+}
+
+TEST(EccEngine, GapsBetweenDecodesAreUsable)
+{
+    // A retry plan reserves decodes ~126 us apart; an independent
+    // read must slot its decode into the gap instead of queueing at
+    // the horizon.
+    EccEngine e(sim::usec(20), 72.0);
+    e.acquire(0);               // [0, 20)
+    e.acquire(sim::usec(126));  // [126, 146)
+    EXPECT_EQ(e.acquire(sim::usec(30)), sim::usec(30))
+        << "gap [20, 126) fits a 20-us decode";
+}
+
+TEST(EccEngine, ReleaseKeepsFutureReservations)
+{
+    EccEngine e(sim::usec(20), 72.0);
+    e.acquire(0);
+    e.acquire(sim::usec(200));
+    e.releaseBefore(sim::usec(100));
+    EXPECT_EQ(e.acquire(sim::usec(200)), sim::usec(220))
+        << "future window still blocks";
+}
+
+TEST(EccEngine, CapabilityIsExposed)
+{
+    EccEngine e(sim::usec(20), 60.0);
+    EXPECT_TRUE(e.model().correctable(60.0));
+    EXPECT_FALSE(e.model().correctable(61.0));
+    EXPECT_EQ(e.tEcc(), sim::usec(20));
+}
+
+} // namespace
+} // namespace ssdrr::ecc

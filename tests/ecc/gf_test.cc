@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for GF(2^m) arithmetic: field axioms, log/antilog
+ * consistency, and inverse correctness across supported field sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ecc/gf.hh"
+
+namespace ssdrr::ecc {
+namespace {
+
+TEST(GaloisField, SizesMatchDegree)
+{
+    for (int m = 3; m <= 14; ++m) {
+        const GaloisField gf(m);
+        EXPECT_EQ(gf.m(), m);
+        EXPECT_EQ(gf.n(), (1u << m) - 1);
+        EXPECT_EQ(gf.size(), 1u << m);
+    }
+}
+
+TEST(GaloisField, AdditionIsXor)
+{
+    EXPECT_EQ(GaloisField::add(0b1010, 0b0110), 0b1100u);
+    EXPECT_EQ(GaloisField::add(7, 7), 0u) << "characteristic 2";
+}
+
+TEST(GaloisField, MultiplicationByZeroAndOne)
+{
+    const GaloisField gf(8);
+    for (std::uint32_t a : {0u, 1u, 2u, 37u, 255u}) {
+        EXPECT_EQ(gf.mul(a, 0), 0u);
+        EXPECT_EQ(gf.mul(0, a), 0u);
+        EXPECT_EQ(gf.mul(a, 1), a);
+        EXPECT_EQ(gf.mul(1, a), a);
+    }
+}
+
+TEST(GaloisField, MultiplicationCommutes)
+{
+    const GaloisField gf(8);
+    for (std::uint32_t a = 1; a < 256; a += 13)
+        for (std::uint32_t b = 1; b < 256; b += 17)
+            EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+}
+
+TEST(GaloisField, MultiplicationAssociates)
+{
+    const GaloisField gf(6);
+    for (std::uint32_t a = 1; a < 64; a += 5)
+        for (std::uint32_t b = 1; b < 64; b += 7)
+            for (std::uint32_t c = 1; c < 64; c += 11)
+                EXPECT_EQ(gf.mul(gf.mul(a, b), c),
+                          gf.mul(a, gf.mul(b, c)));
+}
+
+TEST(GaloisField, DistributesOverAddition)
+{
+    const GaloisField gf(6);
+    for (std::uint32_t a = 1; a < 64; a += 3)
+        for (std::uint32_t b = 0; b < 64; b += 5)
+            for (std::uint32_t c = 0; c < 64; c += 7)
+                EXPECT_EQ(gf.mul(a, GaloisField::add(b, c)),
+                          GaloisField::add(gf.mul(a, b), gf.mul(a, c)));
+}
+
+TEST(GaloisField, InverseRoundTrips)
+{
+    const GaloisField gf(10);
+    for (std::uint32_t a = 1; a < gf.size(); a += 37) {
+        const std::uint32_t inv = gf.inv(a);
+        EXPECT_EQ(gf.mul(a, inv), 1u) << "a=" << a;
+    }
+}
+
+TEST(GaloisField, DivisionIsMulByInverse)
+{
+    const GaloisField gf(8);
+    for (std::uint32_t a = 1; a < 256; a += 29)
+        for (std::uint32_t b = 1; b < 256; b += 31) {
+            EXPECT_EQ(gf.div(gf.mul(a, b), b), a);
+            EXPECT_EQ(gf.div(a, b), gf.mul(a, gf.inv(b)));
+        }
+}
+
+TEST(GaloisField, LogExpRoundTrip)
+{
+    const GaloisField gf(9);
+    for (std::uint32_t a = 1; a < gf.size(); a += 11)
+        EXPECT_EQ(gf.alphaPow(gf.log(a)), a);
+}
+
+TEST(GaloisField, AlphaGeneratesWholeGroup)
+{
+    const GaloisField gf(7);
+    std::set<std::uint32_t> seen;
+    for (std::uint32_t i = 0; i < gf.n(); ++i)
+        seen.insert(gf.alphaPow(i));
+    EXPECT_EQ(seen.size(), gf.n())
+        << "alpha must be primitive: its powers cover all nonzero "
+           "elements";
+}
+
+TEST(GaloisField, AlphaPowHandlesNegativeAndLargeExponents)
+{
+    const GaloisField gf(8);
+    const auto n = static_cast<std::int64_t>(gf.n());
+    EXPECT_EQ(gf.alphaPow(-1), gf.alphaPow(n - 1));
+    EXPECT_EQ(gf.alphaPow(n), gf.alphaPow(0));
+    EXPECT_EQ(gf.alphaPow(3 * n + 5), gf.alphaPow(5));
+    EXPECT_EQ(gf.alphaPow(0), 1u);
+}
+
+TEST(GaloisField, PowMatchesRepeatedMul)
+{
+    const GaloisField gf(8);
+    for (std::uint32_t a : {2u, 3u, 87u, 200u}) {
+        std::uint32_t acc = 1;
+        for (std::uint64_t e = 0; e < 20; ++e) {
+            EXPECT_EQ(gf.pow(a, e), acc) << "a=" << a << " e=" << e;
+            acc = gf.mul(acc, a);
+        }
+    }
+    EXPECT_EQ(gf.pow(0, 0), 1u) << "0^0 convention";
+    EXPECT_EQ(gf.pow(0, 5), 0u);
+}
+
+TEST(GaloisField, FermatLittleTheorem)
+{
+    // a^(2^m - 1) = 1 for every nonzero a.
+    const GaloisField gf(8);
+    for (std::uint32_t a = 1; a < gf.size(); a += 7)
+        EXPECT_EQ(gf.pow(a, gf.n()), 1u);
+}
+
+TEST(GaloisField, PrimitivePolyHasDegreeM)
+{
+    for (int m = 3; m <= 14; ++m) {
+        const GaloisField gf(m);
+        const std::uint32_t p = gf.primitivePoly();
+        EXPECT_EQ(p >> m, 1u) << "degree bit set for m=" << m;
+        EXPECT_EQ(p >> (m + 1), 0u) << "no higher bits for m=" << m;
+        EXPECT_EQ(p & 1, 1u) << "constant term for irreducibility";
+    }
+}
+
+TEST(GaloisField, UnsupportedDegreePanics)
+{
+    EXPECT_THROW(GaloisField(2), std::logic_error);
+    EXPECT_THROW(GaloisField(15), std::logic_error);
+}
+
+TEST(GaloisField, ZeroInverseAndLogPanic)
+{
+    const GaloisField gf(8);
+    EXPECT_THROW(gf.inv(0), std::logic_error);
+    EXPECT_THROW(gf.log(0), std::logic_error);
+    EXPECT_THROW(gf.div(5, 0), std::logic_error);
+}
+
+/** Field axioms hold across every supported degree (TEST_P sweep). */
+class GfDegreeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GfDegreeSweep, SampledAxioms)
+{
+    const GaloisField gf(GetParam());
+    const std::uint32_t step = gf.n() / 17 + 1;
+    for (std::uint32_t a = 1; a < gf.size(); a += step) {
+        EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+        EXPECT_EQ(gf.alphaPow(gf.log(a)), a);
+        for (std::uint32_t b = 1; b < gf.size(); b += step) {
+            // log(ab) = log a + log b (mod n)
+            const std::uint32_t prod = gf.mul(a, b);
+            EXPECT_EQ(gf.log(prod),
+                      (gf.log(a) + gf.log(b)) % gf.n());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, GfDegreeSweep,
+                         ::testing::Values(3, 4, 5, 6, 8, 10, 12, 13, 14));
+
+} // namespace
+} // namespace ssdrr::ecc

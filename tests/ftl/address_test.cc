@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for SSD-internal address flattening and hierarchy mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ftl/address.hh"
+
+namespace ssdrr::ftl {
+namespace {
+
+AddressLayout
+tinyLayout()
+{
+    AddressLayout l;
+    l.channels = 2;
+    l.diesPerChannel = 2;
+    l.planesPerDie = 2;
+    l.blocksPerPlane = 3;
+    l.pagesPerBlock = 4;
+    return l;
+}
+
+TEST(AddressLayout, PaperDefaultsTotalCapacity)
+{
+    const AddressLayout l;
+    EXPECT_EQ(l.totalPlanes(), 32u);
+    EXPECT_EQ(l.totalDies(), 16u);
+    EXPECT_EQ(l.pagesPerPlane(), 1888ull * 576);
+    // 32 planes x 1888 blocks x 576 pages x 16 KiB = 531 GiB raw.
+    EXPECT_EQ(l.totalPages(), 32ull * 1888 * 576);
+}
+
+TEST(AddressLayout, FlatPageRoundTrips)
+{
+    const AddressLayout l = tinyLayout();
+    for (std::uint64_t fp = 0; fp < l.totalPages(); ++fp) {
+        const Ppn p = l.fromFlatPage(fp);
+        EXPECT_EQ(l.flatPage(p), fp);
+        EXPECT_LT(p.plane, l.totalPlanes());
+        EXPECT_LT(p.block, l.blocksPerPlane);
+        EXPECT_LT(p.page, l.pagesPerBlock);
+    }
+}
+
+TEST(AddressLayout, FlatBlockIsUnique)
+{
+    const AddressLayout l = tinyLayout();
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t pl = 0; pl < l.totalPlanes(); ++pl)
+        for (std::uint32_t b = 0; b < l.blocksPerPlane; ++b) {
+            Ppn p{pl, b, 0};
+            EXPECT_TRUE(seen.insert(l.flatBlock(p)).second);
+        }
+    EXPECT_EQ(seen.size(), l.totalPlanes() * l.blocksPerPlane);
+}
+
+TEST(AddressLayout, ChannelOfGroupsPlanesChannelMajor)
+{
+    const AddressLayout l = tinyLayout();
+    // 2 ch x 2 dies x 2 planes: planes 0-3 -> ch 0, planes 4-7 -> ch 1.
+    EXPECT_EQ(l.channelOf(Ppn{0, 0, 0}), 0u);
+    EXPECT_EQ(l.channelOf(Ppn{3, 0, 0}), 0u);
+    EXPECT_EQ(l.channelOf(Ppn{4, 0, 0}), 1u);
+    EXPECT_EQ(l.channelOf(Ppn{7, 0, 0}), 1u);
+}
+
+TEST(AddressLayout, DieOfIsGlobalAcrossChannels)
+{
+    const AddressLayout l = tinyLayout();
+    EXPECT_EQ(l.dieOf(Ppn{0, 0, 0}), 0u);
+    EXPECT_EQ(l.dieOf(Ppn{1, 0, 0}), 0u);
+    EXPECT_EQ(l.dieOf(Ppn{2, 0, 0}), 1u);
+    EXPECT_EQ(l.dieOf(Ppn{6, 0, 0}), 3u);
+    // die index consistent with channel grouping
+    for (std::uint32_t pl = 0; pl < l.totalPlanes(); ++pl) {
+        const Ppn p{pl, 0, 0};
+        EXPECT_EQ(l.dieOf(p) / l.diesPerChannel, l.channelOf(p));
+    }
+}
+
+TEST(AddressLayout, PlaneInDieAlternates)
+{
+    const AddressLayout l = tinyLayout();
+    EXPECT_EQ(l.planeInDie(Ppn{0, 0, 0}), 0u);
+    EXPECT_EQ(l.planeInDie(Ppn{1, 0, 0}), 1u);
+    EXPECT_EQ(l.planeInDie(Ppn{2, 0, 0}), 0u);
+}
+
+TEST(Ppn, EqualityComparesAllFields)
+{
+    const Ppn a{1, 2, 3};
+    Ppn b = a;
+    EXPECT_TRUE(a == b);
+    b.page = 9;
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace ssdrr::ftl

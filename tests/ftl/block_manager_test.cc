@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for per-plane block allocation, validity, victim selection
+ * and wear/retention tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ftl/block_manager.hh"
+
+namespace ssdrr::ftl {
+namespace {
+
+AddressLayout
+tinyLayout()
+{
+    AddressLayout l;
+    l.channels = 1;
+    l.diesPerChannel = 1;
+    l.planesPerDie = 2;
+    l.blocksPerPlane = 4;
+    l.pagesPerBlock = 3;
+    return l;
+}
+
+TEST(BlockManager, StartsAllFree)
+{
+    const BlockManager bm(tinyLayout(), 0.0);
+    EXPECT_EQ(bm.freeBlocks(0), 4u);
+    EXPECT_EQ(bm.freeBlocks(1), 4u);
+    EXPECT_EQ(bm.totalErases(), 0u);
+}
+
+TEST(BlockManager, AllocatesSequentiallyWithinFrontier)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    const Ppn a = bm.allocate(0, 10, 100);
+    const Ppn b = bm.allocate(0, 11, 200);
+    EXPECT_EQ(a.plane, 0u);
+    EXPECT_EQ(a.block, b.block) << "same frontier block";
+    EXPECT_EQ(a.page, 0u);
+    EXPECT_EQ(b.page, 1u);
+    EXPECT_EQ(bm.freeBlocks(0), 3u) << "frontier left the free list";
+}
+
+TEST(BlockManager, OpensNewFrontierWhenFull)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    for (int i = 0; i < 3; ++i)
+        bm.allocate(0, i, 0);
+    const Ppn next = bm.allocate(0, 3, 0);
+    EXPECT_EQ(next.page, 0u);
+    EXPECT_EQ(bm.freeBlocks(0), 2u);
+}
+
+TEST(BlockManager, TracksOwnerAndValidity)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    const Ppn p = bm.allocate(0, 42, 7);
+    EXPECT_TRUE(bm.isValid(p));
+    EXPECT_EQ(bm.lpnOf(p), 42u);
+    EXPECT_EQ(bm.epochOf(p), 7u);
+    EXPECT_EQ(bm.validCount(0, p.block), 1u);
+
+    bm.invalidate(p);
+    EXPECT_FALSE(bm.isValid(p));
+    EXPECT_EQ(bm.validCount(0, p.block), 0u);
+}
+
+TEST(BlockManager, DoubleInvalidatePanics)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    const Ppn p = bm.allocate(0, 1, 0);
+    bm.invalidate(p);
+    EXPECT_THROW(bm.invalidate(p), std::logic_error);
+}
+
+TEST(BlockManager, VictimIsMinValidFullBlock)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    // Fill block A with 3 pages, invalidate 2; fill block B, keep 3.
+    Ppn a0 = bm.allocate(0, 0, 0);
+    Ppn a1 = bm.allocate(0, 1, 0);
+    bm.allocate(0, 2, 0); // fills first block
+    bm.allocate(0, 3, 0);
+    bm.allocate(0, 4, 0);
+    bm.allocate(0, 5, 0); // fills second block
+    bm.invalidate(a0);
+    bm.invalidate(a1);
+
+    std::uint32_t victim = 99;
+    ASSERT_TRUE(bm.pickVictim(0, victim));
+    EXPECT_EQ(victim, a0.block) << "fewest valid pages wins";
+}
+
+TEST(BlockManager, FrontierAndFreeBlocksAreNotVictims)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    bm.allocate(0, 0, 0); // partially-written frontier only
+    std::uint32_t victim = 99;
+    EXPECT_FALSE(bm.pickVictim(0, victim))
+        << "no fully-written candidate exists";
+}
+
+TEST(BlockManager, EraseRequiresNoValidPages)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    const Ppn a = bm.allocate(0, 0, 0);
+    bm.allocate(0, 1, 0);
+    bm.allocate(0, 2, 0);
+    bm.invalidate(a);
+    EXPECT_THROW(bm.erase(0, a.block), std::logic_error)
+        << "2 valid pages remain";
+}
+
+TEST(BlockManager, EraseRecyclesAndCountsWear)
+{
+    BlockManager bm(tinyLayout(), 0.5);
+    Ppn ps[3];
+    for (int i = 0; i < 3; ++i)
+        ps[i] = bm.allocate(0, i, 0);
+    for (const auto &p : ps)
+        bm.invalidate(p);
+    const std::uint32_t blk = ps[0].block;
+    EXPECT_NEAR(bm.peKilo(0, blk), 0.5, 1e-12) << "preconditioned wear";
+
+    bm.erase(0, blk);
+    EXPECT_EQ(bm.totalErases(), 1u);
+    EXPECT_NEAR(bm.peKilo(0, blk), 0.501, 1e-12)
+        << "one runtime erase adds 1/1000 kilo-cycles";
+    EXPECT_EQ(bm.freeBlocks(0), 4u) << "block returned to free list";
+}
+
+TEST(BlockManager, EraseOfFreeBlockPanics)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    EXPECT_THROW(bm.erase(0, 2), std::logic_error);
+}
+
+TEST(BlockManager, PlanesAreIndependent)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    const Ppn a = bm.allocate(0, 1, 0);
+    const Ppn b = bm.allocate(1, 2, 0);
+    EXPECT_EQ(a.plane, 0u);
+    EXPECT_EQ(b.plane, 1u);
+    EXPECT_EQ(a.block, b.block) << "each plane has its own allocator";
+    EXPECT_EQ(bm.freeBlocks(0), 3u);
+    EXPECT_EQ(bm.freeBlocks(1), 3u);
+}
+
+TEST(BlockManager, ExhaustionPanics)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    for (int i = 0; i < 4 * 3; ++i)
+        bm.allocate(0, i, 0);
+    EXPECT_THROW(bm.allocate(0, 99, 0), std::logic_error)
+        << "plane out of free blocks";
+}
+
+TEST(BlockManager, BaseEpochSentinelSurvives)
+{
+    BlockManager bm(tinyLayout(), 0.0);
+    const Ppn p = bm.allocate(0, 0, kBaseEpoch);
+    EXPECT_EQ(bm.epochOf(p), kBaseEpoch);
+}
+
+} // namespace
+} // namespace ssdrr::ftl

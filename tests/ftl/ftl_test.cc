@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the FTL facade: preconditioning, translation, host
+ * writes, garbage collection and operating-point derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "ftl/ftl.hh"
+
+namespace ssdrr::ftl {
+namespace {
+
+AddressLayout
+smallLayout()
+{
+    AddressLayout l;
+    l.channels = 2;
+    l.diesPerChannel = 2;
+    l.planesPerDie = 2;
+    l.blocksPerPlane = 12;
+    l.pagesPerBlock = 8;
+    return l;
+}
+
+/** Logical capacity leaving (gcThreshold + 2) blocks OP per plane. */
+std::uint64_t
+logicalFor(const AddressLayout &l, std::size_t gc_threshold)
+{
+    return l.totalPages() -
+           l.totalPlanes() * (gc_threshold + 2) * l.pagesPerBlock;
+}
+
+TEST(Ftl, PreconditionMapsEveryLogicalPage)
+{
+    const AddressLayout l = smallLayout();
+    const std::uint64_t lp = logicalFor(l, 2);
+    Ftl ftl(l, lp, 1.0, 6.0, 2);
+    ftl.precondition();
+    EXPECT_EQ(ftl.map().mappedCount(), lp);
+
+    // Every mapping resolves and is unique.
+    std::set<std::uint64_t> seen;
+    for (Lpn lpn = 0; lpn < lp; ++lpn) {
+        const Ppn p = ftl.translate(lpn);
+        EXPECT_TRUE(seen.insert(l.flatPage(p)).second) << "lpn " << lpn;
+    }
+}
+
+TEST(Ftl, PreconditionStripesAcrossPlanes)
+{
+    const AddressLayout l = smallLayout();
+    Ftl ftl(l, logicalFor(l, 2), 0.0, 0.0, 2);
+    ftl.precondition();
+    // Consecutive LPNs land on consecutive planes (die parallelism).
+    const Ppn p0 = ftl.translate(0);
+    const Ppn p1 = ftl.translate(1);
+    EXPECT_NE(p0.plane, p1.plane);
+    EXPECT_EQ(ftl.translate(l.totalPlanes()).plane, p0.plane)
+        << "stripe wraps around after totalPlanes pages";
+}
+
+TEST(Ftl, DoublePreconditionPanics)
+{
+    const AddressLayout l = smallLayout();
+    Ftl ftl(l, logicalFor(l, 2), 0.0, 0.0, 2);
+    ftl.precondition();
+    EXPECT_THROW(ftl.precondition(), std::logic_error);
+}
+
+TEST(Ftl, TranslateUnmappedPanics)
+{
+    const AddressLayout l = smallLayout();
+    Ftl ftl(l, logicalFor(l, 2), 0.0, 0.0, 2);
+    EXPECT_THROW(ftl.translate(0), std::logic_error);
+}
+
+TEST(Ftl, HostWriteRemapsAndInvalidatesOld)
+{
+    const AddressLayout l = smallLayout();
+    Ftl ftl(l, logicalFor(l, 2), 0.0, 6.0, 2);
+    ftl.precondition();
+    const Ppn old = ftl.translate(5);
+    const WriteAlloc wa = ftl.hostWrite(5, sim::usec(10));
+    EXPECT_FALSE(ftl.blocks().isValid(old)) << "old copy dead";
+    EXPECT_TRUE(ftl.blocks().isValid(wa.ppn));
+    const Ppn now = ftl.translate(5);
+    EXPECT_TRUE(now == wa.ppn);
+    EXPECT_EQ(ftl.blocks().lpnOf(wa.ppn), 5u);
+}
+
+TEST(Ftl, WriteToUnmappedLpnJustMaps)
+{
+    const AddressLayout l = smallLayout();
+    Ftl ftl(l, logicalFor(l, 2), 0.0, 0.0, 2);
+    const WriteAlloc wa = ftl.hostWrite(7, 0);
+    EXPECT_TRUE(ftl.translate(7) == wa.ppn);
+    EXPECT_EQ(ftl.map().mappedCount(), 1u);
+}
+
+TEST(Ftl, RetentionOfPreconditionedPageIsBaseAge)
+{
+    const AddressLayout l = smallLayout();
+    Ftl ftl(l, logicalFor(l, 2), 1.0, 9.0, 2);
+    ftl.precondition();
+    EXPECT_DOUBLE_EQ(ftl.retentionMonths(ftl.translate(0), sim::sec(100)),
+                     9.0);
+}
+
+TEST(Ftl, RetentionOfRewrittenPageIsEffectivelyZero)
+{
+    const AddressLayout l = smallLayout();
+    Ftl ftl(l, logicalFor(l, 2), 1.0, 9.0, 2);
+    ftl.precondition();
+    const WriteAlloc wa = ftl.hostWrite(3, sim::sec(1));
+    const double ret = ftl.retentionMonths(wa.ppn, sim::sec(2));
+    EXPECT_LT(ret, 1e-3) << "a 1-second-old page is fresh";
+    EXPECT_GE(ret, 0.0);
+}
+
+TEST(Ftl, OpPointCombinesWearRetentionTemperature)
+{
+    const AddressLayout l = smallLayout();
+    Ftl ftl(l, logicalFor(l, 2), 1.5, 12.0, 2);
+    ftl.precondition();
+    const nand::OperatingPoint op =
+        ftl.opPoint(ftl.translate(0), 0, 55.0);
+    EXPECT_DOUBLE_EQ(op.peKilo, 1.5);
+    EXPECT_DOUBLE_EQ(op.retentionMonths, 12.0);
+    EXPECT_DOUBLE_EQ(op.temperatureC, 55.0);
+}
+
+TEST(Ftl, GcTriggersWhenFreeBlocksLow)
+{
+    const AddressLayout l = smallLayout();
+    const std::uint64_t lp = logicalFor(l, 3);
+    Ftl ftl(l, lp, 0.0, 0.0, 3);
+    ftl.precondition();
+
+    // Overwrite the whole logical space repeatedly; eventually every
+    // plane dips below the threshold and GC must reclaim.
+    std::uint64_t gc_seen = 0;
+    for (int round = 0; round < 4; ++round) {
+        for (Lpn lpn = 0; lpn < lp; ++lpn) {
+            const WriteAlloc wa = ftl.hostWrite(lpn, sim::usec(lpn));
+            gc_seen += wa.gc.size();
+        }
+    }
+    EXPECT_GT(gc_seen, 0u);
+    EXPECT_EQ(ftl.gcCollections(), gc_seen);
+    EXPECT_GT(ftl.blocks().totalErases(), 0u);
+
+    // After all that churn the FTL must still resolve every LPN and
+    // free-block invariants must hold on every plane.
+    std::set<std::uint64_t> seen;
+    for (Lpn lpn = 0; lpn < lp; ++lpn)
+        EXPECT_TRUE(seen.insert(l.flatPage(ftl.translate(lpn))).second);
+    for (std::uint32_t pl = 0; pl < l.totalPlanes(); ++pl)
+        EXPECT_GE(ftl.blocks().freeBlocks(pl), 3u)
+            << "GC must keep plane " << pl << " above threshold";
+}
+
+TEST(Ftl, GcMovesPreserveLpnOwnership)
+{
+    const AddressLayout l = smallLayout();
+    const std::uint64_t lp = logicalFor(l, 3);
+    Ftl ftl(l, lp, 0.0, 0.0, 3);
+    ftl.precondition();
+    for (int round = 0; round < 3; ++round) {
+        for (Lpn lpn = 0; lpn < lp; ++lpn) {
+            const WriteAlloc wa = ftl.hostWrite(lpn, 0);
+            for (const GcWork &w : wa.gc) {
+                for (const GcMove &m : w.moves) {
+                    EXPECT_TRUE(ftl.translate(m.lpn) == m.to)
+                        << "map must point at the relocation target";
+                    EXPECT_TRUE(ftl.blocks().isValid(m.to));
+                    EXPECT_EQ(ftl.blocks().lpnOf(m.to), m.lpn);
+                }
+            }
+        }
+    }
+}
+
+TEST(Ftl, InsufficientOverProvisioningPanics)
+{
+    const AddressLayout l = smallLayout();
+    EXPECT_THROW(Ftl(l, l.totalPages(), 0.0, 0.0, 2), std::logic_error);
+}
+
+} // namespace
+} // namespace ssdrr::ftl

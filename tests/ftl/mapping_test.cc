@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the logical-to-physical page map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ftl/mapping.hh"
+
+namespace ssdrr::ftl {
+namespace {
+
+TEST(PageMap, StartsUnmapped)
+{
+    const PageMap m(100);
+    EXPECT_EQ(m.logicalPages(), 100u);
+    EXPECT_EQ(m.mappedCount(), 0u);
+    for (Lpn l = 0; l < 100; l += 17)
+        EXPECT_FALSE(m.mapped(l));
+}
+
+TEST(PageMap, BindLookupRoundTrip)
+{
+    PageMap m(10);
+    m.bind(3, 42);
+    EXPECT_TRUE(m.mapped(3));
+    EXPECT_EQ(m.lookup(3), 42u);
+    EXPECT_EQ(m.mappedCount(), 1u);
+}
+
+TEST(PageMap, RebindOverwrites)
+{
+    PageMap m(10);
+    m.bind(3, 42);
+    m.bind(3, 77);
+    EXPECT_EQ(m.lookup(3), 77u);
+    EXPECT_EQ(m.mappedCount(), 1u) << "rebinding is not a new mapping";
+}
+
+TEST(PageMap, UnbindReturnsOldAndClears)
+{
+    PageMap m(10);
+    m.bind(5, 99);
+    EXPECT_EQ(m.unbind(5), 99u);
+    EXPECT_FALSE(m.mapped(5));
+    EXPECT_EQ(m.mappedCount(), 0u);
+}
+
+TEST(PageMap, LookupOfUnmappedPanics)
+{
+    const PageMap m(10);
+    EXPECT_THROW(m.lookup(3), std::logic_error);
+}
+
+TEST(PageMap, OutOfRangeLpnPanics)
+{
+    PageMap m(10);
+    EXPECT_THROW(m.bind(10, 0), std::logic_error);
+    EXPECT_THROW(m.lookup(10), std::logic_error);
+    EXPECT_THROW((void)m.mapped(10), std::logic_error);
+}
+
+TEST(PageMap, ManyBindingsCount)
+{
+    PageMap m(1000);
+    for (Lpn l = 0; l < 1000; ++l)
+        m.bind(l, l * 2);
+    EXPECT_EQ(m.mappedCount(), 1000u);
+    for (Lpn l = 0; l < 1000; l += 97)
+        EXPECT_EQ(m.lookup(l), l * 2);
+}
+
+} // namespace
+} // namespace ssdrr::ftl

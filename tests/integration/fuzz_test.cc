@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Randomized full-stack invariant tests: arbitrary request
+ * interleavings must preserve conservation (every submitted request
+ * completes exactly once), FTL bijectivity, free-block floors and
+ * statistics coherence, under every mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+#include "ssd/ssd.hh"
+
+namespace ssdrr {
+namespace {
+
+ssd::Config
+fuzzConfig(std::uint64_t seed)
+{
+    ssd::Config c = ssd::Config::small();
+    c.blocksPerPlane = 24;
+    c.userFraction = 0.70;
+    c.basePeKilo = 1.0;
+    c.baseRetentionMonths = 6.0;
+    c.seed = seed;
+    return c;
+}
+
+/** One random session: mixed requests at random times and sizes. */
+class SsdFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SsdFuzz, RandomTrafficPreservesInvariants)
+{
+    const std::uint64_t seed = GetParam();
+    sim::Rng rng(seed);
+    const ssd::Config cfg = fuzzConfig(seed);
+
+    // Rotate mechanisms across seeds so the whole matrix gets
+    // fuzzed over the instantiation.
+    const core::Mechanism mechs[] = {
+        core::Mechanism::Baseline,      core::Mechanism::PR2,
+        core::Mechanism::AR2,           core::Mechanism::PnAR2,
+        core::Mechanism::PSO_PnAR2,     core::Mechanism::Sentinel_PnAR2,
+    };
+    const core::Mechanism mech = mechs[seed % std::size(mechs)];
+
+    ssd::Ssd ssd(cfg, mech);
+    ssd.ftl().precondition();
+    const std::uint64_t space = ssd.ftl().logicalPages();
+
+    std::uint64_t submitted_reads = 0, submitted_writes = 0;
+    sim::Tick t = 0;
+    for (std::uint64_t id = 1; id <= 400; ++id) {
+        ssd::HostRequest req;
+        req.id = id;
+        t += rng.uniformInt(sim::usec(400));
+        req.arrival = t;
+        req.pages = 1 + static_cast<std::uint32_t>(rng.uniformInt(6));
+        req.lpn = rng.uniformInt(space - req.pages);
+        req.isRead = rng.chance(0.6);
+        (req.isRead ? submitted_reads : submitted_writes) += 1;
+        ssd.eventQueue().schedule(
+            req.arrival, [&ssd, req] { ssd.submit(req); });
+    }
+    ssd.drain();
+
+    // Conservation: every request completed exactly once.
+    const ssd::RunStats st = ssd.stats();
+    EXPECT_EQ(st.reads, submitted_reads);
+    EXPECT_EQ(st.writes, submitted_writes);
+    EXPECT_EQ(ssd.responseTimes().count(),
+              submitted_reads + submitted_writes);
+
+    // Statistics coherence.
+    EXPECT_GT(st.avgResponseUs, 0.0);
+    EXPECT_GE(st.maxResponseUs, st.p99ResponseUs);
+    EXPECT_GE(st.p99ResponseUs, 0.0);
+    EXPECT_EQ(st.readFailures, 0u);
+
+    // FTL bijectivity: every mapped LPN resolves to a distinct,
+    // valid physical page owned by that LPN.
+    std::set<std::uint64_t> seen;
+    const ftl::AddressLayout layout = cfg.layout();
+    for (ftl::Lpn lpn = 0; lpn < space; ++lpn) {
+        const ftl::Ppn ppn = ssd.ftl().translate(lpn);
+        EXPECT_TRUE(seen.insert(layout.flatPage(ppn)).second)
+            << "two LPNs share physical page (lpn " << lpn << ")";
+        EXPECT_TRUE(ssd.ftl().blocks().isValid(ppn)) << lpn;
+        EXPECT_EQ(ssd.ftl().blocks().lpnOf(ppn), lpn);
+    }
+
+    // Free-block floors hold on every plane.
+    for (std::uint32_t pl = 0; pl < layout.totalPlanes(); ++pl)
+        EXPECT_GE(ssd.ftl().blocks().freeBlocks(pl), 1u) << "plane " << pl;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsdFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u, 9u, 10u, 11u, 12u));
+
+TEST(SsdFuzzDeterminism, SameSeedSameResult)
+{
+    for (core::Mechanism mech :
+         {core::Mechanism::PnAR2, core::Mechanism::PSO_PnAR2}) {
+        double first = -1.0;
+        std::uint64_t first_events = 0;
+        for (int run = 0; run < 2; ++run) {
+            sim::Rng rng(99);
+            const ssd::Config cfg = fuzzConfig(99);
+            ssd::Ssd ssd(cfg, mech);
+            ssd.ftl().precondition();
+            const std::uint64_t space = ssd.ftl().logicalPages();
+            sim::Tick t = 0;
+            for (std::uint64_t id = 1; id <= 150; ++id) {
+                ssd::HostRequest req;
+                req.id = id;
+                t += rng.uniformInt(sim::usec(300));
+                req.arrival = t;
+                req.pages = 1;
+                req.lpn = rng.uniformInt(space - 1);
+                req.isRead = rng.chance(0.7);
+                ssd.eventQueue().schedule(
+                    req.arrival, [&ssd, req] { ssd.submit(req); });
+            }
+            ssd.drain();
+            if (run == 0) {
+                first = ssd.stats().avgResponseUs;
+                first_events = ssd.eventQueue().executedEvents();
+            } else {
+                EXPECT_DOUBLE_EQ(ssd.stats().avgResponseUs, first)
+                    << core::name(mech);
+                EXPECT_EQ(ssd.eventQueue().executedEvents(), first_events)
+                    << core::name(mech);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ssdrr

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the command-level NAND chip model: die occupancy,
+ * program/erase timing, suspension and SET FEATURE state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nand/chip.hh"
+
+namespace ssdrr::nand {
+namespace {
+
+class ChipTest : public ::testing::Test
+{
+  protected:
+    ChipTest() : chip_(eq_, Geometry{}, TimingParams{}, 0) {}
+
+    sim::EventQueue eq_;
+    Chip chip_;
+};
+
+TEST_F(ChipTest, StartsIdleOnAllDies)
+{
+    for (std::uint32_t d = 0; d < Geometry{}.dies; ++d) {
+        EXPECT_TRUE(chip_.dieIdle(d));
+        EXPECT_EQ(chip_.dieOp(d), DieOp::None);
+        EXPECT_EQ(chip_.dieFreeAt(d), eq_.now());
+        EXPECT_TRUE(chip_.dieTiming(d).none());
+    }
+}
+
+TEST_F(ChipTest, ReadOccupiesDieUntilGivenTick)
+{
+    bool done = false;
+    chip_.occupyRead(0, sim::usec(100), [&] { done = true; });
+    EXPECT_FALSE(chip_.dieIdle(0));
+    EXPECT_EQ(chip_.dieOp(0), DieOp::Read);
+    EXPECT_EQ(chip_.dieFreeAt(0), sim::usec(100));
+    EXPECT_TRUE(chip_.dieIdle(1)) << "other dies are independent";
+    eq_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(eq_.now(), sim::usec(100));
+    EXPECT_TRUE(chip_.dieIdle(0));
+}
+
+TEST_F(ChipTest, ProgramTakesTprog)
+{
+    bool done = false;
+    chip_.beginProgram(1, [&] { done = true; });
+    EXPECT_EQ(chip_.dieOp(1), DieOp::Program);
+    eq_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(eq_.now(), TimingParams{}.tPROG);
+}
+
+TEST_F(ChipTest, EraseTakesTbers)
+{
+    bool done = false;
+    chip_.beginErase(2, [&] { done = true; });
+    EXPECT_EQ(chip_.dieOp(2), DieOp::Erase);
+    eq_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(eq_.now(), TimingParams{}.tBERS);
+}
+
+TEST_F(ChipTest, DoubleOccupancyPanics)
+{
+    chip_.occupyRead(0, sim::usec(50), [] {});
+    EXPECT_THROW(chip_.beginProgram(0, [] {}), std::logic_error);
+    EXPECT_THROW(chip_.occupyRead(0, sim::usec(60), [] {}),
+                 std::logic_error);
+}
+
+TEST_F(ChipTest, SuspendPausesProgramAndPreservesRemainingTime)
+{
+    bool prog_done = false;
+    chip_.beginProgram(0, [&] { prog_done = true; });
+
+    // Let 200 us of the 700 us program elapse.
+    eq_.schedule(sim::usec(200), [&] {
+        EXPECT_TRUE(chip_.suspend(0));
+        EXPECT_TRUE(chip_.dieIdle(0)) << "die array free for reads";
+        EXPECT_TRUE(chip_.hasSuspended(0));
+        EXPECT_EQ(chip_.suspendCount(), 1u);
+    });
+    eq_.run();
+    EXPECT_FALSE(prog_done) << "suspended program must not complete";
+
+    // Resume: remaining 500 us + tSUS overhead.
+    chip_.resume(0, eq_.now());
+    eq_.run();
+    EXPECT_TRUE(prog_done);
+    EXPECT_EQ(eq_.now(),
+              sim::usec(200) + sim::usec(500) + TimingParams{}.tSUS);
+}
+
+TEST_F(ChipTest, SuspendErase)
+{
+    bool done = false;
+    chip_.beginErase(0, [&] { done = true; });
+    eq_.schedule(sim::msec(1), [&] { EXPECT_TRUE(chip_.suspend(0)); });
+    eq_.run();
+    EXPECT_FALSE(done);
+    chip_.resume(0, eq_.now());
+    eq_.run();
+    EXPECT_TRUE(done);
+    // 1 ms elapsed + 4 ms remaining + suspend overhead.
+    EXPECT_EQ(eq_.now(), sim::msec(1) + sim::msec(4) + TimingParams{}.tSUS);
+}
+
+TEST_F(ChipTest, SuspendOfIdleOrReadFails)
+{
+    EXPECT_FALSE(chip_.suspend(0)) << "nothing to suspend";
+    chip_.occupyRead(0, sim::usec(10), [] {});
+    EXPECT_FALSE(chip_.suspend(0)) << "reads are not suspendable";
+}
+
+TEST_F(ChipTest, ReadDuringSuspensionThenResume)
+{
+    // The paper's baseline behaviour [50, 91]: suspend a program,
+    // service the read, resume the program.
+    bool prog_done = false, read_done = false;
+    chip_.beginProgram(0, [&] { prog_done = true; });
+    eq_.schedule(sim::usec(100), [&] {
+        ASSERT_TRUE(chip_.suspend(0));
+        chip_.occupyRead(0, eq_.now() + sim::usec(78),
+                         [&] { read_done = true; });
+    });
+    eq_.run();
+    EXPECT_TRUE(read_done);
+    EXPECT_FALSE(prog_done);
+    chip_.resume(0, eq_.now());
+    eq_.run();
+    EXPECT_TRUE(prog_done);
+}
+
+TEST_F(ChipTest, ResumeAtFutureTick)
+{
+    bool done = false;
+    chip_.beginProgram(0, [&] { done = true; });
+    eq_.schedule(sim::usec(100), [&] { chip_.suspend(0); });
+    eq_.run();
+    chip_.resume(0, eq_.now() + sim::usec(50));
+    eq_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(eq_.now(), sim::usec(100) + sim::usec(50) +
+                             sim::usec(600) + TimingParams{}.tSUS);
+}
+
+TEST_F(ChipTest, ResumeWithoutSuspendPanics)
+{
+    EXPECT_THROW(chip_.resume(0, eq_.now()), std::logic_error);
+}
+
+TEST_F(ChipTest, DoubleSuspendPanics)
+{
+    chip_.beginProgram(0, [] {});
+    eq_.schedule(sim::usec(10), [&] {
+        ASSERT_TRUE(chip_.suspend(0));
+        chip_.beginProgram(0, [] {});
+        EXPECT_THROW(chip_.suspend(0), std::logic_error)
+            << "only one suspended op per die";
+    });
+    eq_.run(sim::usec(10));
+}
+
+TEST_F(ChipTest, SetFeatureChangesEffectiveTr)
+{
+    const TimingParams t;
+    EXPECT_EQ(chip_.tR(0, PageType::LSB), t.tR(PageType::LSB));
+
+    TimingReduction red;
+    red.pre = 0.40;
+    chip_.setFeature(0, red);
+    EXPECT_EQ(chip_.tR(0, PageType::LSB), t.tR(PageType::LSB, red));
+    EXPECT_LT(chip_.tR(0, PageType::LSB), t.tR(PageType::LSB));
+    EXPECT_EQ(chip_.tR(1, PageType::LSB), t.tR(PageType::LSB))
+        << "SET FEATURE is per-die";
+
+    // Roll back to default timing.
+    chip_.setFeature(0, TimingReduction{});
+    EXPECT_EQ(chip_.tR(0, PageType::LSB), t.tR(PageType::LSB));
+}
+
+TEST_F(ChipTest, SetFeatureRejectsInvalidValue)
+{
+    TimingReduction bad;
+    bad.pre = 1.2;
+    EXPECT_THROW(chip_.setFeature(0, bad), std::logic_error);
+}
+
+TEST_F(ChipTest, OutOfRangeDiePanics)
+{
+    EXPECT_THROW(chip_.dieIdle(99), std::logic_error);
+    EXPECT_THROW(chip_.occupyRead(99, sim::usec(1), [] {}),
+                 std::logic_error);
+}
+
+TEST_F(ChipTest, ConcurrentOpsOnDistinctDies)
+{
+    int done = 0;
+    chip_.occupyRead(0, sim::usec(78), [&] { ++done; });
+    chip_.beginProgram(1, [&] { ++done; });
+    chip_.beginErase(2, [&] { ++done; });
+    chip_.occupyRead(3, sim::usec(117), [&] { ++done; });
+    eq_.run();
+    EXPECT_EQ(done, 4);
+    EXPECT_EQ(eq_.now(), TimingParams{}.tBERS)
+        << "erase is the longest of the four";
+}
+
+} // namespace
+} // namespace ssdrr::nand

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Calibration-anchor tests: every numeric claim the paper publishes
+ * about its 160-chip characterization must be reproduced by the
+ * analytic error model. Each test names the figure/section it
+ * anchors. These are the contract between the paper and our
+ * in-silico substitute for the real chips (DESIGN.md Section 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/error_model.hh"
+
+namespace ssdrr::nand {
+namespace {
+
+class Anchors : public ::testing::Test
+{
+  protected:
+    ErrorModel model_;
+
+    /** Sample mean retry count over many page profiles. */
+    double
+    sampledMeanRetry(const OperatingPoint &op, int pages = 4000) const
+    {
+        double sum = 0.0;
+        for (int p = 0; p < pages; ++p)
+            sum += model_.pageProfile(0, p / 64, p % 64, op).retrySteps;
+        return sum / pages;
+    }
+
+    /** Fraction of pages whose retry count >= k. */
+    double
+    fracAtLeast(const OperatingPoint &op, int k, int pages = 4000) const
+    {
+        int n = 0;
+        for (int p = 0; p < pages; ++p)
+            n += model_.pageProfile(0, p / 64, p % 64, op).retrySteps >= k
+                     ? 1
+                     : 0;
+        return static_cast<double>(n) / pages;
+    }
+};
+
+// ----- Figure 5 / Section 3.1: retry-step counts -----
+
+TEST_F(Anchors, FreshPageNeedsNoRetry)
+{
+    // "a fresh page (no P/E cycling and 0 retention age) can be read
+    // without a read-retry"
+    const OperatingPoint fresh{0.0, 0.0, 85.0};
+    EXPECT_DOUBLE_EQ(model_.meanRetrySteps(fresh), 0.0);
+    EXPECT_EQ(model_.pageProfile(0, 0, 0, fresh).retrySteps, 0);
+}
+
+TEST_F(Anchors, ThreeMonthZeroPecNeedsOverThreeSteps)
+{
+    // Section 1: "under a 3-month data retention age at zero P/E
+    // cycles ... every read requires more than three retry steps".
+    const OperatingPoint op{0.0, 3.0, 85.0};
+    EXPECT_GT(model_.meanRetrySteps(op), 3.0);
+    EXPECT_LT(model_.meanRetrySteps(op), 7.0) << "not wildly over";
+    EXPECT_GT(fracAtLeast(op, 3), 0.93)
+        << "essentially every read needs > 3 steps";
+}
+
+TEST_F(Anchors, SixMonthZeroPecMajorityNeedsSevenSteps)
+{
+    // Section 3.1: "54.4% of reads incur at least seven retry steps
+    // under a 6-month retention age ... never experienced P/E
+    // cycling".
+    const OperatingPoint op{0.0, 6.0, 85.0};
+    const double frac = fracAtLeast(op, 7);
+    EXPECT_NEAR(frac, 0.544, 0.12);
+}
+
+TEST_F(Anchors, OneKPecThreeMonthNeedsAtLeastEightSteps)
+{
+    // Section 3.1: "At 1K P/E cycles, at least eight read-retry
+    // steps are needed ... after a 3-month retention age".
+    const OperatingPoint op{1.0, 3.0, 85.0};
+    EXPECT_GE(model_.meanRetrySteps(op), 8.0);
+    EXPECT_GT(fracAtLeast(op, 8), 0.65);
+}
+
+TEST_F(Anchors, WorstCaseAveragesTwentyRetrySteps)
+{
+    // Section 3.1: "the average number of retry steps significantly
+    // increases to 19.9 under a 1-year retention age at 2K P/E
+    // cycles, which in turn increases tREAD by 21x on average".
+    const OperatingPoint op{2.0, 12.0, 85.0};
+    EXPECT_NEAR(model_.meanRetrySteps(op), 19.9, 1.5);
+    EXPECT_NEAR(sampledMeanRetry(op), 19.9, 2.0);
+    // tREAD multiplier = N_RR + 1.
+    EXPECT_NEAR(sampledMeanRetry(op) + 1.0, 21.0, 2.0);
+}
+
+// ----- Figure 7 / Section 5.1: final-step error counts -----
+
+TEST_F(Anchors, MerrZeroPecThreeMonthIs15At85C)
+{
+    // Section 5.1: "M_ERR(0, 3) = 15 ... at 85C".
+    const OperatingPoint op{0.0, 3.0, 85.0};
+    EXPECT_NEAR(model_.finalErrorsMax(op), 15.0, 1.0);
+}
+
+TEST_F(Anchors, MerrOneKPecOneYearIs30At85C)
+{
+    // Section 5.1: "M_ERR(1K, 12) = 30 at 85C".
+    const OperatingPoint op{1.0, 12.0, 85.0};
+    EXPECT_NEAR(model_.finalErrorsMax(op), 30.0, 1.5);
+}
+
+TEST_F(Anchors, MarginAtWorstCase30CIs44PercentOfCapability)
+{
+    // Section 5.1: "even M_ERR(2K, 12) at 30C is quite low, leaving
+    // a margin as large as 44.4% of the ECC capability".
+    const OperatingPoint op{2.0, 12.0, 30.0};
+    const double margin = model_.eccMargin(op);
+    EXPECT_NEAR(margin / 72.0, 0.444, 0.03);
+}
+
+TEST_F(Anchors, TemperatureAddsFiveErrorsAt30CThreeAt55C)
+{
+    // Section 5.1: "Compared to 85C, M_ERR at 30C and 55C is higher
+    // by 5 and 3 errors, respectively".
+    const OperatingPoint base{1.0, 6.0, 85.0};
+    OperatingPoint cold = base, mild = base;
+    cold.temperatureC = 30.0;
+    mild.temperatureC = 55.0;
+    EXPECT_NEAR(model_.finalErrorsMax(cold) - model_.finalErrorsMax(base),
+                5.0, 0.5);
+    EXPECT_NEAR(model_.finalErrorsMax(mild) - model_.finalErrorsMax(base),
+                3.0, 0.6);
+}
+
+TEST_F(Anchors, WorstCasePrescribedConditionLeavesMargin)
+{
+    // Section 5.1: "there is a large ECC-capability margin in the
+    // final retry step even under the worst-case operating
+    // conditions prescribed by manufacturers (1-year retention age
+    // at 1.5K P/E cycles)".
+    const OperatingPoint op{Calibration::worstPeKilo,
+                            Calibration::worstRetentionMonths, 30.0};
+    EXPECT_GT(model_.eccMargin(op), 0.25 * 72.0);
+}
+
+// ----- Figure 8 / Section 5.2.1: individual timing reduction -----
+
+TEST_F(Anchors, SafeIndividualReductionsAtWorstCase)
+{
+    // "Even under a 1-year retention age at 2K P/E cycles (where
+    // M_ERR = 35), we can safely reduce tPRE, tEVAL, and tDISCH by
+    // 47%, 10%, and 27%, respectively."
+    const OperatingPoint op{2.0, 12.0, 85.0};
+    EXPECT_NEAR(model_.finalErrorsMax(op), 35.0, 1.5);
+    const double budget = 72.0 - model_.finalErrorsMax(op);
+
+    TimingReduction pre;
+    pre.pre = 0.47;
+    EXPECT_LE(model_.deltaErrors(pre, op), budget)
+        << "47% tPRE must fit in the margin";
+
+    TimingReduction ev;
+    ev.eval = 0.10;
+    EXPECT_LE(model_.deltaErrors(ev, op), budget)
+        << "10% tEVAL must fit in the margin";
+
+    TimingReduction di;
+    di.disch = 0.27;
+    EXPECT_LE(model_.deltaErrors(di, op), budget)
+        << "27% tDISCH must fit in the margin";
+}
+
+TEST_F(Anchors, EvalReductionIsCostIneffective)
+{
+    // "Reducing tEVAL by 20% introduces 30 additional bit errors
+    // (41.7% of the ECC capability) even for a fresh page."
+    const OperatingPoint fresh{0.0, 0.0, 85.0};
+    TimingReduction ev;
+    ev.eval = 0.20;
+    EXPECT_NEAR(model_.deltaErrors(ev, fresh), 30.0, 4.0);
+}
+
+TEST_F(Anchors, RetentionRaisesPrePenaltyBy60Percent)
+{
+    // Fig. 8(a): "When reducing tPRE by 47% ... a 1-year retention
+    // age increases dM_ERR by 60% at 2K P/E cycles."
+    TimingReduction pre;
+    pre.pre = 0.47;
+    const OperatingPoint young{2.0, 0.0, 85.0};
+    const OperatingPoint aged{2.0, 12.0, 85.0};
+    const double ratio = model_.deltaErrors(pre, aged) /
+                         model_.deltaErrors(pre, young);
+    EXPECT_NEAR(ratio, 1.60, 0.12);
+}
+
+// ----- Figure 9 / Section 5.2.2: combined reduction -----
+
+TEST_F(Anchors, IndividualReductionsAtOneKFresh)
+{
+    // "when we reduce tPRE by 54% and tDISCH by 20% individually,
+    // dM_ERR(1K, 0) is 35 and 8, respectively".
+    const OperatingPoint op{1.0, 0.0, 85.0};
+    TimingReduction pre;
+    pre.pre = 0.54;
+    EXPECT_NEAR(model_.deltaErrors(pre, op), 35.0, 5.0);
+    TimingReduction di;
+    di.disch = 0.20;
+    EXPECT_NEAR(model_.deltaErrors(di, op), 8.0, 2.0);
+}
+
+TEST_F(Anchors, CombinedReductionBlowsPastCapability)
+{
+    // "simultaneous reduction of the two timing parameters increases
+    // M_ERR far beyond the ECC capability" at (54%, 20%), (1K, 0).
+    const OperatingPoint op{1.0, 0.0, 85.0};
+    TimingReduction both;
+    both.pre = 0.54;
+    both.disch = 0.20;
+    EXPECT_GT(model_.finalErrorsMean(op) + model_.deltaErrors(both, op),
+              72.0);
+}
+
+TEST_F(Anchors, CombinedExceedsSumOfIndividuals)
+{
+    // Fig. 9: reducing both parameters at once adds more errors than
+    // the sum of individual reductions (coupling via the precharge).
+    const OperatingPoint op{1.0, 0.0, 85.0};
+    TimingReduction pre, di, both;
+    pre.pre = 0.40;
+    di.disch = 0.20;
+    both.pre = 0.40;
+    both.disch = 0.20;
+    EXPECT_GT(model_.deltaErrors(both, op),
+              model_.deltaErrors(pre, op) + model_.deltaErrors(di, op));
+}
+
+TEST_F(Anchors, PreBeatsDischargeForSameReduction)
+{
+    // "It is more beneficial to reduce tPRE than to reduce tDISCH"
+    // for (x, y) swapped: dM(pre=x, disch=y) < dM(pre=y, disch=x)
+    // when x > y.
+    const OperatingPoint op{1.0, 0.0, 85.0};
+    TimingReduction a, b;
+    a.pre = 0.34;
+    a.disch = 0.07;
+    b.pre = 0.07;
+    b.disch = 0.34;
+    EXPECT_LT(model_.deltaErrors(a, op), model_.deltaErrors(b, op));
+}
+
+TEST_F(Anchors, SevenPercentDischargeCostsAtMostFourErrors)
+{
+    // "reducing tDISCH by 7% hardly increases the number of bit
+    // errors (by 4 at most) under every operating condition".
+    TimingReduction di;
+    di.disch = 0.07;
+    for (double pe : {0.0, 1.0, 2.0}) {
+        for (double ret : {0.0, 3.0, 6.0, 12.0}) {
+            const OperatingPoint op{pe, ret, 85.0};
+            EXPECT_LE(model_.deltaErrors(di, op), 4.0)
+                << "PEC=" << pe << " tRET=" << ret;
+        }
+    }
+}
+
+// ----- Figure 10 / Section 5.2.3: temperature effect on dM -----
+
+TEST_F(Anchors, TemperatureAddsAtMostSevenErrorsToPrePenalty)
+{
+    // "it is only up to 7 additional bit errors even under a 1-year
+    // retention age at 2K P/E cycles" (30C vs 85C).
+    TimingReduction pre;
+    pre.pre = 0.40;
+    const OperatingPoint hot{2.0, 12.0, 85.0};
+    const OperatingPoint cold{2.0, 12.0, 30.0};
+    const double extra = model_.deltaErrors(pre, cold) -
+                         model_.deltaErrors(pre, hot);
+    EXPECT_GT(extra, 1.0);
+    EXPECT_LE(extra, 7.5);
+}
+
+TEST_F(Anchors, ColderMeansMorePenalty)
+{
+    TimingReduction pre;
+    pre.pre = 0.40;
+    const OperatingPoint op85{1.0, 12.0, 85.0};
+    const OperatingPoint op55{1.0, 12.0, 55.0};
+    const OperatingPoint op30{1.0, 12.0, 30.0};
+    EXPECT_LT(model_.deltaErrors(pre, op85),
+              model_.deltaErrors(pre, op55));
+    EXPECT_LT(model_.deltaErrors(pre, op55),
+              model_.deltaErrors(pre, op30));
+}
+
+// ----- Figure 11 / Section 6.2: safe tPRE reduction with margin -----
+
+TEST_F(Anchors, SafeReductionSpansFortyToFiftyFourPercent)
+{
+    // "even with the 14-bit margin, we can significantly reduce tPRE
+    // by at least 40% (up to 54%) under any operating condition".
+    double lo = 1.0, hi = 0.0;
+    for (double pe : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+        for (double ret : {0.0, 1.0, 3.0, 6.0, 9.0, 12.0}) {
+            const OperatingPoint op{pe, ret, 85.0};
+            const double x = model_.maxSafePreReduction(op);
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+        }
+    }
+    EXPECT_GE(lo, 0.40) << "min safe reduction (worst condition)";
+    EXPECT_NEAR(hi, 0.54, 0.015) << "max safe reduction (best condition)";
+}
+
+TEST_F(Anchors, WorstConditionStillAllowsFortyPercent)
+{
+    const OperatingPoint worst{2.0, 12.0, 85.0};
+    EXPECT_GE(model_.maxSafePreReduction(worst), 0.40);
+}
+
+// ----- Figure 4(b): drastic RBER drop in the final step -----
+
+TEST_F(Anchors, NextToLastStepAlwaysFails)
+{
+    // Fig. 4(b): RBER "drastically decreases in the final retry
+    // step"; the N-1 step must still exceed the ECC capability,
+    // otherwise the walk would have stopped there.
+    const OperatingPoint op{1.0, 6.0, 85.0};
+    for (int p = 0; p < 500; ++p) {
+        const PageErrorProfile prof = model_.pageProfile(0, 0, p, op);
+        if (prof.retrySteps == 0)
+            continue;
+        EXPECT_GT(model_.stepErrors(prof, prof.retrySteps - 1), 72.0)
+            << "page " << p;
+        EXPECT_LE(model_.stepErrors(prof, prof.retrySteps), 72.0)
+            << "page " << p;
+    }
+}
+
+} // namespace
+} // namespace ssdrr::nand

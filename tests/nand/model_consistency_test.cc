@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cross-model consistency: the physical threshold-voltage model and
+ * the calibrated error model are independent implementations of the
+ * same chip; their qualitative behaviours must agree even though
+ * only the error model is fitted to the paper's numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nand/error_model.hh"
+#include "nand/vth_model.hh"
+
+namespace ssdrr::nand {
+namespace {
+
+class ModelConsistency
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+  protected:
+    ErrorModel error_;
+};
+
+TEST_P(ModelConsistency, AgingDegradesBothModels)
+{
+    const auto [pe, ret] = GetParam();
+    const OperatingPoint mild{pe, ret, 30.0};
+    const OperatingPoint harsh{pe + 0.5, ret + 3.0, 30.0};
+
+    // Physical model: RBER at the default VREF grows with aging.
+    VthModel vth_mild, vth_harsh;
+    vth_mild.age(mild);
+    vth_harsh.age(harsh);
+    // Error model: retry demand grows with aging.
+    EXPECT_GT(error_.meanRetrySteps(harsh), error_.meanRetrySteps(mild));
+    for (PageType t : {PageType::LSB, PageType::CSB, PageType::MSB}) {
+        EXPECT_GT(vth_harsh.pageRber(t, 0.0), vth_mild.pageRber(t, 0.0))
+            << pageTypeName(t);
+    }
+}
+
+TEST_P(ModelConsistency, ResidualErrorsAtOptGrowTogether)
+{
+    // Section 5.1's second observation: even VOPT cannot avoid RBER
+    // growth. Both the physical model's RBER-at-VOPT and the error
+    // model's M_ERR must increase with condition severity.
+    const auto [pe, ret] = GetParam();
+    const OperatingPoint mild{pe, ret, 30.0};
+    const OperatingPoint harsh{pe + 0.5, ret + 3.0, 30.0};
+
+    VthModel vth_mild, vth_harsh;
+    vth_mild.age(mild);
+    vth_harsh.age(harsh);
+    EXPECT_GT(error_.finalErrorsMax(harsh), error_.finalErrorsMax(mild));
+    EXPECT_GT(vth_harsh.pageRberAtOpt(PageType::CSB),
+              vth_mild.pageRberAtOpt(PageType::CSB));
+}
+
+TEST_P(ModelConsistency, VoptDriftScalesWithRetrySteps)
+{
+    // The retry table walks ~30 mV per step; the physical VOPT drift
+    // divided by the step size should land in the same regime as the
+    // error model's step count (same order of magnitude, growing
+    // together).
+    const auto [pe, ret] = GetParam();
+    if (ret == 0.0)
+        GTEST_SKIP() << "no drift without retention";
+    const OperatingPoint op{pe, ret, 30.0};
+    VthModel vth;
+    vth.age(op);
+    // Average drift across CSB boundaries (most sensitive page).
+    double drift_mv = 0.0;
+    const auto &bs = VthModel::boundariesOf(PageType::CSB);
+    for (int b : bs)
+        drift_mv += 1000.0 * (vth.defaultVref(b) - vth.optimalVref(b));
+    drift_mv /= static_cast<double>(bs.size());
+    const double steps_physical = drift_mv / 30.0;
+    const double steps_model = error_.meanRetrySteps(op);
+    EXPECT_GT(steps_physical, 0.0);
+    // Same regime: within ~4x of each other across the grid.
+    EXPECT_LT(steps_physical, steps_model * 4.0 + 4.0);
+    EXPECT_GT(steps_physical * 4.0 + 4.0, steps_model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelConsistency,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0, 1.5),
+                       ::testing::Values(0.0, 3.0, 6.0, 9.0)));
+
+} // namespace
+} // namespace ssdrr::nand

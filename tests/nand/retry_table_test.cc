@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for the manufacturer read-retry table model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nand/retry_table.hh"
+
+namespace ssdrr::nand {
+namespace {
+
+TEST(RetryTable, DefaultsMatchCalibration)
+{
+    const RetryTable t;
+    EXPECT_EQ(t.steps(), 44);
+    EXPECT_DOUBLE_EQ(t.stepMv(), 30.0);
+}
+
+TEST(RetryTable, StepZeroIsDefaultVref)
+{
+    const RetryTable t;
+    EXPECT_DOUBLE_EQ(t.offsetMv(0), 0.0);
+}
+
+TEST(RetryTable, OffsetsWalkDownUniformly)
+{
+    const RetryTable t(10, 25.0);
+    for (int k = 1; k <= 10; ++k) {
+        EXPECT_DOUBLE_EQ(t.offsetMv(k), -25.0 * k);
+        EXPECT_LT(t.offsetMv(k), t.offsetMv(k - 1))
+            << "retention loss means VREF must walk downward";
+    }
+}
+
+TEST(RetryTable, OutOfRangeStepPanics)
+{
+    const RetryTable t(5, 30.0);
+    EXPECT_THROW(t.offsetMv(-1), std::logic_error);
+    EXPECT_THROW(t.offsetMv(6), std::logic_error);
+    EXPECT_NO_THROW(t.offsetMv(5));
+}
+
+TEST(RetryTable, DegenerateParametersPanic)
+{
+    EXPECT_THROW(RetryTable(0, 30.0), std::logic_error);
+    EXPECT_THROW(RetryTable(10, 0.0), std::logic_error);
+    EXPECT_THROW(RetryTable(10, -5.0), std::logic_error);
+}
+
+} // namespace
+} // namespace ssdrr::nand

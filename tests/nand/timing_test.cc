@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for NAND timing parameters (paper Table 1, Equation 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nand/timing.hh"
+
+namespace ssdrr::nand {
+namespace {
+
+TEST(Timing, Table1Defaults)
+{
+    const TimingParams t = TimingParams::table1();
+    EXPECT_EQ(t.tPRE, sim::usec(24));
+    EXPECT_EQ(t.tEVAL, sim::usec(5));
+    EXPECT_EQ(t.tDISCH, sim::usec(10));
+    EXPECT_EQ(t.tDMA, sim::usec(16));
+    EXPECT_EQ(t.tECC, sim::usec(20));
+    EXPECT_EQ(t.tPROG, sim::usec(700));
+    EXPECT_EQ(t.tBERS, sim::msec(5));
+    EXPECT_EQ(t.tSET, sim::usec(1));
+    EXPECT_EQ(t.tRST, sim::usec(5));
+}
+
+TEST(Timing, SenseLatencyIsSumOfPhases)
+{
+    const TimingParams t;
+    // tPRE + tEVAL + tDISCH = 24 + 5 + 10 = 39 us (5:1:2 ratio).
+    EXPECT_EQ(t.senseLatency(), sim::usec(39));
+}
+
+TEST(Timing, PhaseRatioIsFiveOneTwo)
+{
+    const TimingParams t;
+    // Section 4: tPRE:tEVAL:tDISCH ~ 5:1:2 (24:5:10 is the 48-layer
+    // chip's actual ratio, approximately 5:1:2).
+    EXPECT_NEAR(static_cast<double>(t.tPRE) / t.tEVAL, 5.0, 0.25);
+    EXPECT_NEAR(static_cast<double>(t.tDISCH) / t.tEVAL, 2.0, 0.01);
+}
+
+TEST(Timing, TrPerPageTypeUsesNSense)
+{
+    const TimingParams t;
+    // Footnote 14: N_SENSE = {2, 3, 2} -> tR = {78, 117, 78} us.
+    EXPECT_EQ(t.tR(PageType::LSB), sim::usec(78));
+    EXPECT_EQ(t.tR(PageType::CSB), sim::usec(117));
+    EXPECT_EQ(t.tR(PageType::MSB), sim::usec(78));
+}
+
+TEST(Timing, AverageTrMatchesTable1)
+{
+    const TimingParams t;
+    // Table 1: tR(avg.) = 90/91 us ((78 + 117 + 78) / 3 = 91).
+    EXPECT_NEAR(sim::toUsec(t.tRAvg()), 91.0, 1.01);
+}
+
+TEST(Timing, PreReductionShortensOnlyPrecharge)
+{
+    const TimingParams t;
+    TimingReduction r;
+    r.pre = 0.5;
+    // 24*0.5 + 5 + 10 = 27 us.
+    EXPECT_EQ(t.senseLatency(r), sim::usec(27));
+}
+
+TEST(Timing, FortyPercentPreGivesQuarterTrReduction)
+{
+    // Section 5.2.1: "tPRE can be safely reduced by at least 40% ...
+    // which leads to a 25% reduction in tR".
+    const TimingParams t;
+    TimingReduction r;
+    r.pre = 0.40;
+    const double rho = t.rho(r);
+    EXPECT_NEAR(1.0 - rho, 0.246, 0.01);
+}
+
+TEST(Timing, EvalContributesOneEighthOfSense)
+{
+    // Section 5.2.1: tEVAL is 1/8 of tR; a 20% tEVAL cut buys only
+    // 2.5% of tR.
+    const TimingParams t;
+    TimingReduction r;
+    r.eval = 0.20;
+    EXPECT_NEAR(1.0 - t.rho(r), 0.0256, 0.002);
+}
+
+TEST(Timing, DischargeIsQuarterOfSense)
+{
+    // Section 5.2.2: tDISCH is ~25% of tR; 7% cut -> 1.75% tR.
+    const TimingParams t;
+    TimingReduction r;
+    r.disch = 0.07;
+    EXPECT_NEAR(1.0 - t.rho(r), 0.0179, 0.002);
+}
+
+TEST(Timing, RhoOfNoReductionIsOne)
+{
+    const TimingParams t;
+    EXPECT_DOUBLE_EQ(t.rho(TimingReduction{}), 1.0);
+}
+
+TEST(Timing, ReductionNoneDetectsAnyField)
+{
+    TimingReduction r;
+    EXPECT_TRUE(r.none());
+    r.pre = 0.1;
+    EXPECT_FALSE(r.none());
+    r = TimingReduction{};
+    r.eval = 0.1;
+    EXPECT_FALSE(r.none());
+    r = TimingReduction{};
+    r.disch = 0.1;
+    EXPECT_FALSE(r.none());
+}
+
+TEST(Timing, InvalidReductionPanics)
+{
+    const TimingParams t;
+    TimingReduction r;
+    r.pre = 1.0;
+    EXPECT_THROW(t.senseLatency(r), std::logic_error);
+    r.pre = -0.1;
+    EXPECT_THROW(t.senseLatency(r), std::logic_error);
+}
+
+/** Property: rho decreases monotonically with the tPRE reduction. */
+class RhoMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RhoMonotone, MoreReductionSmallerRho)
+{
+    const TimingParams t;
+    TimingReduction lo, hi;
+    lo.pre = GetParam();
+    hi.pre = GetParam() + 0.1;
+    EXPECT_GT(t.rho(lo), t.rho(hi));
+    EXPECT_GT(t.rho(hi), 0.0);
+    EXPECT_LT(t.rho(lo), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PreSweep, RhoMonotone,
+                         ::testing::Values(0.05, 0.15, 0.25, 0.35, 0.45,
+                                           0.55));
+
+} // namespace
+} // namespace ssdrr::nand

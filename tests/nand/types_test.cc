@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for NAND geometry, page-type mapping and physical addresses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/types.hh"
+
+namespace ssdrr::nand {
+namespace {
+
+TEST(PageType, NSenseMatchesFootnote14)
+{
+    EXPECT_EQ(nSense(PageType::LSB), 2);
+    EXPECT_EQ(nSense(PageType::CSB), 3);
+    EXPECT_EQ(nSense(PageType::MSB), 2);
+}
+
+TEST(PageType, InterleavingCyclesThroughTypes)
+{
+    EXPECT_EQ(pageTypeOf(0), PageType::LSB);
+    EXPECT_EQ(pageTypeOf(1), PageType::CSB);
+    EXPECT_EQ(pageTypeOf(2), PageType::MSB);
+    EXPECT_EQ(pageTypeOf(3), PageType::LSB);
+    EXPECT_EQ(pageTypeOf(575), pageTypeOf(575 % 3));
+}
+
+TEST(PageType, NamesAreStable)
+{
+    EXPECT_STREQ(pageTypeName(PageType::LSB), "LSB");
+    EXPECT_STREQ(pageTypeName(PageType::CSB), "CSB");
+    EXPECT_STREQ(pageTypeName(PageType::MSB), "MSB");
+}
+
+TEST(Geometry, PaperDefaultsMultiplyOut)
+{
+    const Geometry g;
+    EXPECT_EQ(g.blocksPerDie(), 2u * 1888u);
+    EXPECT_EQ(g.pagesPerDie(), 2ull * 1888 * 576);
+    EXPECT_EQ(g.totalPages(), 4ull * 2 * 1888 * 576);
+    // One chip = 4 dies x 2 planes x 1888 blocks x 576 pages x 16 KiB
+    // = 128 GiB; four channels make the paper's 512-GiB SSD.
+    EXPECT_NEAR(static_cast<double>(g.totalBytes()) / (1ull << 30),
+                132.75, 0.01);
+}
+
+TEST(Geometry, CustomGeometryPropagates)
+{
+    Geometry g;
+    g.dies = 2;
+    g.planesPerDie = 4;
+    g.blocksPerPlane = 10;
+    g.pagesPerBlock = 8;
+    g.pageBytes = 4096;
+    EXPECT_EQ(g.blocksPerDie(), 40u);
+    EXPECT_EQ(g.pagesPerDie(), 320u);
+    EXPECT_EQ(g.totalPages(), 640u);
+    EXPECT_EQ(g.totalBytes(), 640ull * 4096);
+}
+
+TEST(PhysAddr, FlatBlockIsUniquePerBlock)
+{
+    Geometry g;
+    g.dies = 2;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 3;
+    g.pagesPerBlock = 4;
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t d = 0; d < g.dies; ++d)
+        for (std::uint32_t p = 0; p < g.planesPerDie; ++p)
+            for (std::uint32_t b = 0; b < g.blocksPerPlane; ++b) {
+                PhysAddr a{d, p, b, 0};
+                EXPECT_TRUE(seen.insert(a.flatBlock(g)).second)
+                    << "collision at die " << d << " plane " << p
+                    << " block " << b;
+            }
+    EXPECT_EQ(seen.size(), g.dies * g.planesPerDie * g.blocksPerPlane);
+}
+
+TEST(PhysAddr, FlatPageIsDenseAndOrdered)
+{
+    Geometry g;
+    g.dies = 1;
+    g.planesPerDie = 1;
+    g.blocksPerPlane = 2;
+    g.pagesPerBlock = 3;
+    std::uint64_t expect = 0;
+    for (std::uint32_t b = 0; b < g.blocksPerPlane; ++b)
+        for (std::uint32_t pg = 0; pg < g.pagesPerBlock; ++pg) {
+            PhysAddr a{0, 0, b, pg};
+            EXPECT_EQ(a.flatPage(g), expect++);
+        }
+}
+
+TEST(PhysAddr, TypeDerivesFromPageIndex)
+{
+    PhysAddr a{0, 0, 0, 4};
+    EXPECT_EQ(a.type(), PageType::CSB);
+}
+
+TEST(PhysAddr, EqualityComparesAllFields)
+{
+    PhysAddr a{1, 1, 2, 3};
+    PhysAddr b = a;
+    EXPECT_TRUE(a == b);
+    b.page = 4;
+    EXPECT_FALSE(a == b);
+    b = a;
+    b.die = 0;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(OperatingPoint, DefaultsToFreshChipAt85C)
+{
+    const OperatingPoint op;
+    EXPECT_DOUBLE_EQ(op.peKilo, 0.0);
+    EXPECT_DOUBLE_EQ(op.retentionMonths, 0.0);
+    EXPECT_DOUBLE_EQ(op.temperatureC, 85.0);
+}
+
+} // namespace
+} // namespace ssdrr::nand

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the physical threshold-voltage distribution model
+ * (Figure 3(b), Figure 4(a) behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nand/vth_model.hh"
+
+namespace ssdrr::nand {
+namespace {
+
+TEST(VthModel, EightStatesOrderedByVoltage)
+{
+    const VthModel m;
+    for (int s = 1; s < VthModel::kStates; ++s)
+        EXPECT_GT(m.stateMean(s), m.stateMean(s - 1))
+            << "state means must increase with level";
+}
+
+TEST(VthModel, ErasedStateIsNegativeAndWide)
+{
+    const VthModel m;
+    EXPECT_LT(m.stateMean(0), 0.0);
+    for (int s = 1; s < VthModel::kStates; ++s)
+        EXPECT_GT(m.stateSigma(0), m.stateSigma(s))
+            << "erased distribution is wider than programmed states";
+}
+
+TEST(VthModel, GrayCodeAdjacentStatesDifferInOneBit)
+{
+    // Figure 3(b)'s encoding must be a true Gray code: exactly one
+    // page type flips between adjacent VTH states, so one misread
+    // cell corrupts exactly one page.
+    for (int s = 0; s + 1 < VthModel::kStates; ++s) {
+        const int diff =
+            VthModel::kGrayCode[s] ^ VthModel::kGrayCode[s + 1];
+        EXPECT_EQ(__builtin_popcount(diff), 1)
+            << "states " << s << " and " << s + 1;
+    }
+}
+
+TEST(VthModel, GrayCodeIsAPermutation)
+{
+    std::set<std::uint8_t> codes(VthModel::kGrayCode.begin(),
+                                 VthModel::kGrayCode.end());
+    EXPECT_EQ(codes.size(), 8u);
+    for (std::uint8_t c : codes)
+        EXPECT_LT(c, 8);
+}
+
+TEST(VthModel, ErasedStateIsAllOnes)
+{
+    // Erased cells read as '1' on every page (Section 2.2).
+    EXPECT_EQ(VthModel::kGrayCode[0], 0b111);
+}
+
+TEST(VthModel, BoundariesPartitionByPageType)
+{
+    // LSB {0,4}, CSB {1,3,5}, MSB {2,6}: 7 boundaries total, each
+    // sensed by exactly one page type, count matching N_SENSE.
+    std::set<int> all;
+    for (PageType t :
+         {PageType::LSB, PageType::CSB, PageType::MSB}) {
+        const auto &bs = VthModel::boundariesOf(t);
+        EXPECT_EQ(static_cast<int>(bs.size()), nSense(t))
+            << pageTypeName(t);
+        for (int b : bs)
+            EXPECT_TRUE(all.insert(b).second)
+                << "boundary " << b << " claimed twice";
+    }
+    EXPECT_EQ(all.size(), 7u);
+}
+
+TEST(VthModel, BoundariesMatchGrayBitFlips)
+{
+    // Boundary b belongs to page type t iff bit t flips between
+    // states b and b+1.
+    for (PageType t :
+         {PageType::LSB, PageType::CSB, PageType::MSB}) {
+        for (int b = 0; b < VthModel::kBoundaries; ++b) {
+            const bool flips = VthModel::bitOf(t, b) !=
+                               VthModel::bitOf(t, b + 1);
+            const auto &bs = VthModel::boundariesOf(t);
+            const bool owned =
+                std::find(bs.begin(), bs.end(), b) != bs.end();
+            EXPECT_EQ(flips, owned)
+                << pageTypeName(t) << " boundary " << b;
+        }
+    }
+}
+
+TEST(VthModel, FreshPageHasNegligibleRber)
+{
+    // Even fresh distributions overlap slightly (Section 5.1: "two
+    // adjacent VTH states slightly overlap even right after
+    // programming"); the RBER must stay far below the 72/8192
+    // (0.9%) ECC capability so fresh pages never retry.
+    const VthModel fresh;
+    for (PageType t :
+         {PageType::LSB, PageType::CSB, PageType::MSB}) {
+        EXPECT_GT(fresh.pageRber(t, 0.0), 0.0)
+            << pageTypeName(t) << ": no VREF achieves zero RBER";
+        EXPECT_LT(fresh.pageRber(t, 0.0), 1e-3)
+            << pageTypeName(t) << " at default VREF";
+    }
+}
+
+TEST(VthModel, AgingShiftsProgrammedStatesDown)
+{
+    VthModel aged;
+    const VthModel fresh;
+    aged.age({1.0, 12.0, 30.0});
+    for (int s = 1; s < VthModel::kStates; ++s) {
+        EXPECT_LT(aged.stateMean(s), fresh.stateMean(s))
+            << "retention loss lowers VTH of state " << s;
+        EXPECT_GT(aged.stateSigma(s), fresh.stateSigma(s))
+            << "aging widens state " << s;
+    }
+}
+
+TEST(VthModel, HigherStatesShiftMore)
+{
+    // Retention loss is proportional to stored charge (Section 2.3):
+    // P7 leaks more than P1.
+    VthModel aged;
+    const VthModel fresh;
+    aged.age({0.0, 12.0, 30.0});
+    const double d1 = fresh.stateMean(1) - aged.stateMean(1);
+    const double d7 = fresh.stateMean(7) - aged.stateMean(7);
+    EXPECT_GT(d7, d1);
+}
+
+TEST(VthModel, AgingRaisesRberAtDefaultVref)
+{
+    VthModel aged;
+    aged.age({1.0, 6.0, 30.0});
+    const VthModel fresh;
+    for (PageType t :
+         {PageType::LSB, PageType::CSB, PageType::MSB}) {
+        EXPECT_GT(aged.pageRber(t, 0.0), 10.0 * fresh.pageRber(t, 0.0))
+            << pageTypeName(t);
+    }
+}
+
+TEST(VthModel, OptimalVrefBeatsDefaultOnAgedPage)
+{
+    VthModel aged;
+    aged.age({1.0, 12.0, 30.0});
+    for (PageType t :
+         {PageType::LSB, PageType::CSB, PageType::MSB}) {
+        EXPECT_LT(aged.pageRberAtOpt(t), aged.pageRber(t, 0.0))
+            << pageTypeName(t)
+            << ": VOPT must reduce RBER (Figure 4(a))";
+    }
+}
+
+TEST(VthModel, OptimalVrefLiesBelowDefaultAfterRetention)
+{
+    // Retention shifts the programmed states down, so VOPT of every
+    // boundary between programmed states drops below the default
+    // VREF — the reason retry tables walk downward. (Boundary 0 sits
+    // against the wide erased state, whose asymmetric sigma places
+    // its optimum off the midpoint in the other direction.)
+    VthModel aged;
+    aged.age({1.0, 12.0, 30.0});
+    for (int b = 1; b < VthModel::kBoundaries; ++b)
+        EXPECT_LT(aged.optimalVref(b), aged.defaultVref(b))
+            << "boundary " << b;
+    // Boundary 0's optimum still lies between its adjacent states.
+    EXPECT_GT(aged.optimalVref(0), aged.stateMean(0));
+    EXPECT_LT(aged.optimalVref(0), aged.stateMean(1));
+}
+
+TEST(VthModel, BoundaryErrorProbIsConvexAroundOpt)
+{
+    VthModel aged;
+    aged.age({1.0, 6.0, 30.0});
+    const int b = 3;
+    const double opt = aged.optimalVref(b);
+    const double at_opt = aged.boundaryErrorProb(b, opt);
+    EXPECT_LT(at_opt, aged.boundaryErrorProb(b, opt - 0.15));
+    EXPECT_LT(at_opt, aged.boundaryErrorProb(b, opt + 0.15));
+}
+
+TEST(VthModel, MoreAgingMoreRberAtOpt)
+{
+    // Section 5.1: even VOPT cannot avoid RBER growth; M_ERR grows
+    // with PEC and retention.
+    VthModel mild, harsh;
+    mild.age({0.0, 3.0, 30.0});
+    harsh.age({2.0, 12.0, 30.0});
+    for (PageType t :
+         {PageType::LSB, PageType::CSB, PageType::MSB}) {
+        EXPECT_GT(harsh.pageRberAtOpt(t), mild.pageRberAtOpt(t))
+            << pageTypeName(t);
+    }
+}
+
+/** Property: sweeping the VREF offset reproduces Figure 4(a)'s
+ *  V-shape: monotone improvement toward VOPT, worse beyond. */
+class VrefSweep : public ::testing::TestWithParam<PageType>
+{
+};
+
+TEST_P(VrefSweep, RberVShapeAroundOptimalOffset)
+{
+    VthModel aged;
+    aged.age({1.0, 9.0, 30.0});
+    const PageType t = GetParam();
+
+    double best_off = 0.0, best = aged.pageRber(t, 0.0);
+    for (double off = -0.5; off <= 0.1; off += 0.01) {
+        const double r = aged.pageRber(t, off);
+        if (r < best) {
+            best = r;
+            best_off = off;
+        }
+    }
+    EXPECT_LT(best_off, 0.0) << "optimal offset must be negative";
+    EXPECT_LT(best, aged.pageRber(t, 0.0) * 0.5)
+        << "near-optimal VREF drastically decreases RBER (Fig. 4(b))";
+    // Walking further past the optimum makes things worse again.
+    EXPECT_GT(aged.pageRber(t, best_off - 0.25), best);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageTypes, VrefSweep,
+                         ::testing::Values(PageType::LSB, PageType::CSB,
+                                           PageType::MSB));
+
+} // namespace
+} // namespace ssdrr::nand

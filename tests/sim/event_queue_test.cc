@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace ssdrr::sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executedEvents(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.executedEvents(), 3u);
+}
+
+TEST(EventQueue, SameTickRunsInSchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i) << "FIFO order violated at " << i;
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    Tick seen = kTickNever;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(25, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 125u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(10, [&] { ++ran; });
+    eq.schedule(20, [&] { ++ran; });
+    eq.schedule(21, [&] { ++ran; });
+    eq.run(20);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(1, [&] { ++ran; });
+    eq.schedule(2, [&] { ++ran; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(ran, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(ran, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    int ran = 0;
+    const EventId id = eq.schedule(10, [&] { ++ran; });
+    eq.schedule(20, [&] { ++ran; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+    eq.run();
+}
+
+TEST(EventQueue, CancelUnknownIdFails)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(0));
+    EXPECT_FALSE(eq.cancel(12345));
+}
+
+TEST(EventQueue, PendingAccountsForCancellations)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    eq.schedule(10, [&] {
+        ticks.push_back(eq.now());
+        eq.schedule(15, [&] { ticks.push_back(eq.now()); });
+        // Same-tick insertion from within a callback also runs.
+        eq.schedule(10, [&] { ticks.push_back(eq.now()); });
+    });
+    eq.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{10, 10, 15}));
+}
+
+TEST(EventQueue, CallbackMayCancelLaterEvent)
+{
+    EventQueue eq;
+    int ran = 0;
+    EventId victim = 0;
+    victim = eq.schedule(50, [&] { ++ran; });
+    eq.schedule(10, [&] { EXPECT_TRUE(eq.cancel(victim)); });
+    eq.run();
+    EXPECT_EQ(ran, 0);
+    // now() advances only to the last *executed* event.
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, ManyEventsKeepTotalOrder)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 5000; ++i) {
+        const Tick when = static_cast<Tick>((i * 7919) % 1000);
+        eq.schedule(when, [&, when] {
+            if (eq.now() < last)
+                monotone = false;
+            last = eq.now();
+            EXPECT_EQ(eq.now(), when);
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(eq.executedEvents(), 5000u);
+}
+
+TEST(EventQueuePanic, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueuePanic, NullCallbackPanics)
+{
+    EventQueue eq;
+    EXPECT_THROW(eq.schedule(10, EventQueue::Callback{}),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace ssdrr::sim

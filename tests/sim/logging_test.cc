@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for panic/fatal/warn reporting and the assertion macro.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::sim {
+namespace {
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(SSDRR_PANIC("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, PanicMessageCarriesFormattedArgs)
+{
+    try {
+        SSDRR_PANIC("value=", 7, " name=", "x");
+        FAIL() << "panic did not throw";
+    } catch (const std::logic_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("value=7"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("name=x"), std::string::npos) << msg;
+    }
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(SSDRR_FATAL("user error"), std::runtime_error);
+}
+
+TEST(Logging, FatalIsNotLogicError)
+{
+    // fatal (user error) and panic (simulator bug) are distinct
+    // types so tests can tell them apart.
+    try {
+        SSDRR_FATAL("config");
+        FAIL();
+    } catch (const std::logic_error &) {
+        FAIL() << "fatal must not be a logic_error";
+    } catch (const std::runtime_error &) {
+        SUCCEED();
+    }
+}
+
+TEST(Logging, WarnIncrementsCounterAndContinues)
+{
+    const std::uint64_t before = warnCount();
+    SSDRR_WARN("just a warning");
+    EXPECT_EQ(warnCount(), before + 1);
+    SSDRR_WARN("another");
+    EXPECT_EQ(warnCount(), before + 2);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(SSDRR_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(Logging, AssertThrowsOnFalseWithCondition)
+{
+    try {
+        const int x = 3;
+        SSDRR_ASSERT(x == 4, "x was ", x);
+        FAIL();
+    } catch (const std::logic_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("x == 4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("x was 3"), std::string::npos) << msg;
+    }
+}
+
+TEST(Logging, FormatConcatenatesMixedTypes)
+{
+    EXPECT_EQ(detail::format("a", 1, 2.5, 'c'), "a12.5c");
+    EXPECT_EQ(detail::format(), "");
+}
+
+} // namespace
+} // namespace ssdrr::sim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit and property tests for the gap-filling reservation timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/reservation.hh"
+#include "sim/rng.hh"
+
+namespace ssdrr::sim {
+namespace {
+
+TEST(Reservation, FirstGrantAtEarliest)
+{
+    ReservationTimeline tl;
+    EXPECT_EQ(tl.acquire(100, 10), 100u);
+    EXPECT_EQ(tl.horizon(), 110u);
+    EXPECT_EQ(tl.grants(), 1u);
+    EXPECT_EQ(tl.totalBusy(), 10u);
+}
+
+TEST(Reservation, ConflictBumpsPastExistingInterval)
+{
+    ReservationTimeline tl;
+    tl.acquire(100, 10);
+    EXPECT_EQ(tl.acquire(105, 10), 110u);
+    EXPECT_EQ(tl.horizon(), 120u);
+}
+
+TEST(Reservation, FillsGapBetweenReservations)
+{
+    ReservationTimeline tl;
+    tl.acquire(0, 10);    // [0, 10)
+    tl.acquire(100, 10);  // [100, 110)
+    // A 20-tick window fits in the gap: a later-arriving independent
+    // transaction interleaves, unlike a busy-until watermark.
+    EXPECT_EQ(tl.acquire(0, 20), 10u);
+    EXPECT_EQ(tl.acquire(0, 70), 30u) << "fills remaining gap exactly";
+    EXPECT_EQ(tl.acquire(0, 1), 110u) << "timeline now solid until 110";
+}
+
+TEST(Reservation, TooSmallGapIsSkipped)
+{
+    ReservationTimeline tl;
+    tl.acquire(0, 10);   // [0, 10)
+    tl.acquire(15, 10);  // [15, 25)
+    // 5-tick gap at [10, 15) cannot hold 6 ticks.
+    EXPECT_EQ(tl.acquire(0, 6), 25u);
+    // But a 5-tick request fits exactly.
+    EXPECT_EQ(tl.acquire(0, 5), 10u);
+}
+
+TEST(Reservation, EarliestInsideExistingIntervalBumps)
+{
+    ReservationTimeline tl;
+    tl.acquire(10, 20); // [10, 30)
+    EXPECT_EQ(tl.acquire(15, 5), 30u);
+}
+
+TEST(Reservation, AdjacentIntervalsMerge)
+{
+    ReservationTimeline tl;
+    tl.acquire(0, 10);
+    tl.acquire(10, 10);
+    tl.acquire(20, 10);
+    EXPECT_EQ(tl.intervals(), 1u) << "contiguous grants merge";
+    EXPECT_EQ(tl.horizon(), 30u);
+}
+
+TEST(Reservation, ReleaseBeforeDropsOnlyFinishedIntervals)
+{
+    ReservationTimeline tl;
+    tl.acquire(0, 10);
+    tl.acquire(50, 10);
+    tl.acquire(100, 10);
+    EXPECT_EQ(tl.intervals(), 3u);
+    tl.releaseBefore(60);
+    EXPECT_EQ(tl.intervals(), 1u);
+    // Future reservations still respect the surviving interval.
+    EXPECT_EQ(tl.acquire(100, 5), 110u);
+    // totalBusy is cumulative, not affected by release.
+    EXPECT_EQ(tl.totalBusy(), 35u);
+}
+
+TEST(Reservation, ZeroEarliestManyBackToBack)
+{
+    ReservationTimeline tl;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(tl.acquire(0, 7), static_cast<Tick>(7 * i));
+    EXPECT_EQ(tl.totalBusy(), 700u);
+}
+
+TEST(ReservationPanic, ZeroDurationPanics)
+{
+    ReservationTimeline tl;
+    EXPECT_THROW(tl.acquire(0, 0), std::logic_error);
+}
+
+/**
+ * Property: under random traffic, grants never overlap, never start
+ * before their earliest, and the greedy-first-fit grant is at least
+ * as early as a naive busy-until watermark would give.
+ */
+class ReservationProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ReservationProperty, GrantsNeverOverlapAndRespectEarliest)
+{
+    Rng rng(GetParam());
+    ReservationTimeline tl;
+    std::vector<std::pair<Tick, Tick>> granted; // [start, end)
+    Tick watermark = 0;                         // naive model
+
+    for (int i = 0; i < 400; ++i) {
+        const Tick earliest = rng.uniformInt(2000);
+        const Tick dur = 1 + rng.uniformInt(30);
+        const Tick start = tl.acquire(earliest, dur);
+        ASSERT_GE(start, earliest);
+        for (const auto &[s, e] : granted) {
+            const bool disjoint = start + dur <= s || start >= e;
+            ASSERT_TRUE(disjoint)
+                << "overlap: [" << start << "," << start + dur
+                << ") vs [" << s << "," << e << ")";
+        }
+        granted.emplace_back(start, start + dur);
+        // The naive watermark grant:
+        const Tick naive = std::max(earliest, watermark);
+        watermark = naive + dur;
+        ASSERT_LE(start, naive)
+            << "gap filling must never be worse than busy-until";
+    }
+    // Conservation: total busy equals the sum of granted durations.
+    Tick sum = 0;
+    for (const auto &[s, e] : granted)
+        sum += e - s;
+    EXPECT_EQ(tl.totalBusy(), sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReservationProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+} // namespace
+} // namespace ssdrr::sim

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the deterministic RNG, hash streams and the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace ssdrr::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedDifferentSequence)
+{
+    Rng a(42), b(43);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedStillWorks)
+{
+    Rng r(0);
+    std::set<std::uint64_t> vals;
+    for (int i = 0; i < 64; ++i)
+        vals.insert(r.next());
+    EXPECT_GT(vals.size(), 60u) << "degenerate state produces repeats";
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng r(11);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 7000; ++i)
+        ++counts[r.uniformInt(7)];
+    ASSERT_EQ(counts.size(), 7u);
+    for (const auto &[k, c] : counts) {
+        EXPECT_LT(k, 7u);
+        EXPECT_GT(c, 800) << "residue " << k << " underrepresented";
+    }
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal(10.0, 2.0);
+        sum += x;
+        sq += (x - 10.0) * (x - 10.0);
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(sq / n), 2.0, 0.05);
+}
+
+TEST(Rng, LogNormalIsPositiveWithUnitMedian)
+{
+    Rng r(17);
+    std::vector<double> xs;
+    for (int i = 0; i < 10001; ++i) {
+        const double x = r.logNormal(0.0, 0.25);
+        ASSERT_GT(x, 0.0);
+        xs.push_back(x);
+    }
+    std::nth_element(xs.begin(), xs.begin() + 5000, xs.end());
+    EXPECT_NEAR(xs[5000], 1.0, 0.03) << "median of exp(N(0,s)) is 1";
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate)
+{
+    Rng r(19);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(0.5);
+    EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(23);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(0.25));
+    // E[geometric(p), failures-before-success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneIsZero)
+{
+    Rng r(23);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(29);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(HashStream, DeterministicAndCoordinateSensitive)
+{
+    const std::uint64_t h = hashStream(1, 2, 3, 4, 5);
+    EXPECT_EQ(h, hashStream(1, 2, 3, 4, 5));
+    EXPECT_NE(h, hashStream(2, 2, 3, 4, 5));
+    EXPECT_NE(h, hashStream(1, 3, 3, 4, 5));
+    EXPECT_NE(h, hashStream(1, 2, 4, 4, 5));
+    EXPECT_NE(h, hashStream(1, 2, 3, 5, 5));
+    EXPECT_NE(h, hashStream(1, 2, 3, 4, 6));
+}
+
+TEST(HashStream, SwappedCoordinatesDiffer)
+{
+    // (a, b) and (b, a) must hash differently: chip/block/page
+    // coordinates are positional.
+    EXPECT_NE(hashStream(0, 7, 9), hashStream(0, 9, 7));
+}
+
+TEST(HashStream, DerivedStreamsAreIndependent)
+{
+    Rng a(hashStream(99, 0));
+    Rng b(hashStream(99, 1));
+    double corr = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        corr += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+    EXPECT_NEAR(corr / n, 0.0, 0.01);
+}
+
+TEST(Zipf, ThetaZeroIsUniform)
+{
+    Rng r(31);
+    ZipfGenerator z(10, 0.0);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[z(r)];
+    ASSERT_EQ(counts.size(), 10u);
+    for (const auto &[k, c] : counts)
+        EXPECT_NEAR(static_cast<double>(c) / 50000.0, 0.1, 0.02)
+            << "rank " << k;
+}
+
+TEST(Zipf, SamplesStayInRange)
+{
+    Rng r(37);
+    ZipfGenerator z(100, 0.9);
+    for (int i = 0; i < 20000; ++i)
+        ASSERT_LT(z(r), 100u);
+}
+
+TEST(Zipf, RankZeroIsHottest)
+{
+    Rng r(41);
+    ZipfGenerator z(1000, 0.9);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z(r)];
+    int max_count = 0;
+    std::uint64_t max_rank = 0;
+    for (const auto &[k, c] : counts) {
+        if (c > max_count) {
+            max_count = c;
+            max_rank = k;
+        }
+    }
+    EXPECT_EQ(max_rank, 0u);
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[500] - 5);
+}
+
+/** Property sweep: higher theta concentrates more mass on rank 0. */
+class ZipfSkewSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewSweep, MassOnRankZeroGrowsWithTheta)
+{
+    const double theta = GetParam();
+    Rng r(43);
+    ZipfGenerator z(500, theta);
+    int zero = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        zero += z(r) == 0 ? 1 : 0;
+    const double p0 = static_cast<double>(zero) / n;
+
+    Rng r2(43);
+    ZipfGenerator z2(500, theta / 2.0);
+    int zero2 = 0;
+    for (int i = 0; i < n; ++i)
+        zero2 += z2(r2) == 0 ? 1 : 0;
+    const double p0_half = static_cast<double>(zero2) / n;
+
+    EXPECT_GT(p0, p0_half)
+        << "theta " << theta << " should be hotter than " << theta / 2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSkewSweep,
+                         ::testing::Values(0.4, 0.6, 0.8, 0.9, 0.99));
+
+} // namespace
+} // namespace ssdrr::sim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for counters, accumulators, histograms and the stat registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+namespace ssdrr::sim {
+namespace {
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, EmptyIsAllZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+    EXPECT_EQ(a.variance(), 0.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, TracksMoments)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    // Population variance of this classic dataset is exactly 4.
+    EXPECT_NEAR(a.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+}
+
+TEST(Accumulator, HandlesNegativeValues)
+{
+    Accumulator a;
+    a.add(-5.0);
+    a.add(5.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+    EXPECT_NEAR(a.variance(), 25.0, 1e-12);
+}
+
+TEST(Accumulator, WelfordIsNumericallyStable)
+{
+    // Large offset + small variance breaks naive sum-of-squares.
+    Accumulator a;
+    const double base = 1e9;
+    for (int i = 0; i < 1000; ++i)
+        a.add(base + (i % 2 == 0 ? 1.0 : -1.0));
+    EXPECT_NEAR(a.variance(), 1.0, 1e-6);
+}
+
+TEST(Accumulator, ResetClearsState)
+{
+    Accumulator a;
+    a.add(3.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    a.add(7.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(a.min(), 7.0);
+}
+
+TEST(Histogram, PercentilesOfKnownData)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+    const double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, 50.0);
+    EXPECT_LE(p50, 51.0);
+    const double p99 = h.percentile(99.0);
+    EXPECT_GE(p99, 99.0);
+    EXPECT_LE(p99, 100.0);
+}
+
+TEST(Histogram, UnsortedInsertStillSortsLazily)
+{
+    Histogram h;
+    for (double v : {5.0, 1.0, 4.0, 2.0, 3.0})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 5.0);
+    // Adding after a percentile query must still be seen.
+    h.add(0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.5);
+}
+
+TEST(Histogram, ResetEmpties)
+{
+    Histogram h;
+    h.add(1.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(StatSet, SetGetIncHas)
+{
+    StatSet s;
+    EXPECT_FALSE(s.has("x"));
+    s.set("x", 3.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 3.0);
+    s.inc("x");
+    s.inc("x", 2.5);
+    EXPECT_DOUBLE_EQ(s.get("x"), 6.5);
+    s.inc("fresh", 4.0);
+    EXPECT_DOUBLE_EQ(s.get("fresh"), 4.0);
+}
+
+TEST(StatSet, DumpContainsAllEntriesWithPrefix)
+{
+    StatSet s;
+    s.set("alpha", 1.0);
+    s.set("beta", 2.0);
+    const std::string d = s.dump("ssd.");
+    EXPECT_NE(d.find("ssd.alpha"), std::string::npos);
+    EXPECT_NE(d.find("ssd.beta"), std::string::npos);
+    EXPECT_EQ(s.all().size(), 2u);
+}
+
+} // namespace
+} // namespace ssdrr::sim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Tests for the time-unit helpers used by every latency parameter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace ssdrr::sim {
+namespace {
+
+TEST(TimeUnits, ConversionsAreConsistent)
+{
+    EXPECT_EQ(nsec(1), 1u);
+    EXPECT_EQ(usec(1), 1000u);
+    EXPECT_EQ(msec(1), 1000000u);
+    EXPECT_EQ(sec(1), 1000000000u);
+    EXPECT_EQ(usec(24), 24u * 1000u);
+    EXPECT_EQ(msec(5), 5u * 1000u * 1000u);
+}
+
+TEST(TimeUnits, FractionalInputsTruncate)
+{
+    EXPECT_EQ(usec(0.5), 500u);
+    EXPECT_EQ(msec(0.66), 660000u);
+    EXPECT_EQ(nsec(0.9), 0u);
+}
+
+TEST(TimeUnits, RoundTripThroughReporting)
+{
+    EXPECT_DOUBLE_EQ(toUsec(usec(117)), 117.0);
+    EXPECT_DOUBLE_EQ(toMsec(msec(5)), 5.0);
+    EXPECT_DOUBLE_EQ(toUsec(sec(1)), 1e6);
+}
+
+TEST(TimeUnits, NeverSentinelIsMaximal)
+{
+    EXPECT_GT(kTickNever, sec(1e9));
+    EXPECT_EQ(kTickNever, std::numeric_limits<Tick>::max());
+}
+
+} // namespace
+} // namespace ssdrr::sim

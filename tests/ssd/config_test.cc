@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the SSD configuration (paper Section 7.1 parameters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ssd/config.hh"
+
+namespace ssdrr::ssd {
+namespace {
+
+TEST(Config, PaperGeometryIs512GiBClass)
+{
+    const Config c = Config::paper();
+    EXPECT_EQ(c.channels, 4u);
+    EXPECT_EQ(c.diesPerChannel, 4u);
+    EXPECT_EQ(c.planesPerDie, 2u);
+    EXPECT_EQ(c.blocksPerPlane, 1888u);
+    EXPECT_EQ(c.pagesPerBlock, 576u);
+    EXPECT_EQ(c.pageBytes, 16u * 1024);
+    EXPECT_DOUBLE_EQ(c.eccCapability, 72.0);
+    // Raw capacity ~531 GiB; exported capacity ~512 GiB equivalent.
+    const double raw_gib =
+        static_cast<double>(c.totalPages()) * c.pageBytes / (1ull << 30);
+    EXPECT_NEAR(raw_gib, 531.0, 1.0);
+    const double user_gib =
+        static_cast<double>(c.logicalPages()) * c.pageBytes /
+        (1ull << 30);
+    EXPECT_NEAR(user_gib, 467.0, 2.0)
+        << "88% of raw, in the 512-GB-drive class";
+}
+
+TEST(Config, LayoutMirrorsGeometry)
+{
+    const Config c = Config::paper();
+    const ftl::AddressLayout l = c.layout();
+    EXPECT_EQ(l.channels, c.channels);
+    EXPECT_EQ(l.diesPerChannel, c.diesPerChannel);
+    EXPECT_EQ(l.planesPerDie, c.planesPerDie);
+    EXPECT_EQ(l.blocksPerPlane, c.blocksPerPlane);
+    EXPECT_EQ(l.pagesPerBlock, c.pagesPerBlock);
+    EXPECT_EQ(c.totalPages(), l.totalPages());
+    EXPECT_EQ(c.totalDies(), 16u);
+}
+
+TEST(Config, ChipGeometryIsPerChannel)
+{
+    const Config c = Config::paper();
+    const nand::Geometry g = c.chipGeometry();
+    EXPECT_EQ(g.dies, c.diesPerChannel);
+    EXPECT_EQ(g.planesPerDie, c.planesPerDie);
+    EXPECT_EQ(g.blocksPerPlane, c.blocksPerPlane);
+    EXPECT_EQ(g.pagesPerBlock, c.pagesPerBlock);
+}
+
+TEST(Config, SmallConfigKeepsParallelismShrinksBlocks)
+{
+    const Config s = Config::small();
+    const Config p = Config::paper();
+    EXPECT_EQ(s.channels, p.channels);
+    EXPECT_EQ(s.diesPerChannel, p.diesPerChannel);
+    EXPECT_EQ(s.planesPerDie, p.planesPerDie);
+    EXPECT_LT(s.blocksPerPlane, p.blocksPerPlane);
+    EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Config, ValidateAcceptsPaperDefaults)
+{
+    EXPECT_NO_THROW(Config::paper().validate());
+}
+
+TEST(Config, ValidateRejectsDegenerateGeometry)
+{
+    Config c = Config::small();
+    c.channels = 0;
+    EXPECT_THROW(c.validate(), std::logic_error);
+}
+
+TEST(Config, ValidateRejectsNoGcHeadroom)
+{
+    Config c = Config::small();
+    c.blocksPerPlane = static_cast<std::uint32_t>(c.gcThreshold) + 1;
+    EXPECT_THROW(c.validate(), std::logic_error);
+}
+
+TEST(Config, ValidateRejectsFullUserFraction)
+{
+    Config c = Config::small();
+    c.userFraction = 1.0;
+    EXPECT_THROW(c.validate(), std::logic_error);
+    c.userFraction = 0.0;
+    EXPECT_THROW(c.validate(), std::logic_error);
+}
+
+TEST(Config, ValidateRejectsZeroEcc)
+{
+    Config c = Config::small();
+    c.eccCapability = 0.0;
+    EXPECT_THROW(c.validate(), std::logic_error);
+}
+
+TEST(Config, DefaultOperatingKnobs)
+{
+    const Config c;
+    EXPECT_DOUBLE_EQ(c.basePeKilo, 0.0);
+    EXPECT_DOUBLE_EQ(c.baseRetentionMonths, 0.0);
+    EXPECT_DOUBLE_EQ(c.temperatureC, 30.0);
+    EXPECT_TRUE(c.suspension);
+}
+
+} // namespace
+} // namespace ssdrr::ssd

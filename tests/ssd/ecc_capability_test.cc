@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests that the SSD's configured ECC capability actually governs
+ * the retry behaviour end to end (weaker code -> more retry steps),
+ * including the failure-injection path where pages become
+ * unreadable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hh"
+
+namespace ssdrr::ssd {
+namespace {
+
+Config
+capConfig(double capability)
+{
+    Config c = Config::small();
+    c.eccCapability = capability;
+    c.basePeKilo = 1.0;
+    c.baseRetentionMonths = 6.0;
+    return c;
+}
+
+double
+avgStepsWith(double capability)
+{
+    Ssd ssd(capConfig(capability), core::Mechanism::Baseline);
+    ssd.ftl().precondition();
+    for (std::uint64_t i = 0; i < 48; ++i) {
+        HostRequest req;
+        req.id = i + 1;
+        req.lpn = i * 11;
+        req.pages = 1;
+        req.isRead = true;
+        ssd.submit(req);
+    }
+    ssd.drain();
+    return ssd.stats().avgRetrySteps;
+}
+
+TEST(EccCapability, WeakerCodeNeedsMoreRetrySteps)
+{
+    // A stronger code stops the walk a step early (step N-1 carries
+    // ~76 errors, below a 110-bit capability); a code weaker than
+    // the final-step error floor (~30 errors at this condition)
+    // cannot finish some walks at all and pays the full table.
+    const double strong = avgStepsWith(110.0);
+    const double paper = avgStepsWith(72.0);
+    const double weak = avgStepsWith(25.0);
+    EXPECT_LT(strong, paper);
+    EXPECT_LT(paper, weak);
+}
+
+TEST(EccCapability, ModelAndEngineAgree)
+{
+    const Config c = capConfig(50.0);
+    Ssd ssd(c, core::Mechanism::Baseline);
+    EXPECT_DOUBLE_EQ(ssd.errorModel().cal().eccCapability, 50.0);
+}
+
+TEST(EccCapability, RptShrinksWithWeakerCode)
+{
+    // The AR2 budget is (capability - margin - M_ERR): a weaker code
+    // must profile smaller (or zero) reductions.
+    Ssd strong(capConfig(100.0), core::Mechanism::AR2);
+    Ssd weak(capConfig(52.0), core::Mechanism::AR2);
+    double sum_strong = 0.0, sum_weak = 0.0;
+    for (std::size_t pe = 0; pe < strong.rpt().peBins(); ++pe) {
+        for (std::size_t rt = 0; rt < strong.rpt().retBins(); ++rt) {
+            sum_strong += strong.rpt().entryAt(pe, rt);
+            sum_weak += weak.rpt().entryAt(pe, rt);
+        }
+    }
+    EXPECT_GT(sum_strong, sum_weak);
+}
+
+TEST(EccCapability, HopelessCodeInjectsReadFailures)
+{
+    // Failure injection: with a code weaker than the final-step
+    // error floor, some pages can never be read; the SSD must report
+    // them as failures and keep running (higher-level RAID territory).
+    Config c = capConfig(12.0);
+    c.baseRetentionMonths = 12.0;
+    c.basePeKilo = 2.0;
+    Ssd ssd(c, core::Mechanism::Baseline);
+    ssd.ftl().precondition();
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        HostRequest req;
+        req.id = i + 1;
+        req.lpn = i * 7;
+        req.pages = 1;
+        req.isRead = true;
+        ssd.submit(req);
+    }
+    ssd.drain();
+    const RunStats st = ssd.stats();
+    EXPECT_EQ(st.reads, 32u) << "requests still complete";
+    EXPECT_GT(st.readFailures, 0u) << "unreadable pages are reported";
+    EXPECT_GT(st.avgRetrySteps, 30.0)
+        << "failed reads walked most of the retry table";
+}
+
+} // namespace
+} // namespace ssdrr::ssd

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the read-reclaim refresh policy (the refresh-based
+ * read-retry mitigation of Section 9 [14, 15, 28]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hh"
+
+namespace ssdrr::ssd {
+namespace {
+
+Config
+agedConfig(double refresh_months)
+{
+    Config c = Config::small();
+    c.basePeKilo = 0.5;
+    c.baseRetentionMonths = 9.0;
+    c.refreshThresholdMonths = refresh_months;
+    return c;
+}
+
+HostRequest
+readOf(std::uint64_t id, ftl::Lpn lpn)
+{
+    HostRequest r;
+    r.id = id;
+    r.lpn = lpn;
+    r.pages = 1;
+    r.isRead = true;
+    return r;
+}
+
+TEST(Refresh, DisabledByDefault)
+{
+    Ssd ssd(agedConfig(0.0), core::Mechanism::Baseline);
+    ssd.ftl().precondition();
+    ssd.submit(readOf(1, 10));
+    ssd.drain();
+    EXPECT_EQ(ssd.stats().refreshes, 0u);
+}
+
+TEST(Refresh, ColdReadTriggersRewrite)
+{
+    Ssd ssd(agedConfig(6.0), core::Mechanism::Baseline);
+    ssd.ftl().precondition();
+    const ftl::Ppn before = ssd.ftl().translate(10);
+    ssd.submit(readOf(1, 10));
+    ssd.drain();
+    EXPECT_EQ(ssd.stats().refreshes, 1u);
+    const ftl::Ppn after = ssd.ftl().translate(10);
+    EXPECT_FALSE(before == after) << "page physically relocated";
+    EXPECT_LT(ssd.ftl().retentionMonths(after, ssd.eventQueue().now()),
+              0.01)
+        << "retention age restarted";
+}
+
+TEST(Refresh, SecondReadNeedsNoRetry)
+{
+    Ssd ssd(agedConfig(6.0), core::Mechanism::Baseline);
+    ssd.ftl().precondition();
+
+    ssd.submit(readOf(1, 10));
+    ssd.drain();
+    const double first_steps = ssd.stats().avgRetrySteps;
+    EXPECT_GT(first_steps, 0.0) << "9-month-old page retries";
+
+    ssd.submit(readOf(2, 10));
+    ssd.drain();
+    // Refresh removes the retention component but not the wear
+    // component (a 0.5K-P/E page still needs ~2 steps at zero
+    // retention, Fig. 5): the second read must need far fewer steps
+    // than the first, and no second refresh fires.
+    const double second_steps =
+        2.0 * ssd.stats().avgRetrySteps - first_steps;
+    EXPECT_LT(second_steps, first_steps / 2.0);
+    EXPECT_GE(second_steps, 0.0);
+    EXPECT_EQ(ssd.stats().refreshes, 1u)
+        << "the refreshed page is young: no refresh storm";
+}
+
+TEST(Refresh, YoungPagesAreNotRefreshed)
+{
+    Config c = agedConfig(6.0);
+    c.baseRetentionMonths = 1.0; // younger than the threshold
+    Ssd ssd(c, core::Mechanism::Baseline);
+    ssd.ftl().precondition();
+    ssd.submit(readOf(1, 10));
+    ssd.drain();
+    EXPECT_EQ(ssd.stats().refreshes, 0u);
+}
+
+TEST(Refresh, CostsWritesAndBandwidth)
+{
+    // The paper's argument against refresh-only mitigation: every
+    // refresh is a program that occupies dies and consumes lifetime.
+    Config with = agedConfig(6.0);
+    Config without = agedConfig(0.0);
+    const int reads = 64;
+
+    double rt_with = 0.0, rt_without = 0.0;
+    std::uint64_t refreshes = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+        Ssd ssd(pass == 0 ? with : without, core::Mechanism::Baseline);
+        ssd.ftl().precondition();
+        for (int i = 0; i < reads; ++i)
+            ssd.submit(readOf(i + 1, static_cast<ftl::Lpn>(i) * 3));
+        ssd.drain();
+        if (pass == 0) {
+            rt_with = ssd.stats().avgReadResponseUs;
+            refreshes = ssd.stats().refreshes;
+        } else {
+            rt_without = ssd.stats().avgReadResponseUs;
+        }
+    }
+    EXPECT_EQ(refreshes, static_cast<std::uint64_t>(reads))
+        << "every distinct cold read triggers one refresh";
+    // One-shot cold reads see no benefit (refresh happens after the
+    // read) while the programs compete for the dies.
+    EXPECT_GE(rt_with, rt_without * 0.95);
+}
+
+} // namespace
+} // namespace ssdrr::ssd

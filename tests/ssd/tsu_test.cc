@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the Transaction Scheduling Unit: per-die queues, read
+ * priority over writes/erases, program/erase suspension on behalf of
+ * waiting reads, and dispatch bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/retry_controller.hh"
+#include "ssd/tsu.hh"
+
+namespace ssdrr::ssd {
+namespace {
+
+class TsuTest : public ::testing::Test
+{
+  protected:
+    TsuTest()
+        : cfg_(Config::small()),
+          model_(nand::Calibration{}, 7),
+          rpt_(core::RptBuilder(model_).buildDefault()),
+          rc_(core::Mechanism::Baseline, cfg_.timing, model_, &rpt_)
+    {
+        for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
+            chips_.push_back(std::make_unique<nand::Chip>(
+                eq_, cfg_.chipGeometry(), cfg_.timing, c));
+            channels_.push_back(std::make_unique<Channel>(c));
+            eccs_.push_back(std::make_unique<ecc::EccEngine>(
+                cfg_.timing.tECC, cfg_.eccCapability));
+        }
+        std::vector<nand::Chip *> cp;
+        std::vector<Channel *> hp;
+        std::vector<ecc::EccEngine *> ep;
+        for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
+            cp.push_back(chips_[c].get());
+            hp.push_back(channels_[c].get());
+            ep.push_back(eccs_[c].get());
+        }
+        tsu_ = std::make_unique<Tsu>(eq_, cfg_, cp, hp, ep, rc_);
+    }
+
+    Txn
+    makeTxn(TxnKind kind, std::uint32_t die_global, std::uint64_t id)
+    {
+        Txn t;
+        t.kind = kind;
+        t.id = id;
+        t.dieGlobal = die_global;
+        t.channel = die_global / cfg_.diesPerChannel;
+        t.type = nand::PageType::LSB;
+        if (isRead(kind)) {
+            t.op = nand::OperatingPoint{0.0, 0.0, 30.0};
+            t.profile = model_.pageProfile(t.channel, 0, id, t.op);
+        }
+        return t;
+    }
+
+    Config cfg_;
+    sim::EventQueue eq_;
+    nand::ErrorModel model_;
+    core::Rpt rpt_;
+    core::RetryController rc_;
+    std::vector<std::unique_ptr<nand::Chip>> chips_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<std::unique_ptr<ecc::EccEngine>> eccs_;
+    std::unique_ptr<Tsu> tsu_;
+};
+
+TEST_F(TsuTest, SingleReadDispatchesAndCompletes)
+{
+    std::vector<std::uint64_t> done;
+    tsu_->onReadDone([&](const Txn &t, const core::ReadPlan &plan) {
+        done.push_back(t.id);
+        EXPECT_TRUE(plan.success);
+    });
+    tsu_->enqueue(makeTxn(TxnKind::HostRead, 0, 1));
+    eq_.run();
+    EXPECT_EQ(done, (std::vector<std::uint64_t>{1}));
+    EXPECT_EQ(tsu_->dispatchedReads(), 1u);
+    EXPECT_EQ(tsu_->backlog(), 0u);
+}
+
+TEST_F(TsuTest, ReadsOnSameDieSerialize)
+{
+    std::vector<sim::Tick> completions;
+    tsu_->onReadDone([&](const Txn &, const core::ReadPlan &) {
+        completions.push_back(eq_.now());
+    });
+    tsu_->enqueue(makeTxn(TxnKind::HostRead, 0, 1));
+    tsu_->enqueue(makeTxn(TxnKind::HostRead, 0, 2));
+    EXPECT_EQ(tsu_->backlog(), 1u) << "second read queued behind busy die";
+    eq_.run();
+    ASSERT_EQ(completions.size(), 2u);
+    // Fresh LSB reads: ~114 us each; the second starts only after
+    // the first frees the die (at its dma end = 94 us).
+    EXPECT_GT(completions[1], completions[0]);
+    EXPECT_GE(completions[1] - completions[0], sim::usec(90));
+}
+
+TEST_F(TsuTest, ReadsOnDifferentDiesOverlap)
+{
+    std::vector<sim::Tick> completions;
+    tsu_->onReadDone([&](const Txn &, const core::ReadPlan &) {
+        completions.push_back(eq_.now());
+    });
+    tsu_->enqueue(makeTxn(TxnKind::HostRead, 0, 1));
+    tsu_->enqueue(makeTxn(TxnKind::HostRead, 5, 2));
+    eq_.run();
+    ASSERT_EQ(completions.size(), 2u);
+    // Different dies on different channels: fully parallel.
+    EXPECT_EQ(completions[0], completions[1]);
+}
+
+TEST_F(TsuTest, ReadJumpsAheadOfQueuedWrite)
+{
+    std::vector<std::string> order;
+    tsu_->onReadDone([&](const Txn &, const core::ReadPlan &) {
+        order.push_back("read");
+    });
+    tsu_->onWriteDone([&](const Txn &) { order.push_back("write"); });
+
+    // Get a program in flight on die 0, then queue another write and
+    // a read: the read must suspend the program and go first, and the
+    // second write must still wait behind it.
+    tsu_->enqueue(makeTxn(TxnKind::HostWrite, 0, 1));
+    eq_.run(sim::usec(50)); // past the data-in DMA, program running
+    tsu_->enqueue(makeTxn(TxnKind::HostWrite, 0, 2));
+    tsu_->enqueue(makeTxn(TxnKind::HostRead, 0, 3));
+    eq_.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "read")
+        << "suspension preempts the in-flight program for the read";
+    EXPECT_EQ(order[1], "write");
+    EXPECT_EQ(order[2], "write");
+}
+
+TEST_F(TsuTest, SuspensionPreemptsInFlightProgram)
+{
+    sim::Tick read_done = 0, write_done = 0;
+    tsu_->onReadDone(
+        [&](const Txn &, const core::ReadPlan &) { read_done = eq_.now(); });
+    tsu_->onWriteDone([&](const Txn &) { write_done = eq_.now(); });
+
+    tsu_->enqueue(makeTxn(TxnKind::HostWrite, 0, 1));
+    // Let the program get going, then a read arrives.
+    eq_.run(sim::usec(100));
+    tsu_->enqueue(makeTxn(TxnKind::HostRead, 0, 2));
+    eq_.run();
+
+    EXPECT_GT(read_done, 0u);
+    EXPECT_GT(write_done, read_done)
+        << "suspended program resumes after the read";
+    // The write pays its remaining time plus the suspend overhead.
+    EXPECT_GE(write_done,
+              sim::usec(16) + cfg_.timing.tPROG + cfg_.timing.tSUS);
+    EXPECT_EQ(chips_[0]->suspendCount(), 1u);
+}
+
+TEST_F(TsuTest, NoSuspensionWhenDisabled)
+{
+    cfg_.suspension = false;
+    // Rebuild the TSU with suspension off.
+    std::vector<nand::Chip *> cp;
+    std::vector<Channel *> hp;
+    std::vector<ecc::EccEngine *> ep;
+    for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
+        cp.push_back(chips_[c].get());
+        hp.push_back(channels_[c].get());
+        ep.push_back(eccs_[c].get());
+    }
+    Tsu tsu(eq_, cfg_, cp, hp, ep, rc_);
+    sim::Tick read_done = 0;
+    tsu.onReadDone(
+        [&](const Txn &, const core::ReadPlan &) { read_done = eq_.now(); });
+    tsu.onWriteDone([](const Txn &) {});
+
+    tsu.enqueue(makeTxn(TxnKind::HostWrite, 0, 1));
+    eq_.run(sim::usec(100));
+    tsu.enqueue(makeTxn(TxnKind::HostRead, 0, 2));
+    eq_.run();
+    EXPECT_EQ(chips_[0]->suspendCount(), 0u);
+    // The read waited for the full program (16 + 700 us) first.
+    EXPECT_GE(read_done, sim::usec(716));
+}
+
+TEST_F(TsuTest, EraseRunsAfterReadsAndWrites)
+{
+    std::vector<std::string> order;
+    tsu_->onReadDone([&](const Txn &, const core::ReadPlan &) {
+        order.push_back("read");
+    });
+    tsu_->onWriteDone([&](const Txn &) { order.push_back("write"); });
+    tsu_->onEraseDone([&](const Txn &) { order.push_back("erase"); });
+
+    // All queued while the die is free: first enqueue wins the die,
+    // then priority decides among the waiters.
+    tsu_->enqueue(makeTxn(TxnKind::Erase, 0, 1));
+    tsu_->enqueue(makeTxn(TxnKind::HostWrite, 0, 2));
+    tsu_->enqueue(makeTxn(TxnKind::HostRead, 0, 3));
+    eq_.run();
+    ASSERT_EQ(order.size(), 3u);
+    // The erase started first (die was idle), the read preempted it
+    // via suspension, then the write went before the erase resumed.
+    EXPECT_EQ(order[0], "read");
+    EXPECT_EQ(order[1], "write");
+    EXPECT_EQ(order[2], "erase");
+}
+
+TEST_F(TsuTest, ManyTransactionsAllComplete)
+{
+    int reads = 0, writes = 0, erases = 0;
+    tsu_->onReadDone(
+        [&](const Txn &, const core::ReadPlan &) { ++reads; });
+    tsu_->onWriteDone([&](const Txn &) { ++writes; });
+    tsu_->onEraseDone([&](const Txn &) { ++erases; });
+
+    std::uint64_t id = 1;
+    for (int i = 0; i < 64; ++i) {
+        const auto die = static_cast<std::uint32_t>(i % cfg_.totalDies());
+        tsu_->enqueue(makeTxn(TxnKind::HostRead, die, id++));
+        if (i % 4 == 0)
+            tsu_->enqueue(makeTxn(TxnKind::HostWrite, die, id++));
+        if (i % 16 == 0)
+            tsu_->enqueue(makeTxn(TxnKind::Erase, die, id++));
+    }
+    eq_.run();
+    EXPECT_EQ(reads, 64);
+    EXPECT_EQ(writes, 16);
+    EXPECT_EQ(erases, 4);
+    EXPECT_EQ(tsu_->backlog(), 0u);
+    EXPECT_EQ(tsu_->dispatchedReads(), 64u);
+    EXPECT_EQ(tsu_->dispatchedWrites(), 16u);
+    EXPECT_EQ(tsu_->dispatchedErases(), 4u);
+}
+
+TEST_F(TsuTest, OutOfRangeDiePanics)
+{
+    EXPECT_THROW(tsu_->enqueue(makeTxn(TxnKind::HostRead, 999, 1)),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace ssdrr::ssd

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for trace export: MSR CSV round-trip through the parser and
+ * the summary profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/export.hh"
+#include "workload/msr_parser.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+namespace ssdrr::workload {
+namespace {
+
+Trace
+sampleTrace()
+{
+    std::vector<TraceRecord> recs;
+    TraceRecord a;
+    a.arrival = 0;
+    a.lpn = 5;
+    a.pages = 2;
+    a.isRead = true;
+    TraceRecord b;
+    b.arrival = sim::usec(500);
+    b.lpn = 100;
+    b.pages = 1;
+    b.isRead = false;
+    recs = {a, b};
+    return Trace("sample", std::move(recs));
+}
+
+TEST(Export, WritesOneCsvRowPerRecord)
+{
+    std::ostringstream out;
+    writeMsrTrace(out, sampleTrace());
+    const std::string csv = out.str();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+    EXPECT_NE(csv.find(",Read,"), std::string::npos);
+    EXPECT_NE(csv.find(",Write,"), std::string::npos);
+    // LPN 5 at 16-KiB pages = byte offset 81920; 2 pages = 32768 B.
+    EXPECT_NE(csv.find(",81920,32768,"), std::string::npos);
+}
+
+TEST(Export, RoundTripsThroughParser)
+{
+    const Trace orig = sampleTrace();
+    std::ostringstream out;
+    writeMsrTrace(out, orig);
+    std::istringstream in(out.str());
+    const Trace back = parseMsrTrace(in, "back");
+
+    ASSERT_EQ(back.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+        EXPECT_EQ(back.records()[i].lpn, orig.records()[i].lpn) << i;
+        EXPECT_EQ(back.records()[i].pages, orig.records()[i].pages) << i;
+        EXPECT_EQ(back.records()[i].isRead, orig.records()[i].isRead)
+            << i;
+        // Arrival survives at 100-ns granularity.
+        EXPECT_NEAR(static_cast<double>(back.records()[i].arrival),
+                    static_cast<double>(orig.records()[i].arrival), 100.0)
+            << i;
+    }
+}
+
+TEST(Export, SyntheticTraceRoundTripsStatistically)
+{
+    const Trace orig = generateSynthetic(findWorkload("prn_1"),
+                                         1 << 16, 2000, 5);
+    std::ostringstream out;
+    writeMsrTrace(out, orig);
+    std::istringstream in(out.str());
+    const Trace back = parseMsrTrace(in, "back");
+    ASSERT_EQ(back.size(), orig.size());
+    EXPECT_NEAR(back.readRatio(), orig.readRatio(), 1e-9);
+    EXPECT_NEAR(back.coldRatio(), orig.coldRatio(), 1e-9);
+    EXPECT_EQ(back.footprintPages(), orig.footprintPages());
+}
+
+TEST(Export, SaveToInvalidPathFatals)
+{
+    EXPECT_THROW(saveMsrTrace("/nonexistent/dir/x.csv", sampleTrace()),
+                 std::runtime_error);
+}
+
+TEST(Profile, EmptyTrace)
+{
+    const TraceProfile p = profileTrace(Trace{});
+    EXPECT_EQ(p.records, 0u);
+    EXPECT_EQ(p.avgIops, 0.0);
+}
+
+TEST(Profile, CountsDistinctPagesPerDirection)
+{
+    const TraceProfile p = profileTrace(sampleTrace());
+    EXPECT_EQ(p.records, 2u);
+    EXPECT_DOUBLE_EQ(p.readRatio, 0.5);
+    EXPECT_EQ(p.distinctReadPages, 2u) << "LPNs 5 and 6";
+    EXPECT_EQ(p.distinctWrittenPages, 1u);
+    EXPECT_EQ(p.maxPagesPerRequest, 2u);
+    EXPECT_DOUBLE_EQ(p.avgPagesPerRequest, 1.5);
+    EXPECT_EQ(p.footprintPages, 101u);
+}
+
+TEST(Profile, IopsFromDuration)
+{
+    // 2 records over 500 us -> 4000 IOPS.
+    const TraceProfile p = profileTrace(sampleTrace());
+    EXPECT_NEAR(p.avgIops, 4000.0, 1.0);
+}
+
+TEST(Profile, FormatMentionsKeyNumbers)
+{
+    const std::string s = formatProfile(profileTrace(sampleTrace()),
+                                        "sample");
+    EXPECT_NE(s.find("sample"), std::string::npos);
+    EXPECT_NE(s.find("2 requests"), std::string::npos);
+    EXPECT_NE(s.find("read ratio 0.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace ssdrr::workload

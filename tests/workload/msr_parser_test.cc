@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the MSR-Cambridge CSV trace parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/msr_parser.hh"
+
+namespace ssdrr::workload {
+namespace {
+
+TEST(MsrParser, ParsesWellFormedLines)
+{
+    std::istringstream in(
+        "128166372003061629,hm,0,Read,32768,16384,558\n"
+        "128166372004061629,hm,0,Write,65536,32768,572\n");
+    const Trace t = parseMsrTrace(in, "hm_0");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_TRUE(t.records()[0].isRead);
+    EXPECT_FALSE(t.records()[1].isRead);
+    // 16-KiB pages: offset 32768 -> LPN 2; 16384 bytes -> 1 page.
+    EXPECT_EQ(t.records()[0].lpn, 2u);
+    EXPECT_EQ(t.records()[0].pages, 1u);
+    // offset 65536 -> LPN 4; 32768 bytes -> 2 pages.
+    EXPECT_EQ(t.records()[1].lpn, 4u);
+    EXPECT_EQ(t.records()[1].pages, 2u);
+}
+
+TEST(MsrParser, RebasesTimestamps)
+{
+    std::istringstream in(
+        "1000000,h,0,Read,0,16384,1\n"
+        "1000010,h,0,Read,0,16384,1\n");
+    const Trace t = parseMsrTrace(in, "t");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.records()[0].arrival, 0u);
+    // Filetime ticks are 100 ns: 10 ticks -> 1000 ns.
+    EXPECT_EQ(t.records()[1].arrival, 1000u);
+}
+
+TEST(MsrParser, NoRebaseKeepsAbsoluteTime)
+{
+    std::istringstream in("50,h,0,Read,0,16384,1\n");
+    MsrParseOptions opt;
+    opt.rebaseTime = false;
+    const Trace t = parseMsrTrace(in, "t", opt);
+    EXPECT_EQ(t.records()[0].arrival, 5000u);
+}
+
+TEST(MsrParser, UnalignedRequestsCoverAllTouchedPages)
+{
+    // Offset 1000, size 20000: touches bytes [1000, 21000) ->
+    // pages 0 and 1 with 16-KiB pages.
+    std::istringstream in("0,h,0,Read,1000,20000,1\n");
+    const Trace t = parseMsrTrace(in, "t");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.records()[0].lpn, 0u);
+    EXPECT_EQ(t.records()[0].pages, 2u);
+}
+
+TEST(MsrParser, CustomPageSize)
+{
+    std::istringstream in("0,h,0,Read,8192,4096,1\n");
+    MsrParseOptions opt;
+    opt.pageBytes = 4096;
+    const Trace t = parseMsrTrace(in, "t", opt);
+    EXPECT_EQ(t.records()[0].lpn, 2u);
+    EXPECT_EQ(t.records()[0].pages, 1u);
+}
+
+TEST(MsrParser, SkipsMalformedAndUnknownLines)
+{
+    std::istringstream in(
+        "garbage line\n"
+        "0,h,0,Trim,0,16384,1\n"
+        "0,h,0,Read,notanumber,16384,1\n"
+        "0,h,0,Read,0,0,1\n"
+        "100,h,0,Read,0,16384,1\n");
+    const Trace t = parseMsrTrace(in, "t");
+    EXPECT_EQ(t.size(), 1u) << "only the last line is valid";
+}
+
+TEST(MsrParser, MaxRecordsTruncates)
+{
+    std::ostringstream lines;
+    for (int i = 0; i < 10; ++i)
+        lines << i * 100 << ",h,0,Read,0,16384,1\n";
+    std::istringstream in(lines.str());
+    MsrParseOptions opt;
+    opt.maxRecords = 4;
+    const Trace t = parseMsrTrace(in, "t", opt);
+    EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(MsrParser, SortsOutOfOrderArrivals)
+{
+    std::istringstream in(
+        "300,h,0,Read,0,16384,1\n"
+        "100,h,0,Read,16384,16384,1\n"
+        "200,h,0,Read,32768,16384,1\n");
+    MsrParseOptions opt;
+    opt.rebaseTime = false;
+    const Trace t = parseMsrTrace(in, "t", opt);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_LE(t.records()[0].arrival, t.records()[1].arrival);
+    EXPECT_LE(t.records()[1].arrival, t.records()[2].arrival);
+}
+
+TEST(MsrParser, EmptyStreamYieldsEmptyTrace)
+{
+    std::istringstream in("");
+    const Trace t = parseMsrTrace(in, "t");
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(MsrParser, MissingFileFatals)
+{
+    EXPECT_THROW(loadMsrTrace("/nonexistent/path/trace.csv"),
+                 std::runtime_error);
+}
+
+TEST(MsrParser, CaseInsensitiveTypeNames)
+{
+    std::istringstream in(
+        "0,h,0,read,0,16384,1\n"
+        "1,h,0,write,0,16384,1\n");
+    const Trace t = parseMsrTrace(in, "t");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_TRUE(t.records()[0].isRead);
+    EXPECT_FALSE(t.records()[1].isRead);
+}
+
+} // namespace
+} // namespace ssdrr::workload

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests pinning the twelve evaluated workloads to paper Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "workload/suites.hh"
+
+namespace ssdrr::workload {
+namespace {
+
+TEST(Suites, MsrcHasSixWorkloadsInTableOrder)
+{
+    const auto msrc = msrcSuite();
+    ASSERT_EQ(msrc.size(), 6u);
+    EXPECT_EQ(msrc[0].name, "stg_0");
+    EXPECT_EQ(msrc[1].name, "hm_0");
+    EXPECT_EQ(msrc[2].name, "prn_1");
+    EXPECT_EQ(msrc[3].name, "proj_1");
+    EXPECT_EQ(msrc[4].name, "mds_1");
+    EXPECT_EQ(msrc[5].name, "usr_1");
+}
+
+TEST(Suites, YcsbHasSixWorkloadsAThroughF)
+{
+    const auto ycsb = ycsbSuite();
+    ASSERT_EQ(ycsb.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(ycsb[i].name,
+                  std::string("YCSB-") + static_cast<char>('A' + i));
+    }
+}
+
+TEST(Suites, Table2ReadRatiosExact)
+{
+    // Table 2, column "Read ratio".
+    EXPECT_DOUBLE_EQ(findWorkload("stg_0").readRatio, 0.15);
+    EXPECT_DOUBLE_EQ(findWorkload("hm_0").readRatio, 0.36);
+    EXPECT_DOUBLE_EQ(findWorkload("prn_1").readRatio, 0.75);
+    EXPECT_DOUBLE_EQ(findWorkload("proj_1").readRatio, 0.89);
+    EXPECT_DOUBLE_EQ(findWorkload("mds_1").readRatio, 0.92);
+    EXPECT_DOUBLE_EQ(findWorkload("usr_1").readRatio, 0.96);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-A").readRatio, 0.98);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-B").readRatio, 0.99);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-C").readRatio, 0.99);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-D").readRatio, 0.98);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-E").readRatio, 0.99);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-F").readRatio, 0.98);
+}
+
+TEST(Suites, Table2ColdRatiosExact)
+{
+    // Table 2, column "Cold ratio".
+    EXPECT_DOUBLE_EQ(findWorkload("stg_0").coldRatio, 0.38);
+    EXPECT_DOUBLE_EQ(findWorkload("hm_0").coldRatio, 0.22);
+    EXPECT_DOUBLE_EQ(findWorkload("prn_1").coldRatio, 0.72);
+    EXPECT_DOUBLE_EQ(findWorkload("proj_1").coldRatio, 0.96);
+    EXPECT_DOUBLE_EQ(findWorkload("mds_1").coldRatio, 0.98);
+    EXPECT_DOUBLE_EQ(findWorkload("usr_1").coldRatio, 0.73);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-A").coldRatio, 0.72);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-B").coldRatio, 0.59);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-C").coldRatio, 0.60);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-D").coldRatio, 0.58);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-E").coldRatio, 0.98);
+    EXPECT_DOUBLE_EQ(findWorkload("YCSB-F").coldRatio, 0.87);
+}
+
+TEST(Suites, AllWorkloadsIsMsrcThenYcsb)
+{
+    const auto all = allWorkloads();
+    ASSERT_EQ(all.size(), 12u);
+    EXPECT_EQ(all[0].name, "stg_0");
+    EXPECT_EQ(all[6].name, "YCSB-A");
+    std::set<std::string> names;
+    for (const auto &s : all)
+        EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+}
+
+TEST(Suites, FindUnknownWorkloadFatals)
+{
+    EXPECT_THROW(findWorkload("web_3"), std::runtime_error);
+}
+
+TEST(Suites, WriteDominantVsReadDominantSplit)
+{
+    // The paper splits Fig. 14 into write-dominant (stg_0, hm_0) and
+    // read-dominant (the rest); our specs must respect that split.
+    for (const auto &s : allWorkloads()) {
+        if (s.name == "stg_0" || s.name == "hm_0")
+            EXPECT_LT(s.readRatio, 0.5) << s.name;
+        else
+            EXPECT_GT(s.readRatio, 0.5) << s.name;
+    }
+}
+
+} // namespace
+} // namespace ssdrr::workload

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator: the generated trace must
+ * reproduce the spec's Table 2 characteristics and basic shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+namespace ssdrr::workload {
+namespace {
+
+constexpr std::uint64_t kSpace = 1 << 16;
+
+TEST(Synthetic, DeterministicForSameSeed)
+{
+    SyntheticSpec spec;
+    const Trace a = generateSynthetic(spec, kSpace, 500, 7);
+    const Trace b = generateSynthetic(spec, kSpace, 500, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.records()[i].arrival, b.records()[i].arrival);
+        EXPECT_EQ(a.records()[i].lpn, b.records()[i].lpn);
+        EXPECT_EQ(a.records()[i].isRead, b.records()[i].isRead);
+    }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    SyntheticSpec spec;
+    const Trace a = generateSynthetic(spec, kSpace, 500, 7);
+    const Trace b = generateSynthetic(spec, kSpace, 500, 8);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a.records()[i].lpn == b.records()[i].lpn ? 1 : 0;
+    EXPECT_LT(same, 100);
+}
+
+TEST(Synthetic, ArrivalsAreMonotoneAndPositiveRate)
+{
+    SyntheticSpec spec;
+    spec.iops = 1000.0;
+    const Trace t = generateSynthetic(spec, kSpace, 2000, 3);
+    sim::Tick prev = 0;
+    for (const auto &r : t.records()) {
+        EXPECT_GE(r.arrival, prev);
+        prev = r.arrival;
+    }
+    // 2000 requests at 1000 IOPS take about 2 seconds.
+    EXPECT_NEAR(sim::toMsec(t.duration()), 2000.0, 300.0);
+}
+
+TEST(Synthetic, LpnsStayInFootprint)
+{
+    SyntheticSpec spec;
+    spec.footprintFraction = 0.25;
+    const Trace t = generateSynthetic(spec, kSpace, 3000, 5);
+    EXPECT_LE(t.footprintPages(), kSpace / 4 + spec.maxPages);
+    for (const auto &r : t.records()) {
+        EXPECT_GE(r.pages, 1u);
+        EXPECT_LE(r.pages, spec.maxPages);
+    }
+}
+
+TEST(Synthetic, WritesNeverTargetColdRegion)
+{
+    SyntheticSpec spec;
+    spec.coldRatio = 0.6;
+    const Trace t = generateSynthetic(spec, kSpace, 5000, 11);
+    // The generator puts the cold region on top; infer its base from
+    // the highest written page.
+    std::uint64_t max_written = 0;
+    for (const auto &r : t.records())
+        if (!r.isRead)
+            max_written =
+                std::max(max_written,
+                         r.lpn + r.pages - 1);
+    // Reads must go strictly above that boundary often (cold reads).
+    std::uint64_t cold_reads = 0;
+    for (const auto &r : t.records())
+        if (r.isRead && r.lpn > max_written)
+            ++cold_reads;
+    EXPECT_GT(cold_reads, 0u);
+}
+
+TEST(Synthetic, InvalidSpecsPanic)
+{
+    SyntheticSpec spec;
+    spec.readRatio = 1.5;
+    EXPECT_THROW(generateSynthetic(spec, kSpace, 10, 1),
+                 std::logic_error);
+    spec = SyntheticSpec{};
+    spec.coldRatio = -0.1;
+    EXPECT_THROW(generateSynthetic(spec, kSpace, 10, 1),
+                 std::logic_error);
+    spec = SyntheticSpec{};
+    spec.iops = 0.0;
+    EXPECT_THROW(generateSynthetic(spec, kSpace, 10, 1),
+                 std::logic_error);
+    EXPECT_THROW(generateSynthetic(SyntheticSpec{}, 16, 10, 1),
+                 std::logic_error)
+        << "logical space too small";
+}
+
+/**
+ * Table 2 fidelity sweep: each of the twelve evaluated workloads
+ * must reproduce its published read ratio and cold ratio.
+ */
+class Table2Fidelity : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(Table2Fidelity, ReadAndColdRatiosMatchSpec)
+{
+    const SyntheticSpec spec = findWorkload(GetParam());
+    const Trace t = generateSynthetic(spec, kSpace, 8000, 42);
+    EXPECT_EQ(t.name(), spec.name);
+    EXPECT_NEAR(t.readRatio(), spec.readRatio, 0.02) << spec.name;
+    // Cold ratio is a property of the read/write interleaving; allow
+    // a slightly wider band (writes into the hot region slowly warm
+    // previously-cold-looking pages).
+    EXPECT_NEAR(t.coldRatio(), spec.coldRatio, 0.08) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, Table2Fidelity,
+                         ::testing::Values("stg_0", "hm_0", "prn_1",
+                                           "proj_1", "mds_1", "usr_1",
+                                           "YCSB-A", "YCSB-B", "YCSB-C",
+                                           "YCSB-D", "YCSB-E", "YCSB-F"));
+
+} // namespace
+} // namespace ssdrr::workload

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the trace container and its Table 2 characteristics
+ * (read ratio, cold ratio).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/trace.hh"
+
+namespace ssdrr::workload {
+namespace {
+
+TraceRecord
+rec(sim::Tick t, std::uint64_t lpn, bool read, std::uint32_t pages = 1)
+{
+    TraceRecord r;
+    r.arrival = t;
+    r.lpn = lpn;
+    r.isRead = read;
+    r.pages = pages;
+    return r;
+}
+
+TEST(Trace, EmptyTraceHasZeroEverything)
+{
+    const Trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_DOUBLE_EQ(t.readRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(t.coldRatio(), 0.0);
+    EXPECT_EQ(t.footprintPages(), 0u);
+    EXPECT_EQ(t.duration(), 0u);
+}
+
+TEST(Trace, ReadRatioCountsRequests)
+{
+    const Trace t("t", {rec(0, 0, true), rec(1, 1, true),
+                        rec(2, 2, true), rec(3, 3, false)});
+    EXPECT_DOUBLE_EQ(t.readRatio(), 0.75);
+}
+
+TEST(Trace, ColdRatioExcludesEverWrittenPages)
+{
+    // Page 5 is written (even *after* the read): its reads are warm.
+    const Trace t("t", {rec(0, 5, true), rec(1, 9, true),
+                        rec(2, 5, false)});
+    EXPECT_DOUBLE_EQ(t.coldRatio(), 0.5)
+        << "read of 9 is cold; read of 5 is not (written later)";
+}
+
+TEST(Trace, ColdRatioHonorsMultiPageOverlap)
+{
+    // Read covers [10, 12); write covers [11, 13): they overlap, so
+    // the read is warm.
+    const Trace t("t", {rec(0, 10, true, 2), rec(1, 11, false, 2),
+                        rec(2, 20, true, 4)});
+    EXPECT_DOUBLE_EQ(t.coldRatio(), 0.5);
+}
+
+TEST(Trace, AllReadsTraceIsFullyCold)
+{
+    const Trace t("t", {rec(0, 1, true), rec(1, 2, true)});
+    EXPECT_DOUBLE_EQ(t.coldRatio(), 1.0);
+    EXPECT_DOUBLE_EQ(t.readRatio(), 1.0);
+}
+
+TEST(Trace, FootprintIsHighestTouchedPagePlusOne)
+{
+    const Trace t("t", {rec(0, 3, true), rec(1, 100, false, 4)});
+    EXPECT_EQ(t.footprintPages(), 104u);
+}
+
+TEST(Trace, DurationIsLastArrival)
+{
+    const Trace t("t", {rec(10, 0, true), rec(500, 1, true)});
+    EXPECT_EQ(t.duration(), 500u);
+}
+
+TEST(Trace, RejectsUnsortedArrivals)
+{
+    EXPECT_THROW(Trace("t", {rec(10, 0, true), rec(5, 1, true)}),
+                 std::logic_error);
+}
+
+TEST(Trace, NamePersists)
+{
+    const Trace t("YCSB-C", {});
+    EXPECT_EQ(t.name(), "YCSB-C");
+}
+
+} // namespace
+} // namespace ssdrr::workload

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * ssdrr_sim — command-line driver for the SSD read-retry simulator.
+ *
+ * Runs one workload (a Table-2 synthetic spec by name, or an
+ * MSR-Cambridge CSV file) against one or more mechanisms at a chosen
+ * operating point, and prints a comparison table. This is the
+ * day-to-day entry point for exploring configurations without
+ * writing C++.
+ *
+ * Usage:
+ *   ssdrr_sim [options]
+ *     --workload NAME|PATH.csv   workload (default usr_1)
+ *     --mechanisms A,B,...       comma list (default
+ *                                Baseline,PR2,AR2,PnAR2,NoRR)
+ *     --pec K                    kilo P/E cycles (default 1.0)
+ *     --retention MONTHS         retention age (default 6.0)
+ *     --temperature C            operating temperature (default 30)
+ *     --requests N               synthetic trace length (default 2000)
+ *     --iops RATE                override the spec's arrival rate
+ *     --refresh MONTHS           read-reclaim threshold (default off)
+ *     --no-suspension            disable program/erase suspension
+ *     --paper-geometry           full 512-GiB-class SSD (slower)
+ *     --seed N                   RNG seed (default 42)
+ *     --profile                  print the trace profile and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ssd/ssd.hh"
+#include "workload/export.hh"
+#include "workload/msr_parser.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+struct Options {
+    std::string workload = "usr_1";
+    std::vector<std::string> mechanisms = {"Baseline", "PR2", "AR2",
+                                           "PnAR2", "NoRR"};
+    double pec = 1.0;
+    double retention = 6.0;
+    double temperature = 30.0;
+    std::uint64_t requests = 2000;
+    double iops = 0.0;
+    double refresh = 0.0;
+    bool suspension = true;
+    bool paperGeometry = false;
+    std::uint64_t seed = 42;
+    bool profileOnly = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME|PATH.csv] "
+                 "[--mechanisms A,B,...] [--pec K]\n"
+                 "  [--retention MONTHS] [--temperature C] "
+                 "[--requests N] [--iops RATE]\n"
+                 "  [--refresh MONTHS] [--no-suspension] "
+                 "[--paper-geometry] [--seed N] [--profile]\n",
+                 argv0);
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? s.size()
+                                                           : comma;
+        if (end > pos)
+            out.push_back(s.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    return out;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opt.workload = next();
+        } else if (arg == "--mechanisms") {
+            opt.mechanisms = splitCommas(next());
+        } else if (arg == "--pec") {
+            opt.pec = std::atof(next());
+        } else if (arg == "--retention") {
+            opt.retention = std::atof(next());
+        } else if (arg == "--temperature") {
+            opt.temperature = std::atof(next());
+        } else if (arg == "--requests") {
+            opt.requests = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--iops") {
+            opt.iops = std::atof(next());
+        } else if (arg == "--refresh") {
+            opt.refresh = std::atof(next());
+        } else if (arg == "--no-suspension") {
+            opt.suspension = false;
+        } else if (arg == "--paper-geometry") {
+            opt.paperGeometry = true;
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--profile") {
+            opt.profileOnly = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+bool
+looksLikePath(const std::string &w)
+{
+    return w.find('/') != std::string::npos ||
+           (w.size() > 4 && w.substr(w.size() - 4) == ".csv");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    ssd::Config cfg =
+        opt.paperGeometry ? ssd::Config::paper() : ssd::Config::small();
+    cfg.basePeKilo = opt.pec;
+    cfg.baseRetentionMonths = opt.retention;
+    cfg.temperatureC = opt.temperature;
+    cfg.refreshThresholdMonths = opt.refresh;
+    cfg.suspension = opt.suspension;
+    cfg.seed = opt.seed;
+
+    // Load or generate the workload.
+    workload::Trace trace;
+    if (looksLikePath(opt.workload)) {
+        workload::MsrParseOptions popt;
+        popt.pageBytes = cfg.pageBytes;
+        trace = workload::loadMsrTrace(opt.workload, popt);
+        // Fold foreign LPNs into our logical space.
+        std::vector<workload::TraceRecord> recs = trace.records();
+        const std::uint64_t space = cfg.logicalPages();
+        for (auto &r : recs) {
+            r.lpn %= space;
+            if (r.lpn + r.pages > space)
+                r.lpn = space - r.pages;
+        }
+        trace = workload::Trace(trace.name(), std::move(recs));
+    } else {
+        workload::SyntheticSpec spec =
+            workload::findWorkload(opt.workload);
+        if (opt.iops > 0.0)
+            spec.iops = opt.iops;
+        trace = workload::generateSynthetic(spec, cfg.logicalPages(),
+                                            opt.requests, opt.seed);
+    }
+
+    std::fputs(
+        workload::formatProfile(workload::profileTrace(trace),
+                                trace.name())
+            .c_str(),
+        stdout);
+    if (opt.profileOnly)
+        return 0;
+
+    std::printf("\nSSD: %s geometry, %.1fK P/E, %.0f-month retention, "
+                "%.0f C%s%s\n\n",
+                opt.paperGeometry ? "paper" : "small", opt.pec,
+                opt.retention, opt.temperature,
+                opt.refresh > 0.0 ? ", refresh on" : "",
+                opt.suspension ? "" : ", suspension off");
+    std::printf("%-16s %10s %10s %10s %8s %9s %9s\n", "mechanism",
+                "avg[us]", "read[us]", "p99[us]", "steps", "suspends",
+                "refreshes");
+
+    double baseline = 0.0;
+    for (const std::string &name : opt.mechanisms) {
+        const core::Mechanism mech = core::parseMechanism(name);
+        ssd::Ssd ssd(cfg, mech);
+        const ssd::RunStats st = ssd.replay(trace);
+        if (baseline == 0.0)
+            baseline = st.avgResponseUs;
+        std::printf("%-16s %10.1f %10.1f %10.1f %8.2f %9llu %9llu"
+                    "   (%+.1f%%)\n",
+                    name.c_str(), st.avgResponseUs,
+                    st.avgReadResponseUs, st.p99ResponseUs,
+                    st.avgRetrySteps,
+                    static_cast<unsigned long long>(st.suspensions),
+                    static_cast<unsigned long long>(st.refreshes),
+                    100.0 * (st.avgResponseUs / baseline - 1.0));
+    }
+    return 0;
+}
