@@ -1,0 +1,161 @@
+#include "host/array.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::host {
+
+SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
+                   std::uint32_t drives)
+    : mech_(mech)
+{
+    SSDRR_ASSERT(drives >= 1, "array needs at least one drive");
+    for (std::uint32_t d = 0; d < drives; ++d) {
+        ssd::Config dc = cfg;
+        // Distinct per-drive seeds: real drives do not share error
+        // patterns, and identical seeds would correlate retry storms
+        // across the stripe.
+        dc.seed = cfg.seed + d * 0x9e3779b9ull;
+        ssds_.push_back(std::make_unique<ssd::Ssd>(dc, mech, eq_));
+        ssds_.back()->onHostComplete(
+            [this](const ssd::HostCompletion &c) { subComplete(c); });
+    }
+    logical_pages_ = ssds_.front()->config().logicalPages() * drives;
+}
+
+void
+SsdArray::precondition()
+{
+    for (auto &s : ssds_)
+        s->precondition();
+}
+
+void
+SsdArray::submit(const ssd::HostRequest &req)
+{
+    SSDRR_ASSERT(req.pages > 0, "empty request");
+    SSDRR_ASSERT(req.lpn + req.pages <= logical_pages_,
+                 "request beyond array capacity: lpn=", req.lpn,
+                 " pages=", req.pages);
+    SSDRR_ASSERT(parents_.count(req.id) == 0,
+                 "duplicate outstanding request id ", req.id);
+
+    const std::uint32_t n = drives();
+    // Page-striped split: each member drive receives at most one
+    // subrequest, covering the (consecutive) local LPNs that fall on
+    // it. first[d] is the smallest local LPN of the span on drive d.
+    std::vector<std::uint64_t> first(n, 0);
+    std::vector<std::uint32_t> count(n, 0);
+    for (std::uint32_t i = 0; i < req.pages; ++i) {
+        const std::uint64_t g = req.lpn + i;
+        const std::uint32_t d = driveOf(g);
+        const std::uint64_t l = localLpn(g);
+        if (count[d]++ == 0)
+            first[d] = l;
+    }
+
+    std::uint32_t subs = 0;
+    for (std::uint32_t d = 0; d < n; ++d)
+        if (count[d] > 0)
+            ++subs;
+    parents_[req.id] = Parent{req.arrival, subs, req.isRead};
+
+    for (std::uint32_t d = 0; d < n; ++d) {
+        if (count[d] == 0)
+            continue;
+        ssd::HostRequest sub;
+        sub.id = next_sub_id_++;
+        sub.arrival = req.arrival;
+        sub.lpn = first[d];
+        sub.pages = count[d];
+        sub.isRead = req.isRead;
+        sub_parent_[sub.id] = req.id;
+        ssds_[d]->submit(sub);
+    }
+}
+
+void
+SsdArray::subComplete(const ssd::HostCompletion &c)
+{
+    // Every completion must be a subrequest we issued: member drives
+    // are driven only through submit(), and drive-internal writes
+    // (refresh) carry kNoHost, which never reaches the hook.
+    auto sit = sub_parent_.find(c.id);
+    SSDRR_ASSERT(sit != sub_parent_.end(),
+                 "completion for unknown subrequest ", c.id);
+    const std::uint64_t parent_id = sit->second;
+    sub_parent_.erase(sit);
+
+    auto pit = parents_.find(parent_id);
+    SSDRR_ASSERT(pit != parents_.end(), "orphan subrequest ", c.id);
+    Parent &p = pit->second;
+    SSDRR_ASSERT(p.remaining > 0, "parent already complete");
+    if (--p.remaining > 0)
+        return;
+
+    const double resp_us = sim::toUsec(eq_.now() - p.arrival);
+    resp_all_.add(resp_us);
+    if (p.isRead)
+        resp_read_.add(resp_us);
+    else
+        resp_write_.add(resp_us);
+    const ssd::HostCompletion done{parent_id, p.arrival, eq_.now(),
+                                   p.isRead, resp_us};
+    parents_.erase(pit);
+    if (on_complete_)
+        on_complete_(done);
+}
+
+void
+SsdArray::drain()
+{
+    eq_.run();
+    SSDRR_ASSERT(parents_.empty(), "drained with ", parents_.size(),
+                 " array requests still pending");
+}
+
+ssd::RunStats
+SsdArray::stats() const
+{
+    ssd::RunStats s;
+    for (const auto &d : ssds_) {
+        const ssd::RunStats ds = d->stats();
+        s.suspensions += ds.suspensions;
+        s.gcCollections += ds.gcCollections;
+        s.timingFallbacks += ds.timingFallbacks;
+        s.readFailures += ds.readFailures;
+        s.refreshes += ds.refreshes;
+        // Pooled mean over every retry sample (host + GC reads):
+        // weight each drive's mean by its own sample count.
+        s.avgRetrySteps +=
+            ds.avgRetrySteps * static_cast<double>(ds.retrySamples);
+        s.retrySamples += ds.retrySamples;
+        s.channelUtilization += ds.channelUtilization;
+        s.eccUtilization += ds.eccUtilization;
+    }
+    if (s.retrySamples > 0)
+        s.avgRetrySteps /= static_cast<double>(s.retrySamples);
+    // Reads/writes count requests at the array surface (a request
+    // striped over several drives counts once), matching the latency
+    // distributions below.
+    s.reads = resp_read_.count();
+    s.writes = resp_write_.count();
+    s.channelUtilization /= ssds_.size();
+    s.eccUtilization /= ssds_.size();
+    s.simulatedMs = sim::toMsec(eq_.now());
+
+    s.avgResponseUs = resp_all_.mean();
+    s.avgReadResponseUs = resp_read_.mean();
+    s.avgWriteResponseUs = resp_write_.mean();
+    if (resp_all_.count()) {
+        s.p99ResponseUs = resp_all_.percentile(99.0);
+        s.maxResponseUs = resp_all_.max();
+    }
+    if (resp_read_.count()) {
+        s.p50ReadResponseUs = resp_read_.percentile(50.0);
+        s.p99ReadResponseUs = resp_read_.percentile(99.0);
+        s.p999ReadResponseUs = resp_read_.percentile(99.9);
+    }
+    return s;
+}
+
+} // namespace ssdrr::host

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * LPN-striped array of SSDs on one shared simulation timeline.
+ *
+ * The array exports a single flat logical space of
+ * drives * perDriveLogicalPages pages, striped page-by-page across
+ * the member drives (global LPN g lives on drive g % N at local LPN
+ * g / N — RAID-0 at page granularity). All drives share one
+ * sim::EventQueue, so a multi-drive simulation stays a single
+ * deterministic event-ordered run.
+ *
+ * Multi-page requests that span drives are split into per-drive
+ * subrequests; the parent request completes when its last subrequest
+ * does, and the registered completion hook fires once with the
+ * parent's end-to-end latency.
+ */
+
+#ifndef SSDRR_HOST_ARRAY_HH
+#define SSDRR_HOST_ARRAY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "ssd/ssd.hh"
+
+namespace ssdrr::host {
+
+class SsdArray
+{
+  public:
+    using CompletionFn = ssd::Ssd::CompletionFn;
+
+    /**
+     * @param cfg per-drive configuration (each drive gets a distinct
+     *            derived seed so drives do not see identical error
+     *            patterns)
+     * @param mech retry mechanism, same on every drive
+     * @param drives number of member SSDs (>= 1)
+     */
+    SsdArray(const ssd::Config &cfg, core::Mechanism mech,
+             std::uint32_t drives);
+
+    sim::EventQueue &eventQueue() { return eq_; }
+    std::uint32_t drives() const
+    {
+        return static_cast<std::uint32_t>(ssds_.size());
+    }
+    ssd::Ssd &drive(std::uint32_t i) { return *ssds_.at(i); }
+    core::Mechanism mechanism() const { return mech_; }
+
+    /** Exported capacity: drives * per-drive logical pages. */
+    std::uint64_t logicalPages() const { return logical_pages_; }
+
+    /** Drive holding global LPN @p lpn. */
+    std::uint32_t driveOf(std::uint64_t lpn) const
+    {
+        return static_cast<std::uint32_t>(lpn % ssds_.size());
+    }
+    /** Per-drive LPN of global LPN @p lpn. */
+    std::uint64_t localLpn(std::uint64_t lpn) const
+    {
+        return lpn / ssds_.size();
+    }
+
+    /** Precondition every member drive (aged mapping). */
+    void precondition();
+
+    /** Completion hook for parent (array-level) requests. */
+    void onHostComplete(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+    /**
+     * Submit a request against the global LPN space at the current
+     * simulated time. Request ids must be unique among outstanding
+     * requests.
+     */
+    void submit(const ssd::HostRequest &req);
+
+    /** Run the shared event queue until all work completes. */
+    void drain();
+
+    /**
+     * Aggregate run summary. Reads/writes and the latency
+     * distribution count parent requests at the array surface (a
+     * striped request counts once, at its end-to-end latency);
+     * device-side counters (suspensions, GC, refreshes, ...) are
+     * summed across drives and utilizations averaged over them.
+     */
+    ssd::RunStats stats() const;
+
+  private:
+    struct Parent {
+        sim::Tick arrival = 0;
+        std::uint32_t remaining = 0; ///< outstanding subrequests
+        bool isRead = true;
+    };
+
+    void subComplete(const ssd::HostCompletion &c);
+
+    sim::EventQueue eq_;
+    core::Mechanism mech_;
+    std::vector<std::unique_ptr<ssd::Ssd>> ssds_;
+    std::uint64_t logical_pages_ = 0;
+
+    std::unordered_map<std::uint64_t, std::uint64_t> sub_parent_;
+    std::unordered_map<std::uint64_t, Parent> parents_;
+    std::uint64_t next_sub_id_ = 1;
+    CompletionFn on_complete_;
+
+    sim::Histogram resp_all_;
+    sim::Histogram resp_read_;
+    sim::Histogram resp_write_;
+};
+
+} // namespace ssdrr::host
+
+#endif // SSDRR_HOST_ARRAY_HH

@@ -1,0 +1,72 @@
+#include "host/host_interface.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::host {
+
+HostInterface::HostInterface(SsdArray &array, Options opt)
+    : array_(array), opt_(opt),
+      device_slots_(opt.maxDeviceInflight > 0 ? opt.maxDeviceInflight
+                                              : 8 * array.drives()),
+      arbiter_(opt.arbitration)
+{
+    array_.onHostComplete(
+        [this](const ssd::HostCompletion &c) { onArrayComplete(c); });
+}
+
+std::uint32_t
+HostInterface::addQueuePair(std::uint32_t weight)
+{
+    const std::uint32_t qid = static_cast<std::uint32_t>(qps_.size());
+    qps_.emplace_back(qid, opt_.queueDepth, weight);
+    callbacks_.emplace_back();
+    return qid;
+}
+
+void
+HostInterface::bindCompletion(std::uint32_t qid, CompletionFn fn)
+{
+    callbacks_.at(qid) = std::move(fn);
+}
+
+bool
+HostInterface::post(std::uint32_t qid, ssd::HostRequest req)
+{
+    req.id = next_cmd_id_++;
+    if (!qps_.at(qid).post(SqEntry{req, qid}))
+        return false;
+    pump();
+    return true;
+}
+
+void
+HostInterface::pump()
+{
+    while (device_inflight_ < device_slots_) {
+        const int qid = arbiter_.pick(qps_);
+        if (qid < 0)
+            return;
+        SqEntry e = qps_[qid].fetch();
+        owner_[e.req.id] = e.qid;
+        ++device_inflight_;
+        array_.submit(e.req);
+    }
+}
+
+void
+HostInterface::onArrayComplete(const ssd::HostCompletion &c)
+{
+    auto it = owner_.find(c.id);
+    SSDRR_ASSERT(it != owner_.end(), "completion for unknown command ",
+                 c.id);
+    const std::uint32_t qid = it->second;
+    owner_.erase(it);
+    SSDRR_ASSERT(device_inflight_ > 0, "completion with empty device");
+    --device_inflight_;
+    qps_[qid].complete();
+    if (callbacks_[qid])
+        callbacks_[qid](c);
+    pump();
+}
+
+} // namespace ssdrr::host

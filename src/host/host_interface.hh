@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Host-side dispatcher: queue pairs, command-fetch arbitration, and
+ * completion routing between tenants and an SSD array.
+ *
+ * Commands posted to a queue pair wait in its submission queue until
+ * the controller fetches them. Fetching is bounded by a
+ * controller-side in-flight limit (the device's command slots), so
+ * under load the arbitration policy decides whose commands enter the
+ * device next — this is where weighted-round-robin differentiates
+ * tenants. Completions flow back through the owning queue pair to a
+ * per-queue callback, and each completion frees a device slot, which
+ * immediately triggers the next fetch round.
+ */
+
+#ifndef SSDRR_HOST_HOST_INTERFACE_HH
+#define SSDRR_HOST_HOST_INTERFACE_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "host/array.hh"
+#include "host/queue_pair.hh"
+
+namespace ssdrr::host {
+
+class HostInterface
+{
+  public:
+    using CompletionFn = std::function<void(const ssd::HostCompletion &)>;
+
+    struct Options {
+        std::uint32_t queueDepth = 16;
+        Arbitration arbitration = Arbitration::RoundRobin;
+        /**
+         * Controller command slots: total commands in flight inside
+         * the device across all queue pairs. 0 = auto (8 per drive,
+         * two per channel on the default 4-channel geometry).
+         */
+        std::uint32_t maxDeviceInflight = 0;
+    };
+
+    HostInterface(SsdArray &array, Options opt);
+
+    const Options &options() const { return opt_; }
+    SsdArray &array() { return array_; }
+
+    /**
+     * Create one queue pair with the configured depth.
+     * @return its qid (dense, starting at 0)
+     */
+    std::uint32_t addQueuePair(std::uint32_t weight = 1);
+
+    const QueuePair &queuePair(std::uint32_t qid) const
+    {
+        return qps_.at(qid);
+    }
+    std::uint32_t queuePairs() const
+    {
+        return static_cast<std::uint32_t>(qps_.size());
+    }
+
+    /** Completion callback for commands posted on @p qid. */
+    void bindCompletion(std::uint32_t qid, CompletionFn fn);
+
+    /**
+     * Post a command on queue pair @p qid. The request's id is
+     * overwritten with a globally unique command id (returned via the
+     * completion record). @retval false if the queue pair is full.
+     */
+    bool post(std::uint32_t qid, ssd::HostRequest req);
+
+    /** Commands currently executing inside the device. */
+    std::uint32_t deviceInflight() const { return device_inflight_; }
+    std::uint32_t deviceSlots() const { return device_slots_; }
+
+  private:
+    void pump();
+    void onArrayComplete(const ssd::HostCompletion &c);
+
+    SsdArray &array_;
+    Options opt_;
+    std::uint32_t device_slots_;
+    std::vector<QueuePair> qps_;
+    std::vector<CompletionFn> callbacks_;
+    Arbiter arbiter_;
+    std::unordered_map<std::uint64_t, std::uint32_t> owner_;
+    std::uint32_t device_inflight_ = 0;
+    std::uint64_t next_cmd_id_ = 1;
+};
+
+} // namespace ssdrr::host
+
+#endif // SSDRR_HOST_HOST_INTERFACE_HH

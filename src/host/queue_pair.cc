@@ -1,0 +1,108 @@
+#include "host/queue_pair.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::host {
+
+QueuePair::QueuePair(std::uint32_t qid, std::uint32_t depth,
+                     std::uint32_t weight)
+    : qid_(qid), depth_(depth), weight_(weight)
+{
+    SSDRR_ASSERT(depth_ > 0, "queue pair needs depth >= 1");
+    SSDRR_ASSERT(weight_ > 0, "queue pair needs weight >= 1");
+}
+
+std::uint32_t
+QueuePair::freeSlots() const
+{
+    const std::uint32_t used =
+        static_cast<std::uint32_t>(sq_.size()) + inflight_;
+    return used >= depth_ ? 0 : depth_ - used;
+}
+
+bool
+QueuePair::post(const SqEntry &e)
+{
+    if (freeSlots() == 0)
+        return false;
+    sq_.push_back(e);
+    return true;
+}
+
+SqEntry
+QueuePair::fetch()
+{
+    SSDRR_ASSERT(!sq_.empty(), "fetch from empty SQ ", qid_);
+    SqEntry e = sq_.front();
+    sq_.pop_front();
+    ++inflight_;
+    ++total_fetched_;
+    return e;
+}
+
+void
+QueuePair::complete()
+{
+    SSDRR_ASSERT(inflight_ > 0, "completion with nothing in flight on ",
+                 qid_);
+    --inflight_;
+    ++total_completed_;
+}
+
+Arbitration
+parseArbitration(const std::string &name)
+{
+    if (name == "rr")
+        return Arbitration::RoundRobin;
+    if (name == "wrr")
+        return Arbitration::WeightedRoundRobin;
+    SSDRR_FATAL("unknown arbitration policy '", name,
+                "' (expected rr or wrr)");
+}
+
+const char *
+name(Arbitration a)
+{
+    switch (a) {
+    case Arbitration::RoundRobin:
+        return "rr";
+    case Arbitration::WeightedRoundRobin:
+        return "wrr";
+    }
+    return "?";
+}
+
+int
+Arbiter::pick(const std::vector<QueuePair> &qps)
+{
+    if (qps.empty())
+        return -1;
+    const std::uint32_t n = static_cast<std::uint32_t>(qps.size());
+    if (cursor_ >= n)
+        cursor_ = 0;
+
+    // Finish the current turn first: WRR keeps granting the cursor's
+    // queue until its weight is spent or it runs dry.
+    const std::uint32_t grant =
+        policy_ == Arbitration::WeightedRoundRobin
+            ? qps[cursor_].weight()
+            : 1;
+    if (burst_ < grant && qps[cursor_].fetchable()) {
+        ++burst_;
+        return static_cast<int>(cursor_);
+    }
+
+    // Advance to the next queue with work.
+    for (std::uint32_t step = 1; step <= n; ++step) {
+        const std::uint32_t idx = (cursor_ + step) % n;
+        if (qps[idx].fetchable()) {
+            cursor_ = idx;
+            burst_ = 1;
+            return static_cast<int>(idx);
+        }
+    }
+    burst_ = 0;
+    return -1;
+}
+
+} // namespace ssdrr::host

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * NVMe-style submission/completion queue pair and the controller-side
+ * queue arbiter.
+ *
+ * A QueuePair models one tenant-facing I/O queue: the submission
+ * queue holds commands the host has posted but the controller has not
+ * yet fetched, and the queue depth bounds the tenant's outstanding
+ * commands (posted + executing), exactly like an NVMe SQ/CQ pair of
+ * that depth. The Arbiter implements the NVMe round-robin and
+ * weighted-round-robin command-fetch policies across queue pairs
+ * (NVMe spec, "Command Arbitration").
+ */
+
+#ifndef SSDRR_HOST_QUEUE_PAIR_HH
+#define SSDRR_HOST_QUEUE_PAIR_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ssd/ssd.hh"
+
+namespace ssdrr::host {
+
+/** One submission-queue entry: a request tagged with its queue. */
+struct SqEntry {
+    ssd::HostRequest req;
+    std::uint32_t qid = 0;
+};
+
+class QueuePair
+{
+  public:
+    QueuePair(std::uint32_t qid, std::uint32_t depth,
+              std::uint32_t weight = 1);
+
+    std::uint32_t qid() const { return qid_; }
+    std::uint32_t depth() const { return depth_; }
+    std::uint32_t weight() const { return weight_; }
+
+    /** Commands posted but not yet fetched by the controller. */
+    std::size_t posted() const { return sq_.size(); }
+    /** Commands fetched and still executing in the device. */
+    std::uint32_t inflight() const { return inflight_; }
+    /** Free SQ slots: depth - posted - inflight. */
+    std::uint32_t freeSlots() const;
+    bool full() const { return freeSlots() == 0; }
+    bool fetchable() const { return !sq_.empty(); }
+
+    /** Post a command. @retval false if the queue pair is full. */
+    bool post(const SqEntry &e);
+
+    /** Controller fetch: pop the oldest posted command. */
+    SqEntry fetch();
+
+    /** Controller posted a completion for a fetched command. */
+    void complete();
+
+    /** Total commands fetched over the queue's lifetime. */
+    std::uint64_t totalFetched() const { return total_fetched_; }
+    /** Total completions posted over the queue's lifetime. */
+    std::uint64_t totalCompleted() const { return total_completed_; }
+
+  private:
+    std::uint32_t qid_;
+    std::uint32_t depth_;
+    std::uint32_t weight_;
+    std::uint32_t inflight_ = 0;
+    std::uint64_t total_fetched_ = 0;
+    std::uint64_t total_completed_ = 0;
+    std::deque<SqEntry> sq_;
+};
+
+/** Command-fetch arbitration policy across queue pairs. */
+enum class Arbitration {
+    RoundRobin,
+    WeightedRoundRobin,
+};
+
+/** Parse "rr" / "wrr" (case-sensitive); fatal on anything else. */
+Arbitration parseArbitration(const std::string &name);
+const char *name(Arbitration a);
+
+/**
+ * Stateful queue-pair arbiter. pick() returns the index of the next
+ * queue to fetch from, honouring the policy: plain round-robin
+ * fetches one command per non-empty queue per turn; weighted
+ * round-robin fetches up to weight() consecutive commands from a
+ * queue before advancing. Starvation-free: a queue with posted
+ * commands is always reached within one full round.
+ */
+class Arbiter
+{
+  public:
+    explicit Arbiter(Arbitration policy) : policy_(policy) {}
+
+    Arbitration policy() const { return policy_; }
+
+    /**
+     * Choose the next queue with a fetchable command.
+     * @return index into @p qps, or -1 if every queue is empty.
+     */
+    int pick(const std::vector<QueuePair> &qps);
+
+  private:
+    Arbitration policy_;
+    std::uint32_t cursor_ = 0;
+    std::uint32_t burst_ = 0; ///< commands granted in the current turn
+};
+
+} // namespace ssdrr::host
+
+#endif // SSDRR_HOST_QUEUE_PAIR_HH

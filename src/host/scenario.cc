@@ -1,0 +1,121 @@
+#include "host/scenario.hh"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "workload/msr_parser.hh"
+#include "workload/suites.hh"
+#include "workload/synthetic.hh"
+
+namespace ssdrr::host {
+
+bool
+looksLikeTracePath(const std::string &workload)
+{
+    return workload.find('/') != std::string::npos ||
+           (workload.size() > 4 &&
+            workload.substr(workload.size() - 4) == ".csv");
+}
+
+workload::Trace
+makeTenantTrace(const TenantSpec &spec, std::uint64_t slice_pages,
+                std::uint64_t base_lpn, std::uint32_t page_bytes,
+                std::uint64_t seed, std::uint32_t subsample_count,
+                std::uint32_t subsample_index, TraceCache *cache)
+{
+    SSDRR_ASSERT(slice_pages > 0, "empty LPN slice");
+    std::vector<workload::TraceRecord> recs;
+    std::string name = spec.name.empty() ? spec.workload : spec.name;
+
+    if (looksLikeTracePath(spec.workload)) {
+        workload::MsrParseOptions popt;
+        popt.pageBytes = page_bytes;
+        workload::Trace loaded;
+        const workload::Trace *full = &loaded;
+        if (cache) {
+            const auto key = std::make_pair(spec.workload, page_bytes);
+            auto it = cache->find(key);
+            if (it == cache->end())
+                it = cache
+                         ->emplace(key, workload::loadMsrTrace(
+                                            spec.workload, popt))
+                         .first;
+            full = &it->second;
+        } else {
+            loaded = workload::loadMsrTrace(spec.workload, popt);
+        }
+        for (std::size_t i = subsample_index; i < full->size();
+             i += subsample_count)
+            recs.push_back(full->records()[i]);
+    } else {
+        workload::SyntheticSpec sspec =
+            workload::findWorkload(spec.workload);
+        if (spec.iops > 0.0)
+            sspec.iops = spec.iops;
+        const workload::Trace gen = workload::generateSynthetic(
+            sspec, slice_pages, spec.requests, seed);
+        recs = gen.records();
+    }
+
+    // Fold into the slice and relocate to the tenant's base.
+    workload::Trace::foldIntoSpace(recs, slice_pages);
+    for (auto &r : recs)
+        r.lpn += base_lpn;
+    return workload::Trace(std::move(name), std::move(recs));
+}
+
+ScenarioResult
+runScenario(const ScenarioConfig &cfg)
+{
+    SSDRR_ASSERT(!cfg.tenants.empty(), "scenario needs tenants");
+    SsdArray array(cfg.ssd, cfg.mech, cfg.drives);
+    array.precondition();
+    HostInterface hif(array, cfg.host);
+
+    const std::uint64_t slice =
+        array.logicalPages() / cfg.tenants.size();
+
+    // CSV tenants naming the same file split its record stream
+    // between them; synthetic tenants generate independent traces.
+    // Sharing is per file: tenant i's subsample index is its rank
+    // among the tenants replaying that particular file.
+    std::map<std::string, std::uint32_t> csv_sharers;
+    for (const TenantSpec &ts : cfg.tenants)
+        if (looksLikeTracePath(ts.workload))
+            ++csv_sharers[ts.workload];
+    std::map<std::string, std::uint32_t> csv_rank;
+
+    std::vector<std::unique_ptr<Tenant>> tenants;
+    for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
+        const TenantSpec &ts = cfg.tenants[i];
+        std::uint32_t sub_count = 1;
+        std::uint32_t sub_index = 0;
+        if (looksLikeTracePath(ts.workload)) {
+            sub_count = csv_sharers[ts.workload];
+            sub_index = csv_rank[ts.workload]++;
+        }
+        workload::Trace trace = makeTenantTrace(
+            ts, slice, i * slice, cfg.ssd.pageBytes,
+            cfg.ssd.seed + 7919 * (i + 1), sub_count, sub_index,
+            cfg.traceCache);
+        std::string tname = trace.name();
+        tenants.push_back(std::make_unique<Tenant>(
+            std::move(tname), std::move(trace), ts.mode, ts.qdLimit,
+            ts.weight, hif));
+    }
+    for (auto &t : tenants)
+        t->start();
+    array.drain();
+
+    ScenarioResult res;
+    for (auto &t : tenants)
+        res.tenants.push_back(t->stats());
+    res.array = array.stats();
+    for (std::uint32_t q = 0; q < hif.queuePairs(); ++q)
+        res.fetchedPerQueue.push_back(hif.queuePair(q).totalFetched());
+    return res;
+}
+
+} // namespace ssdrr::host

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Canned multi-tenant scenarios: build an SSD array, a host
+ * interface, and a set of tenants from a declarative config, run to
+ * completion, and collect per-tenant and array-level statistics.
+ *
+ * This is the entry point the ssdrr_sim tool, the multi-tenant
+ * bench, and the integration tests share, so a scenario is specified
+ * once and behaves identically everywhere (same seeds, same event
+ * ordering, byte-identical results).
+ */
+
+#ifndef SSDRR_HOST_SCENARIO_HH
+#define SSDRR_HOST_SCENARIO_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "host/array.hh"
+#include "host/host_interface.hh"
+#include "host/tenant.hh"
+#include "ssd/config.hh"
+
+namespace ssdrr::host {
+
+/** Declarative description of one tenant. */
+struct TenantSpec {
+    /** Display name; defaults to the workload name. */
+    std::string name;
+    /** Table-2 workload name, or a path to an MSR-Cambridge CSV. */
+    std::string workload = "usr_1";
+    /** Synthetic trace length (per tenant). */
+    std::uint64_t requests = 1000;
+    /** Override the synthetic spec's arrival rate (0 = keep). */
+    double iops = 0.0;
+    InjectionMode mode = InjectionMode::ClosedLoop;
+    /** Closed-loop window; must not exceed the queue-pair depth. */
+    std::uint32_t qdLimit = 16;
+    /** WRR arbitration weight. */
+    std::uint32_t weight = 1;
+};
+
+/**
+ * Caller-owned cache of parsed CSV traces, keyed by
+ * (path, pageBytes). Pass the same cache across scenarios (e.g. a
+ * per-mechanism sweep) to parse each multi-million-row MSR file
+ * once instead of once per tenant per scenario.
+ */
+using TraceCache =
+    std::map<std::pair<std::string, std::uint32_t>, workload::Trace>;
+
+struct ScenarioConfig {
+    /** Per-drive SSD configuration; its seed anchors all derived
+     *  seeds (trace generation and per-drive error patterns). */
+    ssd::Config ssd;
+    core::Mechanism mech = core::Mechanism::Baseline;
+    std::uint32_t drives = 1;
+    HostInterface::Options host;
+    std::vector<TenantSpec> tenants;
+    /** Optional CSV parse cache shared across runScenario calls. */
+    TraceCache *traceCache = nullptr;
+};
+
+struct ScenarioResult {
+    std::vector<TenantStats> tenants;
+    /** Array-level aggregate (parent-request latencies). */
+    ssd::RunStats array;
+    /** Commands fetched per queue pair (arbitration accounting). */
+    std::vector<std::uint64_t> fetchedPerQueue;
+};
+
+/** True if @p workload names a CSV file rather than a suite entry. */
+bool looksLikeTracePath(const std::string &workload);
+
+/**
+ * Build the trace for one tenant over its private LPN slice
+ * [base_lpn, base_lpn + slice_pages).
+ *
+ * Synthetic workloads are generated independently per tenant from
+ * @p seed. CSV workloads are subsampled: record indices congruent to
+ * @p subsample_index mod @p subsample_count (arrival times kept), so
+ * several tenants can split one trace; LPNs are folded into the
+ * slice.
+ */
+workload::Trace makeTenantTrace(const TenantSpec &spec,
+                                std::uint64_t slice_pages,
+                                std::uint64_t base_lpn,
+                                std::uint32_t page_bytes,
+                                std::uint64_t seed,
+                                std::uint32_t subsample_count = 1,
+                                std::uint32_t subsample_index = 0,
+                                TraceCache *cache = nullptr);
+
+/** Run one scenario to completion (deterministic for a fixed config). */
+ScenarioResult runScenario(const ScenarioConfig &cfg);
+
+} // namespace ssdrr::host
+
+#endif // SSDRR_HOST_SCENARIO_HH

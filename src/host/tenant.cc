@@ -1,0 +1,137 @@
+#include "host/tenant.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::host {
+
+Tenant::Tenant(std::string name, workload::Trace trace,
+               InjectionMode mode, std::uint32_t qd_limit,
+               std::uint32_t weight, HostInterface &hif)
+    : name_(std::move(name)), trace_(std::move(trace)), mode_(mode),
+      qd_limit_(qd_limit), hif_(hif), qid_(hif.addQueuePair(weight))
+{
+    SSDRR_ASSERT(qd_limit_ >= 1, "tenant needs a QD of at least 1");
+    SSDRR_ASSERT(mode_ == InjectionMode::OpenLoop ||
+                     qd_limit_ <= hif.options().queueDepth,
+                 "closed-loop QD ", qd_limit_,
+                 " exceeds queue-pair depth ",
+                 hif.options().queueDepth);
+    hif_.bindCompletion(
+        qid_, [this](const ssd::HostCompletion &c) { onComplete(c); });
+}
+
+bool
+Tenant::tryPost(std::size_t index, sim::Tick arrival)
+{
+    const workload::TraceRecord &rec = trace_.records()[index];
+    ssd::HostRequest req;
+    req.arrival = arrival;
+    req.lpn = rec.lpn;
+    req.pages = rec.pages;
+    req.isRead = rec.isRead;
+    if (!hif_.post(qid_, req))
+        return false;
+    ++next_;
+    ++inflight_;
+    max_inflight_ = std::max(max_inflight_, inflight_);
+    return true;
+}
+
+void
+Tenant::postNext()
+{
+    sim::EventQueue &eq = hif_.array().eventQueue();
+    if (mode_ == InjectionMode::ClosedLoop) {
+        while (inflight_ < qd_limit_ && next_ < trace_.size()) {
+            if (!tryPost(next_, eq.now()))
+                break; // SQ full: resume on the next completion
+        }
+    } else {
+        while (backlog_ > 0) {
+            const workload::TraceRecord &rec = trace_.records()[next_];
+            if (!tryPost(next_, base_ + rec.arrival))
+                break;
+            --backlog_;
+        }
+    }
+}
+
+void
+Tenant::scheduleNextArrival()
+{
+    if (sched_ >= trace_.size())
+        return;
+    const sim::Tick when = base_ + trace_.records()[sched_].arrival;
+    ++sched_;
+    hif_.array().eventQueue().schedule(when,
+                                       [this] { openLoopArrival(); });
+}
+
+void
+Tenant::openLoopArrival()
+{
+    ++backlog_;
+    // Chain instead of pre-scheduling every record in start(): a
+    // multi-million-row trace would otherwise sit in the event queue
+    // as live closures before any work runs.
+    scheduleNextArrival();
+    postNext();
+}
+
+void
+Tenant::start()
+{
+    if (trace_.empty())
+        return;
+    sim::EventQueue &eq = hif_.array().eventQueue();
+    base_ = eq.now();
+    if (mode_ == InjectionMode::ClosedLoop) {
+        // Fill the window now; completions keep it full.
+        eq.scheduleAfter(0, [this] { postNext(); });
+        return;
+    }
+    scheduleNextArrival();
+}
+
+void
+Tenant::onComplete(const ssd::HostCompletion &c)
+{
+    SSDRR_ASSERT(inflight_ > 0, "completion with no request in flight");
+    --inflight_;
+    ++completed_;
+    if (c.isRead) {
+        ++reads_done_;
+        lat_read_.add(c.responseUs);
+    } else {
+        ++writes_done_;
+    }
+    lat_all_.add(c.responseUs);
+    postNext();
+}
+
+TenantStats
+Tenant::stats() const
+{
+    TenantStats s;
+    s.name = name_;
+    s.completed = completed_;
+    s.reads = reads_done_;
+    s.writes = writes_done_;
+    if (lat_all_.count()) {
+        s.avgUs = lat_all_.mean();
+        s.p50Us = lat_all_.percentile(50.0);
+        s.p99Us = lat_all_.percentile(99.0);
+        s.p999Us = lat_all_.percentile(99.9);
+        s.maxUs = lat_all_.max();
+    }
+    if (lat_read_.count()) {
+        s.readP50Us = lat_read_.percentile(50.0);
+        s.readP99Us = lat_read_.percentile(99.0);
+        s.readP999Us = lat_read_.percentile(99.9);
+    }
+    return s;
+}
+
+} // namespace ssdrr::host

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-tenant workload injection and latency accounting.
+ *
+ * A tenant binds a workload (a pre-generated trace: synthetic spec or
+ * MSR trace slice, see host/scenario.hh) to one queue pair, and
+ * injects it either open-loop (requests posted at their trace arrival
+ * times, backlogging when the queue pair is full) or closed-loop
+ * (a fixed window of outstanding requests; the next request is posted
+ * the moment a completion frees a slot). Per-request latency is
+ * measured from intended arrival (open-loop) or post time
+ * (closed-loop) to completion, so host-side queueing is included.
+ */
+
+#ifndef SSDRR_HOST_TENANT_HH
+#define SSDRR_HOST_TENANT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "host/host_interface.hh"
+#include "sim/stats.hh"
+#include "workload/trace.hh"
+
+namespace ssdrr::host {
+
+enum class InjectionMode {
+    OpenLoop,   ///< trace arrival times drive submission
+    ClosedLoop, ///< fixed queue-depth window, completion-driven
+};
+
+/** End-of-run per-tenant latency summary. */
+struct TenantStats {
+    std::string name;
+    std::uint64_t completed = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double avgUs = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    double maxUs = 0.0;
+    /** Read-only latency tail (retry effects are read-side). */
+    double readP50Us = 0.0;
+    double readP99Us = 0.0;
+    double readP999Us = 0.0;
+};
+
+class Tenant
+{
+  public:
+    /**
+     * @param name display name
+     * @param trace workload over the tenant's own LPN range (already
+     *              offset into the array's global space)
+     * @param mode open- or closed-loop injection
+     * @param qd_limit closed-loop window (ignored open-loop); must
+     *                 not exceed the queue-pair depth
+     * @param hif host interface; the tenant creates its own queue
+     *            pair on it with @p weight
+     */
+    Tenant(std::string name, workload::Trace trace, InjectionMode mode,
+           std::uint32_t qd_limit, std::uint32_t weight,
+           HostInterface &hif);
+
+    /** Begin injection (schedules onto the shared event queue). */
+    void start();
+
+    const std::string &tenantName() const { return name_; }
+    std::uint32_t qid() const { return qid_; }
+    InjectionMode mode() const { return mode_; }
+
+    bool done() const { return completed_ == trace_.size(); }
+    std::uint64_t completed() const { return completed_; }
+    std::uint32_t inflight() const { return inflight_; }
+    /** High-water mark of in-flight requests (QD invariant checks). */
+    std::uint32_t maxInflightSeen() const { return max_inflight_; }
+
+    TenantStats stats() const;
+    const sim::Histogram &latencies() const { return lat_all_; }
+
+  private:
+    void postNext();
+    void scheduleNextArrival();
+    void openLoopArrival();
+    void onComplete(const ssd::HostCompletion &c);
+    bool tryPost(std::size_t index, sim::Tick arrival);
+
+    std::string name_;
+    workload::Trace trace_;
+    InjectionMode mode_;
+    std::uint32_t qd_limit_;
+    HostInterface &hif_;
+    std::uint32_t qid_;
+
+    sim::Tick base_ = 0;        ///< simulated time of start()
+    std::size_t next_ = 0;      ///< next trace record to post
+    std::size_t sched_ = 0;     ///< open-loop: next arrival to schedule
+    std::size_t backlog_ = 0;   ///< open-loop: arrivals not yet posted
+    std::uint32_t inflight_ = 0;
+    std::uint32_t max_inflight_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t reads_done_ = 0;
+    std::uint64_t writes_done_ = 0;
+
+    sim::Histogram lat_all_;
+    sim::Histogram lat_read_;
+};
+
+} // namespace ssdrr::host
+
+#endif // SSDRR_HOST_TENANT_HH

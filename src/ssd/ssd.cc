@@ -24,7 +24,19 @@ calibrationFor(const Config &cfg)
 } // namespace
 
 Ssd::Ssd(const Config &cfg, core::Mechanism mech)
-    : cfg_(cfg), mech_(mech), eq_(),
+    : Ssd(cfg, mech, static_cast<sim::EventQueue *>(nullptr))
+{
+}
+
+Ssd::Ssd(const Config &cfg, core::Mechanism mech, sim::EventQueue &eq)
+    : Ssd(cfg, mech, &eq)
+{
+}
+
+Ssd::Ssd(const Config &cfg, core::Mechanism mech, sim::EventQueue *shared)
+    : cfg_(cfg), mech_(mech),
+      owned_eq_(shared ? nullptr : std::make_unique<sim::EventQueue>()),
+      eq_(shared ? *shared : *owned_eq_),
       model_(calibrationFor(cfg), cfg.seed), rpt_(buildRpt(model_)),
       rc_(mech, cfg.timing, model_, &rpt_),
       ftl_(cfg.layout(), cfg.logicalPages(), cfg.basePeKilo,
@@ -222,7 +234,11 @@ Ssd::finishHostPage(std::uint64_t host_id)
         resp_write_.add(resp_us);
         ++host_writes_;
     }
+    const HostCompletion done{host_id, p.arrival, eq_.now(), p.isRead,
+                              resp_us};
     pending_.erase(it);
+    if (on_complete_)
+        on_complete_(done);
 }
 
 void
@@ -249,11 +265,17 @@ Ssd::drain()
                  " requests still pending");
 }
 
-RunStats
-Ssd::replay(const workload::Trace &trace)
+void
+Ssd::precondition()
 {
     if (ftl_.map().mappedCount() == 0)
         ftl_.precondition();
+}
+
+RunStats
+Ssd::replay(const workload::Trace &trace)
+{
+    precondition();
 
     // Rebase arrivals to the current simulated time so a second
     // replay on a warmed-up SSD continues instead of scheduling into
@@ -284,7 +306,13 @@ Ssd::stats() const
     s.avgResponseUs = resp_all_.mean();
     s.p99ResponseUs = resp_all_.count() ? resp_all_.percentile(99.0) : 0.0;
     s.maxResponseUs = resp_all_.count() ? resp_all_.percentile(100.0) : 0.0;
+    if (resp_read_.count()) {
+        s.p50ReadResponseUs = resp_read_.percentile(50.0);
+        s.p99ReadResponseUs = resp_read_.percentile(99.0);
+        s.p999ReadResponseUs = resp_read_.percentile(99.9);
+    }
     s.avgRetrySteps = retry_steps_.mean();
+    s.retrySamples = retry_steps_.count();
     s.reads = host_reads_;
     s.writes = host_writes_;
     std::uint64_t sus = 0;

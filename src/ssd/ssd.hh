@@ -12,6 +12,7 @@
 #ifndef SSDRR_SSD_SSD_HH
 #define SSDRR_SSD_SSD_HH
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +43,21 @@ struct HostRequest {
     bool isRead = true;
 };
 
+/**
+ * Completion record delivered to the host-side completion hook when
+ * the last page of a host request finishes. The host interface layer
+ * (src/host/) uses this to route completions back to the submitting
+ * queue pair; @c arrival is echoed from the request so queueing delay
+ * ahead of the device is included in @c responseUs.
+ */
+struct HostCompletion {
+    std::uint64_t id = 0;    ///< HostRequest::id
+    sim::Tick arrival = 0;   ///< HostRequest::arrival
+    sim::Tick finish = 0;    ///< completion time
+    bool isRead = true;
+    double responseUs = 0.0; ///< finish - arrival, in microseconds
+};
+
 /** End-of-run result summary. */
 struct RunStats {
     double avgReadResponseUs = 0.0;
@@ -49,7 +65,13 @@ struct RunStats {
     double avgResponseUs = 0.0;
     double p99ResponseUs = 0.0;
     double maxResponseUs = 0.0;
+    /** Read-latency distribution points (tail-latency reporting). */
+    double p50ReadResponseUs = 0.0;
+    double p99ReadResponseUs = 0.0;
+    double p999ReadResponseUs = 0.0;
     double avgRetrySteps = 0.0;
+    /** Read transactions behind avgRetrySteps (host + GC reads). */
+    std::uint64_t retrySamples = 0;
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
     std::uint64_t suspensions = 0;
@@ -68,7 +90,17 @@ struct RunStats {
 class Ssd
 {
   public:
+    using CompletionFn = std::function<void(const HostCompletion &)>;
+
+    /** Stand-alone SSD owning its event queue (trace replay). */
     Ssd(const Config &cfg, core::Mechanism mech);
+
+    /**
+     * SSD driven by an external, shared event queue. Used by the
+     * host layer to co-simulate several drives (host::SsdArray) and
+     * the host interface on one timeline.
+     */
+    Ssd(const Config &cfg, core::Mechanism mech, sim::EventQueue &eq);
 
     const Config &config() const { return cfg_; }
     core::Mechanism mechanism() const { return mech_; }
@@ -76,6 +108,20 @@ class Ssd
     const nand::ErrorModel &errorModel() const { return model_; }
     const core::Rpt &rpt() const { return rpt_; }
     ftl::Ftl &ftl() { return ftl_; }
+
+    /**
+     * Register the host completion hook. Invoked once per host
+     * request, when its last page completes; this is how the host
+     * layer observes completions (replacing the internal-only
+     * finishHostPage bookkeeping as the notification path).
+     */
+    void onHostComplete(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+    /**
+     * Map every logical page (aged preconditioning). replay() does
+     * this lazily; hosts using submit() directly call it up front.
+     */
+    void precondition();
 
     /** Submit one request at the current simulated time. */
     void submit(const HostRequest &req);
@@ -98,6 +144,8 @@ class Ssd
     const sim::Histogram &readResponseTimes() const { return resp_read_; }
 
   private:
+    Ssd(const Config &cfg, core::Mechanism mech, sim::EventQueue *shared);
+
     struct Pending {
         sim::Tick arrival = 0;
         std::uint32_t remaining = 0;
@@ -115,7 +163,8 @@ class Ssd
 
     Config cfg_;
     core::Mechanism mech_;
-    sim::EventQueue eq_;
+    std::unique_ptr<sim::EventQueue> owned_eq_; ///< null when shared
+    sim::EventQueue &eq_;
     nand::ErrorModel model_;
     core::Rpt rpt_;
     core::RetryController rc_;
@@ -135,6 +184,7 @@ class Ssd
     std::unordered_map<std::uint64_t, ftl::Ppn> gc_dest_;
     std::uint64_t next_txn_id_ = 1;
     std::uint64_t next_gc_tag_ = 1;
+    CompletionFn on_complete_;
 
     sim::Histogram resp_all_;
     sim::Histogram resp_read_;

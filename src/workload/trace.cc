@@ -68,4 +68,17 @@ Trace::duration() const
     return records_.empty() ? 0 : records_.back().arrival;
 }
 
+void
+Trace::foldIntoSpace(std::vector<TraceRecord> &records,
+                     std::uint64_t space)
+{
+    for (auto &r : records) {
+        if (r.pages > space)
+            r.pages = static_cast<std::uint32_t>(space);
+        r.lpn %= space;
+        if (r.lpn + r.pages > space)
+            r.lpn = space - r.pages;
+    }
+}
+
 } // namespace ssdrr::workload

@@ -48,6 +48,16 @@ class Trace
     /** Arrival time of the last record. */
     sim::Tick duration() const;
 
+    /**
+     * Fold @p records into a logical space of @p space pages:
+     * oversized requests are clamped to the space, LPNs wrap modulo
+     * @p space, and requests running past the end are shifted back
+     * so they fit. Used wherever a foreign trace (or slice of one)
+     * is replayed against a smaller logical capacity.
+     */
+    static void foldIntoSpace(std::vector<TraceRecord> &records,
+                              std::uint64_t space);
+
   private:
     std::string name_;
     std::vector<TraceRecord> records_;

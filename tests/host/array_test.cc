@@ -1,0 +1,138 @@
+/**
+ * @file
+ * SsdArray: LPN striping math, multi-page request splitting/fan-in,
+ * and run-to-run determinism (same seed => identical per-tenant
+ * statistics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/array.hh"
+#include "host/scenario.hh"
+
+namespace ssdrr::host {
+namespace {
+
+ssd::Config
+testConfig()
+{
+    ssd::Config cfg = ssd::Config::small();
+    cfg.basePeKilo = 1.0;
+    cfg.baseRetentionMonths = 6.0;
+    return cfg;
+}
+
+TEST(SsdArray, StripingMath)
+{
+    SsdArray a(testConfig(), core::Mechanism::NoRR, 3);
+    EXPECT_EQ(a.drives(), 3u);
+    EXPECT_EQ(a.logicalPages(),
+              a.drive(0).config().logicalPages() * 3);
+    // Page-granular RAID-0: consecutive global LPNs rotate drives.
+    EXPECT_EQ(a.driveOf(0), 0u);
+    EXPECT_EQ(a.driveOf(1), 1u);
+    EXPECT_EQ(a.driveOf(2), 2u);
+    EXPECT_EQ(a.driveOf(3), 0u);
+    EXPECT_EQ(a.localLpn(0), 0u);
+    EXPECT_EQ(a.localLpn(3), 1u);
+    EXPECT_EQ(a.localLpn(7), 2u);
+}
+
+TEST(SsdArray, SplitsSpanningRequestAndCompletesOnce)
+{
+    SsdArray a(testConfig(), core::Mechanism::NoRR, 2);
+    a.precondition();
+
+    int completions = 0;
+    ssd::HostCompletion last;
+    a.onHostComplete([&](const ssd::HostCompletion &c) {
+        ++completions;
+        last = c;
+    });
+
+    // 5 pages from LPN 1: odd LPNs 1,3,5 land on drive 1, even LPNs
+    // 2,4 on drive 0. Both drives serve one subrequest each; the
+    // host sees exactly one completion for the parent.
+    ssd::HostRequest req;
+    req.id = 42;
+    req.arrival = 0;
+    req.lpn = 1;
+    req.pages = 5;
+    req.isRead = true;
+    a.submit(req);
+    a.drain();
+
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(last.id, 42u);
+    EXPECT_TRUE(last.isRead);
+    EXPECT_GT(last.responseUs, 0.0);
+    // Each drive served one subrequest.
+    EXPECT_EQ(a.drive(0).stats().reads, 1u);
+    EXPECT_EQ(a.drive(1).stats().reads, 1u);
+    const ssd::RunStats st = a.stats();
+    EXPECT_DOUBLE_EQ(st.avgResponseUs, last.responseUs);
+}
+
+TEST(SsdArray, RejectsRequestsBeyondCapacity)
+{
+    SsdArray a(testConfig(), core::Mechanism::NoRR, 2);
+    a.precondition();
+    ssd::HostRequest req;
+    req.id = 1;
+    req.lpn = a.logicalPages() - 1;
+    req.pages = 2;
+    EXPECT_THROW(a.submit(req), std::logic_error);
+}
+
+ScenarioConfig
+scenario(std::uint64_t seed)
+{
+    ScenarioConfig sc;
+    sc.ssd = testConfig();
+    sc.ssd.seed = seed;
+    sc.mech = core::Mechanism::PnAR2;
+    sc.drives = 2;
+    sc.host.queueDepth = 8;
+    sc.host.arbitration = Arbitration::WeightedRoundRobin;
+    for (int t = 0; t < 2; ++t) {
+        TenantSpec ts;
+        ts.workload = t == 0 ? "usr_1" : "YCSB-C";
+        ts.name = "t" + std::to_string(t);
+        ts.requests = 120;
+        ts.qdLimit = 8;
+        ts.weight = t + 1;
+        sc.tenants.push_back(ts);
+    }
+    return sc;
+}
+
+TEST(SsdArray, SameSeedSameStats)
+{
+    const ScenarioResult a = runScenario(scenario(42));
+    const ScenarioResult b = runScenario(scenario(42));
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+        EXPECT_EQ(a.tenants[i].completed, b.tenants[i].completed);
+        EXPECT_EQ(a.tenants[i].avgUs, b.tenants[i].avgUs);
+        EXPECT_EQ(a.tenants[i].p50Us, b.tenants[i].p50Us);
+        EXPECT_EQ(a.tenants[i].p99Us, b.tenants[i].p99Us);
+        EXPECT_EQ(a.tenants[i].p999Us, b.tenants[i].p999Us);
+        EXPECT_EQ(a.tenants[i].maxUs, b.tenants[i].maxUs);
+    }
+    EXPECT_EQ(a.array.avgResponseUs, b.array.avgResponseUs);
+    EXPECT_EQ(a.array.reads, b.array.reads);
+    EXPECT_EQ(a.fetchedPerQueue, b.fetchedPerQueue);
+}
+
+TEST(SsdArray, DifferentSeedDifferentStats)
+{
+    const ScenarioResult a = runScenario(scenario(42));
+    const ScenarioResult b = runScenario(scenario(43));
+    // The operating point is identical but traces and error patterns
+    // differ; identical latency distributions would mean the seed is
+    // being ignored somewhere.
+    EXPECT_NE(a.array.avgResponseUs, b.array.avgResponseUs);
+}
+
+} // namespace
+} // namespace ssdrr::host

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * End-to-end host-layer property: with two tenants sharing one SSD
+ * through queue pairs, the paper's mechanism ordering must survive
+ * host-side queueing — per-tenant p99 obeys
+ * PnAR2 <= AR2 <= Baseline (with scheduling-noise slack), just as
+ * the single-replay integration tests check for mean response time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "host/scenario.hh"
+
+namespace ssdrr::host {
+namespace {
+
+ScenarioConfig
+twoTenantConfig(core::Mechanism mech)
+{
+    ScenarioConfig sc;
+    sc.ssd = ssd::Config::small();
+    sc.ssd.basePeKilo = 1.0;
+    sc.ssd.baseRetentionMonths = 6.0;
+    sc.ssd.seed = 13;
+    sc.mech = mech;
+    sc.drives = 1; // both tenants contend for one SSD
+    sc.host.queueDepth = 8;
+    sc.host.arbitration = Arbitration::RoundRobin;
+    for (int t = 0; t < 2; ++t) {
+        TenantSpec ts;
+        ts.workload = t == 0 ? "usr_1" : "YCSB-C";
+        ts.name = "t" + std::to_string(t);
+        ts.requests = 250;
+        ts.qdLimit = 8;
+        sc.tenants.push_back(ts);
+    }
+    return sc;
+}
+
+TEST(MultiTenantOrdering, PerTenantP99FollowsMechanismOrdering)
+{
+    std::map<core::Mechanism, ScenarioResult> res;
+    for (core::Mechanism m :
+         {core::Mechanism::Baseline, core::Mechanism::AR2,
+          core::Mechanism::PnAR2}) {
+        res[m] = runScenario(twoTenantConfig(m));
+    }
+
+    const double slack = 1.05; // queueing noise tolerance
+    for (std::size_t t = 0; t < 2; ++t) {
+        const double base =
+            res[core::Mechanism::Baseline].tenants[t].p99Us;
+        const double ar2 = res[core::Mechanism::AR2].tenants[t].p99Us;
+        const double pnar2 =
+            res[core::Mechanism::PnAR2].tenants[t].p99Us;
+        EXPECT_GT(base, 0.0);
+        EXPECT_LE(ar2, base * slack) << "tenant " << t;
+        EXPECT_LE(pnar2, ar2 * slack) << "tenant " << t;
+        EXPECT_LT(pnar2, base)
+            << "tenant " << t
+            << ": PnAR2 should strictly improve the p99 tail at a "
+               "worn operating point";
+    }
+
+    // Every tenant finished its workload under every mechanism.
+    for (auto &[m, r] : res)
+        for (const TenantStats &s : r.tenants)
+            EXPECT_EQ(s.completed, 250u) << core::name(m);
+}
+
+} // namespace
+} // namespace ssdrr::host

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Queue-pair bookkeeping and command-fetch arbitration: depth bounds
+ * posted+inflight, and the arbiter's RR/WRR grant sequences respect
+ * the configured weights (fairness).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "host/queue_pair.hh"
+
+namespace ssdrr::host {
+namespace {
+
+SqEntry
+entry(std::uint32_t qid)
+{
+    SqEntry e;
+    e.qid = qid;
+    return e;
+}
+
+TEST(QueuePair, DepthBoundsPostedPlusInflight)
+{
+    QueuePair qp(0, 4);
+    EXPECT_EQ(qp.freeSlots(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(qp.post(entry(0)));
+    EXPECT_TRUE(qp.full());
+    EXPECT_FALSE(qp.post(entry(0)));
+
+    // Fetching moves a command from posted to inflight: still no
+    // free slot until a completion arrives.
+    qp.fetch();
+    EXPECT_EQ(qp.posted(), 3u);
+    EXPECT_EQ(qp.inflight(), 1u);
+    EXPECT_TRUE(qp.full());
+    EXPECT_FALSE(qp.post(entry(0)));
+
+    qp.complete();
+    EXPECT_EQ(qp.inflight(), 0u);
+    EXPECT_EQ(qp.freeSlots(), 1u);
+    EXPECT_TRUE(qp.post(entry(0)));
+    EXPECT_EQ(qp.totalFetched(), 1u);
+    EXPECT_EQ(qp.totalCompleted(), 1u);
+}
+
+TEST(QueuePair, FetchIsFifo)
+{
+    QueuePair qp(0, 3);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        SqEntry e = entry(0);
+        e.req.id = 100 + i;
+        ASSERT_TRUE(qp.post(e));
+    }
+    EXPECT_EQ(qp.fetch().req.id, 100u);
+    EXPECT_EQ(qp.fetch().req.id, 101u);
+    EXPECT_EQ(qp.fetch().req.id, 102u);
+}
+
+TEST(Arbitration, ParseNames)
+{
+    EXPECT_EQ(parseArbitration("rr"), Arbitration::RoundRobin);
+    EXPECT_EQ(parseArbitration("wrr"), Arbitration::WeightedRoundRobin);
+    EXPECT_STREQ(name(Arbitration::RoundRobin), "rr");
+    EXPECT_STREQ(name(Arbitration::WeightedRoundRobin), "wrr");
+}
+
+/** Keep every queue saturated and record the arbiter's grants. */
+std::vector<int>
+grantSequence(Arbiter &arb, std::vector<QueuePair> &qps, int n)
+{
+    std::vector<int> seq;
+    for (int i = 0; i < n; ++i) {
+        // Top up so no queue ever runs dry.
+        for (auto &qp : qps)
+            while (!qp.full())
+                qp.post(entry(qp.qid()));
+        const int pick = arb.pick(qps);
+        EXPECT_GE(pick, 0);
+        qps[pick].fetch();
+        qps[pick].complete(); // free the slot immediately
+        seq.push_back(pick);
+    }
+    return seq;
+}
+
+TEST(Arbiter, RoundRobinAlternates)
+{
+    std::vector<QueuePair> qps;
+    qps.emplace_back(0, 4, 1);
+    qps.emplace_back(1, 4, 1);
+    qps.emplace_back(2, 4, 1);
+    Arbiter arb(Arbitration::RoundRobin);
+    const std::vector<int> seq = grantSequence(arb, qps, 9);
+    for (std::size_t i = 3; i < seq.size(); ++i)
+        EXPECT_NE(seq[i], seq[i - 1]) << "RR granted twice in a row";
+    std::map<int, int> counts;
+    for (int q : seq)
+        ++counts[q];
+    EXPECT_EQ(counts[0], 3);
+    EXPECT_EQ(counts[1], 3);
+    EXPECT_EQ(counts[2], 3);
+}
+
+TEST(Arbiter, WeightedRoundRobinRespectsWeights)
+{
+    // Weights 3:1 under saturation: exactly 3 grants to queue 0 per
+    // grant to queue 1, in consecutive bursts.
+    std::vector<QueuePair> qps;
+    qps.emplace_back(0, 8, 3);
+    qps.emplace_back(1, 8, 1);
+    Arbiter arb(Arbitration::WeightedRoundRobin);
+    const std::vector<int> seq = grantSequence(arb, qps, 16);
+    std::map<int, int> counts;
+    for (int q : seq)
+        ++counts[q];
+    EXPECT_EQ(counts[0], 12) << "weight-3 queue should get 3/4";
+    EXPECT_EQ(counts[1], 4) << "weight-1 queue should get 1/4";
+}
+
+TEST(Arbiter, SkipsEmptyQueuesWithoutStarving)
+{
+    std::vector<QueuePair> qps;
+    qps.emplace_back(0, 4, 4);
+    qps.emplace_back(1, 4, 1);
+    Arbiter arb(Arbitration::WeightedRoundRobin);
+
+    // Only queue 1 has work: the arbiter must not spin on queue 0.
+    qps[1].post(entry(1));
+    EXPECT_EQ(arb.pick(qps), 1);
+    qps[1].fetch();
+    qps[1].complete();
+    EXPECT_EQ(arb.pick(qps), -1) << "all queues empty";
+
+    // Queue 0's weight does not let it lock queue 1 out: after its
+    // burst of 4, queue 1 gets a grant.
+    std::vector<int> seq;
+    auto grant = [&] {
+        const int pick = arb.pick(qps);
+        ASSERT_GE(pick, 0);
+        qps[pick].fetch();
+        qps[pick].complete();
+        seq.push_back(pick);
+    };
+    for (int i = 0; i < 4; ++i)
+        qps[0].post(entry(0));
+    grant(); // the arbiter settles on queue 0 and starts its burst
+    qps[1].post(entry(1));
+    for (int i = 0; i < 4; ++i)
+        grant();
+    EXPECT_EQ(seq, (std::vector<int>{0, 0, 0, 0, 1}));
+}
+
+} // namespace
+} // namespace ssdrr::host

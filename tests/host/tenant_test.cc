@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tenant injection invariants: the closed-loop window never exceeds
+ * its QD limit, every request completes, and open-loop injection
+ * honours trace arrival order even when the queue pair backpressures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/array.hh"
+#include "host/host_interface.hh"
+#include "host/scenario.hh"
+#include "host/tenant.hh"
+
+namespace ssdrr::host {
+namespace {
+
+ssd::Config
+testConfig()
+{
+    ssd::Config cfg = ssd::Config::small();
+    cfg.basePeKilo = 1.0;
+    cfg.baseRetentionMonths = 6.0;
+    cfg.seed = 7;
+    return cfg;
+}
+
+workload::Trace
+traceFor(const SsdArray &array, std::uint64_t requests,
+         std::uint64_t seed)
+{
+    TenantSpec spec;
+    spec.workload = "usr_1";
+    spec.requests = requests;
+    return makeTenantTrace(spec, array.logicalPages(), 0, 16 * 1024,
+                           seed);
+}
+
+TEST(Tenant, ClosedLoopHonoursQdLimit)
+{
+    SsdArray array(testConfig(), core::Mechanism::Baseline, 1);
+    array.precondition();
+    HostInterface::Options hopt;
+    hopt.queueDepth = 16;
+    HostInterface hif(array, hopt);
+
+    const std::uint32_t qd = 4;
+    Tenant t("t0", traceFor(array, 200, 11),
+             InjectionMode::ClosedLoop, qd, 1, hif);
+    t.start();
+    array.drain();
+
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.completed(), 200u);
+    EXPECT_EQ(t.inflight(), 0u);
+    EXPECT_LE(t.maxInflightSeen(), qd)
+        << "closed-loop window exceeded its QD limit";
+    EXPECT_EQ(t.maxInflightSeen(), qd)
+        << "a 200-request closed loop should fill its window";
+    EXPECT_GT(t.stats().p50Us, 0.0);
+    EXPECT_GE(t.stats().p99Us, t.stats().p50Us);
+    EXPECT_GE(t.stats().p999Us, t.stats().p99Us);
+}
+
+TEST(Tenant, ClosedLoopQdCannotExceedQueueDepth)
+{
+    SsdArray array(testConfig(), core::Mechanism::NoRR, 1);
+    array.precondition();
+    HostInterface::Options hopt;
+    hopt.queueDepth = 8;
+    HostInterface hif(array, hopt);
+    EXPECT_THROW(
+        Tenant("bad", traceFor(array, 10, 3),
+               InjectionMode::ClosedLoop, /*qd_limit=*/9, 1, hif),
+        std::exception);
+}
+
+TEST(Tenant, OpenLoopCompletesEverythingUnderBackpressure)
+{
+    SsdArray array(testConfig(), core::Mechanism::Baseline, 1);
+    array.precondition();
+    // Tiny queue pair: open-loop arrivals must backlog and still all
+    // complete once the device catches up.
+    HostInterface::Options hopt;
+    hopt.queueDepth = 2;
+    hopt.maxDeviceInflight = 2;
+    HostInterface hif(array, hopt);
+
+    Tenant t("t0", traceFor(array, 150, 5), InjectionMode::OpenLoop,
+             /*qd_limit=*/1, 1, hif);
+    t.start();
+    array.drain();
+
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.completed(), 150u);
+    EXPECT_EQ(t.inflight(), 0u);
+    EXPECT_LE(t.maxInflightSeen(), 2u)
+        << "in-flight can never exceed the queue-pair depth";
+    const TenantStats s = t.stats();
+    EXPECT_EQ(s.reads + s.writes, 150u);
+}
+
+} // namespace
+} // namespace ssdrr::host

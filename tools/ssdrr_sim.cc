@@ -23,6 +23,15 @@
  *     --paper-geometry           full 512-GiB-class SSD (slower)
  *     --seed N                   RNG seed (default 42)
  *     --profile                  print the trace profile and exit
+ *
+ * Multi-tenant mode (host/array layer; enabled by --tenants):
+ *     --tenants T                tenants, each on its own queue pair
+ *     --queue-depth D            SQ depth / closed-loop QD (default 16)
+ *     --arbitration rr|wrr       command-fetch arbitration (default rr;
+ *                                wrr gives tenant i weight i+1)
+ *     --array N                  LPN-striped array of N drives
+ *     --open-loop                inject at trace arrival times instead
+ *                                of closed-loop
  */
 
 #include <cstdio>
@@ -31,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "host/scenario.hh"
 #include "ssd/ssd.hh"
 #include "workload/export.hh"
 #include "workload/msr_parser.hh"
@@ -55,6 +65,13 @@ struct Options {
     bool paperGeometry = false;
     std::uint64_t seed = 42;
     bool profileOnly = false;
+    std::uint32_t tenants = 0; ///< 0 = legacy single-replay mode
+    std::uint32_t queueDepth = 16;
+    std::string arbitration = "rr";
+    std::uint32_t array = 1;
+    bool openLoop = false;
+    /** Host-layer flags seen on the command line (for validation). */
+    std::vector<std::string> hostFlags;
 };
 
 [[noreturn]] void
@@ -66,7 +83,9 @@ usage(const char *argv0)
                  "  [--retention MONTHS] [--temperature C] "
                  "[--requests N] [--iops RATE]\n"
                  "  [--refresh MONTHS] [--no-suspension] "
-                 "[--paper-geometry] [--seed N] [--profile]\n",
+                 "[--paper-geometry] [--seed N] [--profile]\n"
+                 "  [--tenants T] [--queue-depth D] "
+                 "[--arbitration rr|wrr] [--array N] [--open-loop]\n",
                  argv0);
     std::exit(2);
 }
@@ -122,6 +141,23 @@ parseArgs(int argc, char **argv)
             opt.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--profile") {
             opt.profileOnly = true;
+        } else if (arg == "--tenants") {
+            opt.tenants =
+                static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--queue-depth") {
+            opt.queueDepth =
+                static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+            opt.hostFlags.push_back(arg);
+        } else if (arg == "--arbitration") {
+            opt.arbitration = next();
+            opt.hostFlags.push_back(arg);
+        } else if (arg == "--array") {
+            opt.array =
+                static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+            opt.hostFlags.push_back(arg);
+        } else if (arg == "--open-loop") {
+            opt.openLoop = true;
+            opt.hostFlags.push_back(arg);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -132,11 +168,104 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
-bool
-looksLikePath(const std::string &w)
+/**
+ * Host/array mode: T tenants on their own queue pairs share an
+ * N-drive striped array; one scenario per mechanism.
+ */
+int
+runMultiTenant(const Options &opt, const ssd::Config &cfg)
 {
-    return w.find('/') != std::string::npos ||
-           (w.size() > 4 && w.substr(w.size() - 4) == ".csv");
+    if (opt.profileOnly) {
+        std::fprintf(stderr,
+                     "--profile is not supported with --tenants "
+                     "(per-tenant traces are generated inside the "
+                     "scenario); drop --tenants to profile\n");
+        return 2;
+    }
+    if (opt.array < 1) {
+        std::fprintf(stderr, "--array needs at least 1 drive\n");
+        return 2;
+    }
+    if (opt.iops > 0.0 && !opt.openLoop) {
+        // Closed-loop injection is completion-driven; trace arrival
+        // times (and thus the requested rate) are never consulted.
+        std::fprintf(stderr, "--iops has no effect on closed-loop "
+                             "tenants; add --open-loop\n");
+        return 2;
+    }
+    if (opt.queueDepth < 1) {
+        std::fprintf(stderr, "--queue-depth needs at least 1\n");
+        return 2;
+    }
+    const host::Arbitration arb =
+        host::parseArbitration(opt.arbitration);
+    // Keep total work comparable to the single-replay mode: the
+    // request budget is split across tenants.
+    const std::uint64_t per_tenant =
+        opt.requests / opt.tenants > 0 ? opt.requests / opt.tenants : 1;
+
+    if (host::looksLikeTracePath(opt.workload))
+        std::printf("Multi-tenant: %u tenants splitting %s (%s), "
+                    "QD %u, %s arbitration, %u-drive array\n",
+                    opt.tenants, opt.workload.c_str(),
+                    opt.openLoop ? "open-loop" : "closed-loop",
+                    opt.queueDepth, host::name(arb), opt.array);
+    else
+        std::printf("Multi-tenant: %u tenants x %llu reqs (%s), "
+                    "QD %u, %s arbitration, %u-drive array\n",
+                    opt.tenants,
+                    static_cast<unsigned long long>(per_tenant),
+                    opt.openLoop ? "open-loop" : "closed-loop",
+                    opt.queueDepth, host::name(arb), opt.array);
+    std::printf("SSD: %s geometry per drive, %.1fK P/E, "
+                "%.0f-month retention, %.0f C\n\n",
+                opt.paperGeometry ? "paper" : "small", opt.pec,
+                opt.retention, opt.temperature);
+    std::printf("%-10s %-14s %3s %6s %10s %10s %10s %10s\n",
+                "mechanism", "tenant", "w", "reqs", "avg[us]",
+                "p50[us]", "p99[us]", "p99.9[us]");
+
+    host::TraceCache trace_cache; // parse a CSV once for the sweep
+    for (const std::string &mname : opt.mechanisms) {
+        host::ScenarioConfig sc;
+        sc.traceCache = &trace_cache;
+        sc.ssd = cfg;
+        sc.mech = core::parseMechanism(mname);
+        sc.drives = opt.array;
+        sc.host.queueDepth = opt.queueDepth;
+        sc.host.arbitration = arb;
+        for (std::uint32_t t = 0; t < opt.tenants; ++t) {
+            host::TenantSpec ts;
+            ts.workload = opt.workload;
+            ts.name = opt.workload + "#" + std::to_string(t);
+            ts.requests = per_tenant;
+            ts.iops = opt.iops;
+            ts.mode = opt.openLoop ? host::InjectionMode::OpenLoop
+                                   : host::InjectionMode::ClosedLoop;
+            ts.qdLimit = opt.queueDepth;
+            ts.weight =
+                arb == host::Arbitration::WeightedRoundRobin ? t + 1 : 1;
+            sc.tenants.push_back(ts);
+        }
+        const host::ScenarioResult res = host::runScenario(sc);
+        for (std::size_t t = 0; t < res.tenants.size(); ++t) {
+            const host::TenantStats &s = res.tenants[t];
+            std::printf("%-10s %-14s %3u %6llu %10.1f %10.1f %10.1f "
+                        "%10.1f\n",
+                        mname.c_str(), s.name.c_str(),
+                        sc.tenants[t].weight,
+                        static_cast<unsigned long long>(s.completed),
+                        s.avgUs, s.p50Us, s.p99Us, s.p999Us);
+        }
+        const ssd::RunStats &a = res.array;
+        std::printf("%-10s %-14s %3s %6llu %10.1f %10.1f %10.1f "
+                    "%10.1f\n",
+                    mname.c_str(), "all(reads)", "-",
+                    static_cast<unsigned long long>(a.reads),
+                    a.avgReadResponseUs, a.p50ReadResponseUs,
+                    a.p99ReadResponseUs, a.p999ReadResponseUs);
+    }
+    return 0;
 }
 
 } // namespace
@@ -155,20 +284,25 @@ main(int argc, char **argv)
     cfg.suspension = opt.suspension;
     cfg.seed = opt.seed;
 
+    if (opt.tenants > 0)
+        return runMultiTenant(opt, cfg);
+    if (!opt.hostFlags.empty()) {
+        // Multi-tenant-only flags silently doing nothing would let a
+        // single-replay run masquerade as an array experiment.
+        std::fprintf(stderr, "%s requires --tenants\n",
+                     opt.hostFlags.front().c_str());
+        return 2;
+    }
+
     // Load or generate the workload.
     workload::Trace trace;
-    if (looksLikePath(opt.workload)) {
+    if (host::looksLikeTracePath(opt.workload)) {
         workload::MsrParseOptions popt;
         popt.pageBytes = cfg.pageBytes;
         trace = workload::loadMsrTrace(opt.workload, popt);
         // Fold foreign LPNs into our logical space.
         std::vector<workload::TraceRecord> recs = trace.records();
-        const std::uint64_t space = cfg.logicalPages();
-        for (auto &r : recs) {
-            r.lpn %= space;
-            if (r.lpn + r.pages > space)
-                r.lpn = space - r.pages;
-        }
+        workload::Trace::foldIntoSpace(recs, cfg.logicalPages());
         trace = workload::Trace(trace.name(), std::move(recs));
     } else {
         workload::SyntheticSpec spec =
@@ -193,8 +327,9 @@ main(int argc, char **argv)
                 opt.retention, opt.temperature,
                 opt.refresh > 0.0 ? ", refresh on" : "",
                 opt.suspension ? "" : ", suspension off");
-    std::printf("%-16s %10s %10s %10s %8s %9s %9s\n", "mechanism",
-                "avg[us]", "read[us]", "p99[us]", "steps", "suspends",
+    std::printf("%-16s %10s %10s %10s %10s %10s %8s %9s %9s\n",
+                "mechanism", "avg[us]", "read[us]", "p50r[us]",
+                "p99[us]", "p99.9r[us]", "steps", "suspends",
                 "refreshes");
 
     double baseline = 0.0;
@@ -204,10 +339,11 @@ main(int argc, char **argv)
         const ssd::RunStats st = ssd.replay(trace);
         if (baseline == 0.0)
             baseline = st.avgResponseUs;
-        std::printf("%-16s %10.1f %10.1f %10.1f %8.2f %9llu %9llu"
-                    "   (%+.1f%%)\n",
+        std::printf("%-16s %10.1f %10.1f %10.1f %10.1f %10.1f %8.2f "
+                    "%9llu %9llu   (%+.1f%%)\n",
                     name.c_str(), st.avgResponseUs,
-                    st.avgReadResponseUs, st.p99ResponseUs,
+                    st.avgReadResponseUs, st.p50ReadResponseUs,
+                    st.p99ResponseUs, st.p999ReadResponseUs,
                     st.avgRetrySteps,
                     static_cast<unsigned long long>(st.suspensions),
                     static_cast<unsigned long long>(st.refreshes),
