@@ -1,0 +1,193 @@
+/**
+ * @file
+ * End-to-end simulator throughput harness (perf trajectory).
+ *
+ * Runs the multi-tenant tail scenario (4 closed-loop tenants, 2-drive
+ * striped array, mid-life operating point — the same shape as
+ * bench/multi_tenant_tail.cc) under Baseline and PnAR2, and measures
+ * wall time, executed events/second and completed reads/second. The
+ * deterministic simulation results are digested so a perf change that
+ * silently alters what is simulated fails CI.
+ *
+ * Usage:
+ *   bench_sim_throughput [--short] [--json PATH]
+ *                        [--check-digest GOLDEN]
+ *                        [--update-golden GOLDEN]
+ *                        [--repeat N]
+ *
+ *   --short          CI-sized run (fewer requests per tenant)
+ *   --json PATH      write the trajectory JSON
+ *                    (default BENCH_sim_throughput.json)
+ *   --check-digest   compare results against a golden digest file;
+ *                    exit non-zero on mismatch
+ *   --update-golden  rewrite the golden digest file
+ *   --repeat N       wall-time measurement repetitions (default 1;
+ *                    the fastest repetition is reported)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "host/scenario.hh"
+#include "sim/bench_report.hh"
+#include "ssd/config.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+host::ScenarioConfig
+tailScenario(core::Mechanism mech, std::uint64_t requests_per_tenant)
+{
+    host::ScenarioConfig sc;
+    sc.ssd = ssd::Config::small();
+    sc.ssd.basePeKilo = 1.0;
+    sc.ssd.baseRetentionMonths = 6.0;
+    sc.mech = mech;
+    sc.drives = 2;
+    sc.host.queueDepth = 16;
+    sc.host.arbitration = host::Arbitration::RoundRobin;
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        host::TenantSpec ts;
+        ts.workload = "usr_1";
+        ts.name = "tenant" + std::to_string(t);
+        ts.requests = requests_per_tenant;
+        ts.qdLimit = 16;
+        sc.tenants.push_back(ts);
+    }
+    return sc;
+}
+
+sim::BenchRun
+measure(core::Mechanism mech, std::uint64_t requests_per_tenant,
+        int repeat)
+{
+    sim::BenchRun run;
+    run.name = core::name(mech);
+
+    host::ScenarioResult res;
+    double best = -1.0;
+    for (int i = 0; i < repeat; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        res = host::runScenario(
+            tailScenario(mech, requests_per_tenant));
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (best < 0.0 || secs < best)
+            best = secs;
+    }
+
+    const ssd::RunStats &a = res.array;
+    run.wallSeconds = best;
+    run.executedEvents = a.executedEvents;
+    run.reads = a.reads;
+    run.writes = a.writes;
+    run.retrySamples = a.retrySamples;
+    run.avgRetrySteps = a.avgRetrySteps;
+    run.suspensions = a.suspensions;
+    run.gcCollections = a.gcCollections;
+    run.readFailures = a.readFailures;
+    run.refreshes = a.refreshes;
+    run.simulatedMs = a.simulatedMs;
+    run.p50ReadUs = a.p50ReadResponseUs;
+    run.p99ReadUs = a.p99ReadResponseUs;
+    run.p999ReadUs = a.p999ReadResponseUs;
+    run.profileCacheHits = a.profileCacheHits;
+    run.profileCacheMisses = a.profileCacheMisses;
+    if (best > 0.0) {
+        run.eventsPerSecond =
+            static_cast<double>(a.executedEvents) / best;
+        run.readsPerSecond = static_cast<double>(a.reads) / best;
+    }
+    return run;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool short_mode = false;
+    int repeat = 1;
+    std::string json_path = "BENCH_sim_throughput.json";
+    std::string check_golden;
+    std::string update_golden;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--short")
+            short_mode = true;
+        else if (arg == "--json")
+            json_path = next();
+        else if (arg == "--check-digest")
+            check_golden = next();
+        else if (arg == "--update-golden")
+            update_golden = next();
+        else if (arg == "--repeat")
+            repeat = std::atoi(next());
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (repeat < 1)
+        repeat = 1;
+
+    const std::uint64_t per_tenant = short_mode ? 400 : 2000;
+    const std::string label =
+        std::string("multi_tenant_tail ") +
+        (short_mode ? "short" : "full") +
+        " (4 closed-loop tenants x " + std::to_string(per_tenant) +
+        " usr_1 reqs, QD 16, 2-drive array, 1K P/E + 6-month retention)";
+
+    std::printf("sim_throughput — %s\n\n", label.c_str());
+    std::printf("%-10s %12s %14s %12s %12s %10s\n", "mechanism",
+                "wall[s]", "events/s", "reads/s", "events",
+                "cache-hit%");
+
+    std::vector<sim::BenchRun> runs;
+    for (core::Mechanism m :
+         {core::Mechanism::Baseline, core::Mechanism::PnAR2}) {
+        runs.push_back(measure(m, per_tenant, repeat));
+        const sim::BenchRun &r = runs.back();
+        const std::uint64_t lookups =
+            r.profileCacheHits + r.profileCacheMisses;
+        std::printf("%-10s %12.3f %14.0f %12.0f %12llu %9.1f%%\n",
+                    r.name.c_str(), r.wallSeconds, r.eventsPerSecond,
+                    r.readsPerSecond,
+                    static_cast<unsigned long long>(r.executedEvents),
+                    lookups ? 100.0 *
+                                  static_cast<double>(r.profileCacheHits) /
+                                  static_cast<double>(lookups)
+                            : 0.0);
+    }
+
+    if (!sim::writeBenchJson(json_path, label, runs))
+        return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+
+    if (!update_golden.empty()) {
+        if (!sim::writeBenchGolden(update_golden, runs))
+            return 1;
+        std::printf("updated golden digest %s\n", update_golden.c_str());
+    }
+    if (!check_golden.empty()) {
+        const int rc = sim::checkBenchDigest(check_golden, runs);
+        if (rc != 0)
+            return rc;
+        std::printf("simulation-result digest matches %s\n",
+                    check_golden.c_str());
+    }
+    return 0;
+}

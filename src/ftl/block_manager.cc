@@ -1,5 +1,7 @@
 #include "ftl/block_manager.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace ssdrr::ftl {
@@ -9,14 +11,17 @@ BlockManager::BlockManager(const AddressLayout &layout, double base_pe_kilo)
       planes_(layout.totalPlanes())
 {
     SSDRR_ASSERT(base_pe_kilo >= 0.0, "negative base P/E cycles");
+    const std::uint64_t pages_per_plane =
+        static_cast<std::uint64_t>(layout_.blocksPerPlane) *
+        layout_.pagesPerBlock;
     for (auto &pl : planes_) {
         pl.blocks.resize(layout_.blocksPerPlane);
-        for (std::uint32_t b = 0; b < layout_.blocksPerPlane; ++b) {
-            Block &blk = pl.blocks[b];
-            blk.owner.assign(layout_.pagesPerBlock, kInvalidLpn);
-            blk.epoch.assign(layout_.pagesPerBlock, 0);
+        // Zero pages from the allocator: raw 0 already means "dead,
+        // base epoch", so nothing is written until pages are used.
+        pl.owner.assign(pages_per_plane);
+        pl.epoch.assign(pages_per_plane);
+        for (std::uint32_t b = 0; b < layout_.blocksPerPlane; ++b)
             pl.freeList.push_back(b);
-        }
     }
 }
 
@@ -59,13 +64,54 @@ BlockManager::allocate(std::uint32_t plane, Lpn lpn, sim::Tick epoch)
                  "frontier block already full");
 
     Ppn ppn{plane, pl.frontier, blk.writePtr};
-    blk.owner[blk.writePtr] = lpn;
-    blk.epoch[blk.writePtr] = epoch;
+    const std::uint64_t pi = pageIndex(pl.frontier, blk.writePtr);
+    pl.owner[pi] = lpn + 1;
+    pl.epoch[pi] = epoch + 1;
     ++blk.valid;
     ++blk.writePtr;
     if (blk.writePtr == layout_.pagesPerBlock)
         pl.frontier = kNoFrontier;
     return ppn;
+}
+
+void
+BlockManager::preconditionPlane(std::uint32_t plane, Lpn first_lpn,
+                                std::uint64_t stride, std::uint64_t count)
+{
+    SSDRR_ASSERT(plane < planes_.size(), "plane out of range: ", plane);
+    Plane &pl = planes_[plane];
+    SSDRR_ASSERT(pl.frontier == kNoFrontier &&
+                     pl.freeList.size() == layout_.blocksPerPlane,
+                 "bulk precondition on a used plane");
+    SSDRR_ASSERT(count <= static_cast<std::uint64_t>(
+                              layout_.blocksPerPlane) *
+                              layout_.pagesPerBlock,
+                 "precondition overflows plane capacity");
+
+    const std::uint32_t ppb = layout_.pagesPerBlock;
+    // A fresh plane's free list holds blocks 0..N-1 in order, so the
+    // page-at-a-time path would fill block 0, 1, ... sequentially;
+    // reproduce exactly that end state — without writing a single
+    // page entry. Owners of preconditioned pages are answered by the
+    // striping closed form (see Plane::owner), and epochs default to
+    // kBaseEpoch already, so only per-block metadata is touched.
+    pl.precondFirst = first_lpn;
+    pl.precondStride = stride;
+    std::uint64_t remaining = count;
+    for (std::uint32_t b = 0; remaining > 0; ++b) {
+        Block &blk = pl.blocks[b];
+        const auto fill = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(ppb, remaining));
+        remaining -= fill;
+        blk.valid = fill;
+        blk.writePtr = fill;
+        blk.inFreeList = false;
+        blk.preconditioned = true;
+        SSDRR_ASSERT(pl.freeList.front() == b, "free list out of order");
+        pl.freeList.pop_front();
+        if (fill < ppb)
+            pl.frontier = b; // partial last block stays open
+    }
 }
 
 std::size_t
@@ -79,11 +125,16 @@ void
 BlockManager::invalidate(const Ppn &ppn)
 {
     Block &blk = block(ppn.plane, ppn.block);
+    Plane &pl = planes_[ppn.plane];
     SSDRR_ASSERT(ppn.page < layout_.pagesPerBlock, "page out of range");
-    SSDRR_ASSERT(blk.owner[ppn.page] != kInvalidLpn,
+    const std::uint64_t pi = pageIndex(ppn.block, ppn.page);
+    const std::uint64_t raw = pl.owner[pi];
+    SSDRR_ASSERT(raw != kDeadRaw &&
+                     (raw != 0 ||
+                      (blk.preconditioned && ppn.page < blk.writePtr)),
                  "double invalidate of plane ", ppn.plane, " block ",
                  ppn.block, " page ", ppn.page);
-    blk.owner[ppn.page] = kInvalidLpn;
+    pl.owner[pi] = kDeadRaw;
     SSDRR_ASSERT(blk.valid > 0, "valid-count underflow");
     --blk.valid;
 }
@@ -91,13 +142,34 @@ BlockManager::invalidate(const Ppn &ppn)
 bool
 BlockManager::isValid(const Ppn &ppn) const
 {
-    return block(ppn.plane, ppn.block).owner[ppn.page] != kInvalidLpn;
+    SSDRR_ASSERT(ppn.plane < planes_.size() &&
+                     ppn.block < layout_.blocksPerPlane,
+                 "address out of range");
+    const Plane &pl = planes_[ppn.plane];
+    const std::uint64_t raw = pl.owner[pageIndex(ppn.block, ppn.page)];
+    if (raw == kDeadRaw)
+        return false;
+    if (raw != 0)
+        return true;
+    const Block &blk = pl.blocks[ppn.block];
+    return blk.preconditioned && ppn.page < blk.writePtr;
 }
 
 Lpn
 BlockManager::lpnOf(const Ppn &ppn) const
 {
-    return block(ppn.plane, ppn.block).owner[ppn.page];
+    SSDRR_ASSERT(ppn.plane < planes_.size() &&
+                     ppn.block < layout_.blocksPerPlane,
+                 "address out of range");
+    const Plane &pl = planes_[ppn.plane];
+    const std::uint64_t pi = pageIndex(ppn.block, ppn.page);
+    const std::uint64_t raw = pl.owner[pi];
+    if (raw != 0 && raw != kDeadRaw)
+        return raw - 1;
+    const Block &blk = pl.blocks[ppn.block];
+    if (raw == 0 && blk.preconditioned && ppn.page < blk.writePtr)
+        return pl.precondFirst + pi * pl.precondStride;
+    return kInvalidLpn;
 }
 
 std::uint32_t
@@ -132,11 +204,15 @@ void
 BlockManager::erase(std::uint32_t plane, std::uint32_t b)
 {
     Block &blk = block(plane, b);
+    Plane &pl = planes_[plane];
     SSDRR_ASSERT(!blk.inFreeList, "erasing a free block");
     SSDRR_ASSERT(blk.valid == 0, "erasing block with ", blk.valid,
                  " valid pages");
-    blk.owner.assign(layout_.pagesPerBlock, kInvalidLpn);
-    blk.epoch.assign(layout_.pagesPerBlock, 0);
+    const std::uint64_t base = pageIndex(b, 0);
+    std::fill_n(pl.owner.begin() + base, layout_.pagesPerBlock, Lpn{0});
+    std::fill_n(pl.epoch.begin() + base, layout_.pagesPerBlock,
+                sim::Tick{0});
+    blk.preconditioned = false;
     blk.writePtr = 0;
     ++blk.eraseCount;
     ++total_erases_;
@@ -154,7 +230,12 @@ BlockManager::peKilo(std::uint32_t plane, std::uint32_t b) const
 sim::Tick
 BlockManager::epochOf(const Ppn &ppn) const
 {
-    return block(ppn.plane, ppn.block).epoch[ppn.page];
+    SSDRR_ASSERT(ppn.plane < planes_.size() &&
+                     ppn.block < layout_.blocksPerPlane,
+                 "address out of range");
+    // Raw 0 (never programmed at runtime) wraps back to kTickNever,
+    // i.e. kBaseEpoch.
+    return planes_[ppn.plane].epoch[pageIndex(ppn.block, ppn.page)] - 1;
 }
 
 } // namespace ssdrr::ftl

@@ -17,6 +17,7 @@
 
 #include "ftl/address.hh"
 #include "sim/types.hh"
+#include "sim/zeroed_array.hh"
 
 namespace ssdrr::ftl {
 
@@ -39,6 +40,18 @@ class BlockManager
      * @param lpn owner logical page
      */
     Ppn allocate(std::uint32_t plane, Lpn lpn, sim::Tick epoch);
+
+    /**
+     * Bulk preconditioning fill: equivalent to @p count calls of
+     * allocate(plane, first_lpn + i * stride, kBaseEpoch) on a fresh
+     * plane, but filling each block's arrays sequentially instead of
+     * paying the per-page frontier bookkeeping. Whole-SSD
+     * preconditioning maps millions of pages per drive and per
+     * scenario, which made the page-at-a-time path a dominant setup
+     * cost of every bench sweep.
+     */
+    void preconditionPlane(std::uint32_t plane, Lpn first_lpn,
+                           std::uint64_t stride, std::uint64_t count);
 
     /** Free blocks remaining in a plane (GC trigger input). */
     std::size_t freeBlocks(std::uint32_t plane) const;
@@ -71,25 +84,61 @@ class BlockManager
     std::uint64_t totalErases() const { return total_erases_; }
 
   private:
+    /** Per-block metadata; the page-level reverse map and program
+     *  epochs live in flat per-plane arrays (see Plane) so building
+     *  a drive performs two large allocations per plane instead of
+     *  two small ones per block. */
     struct Block {
-        std::vector<Lpn> owner;      ///< page -> LPN (kInvalidLpn = dead)
-        std::vector<sim::Tick> epoch;
         std::uint32_t writePtr = 0;
         std::uint32_t valid = 0;
         std::uint32_t eraseCount = 0;
         bool inFreeList = true;
+        /** Filled by preconditionPlane: the owner entries of pages
+         *  below writePtr default to the plane's striping formula. */
+        bool preconditioned = false;
     };
 
     struct Plane {
         std::vector<Block> blocks;
+        /**
+         * page -> owner record, indexed b * ppb + q:
+         *   raw 0          never written at runtime — dead, unless
+         *                  the block is preconditioned and the page
+         *                  is below its writePtr, in which case the
+         *                  owning LPN is precondFirst + i * stride
+         *                  (answered by closed form, never stored);
+         *   raw all-ones   dead (tombstone of an invalidated page);
+         *   otherwise      owning LPN + 1.
+         * calloc zero pages make a fresh (or freshly preconditioned)
+         * plane cost no writes.
+         */
+        sim::ZeroedArray<Lpn> owner;
+        /**
+         * page -> program epoch + 1, indexed b * ppb + q; raw 0 =
+         * kBaseEpoch (kTickNever + 1 wraps to 0), so preconditioned
+         * pages need no epoch writes at all.
+         */
+        sim::ZeroedArray<sim::Tick> epoch;
         std::deque<std::uint32_t> freeList;
         std::uint32_t frontier = kNoFrontier;
+        /** Striping parameters of preconditionPlane. */
+        Lpn precondFirst = 0;
+        std::uint64_t precondStride = 0;
     };
+
+    static constexpr std::uint64_t kDeadRaw = ~std::uint64_t{0};
 
     static constexpr std::uint32_t kNoFrontier = 0xFFFFFFFFu;
 
     Block &block(std::uint32_t plane, std::uint32_t b);
     const Block &block(std::uint32_t plane, std::uint32_t b) const;
+    /** Flat index of (block, page) within a plane's owner/epoch. */
+    std::uint64_t
+    pageIndex(std::uint32_t b, std::uint32_t page) const
+    {
+        return static_cast<std::uint64_t>(b) * layout_.pagesPerBlock +
+               page;
+    }
     void openFrontier(Plane &pl);
 
     AddressLayout layout_;

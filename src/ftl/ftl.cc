@@ -32,11 +32,38 @@ void
 Ftl::precondition()
 {
     SSDRR_ASSERT(map_.mappedCount() == 0, "precondition on used FTL");
-    for (Lpn lpn = 0; lpn < map_.logicalPages(); ++lpn) {
-        const std::uint32_t plane = nextPlane();
-        const Ppn ppn = bm_.allocate(plane, lpn, kBaseEpoch);
-        map_.bind(lpn, layout_.flatPage(ppn));
+    // Bulk-fill plane by plane. This produces bit-identical FTL
+    // state to the old page-at-a-time loop (lpn i lands on plane
+    // i % P, planes fill blocks in free-list order), but each
+    // plane's reverse map and the L2P map are written sequentially —
+    // preconditioning maps every logical page and was the largest
+    // setup cost of multi-scenario sweeps.
+    const std::uint64_t logical = map_.logicalPages();
+    const std::uint32_t planes = layout_.totalPlanes();
+    const std::uint64_t plane_stride =
+        static_cast<std::uint64_t>(layout_.blocksPerPlane) *
+        layout_.pagesPerBlock;
+    for (std::uint32_t p = 0; p < planes; ++p) {
+        if (logical <= p)
+            continue;
+        const std::uint64_t count = (logical - 1 - p) / planes + 1;
+        bm_.preconditionPlane(p, p, planes, count);
     }
+    if ((planes & (planes - 1)) == 0) {
+        // The canonical striped layout is a closed form of the LPN,
+        // so the L2P table records it as the default instead of
+        // materializing a million bindings per drive.
+        map_.setStripedDefault(planes, plane_stride);
+    } else {
+        // Non-power-of-two plane counts (custom configs) bind
+        // eagerly; plane p's i-th page has flat id p*stride + i.
+        Lpn lpn = 0;
+        for (std::uint64_t i = 0; lpn < logical; ++i)
+            for (std::uint32_t p = 0; p < planes && lpn < logical;
+                 ++p, ++lpn)
+                map_.bind(lpn, p * plane_stride + i);
+    }
+    plane_cursor_ = static_cast<std::uint32_t>(logical % planes);
 }
 
 Ppn

@@ -1,47 +1,26 @@
 #include "ftl/mapping.hh"
 
-#include "sim/logging.hh"
-
 namespace ssdrr::ftl {
 
 PageMap::PageMap(std::uint64_t logical_pages)
-    : l2p_(logical_pages, kInvalidPpn)
+    : l2p_(logical_pages)
 {
-}
-
-bool
-PageMap::mapped(Lpn lpn) const
-{
-    SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
-    return l2p_[lpn] != kInvalidPpn;
-}
-
-std::uint64_t
-PageMap::lookup(Lpn lpn) const
-{
-    SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
-    SSDRR_ASSERT(l2p_[lpn] != kInvalidPpn, "reading unmapped LPN ", lpn);
-    return l2p_[lpn];
 }
 
 void
-PageMap::bind(Lpn lpn, std::uint64_t fp)
+PageMap::setStripedDefault(std::uint32_t planes,
+                           std::uint64_t plane_stride)
 {
-    SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
-    if (l2p_[lpn] == kInvalidPpn)
-        ++mapped_;
-    l2p_[lpn] = fp;
-}
-
-std::uint64_t
-PageMap::unbind(Lpn lpn)
-{
-    SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
-    const std::uint64_t old = l2p_[lpn];
-    SSDRR_ASSERT(old != kInvalidPpn, "unbinding unmapped LPN ", lpn);
-    l2p_[lpn] = kInvalidPpn;
-    --mapped_;
-    return old;
+    SSDRR_ASSERT(mapped_ == 0, "striped default over a used map");
+    SSDRR_ASSERT(planes > 0 && (planes & (planes - 1)) == 0,
+                 "striped default needs a power-of-two plane count");
+    striped_ = true;
+    plane_mask_ = planes - 1;
+    plane_shift_ = 0;
+    while ((std::uint64_t{1} << plane_shift_) < planes)
+        ++plane_shift_;
+    plane_stride_ = plane_stride;
+    mapped_ = l2p_.size();
 }
 
 } // namespace ssdrr::ftl

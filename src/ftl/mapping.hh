@@ -1,14 +1,28 @@
 /**
  * @file
  * Page-level logical-to-physical mapping table.
+ *
+ * The accessors are defined inline: translate() sits on the per-read
+ * hot path and runs once per page of every host request.
+ *
+ * Storage is a calloc-backed ZeroedArray of raw entries:
+ *   raw == 0             unmapped — or, once setStripedDefault() is
+ *                        active, "still at the preconditioned
+ *                        striped location", answered by closed form;
+ *   raw == kUnmappedRaw  explicitly unmapped (tombstone);
+ *   otherwise            flat physical page + 1.
+ * Preconditioning an SSD therefore writes no table entries at all:
+ * only pages that move (host writes, GC) materialize an override.
+ * This removes a multi-MiB first-touch sweep per drive from every
+ * scenario construction.
  */
 
 #ifndef SSDRR_FTL_MAPPING_HH
 #define SSDRR_FTL_MAPPING_HH
 
-#include <vector>
-
 #include "ftl/address.hh"
+#include "sim/logging.hh"
+#include "sim/zeroed_array.hh"
 
 namespace ssdrr::ftl {
 
@@ -19,22 +33,84 @@ class PageMap
 
     std::uint64_t logicalPages() const { return l2p_.size(); }
 
-    bool mapped(Lpn lpn) const;
+    /**
+     * Declare every LPN mapped to the canonical striped layout
+     * (LPN l -> plane l mod P at plane-flat index l div P, i.e.
+     * flat page (l mod P) * plane_stride + l div P). Requires an
+     * empty map and a power-of-two @p planes (the closed form uses
+     * shifts on the per-read path).
+     */
+    void setStripedDefault(std::uint32_t planes,
+                           std::uint64_t plane_stride);
+
+    bool
+    mapped(Lpn lpn) const
+    {
+        SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
+        const std::uint64_t raw = l2p_[lpn];
+        if (raw == kUnmappedRaw)
+            return false;
+        return raw != 0 || striped_;
+    }
 
     /** Physical flat page of @p lpn; panics if unmapped. */
-    std::uint64_t lookup(Lpn lpn) const;
+    std::uint64_t
+    lookup(Lpn lpn) const
+    {
+        SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
+        const std::uint64_t raw = l2p_[lpn];
+        if (raw != 0 && raw != kUnmappedRaw)
+            return raw - 1;
+        SSDRR_ASSERT(raw == 0 && striped_, "reading unmapped LPN ", lpn);
+        return stripedFlat(lpn);
+    }
 
     /** Bind @p lpn to flat physical page @p fp. */
-    void bind(Lpn lpn, std::uint64_t fp);
+    void
+    bind(Lpn lpn, std::uint64_t fp)
+    {
+        SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
+        const std::uint64_t raw = l2p_[lpn];
+        const bool was_mapped =
+            raw != kUnmappedRaw && (raw != 0 || striped_);
+        if (!was_mapped)
+            ++mapped_;
+        l2p_[lpn] = fp + 1;
+    }
 
     /** Remove the binding of @p lpn (returns the old flat page). */
-    std::uint64_t unbind(Lpn lpn);
+    std::uint64_t
+    unbind(Lpn lpn)
+    {
+        SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
+        const std::uint64_t raw = l2p_[lpn];
+        SSDRR_ASSERT(raw != kUnmappedRaw && (raw != 0 || striped_),
+                     "unbinding unmapped LPN ", lpn);
+        const std::uint64_t old =
+            raw != 0 ? raw - 1 : stripedFlat(lpn);
+        l2p_[lpn] = kUnmappedRaw;
+        --mapped_;
+        return old;
+    }
 
     std::uint64_t mappedCount() const { return mapped_; }
 
   private:
-    std::vector<std::uint64_t> l2p_;
+    static constexpr std::uint64_t kUnmappedRaw = ~std::uint64_t{0};
+
+    std::uint64_t
+    stripedFlat(Lpn lpn) const
+    {
+        return (lpn & plane_mask_) * plane_stride_ +
+               (lpn >> plane_shift_);
+    }
+
+    sim::ZeroedArray<std::uint64_t> l2p_;
     std::uint64_t mapped_ = 0;
+    bool striped_ = false;
+    std::uint64_t plane_mask_ = 0;
+    std::uint32_t plane_shift_ = 0;
+    std::uint64_t plane_stride_ = 0;
 };
 
 } // namespace ssdrr::ftl

@@ -43,8 +43,11 @@ SsdArray::submit(const ssd::HostRequest &req)
     // Page-striped split: each member drive receives at most one
     // subrequest, covering the (consecutive) local LPNs that fall on
     // it. first[d] is the smallest local LPN of the span on drive d.
-    std::vector<std::uint64_t> first(n, 0);
-    std::vector<std::uint32_t> count(n, 0);
+    // Member scratch avoids allocating two vectors per request.
+    split_first_.assign(n, 0);
+    split_count_.assign(n, 0);
+    std::vector<std::uint64_t> &first = split_first_;
+    std::vector<std::uint32_t> &count = split_count_;
     for (std::uint32_t i = 0; i < req.pages; ++i) {
         const std::uint64_t g = req.lpn + i;
         const std::uint32_t d = driveOf(g);
@@ -93,7 +96,6 @@ SsdArray::subComplete(const ssd::HostCompletion &c)
         return;
 
     const double resp_us = sim::toUsec(eq_.now() - p.arrival);
-    resp_all_.add(resp_us);
     if (p.isRead)
         resp_read_.add(resp_us);
     else
@@ -124,6 +126,8 @@ SsdArray::stats() const
         s.timingFallbacks += ds.timingFallbacks;
         s.readFailures += ds.readFailures;
         s.refreshes += ds.refreshes;
+        s.profileCacheHits += ds.profileCacheHits;
+        s.profileCacheMisses += ds.profileCacheMisses;
         // Pooled mean over every retry sample (host + GC reads):
         // weight each drive's mean by its own sample count.
         s.avgRetrySteps +=
@@ -141,14 +145,20 @@ SsdArray::stats() const
     s.writes = resp_write_.count();
     s.channelUtilization /= ssds_.size();
     s.eccUtilization /= ssds_.size();
+    s.executedEvents = eq_.executedEvents();
     s.simulatedMs = sim::toMsec(eq_.now());
 
-    s.avgResponseUs = resp_all_.mean();
+    // The all-request distribution is the merge of the read and
+    // write histograms (every parent is exactly one of the two), so
+    // the array keeps two histograms instead of triple-recording.
+    sim::Histogram resp_all = resp_read_;
+    resp_all.merge(resp_write_);
+    s.avgResponseUs = resp_all.mean();
     s.avgReadResponseUs = resp_read_.mean();
     s.avgWriteResponseUs = resp_write_.mean();
-    if (resp_all_.count()) {
-        s.p99ResponseUs = resp_all_.percentile(99.0);
-        s.maxResponseUs = resp_all_.max();
+    if (resp_all.count()) {
+        s.p99ResponseUs = resp_all.percentile(99.0);
+        s.maxResponseUs = resp_all.max();
     }
     if (resp_read_.count()) {
         s.p50ReadResponseUs = resp_read_.percentile(50.0);

@@ -89,6 +89,10 @@ class SsdArray
      */
     ssd::RunStats stats() const;
 
+    /** Array-surface (parent-request) latency distributions. */
+    const sim::Histogram &readResponseTimes() const { return resp_read_; }
+    const sim::Histogram &writeResponseTimes() const { return resp_write_; }
+
   private:
     struct Parent {
         sim::Tick arrival = 0;
@@ -108,7 +112,13 @@ class SsdArray
     std::uint64_t next_sub_id_ = 1;
     CompletionFn on_complete_;
 
-    sim::Histogram resp_all_;
+    /** Scratch for submit()'s per-drive split (no per-request
+     *  allocation on the injection hot path). */
+    std::vector<std::uint64_t> split_first_;
+    std::vector<std::uint32_t> split_count_;
+
+    /** Parent-request latencies; the all-request view is derived by
+     *  merging these two at reporting time. */
     sim::Histogram resp_read_;
     sim::Histogram resp_write_;
 };

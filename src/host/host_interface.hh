@@ -16,19 +16,21 @@
 #ifndef SSDRR_HOST_HOST_INTERFACE_HH
 #define SSDRR_HOST_HOST_INTERFACE_HH
 
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "host/array.hh"
 #include "host/queue_pair.hh"
+#include "sim/callback.hh"
 
 namespace ssdrr::host {
 
 class HostInterface
 {
   public:
-    using CompletionFn = std::function<void(const ssd::HostCompletion &)>;
+    /** Move-only (SBO): completion routing is per-command hot path. */
+    using CompletionFn =
+        sim::InlineFunction<void(const ssd::HostCompletion &)>;
 
     struct Options {
         std::uint32_t queueDepth = 16;

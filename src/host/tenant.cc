@@ -101,13 +101,15 @@ Tenant::onComplete(const ssd::HostCompletion &c)
     SSDRR_ASSERT(inflight_ > 0, "completion with no request in flight");
     --inflight_;
     ++completed_;
+    // Each completion is recorded once (read or write histogram);
+    // the all-request view is a merge at reporting time.
     if (c.isRead) {
         ++reads_done_;
         lat_read_.add(c.responseUs);
     } else {
         ++writes_done_;
+        lat_write_.add(c.responseUs);
     }
-    lat_all_.add(c.responseUs);
     postNext();
 }
 
@@ -119,12 +121,13 @@ Tenant::stats() const
     s.completed = completed_;
     s.reads = reads_done_;
     s.writes = writes_done_;
-    if (lat_all_.count()) {
-        s.avgUs = lat_all_.mean();
-        s.p50Us = lat_all_.percentile(50.0);
-        s.p99Us = lat_all_.percentile(99.0);
-        s.p999Us = lat_all_.percentile(99.9);
-        s.maxUs = lat_all_.max();
+    const sim::Histogram lat_all = latencies();
+    if (lat_all.count()) {
+        s.avgUs = lat_all.mean();
+        s.p50Us = lat_all.percentile(50.0);
+        s.p99Us = lat_all.percentile(99.0);
+        s.p999Us = lat_all.percentile(99.9);
+        s.maxUs = lat_all.max();
     }
     if (lat_read_.count()) {
         s.readP50Us = lat_read_.percentile(50.0);

@@ -77,7 +77,15 @@ class Tenant
     std::uint32_t maxInflightSeen() const { return max_inflight_; }
 
     TenantStats stats() const;
-    const sim::Histogram &latencies() const { return lat_all_; }
+    /** All-request latency distribution (merge of reads + writes). */
+    sim::Histogram
+    latencies() const
+    {
+        sim::Histogram all = lat_read_;
+        all.merge(lat_write_);
+        return all;
+    }
+    const sim::Histogram &readLatencies() const { return lat_read_; }
 
   private:
     void postNext();
@@ -103,8 +111,8 @@ class Tenant
     std::uint64_t reads_done_ = 0;
     std::uint64_t writes_done_ = 0;
 
-    sim::Histogram lat_all_;
     sim::Histogram lat_read_;
+    sim::Histogram lat_write_;
 };
 
 } // namespace ssdrr::host

@@ -143,10 +143,10 @@ Chip::resume(std::uint32_t d, sim::Tick when)
     if (when == eq_.now()) {
         beginArrayOp(d, op, dur, std::move(done));
     } else {
-        eq_.schedule(when, [this, d, op, dur, done = std::move(done),
-                            this_when = when]() mutable {
-            beginArrayOp(d, op, dur, std::move(done));
-        });
+        eq_.schedule(when,
+                     [this, d, op, dur, done = std::move(done)]() mutable {
+                         beginArrayOp(d, op, dur, std::move(done));
+                     });
     }
 }
 

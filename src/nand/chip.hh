@@ -14,11 +14,11 @@
 #define SSDRR_NAND_CHIP_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "nand/timing.hh"
 #include "nand/types.hh"
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
 
 namespace ssdrr::nand {
@@ -34,7 +34,9 @@ enum class DieOp : std::uint8_t {
 class Chip
 {
   public:
-    using Callback = std::function<void()>;
+    /** Move-only, SBO-backed: completion hooks ride the event-queue
+     *  hot path and must not heap-allocate per operation. */
+    using Callback = sim::InlineCallback;
 
     Chip(sim::EventQueue &eq, const Geometry &geom,
          const TimingParams &timing, std::uint32_t chip_id);

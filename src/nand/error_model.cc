@@ -176,6 +176,15 @@ ErrorModel::pageProfile(std::uint64_t chip, std::uint64_t block,
         std::max(cal_.decayRatio,
                  cal_.failGuard * cal_.designCapability /
                      prof.finalErrors);
+
+    // Memoize the default-condition retry walk once per profile:
+    // simulateRead() below is called for every read of the page and
+    // would otherwise re-run the stepErrors() pow chain each time.
+    const ReadOutcome base = simulateRead(prof);
+    prof.baseRetrySteps = base.retrySteps;
+    prof.baseSuccess = base.success;
+    prof.baseLastStepErrors = base.lastStepErrors;
+    prof.baseCapability = cal_.eccCapability;
     return prof;
 }
 
@@ -206,6 +215,13 @@ ErrorModel::simulateRead(const PageErrorProfile &prof, double extra,
                          double capability) const
 {
     const double cap = capability < 0.0 ? cal_.eccCapability : capability;
+    if (prof.baseRetrySteps >= 0 && extra == 0.0 &&
+        cap == prof.baseCapability) {
+        // Default-condition walk memoized at profile construction
+        // (the common case: every non-adaptive step decision).
+        return ReadOutcome{prof.baseRetrySteps, prof.baseSuccess,
+                           prof.baseLastStepErrors};
+    }
     ReadOutcome out;
     for (int k = 0; k <= cal_.retryTableSteps; ++k) {
         out.retrySteps = k;

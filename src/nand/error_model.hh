@@ -36,6 +36,22 @@ struct PageErrorProfile {
     double finalErrors = 0.0;
     /** Per-step error decay ratio r (E(k) = finalErrors*r^(N-k)). */
     double decayRatio = 2.2;
+
+    /**
+     * Memoized default-condition retry walk (extra = 0 at the
+     * model's own ECC capability), filled by ErrorModel::pageProfile
+     * by running the stepErrors() pow chain once per profile. The
+     * per-read simulateRead() then returns these fields instead of
+     * re-walking the decay chain for every read of the page.
+     * Hand-built profiles (tests, benches) leave baseRetrySteps < 0
+     * and take the closed-form walk — bit-identical either way,
+     * since these fields are produced by that same walk.
+     */
+    int baseRetrySteps = -1; ///< < 0: not memoized
+    bool baseSuccess = true;
+    double baseLastStepErrors = 0.0;
+    /** ECC capability the memoized walk was computed against. */
+    double baseCapability = -1.0;
 };
 
 /** Outcome of reading a page with a given timing reduction. */

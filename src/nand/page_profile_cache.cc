@@ -1,0 +1,119 @@
+#include "nand/page_profile_cache.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace ssdrr::nand {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+PageProfileCache::PageProfileCache(const ErrorModel &model,
+                                   std::size_t capacity)
+    : model_(model)
+{
+    if (capacity > 0) {
+        const std::size_t cap = roundUpPow2(capacity);
+        entries_.resize(cap);
+        mask_ = cap - 1;
+    }
+}
+
+std::uint64_t
+PageProfileCache::packKey(std::uint64_t chip, std::uint64_t block,
+                          std::uint64_t page)
+{
+    // chip (channel) and page-in-block are small; block is a flat
+    // SSD-wide block id. The packed key must stay below kEmpty.
+    SSDRR_DEBUG_ASSERT(chip < (1ull << 12) && block < (1ull << 40) &&
+                           page < (1ull << 12),
+                       "page coordinates overflow the cache key");
+    return (chip << 52) | (block << 12) | page;
+}
+
+bool
+PageProfileCache::sameOp(const OperatingPoint &a, const OperatingPoint &b)
+{
+    // Exact comparison on purpose: a page whose retention age moved
+    // at all must be recomputed, or results would depend on cache
+    // history and break bit-reproducibility.
+    return a.peKilo == b.peKilo &&
+           a.retentionMonths == b.retentionMonths &&
+           a.temperatureC == b.temperatureC;
+}
+
+const PageErrorProfile &
+PageProfileCache::get(std::uint64_t chip, std::uint64_t block,
+                      std::uint64_t page, const OperatingPoint &op)
+{
+    if (entries_.empty()) {
+        scratch_ = model_.pageProfile(chip, block, page, op);
+        ++misses_;
+        return scratch_;
+    }
+
+    const std::uint64_t key = packKey(chip, block, page);
+    const std::uint64_t h = sim::mix64(key);
+    std::size_t victim = h & mask_;
+    for (std::size_t p = 0; p < kProbes; ++p) {
+        const std::size_t i = (h + p) & mask_;
+        Entry &e = entries_[i];
+        if (e.key == key) {
+            if (sameOp(e.op, op)) {
+                ++hits_;
+                return e.prof;
+            }
+            // Same page, stale operating point: refresh in place.
+            victim = i;
+            break;
+        }
+        if (e.key == Entry::kEmpty) {
+            victim = i;
+            break;
+        }
+    }
+
+    ++misses_;
+    Entry &e = entries_[victim];
+    e.key = key;
+    e.op = op;
+    e.prof = model_.pageProfile(chip, block, page, op);
+    return e.prof;
+}
+
+void
+PageProfileCache::invalidateBlock(std::uint64_t chip, std::uint64_t block)
+{
+    if (entries_.empty())
+        return;
+    // Erases are orders of magnitude rarer than reads; a linear scan
+    // of the fixed-size table is cheaper than maintaining per-block
+    // chains on every insert.
+    const std::uint64_t lo = packKey(chip, block, 0);
+    const std::uint64_t hi = packKey(chip, block + 1, 0);
+    for (Entry &e : entries_) {
+        if (e.key != Entry::kEmpty && e.key >= lo && e.key < hi) {
+            e.key = Entry::kEmpty;
+            ++invalidations_;
+        }
+    }
+}
+
+void
+PageProfileCache::clear()
+{
+    for (Entry &e : entries_)
+        e.key = Entry::kEmpty;
+}
+
+} // namespace ssdrr::nand

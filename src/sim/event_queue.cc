@@ -1,8 +1,107 @@
 #include "sim/event_queue.hh"
 
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace ssdrr::sim {
+
+namespace {
+
+constexpr std::uint64_t kSlotBits = 32;
+constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+
+constexpr EventId
+makeId(std::uint32_t gen, std::uint32_t slot)
+{
+    return (static_cast<std::uint64_t>(gen) << kSlotBits) | slot;
+}
+
+} // namespace
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    heap_.reserve(events);
+    slots_.reserve(events);
+    free_slots_.reserve(events);
+}
+
+std::uint32_t
+EventQueue::allocSlot(Callback cb)
+{
+    std::uint32_t idx;
+    if (!free_slots_.empty()) {
+        idx = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        SSDRR_ASSERT(slots_.size() <= kSlotMask,
+                     "event slot table exhausted");
+        idx = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &s = slots_[idx];
+    SSDRR_DEBUG_ASSERT(s.state == SlotState::Free,
+                       "allocating a live slot ", idx);
+    s.state = SlotState::Pending;
+    s.cb = std::move(cb);
+    return idx;
+}
+
+void
+EventQueue::freeSlot(std::uint32_t idx)
+{
+    Slot &s = slots_[idx];
+    SSDRR_DEBUG_ASSERT(s.state != SlotState::Free, "double free of slot ",
+                       idx);
+    s.cb = nullptr;
+    s.state = SlotState::Free;
+    // Stamp the reuse: any EventId minted for the previous occupancy
+    // is now stale and can never cancel a future event in this slot.
+    ++s.gen;
+    free_slots_.push_back(idx);
+}
+
+void
+EventQueue::heapPush(HeapEntry e)
+{
+    // Sift-up on a plain vector: entries are 24-byte PODs, so every
+    // swap is a trivial move (no allocation, no callback relocation).
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!before(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+EventQueue::HeapEntry
+EventQueue::heapPop()
+{
+    SSDRR_DEBUG_ASSERT(!heap_.empty(), "pop from empty heap");
+    const HeapEntry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    while (true) {
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = l + 1;
+        std::size_t best = i;
+        if (l < n && before(heap_[l], heap_[best]))
+            best = l;
+        if (r < n && before(heap_[r], heap_[best]))
+            best = r;
+        if (best == i)
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+    return top;
+}
 
 EventId
 EventQueue::schedule(Tick when, Callback cb)
@@ -10,8 +109,10 @@ EventQueue::schedule(Tick when, Callback cb)
     SSDRR_ASSERT(when >= now_, "scheduling into the past: when=", when,
                  " now=", now_);
     SSDRR_ASSERT(cb, "scheduling a null callback");
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, id, std::move(cb)});
+    const std::uint32_t slot = allocSlot(std::move(cb));
+    const EventId id = makeId(slots_[slot].gen, slot);
+    heapPush(HeapEntry{when, next_seq_++, slot});
+    ++pending_;
     return id;
 }
 
@@ -24,60 +125,80 @@ EventQueue::scheduleAfter(Tick delay, Callback cb)
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= next_id_)
+    const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+    const auto gen = static_cast<std::uint32_t>(id >> kSlotBits);
+    if (slot >= slots_.size())
         return false;
-    // We cannot remove from the heap directly; remember the id and
-    // skip it when popped. The set stays small because entries are
-    // erased when their heap node surfaces.
-    if (cancelled_.count(id))
+    Slot &s = slots_[slot];
+    if (s.gen != gen) {
+        // Stale id: the event already executed or was cancelled, and
+        // the slot may since have been reused. The generation stamp
+        // makes this detectable, so (unlike the old lazy-marker
+        // design) cancelling an executed id is harmless and
+        // pending() stays exact.
         return false;
-    // Only mark as cancelled if it could still be pending. We cannot
-    // know cheaply whether it already ran, so callers must not cancel
-    // events they know have executed; pending() stays correct because
-    // popRunnable erases stale markers.
-    cancelled_.insert(id);
+    }
+    if (s.state != SlotState::Pending)
+        return false;
+    s.state = SlotState::Cancelled;
+    s.cb = nullptr; // release the capture eagerly
+    SSDRR_DEBUG_ASSERT(pending_ > 0, "cancel with no pending events");
+    --pending_;
     return true;
 }
 
-std::size_t
-EventQueue::pending() const
-{
-    // cancelled_ may contain ids that already ran only if the caller
-    // cancelled an executed event, which the API forbids; under the
-    // contract every cancelled id is still in the heap.
-    return heap_.size() - cancelled_.size();
-}
-
 bool
-EventQueue::popRunnable(Entry &out)
+EventQueue::popRunnable(HeapEntry &out, Callback &cb)
 {
     while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        auto it = cancelled_.find(e.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
+        HeapEntry e = heapPop();
+        Slot &s = slots_[e.slot];
+        if (s.state == SlotState::Cancelled) {
+            freeSlot(e.slot);
             continue;
         }
-        out = std::move(e);
+        SSDRR_DEBUG_ASSERT(s.state == SlotState::Pending,
+                           "heap entry references a free slot ", e.slot);
+        cb = std::move(s.cb);
+        freeSlot(e.slot);
+        SSDRR_DEBUG_ASSERT(pending_ > 0, "runnable pop with pending_ == 0");
+        --pending_;
+        out = e;
         return true;
     }
+    SSDRR_DEBUG_ASSERT(pending_ == 0, "empty heap but pending_ = ",
+                       pending_);
     return false;
 }
 
 Tick
 EventQueue::run(Tick until)
 {
-    Entry e;
     while (!heap_.empty()) {
-        if (heap_.top().when > until)
+        // Drain lazily-deleted cancelled entries off the top first,
+        // so the horizon check below always inspects a *pending*
+        // event — a cancelled entry inside the horizon must not let
+        // a pending event beyond it slip through.
+        const std::uint32_t slot = heap_.front().slot;
+        Slot &s = slots_[slot];
+        if (s.state == SlotState::Cancelled) {
+            heapPop();
+            freeSlot(slot);
+            continue;
+        }
+        SSDRR_DEBUG_ASSERT(s.state == SlotState::Pending,
+                           "heap entry references a free slot ", slot);
+        if (heap_.front().when > until)
             break;
-        if (!popRunnable(e))
-            break;
+        const HeapEntry e = heapPop();
+        Callback cb = std::move(s.cb);
+        freeSlot(slot);
+        SSDRR_DEBUG_ASSERT(pending_ > 0, "runnable pop with pending_ == 0");
+        --pending_;
         SSDRR_ASSERT(e.when >= now_, "time went backwards");
         now_ = e.when;
         ++executed_;
-        e.cb();
+        cb();
     }
     return now_;
 }
@@ -85,12 +206,13 @@ EventQueue::run(Tick until)
 bool
 EventQueue::step()
 {
-    Entry e;
-    if (!popRunnable(e))
+    HeapEntry e;
+    Callback cb;
+    if (!popRunnable(e, cb))
         return false;
     now_ = e.when;
     ++executed_;
-    e.cb();
+    cb();
     return true;
 }
 

@@ -6,28 +6,43 @@
  * scheduled at the same tick execute in scheduling order, which keeps
  * whole-SSD simulations deterministic. Cancellation is supported via
  * EventId (used by program/erase suspension and the PR2 RESET path).
+ *
+ * Hot-path design (the simulator executes hundreds of millions of
+ * events per trace):
+ *  - Callbacks are InlineCallback (64-byte small-buffer optimized,
+ *    move-only), so scheduling and popping an event performs no heap
+ *    allocation for typical captures and never clones a capture.
+ *  - The heap holds 24-byte POD entries (when, seq, slot); callbacks
+ *    live in a generation-stamped slot table on the side, so sifting
+ *    the heap moves trivial data only.
+ *  - cancel() and pending() are O(1): an EventId encodes its slot
+ *    index and the slot's generation, so stale ids — including ids
+ *    of events that already executed and whose slot was reused — are
+ *    rejected without hashing and without corrupting pending().
  */
 
 #ifndef SSDRR_SIM_EVENT_QUEUE_HH
 #define SSDRR_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace ssdrr::sim {
 
-/** Handle for cancelling a scheduled event. */
+/**
+ * Handle for cancelling a scheduled event. Encodes (generation,
+ * slot); 0 is never a valid id. Ids of executed or cancelled events
+ * become stale and are rejected by cancel().
+ */
 using EventId = std::uint64_t;
 
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -48,15 +63,18 @@ class EventQueue
     /**
      * Cancel a pending event.
      * @retval true if the event was pending and is now cancelled.
-     * @retval false if it already ran, was cancelled, or never existed.
+     * @retval false if it already ran, was cancelled, or never
+     *         existed (all three are detected reliably: executed
+     *         events bump their slot's generation, so their ids are
+     *         stale and never alias a newer event).
      */
     bool cancel(EventId id);
 
-    /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const;
+    /** Number of pending (non-cancelled) events. O(1). */
+    std::size_t pending() const { return pending_; }
 
     /** True if no runnable events remain. */
-    bool empty() const { return pending() == 0; }
+    bool empty() const { return pending_ == 0; }
 
     /**
      * Run events until the queue drains or @p until is reached.
@@ -71,30 +89,50 @@ class EventQueue
     /** Total number of events executed since construction. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Pre-size the heap and slot table for an expected number of
+     * simultaneously pending events (optional; both grow on demand).
+     */
+    void reserve(std::size_t events);
+
   private:
-    struct Entry {
+    /** Heap payload: trivially relocatable, 24 bytes. */
+    struct HeapEntry {
         Tick when;
-        EventId id;
+        std::uint64_t seq; ///< schedule order; breaks same-tick ties
+        std::uint32_t slot;
+    };
+
+    enum class SlotState : std::uint8_t { Free, Pending, Cancelled };
+
+    struct Slot {
         Callback cb;
+        std::uint32_t gen = 1;
+        SlotState state = SlotState::Free;
     };
 
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id;
-        }
-    };
+    static bool
+    before(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    bool popRunnable(Entry &out);
+    std::uint32_t allocSlot(Callback cb);
+    void freeSlot(std::uint32_t idx);
+    void heapPush(HeapEntry e);
+    HeapEntry heapPop();
+    /** Pop entries until a runnable one surfaces; false if none. */
+    bool popRunnable(HeapEntry &out, Callback &cb);
 
     Tick now_ = 0;
-    EventId next_id_ = 1;
+    std::uint64_t next_seq_ = 1;
     std::uint64_t executed_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> cancelled_;
+    std::size_t pending_ = 0;
+    std::vector<HeapEntry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
 };
 
 } // namespace ssdrr::sim

@@ -74,4 +74,16 @@ format(const Args &...args)
         }                                                                   \
     } while (0)
 
+/**
+ * Assert an invariant that is too hot to check in Release builds
+ * (per-event kernel bookkeeping); compiled out under NDEBUG.
+ */
+#ifdef NDEBUG
+#define SSDRR_DEBUG_ASSERT(cond, ...)                                       \
+    do {                                                                    \
+    } while (0)
+#else
+#define SSDRR_DEBUG_ASSERT(cond, ...) SSDRR_ASSERT(cond, __VA_ARGS__)
+#endif
+
 #endif // SSDRR_SIM_LOGGING_HH

@@ -1,5 +1,7 @@
 #include "sim/reservation.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace ssdrr::sim {
@@ -9,44 +11,40 @@ ReservationTimeline::acquire(Tick earliest, Tick dur)
 {
     SSDRR_ASSERT(dur > 0, "zero-length reservation");
 
+    // First candidate conflict: the first interval whose end is
+    // beyond `earliest`. Ends are sorted (intervals are disjoint and
+    // start-sorted), so binary search applies.
+    auto it = std::lower_bound(busy_.begin(), busy_.end(), earliest,
+                               [](const Interval &iv, Tick t) {
+                                   return iv.end <= t;
+                               });
+
+    // Slide the window past every conflicting interval; the first
+    // gap that fits wins (identical semantics to the old tree walk).
     Tick start = earliest;
-    // Walk intervals that could overlap [start, start + dur); the
-    // first interval ending after `earliest` is the first candidate
-    // conflict.
-    auto it = busy_.begin();
-    // Skip intervals entirely before `earliest` quickly: the first
-    // interval whose end > earliest.
-    if (!busy_.empty()) {
-        it = busy_.upper_bound(earliest);
-        if (it != busy_.begin()) {
-            auto prev = std::prev(it);
-            if (prev->second > earliest)
-                it = prev; // overlaps earliest
-        }
-    }
-    while (it != busy_.end() && it->first < start + dur) {
-        if (it->second > start)
-            start = it->second; // bump past this interval
+    while (it != busy_.end() && it->start < start + dur) {
+        if (it->end > start)
+            start = it->end;
         ++it;
     }
+    const Tick end = start + dur;
 
-    // Insert [start, start + dur), merging with neighbours.
-    Tick s = start;
-    Tick e = start + dur;
-    auto next = busy_.lower_bound(s);
-    if (next != busy_.begin()) {
-        auto prev = std::prev(next);
-        if (prev->second == s) { // merge left
-            s = prev->first;
-            busy_.erase(prev);
-        }
+    // `it` is the first interval at or after the granted window.
+    // Merge with the right neighbour (end == its start) and/or the
+    // left neighbour (its end == start), else insert.
+    const bool merge_right = it != busy_.end() && it->start == end;
+    const bool merge_left = it != busy_.begin() &&
+                            std::prev(it)->end == start;
+    if (merge_left && merge_right) {
+        std::prev(it)->end = it->end;
+        busy_.erase(it);
+    } else if (merge_left) {
+        std::prev(it)->end = end;
+    } else if (merge_right) {
+        it->start = start;
+    } else {
+        busy_.insert(it, Interval{start, end});
     }
-    next = busy_.lower_bound(e);
-    if (next != busy_.end() && next->first == e) { // merge right
-        e = next->second;
-        busy_.erase(next);
-    }
-    busy_[s] = e;
 
     total_busy_ += dur;
     ++grants_;
@@ -56,18 +54,16 @@ ReservationTimeline::acquire(Tick earliest, Tick dur)
 Tick
 ReservationTimeline::horizon() const
 {
-    return busy_.empty() ? 0 : busy_.rbegin()->second;
+    return busy_.empty() ? 0 : busy_.back().end;
 }
 
 void
 ReservationTimeline::releaseBefore(Tick now)
 {
-    for (auto it = busy_.begin(); it != busy_.end();) {
-        if (it->second <= now)
-            it = busy_.erase(it);
-        else
-            break;
-    }
+    auto it = busy_.begin();
+    while (it != busy_.end() && it->end <= now)
+        ++it;
+    busy_.erase(busy_.begin(), it);
 }
 
 } // namespace ssdrr::sim

@@ -1,6 +1,8 @@
 #include "sim/rng.hh"
 
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -154,12 +156,25 @@ Rng::chance(double p)
 
 namespace {
 
+/**
+ * Generalized harmonic number H_{n,theta}. The O(n) sum runs once
+ * per distinct (n, theta) and is memoized: every tenant of every
+ * scenario in a mechanism sweep draws from the same population size,
+ * and the sum dominated scenario setup when recomputed per tenant.
+ * (Single-threaded like the rest of the simulator.)
+ */
 double
 zeta(std::uint64_t n, double theta)
 {
+    static std::map<std::pair<std::uint64_t, double>, double> memo;
+    const auto key = std::make_pair(n, theta);
+    auto it = memo.find(key);
+    if (it != memo.end())
+        return it->second;
     double sum = 0.0;
     for (std::uint64_t i = 1; i <= n; ++i)
         sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    memo.emplace(key, sum);
     return sum;
 }
 

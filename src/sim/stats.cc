@@ -33,61 +33,112 @@ Accumulator::reset()
     *this = Accumulator();
 }
 
-void
-Histogram::add(double v)
+int
+Histogram::bucketOf(double v)
 {
-    samples_.push_back(v);
-    sorted_ = false;
+    if (!(v > 0.0) || !std::isfinite(v))
+        return 0; // zero, negative and non-finite samples
+    int exp;
+    const double m = std::frexp(v, &exp); // v = m * 2^exp, m in [0.5, 1)
+    if (exp < kMinExp)
+        return 1; // underflow: smallest finite bucket
+    if (exp >= kMaxExp)
+        return kBuckets - 1; // overflow: largest bucket
+    const int sub = static_cast<int>((m - 0.5) * (2 * kSubBuckets));
+    return 1 + (exp - kMinExp) * kSubBuckets +
+           std::min(sub, kSubBuckets - 1);
 }
 
 double
-Histogram::mean() const
+Histogram::bucketMid(int b)
 {
-    if (samples_.empty())
+    if (b <= 0)
         return 0.0;
-    double s = 0.0;
-    for (double v : samples_)
-        s += v;
-    return s / static_cast<double>(samples_.size());
+    const int rel = b - 1;
+    const int exp = rel / kSubBuckets + kMinExp;
+    const int sub = rel % kSubBuckets;
+    // Bucket spans [lo, lo + w) with w the sub-bucket width of this
+    // octave; report the midpoint.
+    const double lo =
+        std::ldexp(0.5 + static_cast<double>(sub) / (2.0 * kSubBuckets),
+                   exp);
+    const double w = std::ldexp(1.0 / (2.0 * kSubBuckets), exp);
+    return lo + 0.5 * w;
+}
+
+void
+Histogram::add(double v)
+{
+    if (buckets_.empty())
+        buckets_.assign(kBuckets, 0);
+    ++buckets_[bucketOf(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    if (o.count_ == 0)
+        return;
+    if (buckets_.empty())
+        buckets_.assign(kBuckets, 0);
+    for (int b = 0; b < kBuckets; ++b)
+        buckets_[b] += o.buckets_[b];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
 }
 
 double
 Histogram::percentile(double p) const
 {
     SSDRR_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
-    if (samples_.empty())
+    if (count_ == 0)
         return 0.0;
-    if (!sorted_) {
-        std::sort(samples_.begin(), samples_.end());
-        sorted_ = true;
-    }
-    const auto n = samples_.size();
-    auto rank = static_cast<std::size_t>(
-        std::ceil(p / 100.0 * static_cast<double>(n)));
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
     if (rank == 0)
         rank = 1;
-    if (rank > n)
-        rank = n;
-    return samples_[rank - 1];
+    if (rank > count_)
+        rank = count_;
+    // The extreme ranks are known exactly.
+    if (rank == 1)
+        return min_;
+    if (rank == count_)
+        return max_;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        cum += buckets_[b];
+        if (cum >= rank)
+            return std::clamp(bucketMid(b), min_, max_);
+    }
+    return max_; // unreachable: cum reaches count_
 }
 
 double
 Histogram::min() const
 {
-    return percentile(0.0001);
+    return count_ ? min_ : 0.0;
 }
 
 double
 Histogram::max() const
 {
-    return percentile(100.0);
+    return count_ ? max_ : 0.0;
 }
 
 void
 Histogram::reset()
 {
-    samples_.clear();
-    sorted_ = false;
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
 }
 
 void

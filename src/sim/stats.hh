@@ -55,20 +55,54 @@ class Accumulator
 };
 
 /**
- * Histogram over double samples with exact percentile queries.
+ * Fixed-footprint log-bucketed histogram (HDR-style).
  *
- * Samples are stored; percentile() sorts lazily. Intended for offline
- * reporting of per-request response times (up to a few million
- * samples), not for per-event hot paths.
+ * Samples land in logarithmically-spaced buckets: each power-of-two
+ * octave is split into kSubBuckets linear sub-buckets, bounding the
+ * relative quantization error of percentile() to 1/(2*kSubBuckets)
+ * (~0.4%). Unlike the exact-sample histogram it replaces, memory is
+ * O(1) in the sample count (one bucket array, allocated on first
+ * add), add() is O(1) with no allocation in steady state, and two
+ * histograms recorded separately can be merge()d into the exact
+ * histogram their combined stream would have produced — which is how
+ * aggregate views (all-request, array-level) are derived from the
+ * per-class histograms instead of double-recording every sample.
+ *
+ * Exact count, sum (hence mean), min and max are tracked on the
+ * side; percentile(0)/percentile(100) return the exact min/max.
  */
 class Histogram
 {
   public:
+    /** Sub-buckets per power-of-two octave (quantization grain). */
+    static constexpr int kSubBits = 7;
+    static constexpr int kSubBuckets = 1 << kSubBits;
+    /** Smallest / largest finite exponent tracked; values outside
+     *  are clamped into the edge buckets (min/max stay exact). */
+    static constexpr int kMinExp = -20; // ~1e-6
+    static constexpr int kMaxExp = 44;  // ~1.7e13
+    static constexpr int kBuckets =
+        (kMaxExp - kMinExp) * kSubBuckets + 1; // +1: zero/negative
+
+    /** Upper bound on |percentile(p) - exact| / exact. */
+    static constexpr double
+    relativeError()
+    {
+        return 1.0 / (2.0 * kSubBuckets);
+    }
+
     void add(double v);
 
-    std::uint64_t count() const { return samples_.size(); }
-    double mean() const;
-    /** p in [0, 100]; nearest-rank percentile. */
+    /**
+     * Fold another histogram's samples into this one. The result is
+     * identical (bucket-exact) to having recorded both streams into
+     * a single histogram, in any order.
+     */
+    void merge(const Histogram &o);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** p in [0, 100]; nearest-rank percentile at bucket resolution. */
     double percentile(double p) const;
     double min() const;
     double max() const;
@@ -76,8 +110,16 @@ class Histogram
     void reset();
 
   private:
-    mutable std::vector<double> samples_;
-    mutable bool sorted_ = false;
+    static int bucketOf(double v);
+    static double bucketMid(int b);
+
+    /** Bucket counts; empty until the first add() (many histograms
+     *  are constructed but never fed). */
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /** Named stat registry for end-of-run dumps. */

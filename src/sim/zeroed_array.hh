@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Zero-initialized flat array backed by calloc.
+ *
+ * std::vector's fill constructor writes every element, which makes
+ * building a drive's FTL metadata (tens of MiB of reverse-map,
+ * epoch and L2P tables per SSD, rebuilt for every scenario of a
+ * bench sweep) a first-touch memory sweep before any simulation
+ * starts. calloc hands back copy-on-write zero pages instead: pages
+ * are faulted in only if actually written, so construction is O(1)
+ * and the over-provisioned tail of a drive never costs memory
+ * bandwidth. Callers encode their sentinel as raw 0 (the FTL stores
+ * value + 1, whose unsigned wraparound maps the all-ones sentinels
+ * to 0 exactly).
+ */
+
+#ifndef SSDRR_SIM_ZEROED_ARRAY_HH
+#define SSDRR_SIM_ZEROED_ARRAY_HH
+
+#include <cstddef>
+#include <cstdlib>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::sim {
+
+template <typename T>
+class ZeroedArray
+{
+    static_assert(std::is_trivial_v<T>,
+                  "ZeroedArray skips construction; T must be trivial");
+
+  public:
+    ZeroedArray() = default;
+
+    explicit ZeroedArray(std::size_t n) { assign(n); }
+
+    ZeroedArray(ZeroedArray &&o) noexcept
+        : data_(std::exchange(o.data_, nullptr)),
+          size_(std::exchange(o.size_, 0))
+    {
+    }
+
+    ZeroedArray &
+    operator=(ZeroedArray &&o) noexcept
+    {
+        if (this != &o) {
+            std::free(data_);
+            data_ = std::exchange(o.data_, nullptr);
+            size_ = std::exchange(o.size_, 0);
+        }
+        return *this;
+    }
+
+    ZeroedArray(const ZeroedArray &) = delete;
+    ZeroedArray &operator=(const ZeroedArray &) = delete;
+
+    ~ZeroedArray() { std::free(data_); }
+
+    /** (Re)allocate @p n zeroed elements, discarding old contents. */
+    void
+    assign(std::size_t n)
+    {
+        std::free(data_);
+        data_ = nullptr;
+        size_ = n;
+        if (n == 0)
+            return;
+        data_ = static_cast<T *>(std::calloc(n, sizeof(T)));
+        SSDRR_ASSERT(data_ != nullptr, "ZeroedArray allocation of ", n,
+                     " elements failed");
+    }
+
+    std::size_t size() const { return size_; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        SSDRR_DEBUG_ASSERT(i < size_, "ZeroedArray index out of range");
+        return data_[i];
+    }
+    const T &
+    operator[](std::size_t i) const
+    {
+        SSDRR_DEBUG_ASSERT(i < size_, "ZeroedArray index out of range");
+        return data_[i];
+    }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+
+  private:
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace ssdrr::sim
+
+#endif // SSDRR_SIM_ZEROED_ARRAY_HH

@@ -57,6 +57,13 @@ struct Config {
      */
     double refreshThresholdMonths = 0.0;
 
+    /**
+     * Page-profile cache slots (rounded up to a power of two; 0
+     * disables caching). Memoizes ErrorModel::pageProfile on the
+     * read path; results are bit-identical with the cache on or off.
+     */
+    std::size_t profileCacheSlots = 1 << 14;
+
     std::uint64_t seed = 42;
 
     /** Full-size configuration from the paper. */

@@ -37,7 +37,8 @@ Ssd::Ssd(const Config &cfg, core::Mechanism mech, sim::EventQueue *shared)
     : cfg_(cfg), mech_(mech),
       owned_eq_(shared ? nullptr : std::make_unique<sim::EventQueue>()),
       eq_(shared ? *shared : *owned_eq_),
-      model_(calibrationFor(cfg), cfg.seed), rpt_(buildRpt(model_)),
+      model_(calibrationFor(cfg), cfg.seed),
+      profile_cache_(model_, cfg.profileCacheSlots), rpt_(buildRpt(model_)),
       rc_(mech, cfg.timing, model_, &rpt_),
       ftl_(cfg.layout(), cfg.logicalPages(), cfg.basePeKilo,
            cfg.baseRetentionMonths, cfg.gcThreshold)
@@ -109,9 +110,14 @@ Ssd::Ssd(const Config &cfg, core::Mechanism mech, sim::EventQueue *shared)
         }
     });
 
-    tsu_->onEraseDone([](const Txn &) {
+    tsu_->onEraseDone([this](const Txn &txn) {
         // FTL metadata was updated eagerly at GC-planning time; the
-        // erase transaction models only the tBERS occupancy.
+        // erase transaction models only the tBERS occupancy. Drop the
+        // erased block's cached page profiles — correctness rides on
+        // the cache's operating-point comparison either way, but a
+        // freed block should not pin dead entries.
+        profile_cache_.invalidateBlock(txn.channel,
+                                       ftl_.layout().flatBlock(txn.ppn));
     });
 }
 
@@ -138,7 +144,7 @@ Ssd::buildReadTxn(ftl::Lpn lpn, std::uint64_t host_id, TxnKind kind,
     t.gcTag = gc_tag;
     t.lpn = lpn;
     t.op = ftl_.opPoint(ppn, eq_.now(), cfg_.temperatureC);
-    t.profile = model_.pageProfile(t.channel,
+    t.profile = profile_cache_.get(t.channel,
                                    ftl_.layout().flatBlock(ppn),
                                    ppn.page, t.op);
     tsu_->enqueue(std::move(t));
@@ -205,7 +211,7 @@ Ssd::scheduleGc(std::vector<ftl::GcWork> work)
             rd.op = ftl_.opPoint(m.from, eq_.now(), cfg_.temperatureC);
             // The victim page keeps its pre-move age: GC reads of
             // cold data pay the full retry cost.
-            rd.profile = model_.pageProfile(
+            rd.profile = profile_cache_.get(
                 rd.channel, ftl_.layout().flatBlock(m.from), m.from.page,
                 rd.op);
             gc_dest_[rd.id] = m.to;
@@ -226,7 +232,8 @@ Ssd::finishHostPage(std::uint64_t host_id)
     if (--p.remaining > 0)
         return;
     const double resp_us = sim::toUsec(eq_.now() - p.arrival);
-    resp_all_.add(resp_us);
+    // Reads and writes record once each; the all-request view is a
+    // histogram merge at reporting time.
     if (p.isRead) {
         resp_read_.add(resp_us);
         ++host_reads_;
@@ -297,15 +304,24 @@ Ssd::replay(const workload::Trace &trace)
     return stats();
 }
 
+sim::Histogram
+Ssd::responseTimes() const
+{
+    sim::Histogram all = resp_read_;
+    all.merge(resp_write_);
+    return all;
+}
+
 RunStats
 Ssd::stats() const
 {
     RunStats s;
+    const sim::Histogram resp_all = responseTimes();
     s.avgReadResponseUs = resp_read_.mean();
     s.avgWriteResponseUs = resp_write_.mean();
-    s.avgResponseUs = resp_all_.mean();
-    s.p99ResponseUs = resp_all_.count() ? resp_all_.percentile(99.0) : 0.0;
-    s.maxResponseUs = resp_all_.count() ? resp_all_.percentile(100.0) : 0.0;
+    s.avgResponseUs = resp_all.mean();
+    s.p99ResponseUs = resp_all.count() ? resp_all.percentile(99.0) : 0.0;
+    s.maxResponseUs = resp_all.count() ? resp_all.max() : 0.0;
     if (resp_read_.count()) {
         s.p50ReadResponseUs = resp_read_.percentile(50.0);
         s.p99ReadResponseUs = resp_read_.percentile(99.0);
@@ -323,6 +339,9 @@ Ssd::stats() const
     s.timingFallbacks = timing_fallbacks_;
     s.readFailures = read_failures_;
     s.refreshes = refreshes_;
+    s.profileCacheHits = profile_cache_.hits();
+    s.profileCacheMisses = profile_cache_.misses();
+    s.executedEvents = eq_.executedEvents();
     s.simulatedMs = sim::toMsec(eq_.now());
     if (eq_.now() > 0) {
         sim::Tick ch_busy = 0, ecc_busy = 0;

@@ -12,7 +12,6 @@
 #ifndef SSDRR_SSD_SSD_HH
 #define SSDRR_SSD_SSD_HH
 
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +23,8 @@
 #include "ftl/ftl.hh"
 #include "nand/chip.hh"
 #include "nand/error_model.hh"
+#include "nand/page_profile_cache.hh"
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "ssd/channel.hh"
@@ -85,12 +86,23 @@ struct RunStats {
     double channelUtilization = 0.0;
     /** Mean busy fraction of the per-channel ECC engines. */
     double eccUtilization = 0.0;
+    /** Page-profile cache hits/misses (read-path memoization). */
+    std::uint64_t profileCacheHits = 0;
+    std::uint64_t profileCacheMisses = 0;
+    /**
+     * Events executed on the event queue driving this SSD. Drives
+     * sharing a queue (host::SsdArray) all report the queue-global
+     * count; the array-level stats() reports it once.
+     */
+    std::uint64_t executedEvents = 0;
 };
 
 class Ssd
 {
   public:
-    using CompletionFn = std::function<void(const HostCompletion &)>;
+    /** Move-only (SBO): completions fire once per host request on
+     *  the simulation hot path. */
+    using CompletionFn = sim::InlineFunction<void(const HostCompletion &)>;
 
     /** Stand-alone SSD owning its event queue (trace replay). */
     Ssd(const Config &cfg, core::Mechanism mech);
@@ -139,9 +151,20 @@ class Ssd
     /** Current aggregated statistics. */
     RunStats stats() const;
 
-    /** Response-time distribution in microseconds. */
-    const sim::Histogram &responseTimes() const { return resp_all_; }
+    /**
+     * Response-time distributions in microseconds. Reads and writes
+     * are recorded separately; the all-request view is derived by
+     * merging them (no per-sample double-recording).
+     */
+    sim::Histogram responseTimes() const;
     const sim::Histogram &readResponseTimes() const { return resp_read_; }
+    const sim::Histogram &writeResponseTimes() const { return resp_write_; }
+
+    /** Read-path page-profile memoization (hit/miss stats). */
+    const nand::PageProfileCache &profileCache() const
+    {
+        return profile_cache_;
+    }
 
   private:
     Ssd(const Config &cfg, core::Mechanism mech, sim::EventQueue *shared);
@@ -166,6 +189,7 @@ class Ssd
     std::unique_ptr<sim::EventQueue> owned_eq_; ///< null when shared
     sim::EventQueue &eq_;
     nand::ErrorModel model_;
+    nand::PageProfileCache profile_cache_;
     core::Rpt rpt_;
     core::RetryController rc_;
     ftl::Ftl ftl_;
@@ -186,7 +210,6 @@ class Ssd
     std::uint64_t next_gc_tag_ = 1;
     CompletionFn on_complete_;
 
-    sim::Histogram resp_all_;
     sim::Histogram resp_read_;
     sim::Histogram resp_write_;
     sim::Accumulator retry_steps_;

@@ -38,6 +38,21 @@ Tsu::backlog() const
     return n;
 }
 
+std::uint32_t
+Tsu::poolAcquire(Txn txn)
+{
+    std::uint32_t idx;
+    if (!pool_free_.empty()) {
+        idx = pool_free_.back();
+        pool_free_.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(pool_.size());
+        pool_.emplace_back();
+    }
+    pool_[idx].txn = std::move(txn);
+    return idx;
+}
+
 void
 Tsu::enqueue(Txn txn)
 {
@@ -125,13 +140,25 @@ Tsu::execRead(std::uint32_t g, Txn txn)
     const core::ReadPlan plan =
         rc_.planRead(eq_.now(), txn.type, txn.profile, txn.op, ch, ecc);
 
+    const std::uint32_t idx = poolAcquire(std::move(txn));
+    pool_[idx].plan = plan;
+
     chip.occupyRead(die, plan.dieEnd, [this, g] { dieFreed(g); });
 
-    eq_.schedule(plan.completion,
-                 [this, txn = std::move(txn), plan] {
-                     if (read_done_)
-                         read_done_(txn, plan);
-                 });
+    eq_.schedule(plan.completion, [this, idx] { finishRead(idx); });
+}
+
+void
+Tsu::finishRead(std::uint32_t idx)
+{
+    // Move out of the pool before running the hook: the hook may
+    // enqueue follow-up transactions (GC writes, refreshes) that
+    // acquire pool slots and could reallocate the pool under a
+    // reference into it.
+    Inflight done = std::move(pool_[idx]);
+    pool_free_.push_back(idx);
+    if (read_done_)
+        read_done_(done.txn, done.plan);
 }
 
 void
@@ -142,16 +169,27 @@ Tsu::execWrite(std::uint32_t g, Txn txn)
     // Data-in transfer over the channel, then the program pulse.
     const sim::Tick dma_start = ch.acquire(eq_.now(), cfg_.timing.tDMA);
     const sim::Tick dma_end = dma_start + cfg_.timing.tDMA;
-    eq_.schedule(dma_end, [this, g, txn = std::move(txn)] {
-        nand::Chip &chip = chipOf(g);
-        const std::uint32_t die = dieLocal(g);
-        chip.beginProgram(die, [this, g, txn] {
-            dies_[g].busy = false;
-            if (write_done_)
-                write_done_(txn);
-            dispatch(g);
-        });
-    });
+    const std::uint32_t idx = poolAcquire(std::move(txn));
+    eq_.schedule(dma_end, [this, g, idx] { startProgram(g, idx); });
+}
+
+void
+Tsu::startProgram(std::uint32_t g, std::uint32_t idx)
+{
+    nand::Chip &chip = chipOf(g);
+    const std::uint32_t die = dieLocal(g);
+    chip.beginProgram(die, [this, g, idx] { finishWrite(g, idx); });
+}
+
+void
+Tsu::finishWrite(std::uint32_t g, std::uint32_t idx)
+{
+    Inflight done = std::move(pool_[idx]);
+    pool_free_.push_back(idx);
+    dies_[g].busy = false;
+    if (write_done_)
+        write_done_(done.txn);
+    dispatch(g);
 }
 
 void
@@ -160,12 +198,19 @@ Tsu::execErase(std::uint32_t g, Txn txn)
     ++erases_;
     nand::Chip &chip = chipOf(g);
     const std::uint32_t die = dieLocal(g);
-    chip.beginErase(die, [this, g, txn = std::move(txn)] {
-        dies_[g].busy = false;
-        if (erase_done_)
-            erase_done_(txn);
-        dispatch(g);
-    });
+    const std::uint32_t idx = poolAcquire(std::move(txn));
+    chip.beginErase(die, [this, g, idx] { finishErase(g, idx); });
+}
+
+void
+Tsu::finishErase(std::uint32_t g, std::uint32_t idx)
+{
+    Inflight done = std::move(pool_[idx]);
+    pool_free_.push_back(idx);
+    dies_[g].busy = false;
+    if (erase_done_)
+        erase_done_(done.txn);
+    dispatch(g);
 }
 
 void

@@ -7,18 +7,24 @@
  * priority over writes and erases, plus program/erase suspension
  * ([50, 91]) so a queued read can preempt an in-flight program or
  * erase on its die.
+ *
+ * In-flight transactions are parked in a free-listed pool and
+ * referenced from event callbacks by index, so the callbacks capture
+ * {this, index} — a handful of bytes that fit the event queue's
+ * inline callback buffer — instead of dragging a full Txn through
+ * the scheduler's heap.
  */
 
 #ifndef SSDRR_SSD_TSU_HH
 #define SSDRR_SSD_TSU_HH
 
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "core/retry_controller.hh"
 #include "ecc/engine.hh"
 #include "nand/chip.hh"
+#include "sim/callback.hh"
 #include "ssd/channel.hh"
 #include "ssd/config.hh"
 #include "ssd/transaction.hh"
@@ -29,9 +35,10 @@ class Tsu
 {
   public:
     /** Called when a read's data is available (with its plan). */
-    using ReadDone = std::function<void(const Txn &, const core::ReadPlan &)>;
+    using ReadDone =
+        sim::InlineFunction<void(const Txn &, const core::ReadPlan &)>;
     /** Called when a program or erase completes. */
-    using TxnDone = std::function<void(const Txn &)>;
+    using TxnDone = sim::InlineFunction<void(const Txn &)>;
 
     Tsu(sim::EventQueue &eq, const Config &cfg,
         std::vector<nand::Chip *> chips, std::vector<Channel *> channels,
@@ -60,13 +67,24 @@ class Tsu
         bool busy = false;
     };
 
+    /** One pooled in-flight transaction (plan meaningful for reads). */
+    struct Inflight {
+        Txn txn;
+        core::ReadPlan plan;
+    };
+
     nand::Chip &chipOf(std::uint32_t die_global);
     std::uint32_t dieLocal(std::uint32_t die_global) const;
 
+    std::uint32_t poolAcquire(Txn txn);
     void dispatch(std::uint32_t die_global);
     void execRead(std::uint32_t die_global, Txn txn);
     void execWrite(std::uint32_t die_global, Txn txn);
     void execErase(std::uint32_t die_global, Txn txn);
+    void finishRead(std::uint32_t idx);
+    void finishWrite(std::uint32_t die_global, std::uint32_t idx);
+    void finishErase(std::uint32_t die_global, std::uint32_t idx);
+    void startProgram(std::uint32_t die_global, std::uint32_t idx);
     void dieFreed(std::uint32_t die_global);
 
     sim::EventQueue &eq_;
@@ -77,6 +95,8 @@ class Tsu
     const core::RetryController &rc_;
 
     std::vector<DieQueue> dies_;
+    std::vector<Inflight> pool_;
+    std::vector<std::uint32_t> pool_free_;
     ReadDone read_done_;
     TxnDone write_done_;
     TxnDone erase_done_;

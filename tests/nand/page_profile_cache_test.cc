@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the pageProfile memoization cache: bit-identical
+ * results, hit/miss accounting, operating-point sensitivity, and
+ * erase invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/error_model.hh"
+#include "nand/page_profile_cache.hh"
+
+namespace ssdrr::nand {
+namespace {
+
+OperatingPoint
+midLife()
+{
+    OperatingPoint op;
+    op.peKilo = 1.0;
+    op.retentionMonths = 6.0;
+    op.temperatureC = 30.0;
+    return op;
+}
+
+void
+expectSameProfile(const PageErrorProfile &a, const PageErrorProfile &b)
+{
+    EXPECT_EQ(a.retrySteps, b.retrySteps);
+    EXPECT_DOUBLE_EQ(a.finalErrors, b.finalErrors);
+    EXPECT_DOUBLE_EQ(a.decayRatio, b.decayRatio);
+    EXPECT_EQ(a.baseRetrySteps, b.baseRetrySteps);
+    EXPECT_EQ(a.baseSuccess, b.baseSuccess);
+    EXPECT_DOUBLE_EQ(a.baseLastStepErrors, b.baseLastStepErrors);
+}
+
+TEST(PageProfileCache, ReturnsBitIdenticalProfiles)
+{
+    ErrorModel model;
+    PageProfileCache cache(model, 256);
+    const OperatingPoint op = midLife();
+    for (std::uint64_t page = 0; page < 64; ++page) {
+        const PageErrorProfile direct =
+            model.pageProfile(1, 17, page, op);
+        const PageErrorProfile cached = cache.get(1, 17, page, op);
+        expectSameProfile(direct, cached);
+        // Second lookup must come from the cache and stay identical.
+        const PageErrorProfile again = cache.get(1, 17, page, op);
+        expectSameProfile(direct, again);
+    }
+    EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(PageProfileCache, CountsHitsAndMisses)
+{
+    ErrorModel model;
+    PageProfileCache cache(model, 256);
+    const OperatingPoint op = midLife();
+    cache.get(0, 1, 2, op);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    cache.get(0, 1, 2, op);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PageProfileCache, OperatingPointChangeRecomputes)
+{
+    ErrorModel model;
+    PageProfileCache cache(model, 256);
+    OperatingPoint op = midLife();
+    const PageErrorProfile before = cache.get(0, 3, 9, op);
+    op.retentionMonths = 12.0; // aged: same page, different op
+    const PageErrorProfile after = cache.get(0, 3, 9, op);
+    EXPECT_EQ(cache.misses(), 2u);
+    expectSameProfile(after, model.pageProfile(0, 3, 9, op));
+    // A weak page gets weaker with retention, never stronger.
+    EXPECT_GE(after.retrySteps, before.retrySteps);
+}
+
+TEST(PageProfileCache, InvalidateBlockDropsOnlyThatBlock)
+{
+    ErrorModel model;
+    PageProfileCache cache(model, 256);
+    const OperatingPoint op = midLife();
+    cache.get(0, 5, 1, op);
+    cache.get(0, 6, 1, op);
+    cache.invalidateBlock(0, 5);
+    EXPECT_GE(cache.invalidations(), 1u);
+    const std::uint64_t misses_before = cache.misses();
+    cache.get(0, 6, 1, op); // untouched block still hits
+    EXPECT_EQ(cache.misses(), misses_before);
+    cache.get(0, 5, 1, op); // invalidated block recomputes
+    EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(PageProfileCache, ZeroCapacityDisablesCaching)
+{
+    ErrorModel model;
+    PageProfileCache cache(model, 0);
+    const OperatingPoint op = midLife();
+    const PageErrorProfile a = cache.get(2, 2, 2, op);
+    expectSameProfile(a, model.pageProfile(2, 2, 2, op));
+    cache.get(2, 2, 2, op);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PageProfileCache, MemoizedWalkMatchesClosedForm)
+{
+    // pageProfile memoizes the default-condition walk; a hand-built
+    // copy of the same profile without the memo must walk to the
+    // same outcome.
+    ErrorModel model;
+    const OperatingPoint op = midLife();
+    for (std::uint64_t page = 0; page < 32; ++page) {
+        const PageErrorProfile prof = model.pageProfile(0, 11, page, op);
+        PageErrorProfile bare;
+        bare.retrySteps = prof.retrySteps;
+        bare.finalErrors = prof.finalErrors;
+        bare.decayRatio = prof.decayRatio;
+        const ReadOutcome fast = model.simulateRead(prof);
+        const ReadOutcome slow = model.simulateRead(bare);
+        EXPECT_EQ(fast.retrySteps, slow.retrySteps);
+        EXPECT_EQ(fast.success, slow.success);
+        EXPECT_DOUBLE_EQ(fast.lastStepErrors, slow.lastStepErrors);
+    }
+}
+
+} // namespace
+} // namespace ssdrr::nand

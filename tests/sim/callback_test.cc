@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the small-buffer-optimized move-only callable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "sim/callback.hh"
+
+namespace ssdrr::sim {
+namespace {
+
+TEST(InlineCallback, DefaultIsEmptyAndInvokePanics)
+{
+    InlineCallback cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    EXPECT_THROW(cb(), std::logic_error);
+    InlineCallback null_cb(nullptr);
+    EXPECT_FALSE(static_cast<bool>(null_cb));
+}
+
+TEST(InlineCallback, InvokesSmallCaptureInline)
+{
+    int hits = 0;
+    InlineCallback cb([&hits] { ++hits; });
+    EXPECT_TRUE(static_cast<bool>(cb));
+    EXPECT_TRUE(cb.storedInline());
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, OversizedCaptureFallsBackToHeap)
+{
+    std::array<std::uint64_t, 32> big{}; // 256 bytes > 64-byte SBO
+    big[31] = 7;
+    int out = 0;
+    InlineCallback cb([big, &out] {
+        out = static_cast<int>(big[31]);
+    });
+    EXPECT_FALSE(cb.storedInline());
+    cb();
+    EXPECT_EQ(out, 7);
+}
+
+TEST(InlineCallback, MoveTransfersStateAndEmptiesSource)
+{
+    int hits = 0;
+    InlineCallback a([&hits] { ++hits; });
+    InlineCallback b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    InlineCallback c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, MoveOnlyCapturesWork)
+{
+    auto p = std::make_unique<int>(41);
+    int seen = 0;
+    InlineCallback cb([p = std::move(p), &seen] { seen = *p + 1; });
+    InlineCallback moved = std::move(cb);
+    moved();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineCallback, DestructionReleasesCapture)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = token;
+    {
+        InlineCallback cb([token = std::move(token)] { (void)token; });
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineCallback, AssignNullptrClears)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = token;
+    InlineCallback cb([token = std::move(token)] { (void)token; });
+    cb = nullptr;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, ForwardsArgumentsAndReturn)
+{
+    InlineFunction<int(int, int)> add([](int a, int b) { return a + b; });
+    EXPECT_EQ(add(2, 3), 5);
+
+    // Heap-fallback path with arguments.
+    std::array<char, 128> pad{};
+    pad[0] = 1;
+    InlineFunction<int(int)> f(
+        [pad](int x) { return x + pad[0]; });
+    EXPECT_FALSE(f.storedInline());
+    EXPECT_EQ(f(10), 11);
+}
+
+} // namespace
+} // namespace ssdrr::sim

@@ -171,6 +171,138 @@ TEST(EventQueue, ManyEventsKeepTotalOrder)
     EXPECT_EQ(eq.executedEvents(), 5000u);
 }
 
+TEST(EventQueue, CancelOfExecutedEventFailsHarmlessly)
+{
+    // The old lazy-marker kernel corrupted pending() when an id that
+    // had already run was cancelled; the generation-stamped slot
+    // table detects staleness instead.
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+    EXPECT_EQ(eq.pending(), 0u);
+
+    // The slot is reused by a new event; the stale id must not be
+    // able to cancel it.
+    const EventId next = eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_FALSE(eq.cancel(id));
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.cancel(next));
+    EXPECT_EQ(eq.pending(), 0u);
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 1u);
+}
+
+TEST(EventQueue, RunUntilHonorsHorizonPastCancelledFront)
+{
+    // A cancelled entry inside the horizon must not let a pending
+    // event beyond the horizon execute: the horizon check has to
+    // apply to the first *pending* event, not the raw heap top.
+    EventQueue eq;
+    int ran = 0;
+    const EventId a = eq.schedule(5, [&] { ++ran; });
+    eq.schedule(100, [&] { ++ran; });
+    EXPECT_TRUE(eq.cancel(a));
+    eq.run(50);
+    EXPECT_EQ(ran, 0);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_LE(eq.now(), 50u);
+    // Incremental drivers must be able to keep scheduling inside
+    // the horizon they ran to.
+    eq.schedule(51, [&] { ++ran; });
+    eq.run();
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, CancelOfCancelledSlotReusedByNewEventFails)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.cancel(a));
+    eq.run(); // drains the lazily-deleted entry, frees the slot
+    int ran = 0;
+    eq.schedule(30, [&] { ++ran; });
+    EXPECT_FALSE(eq.cancel(a)) << "stale id cancelled a reused slot";
+    eq.run();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, StressInterleavedScheduleCancelRun)
+{
+    // Deterministic adversarial mix of schedule/cancel/run against a
+    // reference model. Exercises slot reuse, cancels of pending,
+    // executed, cancelled and unknown ids, and FIFO ordering within
+    // a tick.
+    EventQueue eq;
+    std::uint64_t rng = 0x1234567ull;
+    auto next_rand = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+
+    struct Tracked {
+        EventId id;
+        bool cancelled = false;
+        bool executed = false;
+    };
+    std::vector<Tracked> events;
+    std::uint64_t executed_count = 0;
+    std::uint64_t expected_executed = 0;
+
+    for (int round = 0; round < 200; ++round) {
+        // Schedule a burst.
+        const int burst = 1 + static_cast<int>(next_rand() % 8);
+        for (int i = 0; i < burst; ++i) {
+            const Tick when = eq.now() + next_rand() % 50;
+            const std::size_t slot = events.size();
+            events.push_back(Tracked{0});
+            events[slot].id = eq.schedule(when, [&events, slot,
+                                                 &executed_count] {
+                events[slot].executed = true;
+                ++executed_count;
+            });
+        }
+        // Cancel a few random ids (any state).
+        for (int i = 0; i < 3; ++i) {
+            Tracked &t = events[next_rand() % events.size()];
+            const bool ok = eq.cancel(t.id);
+            const bool was_live = !t.cancelled && !t.executed;
+            EXPECT_EQ(ok, was_live);
+            if (ok)
+                t.cancelled = true;
+        }
+        // Cancel an id that never existed.
+        EXPECT_FALSE(eq.cancel(0));
+        // Periodically run part or all of the timeline.
+        if (round % 5 == 4) {
+            eq.run(eq.now() + next_rand() % 100);
+        }
+        // pending() must always equal the model's live count at
+        // sync points after a full drain.
+        if (round % 20 == 19) {
+            eq.run();
+            std::size_t live = 0;
+            for (const Tracked &t : events)
+                if (!t.cancelled && !t.executed)
+                    ++live;
+            EXPECT_EQ(live, 0u);
+            EXPECT_EQ(eq.pending(), 0u);
+        }
+    }
+    eq.run();
+    for (const Tracked &t : events) {
+        EXPECT_NE(t.cancelled, t.executed)
+            << "event must either cancel or execute, never both/neither";
+        if (t.executed)
+            ++expected_executed;
+    }
+    EXPECT_EQ(executed_count, expected_executed);
+}
+
 TEST(EventQueuePanic, SchedulingIntoThePastPanics)
 {
     EventQueue eq;

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "sim/stats.hh"
 
@@ -119,6 +121,88 @@ TEST(Histogram, ResetEmpties)
     h.add(1.0);
     h.reset();
     EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, PercentileWithinDocumentedRelativeError)
+{
+    Histogram h;
+    std::vector<double> exact;
+    // Log-spread data across several octaves.
+    double v = 0.37;
+    for (int i = 0; i < 5000; ++i) {
+        h.add(v);
+        exact.push_back(v);
+        v *= 1.0021;
+    }
+    std::sort(exact.begin(), exact.end());
+    for (double p : {10.0, 25.0, 50.0, 90.0, 99.0, 99.9}) {
+        const auto rank = static_cast<std::size_t>(
+            std::ceil(p / 100.0 * static_cast<double>(exact.size())));
+        const double want = exact[rank - 1];
+        const double got = h.percentile(p);
+        EXPECT_NEAR(got, want, want * Histogram::relativeError())
+            << "p" << p;
+    }
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording)
+{
+    // The ROADMAP histogram-merge property: recording two streams
+    // separately and merging must equal recording them into one
+    // histogram — bucket-exact, so every percentile matches.
+    Histogram reads, writes, combined;
+    std::uint64_t rng = 99;
+    for (int i = 0; i < 20000; ++i) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        const double v =
+            1.0 + static_cast<double>(rng % 1000000) / 37.0;
+        if (i % 3 == 0) {
+            writes.add(v);
+        } else {
+            reads.add(v);
+        }
+        combined.add(v);
+    }
+    Histogram merged = reads;
+    merged.merge(writes);
+    EXPECT_EQ(merged.count(), combined.count());
+    // Sums are accumulated in different orders, so the means agree
+    // to rounding, not bit-exactly.
+    EXPECT_NEAR(merged.mean(), combined.mean(),
+                combined.mean() * 1e-12);
+    EXPECT_DOUBLE_EQ(merged.min(), combined.min());
+    EXPECT_DOUBLE_EQ(merged.max(), combined.max());
+    for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0})
+        EXPECT_DOUBLE_EQ(merged.percentile(p), combined.percentile(p))
+            << "p" << p;
+}
+
+TEST(Histogram, MergeWithEmptySides)
+{
+    Histogram a, b;
+    a.add(3.0);
+    a.merge(b); // empty rhs: no-op
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+
+    Histogram c;
+    c.merge(a); // empty lhs adopts rhs
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.percentile(50.0), 3.0);
+}
+
+TEST(Histogram, ZeroAndNegativeSamplesLandInUnderflowBucket)
+{
+    Histogram h;
+    h.add(0.0);
+    h.add(-5.0);
+    h.add(10.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), -5.0);
 }
 
 TEST(StatSet, SetGetIncHas)

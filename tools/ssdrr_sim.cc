@@ -32,8 +32,16 @@
  *     --array N                  LPN-striped array of N drives
  *     --open-loop                inject at trace arrival times instead
  *                                of closed-loop
+ *
+ * Perf trajectory:
+ *     --bench-json PATH          also write a BENCH_sim_throughput
+ *                                JSON (wall time, events/sec,
+ *                                reads/sec and the deterministic
+ *                                result digest, one entry per
+ *                                mechanism) for the run
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +49,7 @@
 #include <vector>
 
 #include "host/scenario.hh"
+#include "sim/bench_report.hh"
 #include "ssd/ssd.hh"
 #include "workload/export.hh"
 #include "workload/msr_parser.hh"
@@ -70,6 +79,8 @@ struct Options {
     std::string arbitration = "rr";
     std::uint32_t array = 1;
     bool openLoop = false;
+    /** Perf-trajectory JSON output path (empty = off). */
+    std::string benchJson;
     /** Host-layer flags seen on the command line (for validation). */
     std::vector<std::string> hostFlags;
 };
@@ -85,7 +96,8 @@ usage(const char *argv0)
                  "  [--refresh MONTHS] [--no-suspension] "
                  "[--paper-geometry] [--seed N] [--profile]\n"
                  "  [--tenants T] [--queue-depth D] "
-                 "[--arbitration rr|wrr] [--array N] [--open-loop]\n",
+                 "[--arbitration rr|wrr] [--array N] [--open-loop]\n"
+                 "  [--bench-json PATH]\n",
                  argv0);
     std::exit(2);
 }
@@ -158,6 +170,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--open-loop") {
             opt.openLoop = true;
             opt.hostFlags.push_back(arg);
+        } else if (arg == "--bench-json") {
+            opt.benchJson = next();
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -166,6 +180,38 @@ parseArgs(int argc, char **argv)
         }
     }
     return opt;
+}
+
+/** Fold one mechanism's run into a perf-trajectory entry. */
+sim::BenchRun
+benchRunFrom(const std::string &name, const ssd::RunStats &st,
+             double wall_seconds)
+{
+    sim::BenchRun run;
+    run.name = name;
+    run.wallSeconds = wall_seconds;
+    run.executedEvents = st.executedEvents;
+    run.reads = st.reads;
+    run.writes = st.writes;
+    run.retrySamples = st.retrySamples;
+    run.avgRetrySteps = st.avgRetrySteps;
+    run.suspensions = st.suspensions;
+    run.gcCollections = st.gcCollections;
+    run.readFailures = st.readFailures;
+    run.refreshes = st.refreshes;
+    run.simulatedMs = st.simulatedMs;
+    run.p50ReadUs = st.p50ReadResponseUs;
+    run.p99ReadUs = st.p99ReadResponseUs;
+    run.p999ReadUs = st.p999ReadResponseUs;
+    run.profileCacheHits = st.profileCacheHits;
+    run.profileCacheMisses = st.profileCacheMisses;
+    if (wall_seconds > 0.0) {
+        run.eventsPerSecond =
+            static_cast<double>(st.executedEvents) / wall_seconds;
+        run.readsPerSecond =
+            static_cast<double>(st.reads) / wall_seconds;
+    }
+    return run;
 }
 
 /**
@@ -226,6 +272,7 @@ runMultiTenant(const Options &opt, const ssd::Config &cfg)
                 "p50[us]", "p99[us]", "p99.9[us]");
 
     host::TraceCache trace_cache; // parse a CSV once for the sweep
+    std::vector<sim::BenchRun> bench_runs;
     for (const std::string &mname : opt.mechanisms) {
         host::ScenarioConfig sc;
         sc.traceCache = &trace_cache;
@@ -247,7 +294,12 @@ runMultiTenant(const Options &opt, const ssd::Config &cfg)
                 arb == host::Arbitration::WeightedRoundRobin ? t + 1 : 1;
             sc.tenants.push_back(ts);
         }
+        const auto t0 = std::chrono::steady_clock::now();
         const host::ScenarioResult res = host::runScenario(sc);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        bench_runs.push_back(benchRunFrom(mname, res.array, wall));
         for (std::size_t t = 0; t < res.tenants.size(); ++t) {
             const host::TenantStats &s = res.tenants[t];
             std::printf("%-10s %-14s %3u %6llu %10.1f %10.1f %10.1f "
@@ -264,6 +316,15 @@ runMultiTenant(const Options &opt, const ssd::Config &cfg)
                     static_cast<unsigned long long>(a.reads),
                     a.avgReadResponseUs, a.p50ReadResponseUs,
                     a.p99ReadResponseUs, a.p999ReadResponseUs);
+    }
+    if (!opt.benchJson.empty()) {
+        const std::string label =
+            "ssdrr_sim --tenants " + std::to_string(opt.tenants) +
+            " --array " + std::to_string(opt.array) + " (" +
+            opt.workload + ")";
+        if (!sim::writeBenchJson(opt.benchJson, label, bench_runs))
+            return 1;
+        std::printf("\nwrote %s\n", opt.benchJson.c_str());
     }
     return 0;
 }
@@ -333,10 +394,16 @@ main(int argc, char **argv)
                 "refreshes");
 
     double baseline = 0.0;
+    std::vector<sim::BenchRun> bench_runs;
     for (const std::string &name : opt.mechanisms) {
         const core::Mechanism mech = core::parseMechanism(name);
         ssd::Ssd ssd(cfg, mech);
+        const auto t0 = std::chrono::steady_clock::now();
         const ssd::RunStats st = ssd.replay(trace);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        bench_runs.push_back(benchRunFrom(name, st, wall));
         if (baseline == 0.0)
             baseline = st.avgResponseUs;
         std::printf("%-16s %10.1f %10.1f %10.1f %10.1f %10.1f %8.2f "
@@ -348,6 +415,13 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(st.suspensions),
                     static_cast<unsigned long long>(st.refreshes),
                     100.0 * (st.avgResponseUs / baseline - 1.0));
+    }
+    if (!opt.benchJson.empty()) {
+        const std::string label =
+            "ssdrr_sim single-replay (" + opt.workload + ")";
+        if (!sim::writeBenchJson(opt.benchJson, label, bench_runs))
+            return 1;
+        std::printf("\nwrote %s\n", opt.benchJson.c_str());
     }
     return 0;
 }
