@@ -16,8 +16,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "host/scenario.hh"
-#include "ssd/config.hh"
+#include "host/scenario_spec.hh"
 
 using namespace ssdrr;
 
@@ -26,25 +25,17 @@ namespace {
 host::ScenarioResult
 runOne(core::Mechanism mech, host::Arbitration arb)
 {
-    host::ScenarioConfig sc;
-    sc.ssd = ssd::Config::small();
-    sc.ssd.basePeKilo = 1.0;
-    sc.ssd.baseRetentionMonths = 6.0;
-    sc.mech = mech;
-    sc.drives = 2;
-    sc.host.queueDepth = 16;
-    sc.host.arbitration = arb;
+    host::ScenarioBuilder b;
+    b.pec(1.0).retention(6.0).drives(2).queueDepth(16)
+        .arbitration(arb).mechanism(mech);
     for (std::uint32_t t = 0; t < 4; ++t) {
-        host::TenantSpec ts;
-        ts.workload = "usr_1";
-        ts.name = "tenant" + std::to_string(t);
-        ts.requests = 400;
-        ts.qdLimit = 16;
-        ts.weight = arb == host::Arbitration::WeightedRoundRobin ? t + 1
-                                                                 : 1;
-        sc.tenants.push_back(ts);
+        b.tenant("tenant" + std::to_string(t), "usr_1", 400)
+            .qdLimit(16)
+            .weight(arb == host::Arbitration::WeightedRoundRobin
+                        ? t + 1
+                        : 1);
     }
-    return host::runScenario(sc);
+    return host::runScenario(b.build(), mech);
 }
 
 void

@@ -1,7 +1,7 @@
 /**
  * @file
- * Walkthrough of the host/array layer: two tenants with different
- * service needs sharing a two-drive striped array.
+ * Walkthrough of the declarative scenario API: two tenants with
+ * different service needs sharing a two-drive striped array.
  *
  * Tenant "kv" is a latency-sensitive read-heavy cache (YCSB-C) that
  * keeps a small closed-loop window; tenant "log" is a write-heavy
@@ -11,96 +11,66 @@
  * once under PnAR2 to see how much of the cache's p99 is retry-
  * induced.
  *
- * The pieces, bottom-up:
- *   host::SsdArray       N drives, one event queue, LPN striping
- *   host::HostInterface  queue pairs + command-fetch arbitration
- *   host::Tenant         workload injection + latency accounting
+ * The scenario is composed once with host::ScenarioBuilder and
+ * reused for the whole mechanism sweep; the same spec could be
+ * saved with saveFile() and rerun byte-identically via
+ * `ssdrr_sim --scenario` (see examples/scenarios/ for checked-in
+ * specs exercising QoS throttles, channel affinity, and time
+ * horizons).
  */
 
 #include <cstdio>
 
-#include "host/array.hh"
-#include "host/host_interface.hh"
-#include "host/scenario.hh"
-#include "host/tenant.hh"
+#include "host/scenario_spec.hh"
 
 using namespace ssdrr;
-
-namespace {
-
-void
-runUnder(core::Mechanism mech)
-{
-    // A mid-life operating point: 1K P/E cycles, 6 months retention.
-    // This is where read-retry starts to hurt (Fig. 5: ~10 retry
-    // steps per read) and the mechanisms pay off.
-    ssd::Config cfg = ssd::Config::small();
-    cfg.basePeKilo = 1.0;
-    cfg.baseRetentionMonths = 6.0;
-
-    // Two drives behind one flat LPN space, page-striped.
-    host::SsdArray array(cfg, mech, /*drives=*/2);
-    array.precondition();
-
-    // Queue pairs of depth 32; WRR so the cache tenant's commands
-    // are fetched 3x as often when both queues are backlogged.
-    host::HostInterface::Options hopt;
-    hopt.queueDepth = 32;
-    hopt.arbitration = host::Arbitration::WeightedRoundRobin;
-    host::HostInterface hif(array, hopt);
-
-    // Each tenant owns half the array's logical space.
-    const std::uint64_t slice = array.logicalPages() / 2;
-
-    host::TenantSpec kv_spec;
-    kv_spec.workload = "YCSB-C"; // 100% reads
-    kv_spec.requests = 600;
-    workload::Trace kv_trace = host::makeTenantTrace(
-        kv_spec, slice, /*base_lpn=*/0, cfg.pageBytes, /*seed=*/101);
-    host::Tenant kv("kv", std::move(kv_trace),
-                    host::InjectionMode::ClosedLoop, /*qd_limit=*/4,
-                    /*weight=*/3, hif);
-
-    host::TenantSpec log_spec;
-    log_spec.workload = "stg_0"; // write-heavy
-    log_spec.requests = 600;
-    workload::Trace log_trace = host::makeTenantTrace(
-        log_spec, slice, /*base_lpn=*/slice, cfg.pageBytes,
-        /*seed=*/202);
-    host::Tenant log("log", std::move(log_trace),
-                     host::InjectionMode::ClosedLoop, /*qd_limit=*/32,
-                     /*weight=*/1, hif);
-
-    kv.start();
-    log.start();
-    array.drain();
-
-    std::printf("%s:\n", core::name(mech));
-    for (const host::Tenant *t : {&kv, &log}) {
-        const host::TenantStats s = t->stats();
-        std::printf("  %-4s %4llu reqs  avg %8.1f us  p50 %8.1f us  "
-                    "p99 %8.1f us  p99.9 %8.1f us\n",
-                    s.name.c_str(),
-                    static_cast<unsigned long long>(s.completed),
-                    s.avgUs, s.p50Us, s.p99Us, s.p999Us);
-    }
-    const ssd::RunStats a = array.stats();
-    std::printf("  array: %.2f retry steps/read, %llu suspensions, "
-                "%llu GC collections\n\n",
-                a.avgRetrySteps,
-                static_cast<unsigned long long>(a.suspensions),
-                static_cast<unsigned long long>(a.gcCollections));
-}
-
-} // namespace
 
 int
 main()
 {
     std::printf("Two tenants, two-drive array, WRR 3:1 — Baseline vs "
                 "PnAR2\n\n");
-    runUnder(core::Mechanism::Baseline);
-    runUnder(core::Mechanism::PnAR2);
+
+    // A mid-life operating point: 1K P/E cycles, 6 months retention.
+    // This is where read-retry starts to hurt (Fig. 5: ~10 retry
+    // steps per read) and the mechanisms pay off.
+    const host::ScenarioSpec spec =
+        host::ScenarioBuilder()
+            .name("kv-vs-log")
+            .pec(1.0)
+            .retention(6.0)
+            .drives(2)
+            .queueDepth(32)
+            .arbitration(host::Arbitration::WeightedRoundRobin)
+            .mechanism(core::Mechanism::Baseline)
+            .mechanism(core::Mechanism::PnAR2)
+            .tenant("kv", "YCSB-C", 600) // 100% reads
+            .qdLimit(4)
+            .weight(3)
+            .tenant("log", "stg_0", 600) // write-heavy
+            .qdLimit(32)
+            .weight(1)
+            .build();
+
+    for (const std::string &mname : spec.mechanisms) {
+        const core::Mechanism mech = core::parseMechanism(mname);
+        const host::ScenarioResult res = host::runScenario(spec, mech);
+
+        std::printf("%s:\n", core::name(mech));
+        for (const host::TenantStats &s : res.tenants) {
+            std::printf("  %-4s %4llu reqs  avg %8.1f us  p50 %8.1f "
+                        "us  p99 %8.1f us  p99.9 %8.1f us\n",
+                        s.name.c_str(),
+                        static_cast<unsigned long long>(s.completed),
+                        s.avgUs, s.p50Us, s.p99Us, s.p999Us);
+        }
+        const ssd::RunStats &a = res.array;
+        std::printf("  array: %.2f retry steps/read, %llu "
+                    "suspensions, %llu GC collections\n\n",
+                    a.avgRetrySteps,
+                    static_cast<unsigned long long>(a.suspensions),
+                    static_cast<unsigned long long>(a.gcCollections));
+    }
     std::puts("The kv tenant's p99 gap between the two runs is the "
               "retry-induced tail.");
     return 0;

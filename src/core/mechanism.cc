@@ -32,17 +32,37 @@ name(Mechanism m)
     return "?";
 }
 
+const std::vector<Mechanism> &
+allMechanisms()
+{
+    static const std::vector<Mechanism> all = {
+        Mechanism::Baseline, Mechanism::PR2,
+        Mechanism::AR2,      Mechanism::PnAR2,
+        Mechanism::NoRR,     Mechanism::PSO,
+        Mechanism::PSO_PnAR2, Mechanism::Sentinel,
+        Mechanism::Sentinel_PnAR2};
+    return all;
+}
+
+bool
+tryParseMechanism(const std::string &s, Mechanism *out)
+{
+    for (Mechanism m : allMechanisms()) {
+        if (s == name(m)) {
+            if (out)
+                *out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
 Mechanism
 parseMechanism(const std::string &s)
 {
-    for (Mechanism m :
-         {Mechanism::Baseline, Mechanism::PR2, Mechanism::AR2,
-          Mechanism::PnAR2, Mechanism::NoRR, Mechanism::PSO,
-          Mechanism::PSO_PnAR2, Mechanism::Sentinel,
-          Mechanism::Sentinel_PnAR2}) {
-        if (s == name(m))
-            return m;
-    }
+    Mechanism m;
+    if (tryParseMechanism(s, &m))
+        return m;
     SSDRR_FATAL("unknown mechanism: ", s);
 }
 

@@ -26,6 +26,7 @@
 #define SSDRR_CORE_MECHANISM_HH
 
 #include <string>
+#include <vector>
 
 namespace ssdrr::core {
 
@@ -46,6 +47,12 @@ const char *name(Mechanism m);
 
 /** Parse a mechanism name; fatal on unknown input. */
 Mechanism parseMechanism(const std::string &s);
+
+/** Non-fatal parse; @retval false on unknown names. */
+bool tryParseMechanism(const std::string &s, Mechanism *out);
+
+/** Every mechanism, in taxonomy order (for listings / validation). */
+const std::vector<Mechanism> &allMechanisms();
 
 /** True if the mechanism pipelines retry steps with CACHE READ. */
 bool usesPipelining(Mechanism m);

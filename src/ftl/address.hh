@@ -68,10 +68,23 @@ struct AddressLayout {
         return pagesPerPlane() * totalPlanes();
     }
 
+    /** Planes living on one channel (the affinity-mask granule). */
+    std::uint32_t
+    planesPerChannel() const
+    {
+        return diesPerChannel * planesPerDie;
+    }
+
+    std::uint32_t
+    channelOfPlane(std::uint32_t plane) const
+    {
+        return plane / planesPerChannel();
+    }
+
     std::uint32_t
     channelOf(const Ppn &p) const
     {
-        return p.plane / (diesPerChannel * planesPerDie);
+        return channelOfPlane(p.plane);
     }
 
     /** Die index global across the SSD (channel-major). */

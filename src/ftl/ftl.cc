@@ -28,6 +28,25 @@ Ftl::nextPlane()
     return p;
 }
 
+std::uint32_t
+Ftl::nextPlaneMasked(std::uint32_t channel_mask)
+{
+    SSDRR_ASSERT(
+        (channel_mask & ((1u << layout_.channels) - 1)) != 0,
+        "channel mask ", channel_mask, " selects no channel (SSD has ",
+        layout_.channels, ")");
+    const std::uint32_t planes = layout_.totalPlanes();
+    std::uint32_t &cursor = masked_cursor_[channel_mask];
+    for (std::uint32_t step = 0; step < planes; ++step) {
+        const std::uint32_t p = (cursor + step) % planes;
+        if (channel_mask & (1u << layout_.channelOfPlane(p))) {
+            cursor = (p + 1) % planes;
+            return p;
+        }
+    }
+    SSDRR_PANIC("mask ", channel_mask, " matched no plane");
+}
+
 void
 Ftl::precondition()
 {
@@ -73,14 +92,15 @@ Ftl::translate(Lpn lpn) const
 }
 
 WriteAlloc
-Ftl::hostWrite(Lpn lpn, sim::Tick now)
+Ftl::hostWrite(Lpn lpn, sim::Tick now, std::uint32_t channel_mask)
 {
     WriteAlloc out;
     if (map_.mapped(lpn)) {
         const Ppn old = layout_.fromFlatPage(map_.unbind(lpn));
         bm_.invalidate(old);
     }
-    const std::uint32_t plane = nextPlane();
+    const std::uint32_t plane =
+        channel_mask == 0 ? nextPlane() : nextPlaneMasked(channel_mask);
     out.ppn = bm_.allocate(plane, lpn, now);
     map_.bind(lpn, layout_.flatPage(out.ppn));
     maybeCollect(plane, now, out.gc);

@@ -7,6 +7,7 @@
 #ifndef SSDRR_FTL_FTL_HH
 #define SSDRR_FTL_FTL_HH
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -59,8 +60,18 @@ class Ftl
      * Allocate a new physical page for @p lpn at time @p now,
      * invalidating the old binding, and run GC if the target plane
      * dropped below the free-block threshold.
+     *
+     * @p channel_mask restricts the allocation to planes of the
+     * channels whose bits are set (bit c = channel c); 0 means
+     * unrestricted and round-robins over every plane exactly as
+     * before masks existed. Masked writes round-robin over the
+     * allowed planes on an independent per-mask cursor, so tenants
+     * pinned to a channel subset (host-layer channel affinity) keep
+     * their data on those channels; GC relocations are in-plane and
+     * therefore preserve the placement.
      */
-    WriteAlloc hostWrite(Lpn lpn, sim::Tick now);
+    WriteAlloc hostWrite(Lpn lpn, sim::Tick now,
+                         std::uint32_t channel_mask = 0);
 
     /**
      * Finish a GC move: rebind @p lpn from the victim to @p to.
@@ -85,6 +96,7 @@ class Ftl
     void maybeCollect(std::uint32_t plane, sim::Tick now,
                       std::vector<GcWork> &out);
     std::uint32_t nextPlane();
+    std::uint32_t nextPlaneMasked(std::uint32_t channel_mask);
 
     AddressLayout layout_;
     PageMap map_;
@@ -92,6 +104,10 @@ class Ftl
     double base_retention_months_;
     std::size_t gc_threshold_;
     std::uint32_t plane_cursor_ = 0;
+    /** Per-channel-mask allocation cursors (masked writes only; the
+     *  unmasked cursor above is untouched so legacy runs are
+     *  bit-identical). */
+    std::map<std::uint32_t, std::uint32_t> masked_cursor_;
     std::uint64_t gc_collections_ = 0;
     std::uint64_t gc_page_moves_ = 0;
 };

@@ -71,6 +71,7 @@ SsdArray::submit(const ssd::HostRequest &req)
         sub.lpn = first[d];
         sub.pages = count[d];
         sub.isRead = req.isRead;
+        sub.channelMask = req.channelMask;
         sub_parent_[sub.id] = req.id;
         ssds_[d]->submit(sub);
     }

@@ -1,5 +1,7 @@
 #include "host/host_interface.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace ssdrr::host {
@@ -15,10 +17,10 @@ HostInterface::HostInterface(SsdArray &array, Options opt)
 }
 
 std::uint32_t
-HostInterface::addQueuePair(std::uint32_t weight)
+HostInterface::addQueuePair(std::uint32_t weight, const QueueQos &qos)
 {
     const std::uint32_t qid = static_cast<std::uint32_t>(qps_.size());
-    qps_.emplace_back(qid, opt_.queueDepth, weight);
+    qps_.emplace_back(qid, opt_.queueDepth, weight, qos);
     callbacks_.emplace_back();
     return qid;
 }
@@ -42,15 +44,39 @@ HostInterface::post(std::uint32_t qid, ssd::HostRequest req)
 void
 HostInterface::pump()
 {
+    // One wake-up is enough; this round recomputes the earliest
+    // refill below, so drop any previously scheduled one (cancel
+    // safely rejects the id if this call *is* that wake-up firing).
+    if (pump_event_ != 0) {
+        array_.eventQueue().cancel(pump_event_);
+        pump_event_ = 0;
+    }
+    const sim::Tick now = array_.eventQueue().now();
+    for (QueuePair &qp : qps_)
+        qp.refill(now);
+
     while (device_inflight_ < device_slots_) {
         const int qid = arbiter_.pick(qps_);
         if (qid < 0)
-            return;
+            break;
         SqEntry e = qps_[qid].fetch();
         owner_[e.req.id] = e.qid;
         ++device_inflight_;
         array_.submit(e.req);
     }
+
+    // If free device slots remain but every queue with work is
+    // throttled, nothing else (no completion, no post) is guaranteed
+    // to pump again — schedule the next fetch round at the earliest
+    // token-refill tick so rate-limited tenants make progress.
+    if (device_inflight_ >= device_slots_)
+        return;
+    sim::Tick wake = sim::kTickNever;
+    for (const QueuePair &qp : qps_)
+        wake = std::min(wake, qp.nextTokenTick(now));
+    if (wake != sim::kTickNever)
+        pump_event_ =
+            array_.eventQueue().schedule(wake, [this] { pump(); });
 }
 
 void

@@ -49,10 +49,13 @@ class HostInterface
     SsdArray &array() { return array_; }
 
     /**
-     * Create one queue pair with the configured depth.
+     * Create one queue pair with the configured depth. @p qos
+     * attaches an optional token-bucket rate limit and latency SLO
+     * (see QueueQos); the default is an unconstrained queue.
      * @return its qid (dense, starting at 0)
      */
-    std::uint32_t addQueuePair(std::uint32_t weight = 1);
+    std::uint32_t addQueuePair(std::uint32_t weight = 1,
+                               const QueueQos &qos = {});
 
     const QueuePair &queuePair(std::uint32_t qid) const
     {
@@ -90,6 +93,10 @@ class HostInterface
     std::unordered_map<std::uint64_t, std::uint32_t> owner_;
     std::uint32_t device_inflight_ = 0;
     std::uint64_t next_cmd_id_ = 1;
+    /** Pending wake-up for rate-limited queues (0 = none): when
+     *  every queue with work is out of tokens, the next fetch round
+     *  is scheduled at the earliest bucket-refill tick. */
+    sim::EventId pump_event_ = 0;
 };
 
 } // namespace ssdrr::host

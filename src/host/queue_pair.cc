@@ -1,15 +1,26 @@
 #include "host/queue_pair.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/logging.hh"
 
 namespace ssdrr::host {
 
 QueuePair::QueuePair(std::uint32_t qid, std::uint32_t depth,
-                     std::uint32_t weight)
-    : qid_(qid), depth_(depth), weight_(weight)
+                     std::uint32_t weight, const QueueQos &qos)
+    : qid_(qid), depth_(depth), weight_(weight), qos_(qos)
 {
     SSDRR_ASSERT(depth_ > 0, "queue pair needs depth >= 1");
     SSDRR_ASSERT(weight_ > 0, "queue pair needs weight >= 1");
+    SSDRR_ASSERT(qos_.rateIops >= 0.0, "negative rate limit");
+    SSDRR_ASSERT(qos_.burst >= 0.0, "negative burst");
+    SSDRR_ASSERT(qos_.sloUs >= 0.0, "negative SLO");
+    slo_ticks_ = sim::usec(qos_.sloUs);
+    if (qos_.rateIops > 0.0) {
+        burst_cmds_ = qos_.burst > 0.0 ? qos_.burst : 1.0;
+        tokens_ = burst_cmds_; // start full: the first burst is free
+    }
 }
 
 std::uint32_t
@@ -18,6 +29,48 @@ QueuePair::freeSlots() const
     const std::uint32_t used =
         static_cast<std::uint32_t>(sq_.size()) + inflight_;
     return used >= depth_ ? 0 : depth_ - used;
+}
+
+void
+QueuePair::refill(sim::Tick now)
+{
+    if (qos_.rateIops <= 0.0)
+        return;
+    SSDRR_ASSERT(now >= last_refill_, "token bucket running backwards");
+    tokens_ = std::min(burst_cmds_,
+                       tokens_ + qos_.rateIops * 1e-9 *
+                                     static_cast<double>(now -
+                                                         last_refill_));
+    last_refill_ = now;
+}
+
+sim::Tick
+QueuePair::nextTokenTick(sim::Tick now) const
+{
+    if (!throttled())
+        return sim::kTickNever;
+    const double deficit = 1.0 - tokens_;
+    // Round up and pad by one tick: undershooting would schedule a
+    // fetch round that still finds the bucket empty and re-schedules
+    // itself at the same tick forever.
+    const double wait_ns =
+        std::ceil(deficit / qos_.rateIops * 1e9) + 1.0;
+    return now + static_cast<sim::Tick>(wait_ns);
+}
+
+sim::Tick
+QueuePair::headArrival() const
+{
+    SSDRR_ASSERT(!sq_.empty(), "headArrival on empty SQ ", qid_);
+    return sq_.front().req.arrival;
+}
+
+sim::Tick
+QueuePair::headDeadline() const
+{
+    if (slo_ticks_ == 0)
+        return sim::kTickNever;
+    return headArrival() + slo_ticks_;
 }
 
 bool
@@ -33,6 +86,10 @@ SqEntry
 QueuePair::fetch()
 {
     SSDRR_ASSERT(!sq_.empty(), "fetch from empty SQ ", qid_);
+    if (qos_.rateIops > 0.0) {
+        SSDRR_ASSERT(tokens_ >= 1.0, "fetch from throttled SQ ", qid_);
+        tokens_ -= 1.0;
+    }
     SqEntry e = sq_.front();
     sq_.pop_front();
     ++inflight_;
@@ -52,12 +109,28 @@ QueuePair::complete()
 Arbitration
 parseArbitration(const std::string &name)
 {
-    if (name == "rr")
-        return Arbitration::RoundRobin;
-    if (name == "wrr")
-        return Arbitration::WeightedRoundRobin;
+    Arbitration a;
+    if (tryParseArbitration(name, &a))
+        return a;
     SSDRR_FATAL("unknown arbitration policy '", name,
-                "' (expected rr or wrr)");
+                "' (expected rr, wrr, or slo)");
+}
+
+bool
+tryParseArbitration(const std::string &name, Arbitration *out)
+{
+    Arbitration a;
+    if (name == "rr")
+        a = Arbitration::RoundRobin;
+    else if (name == "wrr")
+        a = Arbitration::WeightedRoundRobin;
+    else if (name == "slo")
+        a = Arbitration::SloDeadline;
+    else
+        return false;
+    if (out)
+        *out = a;
+    return true;
 }
 
 const char *
@@ -68,8 +141,35 @@ name(Arbitration a)
         return "rr";
     case Arbitration::WeightedRoundRobin:
         return "wrr";
+    case Arbitration::SloDeadline:
+        return "slo";
     }
     return "?";
+}
+
+int
+Arbiter::pickDeadline(const std::vector<QueuePair> &qps)
+{
+    // Earliest deadline first; kTickNever (best-effort) queues only
+    // win when no SLO-bound command is waiting. Ties — including the
+    // all-best-effort case — break round-robin from the last grant,
+    // so equally-urgent queues share the device fairly.
+    const std::uint32_t n = static_cast<std::uint32_t>(qps.size());
+    int best = -1;
+    sim::Tick best_deadline = sim::kTickNever;
+    for (std::uint32_t step = 1; step <= n; ++step) {
+        const std::uint32_t idx = (cursor_ + step) % n;
+        if (!qps[idx].fetchable())
+            continue;
+        const sim::Tick d = qps[idx].headDeadline();
+        if (best < 0 || d < best_deadline) {
+            best = static_cast<int>(idx);
+            best_deadline = d;
+        }
+    }
+    if (best >= 0)
+        cursor_ = static_cast<std::uint32_t>(best);
+    return best;
 }
 
 int
@@ -80,6 +180,9 @@ Arbiter::pick(const std::vector<QueuePair> &qps)
     const std::uint32_t n = static_cast<std::uint32_t>(qps.size());
     if (cursor_ >= n)
         cursor_ = 0;
+
+    if (policy_ == Arbitration::SloDeadline)
+        return pickDeadline(qps);
 
     // Finish the current turn first: WRR keeps granting the cursor's
     // queue until its weight is spent or it runs dry.

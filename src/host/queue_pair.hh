@@ -9,7 +9,14 @@
  * commands (posted + executing), exactly like an NVMe SQ/CQ pair of
  * that depth. The Arbiter implements the NVMe round-robin and
  * weighted-round-robin command-fetch policies across queue pairs
- * (NVMe spec, "Command Arbitration").
+ * (NVMe spec, "Command Arbitration"), plus an SLO-aware
+ * earliest-deadline-first policy for per-tenant latency targets.
+ *
+ * QoS: a queue pair can carry a token-bucket rate limit (commands
+ * per second with a configurable burst) — a queue with posted
+ * commands but no tokens is not fetchable until the bucket refills —
+ * and a latency SLO that the "slo" arbitration policy turns into a
+ * per-command deadline (post time + SLO).
  */
 
 #ifndef SSDRR_HOST_QUEUE_PAIR_HH
@@ -30,15 +37,30 @@ struct SqEntry {
     std::uint32_t qid = 0;
 };
 
+/**
+ * Per-queue QoS contract. All fields are optional (0 = off); the
+ * defaults make a queue pair behave exactly as before QoS existed.
+ */
+struct QueueQos {
+    /** Token-bucket refill rate in commands/second (0 = unlimited). */
+    double rateIops = 0.0;
+    /** Bucket depth in commands; 0 = 1 (strict pacing). */
+    double burst = 0.0;
+    /** Latency SLO in microseconds (0 = best-effort); consumed by
+     *  Arbitration::SloDeadline as deadline = post time + SLO. */
+    double sloUs = 0.0;
+};
+
 class QueuePair
 {
   public:
     QueuePair(std::uint32_t qid, std::uint32_t depth,
-              std::uint32_t weight = 1);
+              std::uint32_t weight = 1, const QueueQos &qos = {});
 
     std::uint32_t qid() const { return qid_; }
     std::uint32_t depth() const { return depth_; }
     std::uint32_t weight() const { return weight_; }
+    const QueueQos &qos() const { return qos_; }
 
     /** Commands posted but not yet fetched by the controller. */
     std::size_t posted() const { return sq_.size(); }
@@ -47,12 +69,47 @@ class QueuePair
     /** Free SQ slots: depth - posted - inflight. */
     std::uint32_t freeSlots() const;
     bool full() const { return freeSlots() == 0; }
-    bool fetchable() const { return !sq_.empty(); }
+    /** Has a posted command AND a rate-limit token for it. */
+    bool fetchable() const
+    {
+        return !sq_.empty() && (qos_.rateIops <= 0.0 || tokens_ >= 1.0);
+    }
+    /** Has posted commands it cannot fetch yet (bucket empty). */
+    bool throttled() const
+    {
+        return !sq_.empty() && qos_.rateIops > 0.0 && tokens_ < 1.0;
+    }
+
+    /**
+     * Advance the token bucket to @p now. Called by the host
+     * interface before each arbitration round; a no-op without a
+     * rate limit.
+     */
+    void refill(sim::Tick now);
+
+    /**
+     * Earliest tick at which this queue could become fetchable by
+     * token refill alone (kTickNever if it is already fetchable,
+     * idle, or unlimited). The host interface schedules its next
+     * fetch round at the minimum over all queues.
+     */
+    sim::Tick nextTokenTick(sim::Tick now) const;
+
+    /** Post time of the oldest posted command (fatal if empty). */
+    sim::Tick headArrival() const;
+
+    /**
+     * Fetch deadline of the oldest posted command under the SLO
+     * policy: headArrival + sloUs, or kTickNever for best-effort
+     * queues (sloUs == 0).
+     */
+    sim::Tick headDeadline() const;
 
     /** Post a command. @retval false if the queue pair is full. */
     bool post(const SqEntry &e);
 
-    /** Controller fetch: pop the oldest posted command. */
+    /** Controller fetch: pop the oldest posted command (consumes a
+     *  rate-limit token when a bucket is configured). */
     SqEntry fetch();
 
     /** Controller posted a completion for a fetched command. */
@@ -67,6 +124,11 @@ class QueuePair
     std::uint32_t qid_;
     std::uint32_t depth_;
     std::uint32_t weight_;
+    QueueQos qos_;
+    sim::Tick slo_ticks_ = 0;
+    double tokens_ = 0.0;     ///< current bucket level (commands)
+    double burst_cmds_ = 0.0; ///< bucket depth (commands)
+    sim::Tick last_refill_ = 0;
     std::uint32_t inflight_ = 0;
     std::uint64_t total_fetched_ = 0;
     std::uint64_t total_completed_ = 0;
@@ -77,10 +139,22 @@ class QueuePair
 enum class Arbitration {
     RoundRobin,
     WeightedRoundRobin,
+    /**
+     * SLO-aware earliest-deadline-first: among fetchable queues,
+     * fetch from the one whose oldest command's deadline
+     * (post time + sloUs) is earliest. Best-effort queues
+     * (sloUs == 0) have an infinite deadline, so they are served —
+     * round-robin among themselves — only when no SLO-bound command
+     * is waiting. Ties break round-robin, so equal-SLO queues share
+     * fairly and no SLO queue starves another.
+     */
+    SloDeadline,
 };
 
-/** Parse "rr" / "wrr" (case-sensitive); fatal on anything else. */
+/** Parse "rr" / "wrr" / "slo" (case-sensitive); fatal otherwise. */
 Arbitration parseArbitration(const std::string &name);
+/** Non-fatal parse; @retval false on unknown names. */
+bool tryParseArbitration(const std::string &name, Arbitration *out);
 const char *name(Arbitration a);
 
 /**
@@ -88,8 +162,9 @@ const char *name(Arbitration a);
  * queue to fetch from, honouring the policy: plain round-robin
  * fetches one command per non-empty queue per turn; weighted
  * round-robin fetches up to weight() consecutive commands from a
- * queue before advancing. Starvation-free: a queue with posted
- * commands is always reached within one full round.
+ * queue before advancing; slo picks the earliest deadline (see
+ * Arbitration::SloDeadline). rr/wrr are starvation-free: a queue
+ * with posted commands is always reached within one full round.
  */
 class Arbiter
 {
@@ -100,11 +175,13 @@ class Arbiter
 
     /**
      * Choose the next queue with a fetchable command.
-     * @return index into @p qps, or -1 if every queue is empty.
+     * @return index into @p qps, or -1 if no queue is fetchable.
      */
     int pick(const std::vector<QueuePair> &qps);
 
   private:
+    int pickDeadline(const std::vector<QueuePair> &qps);
+
     Arbitration policy_;
     std::uint32_t cursor_ = 0;
     std::uint32_t burst_ = 0; ///< commands granted in the current turn

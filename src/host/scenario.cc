@@ -1,5 +1,6 @@
 #include "host/scenario.hh"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <utility>
@@ -66,6 +67,99 @@ makeTenantTrace(const TenantSpec &spec, std::uint64_t slice_pages,
     return workload::Trace(std::move(name), std::move(recs));
 }
 
+namespace {
+
+/** Planes of one drive whose channel is allowed by @p mask. */
+std::vector<std::uint32_t>
+allowedPlanes(const ftl::AddressLayout &layout,
+              std::uint32_t channel_mask)
+{
+    std::vector<std::uint32_t> planes;
+    for (std::uint32_t p = 0; p < layout.totalPlanes(); ++p)
+        if (channel_mask & (1u << layout.channelOfPlane(p)))
+            planes.push_back(p);
+    return planes;
+}
+
+/**
+ * The lattice repeats every drives * totalPlanes global LPNs: over
+ * one period, local LPNs walk the P planes in order, dwelling
+ * @p drives consecutive global LPNs on each. @p first_period is the
+ * first period boundary at or after base_lpn.
+ */
+struct Lattice {
+    std::uint64_t period = 0;
+    std::uint64_t firstPeriod = 0;
+    std::uint64_t fullPeriods = 0;
+    std::vector<std::uint32_t> planes; ///< allowed plane residues
+};
+
+Lattice
+latticeOf(std::uint64_t base_lpn, std::uint64_t slice_pages,
+          std::uint32_t drives, const ftl::AddressLayout &layout,
+          std::uint32_t channel_mask)
+{
+    Lattice lat;
+    lat.period =
+        static_cast<std::uint64_t>(drives) * layout.totalPlanes();
+    lat.firstPeriod =
+        (base_lpn + lat.period - 1) / lat.period * lat.period;
+    const std::uint64_t end = base_lpn + slice_pages;
+    lat.fullPeriods = end > lat.firstPeriod
+                          ? (end - lat.firstPeriod) / lat.period
+                          : 0;
+    lat.planes = allowedPlanes(layout, channel_mask);
+    return lat;
+}
+
+} // namespace
+
+std::uint64_t
+channelLatticePages(std::uint64_t base_lpn, std::uint64_t slice_pages,
+                    std::uint32_t drives,
+                    const ftl::AddressLayout &layout,
+                    std::uint32_t channel_mask)
+{
+    const Lattice lat = latticeOf(base_lpn, slice_pages, drives,
+                                  layout, channel_mask);
+    return lat.fullPeriods * lat.planes.size() * drives;
+}
+
+workload::Trace
+applyChannelAffinity(const workload::Trace &trace,
+                     std::uint64_t base_lpn, std::uint64_t slice_pages,
+                     std::uint32_t drives,
+                     const ftl::AddressLayout &layout,
+                     std::uint32_t channel_mask)
+{
+    const Lattice lat = latticeOf(base_lpn, slice_pages, drives,
+                                  layout, channel_mask);
+    const std::uint64_t per_plane = drives; ///< contiguous span length
+    const std::uint64_t per_period = lat.planes.size() * per_plane;
+    const std::uint64_t pages = lat.fullPeriods * per_period;
+    SSDRR_ASSERT(pages > 0, "channel mask ", channel_mask,
+                 " leaves no preconditioned pages in slice [",
+                 base_lpn, ", ", base_lpn + slice_pages, ")");
+
+    std::vector<workload::TraceRecord> recs = trace.records();
+    for (workload::TraceRecord &r : recs) {
+        SSDRR_ASSERT(r.lpn < pages, "lattice trace LPN ", r.lpn,
+                     " beyond lattice capacity ", pages);
+        const std::uint64_t q = r.lpn / per_period;
+        const std::uint64_t t = r.lpn % per_period;
+        const std::uint64_t plane = lat.planes[t / per_plane];
+        const std::uint64_t j = t % per_plane;
+        r.lpn = lat.firstPeriod + q * lat.period + plane * per_plane +
+                j;
+        // A request must stay inside its contiguous span: the next
+        // global LPN after the span lives on a different channel (or
+        // another tenant's slice).
+        r.pages = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(r.pages, per_plane - j));
+    }
+    return workload::Trace(trace.name(), std::move(recs));
+}
+
 ScenarioResult
 runScenario(const ScenarioConfig &cfg)
 {
@@ -76,6 +170,8 @@ runScenario(const ScenarioConfig &cfg)
 
     const std::uint64_t slice =
         array.logicalPages() / cfg.tenants.size();
+    const ftl::AddressLayout layout = cfg.ssd.layout();
+    const std::uint32_t all_channels = (1u << cfg.ssd.channels) - 1;
 
     // CSV tenants naming the same file split its record stream
     // between them; synthetic tenants generate independent traces.
@@ -96,14 +192,46 @@ runScenario(const ScenarioConfig &cfg)
             sub_count = csv_sharers[ts.workload];
             sub_index = csv_rank[ts.workload]++;
         }
-        workload::Trace trace = makeTenantTrace(
-            ts, slice, i * slice, cfg.ssd.pageBytes,
-            cfg.ssd.seed + 7919 * (i + 1), sub_count, sub_index,
-            cfg.traceCache);
+        // A mask naming every channel is no restriction at all;
+        // normalize so such specs stay bit-identical with legacy
+        // unmasked runs.
+        const std::uint32_t mask =
+            (ts.channelMask & all_channels) == all_channels
+                ? 0
+                : ts.channelMask;
+        workload::Trace trace;
+        if (mask != 0) {
+            // Channel affinity: generate over the lattice of slice
+            // pages preconditioned on allowed channels, then remap
+            // onto their global LPNs. Writes carry the mask, so
+            // rewritten pages stay on the subset too.
+            const std::uint64_t lattice = channelLatticePages(
+                i * slice, slice, cfg.drives, layout, mask);
+            SSDRR_ASSERT(lattice > 0, "tenant ", i, ": channel mask ",
+                         mask, " leaves no pages in its slice");
+            trace = applyChannelAffinity(
+                makeTenantTrace(ts, lattice, 0, cfg.ssd.pageBytes,
+                                cfg.ssd.seed + 7919 * (i + 1),
+                                sub_count, sub_index, cfg.traceCache),
+                i * slice, slice, cfg.drives, layout, mask);
+        } else {
+            trace = makeTenantTrace(
+                ts, slice, i * slice, cfg.ssd.pageBytes,
+                cfg.ssd.seed + 7919 * (i + 1), sub_count, sub_index,
+                cfg.traceCache);
+        }
+        TenantOptions topt;
+        topt.mode = ts.mode;
+        topt.qdLimit = ts.qdLimit;
+        topt.weight = ts.weight;
+        topt.rateIops = ts.rateIops;
+        topt.burst = ts.burst;
+        topt.sloUs = ts.sloUs;
+        topt.channelMask = mask;
+        topt.horizonUs = ts.horizonUs;
         std::string tname = trace.name();
         tenants.push_back(std::make_unique<Tenant>(
-            std::move(tname), std::move(trace), ts.mode, ts.qdLimit,
-            ts.weight, hif));
+            std::move(tname), std::move(trace), topt, hif));
     }
     for (auto &t : tenants)
         t->start();

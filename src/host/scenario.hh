@@ -40,6 +40,22 @@ struct TenantSpec {
     std::uint32_t qdLimit = 16;
     /** WRR arbitration weight. */
     std::uint32_t weight = 1;
+
+    // ---- QoS / placement / stop condition (scenario API v2) ----
+    /** Token-bucket rate limit in commands/second (0 = unlimited). */
+    double rateIops = 0.0;
+    /** Token-bucket depth in commands (0 = 1, strict pacing). */
+    double burst = 0.0;
+    /** Latency SLO in microseconds (0 = best-effort); honoured by
+     *  the "slo" arbitration policy. */
+    double sloUs = 0.0;
+    /** Channel-affinity mask (bit c = channel c of every drive;
+     *  0 = all channels): the tenant's LPN slice is restricted to
+     *  pages living on — and rewritten to — that channel subset. */
+    std::uint32_t channelMask = 0;
+    /** Open-loop stop condition: run until this much simulated time
+     *  has passed (microseconds; 0 = replay the trace once). */
+    double horizonUs = 0.0;
 };
 
 /**
@@ -92,6 +108,34 @@ workload::Trace makeTenantTrace(const TenantSpec &spec,
                                 std::uint32_t subsample_count = 1,
                                 std::uint32_t subsample_index = 0,
                                 TraceCache *cache = nullptr);
+
+/**
+ * Pages of the global-LPN slice [base_lpn, base_lpn + slice_pages)
+ * that live on the channels of @p channel_mask under the array's
+ * preconditioned striped layout (global LPN g -> drive g mod N,
+ * local LPN g div N -> plane (g div N) mod P). This is the usable
+ * capacity of a channel-pinned tenant.
+ */
+std::uint64_t channelLatticePages(std::uint64_t base_lpn,
+                                  std::uint64_t slice_pages,
+                                  std::uint32_t drives,
+                                  const ftl::AddressLayout &layout,
+                                  std::uint32_t channel_mask);
+
+/**
+ * Remap a trace generated over [0, channelLatticePages(...)) onto
+ * the actual global LPNs of the channel lattice, so every page the
+ * tenant reads is preconditioned on an allowed channel of every
+ * drive. Requests are clamped to the lattice's contiguous spans
+ * (at most @p drives pages), since LPNs beyond a span belong to
+ * other channels or tenants.
+ */
+workload::Trace applyChannelAffinity(const workload::Trace &trace,
+                                     std::uint64_t base_lpn,
+                                     std::uint64_t slice_pages,
+                                     std::uint32_t drives,
+                                     const ftl::AddressLayout &layout,
+                                     std::uint32_t channel_mask);
 
 /** Run one scenario to completion (deterministic for a fixed config). */
 ScenarioResult runScenario(const ScenarioConfig &cfg);

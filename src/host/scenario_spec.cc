@@ -1,0 +1,831 @@
+#include "host/scenario_spec.hh"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "workload/suites.hh"
+
+namespace ssdrr::host {
+
+namespace {
+
+using sim::json::Value;
+
+[[noreturn]] void
+specFail(const std::string &msg)
+{
+    throw SpecError(msg);
+}
+
+std::string
+joinKeys(std::initializer_list<const char *> keys)
+{
+    std::string out;
+    for (const char *k : keys) {
+        if (!out.empty())
+            out += ", ";
+        out += k;
+    }
+    return out;
+}
+
+/** Reject members outside the schema, naming path and alternatives. */
+void
+checkKeys(const Value &obj, const std::string &where,
+          std::initializer_list<const char *> allowed)
+{
+    for (const auto &[key, value] : obj.members()) {
+        (void)value;
+        bool known = false;
+        for (const char *k : allowed)
+            if (key == k) {
+                known = true;
+                break;
+            }
+        if (!known)
+            specFail(where + ": unknown key \"" + key +
+                     "\" (allowed: " + joinKeys(allowed) + ")");
+    }
+}
+
+const Value &
+requireObject(const Value &v, const std::string &where)
+{
+    if (!v.isObject())
+        specFail(where + ": expected an object, got " + v.typeName());
+    return v;
+}
+
+std::string
+getString(const Value &obj, const char *key, const std::string &where,
+          const std::string &dflt)
+{
+    const Value *v = obj.find(key);
+    if (!v)
+        return dflt;
+    if (!v->isString())
+        specFail(where + "." + key + ": expected a string, got " +
+                 v->typeName());
+    return v->asString();
+}
+
+double
+getNumber(const Value &obj, const char *key, const std::string &where,
+          double dflt)
+{
+    const Value *v = obj.find(key);
+    if (!v)
+        return dflt;
+    if (!v->isNumber())
+        specFail(where + "." + key + ": expected a number, got " +
+                 v->typeName());
+    return v->asNumber();
+}
+
+bool
+getBool(const Value &obj, const char *key, const std::string &where,
+        bool dflt)
+{
+    const Value *v = obj.find(key);
+    if (!v)
+        return dflt;
+    if (!v->isBool())
+        specFail(where + "." + key + ": expected true or false, got " +
+                 v->typeName());
+    return v->asBool();
+}
+
+std::uint64_t
+getUint(const Value &obj, const char *key, const std::string &where,
+        std::uint64_t dflt)
+{
+    const Value *v = obj.find(key);
+    if (!v)
+        return dflt;
+    if (!v->isNumber())
+        specFail(where + "." + key + ": expected a number, got " +
+                 v->typeName());
+    const double n = v->asNumber();
+    if (n < 0.0 || n != std::floor(n))
+        specFail(where + "." + key +
+                 ": expected a non-negative integer, got " +
+                 v->dump(0));
+    // JSON numbers are doubles: integers at or beyond 2^53 may
+    // already have been rounded by the parser (2^53 + 1 reads back
+    // as 2^53), silently changing the value — a seed most likely.
+    // Reject instead of running the wrong run.
+    if (n >= 9007199254740992.0)
+        specFail(where + "." + key + ": " + v->dump(0) +
+                 " exceeds 2^53 - 1, the largest integer a JSON "
+                 "number carries exactly");
+    return static_cast<std::uint64_t>(n);
+}
+
+std::uint32_t
+getUint32(const Value &obj, const char *key, const std::string &where,
+          std::uint32_t dflt)
+{
+    const std::uint64_t v = getUint(obj, key, where, dflt);
+    if (v > std::numeric_limits<std::uint32_t>::max())
+        specFail(where + "." + key + ": " + std::to_string(v) +
+                 " is out of range (max " +
+                 std::to_string(
+                     std::numeric_limits<std::uint32_t>::max()) +
+                 ")");
+    return static_cast<std::uint32_t>(v);
+}
+
+std::vector<std::uint32_t>
+maskToChannels(std::uint32_t mask)
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t c = 0; c < 32; ++c)
+        if (mask & (1u << c))
+            out.push_back(c);
+    return out;
+}
+
+const char *
+modeName(InjectionMode m)
+{
+    return m == InjectionMode::OpenLoop ? "open" : "closed";
+}
+
+InjectionMode
+parseMode(const std::string &s, const std::string &where)
+{
+    if (s == "open")
+        return InjectionMode::OpenLoop;
+    if (s == "closed")
+        return InjectionMode::ClosedLoop;
+    specFail(where + ".mode: unknown injection mode \"" + s +
+             "\" (expected \"open\" or \"closed\")");
+}
+
+Value
+tenantToJson(const TenantSpec &t)
+{
+    Value o = Value::object();
+    o.set("name", Value(t.name));
+    o.set("workload", Value(t.workload));
+    o.set("requests", Value(t.requests));
+    o.set("mode", Value(modeName(t.mode)));
+    o.set("qdLimit", Value(std::uint64_t{t.qdLimit}));
+    o.set("weight", Value(std::uint64_t{t.weight}));
+    o.set("iops", Value(t.iops));
+    o.set("rateIops", Value(t.rateIops));
+    o.set("burst", Value(t.burst));
+    o.set("sloUs", Value(t.sloUs));
+    if (t.channelMask != 0) {
+        Value chans = Value::array();
+        for (std::uint32_t c : maskToChannels(t.channelMask))
+            chans.push(Value(std::uint64_t{c}));
+        o.set("channels", std::move(chans));
+    }
+    o.set("horizonUs", Value(t.horizonUs));
+    return o;
+}
+
+TenantSpec
+tenantFromJson(const Value &v, const std::string &where)
+{
+    requireObject(v, where);
+    checkKeys(v, where,
+              {"name", "workload", "requests", "mode", "qdLimit",
+               "weight", "iops", "rateIops", "burst", "sloUs",
+               "channels", "horizonUs"});
+    TenantSpec t;
+    t.name = getString(v, "name", where, "");
+    t.workload = getString(v, "workload", where, t.workload);
+    t.requests = getUint(v, "requests", where, t.requests);
+    t.mode = parseMode(getString(v, "mode", where, modeName(t.mode)),
+                       where);
+    t.qdLimit = getUint32(v, "qdLimit", where, t.qdLimit);
+    t.weight = getUint32(v, "weight", where, t.weight);
+    t.iops = getNumber(v, "iops", where, t.iops);
+    t.rateIops = getNumber(v, "rateIops", where, t.rateIops);
+    t.burst = getNumber(v, "burst", where, t.burst);
+    t.sloUs = getNumber(v, "sloUs", where, t.sloUs);
+    t.horizonUs = getNumber(v, "horizonUs", where, t.horizonUs);
+    if (const Value *chans = v.find("channels")) {
+        if (!chans->isArray())
+            specFail(where + ".channels: expected an array of channel "
+                             "indices, got " +
+                     chans->typeName());
+        std::uint32_t mask = 0;
+        std::size_t i = 0;
+        for (const Value &c : chans->elements()) {
+            const std::string cw =
+                where + ".channels[" + std::to_string(i++) + "]";
+            if (!c.isNumber() || c.asNumber() < 0.0 ||
+                c.asNumber() != std::floor(c.asNumber()) ||
+                c.asNumber() >= 32.0)
+                specFail(cw + ": expected a channel index, got " +
+                         c.dump(0));
+            const std::uint32_t idx =
+                static_cast<std::uint32_t>(c.asNumber());
+            if (mask & (1u << idx))
+                specFail(cw + ": channel " + std::to_string(idx) +
+                         " listed twice");
+            mask |= 1u << idx;
+        }
+        t.channelMask = mask;
+    }
+    return t;
+}
+
+} // namespace
+
+// --------------------------------------------------------- SsdSpec
+
+ssd::Config
+SsdSpec::toConfig() const
+{
+    ssd::Config cfg;
+    if (geometry == "small")
+        cfg = ssd::Config::small();
+    else if (geometry == "paper")
+        cfg = ssd::Config::paper();
+    else
+        specFail("ssd.geometry: unknown preset \"" + geometry +
+                 "\" (expected \"small\" or \"paper\")");
+    cfg.basePeKilo = pecKilo;
+    cfg.baseRetentionMonths = retentionMonths;
+    cfg.temperatureC = temperatureC;
+    cfg.refreshThresholdMonths = refreshMonths;
+    cfg.suspension = suspension;
+    cfg.seed = seed;
+    return cfg;
+}
+
+bool
+SsdSpec::operator==(const SsdSpec &o) const
+{
+    return geometry == o.geometry && pecKilo == o.pecKilo &&
+           retentionMonths == o.retentionMonths &&
+           temperatureC == o.temperatureC &&
+           refreshMonths == o.refreshMonths &&
+           suspension == o.suspension && seed == o.seed;
+}
+
+bool
+operator==(const TenantSpec &a, const TenantSpec &b)
+{
+    return a.name == b.name && a.workload == b.workload &&
+           a.requests == b.requests && a.iops == b.iops &&
+           a.mode == b.mode && a.qdLimit == b.qdLimit &&
+           a.weight == b.weight && a.rateIops == b.rateIops &&
+           a.burst == b.burst && a.sloUs == b.sloUs &&
+           a.channelMask == b.channelMask &&
+           a.horizonUs == b.horizonUs;
+}
+
+bool
+ScenarioSpec::operator==(const ScenarioSpec &o) const
+{
+    return name == o.name && ssd == o.ssd &&
+           mechanisms == o.mechanisms && drives == o.drives &&
+           queueDepth == o.queueDepth &&
+           arbitration == o.arbitration &&
+           maxDeviceInflight == o.maxDeviceInflight &&
+           tenants == o.tenants;
+}
+
+// ---------------------------------------------------- serialization
+
+sim::json::Value
+ScenarioSpec::toJson() const
+{
+    Value root = Value::object();
+    if (!name.empty())
+        root.set("name", Value(name));
+
+    Value sd = Value::object();
+    sd.set("geometry", Value(ssd.geometry));
+    sd.set("pecKilo", Value(ssd.pecKilo));
+    sd.set("retentionMonths", Value(ssd.retentionMonths));
+    sd.set("temperatureC", Value(ssd.temperatureC));
+    sd.set("refreshMonths", Value(ssd.refreshMonths));
+    sd.set("suspension", Value(ssd.suspension));
+    sd.set("seed", Value(ssd.seed));
+    root.set("ssd", std::move(sd));
+
+    Value mechs = Value::array();
+    for (const std::string &m : mechanisms)
+        mechs.push(Value(m));
+    root.set("mechanisms", std::move(mechs));
+    root.set("drives", Value(std::uint64_t{drives}));
+
+    Value hv = Value::object();
+    hv.set("queueDepth", Value(std::uint64_t{queueDepth}));
+    hv.set("arbitration", Value(arbitration));
+    hv.set("maxDeviceInflight",
+           Value(std::uint64_t{maxDeviceInflight}));
+    root.set("host", std::move(hv));
+
+    Value tv = Value::array();
+    for (const TenantSpec &t : tenants)
+        tv.push(tenantToJson(t));
+    root.set("tenants", std::move(tv));
+    return root;
+}
+
+std::string
+ScenarioSpec::toJsonText() const
+{
+    return toJson().dump(2);
+}
+
+ScenarioSpec
+ScenarioSpec::fromJson(const sim::json::Value &v)
+{
+    requireObject(v, "scenario");
+    checkKeys(v, "scenario",
+              {"name", "ssd", "mechanisms", "drives", "host",
+               "tenants"});
+    ScenarioSpec spec;
+    spec.name = getString(v, "name", "scenario", "");
+
+    if (const Value *sd = v.find("ssd")) {
+        requireObject(*sd, "ssd");
+        checkKeys(*sd, "ssd",
+                  {"geometry", "pecKilo", "retentionMonths",
+                   "temperatureC", "refreshMonths", "suspension",
+                   "seed"});
+        spec.ssd.geometry =
+            getString(*sd, "geometry", "ssd", spec.ssd.geometry);
+        spec.ssd.pecKilo =
+            getNumber(*sd, "pecKilo", "ssd", spec.ssd.pecKilo);
+        spec.ssd.retentionMonths = getNumber(
+            *sd, "retentionMonths", "ssd", spec.ssd.retentionMonths);
+        spec.ssd.temperatureC = getNumber(*sd, "temperatureC", "ssd",
+                                          spec.ssd.temperatureC);
+        spec.ssd.refreshMonths = getNumber(*sd, "refreshMonths", "ssd",
+                                           spec.ssd.refreshMonths);
+        spec.ssd.suspension =
+            getBool(*sd, "suspension", "ssd", spec.ssd.suspension);
+        spec.ssd.seed = getUint(*sd, "seed", "ssd", spec.ssd.seed);
+    }
+
+    if (const Value *mechs = v.find("mechanisms")) {
+        if (!mechs->isArray())
+            specFail("mechanisms: expected an array of mechanism "
+                     "names, got " +
+                     std::string(mechs->typeName()));
+        spec.mechanisms.clear();
+        std::size_t i = 0;
+        for (const Value &m : mechs->elements()) {
+            const std::string mw =
+                "mechanisms[" + std::to_string(i++) + "]";
+            if (!m.isString())
+                specFail(mw + ": expected a mechanism name, got " +
+                         m.typeName());
+            spec.mechanisms.push_back(m.asString());
+        }
+    }
+
+    spec.drives = getUint32(v, "drives", "scenario", spec.drives);
+
+    if (const Value *hv = v.find("host")) {
+        requireObject(*hv, "host");
+        checkKeys(*hv, "host",
+                  {"queueDepth", "arbitration", "maxDeviceInflight"});
+        spec.queueDepth =
+            getUint32(*hv, "queueDepth", "host", spec.queueDepth);
+        spec.arbitration =
+            getString(*hv, "arbitration", "host", spec.arbitration);
+        spec.maxDeviceInflight = getUint32(
+            *hv, "maxDeviceInflight", "host", spec.maxDeviceInflight);
+    }
+
+    if (const Value *tv = v.find("tenants")) {
+        if (!tv->isArray())
+            specFail("tenants: expected an array of tenant objects, "
+                     "got " +
+                     std::string(tv->typeName()));
+        spec.tenants.clear();
+        std::size_t i = 0;
+        for (const Value &t : tv->elements())
+            spec.tenants.push_back(tenantFromJson(
+                t, "tenants[" + std::to_string(i++) + "]"));
+    }
+    return spec;
+}
+
+ScenarioSpec
+ScenarioSpec::fromJsonText(const std::string &text)
+{
+    std::string err;
+    const Value v = sim::json::parse(text, &err);
+    if (!err.empty())
+        specFail("invalid JSON: " + err);
+    ScenarioSpec spec = fromJson(v);
+    spec.validate();
+    return spec;
+}
+
+ScenarioSpec
+ScenarioSpec::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        specFail("cannot open scenario file '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return fromJsonText(buf.str());
+    } catch (const SpecError &e) {
+        specFail(path + ": " + e.what());
+    }
+}
+
+void
+ScenarioSpec::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        specFail("cannot write scenario file '" + path + "'");
+    out << toJsonText();
+    if (!out)
+        specFail("short write to scenario file '" + path + "'");
+}
+
+// ------------------------------------------------------- validation
+
+void
+ScenarioSpec::validate() const
+{
+    const ssd::Config cfg = ssd.toConfig(); // checks the preset
+    if (ssd.pecKilo < 0.0)
+        specFail("ssd.pecKilo: must be >= 0");
+    if (ssd.retentionMonths < 0.0)
+        specFail("ssd.retentionMonths: must be >= 0");
+    if (ssd.refreshMonths < 0.0)
+        specFail("ssd.refreshMonths: must be >= 0");
+    if (ssd.temperatureC < -40.0 || ssd.temperatureC > 125.0)
+        specFail("ssd.temperatureC: " +
+                 std::to_string(ssd.temperatureC) +
+                 " is outside the operating range [-40, 125]");
+
+    if (mechanisms.empty())
+        specFail("mechanisms: must name at least one mechanism");
+    for (std::size_t i = 0; i < mechanisms.size(); ++i) {
+        if (!core::tryParseMechanism(mechanisms[i], nullptr)) {
+            std::string known;
+            for (core::Mechanism m : core::allMechanisms()) {
+                if (!known.empty())
+                    known += ", ";
+                known += core::name(m);
+            }
+            specFail("mechanisms[" + std::to_string(i) +
+                     "]: unknown mechanism \"" + mechanisms[i] +
+                     "\" (known: " + known + ")");
+        }
+    }
+
+    if (drives < 1)
+        specFail("drives: must be >= 1");
+    if (queueDepth < 1)
+        specFail("host.queueDepth: must be >= 1");
+    Arbitration arb;
+    if (!tryParseArbitration(arbitration, &arb))
+        specFail("host.arbitration: unknown policy \"" + arbitration +
+                 "\" (expected \"rr\", \"wrr\", or \"slo\")");
+
+    if (tenants.empty())
+        specFail("tenants: a scenario needs at least one tenant");
+
+    const std::uint32_t all_channels = (1u << cfg.channels) - 1;
+    const std::uint64_t slice =
+        cfg.logicalPages() * drives / tenants.size();
+    bool any_slo = false;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const TenantSpec &t = tenants[i];
+        const std::string w = "tenants[" + std::to_string(i) + "]";
+        if (!looksLikeTracePath(t.workload) &&
+            !workload::tryFindWorkload(t.workload, nullptr))
+            specFail(w + ".workload: unknown workload \"" +
+                     t.workload +
+                     "\" (run ssdrr_sim --list-workloads for the "
+                     "Table-2 suite, or name a .csv trace path)");
+        if (t.requests < 1)
+            specFail(w + ".requests: must be >= 1");
+        if (t.qdLimit < 1)
+            specFail(w + ".qdLimit: must be >= 1");
+        if (t.mode == InjectionMode::ClosedLoop &&
+            t.qdLimit > queueDepth)
+            specFail(w + ".qdLimit: " + std::to_string(t.qdLimit) +
+                     " exceeds host.queueDepth " +
+                     std::to_string(queueDepth) +
+                     " (a closed-loop window cannot outgrow its "
+                     "queue pair)");
+        if (t.weight < 1)
+            specFail(w + ".weight: must be >= 1");
+        if (t.iops < 0.0)
+            specFail(w + ".iops: must be >= 0");
+        if (t.iops > 0.0 && t.mode == InjectionMode::ClosedLoop)
+            specFail(w + ".iops: set on a closed-loop tenant, but "
+                         "closed-loop injection is completion-driven "
+                         "and ignores arrival rates; set mode to "
+                         "\"open\" or drop iops");
+        if (t.rateIops < 0.0)
+            specFail(w + ".rateIops: must be >= 0");
+        if (t.burst < 0.0)
+            specFail(w + ".burst: must be >= 0");
+        if (t.burst > 0.0 && t.rateIops <= 0.0)
+            specFail(w + ".burst: set without rateIops (a token "
+                         "bucket needs a refill rate)");
+        if (t.sloUs < 0.0)
+            specFail(w + ".sloUs: must be >= 0");
+        if (t.sloUs > 0.0 && arb != Arbitration::SloDeadline)
+            specFail(w + ".sloUs: set but host.arbitration is \"" +
+                     arbitration +
+                     "\"; SLO deadlines are only honoured by the "
+                     "\"slo\" policy");
+        if (t.sloUs > 0.0)
+            any_slo = true;
+        if (t.horizonUs < 0.0)
+            specFail(w + ".horizonUs: must be >= 0");
+        if (t.horizonUs > 0.0 && t.mode == InjectionMode::ClosedLoop)
+            specFail(w + ".horizonUs: a time horizon needs mode "
+                         "\"open\" (closed-loop replays its trace "
+                         "once)");
+        if (t.channelMask != 0) {
+            if (t.channelMask & ~all_channels)
+                specFail(w + ".channels: names channel " +
+                         std::to_string(
+                             maskToChannels(t.channelMask & ~all_channels)
+                                 .front()) +
+                         " but the \"" + ssd.geometry +
+                         "\" geometry has " +
+                         std::to_string(cfg.channels) + " channels");
+            // A mask naming every channel is no restriction;
+            // runScenario normalizes it away, so skip the
+            // affinity-only constraints for it too.
+            if ((t.channelMask & all_channels) != all_channels) {
+                if (ssd.refreshMonths > 0.0)
+                    specFail(w + ".channels: channel affinity cannot "
+                                 "be combined with ssd.refreshMonths "
+                                 "> 0 (read-reclaim rewrites do not "
+                                 "honour the mask)");
+                if (channelLatticePages(i * slice, slice, drives,
+                                        cfg.layout(),
+                                        t.channelMask) == 0)
+                    specFail(w + ".channels: the mask leaves no "
+                                 "preconditioned pages in the "
+                                 "tenant's LPN slice");
+            }
+        }
+    }
+    if (arb == Arbitration::SloDeadline && !any_slo)
+        specFail("host.arbitration: \"slo\" needs at least one tenant "
+                 "with sloUs > 0 (otherwise it degenerates to rr)");
+}
+
+// -------------------------------------------------------- execution
+
+ScenarioConfig
+ScenarioSpec::toConfig(core::Mechanism mech, TraceCache *cache) const
+{
+    ScenarioConfig sc;
+    sc.ssd = ssd.toConfig();
+    sc.mech = mech;
+    sc.drives = drives;
+    sc.host.queueDepth = queueDepth;
+    sc.host.arbitration = parseArbitration(arbitration);
+    sc.host.maxDeviceInflight = maxDeviceInflight;
+    sc.tenants = tenants;
+    sc.traceCache = cache;
+    return sc;
+}
+
+ScenarioResult
+runScenario(const ScenarioSpec &spec, core::Mechanism mech,
+            TraceCache *cache)
+{
+    spec.validate();
+    return runScenario(spec.toConfig(mech, cache));
+}
+
+// ---------------------------------------------------------- builder
+
+ScenarioBuilder::ScenarioBuilder()
+{
+    spec_.mechanisms.clear(); // build() defaults an empty sweep
+}
+
+TenantSpec &
+ScenarioBuilder::current()
+{
+    if (spec_.tenants.empty())
+        specFail("ScenarioBuilder: add a tenant() before per-tenant "
+                 "setters");
+    return spec_.tenants.back();
+}
+
+ScenarioBuilder &
+ScenarioBuilder::name(std::string label)
+{
+    spec_.name = std::move(label);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::geometry(std::string preset)
+{
+    spec_.ssd.geometry = std::move(preset);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::pec(double kilo)
+{
+    spec_.ssd.pecKilo = kilo;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::retention(double months)
+{
+    spec_.ssd.retentionMonths = months;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::temperature(double celsius)
+{
+    spec_.ssd.temperatureC = celsius;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::refresh(double months)
+{
+    spec_.ssd.refreshMonths = months;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::suspension(bool on)
+{
+    spec_.ssd.suspension = on;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::seed(std::uint64_t s)
+{
+    spec_.ssd.seed = s;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::mechanism(const std::string &name)
+{
+    spec_.mechanisms.push_back(name);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::mechanism(core::Mechanism m)
+{
+    return mechanism(std::string(core::name(m)));
+}
+
+ScenarioBuilder &
+ScenarioBuilder::drives(std::uint32_t n)
+{
+    spec_.drives = n;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::queueDepth(std::uint32_t d)
+{
+    spec_.queueDepth = d;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::arbitration(const std::string &policy)
+{
+    spec_.arbitration = policy;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::arbitration(Arbitration policy)
+{
+    return arbitration(
+        std::string(::ssdrr::host::name(policy)));
+}
+
+ScenarioBuilder &
+ScenarioBuilder::maxDeviceInflight(std::uint32_t n)
+{
+    spec_.maxDeviceInflight = n;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::tenant(std::string name, std::string workload,
+                        std::uint64_t requests)
+{
+    TenantSpec t;
+    t.name = std::move(name);
+    t.workload = std::move(workload);
+    t.requests = requests;
+    spec_.tenants.push_back(std::move(t));
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::tenant(const TenantSpec &spec)
+{
+    spec_.tenants.push_back(spec);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::mode(InjectionMode m)
+{
+    current().mode = m;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::qdLimit(std::uint32_t qd)
+{
+    current().qdLimit = qd;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::weight(std::uint32_t w)
+{
+    current().weight = w;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::iops(double rate)
+{
+    current().iops = rate;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::rateIops(double rate)
+{
+    current().rateIops = rate;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::burst(double commands)
+{
+    current().burst = commands;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::sloUs(double us)
+{
+    current().sloUs = us;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::channels(const std::vector<std::uint32_t> &chans)
+{
+    std::uint32_t mask = 0;
+    for (std::uint32_t c : chans) {
+        if (c >= 32)
+            specFail("ScenarioBuilder::channels: channel index " +
+                     std::to_string(c) + " out of range");
+        mask |= 1u << c;
+    }
+    current().channelMask = mask;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::horizonUs(double us)
+{
+    current().horizonUs = us;
+    return *this;
+}
+
+ScenarioSpec
+ScenarioBuilder::build() const
+{
+    ScenarioSpec spec = spec_;
+    if (spec.mechanisms.empty())
+        spec.mechanisms = {"Baseline"};
+    spec.validate();
+    return spec;
+}
+
+} // namespace ssdrr::host

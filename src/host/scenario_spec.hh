@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Declarative scenario API v2: a single serializable description of
+ * a multi-tenant run.
+ *
+ * A ScenarioSpec fully describes a scenario — SSD geometry preset
+ * and wear overrides, mechanism sweep, array shape, host-interface
+ * options, and per-tenant specs (including the QoS contract, channel
+ * affinity, and time-horizon stop condition) — as plain data. Specs
+ * load from and save to JSON (sim/json.hh, dependency-free), are
+ * schema-validated with actionable error messages (unknown keys,
+ * type mismatches, and semantic conflicts all name the offending
+ * JSON path), and can be composed fluently from C++ through
+ * ScenarioBuilder.
+ *
+ * The same spec behaves identically everywhere it is consumed
+ * (ssdrr_sim --scenario, benches, tests, examples): toConfig()
+ * materializes the exact ScenarioConfig the legacy hand-wired paths
+ * used to build, so a spec-driven run is bit-identical to its
+ * flag-driven equivalent.
+ */
+
+#ifndef SSDRR_HOST_SCENARIO_SPEC_HH
+#define SSDRR_HOST_SCENARIO_SPEC_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "host/scenario.hh"
+#include "sim/json.hh"
+
+namespace ssdrr::host {
+
+/**
+ * A malformed or semantically invalid scenario spec. what() carries
+ * the full actionable message (JSON path, offending value, and what
+ * would be accepted instead).
+ */
+class SpecError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Serializable SSD description: a geometry preset plus the
+ * evaluation knobs the paper sweeps. toConfig() materializes the
+ * full ssd::Config.
+ */
+struct SsdSpec {
+    /** "small" (fast tests/benches) or "paper" (512-GiB class). */
+    std::string geometry = "small";
+    /** Preconditioned wear in kilo-P/E-cycles. */
+    double pecKilo = 0.0;
+    /** Preconditioned retention age in months. */
+    double retentionMonths = 0.0;
+    double temperatureC = 30.0;
+    /** Read-reclaim refresh threshold in months (0 = off). */
+    double refreshMonths = 0.0;
+    bool suspension = true;
+    std::uint64_t seed = 42;
+
+    /** @throws SpecError on an unknown geometry preset. */
+    ssd::Config toConfig() const;
+
+    bool operator==(const SsdSpec &o) const;
+    bool operator!=(const SsdSpec &o) const { return !(*this == o); }
+};
+
+/**
+ * The full, serializable description of one scenario run (possibly
+ * swept over several mechanisms).
+ */
+struct ScenarioSpec {
+    /** Optional display label (free-form). */
+    std::string name;
+    SsdSpec ssd;
+    /** Mechanism sweep, in run order. */
+    std::vector<std::string> mechanisms = {"Baseline"};
+    std::uint32_t drives = 1;
+    // ----- host-interface options -----
+    std::uint32_t queueDepth = 16;
+    /** "rr", "wrr", or "slo" (see host::Arbitration). */
+    std::string arbitration = "rr";
+    /** 0 = auto (8 command slots per drive). */
+    std::uint32_t maxDeviceInflight = 0;
+    std::vector<TenantSpec> tenants;
+
+    /**
+     * Check every field and cross-field constraint.
+     * @throws SpecError naming the first offending field
+     */
+    void validate() const;
+
+    sim::json::Value toJson() const;
+    /** Pretty-printed JSON document (the --dump-scenario format). */
+    std::string toJsonText() const;
+
+    /** @throws SpecError on schema violations (validate() is NOT
+     *  implied; call it after loading, or use loadFile). */
+    static ScenarioSpec fromJson(const sim::json::Value &v);
+    /** Parse + schema-check + validate. @throws SpecError */
+    static ScenarioSpec fromJsonText(const std::string &text);
+    /** Read + parse + validate a spec file. @throws SpecError */
+    static ScenarioSpec loadFile(const std::string &path);
+    /** Write toJsonText() to @p path. @throws SpecError on I/O. */
+    void saveFile(const std::string &path) const;
+
+    /**
+     * Materialize the runnable config for one mechanism of the
+     * sweep. @p mech must parse as one of mechanisms (callers
+     * iterate the sweep). The result is exactly what the legacy
+     * hand-wired consumers built, so runs are bit-identical.
+     */
+    ScenarioConfig toConfig(core::Mechanism mech,
+                            TraceCache *cache = nullptr) const;
+
+    bool operator==(const ScenarioSpec &o) const;
+    bool operator!=(const ScenarioSpec &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/** Tenant equality (spec round-trip checks). */
+bool operator==(const TenantSpec &a, const TenantSpec &b);
+inline bool
+operator!=(const TenantSpec &a, const TenantSpec &b)
+{
+    return !(a == b);
+}
+
+/** Validate + run one mechanism of a spec's sweep. */
+ScenarioResult runScenario(const ScenarioSpec &spec,
+                           core::Mechanism mech,
+                           TraceCache *cache = nullptr);
+
+/**
+ * Fluent composer for C++ callers:
+ *
+ *   const ScenarioSpec spec =
+ *       ScenarioBuilder()
+ *           .geometry("small").pec(1.0).retention(6.0).seed(13)
+ *           .drives(2).queueDepth(16).arbitration("wrr")
+ *           .mechanism(core::Mechanism::Baseline)
+ *           .mechanism(core::Mechanism::PnAR2)
+ *           .tenant("kv", "YCSB-C", 600)
+ *           .qdLimit(4).weight(3).sloUs(500.0)
+ *           .tenant("log", "stg_0", 600)
+ *           .build();
+ *
+ * tenant() appends a tenant and makes it current; the per-tenant
+ * setters after it (mode()/qdLimit()/weight()/iops()/rateIops()/
+ * burst()/sloUs()/channels()/horizonUs()) modify that tenant.
+ * build() validates and returns the spec (throws SpecError).
+ */
+class ScenarioBuilder
+{
+  public:
+    ScenarioBuilder();
+
+    // ----- SSD -----
+    ScenarioBuilder &name(std::string label);
+    ScenarioBuilder &geometry(std::string preset);
+    ScenarioBuilder &pec(double kilo);
+    ScenarioBuilder &retention(double months);
+    ScenarioBuilder &temperature(double celsius);
+    ScenarioBuilder &refresh(double months);
+    ScenarioBuilder &suspension(bool on);
+    ScenarioBuilder &seed(std::uint64_t s);
+
+    // ----- sweep / array / host -----
+    /** Append a mechanism to the sweep (empty sweep = Baseline). */
+    ScenarioBuilder &mechanism(const std::string &name);
+    ScenarioBuilder &mechanism(core::Mechanism m);
+    ScenarioBuilder &drives(std::uint32_t n);
+    ScenarioBuilder &queueDepth(std::uint32_t d);
+    ScenarioBuilder &arbitration(const std::string &policy);
+    ScenarioBuilder &arbitration(Arbitration policy);
+    ScenarioBuilder &maxDeviceInflight(std::uint32_t n);
+
+    // ----- tenants -----
+    /** Append a tenant; subsequent per-tenant setters apply to it. */
+    ScenarioBuilder &tenant(std::string name, std::string workload,
+                            std::uint64_t requests);
+    ScenarioBuilder &tenant(const TenantSpec &spec);
+    ScenarioBuilder &mode(InjectionMode m);
+    ScenarioBuilder &openLoop() { return mode(InjectionMode::OpenLoop); }
+    ScenarioBuilder &qdLimit(std::uint32_t qd);
+    ScenarioBuilder &weight(std::uint32_t w);
+    ScenarioBuilder &iops(double rate);
+    ScenarioBuilder &rateIops(double rate);
+    ScenarioBuilder &burst(double commands);
+    ScenarioBuilder &sloUs(double us);
+    /** Pin the current tenant to these channels of every drive. */
+    ScenarioBuilder &channels(const std::vector<std::uint32_t> &chans);
+    ScenarioBuilder &horizonUs(double us);
+
+    /** Validate and return the finished spec. @throws SpecError */
+    ScenarioSpec build() const;
+    /** The spec as composed so far, without validation. */
+    const ScenarioSpec &peek() const { return spec_; }
+
+  private:
+    TenantSpec &current();
+
+    ScenarioSpec spec_;
+};
+
+} // namespace ssdrr::host
+
+#endif // SSDRR_HOST_SCENARIO_SPEC_HH

@@ -7,30 +7,82 @@
 namespace ssdrr::host {
 
 Tenant::Tenant(std::string name, workload::Trace trace,
-               InjectionMode mode, std::uint32_t qd_limit,
-               std::uint32_t weight, HostInterface &hif)
-    : name_(std::move(name)), trace_(std::move(trace)), mode_(mode),
-      qd_limit_(qd_limit), hif_(hif), qid_(hif.addQueuePair(weight))
+               const TenantOptions &opt, HostInterface &hif)
+    : name_(std::move(name)), trace_(std::move(trace)), opt_(opt),
+      hif_(hif),
+      qid_(hif.addQueuePair(opt.weight,
+                            QueueQos{opt.rateIops, opt.burst,
+                                     opt.sloUs}))
 {
-    SSDRR_ASSERT(qd_limit_ >= 1, "tenant needs a QD of at least 1");
-    SSDRR_ASSERT(mode_ == InjectionMode::OpenLoop ||
-                     qd_limit_ <= hif.options().queueDepth,
-                 "closed-loop QD ", qd_limit_,
+    SSDRR_ASSERT(opt_.qdLimit >= 1, "tenant needs a QD of at least 1");
+    SSDRR_ASSERT(opt_.mode == InjectionMode::OpenLoop ||
+                     opt_.qdLimit <= hif.options().queueDepth,
+                 "closed-loop QD ", opt_.qdLimit,
                  " exceeds queue-pair depth ",
                  hif.options().queueDepth);
+    SSDRR_ASSERT(opt_.horizonUs == 0.0 ||
+                     opt_.mode == InjectionMode::OpenLoop,
+                 "a time horizon needs open-loop injection "
+                 "(closed-loop replays its trace once)");
+    horizon_ = sim::usec(opt_.horizonUs);
     hif_.bindCompletion(
         qid_, [this](const ssd::HostCompletion &c) { onComplete(c); });
 }
 
-bool
-Tenant::tryPost(std::size_t index, sim::Tick arrival)
+Tenant::Tenant(std::string name, workload::Trace trace,
+               InjectionMode mode, std::uint32_t qd_limit,
+               std::uint32_t weight, HostInterface &hif)
+    : Tenant(std::move(name), std::move(trace),
+             [&] {
+                 TenantOptions o;
+                 o.mode = mode;
+                 o.qdLimit = qd_limit;
+                 o.weight = weight;
+                 return o;
+             }(),
+             hif)
 {
-    const workload::TraceRecord &rec = trace_.records()[index];
+}
+
+sim::Tick
+Tenant::arrivalOf(std::uint64_t index) const
+{
+    const std::uint64_t lap = index / trace_.size();
+    const workload::TraceRecord &rec =
+        trace_.records()[index % trace_.size()];
+    return base_ + lap * span_ + rec.arrival;
+}
+
+bool
+Tenant::injectionDone() const
+{
+    if (opt_.mode == InjectionMode::ClosedLoop)
+        return next_ >= trace_.size();
+    return injection_stopped_;
+}
+
+bool
+Tenant::done() const
+{
+    if (trace_.empty())
+        return true;
+    return injectionDone() && backlog_ == 0 && inflight_ == 0 &&
+           (opt_.mode == InjectionMode::ClosedLoop
+                ? completed_ == trace_.size()
+                : completed_ == arrivals_);
+}
+
+bool
+Tenant::tryPost(std::uint64_t index, sim::Tick arrival)
+{
+    const workload::TraceRecord &rec =
+        trace_.records()[index % trace_.size()];
     ssd::HostRequest req;
     req.arrival = arrival;
     req.lpn = rec.lpn;
     req.pages = rec.pages;
     req.isRead = rec.isRead;
+    req.channelMask = opt_.channelMask;
     if (!hif_.post(qid_, req))
         return false;
     ++next_;
@@ -43,15 +95,14 @@ void
 Tenant::postNext()
 {
     sim::EventQueue &eq = hif_.array().eventQueue();
-    if (mode_ == InjectionMode::ClosedLoop) {
-        while (inflight_ < qd_limit_ && next_ < trace_.size()) {
+    if (opt_.mode == InjectionMode::ClosedLoop) {
+        while (inflight_ < opt_.qdLimit && next_ < trace_.size()) {
             if (!tryPost(next_, eq.now()))
                 break; // SQ full: resume on the next completion
         }
     } else {
         while (backlog_ > 0) {
-            const workload::TraceRecord &rec = trace_.records()[next_];
-            if (!tryPost(next_, base_ + rec.arrival))
+            if (!tryPost(next_, arrivalOf(next_)))
                 break;
             --backlog_;
         }
@@ -61,10 +112,19 @@ Tenant::postNext()
 void
 Tenant::scheduleNextArrival()
 {
-    if (sched_ >= trace_.size())
+    if (injection_stopped_)
         return;
-    const sim::Tick when = base_ + trace_.records()[sched_].arrival;
+    if (sched_ >= trace_.size() && horizon_ == 0) {
+        injection_stopped_ = true; // trace replayed once
+        return;
+    }
+    const sim::Tick when = arrivalOf(sched_);
+    if (horizon_ > 0 && when >= base_ + horizon_) {
+        injection_stopped_ = true; // horizon reached
+        return;
+    }
     ++sched_;
+    ++arrivals_;
     hif_.array().eventQueue().schedule(when,
                                        [this] { openLoopArrival(); });
 }
@@ -87,7 +147,18 @@ Tenant::start()
         return;
     sim::EventQueue &eq = hif_.array().eventQueue();
     base_ = eq.now();
-    if (mode_ == InjectionMode::ClosedLoop) {
+    if (horizon_ > 0) {
+        // Per-lap offset for trace wrap-around: the trace span plus
+        // one mean inter-arrival gap, so the first record of lap k+1
+        // follows the last record of lap k at the trace's own rate.
+        const sim::Tick last = trace_.records().back().arrival;
+        const sim::Tick gap =
+            trace_.size() > 1
+                ? last / static_cast<sim::Tick>(trace_.size() - 1)
+                : 0;
+        span_ = std::max<sim::Tick>(last + gap, 1);
+    }
+    if (opt_.mode == InjectionMode::ClosedLoop) {
         // Fill the window now; completions keep it full.
         eq.scheduleAfter(0, [this] { postNext(); });
         return;
@@ -101,6 +172,7 @@ Tenant::onComplete(const ssd::HostCompletion &c)
     SSDRR_ASSERT(inflight_ > 0, "completion with no request in flight");
     --inflight_;
     ++completed_;
+    last_complete_ = hif_.array().eventQueue().now();
     // Each completion is recorded once (read or write histogram);
     // the all-request view is a merge at reporting time.
     if (c.isRead) {
@@ -134,6 +206,10 @@ Tenant::stats() const
         s.readP99Us = lat_read_.percentile(99.0);
         s.readP999Us = lat_read_.percentile(99.9);
     }
+    if (completed_ > 0 && last_complete_ > base_)
+        s.achievedIops = static_cast<double>(completed_) /
+                         (static_cast<double>(last_complete_ - base_) *
+                          1e-9);
     return s;
 }
 

@@ -10,6 +10,17 @@
  * the moment a completion frees a slot). Per-request latency is
  * measured from intended arrival (open-loop) or post time
  * (closed-loop) to completion, so host-side queueing is included.
+ *
+ * Options beyond the injection mode:
+ *  - QoS: a token-bucket rate limit and/or latency SLO attached to
+ *    the tenant's queue pair (enforced by the host interface's
+ *    command-fetch arbitration, see host/queue_pair.hh).
+ *  - Channel affinity: a channel mask stamped on every request, so
+ *    the tenant's writes stay on its channel subset.
+ *  - Time horizon: an open-loop tenant can run to a simulated-time
+ *    horizon instead of a fixed request count — the trace is
+ *    replayed in laps (arrivals offset by the trace span per lap)
+ *    and injection stops at the horizon.
  */
 
 #ifndef SSDRR_HOST_TENANT_HH
@@ -29,6 +40,29 @@ enum class InjectionMode {
     ClosedLoop, ///< fixed queue-depth window, completion-driven
 };
 
+/** How a tenant injects its trace and what QoS contract it holds. */
+struct TenantOptions {
+    InjectionMode mode = InjectionMode::ClosedLoop;
+    /** Closed-loop window; must not exceed the queue-pair depth. */
+    std::uint32_t qdLimit = 16;
+    /** WRR arbitration weight. */
+    std::uint32_t weight = 1;
+    /** Token-bucket rate limit in commands/second (0 = unlimited). */
+    double rateIops = 0.0;
+    /** Token-bucket depth in commands (0 = 1, strict pacing). */
+    double burst = 0.0;
+    /** Latency SLO in microseconds (0 = best-effort); honoured by
+     *  the "slo" arbitration policy. */
+    double sloUs = 0.0;
+    /** Channel-affinity mask (bit c = channel c; 0 = all channels),
+     *  stamped on every request the tenant posts. */
+    std::uint32_t channelMask = 0;
+    /** Open-loop stop condition: inject until this much simulated
+     *  time has passed (microseconds; 0 = replay the trace once),
+     *  wrapping the trace as many times as needed. */
+    double horizonUs = 0.0;
+};
+
 /** End-of-run per-tenant latency summary. */
 struct TenantStats {
     std::string name;
@@ -44,6 +78,9 @@ struct TenantStats {
     double readP50Us = 0.0;
     double readP99Us = 0.0;
     double readP999Us = 0.0;
+    /** Completed commands per second of tenant-active simulated time
+     *  (start() to last completion); the token-bucket observable. */
+    double achievedIops = 0.0;
 };
 
 class Tenant
@@ -53,12 +90,14 @@ class Tenant
      * @param name display name
      * @param trace workload over the tenant's own LPN range (already
      *              offset into the array's global space)
-     * @param mode open- or closed-loop injection
-     * @param qd_limit closed-loop window (ignored open-loop); must
-     *                 not exceed the queue-pair depth
+     * @param opt injection mode, window, weight and QoS contract
      * @param hif host interface; the tenant creates its own queue
-     *            pair on it with @p weight
+     *            pair on it with the options' weight and QoS
      */
+    Tenant(std::string name, workload::Trace trace,
+           const TenantOptions &opt, HostInterface &hif);
+
+    /** Legacy convenience (open/closed loop, no QoS). */
     Tenant(std::string name, workload::Trace trace, InjectionMode mode,
            std::uint32_t qd_limit, std::uint32_t weight,
            HostInterface &hif);
@@ -68,9 +107,10 @@ class Tenant
 
     const std::string &tenantName() const { return name_; }
     std::uint32_t qid() const { return qid_; }
-    InjectionMode mode() const { return mode_; }
+    InjectionMode mode() const { return opt_.mode; }
+    const TenantOptions &options() const { return opt_; }
 
-    bool done() const { return completed_ == trace_.size(); }
+    bool done() const;
     std::uint64_t completed() const { return completed_; }
     std::uint32_t inflight() const { return inflight_; }
     /** High-water mark of in-flight requests (QD invariant checks). */
@@ -92,24 +132,34 @@ class Tenant
     void scheduleNextArrival();
     void openLoopArrival();
     void onComplete(const ssd::HostCompletion &c);
-    bool tryPost(std::size_t index, sim::Tick arrival);
+    bool tryPost(std::uint64_t index, sim::Tick arrival);
+    /** Intended arrival of monotonic record index @p index (laps
+     *  offset by the trace span under a horizon). */
+    sim::Tick arrivalOf(std::uint64_t index) const;
+    /** Total records to inject (trace size, or unbounded under a
+     *  horizon until the stop condition fires). */
+    bool injectionDone() const;
 
     std::string name_;
     workload::Trace trace_;
-    InjectionMode mode_;
-    std::uint32_t qd_limit_;
+    TenantOptions opt_;
     HostInterface &hif_;
     std::uint32_t qid_;
 
-    sim::Tick base_ = 0;        ///< simulated time of start()
-    std::size_t next_ = 0;      ///< next trace record to post
-    std::size_t sched_ = 0;     ///< open-loop: next arrival to schedule
-    std::size_t backlog_ = 0;   ///< open-loop: arrivals not yet posted
+    sim::Tick base_ = 0;     ///< simulated time of start()
+    sim::Tick horizon_ = 0;  ///< ticks; 0 = one full trace replay
+    sim::Tick span_ = 0;     ///< per-lap arrival offset (horizon mode)
+    std::uint64_t next_ = 0;  ///< next record to post (monotonic)
+    std::uint64_t sched_ = 0; ///< open-loop: next arrival to schedule
+    std::uint64_t arrivals_ = 0; ///< open-loop arrivals scheduled
+    bool injection_stopped_ = false; ///< horizon reached
+    std::size_t backlog_ = 0; ///< open-loop: arrivals not yet posted
     std::uint32_t inflight_ = 0;
     std::uint32_t max_inflight_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t reads_done_ = 0;
     std::uint64_t writes_done_ = 0;
+    sim::Tick last_complete_ = 0;
 
     sim::Histogram lat_read_;
     sim::Histogram lat_write_;

@@ -1,0 +1,612 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::sim::json {
+
+const char *
+Value::typeName(Type t)
+{
+    switch (t) {
+    case Type::Null:
+        return "null";
+    case Type::Bool:
+        return "boolean";
+    case Type::Number:
+        return "number";
+    case Type::String:
+        return "string";
+    case Type::Array:
+        return "array";
+    case Type::Object:
+        return "object";
+    }
+    return "?";
+}
+
+bool
+Value::asBool() const
+{
+    SSDRR_ASSERT(isBool(), "JSON value is ", typeName(), ", not boolean");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    SSDRR_ASSERT(isNumber(), "JSON value is ", typeName(), ", not number");
+    return num_;
+}
+
+const std::string &
+Value::asString() const
+{
+    SSDRR_ASSERT(isString(), "JSON value is ", typeName(), ", not string");
+    return str_;
+}
+
+const Elements &
+Value::elements() const
+{
+    SSDRR_ASSERT(isArray(), "JSON value is ", typeName(), ", not array");
+    return elems_;
+}
+
+const Members &
+Value::members() const
+{
+    SSDRR_ASSERT(isObject(), "JSON value is ", typeName(), ", not object");
+    return members_;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+Value &
+Value::set(const std::string &key, Value v)
+{
+    SSDRR_ASSERT(isObject(), "set() on ", typeName());
+    for (auto &[k, old] : members_) {
+        if (k == key) {
+            old = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+Value &
+Value::push(Value v)
+{
+    SSDRR_ASSERT(isArray(), "push() on ", typeName());
+    elems_.push_back(std::move(v));
+    return *this;
+}
+
+bool
+Value::operator==(const Value &o) const
+{
+    if (type_ != o.type_)
+        return false;
+    switch (type_) {
+    case Type::Null:
+        return true;
+    case Type::Bool:
+        return bool_ == o.bool_;
+    case Type::Number:
+        return num_ == o.num_;
+    case Type::String:
+        return str_ == o.str_;
+    case Type::Array:
+        return elems_ == o.elems_;
+    case Type::Object:
+        return members_ == o.members_;
+    }
+    return false;
+}
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    // Integral values (the common case for counts and seeds) print
+    // without a decimal point; everything else uses %.17g, which
+    // round-trips an IEEE double exactly.
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+void
+Value::dumpInto(std::string &out, int indent, int depth) const
+{
+    const auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Number:
+        appendNumber(out, num_);
+        break;
+    case Type::String:
+        appendEscaped(out, str_);
+        break;
+    case Type::Array:
+        if (elems_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < elems_.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ", ";
+            newline(depth + 1);
+            elems_[i].dumpInto(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+    case Type::Object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ", ";
+            newline(depth + 1);
+            appendEscaped(out, members_[i].first);
+            out += ": ";
+            members_[i].second.dumpInto(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpInto(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+std::string
+dump(const Value &v, int indent)
+{
+    return v.dump(indent);
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    Value
+    run()
+    {
+        skipWs();
+        Value v = parseValue();
+        if (failed_)
+            return Value();
+        skipWs();
+        if (pos_ < text_.size()) {
+            fail("unexpected trailing characters after the document");
+            return Value();
+        }
+        return v;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (!failed_) {
+            failed_ = true;
+            if (error_)
+                *error_ = "line " + std::to_string(line_) +
+                          ", column " + std::to_string(col()) + ": " +
+                          msg;
+        }
+        return false;
+    }
+
+    std::size_t col() const { return pos_ - line_start_ + 1; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+                line_start_ = pos_;
+            } else if (c == ' ' || c == '\t' || c == '\r') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    bool
+    consume(char expect, const char *what)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != expect)
+            return fail(std::string("expected ") + what);
+        ++pos_;
+        return true;
+    }
+
+    Value
+    parseValue()
+    {
+        if (pos_ >= text_.size()) {
+            (void)fail("unexpected end of input");
+            return Value();
+        }
+        // The parser recurses per nesting level; cap the depth so a
+        // pathological document fails with a message instead of
+        // overflowing the stack. Real scenario files nest ~4 deep.
+        if (depth_ >= kMaxDepth) {
+            (void)fail("nesting deeper than " +
+                       std::to_string(kMaxDepth) + " levels");
+            return Value();
+        }
+        switch (text_[pos_]) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return parseString();
+        case 't':
+            return parseLiteral("true", Value(true));
+        case 'f':
+            return parseLiteral("false", Value(false));
+        case 'n':
+            return parseLiteral("null", Value());
+        default:
+            return parseNumber();
+        }
+    }
+
+    Value
+    parseLiteral(const char *lit, Value v)
+    {
+        const std::size_t len = std::string(lit).size();
+        if (text_.compare(pos_, len, lit) != 0) {
+            (void)fail(std::string("invalid literal (expected '") +
+                       lit + "')");
+            return Value();
+        }
+        pos_ += len;
+        return v;
+    }
+
+    Value
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            if (std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                digits = true;
+            ++pos_;
+        }
+        if (!digits) {
+            pos_ = start;
+            (void)fail("invalid value (expected an object, array, "
+                       "string, number, true, false, or null)");
+            return Value();
+        }
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) {
+            pos_ = start;
+            (void)fail("malformed number '" + tok + "'");
+            return Value();
+        }
+        return Value(v);
+    }
+
+    Value
+    parseString()
+    {
+        std::string out;
+        if (!consume('"', "'\"'"))
+            return Value();
+        while (true) {
+            if (pos_ >= text_.size()) {
+                (void)fail("unterminated string");
+                return Value();
+            }
+            const char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c == '\n') {
+                --pos_;
+                (void)fail("unterminated string (newline in string)");
+                return Value();
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                (void)fail("unterminated escape sequence");
+                return Value();
+            }
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    (void)fail("truncated \\u escape");
+                    return Value();
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        (void)fail("invalid \\u escape digit");
+                        return Value();
+                    }
+                }
+                // Encode as UTF-8 (surrogate pairs are passed through
+                // as-is; scenario files are ASCII in practice).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+            }
+            default:
+                (void)fail(std::string("invalid escape '\\") + e + "'");
+                return Value();
+            }
+        }
+        return Value(std::move(out));
+    }
+
+    Value
+    parseArray()
+    {
+        ++depth_;
+        Value arr = Value::array();
+        if (!consume('[', "'['"))
+            return Value();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            --depth_;
+            return arr;
+        }
+        while (true) {
+            skipWs();
+            Value v = parseValue();
+            if (failed_)
+                return Value();
+            arr.push(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size()) {
+                (void)fail("unterminated array (expected ',' or ']')");
+                return Value();
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                --depth_;
+                return arr;
+            }
+            (void)fail("expected ',' or ']' in array");
+            return Value();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        ++depth_;
+        Value obj = Value::object();
+        if (!consume('{', "'{'"))
+            return Value();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            --depth_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                (void)fail("expected a quoted object key");
+                return Value();
+            }
+            Value key = parseString();
+            if (failed_)
+                return Value();
+            if (obj.find(key.asString())) {
+                (void)fail("duplicate key \"" + key.asString() + "\"");
+                return Value();
+            }
+            skipWs();
+            if (!consume(':', "':' after object key"))
+                return Value();
+            skipWs();
+            Value v = parseValue();
+            if (failed_)
+                return Value();
+            obj.set(key.asString(), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size()) {
+                (void)fail("unterminated object (expected ',' or '}')");
+                return Value();
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                --depth_;
+                return obj;
+            }
+            (void)fail("expected ',' or '}' in object");
+            return Value();
+        }
+    }
+
+    static constexpr std::size_t kMaxDepth = 256;
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+    std::size_t line_start_ = 0;
+    std::size_t depth_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+Value
+parse(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+} // namespace ssdrr::sim::json

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Minimal dependency-free JSON reader/writer for scenario files.
+ *
+ * Supports the full JSON value grammar (objects, arrays, strings
+ * with escapes, numbers, booleans, null). Objects preserve insertion
+ * order so a loaded-and-redumped file stays diffable, and duplicate
+ * keys are a parse error (they are always a typo in a config file).
+ * The parser reports errors with line:column positions so scenario
+ * authors get actionable messages instead of a silent default.
+ *
+ * This is a configuration-file codec, not a streaming parser: inputs
+ * are small (kilobytes), so everything is materialized eagerly.
+ */
+
+#ifndef SSDRR_SIM_JSON_HH
+#define SSDRR_SIM_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssdrr::sim::json {
+
+class Value;
+
+/** Object member list; insertion-ordered, unique keys. */
+using Members = std::vector<std::pair<std::string, Value>>;
+using Elements = std::vector<Value>;
+
+class Value
+{
+  public:
+    enum class Type {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() : type_(Type::Null) {}
+    explicit Value(bool b) : type_(Type::Bool), bool_(b) {}
+    explicit Value(double n) : type_(Type::Number), num_(n) {}
+    explicit Value(std::uint64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {
+    }
+    explicit Value(std::string s)
+        : type_(Type::String), str_(std::move(s))
+    {
+    }
+    explicit Value(const char *s) : type_(Type::String), str_(s) {}
+
+    static Value array() { return Value(Type::Array); }
+    static Value object() { return Value(Type::Object); }
+
+    Type type() const { return type_; }
+    /** Human-readable type name ("object", "number", ...). */
+    static const char *typeName(Type t);
+    const char *typeName() const { return typeName(type_); }
+
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Elements &elements() const;
+    const Members &members() const;
+
+    /** Object lookup; nullptr when absent (or not an object). */
+    const Value *find(const std::string &key) const;
+
+    /** Set/replace an object member (keeps first-insertion order). */
+    Value &set(const std::string &key, Value v);
+
+    /** Append an array element. */
+    Value &push(Value v);
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level and a trailing newline; 0 emits one compact line.
+     * Number formatting round-trips doubles exactly (integral values
+     * print without an exponent or decimal point).
+     */
+    std::string dump(int indent = 2) const;
+
+    bool operator==(const Value &o) const;
+    bool operator!=(const Value &o) const { return !(*this == o); }
+
+  private:
+    explicit Value(Type t) : type_(t) {}
+
+    void dumpInto(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Elements elems_;
+    Members members_;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ *
+ * On success returns the value and leaves @p error empty. On failure
+ * returns null and sets @p error to "line L, column C: message".
+ * Trailing non-whitespace after the document is an error.
+ */
+Value parse(const std::string &text, std::string *error);
+
+/** Serialize @p v (convenience for Value::dump). */
+std::string dump(const Value &v, int indent = 2);
+
+} // namespace ssdrr::sim::json
+
+#endif // SSDRR_SIM_JSON_HH

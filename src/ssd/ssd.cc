@@ -151,9 +151,10 @@ Ssd::buildReadTxn(ftl::Lpn lpn, std::uint64_t host_id, TxnKind kind,
 }
 
 void
-Ssd::buildWriteTxn(ftl::Lpn lpn, std::uint64_t host_id)
+Ssd::buildWriteTxn(ftl::Lpn lpn, std::uint64_t host_id,
+                   std::uint32_t channel_mask)
 {
-    ftl::WriteAlloc alloc = ftl_.hostWrite(lpn, eq_.now());
+    ftl::WriteAlloc alloc = ftl_.hostWrite(lpn, eq_.now(), channel_mask);
     Txn t = txnFor(alloc.ppn);
     t.kind = TxnKind::HostWrite;
     t.id = next_txn_id_++;
@@ -260,7 +261,7 @@ Ssd::submit(const HostRequest &req)
         if (req.isRead)
             buildReadTxn(req.lpn + i, req.id, TxnKind::HostRead);
         else
-            buildWriteTxn(req.lpn + i, req.id);
+            buildWriteTxn(req.lpn + i, req.id, req.channelMask);
     }
 }
 

@@ -42,6 +42,14 @@ struct HostRequest {
     ftl::Lpn lpn = 0;      ///< first logical page
     std::uint32_t pages = 1;
     bool isRead = true;
+    /**
+     * Channel-affinity mask for writes (bit c = channel c allowed;
+     * 0 = unrestricted). The FTL allocates the new physical page on
+     * a plane of an allowed channel; reads are unaffected (they go
+     * wherever the page currently lives). Set by the host layer for
+     * tenants pinned to a channel subset.
+     */
+    std::uint32_t channelMask = 0;
 };
 
 /**
@@ -166,6 +174,12 @@ class Ssd
         return profile_cache_;
     }
 
+    /** Channel bus @p c (per-channel utilization observability). */
+    const Channel &channelAt(std::uint32_t c) const
+    {
+        return *channels_.at(c);
+    }
+
   private:
     Ssd(const Config &cfg, core::Mechanism mech, sim::EventQueue *shared);
 
@@ -179,7 +193,8 @@ class Ssd
                       std::uint64_t gc_tag = 0);
     /** Read-reclaim: rewrite @p lpn to reset its retention age. */
     void refreshPage(ftl::Lpn lpn);
-    void buildWriteTxn(ftl::Lpn lpn, std::uint64_t host_id);
+    void buildWriteTxn(ftl::Lpn lpn, std::uint64_t host_id,
+                       std::uint32_t channel_mask);
     void scheduleGc(std::vector<ftl::GcWork> work);
     void finishHostPage(std::uint64_t host_id);
     Txn txnFor(const ftl::Ppn &ppn);

@@ -64,13 +64,25 @@ allWorkloads()
     return all;
 }
 
+bool
+tryFindWorkload(const std::string &name, SyntheticSpec *out)
+{
+    for (const auto &s : allWorkloads()) {
+        if (s.name == name) {
+            if (out)
+                *out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
 SyntheticSpec
 findWorkload(const std::string &name)
 {
-    for (const auto &s : allWorkloads()) {
-        if (s.name == name)
-            return s;
-    }
+    SyntheticSpec s;
+    if (tryFindWorkload(name, &s))
+        return s;
     SSDRR_FATAL("unknown workload: ", name);
 }
 

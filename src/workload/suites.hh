@@ -26,6 +26,9 @@ std::vector<SyntheticSpec> allWorkloads();
 /** Find a spec by name; fatal if unknown. */
 SyntheticSpec findWorkload(const std::string &name);
 
+/** Non-fatal lookup. @retval false if @p name is not a suite entry. */
+bool tryFindWorkload(const std::string &name, SyntheticSpec *out);
+
 } // namespace ssdrr::workload
 
 #endif // SSDRR_WORKLOAD_SUITES_HH

@@ -11,41 +11,39 @@
 
 #include <map>
 
-#include "host/scenario.hh"
+#include "host/scenario_spec.hh"
 
 namespace ssdrr::host {
 namespace {
 
-ScenarioConfig
-twoTenantConfig(core::Mechanism mech)
+/** Both tenants contend for one SSD through depth-8 queue pairs. */
+ScenarioSpec
+twoTenantSpec()
 {
-    ScenarioConfig sc;
-    sc.ssd = ssd::Config::small();
-    sc.ssd.basePeKilo = 1.0;
-    sc.ssd.baseRetentionMonths = 6.0;
-    sc.ssd.seed = 13;
-    sc.mech = mech;
-    sc.drives = 1; // both tenants contend for one SSD
-    sc.host.queueDepth = 8;
-    sc.host.arbitration = Arbitration::RoundRobin;
-    for (int t = 0; t < 2; ++t) {
-        TenantSpec ts;
-        ts.workload = t == 0 ? "usr_1" : "YCSB-C";
-        ts.name = "t" + std::to_string(t);
-        ts.requests = 250;
-        ts.qdLimit = 8;
-        sc.tenants.push_back(ts);
-    }
-    return sc;
+    return ScenarioBuilder()
+        .pec(1.0)
+        .retention(6.0)
+        .seed(13)
+        .drives(1)
+        .queueDepth(8)
+        .arbitration(Arbitration::RoundRobin)
+        .mechanism(core::Mechanism::Baseline)
+        .mechanism(core::Mechanism::AR2)
+        .mechanism(core::Mechanism::PnAR2)
+        .tenant("t0", "usr_1", 250)
+        .qdLimit(8)
+        .tenant("t1", "YCSB-C", 250)
+        .qdLimit(8)
+        .build();
 }
 
 TEST(MultiTenantOrdering, PerTenantP99FollowsMechanismOrdering)
 {
+    const ScenarioSpec spec = twoTenantSpec();
     std::map<core::Mechanism, ScenarioResult> res;
-    for (core::Mechanism m :
-         {core::Mechanism::Baseline, core::Mechanism::AR2,
-          core::Mechanism::PnAR2}) {
-        res[m] = runScenario(twoTenantConfig(m));
+    for (const std::string &mname : spec.mechanisms) {
+        const core::Mechanism m = core::parseMechanism(mname);
+        res[m] = runScenario(spec, m);
     }
 
     const double slack = 1.05; // queueing noise tolerance

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Integration tests for the scenario API v2 capabilities, each
+ * demonstrating an observable end-to-end effect:
+ *
+ *  - token-bucket rate limiting caps a tenant's achieved throughput
+ *    (and stretches the run accordingly);
+ *  - SLO-aware arbitration protects an SLO-bound tenant's tail
+ *    against an aggressive best-effort neighbour;
+ *  - channel affinity pins a tenant's traffic to its channel subset
+ *    and isolates a neighbour from its retry storm;
+ *  - a time horizon bounds an open-loop run by simulated time, not
+ *    request count (the trace wraps as often as needed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/scenario_spec.hh"
+
+namespace ssdrr::host {
+namespace {
+
+TEST(TokenBucket, CapsAchievedThroughput)
+{
+    // One closed-loop tenant that could easily run at tens of
+    // thousands of IOPS against a fresh drive; throttle it to 5000.
+    const double rate = 5000.0;
+    ScenarioBuilder throttled;
+    throttled.seed(5).mechanism(core::Mechanism::NoRR)
+        .tenant("t", "usr_1", 300)
+        .rateIops(rate)
+        .burst(4.0);
+    const ScenarioResult limited = runScenario(
+        throttled.build(), core::Mechanism::NoRR);
+
+    ScenarioBuilder open;
+    open.seed(5).mechanism(core::Mechanism::NoRR)
+        .tenant("t", "usr_1", 300);
+    const ScenarioResult unlimited =
+        runScenario(open.build(), core::Mechanism::NoRR);
+
+    ASSERT_EQ(limited.tenants[0].completed, 300u);
+    ASSERT_EQ(unlimited.tenants[0].completed, 300u);
+    const double got = limited.tenants[0].achievedIops;
+    EXPECT_GT(got, 0.0);
+    EXPECT_LE(got, rate * 1.05)
+        << "token bucket must cap throughput at the refill rate";
+    EXPECT_GT(unlimited.tenants[0].achievedIops, rate * 2.0)
+        << "the unthrottled twin should blow well past the cap "
+           "(otherwise this test proves nothing)";
+    // 300 requests at <= 5000/s is >= 60 ms of simulated time.
+    EXPECT_GE(limited.array.simulatedMs, 55.0);
+    EXPECT_LT(unlimited.array.simulatedMs,
+              limited.array.simulatedMs / 2.0);
+}
+
+TEST(SloArbitration, ProtectsSloTenantTail)
+{
+    // A latency-sensitive reader with a tight SLO against an
+    // aggressive deep-window neighbour, on one worn drive with few
+    // controller command slots — the regime where command-fetch
+    // arbitration gates latency. Under "slo" arbitration the
+    // reader's commands are fetched first whenever it is behind, so
+    // its p99 must undercut the best-effort neighbour's and its own
+    // "rr" tail, where the batch tenant's backlog fills the slots.
+    auto build = [](const std::string &arb, double slo_us) {
+        ScenarioBuilder b;
+        b.pec(1.0).retention(6.0).seed(11).queueDepth(16)
+            .maxDeviceInflight(4)
+            .arbitration(arb)
+            .mechanism(core::Mechanism::Baseline)
+            .tenant("latency", "YCSB-C", 300)
+            .qdLimit(4)
+            .tenant("batch", "usr_1", 300)
+            .qdLimit(16);
+        if (slo_us > 0.0) {
+            // SLO on the first tenant.
+            ScenarioSpec spec = b.peek();
+            spec.tenants[0].sloUs = slo_us;
+            spec.validate();
+            return spec;
+        }
+        return b.build();
+    };
+
+    const ScenarioResult slo =
+        runScenario(build("slo", 400.0), core::Mechanism::Baseline);
+    const ScenarioResult rr =
+        runScenario(build("rr", 0.0), core::Mechanism::Baseline);
+
+    ASSERT_EQ(slo.tenants[0].completed, 300u);
+    ASSERT_EQ(slo.tenants[1].completed, 300u);
+    EXPECT_LT(slo.tenants[0].p99Us, slo.tenants[1].p99Us)
+        << "the SLO-bound tenant must see a better tail than its "
+           "best-effort neighbour";
+    EXPECT_LT(slo.tenants[0].p99Us, rr.tenants[0].p99Us)
+        << "slo arbitration should beat rr for the SLO tenant";
+}
+
+TEST(ChannelAffinity, PinsAllTrafficToTheMask)
+{
+    // Single drive, one tenant pinned to channel 0. Build the
+    // pinned trace exactly as runScenario does and drive the array
+    // directly so the member drive stays inspectable: after the
+    // run, channels 1..3 must never have carried a transaction.
+    ssd::Config cfg = ssd::Config::small();
+    cfg.basePeKilo = 1.0;
+    cfg.baseRetentionMonths = 6.0;
+    cfg.seed = 3;
+    const std::uint32_t mask = 0x1;
+
+    SsdArray array(cfg, core::Mechanism::Baseline, 1);
+    array.precondition();
+    HostInterface hif(array, {});
+
+    TenantSpec ts;
+    ts.workload = "usr_1"; // reads AND writes (exercises the FTL)
+    ts.requests = 400;
+    const std::uint64_t lattice = channelLatticePages(
+        0, array.logicalPages(), 1, cfg.layout(), mask);
+    ASSERT_GT(lattice, 0u);
+    workload::Trace trace = applyChannelAffinity(
+        makeTenantTrace(ts, lattice, 0, cfg.pageBytes, 77), 0,
+        array.logicalPages(), 1, cfg.layout(), mask);
+
+    TenantOptions topt;
+    topt.channelMask = mask;
+    Tenant t("pinned", std::move(trace), topt, hif);
+    t.start();
+    array.drain();
+
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.completed(), 400u);
+    const ssd::Ssd &drive = array.drive(0);
+    EXPECT_GT(drive.channelAt(0).grants(), 0u);
+    for (std::uint32_t c = 1; c < cfg.channels; ++c)
+        EXPECT_EQ(drive.channelAt(c).grants(), 0u)
+            << "channel " << c
+            << " carried traffic despite the affinity mask";
+
+    // The mapping stayed on channel 0 even after writes + GC:
+    // spot-check the lattice's first pages.
+    ssd::Ssd &d = array.drive(0);
+    const ftl::AddressLayout layout = cfg.layout();
+    for (std::uint64_t lpn = 0; lpn < 64; ++lpn) {
+        const std::uint64_t g =
+            lpn / layout.planesPerChannel() *
+                layout.totalPlanes() +
+            lpn % layout.planesPerChannel();
+        if (g >= array.logicalPages())
+            break;
+        if (!d.ftl().map().mapped(g))
+            continue;
+        EXPECT_EQ(layout.channelOf(d.ftl().translate(g)), 0u);
+    }
+}
+
+TEST(ChannelAffinity, IsolatesNeighbourFromRetryStorm)
+{
+    // Tenant "storm" hammers a worn drive with retry-heavy reads;
+    // tenant "victim" shares it. When each is pinned to its own
+    // channel pair, the victim stops queueing behind the storm's
+    // retries, so its p99 must drop versus the shared run.
+    auto build = [](bool isolate) {
+        ScenarioBuilder b;
+        b.pec(2.0).retention(12.0).seed(17).queueDepth(16)
+            .mechanism(core::Mechanism::Baseline)
+            .tenant("storm", "usr_1", 400)
+            .qdLimit(16)
+            .tenant("victim", "YCSB-C", 400)
+            .qdLimit(8);
+        if (isolate) {
+            ScenarioSpec spec = b.peek();
+            spec.tenants[0].channelMask = 0x3; // channels {0,1}
+            spec.tenants[1].channelMask = 0xc; // channels {2,3}
+            spec.validate();
+            return spec;
+        }
+        return b.build();
+    };
+    const ScenarioResult shared =
+        runScenario(build(false), core::Mechanism::Baseline);
+    const ScenarioResult isolated =
+        runScenario(build(true), core::Mechanism::Baseline);
+
+    ASSERT_EQ(isolated.tenants[1].completed, 400u);
+    EXPECT_LT(isolated.tenants[1].p99Us, shared.tenants[1].p99Us)
+        << "pinning the storm to its own channels must improve the "
+           "victim's tail";
+}
+
+TEST(TimeHorizon, BoundsRunBySimulatedTime)
+{
+    // 100-request trace at ~2000 IOPS spans ~50 ms; a 200 ms horizon
+    // must wrap it (completed >> requests) and stop on time.
+    const double horizon_us = 200000.0;
+    ScenarioBuilder b;
+    b.seed(23).mechanism(core::Mechanism::NoRR)
+        .tenant("steady", "usr_1", 100)
+        .openLoop()
+        .horizonUs(horizon_us);
+    const ScenarioResult res =
+        runScenario(b.build(), core::Mechanism::NoRR);
+
+    const std::uint64_t done = res.tenants[0].completed;
+    EXPECT_GT(done, 100u)
+        << "the trace must wrap past its request count";
+    // Open-loop arrivals stop strictly before the horizon...
+    EXPECT_GE(res.array.simulatedMs, 0.8 * horizon_us / 1000.0);
+    // ...and the drain after it is bounded by device latency.
+    EXPECT_LE(res.array.simulatedMs, 1.5 * horizon_us / 1000.0);
+    // Arrival rate ~2000/s for 0.2 s => ~400 requests.
+    EXPECT_NEAR(static_cast<double>(done), 400.0, 120.0);
+
+    // The same tenant without a horizon replays the trace once.
+    ScenarioBuilder once;
+    once.seed(23).mechanism(core::Mechanism::NoRR)
+        .tenant("steady", "usr_1", 100)
+        .openLoop();
+    const ScenarioResult plain =
+        runScenario(once.build(), core::Mechanism::NoRR);
+    EXPECT_EQ(plain.tenants[0].completed, 100u);
+    EXPECT_LT(plain.array.simulatedMs, res.array.simulatedMs);
+}
+
+} // namespace
+} // namespace ssdrr::host

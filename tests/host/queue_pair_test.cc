@@ -65,8 +65,90 @@ TEST(Arbitration, ParseNames)
 {
     EXPECT_EQ(parseArbitration("rr"), Arbitration::RoundRobin);
     EXPECT_EQ(parseArbitration("wrr"), Arbitration::WeightedRoundRobin);
+    EXPECT_EQ(parseArbitration("slo"), Arbitration::SloDeadline);
     EXPECT_STREQ(name(Arbitration::RoundRobin), "rr");
     EXPECT_STREQ(name(Arbitration::WeightedRoundRobin), "wrr");
+    EXPECT_STREQ(name(Arbitration::SloDeadline), "slo");
+    Arbitration a;
+    EXPECT_FALSE(tryParseArbitration("edf", &a));
+    EXPECT_TRUE(tryParseArbitration("slo", &a));
+    EXPECT_EQ(a, Arbitration::SloDeadline);
+}
+
+TEST(QueuePair, TokenBucketGatesFetchability)
+{
+    QueueQos qos;
+    qos.rateIops = 1000.0; // one token per millisecond
+    qos.burst = 2.0;
+    QueuePair qp(0, 8, 1, qos);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(qp.post(entry(0)));
+
+    // The bucket starts full: the first burst of 2 is free.
+    EXPECT_TRUE(qp.fetchable());
+    qp.fetch();
+    qp.fetch();
+    EXPECT_FALSE(qp.fetchable()) << "bucket empty, must throttle";
+    EXPECT_TRUE(qp.throttled());
+
+    // Refill is deterministic in simulated time: after 1 ms exactly
+    // one token is back.
+    const sim::Tick wake = qp.nextTokenTick(0);
+    EXPECT_GT(wake, 0u);
+    EXPECT_LE(wake, sim::msec(1.1));
+    qp.refill(sim::msec(1.0) + 2);
+    EXPECT_TRUE(qp.fetchable());
+    qp.fetch();
+    EXPECT_TRUE(qp.throttled());
+
+    // An unlimited queue never reports a token wake-up.
+    QueuePair plain(1, 8);
+    plain.post(entry(1));
+    EXPECT_EQ(plain.nextTokenTick(0), sim::kTickNever);
+    EXPECT_FALSE(plain.throttled());
+}
+
+TEST(Arbiter, SloDeadlinePicksMostUrgentThenBestEffort)
+{
+    std::vector<QueuePair> qps;
+    QueueQos loose, tight;
+    loose.sloUs = 1000.0;
+    tight.sloUs = 100.0;
+    qps.emplace_back(0, 4, 1, loose);
+    qps.emplace_back(1, 4, 1, tight);
+    qps.emplace_back(2, 4, 1); // best-effort
+    for (auto &qp : qps)
+        qp.post(entry(qp.qid())); // all posted at tick 0
+
+    Arbiter arb(Arbitration::SloDeadline);
+    // Tightest SLO first, then the looser one, then best-effort.
+    EXPECT_EQ(arb.pick(qps), 1);
+    qps[1].fetch();
+    EXPECT_EQ(arb.pick(qps), 0);
+    qps[0].fetch();
+    EXPECT_EQ(arb.pick(qps), 2);
+    qps[2].fetch();
+    EXPECT_EQ(arb.pick(qps), -1);
+
+    // All-best-effort ties degrade to round-robin (no starvation).
+    std::vector<QueuePair> plain;
+    plain.emplace_back(0, 4, 1);
+    plain.emplace_back(1, 4, 1);
+    Arbiter rr(Arbitration::SloDeadline);
+    std::vector<int> seq;
+    for (int i = 0; i < 4; ++i) {
+        for (auto &qp : plain)
+            while (!qp.full())
+                qp.post(entry(qp.qid()));
+        const int pick = rr.pick(plain);
+        ASSERT_GE(pick, 0);
+        plain[pick].fetch();
+        plain[pick].complete();
+        seq.push_back(pick);
+    }
+    EXPECT_NE(seq[0], seq[1]);
+    EXPECT_NE(seq[1], seq[2]);
+    EXPECT_NE(seq[2], seq[3]);
 }
 
 /** Keep every queue saturated and record the arbiter's grants. */

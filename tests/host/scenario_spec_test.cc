@@ -1,0 +1,254 @@
+/**
+ * @file
+ * ScenarioSpec serialization and validation tests: JSON round-trip
+ * equality, rejection of malformed/unknown-key files with actionable
+ * messages, the fluent builder, and CLI parity — a legacy hand-wired
+ * ScenarioConfig and the spec it is sugar for (after a save/load
+ * round trip, i.e. exactly what `--dump-scenario` + `--scenario` do)
+ * must produce bit-identical RunStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "host/scenario_spec.hh"
+
+namespace ssdrr::host {
+namespace {
+
+ScenarioSpec
+fullSpec()
+{
+    return ScenarioBuilder()
+        .name("roundtrip")
+        .geometry("small")
+        .pec(1.5)
+        .retention(7.25)
+        .temperature(55.0)
+        .suspension(false)
+        .seed(999)
+        .drives(2)
+        .queueDepth(24)
+        .arbitration("slo")
+        .maxDeviceInflight(12)
+        .mechanism(core::Mechanism::Baseline)
+        .mechanism(core::Mechanism::PnAR2)
+        .tenant("kv", "YCSB-C", 300)
+        .qdLimit(4)
+        .weight(3)
+        .rateIops(5000.0)
+        .burst(8.0)
+        .sloUs(450.5)
+        .tenant("scan", "usr_1", 400)
+        .openLoop()
+        .iops(3333.25)
+        .channels({0, 2})
+        .horizonUs(250000.0)
+        .build();
+}
+
+TEST(ScenarioSpec, JsonRoundTripPreservesEveryField)
+{
+    const ScenarioSpec spec = fullSpec();
+    const ScenarioSpec back =
+        ScenarioSpec::fromJsonText(spec.toJsonText());
+    EXPECT_TRUE(back == spec);
+    // And the canonical text itself is a fixed point.
+    EXPECT_EQ(back.toJsonText(), spec.toJsonText());
+}
+
+TEST(ScenarioSpec, FileRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "/ssdrr_spec_roundtrip.json";
+    const ScenarioSpec spec = fullSpec();
+    spec.saveFile(path);
+    const ScenarioSpec back = ScenarioSpec::loadFile(path);
+    EXPECT_TRUE(back == spec);
+    std::remove(path.c_str());
+}
+
+void
+expectRejects(const std::string &text, const std::string &needle)
+{
+    try {
+        (void)ScenarioSpec::fromJsonText(text);
+        FAIL() << "expected rejection containing: " << needle;
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+TEST(ScenarioSpec, RejectsMalformedJsonWithPosition)
+{
+    expectRejects("{\n  \"drives\": ,\n}", "line 2");
+    expectRejects("not json at all", "invalid JSON");
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeysNamingThePath)
+{
+    expectRejects(R"({"tenants": [{"qdlimit": 4}]})",
+                  "tenants[0]: unknown key \"qdlimit\"");
+    expectRejects(R"({"Drives": 2})",
+                  "scenario: unknown key \"Drives\"");
+    expectRejects(R"({"ssd": {"pec": 1}})",
+                  "ssd: unknown key \"pec\"");
+}
+
+TEST(ScenarioSpec, RejectsTypeMismatches)
+{
+    expectRejects(R"({"drives": "two"})",
+                  "scenario.drives: expected a number, got string");
+    expectRejects(R"({"drives": 1.5})", "non-negative integer");
+    expectRejects(R"({"mechanisms": "Baseline"})",
+                  "mechanisms: expected an array");
+}
+
+TEST(ScenarioSpec, RejectsSemanticConflicts)
+{
+    // Unknown names.
+    expectRejects(R"({"mechanisms": ["Warp9"], "tenants": [{}]})",
+                  "unknown mechanism \"Warp9\"");
+    expectRejects(
+        R"({"tenants": [{"workload": "usr_9"}]})",
+        "tenants[0].workload: unknown workload \"usr_9\"");
+    expectRejects(
+        R"({"host": {"arbitration": "edf"}, "tenants": [{}]})",
+        "host.arbitration: unknown policy \"edf\"");
+    // Cross-field conflicts.
+    expectRejects(R"({"tenants": [{"iops": 1000}]})",
+                  "closed-loop injection is completion-driven");
+    expectRejects(R"({"tenants": [{"horizonUs": 1000}]})",
+                  "a time horizon needs mode \"open\"");
+    expectRejects(R"({"tenants": [{"sloUs": 500}]})",
+                  "only honoured by the \"slo\" policy");
+    expectRejects(
+        R"({"host": {"arbitration": "slo"}, "tenants": [{}]})",
+        "needs at least one tenant with sloUs > 0");
+    expectRejects(R"({"tenants": [{"burst": 4}]})",
+                  "a token bucket needs a refill rate");
+    expectRejects(
+        R"({"host": {"queueDepth": 8},
+            "tenants": [{"qdLimit": 16}]})",
+        "exceeds host.queueDepth");
+    expectRejects(R"({"tenants": [{"channels": [7]}]})",
+                  "has 4 channels");
+    expectRejects(R"({"tenants": [{"channels": [1, 1]}]})",
+                  "listed twice");
+    expectRejects(
+        R"({"ssd": {"refreshMonths": 3},
+            "tenants": [{"channels": [0]}]})",
+        "cannot be combined with ssd.refreshMonths");
+    expectRejects(R"({"tenants": []})",
+                  "needs at least one tenant");
+    // Integers beyond 2^53 would be silently rounded by the
+    // double-backed JSON number — reject instead of running with a
+    // corrupted seed.
+    expectRejects(R"({"ssd": {"seed": 9007199254740993},
+                      "tenants": [{}]})",
+                  "exceeds 2^53");
+    // uint32 fields must reject rather than truncate: 2^32+1 as a
+    // drive count would otherwise silently run with 1 drive.
+    expectRejects(R"({"drives": 4294967297, "tenants": [{}]})",
+                  "scenario.drives: 4294967297 is out of range");
+}
+
+TEST(ScenarioSpec, FullChannelListIsNoRestriction)
+{
+    // Naming every channel is normalized to "unmasked", so it must
+    // not trip the affinity-only refresh conflict.
+    const ScenarioSpec spec = ScenarioSpec::fromJsonText(
+        R"({"ssd": {"refreshMonths": 3},
+            "tenants": [{"channels": [0, 1, 2, 3]}]})");
+    EXPECT_EQ(spec.tenants[0].channelMask, 0xfu);
+}
+
+TEST(ScenarioBuilder, PerTenantSettersNeedATenant)
+{
+    EXPECT_THROW(ScenarioBuilder().qdLimit(4), SpecError);
+}
+
+TEST(ScenarioBuilder, EmptySweepDefaultsToBaseline)
+{
+    const ScenarioSpec spec =
+        ScenarioBuilder().tenant("t", "usr_1", 10).build();
+    ASSERT_EQ(spec.mechanisms.size(), 1u);
+    EXPECT_EQ(spec.mechanisms[0], "Baseline");
+}
+
+/** Every deterministic RunStats field, compared exactly. */
+void
+expectIdenticalStats(const ssd::RunStats &a, const ssd::RunStats &b)
+{
+    EXPECT_EQ(a.executedEvents, b.executedEvents);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.retrySamples, b.retrySamples);
+    EXPECT_EQ(a.suspensions, b.suspensions);
+    EXPECT_EQ(a.gcCollections, b.gcCollections);
+    EXPECT_EQ(a.readFailures, b.readFailures);
+    EXPECT_EQ(a.refreshes, b.refreshes);
+    EXPECT_EQ(a.avgRetrySteps, b.avgRetrySteps);
+    EXPECT_EQ(a.simulatedMs, b.simulatedMs);
+    EXPECT_EQ(a.avgResponseUs, b.avgResponseUs);
+    EXPECT_EQ(a.avgReadResponseUs, b.avgReadResponseUs);
+    EXPECT_EQ(a.p50ReadResponseUs, b.p50ReadResponseUs);
+    EXPECT_EQ(a.p99ReadResponseUs, b.p99ReadResponseUs);
+    EXPECT_EQ(a.p999ReadResponseUs, b.p999ReadResponseUs);
+}
+
+TEST(ScenarioSpec, CliParityLegacyConfigVsSavedSpec)
+{
+    // The legacy hand-wired config, exactly as pre-v2 callers (and
+    // the pre-v2 ssdrr_sim) built it.
+    ScenarioConfig legacy;
+    legacy.ssd = ssd::Config::small();
+    legacy.ssd.basePeKilo = 1.0;
+    legacy.ssd.baseRetentionMonths = 6.0;
+    legacy.ssd.seed = 21;
+    legacy.mech = core::Mechanism::PnAR2;
+    legacy.drives = 2;
+    legacy.host.queueDepth = 16;
+    legacy.host.arbitration = Arbitration::WeightedRoundRobin;
+    for (std::uint32_t t = 0; t < 3; ++t) {
+        TenantSpec ts;
+        ts.workload = "usr_1";
+        ts.name = "usr_1#" + std::to_string(t);
+        ts.requests = 200;
+        ts.qdLimit = 16;
+        ts.weight = t + 1;
+        legacy.tenants.push_back(ts);
+    }
+    const ScenarioResult ref = runScenario(legacy);
+
+    // The same run as a spec, pushed through the full JSON
+    // round-trip (what --dump-scenario + --scenario do).
+    ScenarioBuilder b;
+    b.pec(1.0).retention(6.0).seed(21).drives(2).queueDepth(16)
+        .arbitration(Arbitration::WeightedRoundRobin)
+        .mechanism(core::Mechanism::PnAR2);
+    for (std::uint32_t t = 0; t < 3; ++t)
+        b.tenant("usr_1#" + std::to_string(t), "usr_1", 200)
+            .qdLimit(16)
+            .weight(t + 1);
+    const ScenarioSpec loaded =
+        ScenarioSpec::fromJsonText(b.build().toJsonText());
+    const ScenarioResult got =
+        runScenario(loaded, core::Mechanism::PnAR2);
+
+    expectIdenticalStats(ref.array, got.array);
+    ASSERT_EQ(ref.tenants.size(), got.tenants.size());
+    for (std::size_t t = 0; t < ref.tenants.size(); ++t) {
+        EXPECT_EQ(ref.tenants[t].completed, got.tenants[t].completed);
+        EXPECT_EQ(ref.tenants[t].avgUs, got.tenants[t].avgUs);
+        EXPECT_EQ(ref.tenants[t].p99Us, got.tenants[t].p99Us);
+        EXPECT_EQ(ref.tenants[t].p999Us, got.tenants[t].p999Us);
+    }
+    EXPECT_EQ(ref.fetchedPerQueue, got.fetchedPerQueue);
+}
+
+} // namespace
+} // namespace ssdrr::host

@@ -45,8 +45,10 @@ TEST(Tenant, ClosedLoopHonoursQdLimit)
     HostInterface hif(array, hopt);
 
     const std::uint32_t qd = 4;
-    Tenant t("t0", traceFor(array, 200, 11),
-             InjectionMode::ClosedLoop, qd, 1, hif);
+    TenantOptions topt;
+    topt.mode = InjectionMode::ClosedLoop;
+    topt.qdLimit = qd;
+    Tenant t("t0", traceFor(array, 200, 11), topt, hif);
     t.start();
     array.drain();
 

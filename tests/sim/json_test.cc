@@ -1,0 +1,133 @@
+/**
+ * @file
+ * sim/json unit tests: parse/dump round-trips, escape handling,
+ * ordered objects, and actionable parse errors with line:column
+ * positions (scenario files rely on these messages).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+
+namespace ssdrr::sim::json {
+namespace {
+
+Value
+parseOk(const std::string &text)
+{
+    std::string err;
+    Value v = parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    return v;
+}
+
+std::string
+parseErr(const std::string &text)
+{
+    std::string err;
+    (void)parse(text, &err);
+    EXPECT_FALSE(err.empty()) << "expected a parse error for: "
+                              << text;
+    return err;
+}
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_EQ(parseOk("true").asBool(), true);
+    EXPECT_EQ(parseOk("false").asBool(), false);
+    EXPECT_DOUBLE_EQ(parseOk("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseOk("-1.5e3").asNumber(), -1500.0);
+    EXPECT_EQ(parseOk("\"hi\\n\\\"there\\\"\"").asString(),
+              "hi\n\"there\"");
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    const Value v = parseOk(R"({
+        "a": [1, 2, {"b": true}],
+        "c": {"d": null}
+    })");
+    ASSERT_TRUE(v.isObject());
+    const Value *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->elements().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->elements()[0].asNumber(), 1.0);
+    EXPECT_TRUE(a->elements()[2].find("b")->asBool());
+    EXPECT_TRUE(v.find("c")->find("d")->isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    const Value v = parseOk(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(Json, DumpParsesBackIdentically)
+{
+    Value v = Value::object();
+    v.set("name", Value("tenant \"a\"\n"));
+    v.set("count", Value(std::uint64_t{123}));
+    v.set("rate", Value(0.1)); // not exactly representable
+    Value arr = Value::array();
+    arr.push(Value(true)).push(Value()).push(Value(-7.25));
+    v.set("list", std::move(arr));
+
+    for (int indent : {0, 2, 4}) {
+        const Value back = parseOk(v.dump(indent));
+        EXPECT_EQ(back, v) << "indent " << indent;
+    }
+}
+
+TEST(Json, IntegralNumbersPrintWithoutDecimalPoint)
+{
+    Value v = Value::array();
+    v.push(Value(std::uint64_t{1000000}));
+    v.push(Value(2.5));
+    EXPECT_EQ(v.dump(0), "[1000000, 2.5]");
+}
+
+TEST(Json, ErrorsCarryLineAndColumn)
+{
+    EXPECT_NE(parseErr("{\n  \"a\": 1,\n  bad\n}").find("line 3"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[1, 2").find("unterminated array"),
+              std::string::npos);
+    EXPECT_NE(parseErr("\"open").find("unterminated string"),
+              std::string::npos);
+    EXPECT_NE(parseErr("{\"a\": 1 \"b\": 2}").find("expected ','"),
+              std::string::npos);
+    EXPECT_NE(parseErr("{} trailing").find("trailing"),
+              std::string::npos);
+}
+
+TEST(Json, PathologicalNestingFailsInsteadOfOverflowing)
+{
+    // 100k unclosed '[' must produce a depth error, not a stack
+    // overflow.
+    const std::string deep(100000, '[');
+    EXPECT_NE(parseErr(deep).find("nesting deeper than"),
+              std::string::npos);
+    // Reasonable nesting still parses.
+    std::string ok;
+    for (int i = 0; i < 100; ++i)
+        ok += '[';
+    ok += "1";
+    for (int i = 0; i < 100; ++i)
+        ok += ']';
+    EXPECT_TRUE(parseOk(ok).isArray());
+}
+
+TEST(Json, DuplicateKeysAreRejected)
+{
+    const std::string err = parseErr(R"({"a": 1, "a": 2})");
+    EXPECT_NE(err.find("duplicate key \"a\""), std::string::npos)
+        << err;
+}
+
+} // namespace
+} // namespace ssdrr::sim::json

@@ -23,15 +23,35 @@
  *     --paper-geometry           full 512-GiB-class SSD (slower)
  *     --seed N                   RNG seed (default 42)
  *     --profile                  print the trace profile and exit
+ *     --list-workloads           print the Table-2 suite and exit
  *
  * Multi-tenant mode (host/array layer; enabled by --tenants):
  *     --tenants T                tenants, each on its own queue pair
  *     --queue-depth D            SQ depth / closed-loop QD (default 16)
  *     --arbitration rr|wrr       command-fetch arbitration (default rr;
- *                                wrr gives tenant i weight i+1)
+ *                                wrr gives tenant i weight i+1; the
+ *                                slo policy needs per-tenant sloUs
+ *                                values, so it is scenario-file-only)
  *     --array N                  LPN-striped array of N drives
  *     --open-loop                inject at trace arrival times instead
  *                                of closed-loop
+ *
+ * Scenario files (declarative API v2; see README "Scenario files"):
+ *     --scenario FILE.json       run a serialized ScenarioSpec; the
+ *                                file defines geometry, mechanisms,
+ *                                array shape, host options and
+ *                                tenants (QoS, channel affinity,
+ *                                time horizons)
+ *     --dump-scenario            print the scenario the flags above
+ *                                describe (or a canonicalized
+ *                                --scenario file) as JSON and exit
+ *
+ * A legacy multi-tenant invocation is sugar for a scenario: the
+ * flags build a ScenarioSpec internally, so `--dump-scenario`'s JSON
+ * rerun through `--scenario` produces bit-identical results.
+ *
+ * All flag-validation failures exit with status 2 and name the
+ * offending flag.
  *
  * Perf trajectory:
  *     --bench-json PATH          also write a BENCH_sim_throughput
@@ -41,14 +61,18 @@
  *                                mechanism) for the run
  */
 
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "host/scenario.hh"
+#include "host/scenario_spec.hh"
 #include "sim/bench_report.hh"
 #include "ssd/ssd.hh"
 #include "workload/export.hh"
@@ -79,10 +103,16 @@ struct Options {
     std::string arbitration = "rr";
     std::uint32_t array = 1;
     bool openLoop = false;
+    /** Scenario-file mode (mutually exclusive with legacy flags). */
+    std::string scenarioPath;
+    bool dumpScenario = false;
+    bool listWorkloads = false;
     /** Perf-trajectory JSON output path (empty = off). */
     std::string benchJson;
     /** Host-layer flags seen on the command line (for validation). */
     std::vector<std::string> hostFlags;
+    /** Any legacy (non-scenario) flag seen, for --scenario checks. */
+    std::vector<std::string> legacyFlags;
 };
 
 [[noreturn]] void
@@ -96,10 +126,59 @@ usage(const char *argv0)
                  "  [--refresh MONTHS] [--no-suspension] "
                  "[--paper-geometry] [--seed N] [--profile]\n"
                  "  [--tenants T] [--queue-depth D] "
-                 "[--arbitration rr|wrr] [--array N] [--open-loop]\n"
-                 "  [--bench-json PATH]\n",
+                 "[--arbitration rr|wrr] [--array N] "
+                 "[--open-loop]\n"
+                 "  [--scenario FILE.json] [--dump-scenario] "
+                 "[--list-workloads] [--bench-json PATH]\n",
                  argv0);
     std::exit(2);
+}
+
+/** Flag-validation failure: name the flag, explain, exit 2. */
+[[noreturn]] void
+flagError(const std::string &flag, const std::string &msg)
+{
+    std::fprintf(stderr, "ssdrr_sim: %s: %s\n", flag.c_str(),
+                 msg.c_str());
+    std::exit(2);
+}
+
+std::uint64_t
+parseUint(const std::string &flag, const char *text)
+{
+    // strtoull accepts a sign and wraps negatives/overflow; both
+    // must be rejected or they defeat every downstream range check.
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || text[0] == '-' ||
+        errno == ERANGE)
+        flagError(flag, std::string("expected a non-negative "
+                                    "integer, got '") +
+                            text + "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+std::uint32_t
+parseUint32(const std::string &flag, const char *text)
+{
+    const std::uint64_t v = parseUint(flag, text);
+    if (v > std::numeric_limits<std::uint32_t>::max())
+        flagError(flag, std::string("value '") + text +
+                            "' is out of range");
+    return static_cast<std::uint32_t>(v);
+}
+
+double
+parseDouble(const std::string &flag, const char *text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !std::isfinite(v))
+        flagError(flag,
+                  std::string("expected a finite number, got '") +
+                      text + "'");
+    return v;
 }
 
 std::vector<std::string>
@@ -129,47 +208,71 @@ parseArgs(int argc, char **argv)
                 usage(argv[0]);
             return argv[++i];
         };
+        auto legacy = [&] { opt.legacyFlags.push_back(arg); };
         if (arg == "--workload") {
             opt.workload = next();
+            legacy();
         } else if (arg == "--mechanisms") {
             opt.mechanisms = splitCommas(next());
+            legacy();
         } else if (arg == "--pec") {
-            opt.pec = std::atof(next());
+            opt.pec = parseDouble(arg, next());
+            legacy();
         } else if (arg == "--retention") {
-            opt.retention = std::atof(next());
+            opt.retention = parseDouble(arg, next());
+            legacy();
         } else if (arg == "--temperature") {
-            opt.temperature = std::atof(next());
+            opt.temperature = parseDouble(arg, next());
+            legacy();
         } else if (arg == "--requests") {
-            opt.requests = std::strtoull(next(), nullptr, 10);
+            opt.requests = parseUint(arg, next());
+            legacy();
         } else if (arg == "--iops") {
-            opt.iops = std::atof(next());
+            opt.iops = parseDouble(arg, next());
+            legacy();
         } else if (arg == "--refresh") {
-            opt.refresh = std::atof(next());
+            opt.refresh = parseDouble(arg, next());
+            legacy();
         } else if (arg == "--no-suspension") {
             opt.suspension = false;
+            legacy();
         } else if (arg == "--paper-geometry") {
             opt.paperGeometry = true;
+            legacy();
         } else if (arg == "--seed") {
-            opt.seed = std::strtoull(next(), nullptr, 10);
+            opt.seed = parseUint(arg, next());
+            legacy();
         } else if (arg == "--profile") {
             opt.profileOnly = true;
+            legacy();
         } else if (arg == "--tenants") {
             opt.tenants =
-                static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+                parseUint32(arg, next());
+            legacy();
         } else if (arg == "--queue-depth") {
             opt.queueDepth =
-                static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+                parseUint32(arg, next());
             opt.hostFlags.push_back(arg);
+            legacy();
         } else if (arg == "--arbitration") {
             opt.arbitration = next();
             opt.hostFlags.push_back(arg);
+            legacy();
         } else if (arg == "--array") {
             opt.array =
-                static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+                parseUint32(arg, next());
             opt.hostFlags.push_back(arg);
+            legacy();
         } else if (arg == "--open-loop") {
             opt.openLoop = true;
             opt.hostFlags.push_back(arg);
+            legacy();
+        } else if (arg == "--scenario") {
+            opt.scenarioPath = next();
+        } else if (arg == "--dump-scenario") {
+            opt.dumpScenario = true;
+        } else if (arg == "--list-workloads") {
+            opt.listWorkloads = true;
         } else if (arg == "--bench-json") {
             opt.benchJson = next();
         } else if (arg == "--help" || arg == "-h") {
@@ -214,98 +317,108 @@ benchRunFrom(const std::string &name, const ssd::RunStats &st,
     return run;
 }
 
-/**
- * Host/array mode: T tenants on their own queue pairs share an
- * N-drive striped array; one scenario per mechanism.
- */
-int
-runMultiTenant(const Options &opt, const ssd::Config &cfg)
+/** Build the scenario a legacy multi-tenant invocation describes. */
+host::ScenarioSpec
+specFromFlags(const Options &opt)
 {
-    if (opt.profileOnly) {
-        std::fprintf(stderr,
-                     "--profile is not supported with --tenants "
-                     "(per-tenant traces are generated inside the "
-                     "scenario); drop --tenants to profile\n");
-        return 2;
-    }
-    if (opt.array < 1) {
-        std::fprintf(stderr, "--array needs at least 1 drive\n");
-        return 2;
-    }
-    if (opt.iops > 0.0 && !opt.openLoop) {
-        // Closed-loop injection is completion-driven; trace arrival
-        // times (and thus the requested rate) are never consulted.
-        std::fprintf(stderr, "--iops has no effect on closed-loop "
-                             "tenants; add --open-loop\n");
-        return 2;
-    }
-    if (opt.queueDepth < 1) {
-        std::fprintf(stderr, "--queue-depth needs at least 1\n");
-        return 2;
-    }
-    const host::Arbitration arb =
-        host::parseArbitration(opt.arbitration);
+    host::ScenarioSpec spec;
+    spec.ssd.geometry = opt.paperGeometry ? "paper" : "small";
+    spec.ssd.pecKilo = opt.pec;
+    spec.ssd.retentionMonths = opt.retention;
+    spec.ssd.temperatureC = opt.temperature;
+    spec.ssd.refreshMonths = opt.refresh;
+    spec.ssd.suspension = opt.suspension;
+    spec.ssd.seed = opt.seed;
+    spec.mechanisms = opt.mechanisms;
+    spec.drives = opt.array;
+    spec.queueDepth = opt.queueDepth;
+    spec.arbitration = opt.arbitration;
+
+    const bool wrr = opt.arbitration == "wrr";
     // Keep total work comparable to the single-replay mode: the
     // request budget is split across tenants.
     const std::uint64_t per_tenant =
         opt.requests / opt.tenants > 0 ? opt.requests / opt.tenants : 1;
+    for (std::uint32_t t = 0; t < opt.tenants; ++t) {
+        host::TenantSpec ts;
+        ts.workload = opt.workload;
+        ts.name = opt.workload + "#" + std::to_string(t);
+        ts.requests = per_tenant;
+        ts.iops = opt.iops;
+        ts.mode = opt.openLoop ? host::InjectionMode::OpenLoop
+                               : host::InjectionMode::ClosedLoop;
+        ts.qdLimit = opt.queueDepth;
+        ts.weight = wrr ? t + 1 : 1;
+        spec.tenants.push_back(ts);
+    }
+    return spec;
+}
 
-    if (host::looksLikeTracePath(opt.workload))
+/**
+ * Host/array mode: run every mechanism of @p spec's sweep and print
+ * the per-tenant comparison table. @p label names the bench-JSON
+ * entry ("" = derive from the spec).
+ */
+int
+runSpec(const host::ScenarioSpec &spec, const std::string &bench_json,
+        const std::string &label)
+{
+    const host::TenantSpec &t0 = spec.tenants.front();
+    bool homogeneous = true;
+    for (const host::TenantSpec &ts : spec.tenants)
+        if (ts.workload != t0.workload || ts.requests != t0.requests ||
+            ts.mode != t0.mode)
+            homogeneous = false;
+    const std::uint32_t n_tenants =
+        static_cast<std::uint32_t>(spec.tenants.size());
+    const char *loop_name =
+        t0.mode == host::InjectionMode::OpenLoop ? "open-loop"
+                                                 : "closed-loop";
+    if (homogeneous && host::looksLikeTracePath(t0.workload))
         std::printf("Multi-tenant: %u tenants splitting %s (%s), "
                     "QD %u, %s arbitration, %u-drive array\n",
-                    opt.tenants, opt.workload.c_str(),
-                    opt.openLoop ? "open-loop" : "closed-loop",
-                    opt.queueDepth, host::name(arb), opt.array);
-    else
+                    n_tenants, t0.workload.c_str(), loop_name,
+                    spec.queueDepth, spec.arbitration.c_str(),
+                    spec.drives);
+    else if (homogeneous)
         std::printf("Multi-tenant: %u tenants x %llu reqs (%s), "
                     "QD %u, %s arbitration, %u-drive array\n",
-                    opt.tenants,
-                    static_cast<unsigned long long>(per_tenant),
-                    opt.openLoop ? "open-loop" : "closed-loop",
-                    opt.queueDepth, host::name(arb), opt.array);
+                    n_tenants,
+                    static_cast<unsigned long long>(t0.requests),
+                    loop_name, spec.queueDepth,
+                    spec.arbitration.c_str(), spec.drives);
+    else
+        std::printf("Multi-tenant scenario%s%s: %u tenants, QD %u, "
+                    "%s arbitration, %u-drive array\n",
+                    spec.name.empty() ? "" : " ",
+                    spec.name.c_str(), n_tenants, spec.queueDepth,
+                    spec.arbitration.c_str(), spec.drives);
     std::printf("SSD: %s geometry per drive, %.1fK P/E, "
                 "%.0f-month retention, %.0f C\n\n",
-                opt.paperGeometry ? "paper" : "small", opt.pec,
-                opt.retention, opt.temperature);
+                spec.ssd.geometry.c_str(), spec.ssd.pecKilo,
+                spec.ssd.retentionMonths, spec.ssd.temperatureC);
     std::printf("%-10s %-14s %3s %6s %10s %10s %10s %10s\n",
                 "mechanism", "tenant", "w", "reqs", "avg[us]",
                 "p50[us]", "p99[us]", "p99.9[us]");
 
     host::TraceCache trace_cache; // parse a CSV once for the sweep
     std::vector<sim::BenchRun> bench_runs;
-    for (const std::string &mname : opt.mechanisms) {
-        host::ScenarioConfig sc;
-        sc.traceCache = &trace_cache;
-        sc.ssd = cfg;
-        sc.mech = core::parseMechanism(mname);
-        sc.drives = opt.array;
-        sc.host.queueDepth = opt.queueDepth;
-        sc.host.arbitration = arb;
-        for (std::uint32_t t = 0; t < opt.tenants; ++t) {
-            host::TenantSpec ts;
-            ts.workload = opt.workload;
-            ts.name = opt.workload + "#" + std::to_string(t);
-            ts.requests = per_tenant;
-            ts.iops = opt.iops;
-            ts.mode = opt.openLoop ? host::InjectionMode::OpenLoop
-                                   : host::InjectionMode::ClosedLoop;
-            ts.qdLimit = opt.queueDepth;
-            ts.weight =
-                arb == host::Arbitration::WeightedRoundRobin ? t + 1 : 1;
-            sc.tenants.push_back(ts);
-        }
-        const auto t0 = std::chrono::steady_clock::now();
-        const host::ScenarioResult res = host::runScenario(sc);
-        const double wall = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
+    for (const std::string &mname : spec.mechanisms) {
+        const core::Mechanism mech = core::parseMechanism(mname);
+        const auto t0_wall = std::chrono::steady_clock::now();
+        const host::ScenarioResult res =
+            host::runScenario(spec, mech, &trace_cache);
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0_wall)
+                .count();
         bench_runs.push_back(benchRunFrom(mname, res.array, wall));
         for (std::size_t t = 0; t < res.tenants.size(); ++t) {
             const host::TenantStats &s = res.tenants[t];
             std::printf("%-10s %-14s %3u %6llu %10.1f %10.1f %10.1f "
                         "%10.1f\n",
                         mname.c_str(), s.name.c_str(),
-                        sc.tenants[t].weight,
+                        spec.tenants[t].weight,
                         static_cast<unsigned long long>(s.completed),
                         s.avgUs, s.p50Us, s.p99Us, s.p999Us);
         }
@@ -317,16 +430,71 @@ runMultiTenant(const Options &opt, const ssd::Config &cfg)
                     a.avgReadResponseUs, a.p50ReadResponseUs,
                     a.p99ReadResponseUs, a.p999ReadResponseUs);
     }
-    if (!opt.benchJson.empty()) {
-        const std::string label =
-            "ssdrr_sim --tenants " + std::to_string(opt.tenants) +
-            " --array " + std::to_string(opt.array) + " (" +
-            opt.workload + ")";
-        if (!sim::writeBenchJson(opt.benchJson, label, bench_runs))
+    if (!bench_json.empty()) {
+        if (!sim::writeBenchJson(bench_json, label, bench_runs))
             return 1;
-        std::printf("\nwrote %s\n", opt.benchJson.c_str());
+        std::printf("\nwrote %s\n", bench_json.c_str());
     }
     return 0;
+}
+
+/** Pre-validate legacy flags with their own names (exit 2). */
+void
+validateLegacyFlags(const Options &opt)
+{
+    for (const std::string &m : opt.mechanisms)
+        if (!core::tryParseMechanism(m, nullptr))
+            flagError("--mechanisms", "unknown mechanism '" + m + "'");
+    if (opt.mechanisms.empty())
+        flagError("--mechanisms", "needs at least one mechanism");
+    if (!host::looksLikeTracePath(opt.workload) &&
+        !workload::tryFindWorkload(opt.workload, nullptr))
+        flagError("--workload", "unknown workload '" + opt.workload +
+                                    "' (see --list-workloads, or "
+                                    "name a .csv trace path)");
+    if (opt.requests < 1)
+        flagError("--requests", "needs at least 1 request");
+    if (opt.pec < 0.0)
+        flagError("--pec", "must be >= 0");
+    if (opt.retention < 0.0)
+        flagError("--retention", "must be >= 0");
+    if (opt.refresh < 0.0)
+        flagError("--refresh", "must be >= 0");
+    if (opt.tenants > 0) {
+        if (opt.profileOnly)
+            flagError("--profile",
+                      "not supported with --tenants (per-tenant "
+                      "traces are generated inside the scenario); "
+                      "drop --tenants to profile");
+        if (opt.array < 1)
+            flagError("--array", "needs at least 1 drive");
+        if (opt.queueDepth < 1)
+            flagError("--queue-depth", "needs at least 1");
+        if (!host::tryParseArbitration(opt.arbitration, nullptr))
+            flagError("--arbitration",
+                      "unknown policy '" + opt.arbitration +
+                          "' (expected rr or wrr)");
+        if (opt.arbitration == "slo")
+            // Legacy flags cannot express per-tenant SLOs, which the
+            // policy requires; pointing at --scenario beats the
+            // opaque "needs at least one tenant with sloUs" error.
+            flagError("--arbitration",
+                      "the slo policy needs per-tenant sloUs values, "
+                      "which only scenario files express; use "
+                      "--scenario (see README \"Scenario files\")");
+        if (opt.iops > 0.0 && !opt.openLoop)
+            // Closed-loop injection is completion-driven; trace
+            // arrival times (and thus the requested rate) are never
+            // consulted.
+            flagError("--iops", "has no effect on closed-loop "
+                                "tenants; add --open-loop");
+        if (opt.iops < 0.0)
+            flagError("--iops", "must be >= 0");
+    } else if (!opt.hostFlags.empty()) {
+        // Multi-tenant-only flags silently doing nothing would let a
+        // single-replay run masquerade as an array experiment.
+        flagError(opt.hostFlags.front(), "requires --tenants");
+    }
 }
 
 } // namespace
@@ -336,6 +504,67 @@ main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
 
+    if (opt.listWorkloads) {
+        // The Table-2 suite: names scenario files and --workload use.
+        std::printf("%-10s %6s %6s %8s %6s\n", "name", "read%",
+                    "cold%", "iops", "theta");
+        for (const workload::SyntheticSpec &s :
+             workload::allWorkloads())
+            std::printf("%-10s %6.0f %6.0f %8.0f %6.2f\n",
+                        s.name.c_str(), 100.0 * s.readRatio,
+                        100.0 * s.coldRatio, s.iops, s.zipfTheta);
+        return 0;
+    }
+
+    if (!opt.scenarioPath.empty()) {
+        if (!opt.legacyFlags.empty())
+            flagError("--scenario",
+                      "cannot be combined with " +
+                          opt.legacyFlags.front() +
+                          " (the scenario file defines the run)");
+        host::ScenarioSpec spec;
+        try {
+            spec = host::ScenarioSpec::loadFile(opt.scenarioPath);
+        } catch (const host::SpecError &e) {
+            std::fprintf(stderr, "ssdrr_sim: --scenario: %s\n",
+                         e.what());
+            return 2;
+        }
+        if (opt.dumpScenario) {
+            std::fputs(spec.toJsonText().c_str(), stdout);
+            return 0;
+        }
+        const std::string label =
+            "ssdrr_sim --scenario " + opt.scenarioPath;
+        return runSpec(spec, opt.benchJson, label);
+    }
+
+    validateLegacyFlags(opt);
+
+    if (opt.dumpScenario && opt.tenants == 0)
+        flagError("--dump-scenario",
+                  "requires --tenants or --scenario (single-replay "
+                  "runs are not scenario-shaped)");
+
+    if (opt.tenants > 0) {
+        const host::ScenarioSpec spec = specFromFlags(opt);
+        try {
+            spec.validate();
+        } catch (const host::SpecError &e) {
+            std::fprintf(stderr, "ssdrr_sim: %s\n", e.what());
+            return 2;
+        }
+        if (opt.dumpScenario) {
+            std::fputs(spec.toJsonText().c_str(), stdout);
+            return 0;
+        }
+        const std::string label =
+            "ssdrr_sim --tenants " + std::to_string(opt.tenants) +
+            " --array " + std::to_string(opt.array) + " (" +
+            opt.workload + ")";
+        return runSpec(spec, opt.benchJson, label);
+    }
+
     ssd::Config cfg =
         opt.paperGeometry ? ssd::Config::paper() : ssd::Config::small();
     cfg.basePeKilo = opt.pec;
@@ -344,16 +573,6 @@ main(int argc, char **argv)
     cfg.refreshThresholdMonths = opt.refresh;
     cfg.suspension = opt.suspension;
     cfg.seed = opt.seed;
-
-    if (opt.tenants > 0)
-        return runMultiTenant(opt, cfg);
-    if (!opt.hostFlags.empty()) {
-        // Multi-tenant-only flags silently doing nothing would let a
-        // single-replay run masquerade as an array experiment.
-        std::fprintf(stderr, "%s requires --tenants\n",
-                     opt.hostFlags.front().c_str());
-        return 2;
-    }
 
     // Load or generate the workload.
     workload::Trace trace;
