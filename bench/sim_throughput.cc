@@ -9,6 +9,18 @@
  * deterministic simulation results are digested so a perf change that
  * silently alters what is simulated fails CI.
  *
+ * A second section measures the sharded per-drive engine: a 4-drive
+ * saturation scenario (8 closed-loop tenants, 32 device slots per
+ * drive, 50 us host link, profile cache disabled so every read pays
+ * the full model math) run with 1 and with 4 worker threads. The
+ * two runs' deterministic results MUST be bit-identical — the bench
+ * exits non-zero if they diverge — and the wall-clock ratio is the
+ * parallel speedup (recorded as the par4d-1t / par4d-4t entries of
+ * the JSON; it needs >= 4 free cores to show the full effect).
+ *
+ * The golden digest covers only the two single-queue tail runs, so
+ * it stays comparable across machines and thread counts.
+ *
  * Usage:
  *   bench_sim_throughput [--short] [--json PATH]
  *                        [--check-digest GOLDEN]
@@ -29,9 +41,11 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "host/scenario.hh"
+#include "host/scenario_spec.hh"
 #include "sim/bench_report.hh"
 #include "ssd/config.hh"
 
@@ -61,19 +75,25 @@ tailScenario(core::Mechanism mech, std::uint64_t requests_per_tenant)
     return sc;
 }
 
+/**
+ * Run @p make_config's scenario @p repeat times, keeping the fastest
+ * wall time, and fold the (identical) deterministic results plus the
+ * wall-derived rates into a BenchRun named @p name. The single field
+ * list both measured sections share.
+ */
+template <typename MakeConfig>
 sim::BenchRun
-measure(core::Mechanism mech, std::uint64_t requests_per_tenant,
-        int repeat)
+measureScenario(const std::string &name, const MakeConfig &make_config,
+                int repeat)
 {
     sim::BenchRun run;
-    run.name = core::name(mech);
+    run.name = name;
 
     host::ScenarioResult res;
     double best = -1.0;
     for (int i = 0; i < repeat; ++i) {
         const auto t0 = std::chrono::steady_clock::now();
-        res = host::runScenario(
-            tailScenario(mech, requests_per_tenant));
+        res = host::runScenario(make_config());
         const auto t1 = std::chrono::steady_clock::now();
         const double secs =
             std::chrono::duration<double>(t1 - t0).count();
@@ -104,6 +124,80 @@ measure(core::Mechanism mech, std::uint64_t requests_per_tenant,
         run.readsPerSecond = static_cast<double>(a.reads) / best;
     }
     return run;
+}
+
+sim::BenchRun
+measure(core::Mechanism mech, std::uint64_t requests_per_tenant,
+        int repeat)
+{
+    return measureScenario(
+        core::name(mech),
+        [&] { return tailScenario(mech, requests_per_tenant); },
+        repeat);
+}
+
+/**
+ * 4-drive saturation scenario for the sharded engine: enough tenant
+ * concurrency and device slots (32 per drive) to keep every drive's
+ * synchronization window dense with NAND/ECC work, so the per-window
+ * barrier cost is amortized and drives scale across workers.
+ */
+host::ScenarioConfig
+parallelScenario(std::uint64_t requests_per_tenant,
+                 std::uint32_t threads)
+{
+    host::ScenarioBuilder b;
+    // 50 us link ~ a coalesced-interrupt completion path; it is also
+    // the synchronization window, wide enough that every drive has
+    // in-window work at this concurrency.
+    b.geometry("small")
+        .pec(1.0)
+        .retention(6.0)
+        .seed(42)
+        .drives(4)
+        .hostLinkUs(50.0)
+        .queueDepth(32)
+        .maxDeviceInflight(128);
+    b.mechanism(core::Mechanism::PnAR2);
+    for (std::uint32_t t = 0; t < 8; ++t) {
+        b.tenant("t" + std::to_string(t), t % 2 ? "YCSB-C" : "usr_1",
+                 requests_per_tenant)
+            .qdLimit(32);
+    }
+    host::ScenarioConfig cfg =
+        b.build().toConfig(core::Mechanism::PnAR2);
+    // Full model math on every read (no profile memoization): the
+    // representative worst case for CPU-bound sweeps, and the regime
+    // the sharded engine exists for.
+    cfg.ssd.profileCacheSlots = 0;
+    cfg.threads = threads;
+    return cfg;
+}
+
+sim::BenchRun
+measureParallel(std::uint32_t threads,
+                std::uint64_t requests_per_tenant, int repeat)
+{
+    return measureScenario(
+        "par4d-" + std::to_string(threads) + "t",
+        [&] { return parallelScenario(requests_per_tenant, threads); },
+        repeat);
+}
+
+/** The deterministic fields two thread counts must agree on. */
+bool
+identicalResults(const sim::BenchRun &a, const sim::BenchRun &b)
+{
+    return a.executedEvents == b.executedEvents && a.reads == b.reads &&
+           a.writes == b.writes && a.retrySamples == b.retrySamples &&
+           a.suspensions == b.suspensions &&
+           a.gcCollections == b.gcCollections &&
+           a.readFailures == b.readFailures &&
+           a.refreshes == b.refreshes &&
+           a.simulatedMs == b.simulatedMs &&
+           a.avgRetrySteps == b.avgRetrySteps &&
+           a.p50ReadUs == b.p50ReadUs && a.p99ReadUs == b.p99ReadUs &&
+           a.p999ReadUs == b.p999ReadUs;
 }
 
 } // namespace
@@ -145,11 +239,18 @@ main(int argc, char **argv)
         repeat = 1;
 
     const std::uint64_t per_tenant = short_mode ? 400 : 2000;
+    const std::uint64_t par_per_tenant = short_mode ? 400 : 2000;
+    // Two scenarios share this file: the digested tail runs and the
+    // par4d-* sharded-engine runs appended after them.
     const std::string label =
         std::string("multi_tenant_tail ") +
         (short_mode ? "short" : "full") +
         " (4 closed-loop tenants x " + std::to_string(per_tenant) +
-        " usr_1 reqs, QD 16, 2-drive array, 1K P/E + 6-month retention)";
+        " usr_1 reqs, QD 16, 2-drive array, 1K P/E + 6-month "
+        "retention); par4d-*: 8 closed-loop tenants x " +
+        std::to_string(par_per_tenant) +
+        " usr_1/YCSB-C reqs, QD 32, 4-drive array, 50 us host link, "
+        "profile cache off, PnAR2, 1 vs 4 worker threads";
 
     std::printf("sim_throughput — %s\n\n", label.c_str());
     std::printf("%-10s %12s %14s %12s %12s %10s\n", "mechanism",
@@ -173,17 +274,51 @@ main(int argc, char **argv)
                             : 0.0);
     }
 
+    // The golden digest covers exactly these single-queue runs.
+    const std::vector<sim::BenchRun> core_runs = runs;
+
+    // ----- sharded per-drive engine: 4 drives, 1 vs 4 workers -----
+    std::printf("\nparallel array — 8 closed-loop tenants x %llu reqs, "
+                "QD 32, 4-drive array, 50 us host link, profile "
+                "cache off, PnAR2 (%u cores available)\n",
+                static_cast<unsigned long long>(par_per_tenant),
+                std::thread::hardware_concurrency());
+    std::printf("%-10s %12s %14s %12s %12s\n", "threads", "wall[s]",
+                "events/s", "reads/s", "events");
+    std::vector<sim::BenchRun> par_runs;
+    for (std::uint32_t threads : {1u, 4u}) {
+        par_runs.push_back(
+            measureParallel(threads, par_per_tenant, repeat));
+        const sim::BenchRun &r = par_runs.back();
+        std::printf("%-10s %12.3f %14.0f %12.0f %12llu\n",
+                    r.name.c_str(), r.wallSeconds, r.eventsPerSecond,
+                    r.readsPerSecond,
+                    static_cast<unsigned long long>(r.executedEvents));
+    }
+    if (!identicalResults(par_runs[0], par_runs[1])) {
+        std::fprintf(stderr,
+                     "FAIL: sharded engine results differ between 1 "
+                     "and 4 worker threads — determinism is broken\n%s",
+                     sim::benchDigestText(par_runs).c_str());
+        return 1;
+    }
+    if (par_runs[1].wallSeconds > 0.0)
+        std::printf("speedup (4 threads vs 1): %.2fx "
+                    "(bit-identical results)\n",
+                    par_runs[0].wallSeconds / par_runs[1].wallSeconds);
+    runs.insert(runs.end(), par_runs.begin(), par_runs.end());
+
     if (!sim::writeBenchJson(json_path, label, runs))
         return 1;
     std::printf("\nwrote %s\n", json_path.c_str());
 
     if (!update_golden.empty()) {
-        if (!sim::writeBenchGolden(update_golden, runs))
+        if (!sim::writeBenchGolden(update_golden, core_runs))
             return 1;
         std::printf("updated golden digest %s\n", update_golden.c_str());
     }
     if (!check_golden.empty()) {
-        const int rc = sim::checkBenchDigest(check_golden, runs);
+        const int rc = sim::checkBenchDigest(check_golden, core_runs);
         if (rc != 0)
             return rc;
         std::printf("simulation-result digest matches %s\n",

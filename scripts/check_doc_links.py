@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in Markdown files.
+
+Usage: check_doc_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Checks every ``[text](target)`` link in the given Markdown files (and
+in ``*.md`` under given directories, recursively):
+
+- ``http(s)://`` / ``mailto:`` targets are skipped (no network in CI);
+- relative targets must exist on disk, resolved against the file that
+  contains the link;
+- ``#fragment`` anchors are checked against the target file's
+  headings (GitHub slug rules: lowercase, spaces to dashes,
+  punctuation dropped), including pure in-page ``(#...)`` anchors.
+
+Exit status: 0 when every link resolves, 1 otherwise (each dead link
+is listed with file and reason). Standard library only.
+"""
+
+import functools
+import os
+import re
+import sys
+
+# [text](target) — skipping images is unnecessary: their paths must
+# exist too. Ignores fenced code blocks.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    h = re.sub(r"[`*_]", "", heading.strip().lower())
+    h = re.sub(r"[^\w\- ]", "", h)
+    return h.replace(" ", "-")
+
+
+@functools.lru_cache(maxsize=None)
+def headings_of(path: str) -> frozenset:
+    slugs = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slugs.add(slugify(m.group(1)))
+    return frozenset(slugs)
+
+
+def links_of(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def check_file(path: str) -> list:
+    errors = []
+    for lineno, target in links_of(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            dest = os.path.normpath(
+                os.path.join(os.path.dirname(path), base))
+            if not os.path.exists(dest):
+                errors.append(
+                    f"{path}:{lineno}: dead link '{target}' "
+                    f"({dest} does not exist)")
+                continue
+        else:
+            dest = path  # pure in-page anchor
+        if fragment and dest.endswith(".md"):
+            if slugify(fragment) not in headings_of(dest):
+                errors.append(
+                    f"{path}:{lineno}: dead anchor '{target}' "
+                    f"(no heading '#{fragment}' in {dest})")
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        if os.path.isdir(arg):
+            for root, _, names in os.walk(arg):
+                files += [os.path.join(root, n) for n in sorted(names)
+                          if n.endswith(".md")]
+        else:
+            files.append(arg)
+    errors = []
+    for f in files:
+        errors += check_file(f)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL' if errors else 'all links resolve'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,19 +5,38 @@
 namespace ssdrr::host {
 
 SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
-                   std::uint32_t drives)
-    : mech_(mech)
+                   std::uint32_t drives, sim::Tick host_link,
+                   std::uint32_t threads)
+    : mech_(mech), link_(host_link)
 {
     SSDRR_ASSERT(drives >= 1, "array needs at least one drive");
+    if (link_ > 0) {
+        exec_ = std::make_unique<sim::ParallelExecutor>(
+            link_, threads == 0 ? 1 : threads);
+        host_dom_ = exec_->addDomain(eq_);
+    }
     for (std::uint32_t d = 0; d < drives; ++d) {
         ssd::Config dc = cfg;
         // Distinct per-drive seeds: real drives do not share error
         // patterns, and identical seeds would correlate retry storms
         // across the stripe.
         dc.seed = cfg.seed + d * 0x9e3779b9ull;
-        ssds_.push_back(std::make_unique<ssd::Ssd>(dc, mech, eq_));
-        ssds_.back()->onHostComplete(
-            [this](const ssd::HostCompletion &c) { subComplete(c); });
+        if (exec_) {
+            // Sharded engine: the drive owns a private queue; the
+            // executor synchronizes it against the host at
+            // host-link-wide windows.
+            ssds_.push_back(std::make_unique<ssd::Ssd>(dc, mech));
+            drive_dom_.push_back(
+                exec_->addDomain(ssds_.back()->eventQueue()));
+            ssds_.back()->onHostComplete(
+                [this, d](const ssd::HostCompletion &c) {
+                    driveComplete(d, c);
+                });
+        } else {
+            ssds_.push_back(std::make_unique<ssd::Ssd>(dc, mech, eq_));
+            ssds_.back()->onHostComplete(
+                [this](const ssd::HostCompletion &c) { subComplete(c); });
+        }
     }
     logical_pages_ = ssds_.front()->config().logicalPages() * drives;
 }
@@ -27,6 +46,22 @@ SsdArray::precondition()
 {
     for (auto &s : ssds_)
         s->precondition();
+}
+
+void
+SsdArray::dispatch(std::uint32_t d, const ssd::HostRequest &sub)
+{
+    if (!exec_) {
+        ssds_[d]->submit(sub);
+        return;
+    }
+    // Sharded mode: the command crosses the host link. The drive
+    // sees it — and accounts its device-side latency from — the
+    // delivery tick.
+    ssd::HostRequest delivered = sub;
+    delivered.arrival = eq_.now() + link_;
+    exec_->send(host_dom_, drive_dom_[d], delivered.arrival,
+                [this, d, delivered] { ssds_[d]->submit(delivered); });
 }
 
 void
@@ -73,8 +108,19 @@ SsdArray::submit(const ssd::HostRequest &req)
         sub.isRead = req.isRead;
         sub.channelMask = req.channelMask;
         sub_parent_[sub.id] = req.id;
-        ssds_[d]->submit(sub);
+        dispatch(d, sub);
     }
+}
+
+void
+SsdArray::driveComplete(std::uint32_t d, const ssd::HostCompletion &c)
+{
+    // Runs on the drive's worker thread, inside the drive's window.
+    // Ship the completion across the host link; subComplete then
+    // executes on the host domain at the delivery tick.
+    exec_->send(drive_dom_[d], host_dom_,
+                ssds_[d]->eventQueue().now() + link_,
+                [this, c] { subComplete(c); });
 }
 
 void
@@ -111,7 +157,10 @@ SsdArray::subComplete(const ssd::HostCompletion &c)
 void
 SsdArray::drain()
 {
-    eq_.run();
+    if (exec_)
+        exec_->run();
+    else
+        eq_.run();
     SSDRR_ASSERT(parents_.empty(), "drained with ", parents_.size(),
                  " array requests still pending");
 }
@@ -120,6 +169,9 @@ ssd::RunStats
 SsdArray::stats() const
 {
     ssd::RunStats s;
+    // Legacy: one shared queue, counted once. Sharded: the host
+    // queue plus every drive's private queue.
+    s.executedEvents = eq_.executedEvents();
     for (const auto &d : ssds_) {
         const ssd::RunStats ds = d->stats();
         s.suspensions += ds.suspensions;
@@ -136,6 +188,8 @@ SsdArray::stats() const
         s.retrySamples += ds.retrySamples;
         s.channelUtilization += ds.channelUtilization;
         s.eccUtilization += ds.eccUtilization;
+        if (exec_)
+            s.executedEvents += ds.executedEvents;
     }
     if (s.retrySamples > 0)
         s.avgRetrySteps /= static_cast<double>(s.retrySamples);
@@ -146,7 +200,6 @@ SsdArray::stats() const
     s.writes = resp_write_.count();
     s.channelUtilization /= ssds_.size();
     s.eccUtilization /= ssds_.size();
-    s.executedEvents = eq_.executedEvents();
     s.simulatedMs = sim::toMsec(eq_.now());
 
     // The all-request distribution is the merge of the read and

@@ -1,18 +1,33 @@
 /**
  * @file
- * LPN-striped array of SSDs on one shared simulation timeline.
+ * LPN-striped array of SSDs, on one shared timeline or sharded
+ * across worker threads.
  *
  * The array exports a single flat logical space of
  * drives * perDriveLogicalPages pages, striped page-by-page across
  * the member drives (global LPN g lives on drive g % N at local LPN
- * g / N — RAID-0 at page granularity). All drives share one
- * sim::EventQueue, so a multi-drive simulation stays a single
- * deterministic event-ordered run.
+ * g / N — RAID-0 at page granularity).
  *
  * Multi-page requests that span drives are split into per-drive
  * subrequests; the parent request completes when its last subrequest
  * does, and the registered completion hook fires once with the
  * parent's end-to-end latency.
+ *
+ * Execution engines (selected by the host-link turnaround):
+ *  - hostLink == 0 (default): all drives and the host side share one
+ *    sim::EventQueue and dispatch/completions are synchronous calls,
+ *    exactly the original single-threaded engine. Bit-compatible
+ *    with every pre-existing result.
+ *  - hostLink > 0: each drive owns a private EventQueue and the host
+ *    side keeps its own; dispatches reach a drive hostLink ticks
+ *    after the host issues them and completions reach the host
+ *    hostLink ticks after the drive raises them (modelling the
+ *    PCIe/NVMe doorbell-fetch/interrupt turnaround). Cross-queue
+ *    traffic flows through sim::ParallelExecutor mailboxes with
+ *    window width hostLink, so the drives simulate concurrently on
+ *    `threads` workers — and, by the executor's determinism
+ *    contract, produce bit-identical results for ANY thread count,
+ *    including 1.
  */
 
 #ifndef SSDRR_HOST_ARRAY_HH
@@ -23,6 +38,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/parallel_executor.hh"
 #include "ssd/ssd.hh"
 
 namespace ssdrr::host {
@@ -38,10 +54,20 @@ class SsdArray
      *            patterns)
      * @param mech retry mechanism, same on every drive
      * @param drives number of member SSDs (>= 1)
+     * @param host_link host dispatch/completion turnaround in ticks;
+     *                  0 keeps the legacy shared-queue engine, > 0
+     *                  selects the windowed per-drive engine (see
+     *                  file comment)
+     * @param threads worker threads for the windowed engine (ignored
+     *                when host_link == 0; results do not depend on
+     *                it)
      */
     SsdArray(const ssd::Config &cfg, core::Mechanism mech,
-             std::uint32_t drives);
+             std::uint32_t drives, sim::Tick host_link = 0,
+             std::uint32_t threads = 1);
 
+    /** Host-side event queue (the shared queue in legacy mode). All
+     *  host-layer actors (tenants, HostInterface) schedule here. */
     sim::EventQueue &eventQueue() { return eq_; }
     std::uint32_t drives() const
     {
@@ -49,6 +75,10 @@ class SsdArray
     }
     ssd::Ssd &drive(std::uint32_t i) { return *ssds_.at(i); }
     core::Mechanism mechanism() const { return mech_; }
+    /** Host-link turnaround in ticks (0 = legacy shared queue). */
+    sim::Tick hostLink() const { return link_; }
+    /** True when drives run on private queues behind mailboxes. */
+    bool sharded() const { return exec_ != nullptr; }
 
     /** Exported capacity: drives * per-drive logical pages. */
     std::uint64_t logicalPages() const { return logical_pages_; }
@@ -73,11 +103,12 @@ class SsdArray
     /**
      * Submit a request against the global LPN space at the current
      * simulated time. Request ids must be unique among outstanding
-     * requests.
+     * requests. Must be called from the host side (a host event, or
+     * the coordinator thread between runs).
      */
     void submit(const ssd::HostRequest &req);
 
-    /** Run the shared event queue until all work completes. */
+    /** Run the engine until all work completes. */
     void drain();
 
     /**
@@ -86,6 +117,8 @@ class SsdArray
      * striped request counts once, at its end-to-end latency);
      * device-side counters (suspensions, GC, refreshes, ...) are
      * summed across drives and utilizations averaged over them.
+     * executedEvents covers every queue that drove the run (the one
+     * shared queue, or host + per-drive queues summed).
      */
     ssd::RunStats stats() const;
 
@@ -101,11 +134,21 @@ class SsdArray
     };
 
     void subComplete(const ssd::HostCompletion &c);
+    /** Drive-side completion hook in sharded mode: forward to the
+     *  host domain with the completion turnaround applied. */
+    void driveComplete(std::uint32_t d, const ssd::HostCompletion &c);
+    void dispatch(std::uint32_t d, const ssd::HostRequest &sub);
 
-    sim::EventQueue eq_;
+    sim::EventQueue eq_; ///< host-side queue (shared queue in legacy)
     core::Mechanism mech_;
+    sim::Tick link_ = 0;
     std::vector<std::unique_ptr<ssd::Ssd>> ssds_;
     std::uint64_t logical_pages_ = 0;
+
+    /** Windowed engine (sharded mode only). Domain 0 is the host. */
+    std::unique_ptr<sim::ParallelExecutor> exec_;
+    sim::ParallelExecutor::DomainId host_dom_ = 0;
+    std::vector<sim::ParallelExecutor::DomainId> drive_dom_;
 
     std::unordered_map<std::uint64_t, std::uint64_t> sub_parent_;
     std::unordered_map<std::uint64_t, Parent> parents_;

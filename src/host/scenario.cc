@@ -164,7 +164,9 @@ ScenarioResult
 runScenario(const ScenarioConfig &cfg)
 {
     SSDRR_ASSERT(!cfg.tenants.empty(), "scenario needs tenants");
-    SsdArray array(cfg.ssd, cfg.mech, cfg.drives);
+    SSDRR_ASSERT(cfg.hostLinkUs >= 0.0, "negative host link");
+    SsdArray array(cfg.ssd, cfg.mech, cfg.drives,
+                   sim::usec(cfg.hostLinkUs), cfg.threads);
     array.precondition();
     HostInterface hif(array, cfg.host);
 

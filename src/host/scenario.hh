@@ -75,6 +75,19 @@ struct ScenarioConfig {
     std::uint32_t drives = 1;
     HostInterface::Options host;
     std::vector<TenantSpec> tenants;
+    /**
+     * Host dispatch/completion turnaround in microseconds. 0 keeps
+     * the legacy synchronous coupling on one shared event queue;
+     * > 0 models the PCIe/NVMe doorbell/interrupt turnaround and
+     * runs drives on private queues behind host-link-wide
+     * synchronization windows (see host::SsdArray).
+     */
+    double hostLinkUs = 0.0;
+    /**
+     * Worker threads for the windowed engine (needs hostLinkUs > 0
+     * to matter). Results are bit-identical for any value.
+     */
+    std::uint32_t threads = 1;
     /** Optional CSV parse cache shared across runScenario calls. */
     TraceCache *traceCache = nullptr;
 };

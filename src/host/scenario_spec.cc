@@ -287,10 +287,10 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
 {
     return name == o.name && ssd == o.ssd &&
            mechanisms == o.mechanisms && drives == o.drives &&
-           queueDepth == o.queueDepth &&
+           threads == o.threads && queueDepth == o.queueDepth &&
            arbitration == o.arbitration &&
            maxDeviceInflight == o.maxDeviceInflight &&
-           tenants == o.tenants;
+           hostLinkUs == o.hostLinkUs && tenants == o.tenants;
 }
 
 // ---------------------------------------------------- serialization
@@ -317,12 +317,14 @@ ScenarioSpec::toJson() const
         mechs.push(Value(m));
     root.set("mechanisms", std::move(mechs));
     root.set("drives", Value(std::uint64_t{drives}));
+    root.set("threads", Value(std::uint64_t{threads}));
 
     Value hv = Value::object();
     hv.set("queueDepth", Value(std::uint64_t{queueDepth}));
     hv.set("arbitration", Value(arbitration));
     hv.set("maxDeviceInflight",
            Value(std::uint64_t{maxDeviceInflight}));
+    hv.set("hostLinkUs", Value(hostLinkUs));
     root.set("host", std::move(hv));
 
     Value tv = Value::array();
@@ -343,8 +345,8 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
 {
     requireObject(v, "scenario");
     checkKeys(v, "scenario",
-              {"name", "ssd", "mechanisms", "drives", "host",
-               "tenants"});
+              {"name", "ssd", "mechanisms", "drives", "threads",
+               "host", "tenants"});
     ScenarioSpec spec;
     spec.name = getString(v, "name", "scenario", "");
 
@@ -387,17 +389,21 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
     }
 
     spec.drives = getUint32(v, "drives", "scenario", spec.drives);
+    spec.threads = getUint32(v, "threads", "scenario", spec.threads);
 
     if (const Value *hv = v.find("host")) {
         requireObject(*hv, "host");
         checkKeys(*hv, "host",
-                  {"queueDepth", "arbitration", "maxDeviceInflight"});
+                  {"queueDepth", "arbitration", "maxDeviceInflight",
+                   "hostLinkUs"});
         spec.queueDepth =
             getUint32(*hv, "queueDepth", "host", spec.queueDepth);
         spec.arbitration =
             getString(*hv, "arbitration", "host", spec.arbitration);
         spec.maxDeviceInflight = getUint32(
             *hv, "maxDeviceInflight", "host", spec.maxDeviceInflight);
+        spec.hostLinkUs =
+            getNumber(*hv, "hostLinkUs", "host", spec.hostLinkUs);
     }
 
     if (const Value *tv = v.find("tenants")) {
@@ -487,6 +493,25 @@ ScenarioSpec::validate() const
 
     if (drives < 1)
         specFail("drives: must be >= 1");
+    if (threads < 1)
+        specFail("threads: must be >= 1");
+    if (!(hostLinkUs >= 0.0) || hostLinkUs > 1e9)
+        specFail("host.hostLinkUs: must be a turnaround in [0, 1e9] "
+                 "microseconds");
+    if (hostLinkUs > 0.0 && sim::usec(hostLinkUs) < 1)
+        specFail("host.hostLinkUs: " + std::to_string(hostLinkUs) +
+                 " rounds to zero simulator ticks (the tick is 1 ns), "
+                 "which would silently fall back to the legacy "
+                 "shared-queue engine; use 0 explicitly, or at least "
+                 "0.001");
+    if (threads > 1 && hostLinkUs <= 0.0)
+        specFail("threads: " + std::to_string(threads) +
+                 " worker threads need host.hostLinkUs > 0 — the "
+                 "parallel engine synchronizes drives at host-link "
+                 "turnaround windows, and an instantaneous link "
+                 "leaves no window to run concurrently in; set "
+                 "host.hostLinkUs (a few microseconds of NVMe "
+                 "doorbell/interrupt latency) or drop threads");
     if (queueDepth < 1)
         specFail("host.queueDepth: must be >= 1");
     Arbitration arb;
@@ -596,6 +621,8 @@ ScenarioSpec::toConfig(core::Mechanism mech, TraceCache *cache) const
     sc.host.queueDepth = queueDepth;
     sc.host.arbitration = parseArbitration(arbitration);
     sc.host.maxDeviceInflight = maxDeviceInflight;
+    sc.hostLinkUs = hostLinkUs;
+    sc.threads = threads;
     sc.tenants = tenants;
     sc.traceCache = cache;
     return sc;
@@ -698,6 +725,20 @@ ScenarioBuilder &
 ScenarioBuilder::drives(std::uint32_t n)
 {
     spec_.drives = n;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::threads(std::uint32_t n)
+{
+    spec_.threads = n;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::hostLinkUs(double us)
+{
+    spec_.hostLinkUs = us;
     return *this;
 }
 

@@ -79,12 +79,28 @@ struct ScenarioSpec {
     /** Mechanism sweep, in run order. */
     std::vector<std::string> mechanisms = {"Baseline"};
     std::uint32_t drives = 1;
+    /**
+     * Worker threads for the sharded per-drive engine. 1 (default)
+     * runs everything on the calling thread; N > 1 simulates the
+     * drives concurrently and requires hostLinkUs > 0 (the engine's
+     * synchronization window is the host-link turnaround). Results
+     * are bit-identical for every value of threads.
+     */
+    std::uint32_t threads = 1;
     // ----- host-interface options -----
     std::uint32_t queueDepth = 16;
     /** "rr", "wrr", or "slo" (see host::Arbitration). */
     std::string arbitration = "rr";
     /** 0 = auto (8 command slots per drive). */
     std::uint32_t maxDeviceInflight = 0;
+    /**
+     * Host dispatch/completion turnaround in microseconds (the
+     * PCIe/NVMe doorbell-fetch and interrupt paths). 0 = legacy
+     * instantaneous coupling on one shared event queue; > 0 switches
+     * to per-drive event queues synchronized at host-link windows
+     * (and enables threads > 1).
+     */
+    double hostLinkUs = 0.0;
     std::vector<TenantSpec> tenants;
 
     /**
@@ -175,6 +191,10 @@ class ScenarioBuilder
     ScenarioBuilder &mechanism(const std::string &name);
     ScenarioBuilder &mechanism(core::Mechanism m);
     ScenarioBuilder &drives(std::uint32_t n);
+    /** Worker threads (needs hostLinkUs() > 0 when > 1). */
+    ScenarioBuilder &threads(std::uint32_t n);
+    /** Host dispatch/completion turnaround in microseconds. */
+    ScenarioBuilder &hostLinkUs(double us);
     ScenarioBuilder &queueDepth(std::uint32_t d);
     ScenarioBuilder &arbitration(const std::string &policy);
     ScenarioBuilder &arbitration(Arbitration policy);

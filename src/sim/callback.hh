@@ -16,6 +16,21 @@
  *  - move-only (copying an event callback is always a bug here);
  *  - invoking an empty InlineFunction panics instead of throwing
  *    std::bad_function_call.
+ *
+ * Ownership: an InlineFunction owns its capture outright (inline or
+ * behind a moved unique heap allocation); destroying or reassigning
+ * it destroys the capture.
+ *
+ * Thread-safety: none is provided or needed. A callback belongs to
+ * the simulation domain whose EventQueue (or ParallelExecutor
+ * mailbox) holds it, and is only constructed, moved, invoked, and
+ * destroyed by the one thread executing that domain. Moving a
+ * callback across domains via ParallelExecutor::send is safe because
+ * the executor's window barriers order the handoff.
+ *
+ * Determinism: invocation performs no allocation and no global
+ * lookups; captures are plain moved state, so replaying the same
+ * schedule replays identical behavior.
  */
 
 #ifndef SSDRR_SIM_CALLBACK_HH

@@ -150,51 +150,70 @@ EventQueue::cancel(EventId id)
 bool
 EventQueue::popRunnable(HeapEntry &out, Callback &cb)
 {
-    while (!heap_.empty()) {
-        HeapEntry e = heapPop();
-        Slot &s = slots_[e.slot];
-        if (s.state == SlotState::Cancelled) {
-            freeSlot(e.slot);
-            continue;
-        }
-        SSDRR_DEBUG_ASSERT(s.state == SlotState::Pending,
-                           "heap entry references a free slot ", e.slot);
-        cb = std::move(s.cb);
-        freeSlot(e.slot);
-        SSDRR_DEBUG_ASSERT(pending_ > 0, "runnable pop with pending_ == 0");
-        --pending_;
-        out = e;
-        return true;
+    // nextPendingTick() is the one place that prunes lazily-deleted
+    // cancelled entries off the heap top; after it returns a tick,
+    // the top is guaranteed Pending.
+    if (nextPendingTick() == kTickNever) {
+        SSDRR_DEBUG_ASSERT(pending_ == 0, "empty heap but pending_ = ",
+                           pending_);
+        return false;
     }
-    SSDRR_DEBUG_ASSERT(pending_ == 0, "empty heap but pending_ = ",
-                       pending_);
-    return false;
+    const HeapEntry e = heapPop();
+    Slot &s = slots_[e.slot];
+    SSDRR_DEBUG_ASSERT(s.state == SlotState::Pending,
+                       "heap entry references a free slot ", e.slot);
+    cb = std::move(s.cb);
+    freeSlot(e.slot);
+    SSDRR_DEBUG_ASSERT(pending_ > 0, "runnable pop with pending_ == 0");
+    --pending_;
+    out = e;
+    return true;
 }
 
 Tick
-EventQueue::run(Tick until)
+EventQueue::nextPendingTick()
 {
     while (!heap_.empty()) {
-        // Drain lazily-deleted cancelled entries off the top first,
-        // so the horizon check below always inspects a *pending*
-        // event — a cancelled entry inside the horizon must not let
-        // a pending event beyond it slip through.
-        const std::uint32_t slot = heap_.front().slot;
-        Slot &s = slots_[slot];
+        const HeapEntry &top = heap_.front();
+        Slot &s = slots_[top.slot];
         if (s.state == SlotState::Cancelled) {
+            const std::uint32_t slot = top.slot;
             heapPop();
             freeSlot(slot);
             continue;
         }
         SSDRR_DEBUG_ASSERT(s.state == SlotState::Pending,
-                           "heap entry references a free slot ", slot);
-        if (heap_.front().when > until)
+                           "heap entry references a free slot ",
+                           top.slot);
+        return top.when;
+    }
+    return kTickNever;
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    SSDRR_ASSERT(t >= now_, "advanceTo into the past: t=", t,
+                 " now=", now_);
+    SSDRR_ASSERT(nextPendingTick() >= t,
+                 "advanceTo would skip a pending event");
+    now_ = t;
+}
+
+Tick
+EventQueue::run(Tick until)
+{
+    // nextPendingTick() prunes cancelled heap tops, so the horizon
+    // check always inspects a *pending* event — a cancelled entry
+    // inside the horizon must not let a pending event beyond it slip
+    // through.
+    while (true) {
+        const Tick next = nextPendingTick();
+        if (next == kTickNever || next > until)
             break;
-        const HeapEntry e = heapPop();
-        Callback cb = std::move(s.cb);
-        freeSlot(slot);
-        SSDRR_DEBUG_ASSERT(pending_ > 0, "runnable pop with pending_ == 0");
-        --pending_;
+        HeapEntry e;
+        Callback cb;
+        popRunnable(e, cb);
         SSDRR_ASSERT(e.when >= now_, "time went backwards");
         now_ = e.when;
         ++executed_;

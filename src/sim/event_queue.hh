@@ -19,6 +19,26 @@
  *    index and the slot's generation, so stale ids — including ids
  *    of events that already executed and whose slot was reused — are
  *    rejected without hashing and without corrupting pending().
+ *
+ * Ownership and thread-safety contract:
+ *  - An EventQueue is owned by exactly one simulation domain (a
+ *    stand-alone Ssd, one drive of a linked host::SsdArray, or the
+ *    array's host side) and is NOT internally synchronized. All
+ *    calls — schedule, cancel, run, step — must come from the one
+ *    thread currently executing that domain.
+ *  - Under sim::ParallelExecutor, domains run on worker threads but
+ *    only between window barriers; the executor's barriers establish
+ *    the happens-before edges, so a queue is still touched by at
+ *    most one thread at a time. Cross-domain communication must go
+ *    through ParallelExecutor::send, never by scheduling directly
+ *    onto another domain's queue.
+ *
+ * Determinism contract: events execute in (tick, seq) order, where
+ * seq is the queue-local scheduling order. Any run that performs the
+ * same schedule() calls in the same order executes callbacks in the
+ * same order — this, plus the executor's sorted mailbox delivery, is
+ * what makes multi-threaded runs bit-identical to single-threaded
+ * ones.
  */
 
 #ifndef SSDRR_SIM_EVENT_QUEUE_HH
@@ -88,6 +108,23 @@ class EventQueue
 
     /** Total number of events executed since construction. */
     std::uint64_t executedEvents() const { return executed_; }
+
+    /**
+     * Tick of the earliest pending event, or kTickNever if the queue
+     * is empty. Lazily prunes cancelled heap entries, so the answer
+     * is always a *runnable* event's tick (the conservative window
+     * synchronizer derives its next window start from this).
+     */
+    Tick nextPendingTick();
+
+    /**
+     * Move now() forward to @p t without executing anything. Only
+     * legal when no pending event precedes @p t; used after a
+     * windowed multi-queue run to align every domain's clock to the
+     * global end time, so time-normalized statistics (utilization,
+     * simulated duration) use one common denominator.
+     */
+    void advanceTo(Tick t);
 
     /**
      * Pre-size the heap and slot table for an expected number of

@@ -11,6 +11,19 @@
  *
  * This is a configuration-file codec, not a streaming parser: inputs
  * are small (kilobytes), so everything is materialized eagerly.
+ *
+ * Ownership: a Value owns its whole subtree (strings, elements,
+ * members) by value; copies deep-copy, moves steal.
+ *
+ * Thread-safety: none, and none needed — parsing and dumping happen
+ * during setup and reporting on the coordinating thread, never
+ * inside the simulation's event execution. Distinct Value trees may
+ * be used from distinct threads freely (no hidden shared state, no
+ * global parser context).
+ *
+ * Determinism: dump() emits members in insertion order with a fixed
+ * number format, so spec → text → spec round-trips are fixed points
+ * and byte-identical across platforms and runs.
  */
 
 #ifndef SSDRR_SIM_JSON_HH

@@ -1,0 +1,180 @@
+#include "sim/parallel_executor.hh"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::sim {
+
+namespace {
+
+/** Bounded spin before yielding the core: cheap when the other side
+ *  is running in parallel, graceful when workers outnumber cores. */
+inline void
+relax(unsigned &spins)
+{
+    if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+    }
+}
+
+} // namespace
+
+ParallelExecutor::ParallelExecutor(Tick window, unsigned threads)
+    : window_(window), threads_(threads == 0 ? 1 : threads)
+{
+    SSDRR_ASSERT(window_ > 0,
+                 "synchronization window must be positive (it is the "
+                 "minimum cross-domain latency)");
+}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+ParallelExecutor::DomainId
+ParallelExecutor::addDomain(EventQueue &q)
+{
+    const DomainId id = static_cast<DomainId>(doms_.size());
+    Domain d;
+    d.q = &q;
+    doms_.push_back(std::move(d));
+    return id;
+}
+
+void
+ParallelExecutor::send(DomainId from, DomainId to, Tick deliver_at,
+                       Callback cb)
+{
+    SSDRR_ASSERT(from < doms_.size() && to < doms_.size(),
+                 "send between unregistered domains ", from, " -> ",
+                 to);
+    // The conservative-window invariant: nothing sent during a
+    // window may land inside it. Holds whenever the modelled
+    // cross-domain latency is >= the window width.
+    SSDRR_ASSERT(deliver_at >= window_end_,
+                 "message from domain ", from, " would arrive at ",
+                 deliver_at, ", inside the current window ending at ",
+                 window_end_);
+    Domain &s = doms_[from];
+    s.outbox.push_back(
+        Msg{deliver_at, s.next_seq++, from, to, std::move(cb)});
+}
+
+void
+ParallelExecutor::route()
+{
+    // Deliveries are totally ordered by (receiver, tick, sender id,
+    // sender send-order) — explicit in the comparator, so the order
+    // never depends on gather order, sort stability, or which worker
+    // executed each sender. This is what keeps delivery (and
+    // therefore the whole run) identical across worker counts.
+    route_scratch_.clear();
+    for (Domain &d : doms_) {
+        for (Msg &m : d.outbox)
+            route_scratch_.push_back(std::move(m));
+        d.outbox.clear();
+    }
+    if (route_scratch_.empty())
+        return;
+    std::sort(route_scratch_.begin(), route_scratch_.end(),
+              [](const Msg &a, const Msg &b) {
+                  if (a.to != b.to)
+                      return a.to < b.to;
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  return a.seq < b.seq;
+              });
+    for (Msg &m : route_scratch_)
+        doms_[m.to].q->schedule(m.when, std::move(m.cb));
+    route_scratch_.clear();
+}
+
+void
+ParallelExecutor::runShard(unsigned offset, unsigned stride)
+{
+    const Tick until = window_end_ - 1; // run(until) is inclusive
+    for (std::size_t d = offset; d < doms_.size(); d += stride)
+        doms_[d].q->run(until);
+}
+
+void
+ParallelExecutor::workerLoop(unsigned index, std::uint64_t start_epoch)
+{
+    std::uint64_t seen = start_epoch;
+    while (true) {
+        std::uint64_t e;
+        unsigned spins = 0;
+        while ((e = epoch_.load(std::memory_order_acquire)) == seen)
+            relax(spins);
+        seen = e;
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        runShard(index + 1, pool_size_ + 1);
+        done_.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
+Tick
+ParallelExecutor::run()
+{
+    SSDRR_ASSERT(!doms_.empty(), "no domains registered");
+    route(); // deliver anything sent before the run started
+
+    const unsigned nthreads = static_cast<unsigned>(std::min<std::size_t>(
+        threads_, doms_.size()));
+    pool_size_ = nthreads - 1;
+    stop_.store(false, std::memory_order_release);
+    const std::uint64_t epoch0 = epoch_.load(std::memory_order_relaxed);
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size_);
+    for (unsigned w = 0; w < pool_size_; ++w)
+        pool.emplace_back(&ParallelExecutor::workerLoop, this, w,
+                          epoch0);
+
+    while (true) {
+        Tick next = kTickNever;
+        for (Domain &d : doms_)
+            next = std::min(next, d.q->nextPendingTick());
+        if (next == kTickNever)
+            break; // drained everywhere, outboxes empty after route()
+        SSDRR_ASSERT(next <= kTickNever - window_,
+                     "simulated time overflow");
+        window_end_ = next + window_;
+        ++windows_run_;
+        if (pool_size_ == 0) {
+            runShard(0, 1);
+        } else {
+            done_.store(0, std::memory_order_relaxed);
+            // window_end_ is published by this release increment.
+            epoch_.fetch_add(1, std::memory_order_release);
+            runShard(0, pool_size_ + 1);
+            unsigned spins = 0;
+            while (done_.load(std::memory_order_acquire) != pool_size_)
+                relax(spins);
+        }
+        route();
+    }
+
+    if (pool_size_ > 0) {
+        stop_.store(true, std::memory_order_release);
+        epoch_.fetch_add(1, std::memory_order_release);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    // Align every domain's clock to the run's end so time-normalized
+    // statistics share one denominator (exactly what a shared queue
+    // gives the single-queue engine).
+    Tick end = 0;
+    for (Domain &d : doms_)
+        end = std::max(end, d.q->now());
+    for (Domain &d : doms_)
+        d.q->advanceTo(end);
+    return end;
+}
+
+} // namespace ssdrr::sim

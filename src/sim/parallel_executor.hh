@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Conservative time-window synchronizer for sharded discrete-event
+ * simulation.
+ *
+ * A ParallelExecutor advances several simulation domains — each one
+ * an independent EventQueue (the drives of a host::SsdArray plus its
+ * host side) — in lock-step windows of a fixed width Δ. Δ must be a
+ * lower bound on the cross-domain interaction latency (for an SSD
+ * array: the host dispatch/completion turnaround), so every message
+ * sent during window [W, W+Δ) is delivered at a tick >= W+Δ and can
+ * be exchanged at the window boundary without ever violating
+ * causality. Within a window, domains share nothing and run
+ * concurrently on a worker pool.
+ *
+ * Determinism contract (the point of this design): results are
+ * bit-identical for any worker count, including 1. This follows from
+ * three properties, each enforced here:
+ *  1. A domain's execution between barriers is single-threaded and
+ *     depends only on its own queue contents (domains must not share
+ *     mutable state; cross-domain effects go through send()).
+ *  2. Window boundaries are derived only from global queue state
+ *     (the minimum pending tick across domains), never from thread
+ *     timing.
+ *  3. Mailbox delivery is totally ordered: messages are scheduled
+ *     onto the receiving queue sorted by (delivery tick, sender
+ *     domain id, sender send-order), regardless of which worker ran
+ *     the sender.
+ *
+ * Ownership: the executor borrows the domain EventQueues (callers
+ * keep them alive for the executor's lifetime) and owns its worker
+ * threads, which exist only inside run().
+ *
+ * Thread-safety: addDomain() and run() are coordinator-only.
+ * send() may be called from whichever worker is currently executing
+ * the sending domain's window (the per-sender outbox is
+ * thread-confined), or from the coordinator outside run().
+ */
+
+#ifndef SSDRR_SIM_PARALLEL_EXECUTOR_HH
+#define SSDRR_SIM_PARALLEL_EXECUTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/callback.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace ssdrr::sim {
+
+class ParallelExecutor
+{
+  public:
+    using DomainId = std::uint32_t;
+    using Callback = InlineCallback;
+
+    /**
+     * @param window window width Δ in ticks (> 0); every send()'s
+     *               delivery tick must lie at or beyond the end of
+     *               the window it is sent from, which holds whenever
+     *               the modelled cross-domain latency is >= Δ
+     * @param threads worker threads for the window phase (clamped to
+     *                [1, domains]; 1 = run domains inline, no
+     *                threads). Results are identical for any value.
+     */
+    explicit ParallelExecutor(Tick window, unsigned threads = 1);
+    ~ParallelExecutor();
+
+    ParallelExecutor(const ParallelExecutor &) = delete;
+    ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+
+    /** Register a domain (coordinator-only, before run()). */
+    DomainId addDomain(EventQueue &q);
+
+    std::uint32_t domains() const
+    {
+        return static_cast<std::uint32_t>(doms_.size());
+    }
+    Tick window() const { return window_; }
+    unsigned threads() const { return threads_; }
+    /** Windows executed so far (introspection / tests). */
+    std::uint64_t windowsRun() const { return windows_run_; }
+
+    /**
+     * Queue @p cb for execution on domain @p to at tick
+     * @p deliver_at. Must be called from @p from's execution context
+     * (its worker during a window, or the coordinator outside run());
+     * @p deliver_at must not precede the end of the current window.
+     * Delivery order for a common (tick, receiver) is (sender id,
+     * send order).
+     */
+    void send(DomainId from, DomainId to, Tick deliver_at, Callback cb);
+
+    /**
+     * Run windows until every domain's queue is drained and no
+     * message is undelivered, then advance all domains' clocks to
+     * the common end time. May be called repeatedly (more work can
+     * be injected between calls via send()).
+     * @return the common end tick
+     */
+    Tick run();
+
+  private:
+    /** One cross-domain delivery. (to, when, from, seq) is a total
+     *  order — the delivery order, independent of gather order and
+     *  sort stability. */
+    struct Msg {
+        Tick when = 0;
+        std::uint64_t seq = 0; ///< sender-local send order
+        DomainId from = 0;
+        DomainId to = 0;
+        Callback cb;
+    };
+
+    struct Domain {
+        EventQueue *q = nullptr;
+        /** Messages sent by this domain, not yet routed. Confined to
+         *  the thread executing the domain's window. */
+        std::vector<Msg> outbox;
+        std::uint64_t next_seq = 1;
+    };
+
+    /** Route all outboxes onto the receiving queues (coordinator). */
+    void route();
+    /** Run domains d with d % stride == offset up to window_end_. */
+    void runShard(unsigned offset, unsigned stride);
+    void workerLoop(unsigned index, std::uint64_t start_epoch);
+
+    Tick window_;
+    unsigned threads_;
+    std::vector<Domain> doms_;
+    std::vector<Msg> route_scratch_;
+    std::uint64_t windows_run_ = 0;
+
+    // ----- window-phase worker handshake -----
+    // The coordinator publishes window_end_ and bumps epoch_
+    // (release); workers observe the new epoch (acquire), run their
+    // shard, and bump done_. Dedicated worker threads exist only
+    // while run() executes and only when threads_ > 1.
+    Tick window_end_ = 0; ///< exclusive; valid for the current epoch
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<unsigned> done_{0};
+    std::atomic<bool> stop_{false};
+    unsigned pool_size_ = 0; ///< spawned workers (threads_ - 1)
+};
+
+} // namespace ssdrr::sim
+
+#endif // SSDRR_SIM_PARALLEL_EXECUTOR_HH

@@ -3,6 +3,26 @@
  * Lightweight statistics collection (counters, accumulators,
  * histograms) used across the simulator for response-time and
  * utilization reporting.
+ *
+ * Ownership: every collector is a plain value owned by the entity it
+ * measures (a drive, a tenant, an array surface); nothing here is
+ * shared or global.
+ *
+ * Thread-safety: none — a collector is written only by its owning
+ * simulation domain's thread. Cross-domain aggregate views are built
+ * after the run (or at a barrier) by merging per-domain collectors:
+ * Histogram::merge adds bucket counts and recombines count/sum/
+ * min/max, so a merge of per-drive histograms is exactly the
+ * histogram of the concatenated samples.
+ *
+ * Determinism: Histogram percentiles depend only on bucket counts,
+ * and merge() is order-insensitive for integer bucket counts, so
+ * aggregated views are bit-identical regardless of which worker
+ * recorded which sample — the property the sharded array engine's
+ * end-of-run merge relies on. Accumulator means/variances are
+ * floating-point sums in insertion order; per-domain insertion order
+ * is deterministic, and cross-domain aggregation (host::SsdArray's
+ * pooled retry mean) always iterates domains in index order.
  */
 
 #ifndef SSDRR_SIM_STATS_HH

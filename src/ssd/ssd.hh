@@ -99,8 +99,10 @@ struct RunStats {
     std::uint64_t profileCacheMisses = 0;
     /**
      * Events executed on the event queue driving this SSD. Drives
-     * sharing a queue (host::SsdArray) all report the queue-global
-     * count; the array-level stats() reports it once.
+     * sharing a queue (legacy host::SsdArray) all report the
+     * queue-global count and the array-level stats() reports it
+     * once; drives on private queues (sharded array) report their
+     * own count and the array sums host + drive queues.
      */
     std::uint64_t executedEvents = 0;
 };
@@ -112,13 +114,22 @@ class Ssd
      *  the simulation hot path. */
     using CompletionFn = sim::InlineFunction<void(const HostCompletion &)>;
 
-    /** Stand-alone SSD owning its event queue (trace replay). */
+    /**
+     * Stand-alone SSD owning its event queue. Used for single-drive
+     * trace replay and as one drive (= one simulation domain) of a
+     * sharded host::SsdArray, whose sim::ParallelExecutor advances
+     * the owned queue in synchronization windows. In the sharded
+     * case every Ssd method — including the completion hook — runs
+     * on whichever worker thread is executing this drive's window;
+     * the drive touches no state outside itself, so no locking is
+     * needed (the contract the CI tsan job checks).
+     */
     Ssd(const Config &cfg, core::Mechanism mech);
 
     /**
      * SSD driven by an external, shared event queue. Used by the
-     * host layer to co-simulate several drives (host::SsdArray) and
-     * the host interface on one timeline.
+     * legacy host layer to co-simulate several drives
+     * (host::SsdArray) and the host interface on one timeline.
      */
     Ssd(const Config &cfg, core::Mechanism mech, sim::EventQueue &eq);
 

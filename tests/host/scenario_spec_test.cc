@@ -29,6 +29,8 @@ fullSpec()
         .suspension(false)
         .seed(999)
         .drives(2)
+        .threads(3)
+        .hostLinkUs(12.5)
         .queueDepth(24)
         .arbitration("slo")
         .maxDeviceInflight(12)
@@ -154,6 +156,31 @@ TEST(ScenarioSpec, RejectsSemanticConflicts)
     // drive count would otherwise silently run with 1 drive.
     expectRejects(R"({"drives": 4294967297, "tenants": [{}]})",
                   "scenario.drives: 4294967297 is out of range");
+    // The sharded engine needs a synchronization window: worker
+    // threads without a host link must be rejected, with the fix
+    // named.
+    expectRejects(R"({"threads": 4, "tenants": [{}]})",
+                  "need host.hostLinkUs > 0");
+    expectRejects(R"({"threads": 0, "tenants": [{}]})",
+                  "threads: must be >= 1");
+    expectRejects(
+        R"({"host": {"hostLinkUs": -3}, "tenants": [{}]})",
+        "host.hostLinkUs");
+    // A sub-tick link would truncate to 0 ticks and silently fall
+    // back to the legacy engine (dropping the modelled turnaround
+    // AND the worker threads) — reject instead.
+    expectRejects(
+        R"({"host": {"hostLinkUs": 0.0005}, "tenants": [{}]})",
+        "rounds to zero simulator ticks");
+}
+
+TEST(ScenarioSpec, ShardedEngineFieldsReachTheConfig)
+{
+    const ScenarioSpec spec = fullSpec();
+    const ScenarioConfig cfg =
+        spec.toConfig(core::Mechanism::Baseline);
+    EXPECT_EQ(cfg.threads, 3u);
+    EXPECT_DOUBLE_EQ(cfg.hostLinkUs, 12.5);
 }
 
 TEST(ScenarioSpec, FullChannelListIsNoRestriction)

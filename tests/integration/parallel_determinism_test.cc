@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Cross-thread determinism: the sharded per-drive engine
+ * (host::SsdArray with hostLink > 0, sim::ParallelExecutor) must
+ * produce bit-identical results for every worker count — the same
+ * RunStats (including p50/p99/p99.9), the same per-tenant latency
+ * distributions, and the same arbitration accounting with threads=4
+ * as with threads=1. This is the acceptance oracle for the parallel
+ * engine: any causality leak across a window boundary, unordered
+ * mailbox delivery, or shared mutable state between drives shows up
+ * here as a field mismatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/scenario_spec.hh"
+
+namespace ssdrr {
+namespace {
+
+void
+expectIdenticalArray(const ssd::RunStats &a, const ssd::RunStats &b)
+{
+    // EXPECT_EQ on doubles is exact comparison, deliberately: a
+    // cross-domain ordering leak would first show up as a 1-ULP
+    // drift in a floating-point accumulation, which a tolerant
+    // comparison (EXPECT_DOUBLE_EQ = 4 ULPs) would wave through.
+
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.retrySamples, b.retrySamples);
+    EXPECT_EQ(a.suspensions, b.suspensions);
+    EXPECT_EQ(a.gcCollections, b.gcCollections);
+    EXPECT_EQ(a.timingFallbacks, b.timingFallbacks);
+    EXPECT_EQ(a.readFailures, b.readFailures);
+    EXPECT_EQ(a.refreshes, b.refreshes);
+    EXPECT_EQ(a.executedEvents, b.executedEvents);
+    EXPECT_EQ(a.profileCacheHits, b.profileCacheHits);
+    EXPECT_EQ(a.profileCacheMisses, b.profileCacheMisses);
+    EXPECT_EQ(a.avgRetrySteps, b.avgRetrySteps);
+    EXPECT_EQ(a.avgResponseUs, b.avgResponseUs);
+    EXPECT_EQ(a.avgReadResponseUs, b.avgReadResponseUs);
+    EXPECT_EQ(a.avgWriteResponseUs, b.avgWriteResponseUs);
+    EXPECT_EQ(a.p99ResponseUs, b.p99ResponseUs);
+    EXPECT_EQ(a.maxResponseUs, b.maxResponseUs);
+    EXPECT_EQ(a.p50ReadResponseUs, b.p50ReadResponseUs);
+    EXPECT_EQ(a.p99ReadResponseUs, b.p99ReadResponseUs);
+    EXPECT_EQ(a.p999ReadResponseUs, b.p999ReadResponseUs);
+    EXPECT_EQ(a.simulatedMs, b.simulatedMs);
+    EXPECT_EQ(a.channelUtilization, b.channelUtilization);
+    EXPECT_EQ(a.eccUtilization, b.eccUtilization);
+}
+
+void
+expectIdenticalTenant(const host::TenantStats &a,
+                      const host::TenantStats &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.avgUs, b.avgUs);
+    EXPECT_EQ(a.p50Us, b.p50Us);
+    EXPECT_EQ(a.p99Us, b.p99Us);
+    EXPECT_EQ(a.p999Us, b.p999Us);
+    EXPECT_EQ(a.maxUs, b.maxUs);
+    EXPECT_EQ(a.readP50Us, b.readP50Us);
+    EXPECT_EQ(a.readP99Us, b.readP99Us);
+    EXPECT_EQ(a.readP999Us, b.readP999Us);
+    EXPECT_EQ(a.achievedIops, b.achievedIops);
+}
+
+void
+expectIdenticalResult(const host::ScenarioResult &a,
+                      const host::ScenarioResult &b)
+{
+    expectIdenticalArray(a.array, b.array);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+        SCOPED_TRACE("tenant " + a.tenants[t].name);
+        expectIdenticalTenant(a.tenants[t], b.tenants[t]);
+    }
+    EXPECT_EQ(a.fetchedPerQueue, b.fetchedPerQueue);
+}
+
+/** 4-drive, 4-tenant mixed-QoS scenario on the sharded engine. */
+host::ScenarioSpec
+fourDriveSpec()
+{
+    return host::ScenarioBuilder()
+        .name("parallel-determinism")
+        .geometry("small")
+        .pec(1.0)
+        .retention(6.0)
+        .seed(99)
+        .drives(4)
+        .hostLinkUs(10.0)
+        .queueDepth(16)
+        .arbitration("wrr")
+        .mechanism(core::Mechanism::PnAR2)
+        .tenant("usr", "usr_1", 250)
+        .qdLimit(16)
+        .weight(1)
+        .tenant("kv", "YCSB-C", 250)
+        .qdLimit(8)
+        .weight(2)
+        .tenant("log", "stg_0", 250)
+        .qdLimit(8)
+        .weight(1)
+        .rateIops(20000)
+        .burst(8)
+        .tenant("scan", "usr_1", 250)
+        .qdLimit(4)
+        .weight(3)
+        .build();
+}
+
+host::ScenarioResult
+runWithThreads(std::uint32_t threads)
+{
+    host::ScenarioConfig cfg =
+        fourDriveSpec().toConfig(core::Mechanism::PnAR2);
+    cfg.threads = threads;
+    return host::runScenario(cfg);
+}
+
+TEST(ParallelDeterminism, FourThreadsMatchOneBitForBit)
+{
+    const host::ScenarioResult one = runWithThreads(1);
+    const host::ScenarioResult four = runWithThreads(4);
+    EXPECT_GT(one.array.reads, 0u);
+    EXPECT_GT(one.array.retrySamples, 0u);
+    expectIdenticalResult(one, four);
+}
+
+TEST(ParallelDeterminism, TwoThreadsMatchOneBitForBit)
+{
+    expectIdenticalResult(runWithThreads(1), runWithThreads(2));
+}
+
+TEST(ParallelDeterminism, OversubscribedThreadsMatch)
+{
+    // More workers than drives+host domains: the clamp must not
+    // change anything.
+    expectIdenticalResult(runWithThreads(1), runWithThreads(16));
+}
+
+TEST(ParallelDeterminism, ShardedEngineIsReproducible)
+{
+    expectIdenticalResult(runWithThreads(4), runWithThreads(4));
+}
+
+TEST(ParallelDeterminism, OpenLoopHorizonScenarioMatches)
+{
+    // Open-loop injection with a time horizon exercises
+    // arrival-driven host events (not just completion-driven ones)
+    // across window boundaries.
+    auto run = [](std::uint32_t threads) {
+        const host::ScenarioSpec spec =
+            host::ScenarioBuilder()
+                .geometry("small")
+                .pec(1.0)
+                .retention(6.0)
+                .seed(7)
+                .drives(4)
+                .hostLinkUs(5.0)
+                .queueDepth(16)
+                .mechanism(core::Mechanism::Baseline)
+                .tenant("steady", "YCSB-C", 150)
+                .openLoop()
+                .iops(4000.0)
+                .horizonUs(80000.0)
+                .tenant("bg", "stg_0", 150)
+                .qdLimit(8)
+                .build();
+        host::ScenarioConfig cfg =
+            spec.toConfig(core::Mechanism::Baseline);
+        cfg.threads = threads;
+        return host::runScenario(cfg);
+    };
+    expectIdenticalResult(run(1), run(4));
+}
+
+} // namespace
+} // namespace ssdrr

@@ -35,8 +35,15 @@
  *     --array N                  LPN-striped array of N drives
  *     --open-loop                inject at trace arrival times instead
  *                                of closed-loop
+ *     --host-link-us X           host dispatch/completion turnaround
+ *                                in microseconds (default 0 =
+ *                                instantaneous coupling on one shared
+ *                                event queue; > 0 models the NVMe
+ *                                doorbell/interrupt path and runs
+ *                                drives on private event queues)
  *
- * Scenario files (declarative API v2; see README "Scenario files"):
+ * Scenario files (declarative API v2; see README "Scenario files"
+ * and docs/SCENARIOS.md):
  *     --scenario FILE.json       run a serialized ScenarioSpec; the
  *                                file defines geometry, mechanisms,
  *                                array shape, host options and
@@ -45,6 +52,16 @@
  *     --dump-scenario            print the scenario the flags above
  *                                describe (or a canonicalized
  *                                --scenario file) as JSON and exit
+ *
+ * Execution (allowed with either mode; never changes results):
+ *     --threads N                worker threads for the sharded
+ *                                per-drive engine (default 1; N > 1
+ *                                needs a positive host link —
+ *                                --host-link-us or the scenario's
+ *                                host.hostLinkUs). Overrides a
+ *                                scenario file's "threads" field.
+ *                                Results are bit-identical for every
+ *                                N.
  *
  * A legacy multi-tenant invocation is sugar for a scenario: the
  * flags build a ScenarioSpec internally, so `--dump-scenario`'s JSON
@@ -103,6 +120,9 @@ struct Options {
     std::string arbitration = "rr";
     std::uint32_t array = 1;
     bool openLoop = false;
+    double hostLinkUs = 0.0;
+    std::uint32_t threads = 1;
+    bool threadsSet = false;
     /** Scenario-file mode (mutually exclusive with legacy flags). */
     std::string scenarioPath;
     bool dumpScenario = false;
@@ -128,6 +148,7 @@ usage(const char *argv0)
                  "  [--tenants T] [--queue-depth D] "
                  "[--arbitration rr|wrr] [--array N] "
                  "[--open-loop]\n"
+                 "  [--host-link-us X] [--threads N]\n"
                  "  [--scenario FILE.json] [--dump-scenario] "
                  "[--list-workloads] [--bench-json PATH]\n",
                  argv0);
@@ -267,6 +288,16 @@ parseArgs(int argc, char **argv)
             opt.openLoop = true;
             opt.hostFlags.push_back(arg);
             legacy();
+        } else if (arg == "--host-link-us") {
+            opt.hostLinkUs = parseDouble(arg, next());
+            opt.hostFlags.push_back(arg);
+            legacy();
+        } else if (arg == "--threads") {
+            // An execution knob, not a scenario property: legal with
+            // --scenario too (it overrides the file's "threads") and
+            // never changes simulation results.
+            opt.threads = parseUint32(arg, next());
+            opt.threadsSet = true;
         } else if (arg == "--scenario") {
             opt.scenarioPath = next();
         } else if (arg == "--dump-scenario") {
@@ -331,8 +362,10 @@ specFromFlags(const Options &opt)
     spec.ssd.seed = opt.seed;
     spec.mechanisms = opt.mechanisms;
     spec.drives = opt.array;
+    spec.threads = opt.threads;
     spec.queueDepth = opt.queueDepth;
     spec.arbitration = opt.arbitration;
+    spec.hostLinkUs = opt.hostLinkUs;
 
     const bool wrr = opt.arbitration == "wrr";
     // Keep total work comparable to the single-replay mode: the
@@ -490,6 +523,17 @@ validateLegacyFlags(const Options &opt)
                                 "tenants; add --open-loop");
         if (opt.iops < 0.0)
             flagError("--iops", "must be >= 0");
+        if (opt.hostLinkUs < 0.0)
+            flagError("--host-link-us", "must be >= 0");
+        if (opt.threads < 1)
+            flagError("--threads", "needs at least 1 worker");
+        if (opt.threads > 1 && opt.hostLinkUs <= 0.0)
+            flagError("--threads",
+                      "worker threads need --host-link-us > 0 (the "
+                      "parallel engine synchronizes drives at "
+                      "host-link turnaround windows)");
+    } else if (opt.threadsSet && opt.scenarioPath.empty()) {
+        flagError("--threads", "requires --tenants or --scenario");
     } else if (!opt.hostFlags.empty()) {
         // Multi-tenant-only flags silently doing nothing would let a
         // single-replay run masquerade as an array experiment.
@@ -525,6 +569,10 @@ main(int argc, char **argv)
         host::ScenarioSpec spec;
         try {
             spec = host::ScenarioSpec::loadFile(opt.scenarioPath);
+            if (opt.threadsSet) {
+                spec.threads = opt.threads;
+                spec.validate(); // threads > 1 still needs a link
+            }
         } catch (const host::SpecError &e) {
             std::fprintf(stderr, "ssdrr_sim: --scenario: %s\n",
                          e.what());
