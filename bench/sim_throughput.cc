@@ -118,6 +118,11 @@ measureScenario(const std::string &name, const MakeConfig &make_config,
     run.p999ReadUs = a.p999ReadResponseUs;
     run.profileCacheHits = a.profileCacheHits;
     run.profileCacheMisses = a.profileCacheMisses;
+    run.degradedReads = a.degradedReads;
+    run.reconstructionReads = a.reconstructionReads;
+    run.parityWrites = a.parityWrites;
+    run.p99DegradedReadUs = a.p99DegradedReadUs;
+    run.p999DegradedReadUs = a.p999DegradedReadUs;
     if (best > 0.0) {
         run.eventsPerSecond =
             static_cast<double>(a.executedEvents) / best;
@@ -184,6 +189,50 @@ measureParallel(std::uint32_t threads,
         repeat);
 }
 
+/**
+ * RAID-5 degraded-read section: a 4-drive rotating-parity array at a
+ * retry-heavy operating point (2K P/E + 12-month retention), healthy
+ * vs one failed drive, per mechanism. Every degraded read multiplies
+ * into 3 stripe-mate reads that each walk the full retry path — the
+ * regime where retry optimization pays off most (cf. RARO).
+ */
+host::ScenarioConfig
+raid5Scenario(core::Mechanism mech,
+              std::uint64_t requests_per_tenant, bool degraded)
+{
+    host::ScenarioBuilder b;
+    b.geometry("small")
+        .pec(2.0)
+        .retention(12.0)
+        .seed(42)
+        .drives(4)
+        .raid("raid5")
+        .stripeUnitPages(4)
+        .queueDepth(16);
+    if (degraded)
+        b.failedDrives({1});
+    b.mechanism(mech);
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        b.tenant("t" + std::to_string(t), "usr_1",
+                 requests_per_tenant)
+            .qdLimit(16);
+    }
+    return b.build().toConfig(mech);
+}
+
+sim::BenchRun
+measureRaid5(core::Mechanism mech, bool degraded,
+             std::uint64_t requests_per_tenant, int repeat)
+{
+    return measureScenario(
+        std::string("raid5-") + (degraded ? "degraded" : "healthy") +
+            "-" + core::name(mech),
+        [&] {
+            return raid5Scenario(mech, requests_per_tenant, degraded);
+        },
+        repeat);
+}
+
 /** The deterministic fields two thread counts must agree on. */
 bool
 identicalResults(const sim::BenchRun &a, const sim::BenchRun &b)
@@ -240,8 +289,10 @@ main(int argc, char **argv)
 
     const std::uint64_t per_tenant = short_mode ? 400 : 2000;
     const std::uint64_t par_per_tenant = short_mode ? 400 : 2000;
-    // Two scenarios share this file: the digested tail runs and the
-    // par4d-* sharded-engine runs appended after them.
+    const std::uint64_t r5_per_tenant = short_mode ? 300 : 1000;
+    // Three scenarios share this file: the digested tail runs, the
+    // par4d-* sharded-engine runs, and the raid5-* degraded-read
+    // runs appended after them.
     const std::string label =
         std::string("multi_tenant_tail ") +
         (short_mode ? "short" : "full") +
@@ -250,7 +301,11 @@ main(int argc, char **argv)
         "retention); par4d-*: 8 closed-loop tenants x " +
         std::to_string(par_per_tenant) +
         " usr_1/YCSB-C reqs, QD 32, 4-drive array, 50 us host link, "
-        "profile cache off, PnAR2, 1 vs 4 worker threads";
+        "profile cache off, PnAR2, 1 vs 4 worker threads; raid5-*: "
+        "4 closed-loop tenants x " +
+        std::to_string(r5_per_tenant) +
+        " usr_1 reqs, QD 16, 4-drive raid5 (unit 4), 2K P/E + "
+        "12-month retention, healthy vs drive 1 failed";
 
     std::printf("sim_throughput — %s\n\n", label.c_str());
     std::printf("%-10s %12s %14s %12s %12s %10s\n", "mechanism",
@@ -307,6 +362,29 @@ main(int argc, char **argv)
                     "(bit-identical results)\n",
                     par_runs[0].wallSeconds / par_runs[1].wallSeconds);
     runs.insert(runs.end(), par_runs.begin(), par_runs.end());
+
+    // ----- RAID-5 degraded reads: healthy vs 1 failed drive -----
+    std::printf("\nraid5 degraded reads — 4 closed-loop tenants x "
+                "%llu usr_1 reqs, QD 16, 4-drive raid5 (unit 4), "
+                "2K P/E + 12-month retention, healthy vs drive 1 "
+                "failed\n",
+                static_cast<unsigned long long>(r5_per_tenant));
+    std::printf("%-24s %12s %10s %10s %12s %12s\n", "config",
+                "wall[s]", "p99r[us]", "p999r[us]", "p99degr[us]",
+                "degr-reads");
+    for (core::Mechanism m :
+         {core::Mechanism::Baseline, core::Mechanism::PnAR2}) {
+        for (bool degraded : {false, true}) {
+            runs.push_back(
+                measureRaid5(m, degraded, r5_per_tenant, repeat));
+            const sim::BenchRun &r = runs.back();
+            std::printf("%-24s %12.3f %10.1f %10.1f %12.1f %12llu\n",
+                        r.name.c_str(), r.wallSeconds, r.p99ReadUs,
+                        r.p999ReadUs, r.p99DegradedReadUs,
+                        static_cast<unsigned long long>(
+                            r.degradedReads));
+        }
+    }
 
     if (!sim::writeBenchJson(json_path, label, runs))
         return 1;

@@ -7,15 +7,32 @@ namespace ssdrr::host {
 SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
                    std::uint32_t drives, sim::Tick host_link,
                    std::uint32_t threads)
-    : mech_(mech), link_(host_link)
+    : SsdArray(cfg, mech, [&] {
+          Options opt;
+          opt.drives = drives;
+          opt.hostLink = host_link;
+          opt.threads = threads;
+          return opt;
+      }())
 {
-    SSDRR_ASSERT(drives >= 1, "array needs at least one drive");
+}
+
+SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
+                   const Options &opt)
+    : mech_(mech), link_(opt.hostLink),
+      xfer_us_per_kb_(opt.transferUsPerKb),
+      page_kb_(static_cast<double>(cfg.pageBytes) / 1024.0),
+      layout_(makeArrayLayout(opt.raid, opt.drives,
+                              opt.stripeUnitPages, opt.failedDrives))
+{
+    SSDRR_ASSERT(opt.drives >= 1, "array needs at least one drive");
+    SSDRR_ASSERT(xfer_us_per_kb_ >= 0.0, "negative transfer cost");
     if (link_ > 0) {
         exec_ = std::make_unique<sim::ParallelExecutor>(
-            link_, threads == 0 ? 1 : threads);
+            link_, opt.threads == 0 ? 1 : opt.threads);
         host_dom_ = exec_->addDomain(eq_);
     }
-    for (std::uint32_t d = 0; d < drives; ++d) {
+    for (std::uint32_t d = 0; d < opt.drives; ++d) {
         ssd::Config dc = cfg;
         // Distinct per-drive seeds: real drives do not share error
         // patterns, and identical seeds would correlate retry storms
@@ -35,10 +52,13 @@ SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
         } else {
             ssds_.push_back(std::make_unique<ssd::Ssd>(dc, mech, eq_));
             ssds_.back()->onHostComplete(
-                [this](const ssd::HostCompletion &c) { subComplete(c); });
+                [this](const ssd::HostCompletion &c) {
+                    legacyComplete(c);
+                });
         }
     }
-    logical_pages_ = ssds_.front()->config().logicalPages() * drives;
+    logical_pages_ =
+        layout_->logicalPages(ssds_.front()->config().logicalPages());
 }
 
 void
@@ -48,20 +68,62 @@ SsdArray::precondition()
         s->precondition();
 }
 
+sim::Tick
+SsdArray::xferTicks(std::uint32_t pages) const
+{
+    if (xfer_us_per_kb_ <= 0.0)
+        return 0;
+    return sim::usec(xfer_us_per_kb_ * page_kb_ *
+                     static_cast<double>(pages));
+}
+
 void
 SsdArray::dispatch(std::uint32_t d, const ssd::HostRequest &sub)
 {
+    const sim::Tick xfer = xferTicks(sub.pages);
     if (!exec_) {
-        ssds_[d]->submit(sub);
+        if (xfer == 0) {
+            ssds_[d]->submit(sub);
+            return;
+        }
+        // Legacy engine with a transfer cost: the command reaches
+        // the drive once its bytes crossed the link.
+        ssd::HostRequest delivered = sub;
+        delivered.arrival = eq_.now() + xfer;
+        eq_.schedule(delivered.arrival, [this, d, delivered] {
+            ssds_[d]->submit(delivered);
+        });
         return;
     }
-    // Sharded mode: the command crosses the host link. The drive
-    // sees it — and accounts its device-side latency from — the
-    // delivery tick.
+    // Sharded mode: the command crosses the host link (plus its
+    // transfer time). The drive sees it — and accounts its
+    // device-side latency from — the delivery tick.
     ssd::HostRequest delivered = sub;
-    delivered.arrival = eq_.now() + link_;
+    delivered.arrival = eq_.now() + link_ + xfer;
     exec_->send(host_dom_, drive_dom_[d], delivered.arrival,
                 [this, d, delivered] { ssds_[d]->submit(delivered); });
+}
+
+void
+SsdArray::issueSub(std::uint64_t parent_id, sim::Tick arrival,
+                   std::uint32_t channel_mask,
+                   const ArrayLayout::SubOp &op)
+{
+    if (op.isRead) {
+        if (op.cls == ArrayLayout::OpClass::Rebuild)
+            ++reconstruction_reads_;
+    } else if (op.cls == ArrayLayout::OpClass::Parity) {
+        ++parity_writes_;
+    }
+    ssd::HostRequest sub;
+    sub.id = next_sub_id_++;
+    sub.arrival = arrival;
+    sub.lpn = op.lpn;
+    sub.pages = op.pages;
+    sub.isRead = op.isRead;
+    sub.channelMask = channel_mask;
+    sub_parent_[sub.id] = parent_id;
+    dispatch(op.drive, sub);
 }
 
 void
@@ -74,53 +136,52 @@ SsdArray::submit(const ssd::HostRequest &req)
     SSDRR_ASSERT(parents_.count(req.id) == 0,
                  "duplicate outstanding request id ", req.id);
 
-    const std::uint32_t n = drives();
-    // Page-striped split: each member drive receives at most one
-    // subrequest, covering the (consecutive) local LPNs that fall on
-    // it. first[d] is the smallest local LPN of the span on drive d.
-    // Member scratch avoids allocating two vectors per request.
-    split_first_.assign(n, 0);
-    split_count_.assign(n, 0);
-    std::vector<std::uint64_t> &first = split_first_;
-    std::vector<std::uint32_t> &count = split_count_;
-    for (std::uint32_t i = 0; i < req.pages; ++i) {
-        const std::uint64_t g = req.lpn + i;
-        const std::uint32_t d = driveOf(g);
-        const std::uint64_t l = localLpn(g);
-        if (count[d]++ == 0)
-            first[d] = l;
-    }
+    layout_->plan(req.lpn, req.pages, req.isRead, plan_scratch_);
+    const ArrayLayout::Plan &plan = plan_scratch_;
+    SSDRR_ASSERT(!plan.ops.empty() || !plan.writes.empty(),
+                 "layout produced an empty plan for request ", req.id);
 
-    std::uint32_t subs = 0;
-    for (std::uint32_t d = 0; d < n; ++d)
-        if (count[d] > 0)
-            ++subs;
-    parents_[req.id] = Parent{req.arrival, subs, req.isRead};
+    // A plan with no phase-1 ops (a RAID-5 write whose parity drive
+    // failed) issues its writes immediately as the only phase.
+    const std::vector<ArrayLayout::SubOp> &phase1 =
+        plan.ops.empty() ? plan.writes : plan.ops;
+    Parent &p = parents_[req.id];
+    p.arrival = req.arrival;
+    p.remaining = static_cast<std::uint32_t>(phase1.size());
+    p.pages = req.pages;
+    p.channelMask = req.channelMask;
+    p.isRead = req.isRead;
+    p.degraded = plan.degraded;
+    if (!plan.ops.empty())
+        p.phase2 = plan.writes;
 
-    for (std::uint32_t d = 0; d < n; ++d) {
-        if (count[d] == 0)
-            continue;
-        ssd::HostRequest sub;
-        sub.id = next_sub_id_++;
-        sub.arrival = req.arrival;
-        sub.lpn = first[d];
-        sub.pages = count[d];
-        sub.isRead = req.isRead;
-        sub.channelMask = req.channelMask;
-        sub_parent_[sub.id] = req.id;
-        dispatch(d, sub);
-    }
+    for (const ArrayLayout::SubOp &op : phase1)
+        issueSub(req.id, req.arrival, req.channelMask, op);
 }
 
 void
 SsdArray::driveComplete(std::uint32_t d, const ssd::HostCompletion &c)
 {
     // Runs on the drive's worker thread, inside the drive's window.
-    // Ship the completion across the host link; subComplete then
-    // executes on the host domain at the delivery tick.
+    // Ship the completion across the host link (plus its transfer
+    // time); subComplete then executes on the host domain at the
+    // delivery tick. Uses only the completion record and immutable
+    // config — host-side maps stay host-domain-confined.
     exec_->send(drive_dom_[d], host_dom_,
-                ssds_[d]->eventQueue().now() + link_,
+                ssds_[d]->eventQueue().now() + link_ +
+                    xferTicks(c.pages),
                 [this, c] { subComplete(c); });
+}
+
+void
+SsdArray::legacyComplete(const ssd::HostCompletion &c)
+{
+    const sim::Tick xfer = xferTicks(c.pages);
+    if (xfer == 0) {
+        subComplete(c);
+        return;
+    }
+    eq_.schedule(eq_.now() + xfer, [this, c] { subComplete(c); });
 }
 
 void
@@ -142,13 +203,29 @@ SsdArray::subComplete(const ssd::HostCompletion &c)
     if (--p.remaining > 0)
         return;
 
+    if (!p.phase2.empty()) {
+        // Two-phase plan: every pre-read is in, release the writes.
+        // Re-seat remaining before issuing (issueSub never touches
+        // parents_, but keep the bookkeeping ordered anyway).
+        const std::vector<ArrayLayout::SubOp> writes =
+            std::move(p.phase2);
+        p.phase2.clear();
+        p.remaining = static_cast<std::uint32_t>(writes.size());
+        for (const ArrayLayout::SubOp &op : writes)
+            issueSub(parent_id, eq_.now(), p.channelMask, op);
+        return;
+    }
+
     const double resp_us = sim::toUsec(eq_.now() - p.arrival);
-    if (p.isRead)
+    if (p.isRead) {
         resp_read_.add(resp_us);
-    else
+        if (p.degraded)
+            resp_degraded_.add(resp_us);
+    } else {
         resp_write_.add(resp_us);
+    }
     const ssd::HostCompletion done{parent_id, p.arrival, eq_.now(),
-                                   p.isRead, resp_us};
+                                   p.isRead, resp_us, p.pages};
     parents_.erase(pit);
     if (on_complete_)
         on_complete_(done);
@@ -201,6 +278,17 @@ SsdArray::stats() const
     s.channelUtilization /= ssds_.size();
     s.eccUtilization /= ssds_.size();
     s.simulatedMs = sim::toMsec(eq_.now());
+
+    // Layout accounting: reconstruction fan-out and parity traffic.
+    s.degradedReads = resp_degraded_.count();
+    s.reconstructionReads = reconstruction_reads_;
+    s.parityWrites = parity_writes_;
+    if (resp_degraded_.count()) {
+        s.avgDegradedReadUs = resp_degraded_.mean();
+        s.p50DegradedReadUs = resp_degraded_.percentile(50.0);
+        s.p99DegradedReadUs = resp_degraded_.percentile(99.0);
+        s.p999DegradedReadUs = resp_degraded_.percentile(99.9);
+    }
 
     // The all-request distribution is the merge of the read and
     // write histograms (every parent is exactly one of the two), so

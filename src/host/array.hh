@@ -1,17 +1,25 @@
 /**
  * @file
- * LPN-striped array of SSDs, on one shared timeline or sharded
- * across worker threads.
+ * Array of SSDs behind a pluggable address layout, on one shared
+ * timeline or sharded across worker threads.
  *
- * The array exports a single flat logical space of
- * drives * perDriveLogicalPages pages, striped page-by-page across
- * the member drives (global LPN g lives on drive g % N at local LPN
- * g / N — RAID-0 at page granularity).
+ * The array exports a single flat logical space whose size and
+ * placement are owned by a host::ArrayLayout (array_layout.hh):
+ *  - Raid0Layout (default): page-granular striping over the member
+ *    drives, drives * perDriveLogicalPages data pages — bit-identical
+ *    to the original hard-wired striping.
+ *  - Raid5Layout: rotating parity over configurable stripe units;
+ *    one drive's worth of pages holds parity, writes are
+ *    read-modify-write (parity pre-read + update write), and reads
+ *    of a configured failed drive reconstruct from the N-1 surviving
+ *    stripe mates.
  *
- * Multi-page requests that span drives are split into per-drive
- * subrequests; the parent request completes when its last subrequest
- * does, and the registered completion hook fires once with the
- * parent's end-to-end latency.
+ * A host request fans out into the layout's per-drive plan; the
+ * parent request completes when its last subrequest does (two-phase
+ * plans issue their writes only after every pre-read completed), and
+ * the registered completion hook fires once with the parent's
+ * end-to-end latency. Degraded reads are additionally recorded in a
+ * per-class histogram surfaced through RunStats.
  *
  * Execution engines (selected by the host-link turnaround):
  *  - hostLink == 0 (default): all drives and the host side share one
@@ -28,6 +36,12 @@
  *    `threads` workers — and, by the executor's determinism
  *    contract, produce bit-identical results for ANY thread count,
  *    including 1.
+ *
+ * Either engine can additionally charge size-proportional link
+ * transfer time (transferUsPerKb): each subrequest's dispatch and
+ * completion crossing is delayed by its page count times the
+ * per-KiB cost, on top of the fixed turnaround. 0 (the default)
+ * keeps both engines' event streams unchanged.
  */
 
 #ifndef SSDRR_HOST_ARRAY_HH
@@ -37,6 +51,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "host/array_layout.hh"
 #include "sim/event_queue.hh"
 #include "sim/parallel_executor.hh"
 #include "ssd/ssd.hh"
@@ -48,20 +63,40 @@ class SsdArray
   public:
     using CompletionFn = ssd::Ssd::CompletionFn;
 
+    /** Array shape and engine selection. */
+    struct Options {
+        std::uint32_t drives = 1;
+        RaidLevel raid = RaidLevel::Raid0;
+        /** Stripe-unit pages (RAID-5 chunk size; ignored by RAID-0,
+         *  whose stripe unit is one page). */
+        std::uint32_t stripeUnitPages = 1;
+        /** Failed member drives (degraded mode); must respect the
+         *  layout's fault tolerance. */
+        std::vector<std::uint32_t> failedDrives;
+        /** Host dispatch/completion turnaround in ticks; 0 keeps the
+         *  legacy shared-queue engine, > 0 selects the windowed
+         *  per-drive engine (see file comment). */
+        sim::Tick hostLink = 0;
+        /** Worker threads for the windowed engine (ignored when
+         *  hostLink == 0; results do not depend on it). */
+        std::uint32_t threads = 1;
+        /** Link transfer cost in microseconds per KiB moved; charged
+         *  per subrequest on dispatch and completion (0 = off). */
+        double transferUsPerKb = 0.0;
+    };
+
     /**
      * @param cfg per-drive configuration (each drive gets a distinct
      *            derived seed so drives do not see identical error
      *            patterns)
      * @param mech retry mechanism, same on every drive
-     * @param drives number of member SSDs (>= 1)
-     * @param host_link host dispatch/completion turnaround in ticks;
-     *                  0 keeps the legacy shared-queue engine, > 0
-     *                  selects the windowed per-drive engine (see
-     *                  file comment)
-     * @param threads worker threads for the windowed engine (ignored
-     *                when host_link == 0; results do not depend on
-     *                it)
+     * @param opt array shape (drive count, layout, failed drives)
+     *            and engine selection
      */
+    SsdArray(const ssd::Config &cfg, core::Mechanism mech,
+             const Options &opt);
+
+    /** Legacy convenience: RAID-0 with @p drives members. */
     SsdArray(const ssd::Config &cfg, core::Mechanism mech,
              std::uint32_t drives, sim::Tick host_link = 0,
              std::uint32_t threads = 1);
@@ -79,19 +114,22 @@ class SsdArray
     sim::Tick hostLink() const { return link_; }
     /** True when drives run on private queues behind mailboxes. */
     bool sharded() const { return exec_ != nullptr; }
+    /** The address layout mapping the flat space onto drives. */
+    const ArrayLayout &layout() const { return *layout_; }
 
-    /** Exported capacity: drives * per-drive logical pages. */
+    /** Exported data capacity in pages (layout-dependent: RAID-5
+     *  gives one drive's worth to parity). */
     std::uint64_t logicalPages() const { return logical_pages_; }
 
     /** Drive holding global LPN @p lpn. */
     std::uint32_t driveOf(std::uint64_t lpn) const
     {
-        return static_cast<std::uint32_t>(lpn % ssds_.size());
+        return layout_->locate(lpn).drive;
     }
     /** Per-drive LPN of global LPN @p lpn. */
     std::uint64_t localLpn(std::uint64_t lpn) const
     {
-        return lpn / ssds_.size();
+        return layout_->locate(lpn).lpn;
     }
 
     /** Precondition every member drive (aged mapping). */
@@ -117,31 +155,57 @@ class SsdArray
      * striped request counts once, at its end-to-end latency);
      * device-side counters (suspensions, GC, refreshes, ...) are
      * summed across drives and utilizations averaged over them.
-     * executedEvents covers every queue that drove the run (the one
-     * shared queue, or host + per-drive queues summed).
+     * Degraded reads, reconstruction subreads, and parity writes are
+     * array-level layout accounting. executedEvents covers every
+     * queue that drove the run (the one shared queue, or host +
+     * per-drive queues summed).
      */
     ssd::RunStats stats() const;
 
     /** Array-surface (parent-request) latency distributions. */
     const sim::Histogram &readResponseTimes() const { return resp_read_; }
     const sim::Histogram &writeResponseTimes() const { return resp_write_; }
+    /** Reads served through reconstruction (also in the read view). */
+    const sim::Histogram &degradedReadResponseTimes() const
+    {
+        return resp_degraded_;
+    }
 
   private:
     struct Parent {
         sim::Tick arrival = 0;
         std::uint32_t remaining = 0; ///< outstanding subrequests
+        std::uint32_t pages = 1; ///< request size, echoed on completion
+        /** Request channel-affinity mask, kept so phase-2 writes
+         *  honour it like phase-1 ones. */
+        std::uint32_t channelMask = 0;
         bool isRead = true;
+        bool degraded = false; ///< plan reconstructed lost data
+        /** Phase-2 write ops, issued when phase 1 fully completes. */
+        std::vector<ArrayLayout::SubOp> phase2;
     };
 
+    /** Issue one planned op as a drive subrequest. */
+    void issueSub(std::uint64_t parent_id, sim::Tick arrival,
+                  std::uint32_t channel_mask,
+                  const ArrayLayout::SubOp &op);
     void subComplete(const ssd::HostCompletion &c);
+    /** Legacy-engine completion hook: apply the (optional) transfer
+     *  delay before subComplete. */
+    void legacyComplete(const ssd::HostCompletion &c);
     /** Drive-side completion hook in sharded mode: forward to the
      *  host domain with the completion turnaround applied. */
     void driveComplete(std::uint32_t d, const ssd::HostCompletion &c);
     void dispatch(std::uint32_t d, const ssd::HostRequest &sub);
+    /** Size-proportional link transfer time of @p pages pages. */
+    sim::Tick xferTicks(std::uint32_t pages) const;
 
     sim::EventQueue eq_; ///< host-side queue (shared queue in legacy)
     core::Mechanism mech_;
     sim::Tick link_ = 0;
+    double xfer_us_per_kb_ = 0.0;
+    double page_kb_ = 16.0; ///< pageBytes / 1024
+    std::unique_ptr<ArrayLayout> layout_;
     std::vector<std::unique_ptr<ssd::Ssd>> ssds_;
     std::uint64_t logical_pages_ = 0;
 
@@ -155,15 +219,20 @@ class SsdArray
     std::uint64_t next_sub_id_ = 1;
     CompletionFn on_complete_;
 
-    /** Scratch for submit()'s per-drive split (no per-request
+    /** Scratch for submit()'s fan-out plan (no per-request
      *  allocation on the injection hot path). */
-    std::vector<std::uint64_t> split_first_;
-    std::vector<std::uint32_t> split_count_;
+    ArrayLayout::Plan plan_scratch_;
+
+    /** Layout accounting (see stats()). */
+    std::uint64_t reconstruction_reads_ = 0;
+    std::uint64_t parity_writes_ = 0;
 
     /** Parent-request latencies; the all-request view is derived by
-     *  merging these two at reporting time. */
+     *  merging these two at reporting time. Degraded reads record
+     *  into both the read and the degraded histogram. */
     sim::Histogram resp_read_;
     sim::Histogram resp_write_;
+    sim::Histogram resp_degraded_;
 };
 
 } // namespace ssdrr::host

@@ -1,0 +1,248 @@
+#include "host/array_layout.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::host {
+
+const char *
+name(RaidLevel level)
+{
+    switch (level) {
+    case RaidLevel::Raid0:
+        return "raid0";
+    case RaidLevel::Raid5:
+        return "raid5";
+    }
+    SSDRR_ASSERT(false, "unknown RaidLevel ",
+                 static_cast<int>(level));
+}
+
+bool
+tryParseRaidLevel(const std::string &s, RaidLevel *out)
+{
+    RaidLevel level;
+    if (s == "raid0")
+        level = RaidLevel::Raid0;
+    else if (s == "raid5")
+        level = RaidLevel::Raid5;
+    else
+        return false;
+    if (out)
+        *out = level;
+    return true;
+}
+
+RaidLevel
+parseRaidLevel(const std::string &s)
+{
+    RaidLevel level;
+    SSDRR_ASSERT(tryParseRaidLevel(s, &level), "unknown RAID level '",
+                 s, "' (expected raid0 or raid5)");
+    return level;
+}
+
+// ------------------------------------------------------ Raid0Layout
+
+Raid0Layout::Raid0Layout(std::uint32_t drives) : drives_(drives)
+{
+    SSDRR_ASSERT(drives >= 1, "raid0 needs at least one drive");
+}
+
+void
+Raid0Layout::plan(std::uint64_t lpn, std::uint32_t pages, bool is_read,
+                  Plan &out)
+{
+    out.clear();
+    // Page-striped split: each member drive receives at most one
+    // subrequest, covering the (consecutive) local LPNs that fall on
+    // it. first_[d] is the smallest local LPN of the span on drive
+    // d. Member scratch avoids allocating two vectors per request.
+    first_.assign(drives_, 0);
+    count_.assign(drives_, 0);
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        const Location loc = locate(lpn + i);
+        if (count_[loc.drive]++ == 0)
+            first_[loc.drive] = loc.lpn;
+    }
+    for (std::uint32_t d = 0; d < drives_; ++d) {
+        if (count_[d] == 0)
+            continue;
+        SubOp op;
+        op.drive = d;
+        op.lpn = first_[d];
+        op.pages = count_[d];
+        op.isRead = is_read;
+        op.cls = OpClass::Data;
+        out.ops.push_back(op);
+    }
+}
+
+// ------------------------------------------------------ Raid5Layout
+
+Raid5Layout::Raid5Layout(std::uint32_t drives,
+                         std::uint32_t stripe_unit_pages,
+                         const std::vector<std::uint32_t> &failed)
+    : drives_(drives), unit_(stripe_unit_pages)
+{
+    SSDRR_ASSERT(drives >= 3, "raid5 needs at least 3 drives, got ",
+                 drives);
+    SSDRR_ASSERT(drives <= 64, "raid5 supports at most 64 drives");
+    SSDRR_ASSERT(unit_ >= 1, "stripe unit must be at least one page");
+    SSDRR_ASSERT(failed.size() <= faultTolerance(),
+                 "raid5 tolerates one failed drive, got ",
+                 failed.size());
+    for (std::uint32_t d : failed) {
+        SSDRR_ASSERT(d < drives, "failed drive ", d,
+                     " out of range for ", drives, " drives");
+        failed_mask_ |= std::uint64_t{1} << d;
+    }
+}
+
+ArrayLayout::Location
+Raid5Layout::locate(std::uint64_t lpn) const
+{
+    const std::uint64_t s = lpn / unit_; ///< data stripe-unit index
+    const std::uint32_t o = static_cast<std::uint32_t>(lpn % unit_);
+    const std::uint64_t row = s / (drives_ - 1);
+    const std::uint32_t k =
+        static_cast<std::uint32_t>(s % (drives_ - 1));
+    const std::uint32_t parity = parityDriveOfRow(row);
+    // k-th data drive of the row = k-th member, skipping the parity
+    // drive.
+    const std::uint32_t drive = k < parity ? k : k + 1;
+    return {drive, row * unit_ + o};
+}
+
+void
+Raid5Layout::addPage(std::vector<SubOp> &ops,
+                     std::unordered_set<std::uint64_t> &seen,
+                     std::vector<std::int32_t> &last,
+                     std::uint32_t drive, std::uint64_t lpn,
+                     bool is_read, OpClass cls) const
+{
+    // (drive, local LPN) key; local LPNs stay far below 2^57.
+    if (!seen.insert(lpn * drives_ + drive).second)
+        return;
+    if (last[drive] >= 0) {
+        SubOp &prev = ops[last[drive]];
+        if (prev.isRead == is_read && prev.cls == cls &&
+            prev.lpn + prev.pages == lpn) {
+            ++prev.pages;
+            return;
+        }
+    }
+    SubOp op;
+    op.drive = drive;
+    op.lpn = lpn;
+    op.pages = 1;
+    op.isRead = is_read;
+    op.cls = cls;
+    last[drive] = static_cast<std::int32_t>(ops.size());
+    ops.push_back(op);
+}
+
+void
+Raid5Layout::plan(std::uint64_t lpn, std::uint32_t pages, bool is_read,
+                  Plan &out)
+{
+    out.clear();
+    seen_reads_.clear();
+    seen_writes_.clear();
+    last_read_.assign(drives_, -1);
+    last_write_.assign(drives_, -1);
+
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        const std::uint64_t g = lpn + i;
+        const Location loc = locate(g);
+        const std::uint64_t row = loc.lpn / unit_;
+        const std::uint32_t parity = parityDriveOfRow(row);
+
+        if (is_read) {
+            if (!isFailed(loc.drive)) {
+                addPage(out.ops, seen_reads_, last_read_, loc.drive, loc.lpn,
+                        true, OpClass::Data);
+                continue;
+            }
+            // Degraded read: page l of every surviving drive of the
+            // row (data mates + parity chunk alike) reconstructs the
+            // lost page; all of them are Rebuild reads — the class
+            // marks "feeds a reconstruction join", and the
+            // reconstructionReads counter reports the full N-1
+            // fan-out.
+            out.degraded = true;
+            for (std::uint32_t d = 0; d < drives_; ++d)
+                if (d != loc.drive)
+                    addPage(out.ops, seen_reads_, last_read_, d, loc.lpn, true,
+                            OpClass::Rebuild);
+            continue;
+        }
+
+        if (isFailed(loc.drive)) {
+            // Reconstruct-write: the lost chunk is implied by the
+            // surviving data mates plus the new parity; pre-read the
+            // mates, then update parity alone.
+            out.degraded = true;
+            for (std::uint32_t d = 0; d < drives_; ++d)
+                if (d != loc.drive && d != parity)
+                    addPage(out.ops, seen_reads_, last_read_, d, loc.lpn, true,
+                            OpClass::Rebuild);
+            addPage(out.writes, seen_writes_, last_write_, parity,
+                    loc.lpn, false, OpClass::Parity);
+        } else if (isFailed(parity)) {
+            // Parity drive gone: the data write proceeds without
+            // parity maintenance (nothing to pre-read).
+            addPage(out.writes, seen_writes_, last_write_, loc.drive, loc.lpn,
+                    false, OpClass::Data);
+        } else {
+            // Read-modify-write: old data + old parity in, new data
+            // + new parity out.
+            addPage(out.ops, seen_reads_, last_read_, loc.drive, loc.lpn, true,
+                    OpClass::Data);
+            addPage(out.ops, seen_reads_, last_read_, parity, loc.lpn, true,
+                    OpClass::Parity);
+            addPage(out.writes, seen_writes_, last_write_, loc.drive, loc.lpn,
+                    false, OpClass::Data);
+            addPage(out.writes, seen_writes_, last_write_, parity,
+                    loc.lpn, false, OpClass::Parity);
+        }
+    }
+}
+
+// --------------------------------------------------------- factory
+
+std::uint64_t
+arrayLogicalPages(RaidLevel level, std::uint32_t drives,
+                  std::uint32_t stripe_unit_pages,
+                  std::uint64_t per_drive_pages)
+{
+    switch (level) {
+    case RaidLevel::Raid0:
+        return per_drive_pages * drives;
+    case RaidLevel::Raid5:
+        return per_drive_pages / stripe_unit_pages *
+               stripe_unit_pages * (drives - 1);
+    }
+    SSDRR_ASSERT(false, "unknown RaidLevel ",
+                 static_cast<int>(level));
+}
+
+std::unique_ptr<ArrayLayout>
+makeArrayLayout(RaidLevel level, std::uint32_t drives,
+                std::uint32_t stripe_unit_pages,
+                const std::vector<std::uint32_t> &failed_drives)
+{
+    switch (level) {
+    case RaidLevel::Raid0:
+        SSDRR_ASSERT(failed_drives.empty(),
+                     "raid0 tolerates no failed drives");
+        return std::make_unique<Raid0Layout>(drives);
+    case RaidLevel::Raid5:
+        return std::make_unique<Raid5Layout>(drives,
+                                             stripe_unit_pages,
+                                             failed_drives);
+    }
+    SSDRR_ASSERT(false, "unknown RaidLevel ",
+                 static_cast<int>(level));
+}
+
+} // namespace ssdrr::host

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Pluggable array address layouts: how an SsdArray's flat logical
+ * space maps onto member drives, and how one host request fans out
+ * into per-drive device operations.
+ *
+ * A layout owns three concerns the array used to hard-wire:
+ *  - geometry: the exported data capacity for a given per-drive size
+ *    (RAID-5 gives one drive's worth of pages to parity);
+ *  - placement: global LPN -> (drive, drive-local LPN);
+ *  - planning: one host request -> a fan-out Plan of per-drive
+ *    subrequests, possibly two-phased (RAID-5 writes pre-read the
+ *    old data and parity before the data+parity writes go out) and
+ *    possibly degraded (a read whose data drive is failed becomes a
+ *    reconstruction join over the surviving stripe mates).
+ *
+ * Implementations:
+ *  - Raid0Layout: page-granular striping, bit-identical to the
+ *    pre-layout SsdArray (global LPN g -> drive g % N, local g / N;
+ *    subrequests emitted in drive order). No redundancy.
+ *  - Raid5Layout: rotating parity over stripe units of a
+ *    configurable page count. Writes are read-modify-write (parity
+ *    pre-read + parity update write, both real device I/O that feeds
+ *    wear and GC); reads of a failed drive fan out to the N-1
+ *    surviving drives and join before the host sees a completion.
+ *
+ * Layouts are pure address math plus plan scratch: they never touch
+ * the event queue and are only called from the array's host domain,
+ * so plan() may reuse internal scratch without locking.
+ */
+
+#ifndef SSDRR_HOST_ARRAY_LAYOUT_HH
+#define SSDRR_HOST_ARRAY_LAYOUT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace ssdrr::host {
+
+/** Redundancy scheme of an SsdArray. */
+enum class RaidLevel {
+    Raid0, ///< page/unit striping, no redundancy (the legacy layout)
+    Raid5, ///< rotating parity, tolerates one failed drive
+};
+
+/** Canonical lower-case name ("raid0" / "raid5"). */
+const char *name(RaidLevel level);
+/** @retval false if @p s names no known level (out untouched). */
+bool tryParseRaidLevel(const std::string &s, RaidLevel *out);
+/** @throws std::logic_error on an unknown level name. */
+RaidLevel parseRaidLevel(const std::string &s);
+
+class ArrayLayout
+{
+  public:
+    /** Why a subrequest exists (per-class accounting). */
+    enum class OpClass : std::uint8_t {
+        Data,    ///< a data chunk of the host request
+        Rebuild, ///< stripe-mate read feeding a reconstruction join
+        Parity,  ///< parity-chunk I/O (pre-read or update write)
+    };
+
+    /** One per-drive device operation of a fan-out plan. */
+    struct SubOp {
+        std::uint32_t drive = 0;
+        std::uint64_t lpn = 0; ///< drive-local LPN
+        std::uint32_t pages = 1;
+        bool isRead = true;
+        OpClass cls = OpClass::Data;
+    };
+
+    struct Location {
+        std::uint32_t drive = 0;
+        std::uint64_t lpn = 0; ///< drive-local LPN
+    };
+
+    /**
+     * The fan-out of one host request. Phase-1 @c ops are issued
+     * immediately; once ALL of them complete, the phase-2 @c writes
+     * are issued (empty for single-phase plans); the request
+     * completes when every issued op has completed. @c degraded is
+     * set when the plan reconstructs data of a failed drive.
+     */
+    struct Plan {
+        std::vector<SubOp> ops;
+        std::vector<SubOp> writes;
+        bool degraded = false;
+
+        void clear()
+        {
+            ops.clear();
+            writes.clear();
+            degraded = false;
+        }
+    };
+
+    virtual ~ArrayLayout() = default;
+
+    virtual RaidLevel level() const = 0;
+    virtual std::uint32_t drives() const = 0;
+    /** Exported data capacity given @p per_drive_pages per member. */
+    virtual std::uint64_t
+    logicalPages(std::uint64_t per_drive_pages) const = 0;
+    /** Simultaneous drive failures the layout can serve through. */
+    virtual std::uint32_t faultTolerance() const = 0;
+    /** Placement of global data LPN @p lpn. */
+    virtual Location locate(std::uint64_t lpn) const = 0;
+
+    /**
+     * Build the per-drive fan-out plan for a host request starting
+     * at global LPN @p lpn. Deterministic: the op order depends only
+     * on (lpn, pages, is_read) and the layout's configuration. May
+     * reuse internal scratch; call from one thread at a time.
+     */
+    virtual void plan(std::uint64_t lpn, std::uint32_t pages,
+                      bool is_read, Plan &out) = 0;
+};
+
+/**
+ * Page-granular striping, exactly the pre-layout SsdArray behavior:
+ * global LPN g lives on drive g % N at local LPN g / N, and a
+ * multi-page request splits into at most one subrequest per drive,
+ * emitted in drive order.
+ */
+class Raid0Layout final : public ArrayLayout
+{
+  public:
+    explicit Raid0Layout(std::uint32_t drives);
+
+    RaidLevel level() const override { return RaidLevel::Raid0; }
+    std::uint32_t drives() const override { return drives_; }
+    std::uint64_t
+    logicalPages(std::uint64_t per_drive_pages) const override
+    {
+        return per_drive_pages * drives_;
+    }
+    std::uint32_t faultTolerance() const override { return 0; }
+    Location locate(std::uint64_t lpn) const override
+    {
+        return {static_cast<std::uint32_t>(lpn % drives_),
+                lpn / drives_};
+    }
+    void plan(std::uint64_t lpn, std::uint32_t pages, bool is_read,
+              Plan &out) override;
+
+  private:
+    std::uint32_t drives_;
+    /** Per-drive (first local LPN, page count) split scratch. */
+    std::vector<std::uint64_t> first_;
+    std::vector<std::uint32_t> count_;
+};
+
+/**
+ * Rotating-parity RAID-5 over stripe units of @c stripeUnitPages
+ * pages. Row r (one unit per drive) keeps its parity unit on drive
+ * N-1 - (r % N) and its N-1 data units on the remaining drives in
+ * index order, so parity load spreads evenly. The parity page
+ * covering data page (d, l) is page l of row l / U's parity drive —
+ * parity is page-aligned across the stripe.
+ *
+ * Write path: read-modify-write. Every written page pre-reads its
+ * old data and old parity (phase 1), then writes the new data and
+ * new parity (phase 2). Parity ops shared by several written pages
+ * of one request are deduplicated. With the data drive failed the
+ * write reconstructs instead (pre-read all surviving data chunks,
+ * write parity only); with the parity drive failed the data write
+ * goes out unprotected.
+ *
+ * Read path: pages on surviving drives read normally; a page of a
+ * failed drive becomes Rebuild reads of page l on every surviving
+ * drive, deduplicated against the plan's other reads. The request
+ * joins on all of them.
+ */
+class Raid5Layout final : public ArrayLayout
+{
+  public:
+    /**
+     * @param drives member count (>= 3)
+     * @param stripe_unit_pages pages per stripe unit (>= 1)
+     * @param failed_drives failed member indices (at most 1, each
+     *                      < drives)
+     */
+    Raid5Layout(std::uint32_t drives, std::uint32_t stripe_unit_pages,
+                const std::vector<std::uint32_t> &failed_drives);
+
+    RaidLevel level() const override { return RaidLevel::Raid5; }
+    std::uint32_t drives() const override { return drives_; }
+    std::uint64_t
+    logicalPages(std::uint64_t per_drive_pages) const override
+    {
+        // Whole stripe rows only; a partial trailing row would have
+        // units without parity protection.
+        return per_drive_pages / unit_ * unit_ * (drives_ - 1);
+    }
+    std::uint32_t faultTolerance() const override { return 1; }
+    Location locate(std::uint64_t lpn) const override;
+    void plan(std::uint64_t lpn, std::uint32_t pages, bool is_read,
+              Plan &out) override;
+
+    std::uint32_t stripeUnitPages() const { return unit_; }
+    /** Parity-holding drive of stripe row @p row. */
+    std::uint32_t parityDriveOfRow(std::uint64_t row) const
+    {
+        return drives_ - 1 -
+               static_cast<std::uint32_t>(row % drives_);
+    }
+    bool isFailed(std::uint32_t drive) const
+    {
+        return (failed_mask_ >> drive) & 1u;
+    }
+
+  private:
+    /** Append a page op, deduplicating by (drive, local LPN) within
+     *  @p seen and merging runs contiguous on one drive. @p last
+     *  tracks each drive's most recent op index in @p ops, so runs
+     *  merge even when the walk interleaves drives (data, parity,
+     *  data, parity, ...). */
+    void addPage(std::vector<SubOp> &ops,
+                 std::unordered_set<std::uint64_t> &seen,
+                 std::vector<std::int32_t> &last, std::uint32_t drive,
+                 std::uint64_t lpn, bool is_read, OpClass cls) const;
+
+    std::uint32_t drives_;
+    std::uint32_t unit_;
+    std::uint64_t failed_mask_ = 0;
+    /** Plan scratch: dedup sets and per-drive last-op indices
+     *  (phase-1 reads / phase-2 writes). */
+    std::unordered_set<std::uint64_t> seen_reads_;
+    std::unordered_set<std::uint64_t> seen_writes_;
+    std::vector<std::int32_t> last_read_;
+    std::vector<std::int32_t> last_write_;
+};
+
+/**
+ * Exported data capacity of an array without building it (shared by
+ * scenario validation and capacity reporting).
+ */
+std::uint64_t arrayLogicalPages(RaidLevel level, std::uint32_t drives,
+                                std::uint32_t stripe_unit_pages,
+                                std::uint64_t per_drive_pages);
+
+/**
+ * Build a layout. @throws std::logic_error (via SSDRR_ASSERT) on an
+ * out-of-range configuration — callers wanting actionable messages
+ * validate first (ScenarioSpec::validate names the JSON path).
+ */
+std::unique_ptr<ArrayLayout>
+makeArrayLayout(RaidLevel level, std::uint32_t drives,
+                std::uint32_t stripe_unit_pages,
+                const std::vector<std::uint32_t> &failed_drives);
+
+} // namespace ssdrr::host
+
+#endif // SSDRR_HOST_ARRAY_LAYOUT_HH

@@ -165,8 +165,15 @@ runScenario(const ScenarioConfig &cfg)
 {
     SSDRR_ASSERT(!cfg.tenants.empty(), "scenario needs tenants");
     SSDRR_ASSERT(cfg.hostLinkUs >= 0.0, "negative host link");
-    SsdArray array(cfg.ssd, cfg.mech, cfg.drives,
-                   sim::usec(cfg.hostLinkUs), cfg.threads);
+    SsdArray::Options aopt;
+    aopt.drives = cfg.drives;
+    aopt.raid = cfg.raid;
+    aopt.stripeUnitPages = cfg.stripeUnitPages;
+    aopt.failedDrives = cfg.failedDrives;
+    aopt.hostLink = sim::usec(cfg.hostLinkUs);
+    aopt.threads = cfg.threads;
+    aopt.transferUsPerKb = cfg.transferUsPerKb;
+    SsdArray array(cfg.ssd, cfg.mech, aopt);
     array.precondition();
     HostInterface hif(array, cfg.host);
 

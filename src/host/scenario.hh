@@ -73,8 +73,21 @@ struct ScenarioConfig {
     ssd::Config ssd;
     core::Mechanism mech = core::Mechanism::Baseline;
     std::uint32_t drives = 1;
+    /** Array address layout (see host/array_layout.hh). */
+    RaidLevel raid = RaidLevel::Raid0;
+    /** RAID-5 stripe-unit pages (ignored by RAID-0). */
+    std::uint32_t stripeUnitPages = 1;
+    /** Failed member drives: RAID-5 serves their data through
+     *  degraded-mode reconstruction. */
+    std::vector<std::uint32_t> failedDrives;
     HostInterface::Options host;
     std::vector<TenantSpec> tenants;
+    /**
+     * Link transfer cost in microseconds per KiB moved, charged per
+     * subrequest on dispatch and completion in addition to the fixed
+     * hostLinkUs turnaround (0 = off, the legacy event stream).
+     */
+    double transferUsPerKb = 0.0;
     /**
      * Host dispatch/completion turnaround in microseconds. 0 keeps
      * the legacy synchronous coupling on one shared event queue;

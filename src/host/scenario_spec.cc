@@ -287,10 +287,15 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
 {
     return name == o.name && ssd == o.ssd &&
            mechanisms == o.mechanisms && drives == o.drives &&
-           threads == o.threads && queueDepth == o.queueDepth &&
+           raidLevel == o.raidLevel &&
+           stripeUnitPages == o.stripeUnitPages &&
+           failedDrives == o.failedDrives && threads == o.threads &&
+           queueDepth == o.queueDepth &&
            arbitration == o.arbitration &&
            maxDeviceInflight == o.maxDeviceInflight &&
-           hostLinkUs == o.hostLinkUs && tenants == o.tenants;
+           hostLinkUs == o.hostLinkUs &&
+           transferUsPerKb == o.transferUsPerKb &&
+           tenants == o.tenants;
 }
 
 // ---------------------------------------------------- serialization
@@ -317,6 +322,16 @@ ScenarioSpec::toJson() const
         mechs.push(Value(m));
     root.set("mechanisms", std::move(mechs));
     root.set("drives", Value(std::uint64_t{drives}));
+
+    Value av = Value::object();
+    av.set("raidLevel", Value(raidLevel));
+    av.set("stripeUnitPages", Value(std::uint64_t{stripeUnitPages}));
+    Value fv = Value::array();
+    for (std::uint32_t d : failedDrives)
+        fv.push(Value(std::uint64_t{d}));
+    av.set("failedDrives", std::move(fv));
+    root.set("array", std::move(av));
+
     root.set("threads", Value(std::uint64_t{threads}));
 
     Value hv = Value::object();
@@ -325,6 +340,7 @@ ScenarioSpec::toJson() const
     hv.set("maxDeviceInflight",
            Value(std::uint64_t{maxDeviceInflight}));
     hv.set("hostLinkUs", Value(hostLinkUs));
+    hv.set("transferUsPerKb", Value(transferUsPerKb));
     root.set("host", std::move(hv));
 
     Value tv = Value::array();
@@ -345,8 +361,8 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
 {
     requireObject(v, "scenario");
     checkKeys(v, "scenario",
-              {"name", "ssd", "mechanisms", "drives", "threads",
-               "host", "tenants"});
+              {"name", "ssd", "mechanisms", "drives", "array",
+               "threads", "host", "tenants"});
     ScenarioSpec spec;
     spec.name = getString(v, "name", "scenario", "");
 
@@ -389,13 +405,44 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
     }
 
     spec.drives = getUint32(v, "drives", "scenario", spec.drives);
+
+    if (const Value *av = v.find("array")) {
+        requireObject(*av, "array");
+        checkKeys(*av, "array",
+                  {"raidLevel", "stripeUnitPages", "failedDrives"});
+        spec.raidLevel =
+            getString(*av, "raidLevel", "array", spec.raidLevel);
+        spec.stripeUnitPages = getUint32(*av, "stripeUnitPages",
+                                         "array",
+                                         spec.stripeUnitPages);
+        if (const Value *fv = av->find("failedDrives")) {
+            if (!fv->isArray())
+                specFail("array.failedDrives: expected an array of "
+                         "drive indices, got " +
+                         std::string(fv->typeName()));
+            spec.failedDrives.clear();
+            std::size_t i = 0;
+            for (const Value &f : fv->elements()) {
+                const std::string fw = "array.failedDrives[" +
+                                       std::to_string(i++) + "]";
+                if (!f.isNumber() || f.asNumber() < 0.0 ||
+                    f.asNumber() != std::floor(f.asNumber()) ||
+                    f.asNumber() >= 4294967296.0)
+                    specFail(fw + ": expected a drive index, got " +
+                             f.dump(0));
+                spec.failedDrives.push_back(
+                    static_cast<std::uint32_t>(f.asNumber()));
+            }
+        }
+    }
+
     spec.threads = getUint32(v, "threads", "scenario", spec.threads);
 
     if (const Value *hv = v.find("host")) {
         requireObject(*hv, "host");
         checkKeys(*hv, "host",
                   {"queueDepth", "arbitration", "maxDeviceInflight",
-                   "hostLinkUs"});
+                   "hostLinkUs", "transferUsPerKb"});
         spec.queueDepth =
             getUint32(*hv, "queueDepth", "host", spec.queueDepth);
         spec.arbitration =
@@ -404,6 +451,9 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
             *hv, "maxDeviceInflight", "host", spec.maxDeviceInflight);
         spec.hostLinkUs =
             getNumber(*hv, "hostLinkUs", "host", spec.hostLinkUs);
+        spec.transferUsPerKb = getNumber(*hv, "transferUsPerKb",
+                                         "host",
+                                         spec.transferUsPerKb);
     }
 
     if (const Value *tv = v.find("tenants")) {
@@ -493,6 +543,54 @@ ScenarioSpec::validate() const
 
     if (drives < 1)
         specFail("drives: must be >= 1");
+
+    RaidLevel raid;
+    if (!tryParseRaidLevel(raidLevel, &raid))
+        specFail("array.raidLevel: unknown level \"" + raidLevel +
+                 "\" (expected \"raid0\" or \"raid5\")");
+    if (stripeUnitPages < 1)
+        specFail("array.stripeUnitPages: must be >= 1");
+    if (raid == RaidLevel::Raid5) {
+        if (drives < 3)
+            specFail("array.raidLevel: \"raid5\" needs drives >= 3 "
+                     "(one rotating parity unit per stripe row), got "
+                     "drives = " +
+                     std::to_string(drives));
+        if (std::uint64_t{stripeUnitPages} > cfg.logicalPages())
+            specFail("array.stripeUnitPages: " +
+                     std::to_string(stripeUnitPages) +
+                     " exceeds the " +
+                     std::to_string(cfg.logicalPages()) +
+                     " logical pages of one \"" + ssd.geometry +
+                     "\" drive, leaving no full stripe row");
+    }
+    const std::uint32_t tolerance =
+        raid == RaidLevel::Raid5 ? 1u : 0u;
+    for (std::size_t i = 0; i < failedDrives.size(); ++i) {
+        const std::string fw =
+            "array.failedDrives[" + std::to_string(i) + "]";
+        if (failedDrives[i] >= drives)
+            specFail(fw + ": drive " +
+                     std::to_string(failedDrives[i]) +
+                     " is out of range (the array has " +
+                     std::to_string(drives) + " drives)");
+        for (std::size_t j = 0; j < i; ++j)
+            if (failedDrives[j] == failedDrives[i])
+                specFail(fw + ": drive " +
+                         std::to_string(failedDrives[i]) +
+                         " listed twice");
+    }
+    if (failedDrives.size() > tolerance)
+        specFail("array.failedDrives: " +
+                 std::to_string(failedDrives.size()) +
+                 " failed drives exceed what \"" + raidLevel +
+                 "\" can serve through (" +
+                 (raid == RaidLevel::Raid5
+                      ? "one failure; its data is reconstructed "
+                        "from the surviving stripe mates"
+                      : "none; raid0 has no redundancy") +
+                 ")");
+
     if (threads < 1)
         specFail("threads: must be >= 1");
     if (!(hostLinkUs >= 0.0) || hostLinkUs > 1e9)
@@ -512,6 +610,9 @@ ScenarioSpec::validate() const
                  "leaves no window to run concurrently in; set "
                  "host.hostLinkUs (a few microseconds of NVMe "
                  "doorbell/interrupt latency) or drop threads");
+    if (!(transferUsPerKb >= 0.0) || transferUsPerKb > 1e9)
+        specFail("host.transferUsPerKb: must be a per-KiB transfer "
+                 "cost in [0, 1e9] microseconds");
     if (queueDepth < 1)
         specFail("host.queueDepth: must be >= 1");
     Arbitration arb;
@@ -523,8 +624,12 @@ ScenarioSpec::validate() const
         specFail("tenants: a scenario needs at least one tenant");
 
     const std::uint32_t all_channels = (1u << cfg.channels) - 1;
+    // Layout-aware capacity (RAID-5 gives one drive to parity), the
+    // same math SsdArray derives from its layout.
     const std::uint64_t slice =
-        cfg.logicalPages() * drives / tenants.size();
+        arrayLogicalPages(raid, drives, stripeUnitPages,
+                          cfg.logicalPages()) /
+        tenants.size();
     bool any_slo = false;
     for (std::size_t i = 0; i < tenants.size(); ++i) {
         const TenantSpec &t = tenants[i];
@@ -590,6 +695,13 @@ ScenarioSpec::validate() const
             // runScenario normalizes it away, so skip the
             // affinity-only constraints for it too.
             if ((t.channelMask & all_channels) != all_channels) {
+                if (raid != RaidLevel::Raid0)
+                    specFail(w + ".channels: channel affinity "
+                                 "assumes the raid0 striped layout "
+                                 "(the channel lattice does not "
+                                 "survive parity rotation); drop "
+                                 "array.raidLevel \"" +
+                             raidLevel + "\" or the mask");
                 if (ssd.refreshMonths > 0.0)
                     specFail(w + ".channels: channel affinity cannot "
                                  "be combined with ssd.refreshMonths "
@@ -618,10 +730,14 @@ ScenarioSpec::toConfig(core::Mechanism mech, TraceCache *cache) const
     sc.ssd = ssd.toConfig();
     sc.mech = mech;
     sc.drives = drives;
+    sc.raid = parseRaidLevel(raidLevel);
+    sc.stripeUnitPages = stripeUnitPages;
+    sc.failedDrives = failedDrives;
     sc.host.queueDepth = queueDepth;
     sc.host.arbitration = parseArbitration(arbitration);
     sc.host.maxDeviceInflight = maxDeviceInflight;
     sc.hostLinkUs = hostLinkUs;
+    sc.transferUsPerKb = transferUsPerKb;
     sc.threads = threads;
     sc.tenants = tenants;
     sc.traceCache = cache;
@@ -729,6 +845,27 @@ ScenarioBuilder::drives(std::uint32_t n)
 }
 
 ScenarioBuilder &
+ScenarioBuilder::raid(const std::string &level)
+{
+    spec_.raidLevel = level;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::stripeUnitPages(std::uint32_t pages)
+{
+    spec_.stripeUnitPages = pages;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::failedDrives(const std::vector<std::uint32_t> &d)
+{
+    spec_.failedDrives = d;
+    return *this;
+}
+
+ScenarioBuilder &
 ScenarioBuilder::threads(std::uint32_t n)
 {
     spec_.threads = n;
@@ -739,6 +876,13 @@ ScenarioBuilder &
 ScenarioBuilder::hostLinkUs(double us)
 {
     spec_.hostLinkUs = us;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::transferUsPerKb(double us)
+{
+    spec_.transferUsPerKb = us;
     return *this;
 }
 

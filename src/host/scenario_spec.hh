@@ -79,6 +79,15 @@ struct ScenarioSpec {
     /** Mechanism sweep, in run order. */
     std::vector<std::string> mechanisms = {"Baseline"};
     std::uint32_t drives = 1;
+    // ----- array layout (JSON object "array") -----
+    /** "raid0" (striping, the default) or "raid5" (rotating parity,
+     *  degraded-read reconstruction; needs drives >= 3). */
+    std::string raidLevel = "raid0";
+    /** RAID-5 stripe-unit pages (chunk size; ignored by raid0). */
+    std::uint32_t stripeUnitPages = 1;
+    /** Failed member drives; must respect the layout's fault
+     *  tolerance (none for raid0, one for raid5). */
+    std::vector<std::uint32_t> failedDrives;
     /**
      * Worker threads for the sharded per-drive engine. 1 (default)
      * runs everything on the calling thread; N > 1 simulates the
@@ -101,6 +110,13 @@ struct ScenarioSpec {
      * (and enables threads > 1).
      */
     double hostLinkUs = 0.0;
+    /**
+     * Link transfer cost in microseconds per KiB moved, charged per
+     * subrequest on dispatch and completion in addition to the fixed
+     * hostLinkUs turnaround. 0 (default) keeps the legacy event
+     * stream on either engine.
+     */
+    double transferUsPerKb = 0.0;
     std::vector<TenantSpec> tenants;
 
     /**
@@ -191,10 +207,18 @@ class ScenarioBuilder
     ScenarioBuilder &mechanism(const std::string &name);
     ScenarioBuilder &mechanism(core::Mechanism m);
     ScenarioBuilder &drives(std::uint32_t n);
+    /** Array layout: "raid0" (default) or "raid5". */
+    ScenarioBuilder &raid(const std::string &level);
+    /** RAID-5 stripe-unit pages (chunk size). */
+    ScenarioBuilder &stripeUnitPages(std::uint32_t pages);
+    /** Failed member drives (degraded mode). */
+    ScenarioBuilder &failedDrives(const std::vector<std::uint32_t> &d);
     /** Worker threads (needs hostLinkUs() > 0 when > 1). */
     ScenarioBuilder &threads(std::uint32_t n);
     /** Host dispatch/completion turnaround in microseconds. */
     ScenarioBuilder &hostLinkUs(double us);
+    /** Per-KiB link transfer cost in microseconds. */
+    ScenarioBuilder &transferUsPerKb(double us);
     ScenarioBuilder &queueDepth(std::uint32_t d);
     ScenarioBuilder &arbitration(const std::string &policy);
     ScenarioBuilder &arbitration(Arbitration policy);

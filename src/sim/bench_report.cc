@@ -115,7 +115,15 @@ writeBenchJson(const std::string &path, const std::string &label,
         f << "      \"profile_cache_hits\": " << r.profileCacheHits
           << ",\n";
         f << "      \"profile_cache_misses\": " << r.profileCacheMisses
-          << "\n";
+          << ",\n";
+        f << "      \"degraded_reads\": " << r.degradedReads << ",\n";
+        f << "      \"reconstruction_reads\": "
+          << r.reconstructionReads << ",\n";
+        f << "      \"parity_writes\": " << r.parityWrites << ",\n";
+        f << "      \"p99_degraded_read_us\": "
+          << fixed3(r.p99DegradedReadUs) << ",\n";
+        f << "      \"p999_degraded_read_us\": "
+          << fixed3(r.p999DegradedReadUs) << "\n";
         f << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     f << "  ]\n";

@@ -48,6 +48,14 @@ struct BenchRun {
     // simulation results stay identical) -----
     std::uint64_t profileCacheHits = 0;
     std::uint64_t profileCacheMisses = 0;
+    // ----- array-layout accounting (informational, not digested:
+    // zero outside the RAID-5 sections, and the golden digest
+    // predates them) -----
+    std::uint64_t degradedReads = 0;
+    std::uint64_t reconstructionReads = 0;
+    std::uint64_t parityWrites = 0;
+    double p99DegradedReadUs = 0.0;
+    double p999DegradedReadUs = 0.0;
 };
 
 /**

@@ -243,7 +243,7 @@ Ssd::finishHostPage(std::uint64_t host_id)
         ++host_writes_;
     }
     const HostCompletion done{host_id, p.arrival, eq_.now(), p.isRead,
-                              resp_us};
+                              resp_us, p.pages};
     pending_.erase(it);
     if (on_complete_)
         on_complete_(done);
@@ -256,7 +256,8 @@ Ssd::submit(const HostRequest &req)
     SSDRR_ASSERT(req.lpn + req.pages <= ftl_.logicalPages(),
                  "request beyond logical capacity: lpn=", req.lpn,
                  " pages=", req.pages);
-    pending_[req.id] = Pending{req.arrival, req.pages, req.isRead};
+    pending_[req.id] =
+        Pending{req.arrival, req.pages, req.pages, req.isRead};
     for (std::uint32_t i = 0; i < req.pages; ++i) {
         if (req.isRead)
             buildReadTxn(req.lpn + i, req.id, TxnKind::HostRead);

@@ -65,6 +65,9 @@ struct HostCompletion {
     sim::Tick finish = 0;    ///< completion time
     bool isRead = true;
     double responseUs = 0.0; ///< finish - arrival, in microseconds
+    /** HostRequest::pages, echoed so the host layer can charge
+     *  size-proportional completion transfer time. */
+    std::uint32_t pages = 1;
 };
 
 /** End-of-run result summary. */
@@ -89,6 +92,22 @@ struct RunStats {
     std::uint64_t readFailures = 0;
     /** Read-reclaim rewrites issued (refresh policy, Section 9). */
     std::uint64_t refreshes = 0;
+    // ----- array-layout accounting (RAID-5; zero on single drives
+    // and RAID-0 arrays) -----
+    /** Host reads served through degraded-mode reconstruction. */
+    std::uint64_t degradedReads = 0;
+    /** Stripe-mate subreads issued to reconstruct failed-drive data
+     *  (degraded reads and reconstruct-writes). */
+    std::uint64_t reconstructionReads = 0;
+    /** Parity-update device writes (they feed wear and GC like any
+     *  host write). */
+    std::uint64_t parityWrites = 0;
+    /** Degraded-read latency distribution points (a per-class view;
+     *  degraded reads are also counted in the read histogram). */
+    double avgDegradedReadUs = 0.0;
+    double p50DegradedReadUs = 0.0;
+    double p99DegradedReadUs = 0.0;
+    double p999DegradedReadUs = 0.0;
     double simulatedMs = 0.0;
     /** Mean busy fraction of the channel buses over the run. */
     double channelUtilization = 0.0;
@@ -197,6 +216,7 @@ class Ssd
     struct Pending {
         sim::Tick arrival = 0;
         std::uint32_t remaining = 0;
+        std::uint32_t pages = 0; ///< original request size
         bool isRead = true;
     };
 

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * ArrayLayout unit tests: RAID-0 plans bit-identical to the legacy
+ * hard-wired split, RAID-5 placement/parity-rotation invariants,
+ * read-modify-write and reconstruction fan-out plans, and the
+ * capacity helper shared with scenario validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "host/array_layout.hh"
+
+namespace ssdrr::host {
+namespace {
+
+using Plan = ArrayLayout::Plan;
+using SubOp = ArrayLayout::SubOp;
+using OpClass = ArrayLayout::OpClass;
+
+TEST(RaidLevel, ParseAndName)
+{
+    RaidLevel level;
+    EXPECT_TRUE(tryParseRaidLevel("raid0", &level));
+    EXPECT_EQ(level, RaidLevel::Raid0);
+    EXPECT_TRUE(tryParseRaidLevel("raid5", &level));
+    EXPECT_EQ(level, RaidLevel::Raid5);
+    EXPECT_FALSE(tryParseRaidLevel("raid6", nullptr));
+    EXPECT_STREQ(name(RaidLevel::Raid0), "raid0");
+    EXPECT_STREQ(name(RaidLevel::Raid5), "raid5");
+}
+
+/**
+ * The exact split the pre-layout SsdArray computed inline: per-drive
+ * (first local LPN, page count) over g % N striping, subrequests in
+ * drive order. Raid0Layout must reproduce it op for op.
+ */
+std::vector<SubOp>
+legacyReferenceSplit(std::uint32_t drives, std::uint64_t lpn,
+                     std::uint32_t pages, bool is_read)
+{
+    std::vector<std::uint64_t> first(drives, 0);
+    std::vector<std::uint32_t> count(drives, 0);
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        const std::uint64_t g = lpn + i;
+        const auto d = static_cast<std::uint32_t>(g % drives);
+        if (count[d]++ == 0)
+            first[d] = g / drives;
+    }
+    std::vector<SubOp> ops;
+    for (std::uint32_t d = 0; d < drives; ++d) {
+        if (count[d] == 0)
+            continue;
+        ops.push_back({d, first[d], count[d], is_read,
+                       OpClass::Data});
+    }
+    return ops;
+}
+
+void
+expectSameOps(const std::vector<SubOp> &a, const std::vector<SubOp> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].drive, b[i].drive) << "op " << i;
+        EXPECT_EQ(a[i].lpn, b[i].lpn) << "op " << i;
+        EXPECT_EQ(a[i].pages, b[i].pages) << "op " << i;
+        EXPECT_EQ(a[i].isRead, b[i].isRead) << "op " << i;
+        EXPECT_EQ(a[i].cls, b[i].cls) << "op " << i;
+    }
+}
+
+TEST(Raid0Layout, MatchesLegacySplitBitForBit)
+{
+    // Sweep every (drives, lpn, pages, op) combination a small array
+    // sees: the layout path must be indistinguishable from the
+    // legacy inline arithmetic.
+    for (std::uint32_t drives : {1u, 2u, 3u, 5u}) {
+        Raid0Layout layout(drives);
+        EXPECT_EQ(layout.logicalPages(1000), 1000u * drives);
+        EXPECT_EQ(layout.faultTolerance(), 0u);
+        Plan plan;
+        for (std::uint64_t lpn = 0; lpn < 2 * drives + 3; ++lpn) {
+            for (std::uint32_t pages = 1; pages <= 2 * drives + 2;
+                 ++pages) {
+                for (bool is_read : {true, false}) {
+                    layout.plan(lpn, pages, is_read, plan);
+                    EXPECT_FALSE(plan.degraded);
+                    EXPECT_TRUE(plan.writes.empty());
+                    expectSameOps(plan.ops,
+                                  legacyReferenceSplit(
+                                      drives, lpn, pages, is_read));
+                }
+            }
+        }
+    }
+}
+
+TEST(Raid0Layout, LocateMatchesModuloStriping)
+{
+    Raid0Layout layout(3);
+    for (std::uint64_t g = 0; g < 30; ++g) {
+        const auto loc = layout.locate(g);
+        EXPECT_EQ(loc.drive, g % 3);
+        EXPECT_EQ(loc.lpn, g / 3);
+    }
+}
+
+TEST(Raid5Layout, CapacityExcludesParityAndPartialRows)
+{
+    Raid5Layout l4(4, 4, {});
+    // 100 local pages at unit 4 -> 25 rows, 3 data units per row.
+    EXPECT_EQ(l4.logicalPages(100), 100u / 4 * 4 * 3);
+    EXPECT_EQ(l4.faultTolerance(), 1u);
+    // Partial trailing rows are dropped: 102 local pages still give
+    // 25 full rows.
+    EXPECT_EQ(l4.logicalPages(102), 100u / 4 * 4 * 3);
+    EXPECT_EQ(arrayLogicalPages(RaidLevel::Raid5, 4, 4, 102),
+              l4.logicalPages(102));
+    EXPECT_EQ(arrayLogicalPages(RaidLevel::Raid0, 4, 1, 102),
+              4u * 102);
+}
+
+TEST(Raid5Layout, ParityRotatesAcrossAllDrives)
+{
+    const std::uint32_t n = 4;
+    Raid5Layout layout(n, 2, {});
+    std::set<std::uint32_t> parity_drives;
+    for (std::uint64_t row = 0; row < n; ++row)
+        parity_drives.insert(layout.parityDriveOfRow(row));
+    // Over one rotation period every drive holds parity exactly once.
+    EXPECT_EQ(parity_drives.size(), n);
+    EXPECT_EQ(layout.parityDriveOfRow(0),
+              layout.parityDriveOfRow(n));
+}
+
+TEST(Raid5Layout, LocateIsInjectiveAndAvoidsParityDrives)
+{
+    const std::uint32_t n = 4, unit = 3;
+    Raid5Layout layout(n, unit, {});
+    const std::uint64_t capacity = layout.logicalPages(24);
+    std::set<std::pair<std::uint32_t, std::uint64_t>> used;
+    for (std::uint64_t g = 0; g < capacity; ++g) {
+        const auto loc = layout.locate(g);
+        EXPECT_LT(loc.drive, n);
+        // Data never lands on its row's parity drive.
+        EXPECT_NE(loc.drive,
+                  layout.parityDriveOfRow(loc.lpn / unit));
+        // No two data pages share a physical slot.
+        EXPECT_TRUE(used.emplace(loc.drive, loc.lpn).second)
+            << "duplicate placement of global LPN " << g;
+    }
+    // Together with injectivity this means data + parity tile the
+    // used rows exactly: per row, n-1 data units and 1 parity unit.
+    EXPECT_EQ(used.size(), capacity);
+}
+
+TEST(Raid5Layout, HealthyReadFansOutToDataDrivesOnly)
+{
+    Raid5Layout layout(4, 1, {});
+    Plan plan;
+    // Three consecutive pages at unit 1 are one full stripe row.
+    layout.plan(0, 3, true, plan);
+    EXPECT_FALSE(plan.degraded);
+    EXPECT_TRUE(plan.writes.empty());
+    ASSERT_EQ(plan.ops.size(), 3u);
+    const std::uint32_t parity = layout.parityDriveOfRow(0);
+    for (const SubOp &op : plan.ops) {
+        EXPECT_TRUE(op.isRead);
+        EXPECT_EQ(op.cls, OpClass::Data);
+        EXPECT_NE(op.drive, parity);
+        EXPECT_EQ(op.lpn, 0u);
+    }
+}
+
+TEST(Raid5Layout, DegradedReadReconstructsFromSurvivors)
+{
+    const std::uint32_t n = 4;
+    Raid5Layout layout(n, 2, {1});
+    EXPECT_TRUE(layout.isFailed(1));
+
+    // Find a data page living on the failed drive.
+    std::uint64_t g = 0;
+    const std::uint64_t capacity = layout.logicalPages(32);
+    while (g < capacity && layout.locate(g).drive != 1)
+        ++g;
+    ASSERT_LT(g, capacity);
+    const auto loc = layout.locate(g);
+
+    Plan plan;
+    layout.plan(g, 1, true, plan);
+    EXPECT_TRUE(plan.degraded);
+    EXPECT_TRUE(plan.writes.empty());
+    // One Rebuild read per surviving drive (data mates and the
+    // parity chunk alike), all at the lost page's local LPN.
+    ASSERT_EQ(plan.ops.size(), n - 1);
+    std::set<std::uint32_t> drives_hit;
+    for (const SubOp &op : plan.ops) {
+        EXPECT_TRUE(op.isRead);
+        EXPECT_NE(op.drive, 1u);
+        EXPECT_EQ(op.lpn, loc.lpn);
+        EXPECT_EQ(op.pages, 1u);
+        EXPECT_EQ(op.cls, OpClass::Rebuild);
+        drives_hit.insert(op.drive);
+    }
+    EXPECT_EQ(drives_hit.size(), n - 1);
+}
+
+TEST(Raid5Layout, WriteIsReadModifyWrite)
+{
+    Raid5Layout layout(4, 1, {});
+    Plan plan;
+    layout.plan(0, 1, false, plan);
+    EXPECT_FALSE(plan.degraded);
+    const auto loc = layout.locate(0);
+    const std::uint32_t parity = layout.parityDriveOfRow(0);
+    // Phase 1 pre-reads old data + old parity; phase 2 writes both
+    // back.
+    ASSERT_EQ(plan.ops.size(), 2u);
+    EXPECT_EQ(plan.ops[0].drive, loc.drive);
+    EXPECT_TRUE(plan.ops[0].isRead);
+    EXPECT_EQ(plan.ops[0].cls, OpClass::Data);
+    EXPECT_EQ(plan.ops[1].drive, parity);
+    EXPECT_TRUE(plan.ops[1].isRead);
+    EXPECT_EQ(plan.ops[1].cls, OpClass::Parity);
+    ASSERT_EQ(plan.writes.size(), 2u);
+    EXPECT_EQ(plan.writes[0].drive, loc.drive);
+    EXPECT_FALSE(plan.writes[0].isRead);
+    EXPECT_EQ(plan.writes[1].drive, parity);
+    EXPECT_EQ(plan.writes[1].cls, OpClass::Parity);
+}
+
+TEST(Raid5Layout, SharedParityPageIsDeduplicated)
+{
+    // At unit 1, consecutive global pages are stripe mates of one
+    // row and share the row's (page-aligned) parity page: writing
+    // two of them must pre-read and update that parity page once.
+    Raid5Layout layout(4, 1, {});
+    Plan plan;
+    layout.plan(0, 2, false, plan);
+    ASSERT_EQ(plan.ops.size(), 3u);    // 2 data reads + 1 parity read
+    ASSERT_EQ(plan.writes.size(), 3u); // 2 data writes + 1 parity
+    int parity_reads = 0, parity_writes = 0;
+    for (const SubOp &op : plan.ops)
+        parity_reads += op.cls == OpClass::Parity;
+    for (const SubOp &op : plan.writes)
+        parity_writes += op.cls == OpClass::Parity;
+    EXPECT_EQ(parity_reads, 1);
+    EXPECT_EQ(parity_writes, 1);
+}
+
+TEST(Raid5Layout, WriteToFailedDataDriveReconstructs)
+{
+    const std::uint32_t n = 4;
+    Raid5Layout layout(n, 1, {2});
+    std::uint64_t g = 0;
+    while (layout.locate(g).drive != 2)
+        ++g;
+    const auto loc = layout.locate(g);
+    const std::uint32_t parity = layout.parityDriveOfRow(loc.lpn);
+
+    Plan plan;
+    layout.plan(g, 1, false, plan);
+    EXPECT_TRUE(plan.degraded);
+    // Pre-read the surviving data mates (not the parity drive), then
+    // write parity alone — the lost chunk is implied.
+    ASSERT_EQ(plan.ops.size(), n - 2);
+    for (const SubOp &op : plan.ops) {
+        EXPECT_TRUE(op.isRead);
+        EXPECT_EQ(op.cls, OpClass::Rebuild);
+        EXPECT_NE(op.drive, 2u);
+        EXPECT_NE(op.drive, parity);
+    }
+    ASSERT_EQ(plan.writes.size(), 1u);
+    EXPECT_EQ(plan.writes[0].drive, parity);
+    EXPECT_EQ(plan.writes[0].cls, OpClass::Parity);
+    EXPECT_FALSE(plan.writes[0].isRead);
+}
+
+TEST(Raid5Layout, WriteWithFailedParityDriveSkipsParity)
+{
+    const std::uint32_t n = 4;
+    Raid5Layout layout(n, 1, {3});
+    // Row 0's parity lives on drive n-1 = 3 (the failed drive).
+    ASSERT_EQ(layout.parityDriveOfRow(0), 3u);
+    Plan plan;
+    layout.plan(0, 1, false, plan);
+    EXPECT_FALSE(plan.degraded);
+    // Nothing to pre-read: the data write is the whole plan.
+    EXPECT_TRUE(plan.ops.empty());
+    ASSERT_EQ(plan.writes.size(), 1u);
+    EXPECT_EQ(plan.writes[0].cls, OpClass::Data);
+    EXPECT_FALSE(plan.writes[0].isRead);
+    EXPECT_NE(plan.writes[0].drive, 3u);
+}
+
+TEST(Raid5Layout, ContiguousChunkReadsMergeIntoRuns)
+{
+    // A whole stripe unit on one drive is one subrequest, not
+    // unit-many single-page ops.
+    Raid5Layout layout(4, 4, {});
+    Plan plan;
+    layout.plan(0, 4, true, plan);
+    ASSERT_EQ(plan.ops.size(), 1u);
+    EXPECT_EQ(plan.ops[0].pages, 4u);
+}
+
+TEST(Raid5Layout, InterleavedRunsStillMergePerDrive)
+{
+    // The page walk interleaves drives (data, parity, data,
+    // parity, ...); runs must merge per drive anyway.
+    Raid5Layout layout(4, 4, {});
+    Plan plan;
+    // Whole-unit write: one 4-page data run + one 4-page parity run
+    // in each phase, not 8 single-page ops.
+    layout.plan(0, 4, false, plan);
+    ASSERT_EQ(plan.ops.size(), 2u);
+    EXPECT_EQ(plan.ops[0].pages, 4u);
+    EXPECT_EQ(plan.ops[1].pages, 4u);
+    ASSERT_EQ(plan.writes.size(), 2u);
+    EXPECT_EQ(plan.writes[0].pages, 4u);
+    EXPECT_EQ(plan.writes[1].pages, 4u);
+
+    // Whole-unit degraded read: one 4-page run per survivor.
+    Raid5Layout degraded(4, 4, {1});
+    std::uint64_t g = 0;
+    while (degraded.locate(g).drive != 1)
+        g += 4;
+    degraded.plan(g, 4, true, plan);
+    ASSERT_EQ(plan.ops.size(), 3u);
+    for (const SubOp &op : plan.ops)
+        EXPECT_EQ(op.pages, 4u);
+}
+
+TEST(Raid5Layout, RejectsInvalidConfigurations)
+{
+    EXPECT_THROW(Raid5Layout(2, 1, {}), std::logic_error);
+    EXPECT_THROW(Raid5Layout(4, 0, {}), std::logic_error);
+    EXPECT_THROW(Raid5Layout(4, 1, {4}), std::logic_error);
+    EXPECT_THROW(Raid5Layout(4, 1, {0, 1}), std::logic_error);
+    EXPECT_THROW(
+        makeArrayLayout(RaidLevel::Raid0, 2, 1, {0}),
+        std::logic_error);
+}
+
+} // namespace
+} // namespace ssdrr::host

@@ -84,6 +84,127 @@ TEST(SsdArray, RejectsRequestsBeyondCapacity)
     EXPECT_THROW(a.submit(req), std::logic_error);
 }
 
+SsdArray::Options
+raid5Options(std::uint32_t drives,
+             std::vector<std::uint32_t> failed = {})
+{
+    SsdArray::Options opt;
+    opt.drives = drives;
+    opt.raid = RaidLevel::Raid5;
+    opt.stripeUnitPages = 2;
+    opt.failedDrives = std::move(failed);
+    return opt;
+}
+
+TEST(SsdArray, Raid5CapacityGivesOneDriveToParity)
+{
+    SsdArray a(testConfig(), core::Mechanism::NoRR, raid5Options(4));
+    const std::uint64_t per_drive =
+        a.drive(0).config().logicalPages();
+    EXPECT_EQ(a.logicalPages(), per_drive / 2 * 2 * 3);
+    EXPECT_EQ(a.layout().level(), RaidLevel::Raid5);
+}
+
+TEST(SsdArray, Raid5WriteUpdatesParityOnASecondDrive)
+{
+    SsdArray a(testConfig(), core::Mechanism::NoRR, raid5Options(4));
+    a.precondition();
+    int completions = 0;
+    a.onHostComplete(
+        [&](const ssd::HostCompletion &) { ++completions; });
+
+    ssd::HostRequest req;
+    req.id = 1;
+    req.lpn = 0;
+    req.pages = 1;
+    req.isRead = false;
+    a.submit(req);
+    a.drain();
+
+    EXPECT_EQ(completions, 1);
+    const ssd::RunStats st = a.stats();
+    EXPECT_EQ(st.writes, 1u); // one request at the array surface
+    EXPECT_EQ(st.parityWrites, 1u);
+    EXPECT_EQ(st.degradedReads, 0u);
+    // Read-modify-write: old data + old parity were really read, new
+    // data + new parity really written — two drives each saw one
+    // read and one write.
+    std::uint64_t drive_reads = 0, drive_writes = 0;
+    for (std::uint32_t d = 0; d < a.drives(); ++d) {
+        drive_reads += a.drive(d).stats().reads;
+        drive_writes += a.drive(d).stats().writes;
+    }
+    EXPECT_EQ(drive_reads, 2u);
+    EXPECT_EQ(drive_writes, 2u);
+}
+
+TEST(SsdArray, Raid5DegradedReadJoinsSurvivingDrives)
+{
+    SsdArray a(testConfig(), core::Mechanism::NoRR,
+               raid5Options(4, {1}));
+    a.precondition();
+    int completions = 0;
+    ssd::HostCompletion last;
+    a.onHostComplete([&](const ssd::HostCompletion &c) {
+        ++completions;
+        last = c;
+    });
+
+    // Find a data page of the failed drive and read it.
+    std::uint64_t g = 0;
+    while (a.driveOf(g) != 1)
+        ++g;
+    ssd::HostRequest req;
+    req.id = 7;
+    req.lpn = g;
+    req.pages = 1;
+    req.isRead = true;
+    a.submit(req);
+    a.drain();
+
+    // The host sees exactly one completion; under the hood the read
+    // fanned out to the three survivors and joined.
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(last.id, 7u);
+    EXPECT_EQ(a.drive(1).stats().reads, 0u);
+    std::uint64_t survivor_reads = 0;
+    for (std::uint32_t d : {0u, 2u, 3u})
+        survivor_reads += a.drive(d).stats().reads;
+    EXPECT_EQ(survivor_reads, 3u);
+
+    const ssd::RunStats st = a.stats();
+    EXPECT_EQ(st.reads, 1u);
+    EXPECT_EQ(st.degradedReads, 1u);
+    EXPECT_GT(st.reconstructionReads, 0u);
+    EXPECT_EQ(st.avgDegradedReadUs, last.responseUs);
+    EXPECT_EQ(a.degradedReadResponseTimes().count(), 1u);
+}
+
+TEST(SsdArray, Raid5HealthyReadTouchesOneDrive)
+{
+    SsdArray a(testConfig(), core::Mechanism::NoRR,
+               raid5Options(4, {1}));
+    a.precondition();
+    a.onHostComplete([](const ssd::HostCompletion &) {});
+
+    // A page on a surviving drive reads normally even in degraded
+    // mode.
+    std::uint64_t g = 0;
+    while (a.driveOf(g) == 1)
+        ++g;
+    ssd::HostRequest req;
+    req.id = 8;
+    req.lpn = g;
+    req.pages = 1;
+    a.submit(req);
+    a.drain();
+
+    const ssd::RunStats st = a.stats();
+    EXPECT_EQ(st.reads, 1u);
+    EXPECT_EQ(st.degradedReads, 0u);
+    EXPECT_EQ(st.reconstructionReads, 0u);
+}
+
 ScenarioConfig
 scenario(std::uint64_t seed)
 {

@@ -31,6 +31,7 @@ fullSpec()
         .drives(2)
         .threads(3)
         .hostLinkUs(12.5)
+        .transferUsPerKb(0.75)
         .queueDepth(24)
         .arbitration("slo")
         .maxDeviceInflight(12)
@@ -58,6 +59,32 @@ TEST(ScenarioSpec, JsonRoundTripPreservesEveryField)
     EXPECT_TRUE(back == spec);
     // And the canonical text itself is a fixed point.
     EXPECT_EQ(back.toJsonText(), spec.toJsonText());
+}
+
+TEST(ScenarioSpec, Raid5ArrayFieldsRoundTrip)
+{
+    const ScenarioSpec spec = ScenarioBuilder()
+                                  .pec(2.0)
+                                  .retention(12.0)
+                                  .drives(4)
+                                  .raid("raid5")
+                                  .stripeUnitPages(8)
+                                  .failedDrives({2})
+                                  .tenant("t", "usr_1", 100)
+                                  .build();
+    const ScenarioSpec back =
+        ScenarioSpec::fromJsonText(spec.toJsonText());
+    EXPECT_TRUE(back == spec);
+    EXPECT_EQ(back.raidLevel, "raid5");
+    EXPECT_EQ(back.stripeUnitPages, 8u);
+    EXPECT_EQ(back.failedDrives,
+              (std::vector<std::uint32_t>{2}));
+
+    const ScenarioConfig cfg =
+        spec.toConfig(core::Mechanism::Baseline);
+    EXPECT_EQ(cfg.raid, RaidLevel::Raid5);
+    EXPECT_EQ(cfg.stripeUnitPages, 8u);
+    EXPECT_EQ(cfg.failedDrives, spec.failedDrives);
 }
 
 TEST(ScenarioSpec, FileRoundTrip)
@@ -172,6 +199,57 @@ TEST(ScenarioSpec, RejectsSemanticConflicts)
     expectRejects(
         R"({"host": {"hostLinkUs": 0.0005}, "tenants": [{}]})",
         "rounds to zero simulator ticks");
+    expectRejects(
+        R"({"host": {"transferUsPerKb": -1}, "tenants": [{}]})",
+        "host.transferUsPerKb");
+}
+
+TEST(ScenarioSpec, RejectsInvalidArrayLayouts)
+{
+    expectRejects(
+        R"({"array": {"raidLevel": "raid6"}, "tenants": [{}]})",
+        "array.raidLevel: unknown level \"raid6\"");
+    expectRejects(
+        R"({"array": {"stripeUnitPages": 0}, "tenants": [{}]})",
+        "array.stripeUnitPages: must be >= 1");
+    // RAID-5 needs a data drive besides the rotating parity.
+    expectRejects(R"({"drives": 2, "array": {"raidLevel": "raid5"},
+                      "tenants": [{}]})",
+                  "\"raid5\" needs drives >= 3");
+    // Failed drives must exist...
+    expectRejects(R"({"drives": 4,
+                      "array": {"raidLevel": "raid5",
+                                "failedDrives": [4]},
+                      "tenants": [{}]})",
+                  "array.failedDrives[0]: drive 4 is out of range");
+    // ... be unique ...
+    expectRejects(R"({"drives": 4,
+                      "array": {"raidLevel": "raid5",
+                                "failedDrives": [1, 1]},
+                      "tenants": [{}]})",
+                  "array.failedDrives[1]: drive 1 listed twice");
+    // ... and stay within the layout's fault tolerance.
+    expectRejects(R"({"drives": 4,
+                      "array": {"raidLevel": "raid5",
+                                "failedDrives": [0, 2]},
+                      "tenants": [{}]})",
+                  "exceed what \"raid5\" can serve through");
+    expectRejects(
+        R"({"drives": 2, "array": {"failedDrives": [0]},
+            "tenants": [{}]})",
+        "raid0 has no redundancy");
+    // Channel affinity's lattice math assumes raid0 striping.
+    expectRejects(R"({"drives": 4,
+                      "array": {"raidLevel": "raid5"},
+                      "tenants": [{"channels": [0]}]})",
+                  "channel affinity assumes the raid0 striped "
+                  "layout");
+    expectRejects(
+        R"({"array": {"raidLevel": 5}, "tenants": [{}]})",
+        "array.raidLevel: expected a string");
+    expectRejects(
+        R"({"array": {"failedDrives": 1}, "tenants": [{}]})",
+        "array.failedDrives: expected an array");
 }
 
 TEST(ScenarioSpec, ShardedEngineFieldsReachTheConfig)

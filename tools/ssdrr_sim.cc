@@ -32,7 +32,16 @@
  *                                wrr gives tenant i weight i+1; the
  *                                slo policy needs per-tenant sloUs
  *                                values, so it is scenario-file-only)
- *     --array N                  LPN-striped array of N drives
+ *     --array N                  array of N drives
+ *     --raid LEVEL               array layout: raid0 (striping,
+ *                                default) or raid5 (rotating parity,
+ *                                read-modify-write parity updates,
+ *                                degraded-read reconstruction;
+ *                                needs --array >= 3)
+ *     --stripe-unit N            RAID-5 stripe-unit pages (default 1)
+ *     --failed-drives A,B,...    failed member drives (RAID-5 serves
+ *                                their data by reconstructing from
+ *                                the surviving stripe mates)
  *     --open-loop                inject at trace arrival times instead
  *                                of closed-loop
  *     --host-link-us X           host dispatch/completion turnaround
@@ -41,6 +50,9 @@
  *                                event queue; > 0 models the NVMe
  *                                doorbell/interrupt path and runs
  *                                drives on private event queues)
+ *     --transfer-us-per-kb X     size-proportional link transfer cost
+ *                                charged per subrequest on dispatch
+ *                                and completion (default 0)
  *
  * Scenario files (declarative API v2; see README "Scenario files"
  * and docs/SCENARIOS.md):
@@ -119,8 +131,12 @@ struct Options {
     std::uint32_t queueDepth = 16;
     std::string arbitration = "rr";
     std::uint32_t array = 1;
+    std::string raid = "raid0";
+    std::uint32_t stripeUnit = 1;
+    std::vector<std::uint32_t> failedDrives;
     bool openLoop = false;
     double hostLinkUs = 0.0;
+    double transferUsPerKb = 0.0;
     std::uint32_t threads = 1;
     bool threadsSet = false;
     /** Scenario-file mode (mutually exclusive with legacy flags). */
@@ -148,7 +164,10 @@ usage(const char *argv0)
                  "  [--tenants T] [--queue-depth D] "
                  "[--arbitration rr|wrr] [--array N] "
                  "[--open-loop]\n"
-                 "  [--host-link-us X] [--threads N]\n"
+                 "  [--raid raid0|raid5] [--stripe-unit N] "
+                 "[--failed-drives A,B,...]\n"
+                 "  [--host-link-us X] [--transfer-us-per-kb X] "
+                 "[--threads N]\n"
                  "  [--scenario FILE.json] [--dump-scenario] "
                  "[--list-workloads] [--bench-json PATH]\n",
                  argv0);
@@ -284,8 +303,27 @@ parseArgs(int argc, char **argv)
                 parseUint32(arg, next());
             opt.hostFlags.push_back(arg);
             legacy();
+        } else if (arg == "--raid") {
+            opt.raid = next();
+            opt.hostFlags.push_back(arg);
+            legacy();
+        } else if (arg == "--stripe-unit") {
+            opt.stripeUnit = parseUint32(arg, next());
+            opt.hostFlags.push_back(arg);
+            legacy();
+        } else if (arg == "--failed-drives") {
+            opt.failedDrives.clear();
+            for (const std::string &d : splitCommas(next()))
+                opt.failedDrives.push_back(
+                    parseUint32(arg, d.c_str()));
+            opt.hostFlags.push_back(arg);
+            legacy();
         } else if (arg == "--open-loop") {
             opt.openLoop = true;
+            opt.hostFlags.push_back(arg);
+            legacy();
+        } else if (arg == "--transfer-us-per-kb") {
+            opt.transferUsPerKb = parseDouble(arg, next());
             opt.hostFlags.push_back(arg);
             legacy();
         } else if (arg == "--host-link-us") {
@@ -362,10 +400,14 @@ specFromFlags(const Options &opt)
     spec.ssd.seed = opt.seed;
     spec.mechanisms = opt.mechanisms;
     spec.drives = opt.array;
+    spec.raidLevel = opt.raid;
+    spec.stripeUnitPages = opt.stripeUnit;
+    spec.failedDrives = opt.failedDrives;
     spec.threads = opt.threads;
     spec.queueDepth = opt.queueDepth;
     spec.arbitration = opt.arbitration;
     spec.hostLinkUs = opt.hostLinkUs;
+    spec.transferUsPerKb = opt.transferUsPerKb;
 
     const bool wrr = opt.arbitration == "wrr";
     // Keep total work comparable to the single-replay mode: the
@@ -462,6 +504,16 @@ runSpec(const host::ScenarioSpec &spec, const std::string &bench_json,
                     static_cast<unsigned long long>(a.reads),
                     a.avgReadResponseUs, a.p50ReadResponseUs,
                     a.p99ReadResponseUs, a.p999ReadResponseUs);
+        // Degraded-mode accounting (RAID-5 with failed drives): the
+        // per-class reconstruction tail next to the overall reads.
+        if (a.degradedReads > 0)
+            std::printf("%-10s %-14s %3s %6llu %10.1f %10.1f %10.1f "
+                        "%10.1f\n",
+                        mname.c_str(), "degraded(r)", "-",
+                        static_cast<unsigned long long>(
+                            a.degradedReads),
+                        a.avgDegradedReadUs, a.p50DegradedReadUs,
+                        a.p99DegradedReadUs, a.p999DegradedReadUs);
     }
     if (!bench_json.empty()) {
         if (!sim::writeBenchJson(bench_json, label, bench_runs))
@@ -523,8 +575,15 @@ validateLegacyFlags(const Options &opt)
                                 "tenants; add --open-loop");
         if (opt.iops < 0.0)
             flagError("--iops", "must be >= 0");
+        if (!host::tryParseRaidLevel(opt.raid, nullptr))
+            flagError("--raid", "unknown level '" + opt.raid +
+                                    "' (expected raid0 or raid5)");
+        if (opt.stripeUnit < 1)
+            flagError("--stripe-unit", "needs at least 1 page");
         if (opt.hostLinkUs < 0.0)
             flagError("--host-link-us", "must be >= 0");
+        if (opt.transferUsPerKb < 0.0)
+            flagError("--transfer-us-per-kb", "must be >= 0");
         if (opt.threads < 1)
             flagError("--threads", "needs at least 1 worker");
         if (opt.threads > 1 && opt.hostLinkUs <= 0.0)
