@@ -18,8 +18,15 @@
  * parallel speedup (recorded as the par4d-1t / par4d-4t entries of
  * the JSON; it needs >= 4 free cores to show the full effect).
  *
+ * Two more sections ride along: raid5-* (degraded-read
+ * reconstruction, healthy vs one failed drive) and cached-* (the
+ * host filter chain — a DRAM read-cache tier absorbing re-reads
+ * from scan-heavy tenants, reporting hit ratio, evictions and the
+ * host-surface read p99 the cache buys).
+ *
  * The golden digest covers only the two single-queue tail runs, so
- * it stays comparable across machines and thread counts.
+ * it stays comparable across machines, thread counts and the
+ * appended sections.
  *
  * Usage:
  *   bench_sim_throughput [--short] [--json PATH]
@@ -123,6 +130,12 @@ measureScenario(const std::string &name, const MakeConfig &make_config,
     run.parityWrites = a.parityWrites;
     run.p99DegradedReadUs = a.p99DegradedReadUs;
     run.p999DegradedReadUs = a.p999DegradedReadUs;
+    run.cacheHits = a.cacheHits;
+    run.cacheMisses = a.cacheMisses;
+    run.cacheEvictions = a.cacheEvictions;
+    run.prefetchIssued = a.prefetchIssued;
+    run.prefetchUseful = a.prefetchUseful;
+    run.hostP99ReadUs = a.p99HostReadUs;
     if (best > 0.0) {
         run.eventsPerSecond =
             static_cast<double>(a.executedEvents) / best;
@@ -233,6 +246,55 @@ measureRaid5(core::Mechanism mech, bool degraded,
         repeat);
 }
 
+/**
+ * Host filter-chain section: the tail scenario's array shape with two
+ * scan-heavy tenants (seq_scan) and two point-read tenants (YCSB-C),
+ * run without filters and with a 64 MiB DRAM read cache. Demand fills
+ * only — at this wear point (1K PEC, 6-month retention) every array
+ * read is retry-heavy, so speculative prefetch traffic inflates the
+ * tail instead of hiding it; the win comes from re-reads being
+ * absorbed at DRAM latency, which both removes them from the
+ * host-surface distribution and thins the array queues the remaining
+ * misses wait in. The host-surface read p99 drops below the uncached
+ * run's array p99 (the same surface when the chain is empty).
+ */
+host::ScenarioConfig
+cachedScenario(std::uint64_t requests_per_tenant, bool cached)
+{
+    host::ScenarioBuilder b;
+    b.geometry("small")
+        .pec(1.0)
+        .retention(6.0)
+        .seed(42)
+        .drives(2)
+        .queueDepth(16);
+    b.mechanism(core::Mechanism::PnAR2);
+    if (cached) {
+        host::filter::FilterSpec c;
+        c.type = "cache";
+        c.sizeBytes = 64ull << 20;
+        c.admission = "all"; // scans re-read written pages too
+        c.hitLatencyUs = 2.0;
+        b.addFilter(c);
+    }
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        b.tenant("t" + std::to_string(t),
+                 t % 2 ? "YCSB-C" : "seq_scan", requests_per_tenant)
+            .qdLimit(16);
+    }
+    return b.build().toConfig(core::Mechanism::PnAR2);
+}
+
+sim::BenchRun
+measureCached(bool cached, std::uint64_t requests_per_tenant,
+              int repeat)
+{
+    return measureScenario(
+        std::string("cached-") + (cached ? "on" : "off"),
+        [&] { return cachedScenario(requests_per_tenant, cached); },
+        repeat);
+}
+
 /** The deterministic fields two thread counts must agree on. */
 bool
 identicalResults(const sim::BenchRun &a, const sim::BenchRun &b)
@@ -290,9 +352,10 @@ main(int argc, char **argv)
     const std::uint64_t per_tenant = short_mode ? 400 : 2000;
     const std::uint64_t par_per_tenant = short_mode ? 400 : 2000;
     const std::uint64_t r5_per_tenant = short_mode ? 300 : 1000;
-    // Three scenarios share this file: the digested tail runs, the
-    // par4d-* sharded-engine runs, and the raid5-* degraded-read
-    // runs appended after them.
+    const std::uint64_t cd_per_tenant = short_mode ? 300 : 1000;
+    // Four scenarios share this file: the digested tail runs, then
+    // the par4d-* sharded-engine, raid5-* degraded-read and cached-*
+    // filter-chain runs appended after them.
     const std::string label =
         std::string("multi_tenant_tail ") +
         (short_mode ? "short" : "full") +
@@ -305,7 +368,11 @@ main(int argc, char **argv)
         "4 closed-loop tenants x " +
         std::to_string(r5_per_tenant) +
         " usr_1 reqs, QD 16, 4-drive raid5 (unit 4), 2K P/E + "
-        "12-month retention, healthy vs drive 1 failed";
+        "12-month retention, healthy vs drive 1 failed; cached-*: "
+        "4 closed-loop tenants x " +
+        std::to_string(cd_per_tenant) +
+        " seq_scan/YCSB-C reqs, QD 16, 2-drive array, PnAR2, "
+        "uncached vs 64 MiB DRAM cache";
 
     std::printf("sim_throughput — %s\n\n", label.c_str());
     std::printf("%-10s %12s %14s %12s %12s %10s\n", "mechanism",
@@ -361,6 +428,15 @@ main(int argc, char **argv)
         std::printf("speedup (4 threads vs 1): %.2fx "
                     "(bit-identical results)\n",
                     par_runs[0].wallSeconds / par_runs[1].wallSeconds);
+    if (std::thread::hardware_concurrency() < 4) {
+        // The speedup comparison presumes 4 hardware threads; on a
+        // smaller machine the 4-worker run just timeslices, so keep
+        // the entries for trajectory continuity but flag them.
+        for (sim::BenchRun &r : par_runs)
+            r.unreliable = true;
+        std::printf("note: fewer than 4 hardware threads — par4d-* "
+                    "wall times marked unreliable in the JSON\n");
+    }
     runs.insert(runs.end(), par_runs.begin(), par_runs.end());
 
     // ----- RAID-5 degraded reads: healthy vs 1 failed drive -----
@@ -385,6 +461,43 @@ main(int argc, char **argv)
                             r.degradedReads));
         }
     }
+
+    // ----- host filter chain: DRAM read-cache tier -----
+    std::printf("\ncached workload — 4 closed-loop tenants x %llu "
+                "seq_scan/YCSB-C reqs, QD 16, 2-drive array, PnAR2, "
+                "uncached vs 64 MiB DRAM cache\n",
+                static_cast<unsigned long long>(cd_per_tenant));
+    std::printf("%-12s %12s %10s %12s %10s %12s\n", "config",
+                "wall[s]", "p99r[us]", "hostp99[us]", "hit%",
+                "evictions");
+    std::vector<sim::BenchRun> cached_runs;
+    for (bool cached : {false, true}) {
+        cached_runs.push_back(
+            measureCached(cached, cd_per_tenant, repeat));
+        const sim::BenchRun &r = cached_runs.back();
+        const std::uint64_t lookups = r.cacheHits + r.cacheMisses;
+        std::printf("%-12s %12.3f %10.1f %12.1f %9.1f%% %12llu\n",
+                    r.name.c_str(), r.wallSeconds, r.p99ReadUs,
+                    r.hostP99ReadUs,
+                    lookups ? 100.0 *
+                                  static_cast<double>(r.cacheHits) /
+                                  static_cast<double>(lookups)
+                            : 0.0,
+                    static_cast<unsigned long long>(
+                        r.cacheEvictions));
+    }
+    // The uncached run has no chain, so its array-level p99 IS its
+    // host-surface p99; the cached run's host surface includes the
+    // DRAM hits the array never sees.
+    if (cached_runs[1].cacheHits == 0)
+        std::fprintf(stderr, "WARN: cached run recorded no DRAM "
+                             "cache hits\n");
+    else
+        std::printf("host-surface read p99: %.1f us uncached -> "
+                    "%.1f us cached\n",
+                    cached_runs[0].p99ReadUs,
+                    cached_runs[1].hostP99ReadUs);
+    runs.insert(runs.end(), cached_runs.begin(), cached_runs.end());
 
     if (!sim::writeBenchJson(json_path, label, runs))
         return 1;

@@ -20,13 +20,10 @@ SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
 SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
                    const Options &opt)
     : mech_(mech), link_(opt.hostLink),
-      xfer_us_per_kb_(opt.transferUsPerKb),
-      page_kb_(static_cast<double>(cfg.pageBytes) / 1024.0),
       layout_(makeArrayLayout(opt.raid, opt.drives,
                               opt.stripeUnitPages, opt.failedDrives))
 {
     SSDRR_ASSERT(opt.drives >= 1, "array needs at least one drive");
-    SSDRR_ASSERT(xfer_us_per_kb_ >= 0.0, "negative transfer cost");
     if (link_ > 0) {
         exec_ = std::make_unique<sim::ParallelExecutor>(
             link_, opt.threads == 0 ? 1 : opt.threads);
@@ -53,7 +50,7 @@ SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
             ssds_.push_back(std::make_unique<ssd::Ssd>(dc, mech, eq_));
             ssds_.back()->onHostComplete(
                 [this](const ssd::HostCompletion &c) {
-                    legacyComplete(c);
+                    subComplete(c);
                 });
         }
     }
@@ -68,38 +65,18 @@ SsdArray::precondition()
         s->precondition();
 }
 
-sim::Tick
-SsdArray::xferTicks(std::uint32_t pages) const
-{
-    if (xfer_us_per_kb_ <= 0.0)
-        return 0;
-    return sim::usec(xfer_us_per_kb_ * page_kb_ *
-                     static_cast<double>(pages));
-}
-
 void
 SsdArray::dispatch(std::uint32_t d, const ssd::HostRequest &sub)
 {
-    const sim::Tick xfer = xferTicks(sub.pages);
     if (!exec_) {
-        if (xfer == 0) {
-            ssds_[d]->submit(sub);
-            return;
-        }
-        // Legacy engine with a transfer cost: the command reaches
-        // the drive once its bytes crossed the link.
-        ssd::HostRequest delivered = sub;
-        delivered.arrival = eq_.now() + xfer;
-        eq_.schedule(delivered.arrival, [this, d, delivered] {
-            ssds_[d]->submit(delivered);
-        });
+        ssds_[d]->submit(sub);
         return;
     }
-    // Sharded mode: the command crosses the host link (plus its
-    // transfer time). The drive sees it — and accounts its
-    // device-side latency from — the delivery tick.
+    // Sharded mode: the command crosses the host link. The drive
+    // sees it — and accounts its device-side latency from — the
+    // delivery tick.
     ssd::HostRequest delivered = sub;
-    delivered.arrival = eq_.now() + link_ + xfer;
+    delivered.arrival = eq_.now() + link_;
     exec_->send(host_dom_, drive_dom_[d], delivered.arrival,
                 [this, d, delivered] { ssds_[d]->submit(delivered); });
 }
@@ -163,25 +140,13 @@ void
 SsdArray::driveComplete(std::uint32_t d, const ssd::HostCompletion &c)
 {
     // Runs on the drive's worker thread, inside the drive's window.
-    // Ship the completion across the host link (plus its transfer
-    // time); subComplete then executes on the host domain at the
-    // delivery tick. Uses only the completion record and immutable
-    // config — host-side maps stay host-domain-confined.
+    // Ship the completion across the host link; subComplete then
+    // executes on the host domain at the delivery tick. Uses only
+    // the completion record and immutable config — host-side maps
+    // stay host-domain-confined.
     exec_->send(drive_dom_[d], host_dom_,
-                ssds_[d]->eventQueue().now() + link_ +
-                    xferTicks(c.pages),
+                ssds_[d]->eventQueue().now() + link_,
                 [this, c] { subComplete(c); });
-}
-
-void
-SsdArray::legacyComplete(const ssd::HostCompletion &c)
-{
-    const sim::Tick xfer = xferTicks(c.pages);
-    if (xfer == 0) {
-        subComplete(c);
-        return;
-    }
-    eq_.schedule(eq_.now() + xfer, [this, c] { subComplete(c); });
 }
 
 void

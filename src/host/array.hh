@@ -37,11 +37,11 @@
  *    contract, produce bit-identical results for ANY thread count,
  *    including 1.
  *
- * Either engine can additionally charge size-proportional link
- * transfer time (transferUsPerKb): each subrequest's dispatch and
- * completion crossing is delayed by its page count times the
- * per-KiB cost, on top of the fixed turnaround. 0 (the default)
- * keeps both engines' event streams unchanged.
+ * Size-proportional link transfer time is no longer an array
+ * concern: it moved to the host filter chain's "xfer" filter
+ * (host/filter/xfer.hh), which charges per host command above the
+ * array. Scenario specs keep the transferUsPerKb knob and translate
+ * it into an implicit xfer filter.
  */
 
 #ifndef SSDRR_HOST_ARRAY_HH
@@ -80,9 +80,6 @@ class SsdArray
         /** Worker threads for the windowed engine (ignored when
          *  hostLink == 0; results do not depend on it). */
         std::uint32_t threads = 1;
-        /** Link transfer cost in microseconds per KiB moved; charged
-         *  per subrequest on dispatch and completion (0 = off). */
-        double transferUsPerKb = 0.0;
     };
 
     /**
@@ -120,6 +117,12 @@ class SsdArray
     /** Exported data capacity in pages (layout-dependent: RAID-5
      *  gives one drive's worth to parity). */
     std::uint64_t logicalPages() const { return logical_pages_; }
+
+    /** Page size in bytes (uniform across member drives). */
+    std::uint32_t pageBytes() const
+    {
+        return ssds_.front()->config().pageBytes;
+    }
 
     /** Drive holding global LPN @p lpn. */
     std::uint32_t driveOf(std::uint64_t lpn) const
@@ -190,21 +193,14 @@ class SsdArray
                   std::uint32_t channel_mask,
                   const ArrayLayout::SubOp &op);
     void subComplete(const ssd::HostCompletion &c);
-    /** Legacy-engine completion hook: apply the (optional) transfer
-     *  delay before subComplete. */
-    void legacyComplete(const ssd::HostCompletion &c);
     /** Drive-side completion hook in sharded mode: forward to the
      *  host domain with the completion turnaround applied. */
     void driveComplete(std::uint32_t d, const ssd::HostCompletion &c);
     void dispatch(std::uint32_t d, const ssd::HostRequest &sub);
-    /** Size-proportional link transfer time of @p pages pages. */
-    sim::Tick xferTicks(std::uint32_t pages) const;
 
     sim::EventQueue eq_; ///< host-side queue (shared queue in legacy)
     core::Mechanism mech_;
     sim::Tick link_ = 0;
-    double xfer_us_per_kb_ = 0.0;
-    double page_kb_ = 16.0; ///< pageBytes / 1024
     std::unique_ptr<ArrayLayout> layout_;
     std::vector<std::unique_ptr<ssd::Ssd>> ssds_;
     std::uint64_t logical_pages_ = 0;

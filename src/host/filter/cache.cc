@@ -1,0 +1,130 @@
+#include "host/filter/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::host::filter {
+
+DramCacheFilter::DramCacheFilter(const FilterSpec &spec,
+                                 const Context &ctx)
+    : capacity_pages_(std::max<std::uint64_t>(
+          1, spec.sizeBytes / std::max<std::uint32_t>(1, ctx.pageBytes))),
+      lru_(spec.eviction != "fifo"),
+      admit_writes_(spec.admission == "all"),
+      hit_ticks_(sim::usec(spec.hitLatencyUs))
+{
+}
+
+bool
+DramCacheFilter::allResident(std::uint64_t lpn,
+                             std::uint32_t pages) const
+{
+    for (std::uint32_t i = 0; i < pages; ++i)
+        if (!map_.count(lpn + i))
+            return false;
+    return true;
+}
+
+void
+DramCacheFilter::touchRange(std::uint64_t lpn, std::uint32_t pages)
+{
+    if (!lru_)
+        return; // FIFO: age is insertion order, hits do not refresh
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        auto it = map_.find(lpn + i);
+        if (it != map_.end())
+            order_.splice(order_.end(), order_, it->second);
+    }
+}
+
+void
+DramCacheFilter::insertRange(std::uint64_t lpn, std::uint32_t pages)
+{
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        auto it = map_.find(lpn + i);
+        if (it != map_.end()) {
+            if (lru_)
+                order_.splice(order_.end(), order_, it->second);
+            continue;
+        }
+        order_.push_back(lpn + i);
+        map_.emplace(lpn + i, std::prev(order_.end()));
+    }
+    while (map_.size() > capacity_pages_) {
+        map_.erase(order_.front());
+        order_.pop_front();
+        ++evictions_;
+    }
+}
+
+void
+DramCacheFilter::invalidateRange(std::uint64_t lpn,
+                                 std::uint32_t pages)
+{
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        auto it = map_.find(lpn + i);
+        if (it == map_.end())
+            continue;
+        order_.erase(it->second);
+        map_.erase(it);
+    }
+}
+
+void
+DramCacheFilter::submit(const ssd::HostRequest &req)
+{
+    if (!req.isRead) {
+        // Writes refresh or shoot down the cached copy; the write
+        // itself always goes to the device (the cache is not a
+        // write-back buffer).
+        if (admit_writes_)
+            insertRange(req.lpn, req.pages);
+        else
+            invalidateRange(req.lpn, req.pages);
+        down(req);
+        return;
+    }
+
+    if (allResident(req.lpn, req.pages)) {
+        ++hits_;
+        touchRange(req.lpn, req.pages);
+        // Always complete through the event queue, never
+        // synchronously: the submit path runs inside the host
+        // interface's fetch loop, which must not re-enter.
+        const sim::Tick finish = eq().now() + hit_ticks_;
+        const ssd::HostCompletion done{
+            req.id,   req.arrival,
+            finish,   true,
+            sim::toUsec(finish - req.arrival), req.pages};
+        eq().schedule(finish, [this, done] { up(done); });
+        return;
+    }
+
+    ++misses_;
+    const bool inserted = pending_.emplace(req.id, req).second;
+    SSDRR_ASSERT(inserted, "duplicate outstanding read id ", req.id,
+                 " in cache filter");
+    down(req);
+}
+
+void
+DramCacheFilter::complete(const ssd::HostCompletion &c)
+{
+    auto it = pending_.find(c.id);
+    if (it != pending_.end()) {
+        insertRange(it->second.lpn, it->second.pages);
+        pending_.erase(it);
+    }
+    up(c);
+}
+
+void
+DramCacheFilter::collectStats(ssd::RunStats &s) const
+{
+    s.cacheHits += hits_;
+    s.cacheMisses += misses_;
+    s.cacheEvictions += evictions_;
+}
+
+} // namespace ssdrr::host::filter

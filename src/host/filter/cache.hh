@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DRAM read-cache filter: hits complete in DRAM-latency ticks
+ * without touching the array.
+ *
+ * The cache tracks whole logical pages. A read whose pages are all
+ * resident is a hit: it is absorbed and completed upward after the
+ * configured DRAM service latency, bypassing the entire device path
+ * (queueing, NAND sensing, and — the point of the exercise — the
+ * read-retry walk). A miss passes through and fills the cache when
+ * its completion returns. Writes invalidate (admission "reads") or
+ * write-through allocate (admission "all"). Eviction is LRU or FIFO
+ * over pages.
+ *
+ * Prefetches issued by a readahead filter ABOVE this one in the
+ * chain pass through as ordinary reads, so their completions fill
+ * the cache — stacking readahead over cache turns sequential misses
+ * into DRAM hits.
+ */
+
+#ifndef SSDRR_HOST_FILTER_CACHE_HH
+#define SSDRR_HOST_FILTER_CACHE_HH
+
+#include <list>
+#include <unordered_map>
+
+#include "host/filter/filter.hh"
+
+namespace ssdrr::host::filter {
+
+class DramCacheFilter : public RequestFilter
+{
+  public:
+    DramCacheFilter(const FilterSpec &spec, const Context &ctx);
+
+    const char *kind() const override { return "cache"; }
+    void submit(const ssd::HostRequest &req) override;
+    void complete(const ssd::HostCompletion &c) override;
+    void collectStats(ssd::RunStats &s) const override;
+
+    // ----- observability (unit tests) -----
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t residentPages() const { return map_.size(); }
+    std::uint64_t capacityPages() const { return capacity_pages_; }
+    bool resident(std::uint64_t lpn) const
+    {
+        return map_.count(lpn) != 0;
+    }
+
+  private:
+    bool allResident(std::uint64_t lpn, std::uint32_t pages) const;
+    void touchRange(std::uint64_t lpn, std::uint32_t pages);
+    void insertRange(std::uint64_t lpn, std::uint32_t pages);
+    void invalidateRange(std::uint64_t lpn, std::uint32_t pages);
+
+    std::uint64_t capacity_pages_;
+    bool lru_;          ///< touch on hit (false = FIFO)
+    bool admit_writes_; ///< admission "all"
+    sim::Tick hit_ticks_;
+
+    /** Eviction order: front is the next victim. */
+    std::list<std::uint64_t> order_;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        map_;
+    /** Read misses in flight below us, by id: their completions
+     *  fill the cache. */
+    std::unordered_map<std::uint64_t, ssd::HostRequest> pending_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace ssdrr::host::filter
+
+#endif // SSDRR_HOST_FILTER_CACHE_HH

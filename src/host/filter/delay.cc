@@ -1,0 +1,30 @@
+#include "host/filter/delay.hh"
+
+namespace ssdrr::host::filter {
+
+DelayFilter::DelayFilter(const FilterSpec &spec)
+    : ticks_(sim::usec(spec.delayUs)),
+      mode_(spec.applies == "reads"    ? Mode::Reads
+            : spec.applies == "writes" ? Mode::Writes
+                                       : Mode::All)
+{
+}
+
+void
+DelayFilter::submit(const ssd::HostRequest &req)
+{
+    if (ticks_ == 0 || !applies(req)) {
+        down(req);
+        return;
+    }
+    ++delayed_;
+    eq().scheduleAfter(ticks_, [this, req] { down(req); });
+}
+
+void
+DelayFilter::collectStats(ssd::RunStats &s) const
+{
+    s.delayedRequests += delayed_;
+}
+
+} // namespace ssdrr::host::filter

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Delay filter: fault/latency injection for experiments and tests.
+ *
+ * Adds a fixed submit-side delay to matching requests ("all",
+ * "reads", or "writes"). With delayUs == 0 the filter is fully
+ * transparent — requests forward synchronously in submit() and the
+ * event stream is identical to no filter at all.
+ */
+
+#ifndef SSDRR_HOST_FILTER_DELAY_HH
+#define SSDRR_HOST_FILTER_DELAY_HH
+
+#include "host/filter/filter.hh"
+
+namespace ssdrr::host::filter {
+
+class DelayFilter : public RequestFilter
+{
+  public:
+    explicit DelayFilter(const FilterSpec &spec);
+
+    const char *kind() const override { return "delay"; }
+    void submit(const ssd::HostRequest &req) override;
+    void collectStats(ssd::RunStats &s) const override;
+
+    // ----- observability (unit tests) -----
+    std::uint64_t delayedRequests() const { return delayed_; }
+
+  private:
+    bool applies(const ssd::HostRequest &req) const
+    {
+        if (mode_ == Mode::All)
+            return true;
+        return (mode_ == Mode::Reads) == req.isRead;
+    }
+
+    enum class Mode { All, Reads, Writes };
+
+    sim::Tick ticks_;
+    Mode mode_;
+    std::uint64_t delayed_ = 0;
+};
+
+} // namespace ssdrr::host::filter
+
+#endif // SSDRR_HOST_FILTER_DELAY_HH

@@ -1,0 +1,162 @@
+#include "host/filter/filter.hh"
+
+#include "host/filter/cache.hh"
+#include "host/filter/delay.hh"
+#include "host/filter/readahead.hh"
+#include "host/filter/split.hh"
+#include "host/filter/throttle.hh"
+#include "host/filter/xfer.hh"
+#include "sim/logging.hh"
+
+namespace ssdrr::host::filter {
+
+bool
+FilterSpec::operator==(const FilterSpec &o) const
+{
+    return type == o.type && sizeBytes == o.sizeBytes &&
+           eviction == o.eviction && admission == o.admission &&
+           hitLatencyUs == o.hitLatencyUs &&
+           windowPages == o.windowPages && streams == o.streams &&
+           maxPages == o.maxPages &&
+           coalesceWindowUs == o.coalesceWindowUs &&
+           delayUs == o.delayUs && applies == o.applies &&
+           rateIops == o.rateIops && burst == o.burst &&
+           usPerKb == o.usPerKb;
+}
+
+// ---------------------------------------------------- RequestFilter
+
+void
+RequestFilter::down(const ssd::HostRequest &req)
+{
+    chain_->downFrom(index_, req);
+}
+
+void
+RequestFilter::up(const ssd::HostCompletion &c)
+{
+    chain_->upFrom(index_, c);
+}
+
+sim::EventQueue &
+RequestFilter::eq() const
+{
+    return *chain_->ctx_.eq;
+}
+
+const Context &
+RequestFilter::ctx() const
+{
+    return chain_->ctx_;
+}
+
+std::uint64_t
+RequestFilter::newId()
+{
+    return chain_->newId();
+}
+
+// ------------------------------------------------------ FilterChain
+
+void
+FilterChain::build(const std::vector<FilterSpec> &specs,
+                   const Context &ctx)
+{
+    SSDRR_ASSERT(filters_.empty(), "filter chain already built");
+    SSDRR_ASSERT(ctx.eq != nullptr, "filter chain needs an event queue");
+    ctx_ = ctx;
+    for (const FilterSpec &spec : specs) {
+        filters_.push_back(makeFilter(spec, ctx_));
+        filters_.back()->chain_ = this;
+        filters_.back()->index_ = filters_.size() - 1;
+    }
+}
+
+void
+FilterChain::bind(SubmitFn to_array, CompleteFn to_host)
+{
+    to_array_ = std::move(to_array);
+    to_host_ = std::move(to_host);
+}
+
+void
+FilterChain::submit(const ssd::HostRequest &req)
+{
+    // Empty chain: a plain function call to the array, exactly the
+    // pre-chain dispatch path.
+    if (filters_.empty()) {
+        to_array_(req);
+        return;
+    }
+    filters_.front()->submit(req);
+}
+
+void
+FilterChain::complete(const ssd::HostCompletion &c)
+{
+    if (filters_.empty()) {
+        to_host_(c);
+        return;
+    }
+    filters_.back()->complete(c);
+}
+
+void
+FilterChain::downFrom(std::size_t i, const ssd::HostRequest &req)
+{
+    if (i + 1 < filters_.size())
+        filters_[i + 1]->submit(req);
+    else
+        to_array_(req);
+}
+
+void
+FilterChain::upFrom(std::size_t i, const ssd::HostCompletion &c)
+{
+    if (i == 0) {
+        // Top of the chain: this is the latency the host actually
+        // observes (cache hits included, prefetches absorbed).
+        if (c.isRead)
+            host_read_.add(c.responseUs);
+        to_host_(c);
+        return;
+    }
+    filters_[i - 1]->complete(c);
+}
+
+void
+FilterChain::collectStats(ssd::RunStats &s) const
+{
+    for (const auto &f : filters_)
+        f->collectStats(s);
+    s.hostReads = host_read_.count();
+    if (host_read_.count()) {
+        s.avgHostReadUs = host_read_.mean();
+        s.p50HostReadUs = host_read_.percentile(50.0);
+        s.p99HostReadUs = host_read_.percentile(99.0);
+        s.p999HostReadUs = host_read_.percentile(99.9);
+    }
+}
+
+// ---------------------------------------------------------- factory
+
+std::unique_ptr<RequestFilter>
+makeFilter(const FilterSpec &spec, const Context &ctx)
+{
+    if (spec.type == "cache")
+        return std::make_unique<DramCacheFilter>(spec, ctx);
+    if (spec.type == "readahead")
+        return std::make_unique<ReadaheadFilter>(spec, ctx);
+    if (spec.type == "split")
+        return std::make_unique<SplitCoalesceFilter>(spec);
+    if (spec.type == "delay")
+        return std::make_unique<DelayFilter>(spec);
+    if (spec.type == "throttle")
+        return std::make_unique<ThrottleFilter>(spec);
+    if (spec.type == "xfer")
+        return std::make_unique<XferFilter>(spec, ctx);
+    SSDRR_FATAL("unknown filter type '", spec.type,
+                "' (scenario validation should have rejected it)");
+}
+
+} // namespace ssdrr::host::filter

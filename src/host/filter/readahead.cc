@@ -1,0 +1,117 @@
+#include "host/filter/readahead.hh"
+
+#include <algorithm>
+
+namespace ssdrr::host::filter {
+
+ReadaheadFilter::ReadaheadFilter(const FilterSpec &spec,
+                                 const Context &ctx)
+    : window_pages_(std::max<std::uint32_t>(1, spec.windowPages)),
+      max_streams_(std::max<std::uint32_t>(1, spec.streams)),
+      logical_pages_(ctx.logicalPages),
+      remember_cap_(std::max<std::size_t>(
+          1024, std::size_t{64} * window_pages_))
+{
+    streams_.reserve(max_streams_);
+}
+
+void
+ReadaheadFilter::rememberPrefetched(std::uint64_t lpn,
+                                    std::uint32_t pages)
+{
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        if (!prefetched_.insert(lpn + i).second)
+            continue;
+        prefetched_order_.push_back(lpn + i);
+    }
+    while (prefetched_order_.size() > remember_cap_) {
+        prefetched_.erase(prefetched_order_.front());
+        prefetched_order_.pop_front();
+    }
+}
+
+void
+ReadaheadFilter::issuePrefetch(std::uint64_t from)
+{
+    std::uint64_t start = from;
+    const std::uint64_t end =
+        std::min(from + window_pages_, logical_pages_);
+    // Skip pages already prefetched (the window slides one request
+    // at a time, so the leading overlap is the common case).
+    while (start < end && prefetched_.count(start))
+        ++start;
+    if (start >= end)
+        return;
+    ssd::HostRequest pf;
+    pf.id = newId();
+    pf.arrival = eq().now();
+    pf.lpn = start;
+    pf.pages = static_cast<std::uint32_t>(end - start);
+    pf.isRead = true;
+    pending_.insert(pf.id);
+    prefetch_issued_ += pf.pages;
+    rememberPrefetched(pf.lpn, pf.pages);
+    down(pf);
+}
+
+void
+ReadaheadFilter::submit(const ssd::HostRequest &req)
+{
+    if (!req.isRead) {
+        down(req);
+        return;
+    }
+
+    // Accuracy: demand pages that were prefetched count as useful
+    // (each page once).
+    for (std::uint32_t i = 0; i < req.pages; ++i) {
+        if (prefetched_.erase(req.lpn + i))
+            ++prefetch_useful_;
+    }
+
+    ++use_counter_;
+    const std::uint64_t successor = req.lpn + req.pages;
+    for (Stream &s : streams_) {
+        if (s.next == req.lpn) {
+            // The stream continues: forward the demand read first,
+            // then prefetch its successors.
+            s.next = successor;
+            s.lastUse = use_counter_;
+            down(req);
+            issuePrefetch(successor);
+            return;
+        }
+    }
+
+    // New stream (no prefetch on first touch — one random read must
+    // not trigger a window of useless device reads). Replace the
+    // least recently used entry when the table is full.
+    if (streams_.size() < max_streams_) {
+        streams_.push_back(Stream{successor, use_counter_});
+    } else {
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < streams_.size(); ++i)
+            if (streams_[i].lastUse < streams_[victim].lastUse)
+                victim = i;
+        streams_[victim] = Stream{successor, use_counter_};
+    }
+    down(req);
+}
+
+void
+ReadaheadFilter::complete(const ssd::HostCompletion &c)
+{
+    // Our own prefetches are absorbed; everything else passes up.
+    if (pending_.erase(c.id))
+        return;
+    up(c);
+}
+
+void
+ReadaheadFilter::collectStats(ssd::RunStats &s) const
+{
+    s.prefetchIssued += prefetch_issued_;
+    s.prefetchUseful += prefetch_useful_;
+}
+
+} // namespace ssdrr::host::filter

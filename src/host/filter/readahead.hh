@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Readahead filter: detects sequential read streams and prefetches
+ * their successors.
+ *
+ * A small stream table remembers where recent reads left off. A read
+ * that continues a tracked stream triggers a prefetch of the next
+ * windowPages pages: an internal read request sent down the chain
+ * and absorbed on completion (the host never sees it). Stacked above
+ * a cache filter, the prefetch completion fills the cache, so the
+ * stream's next demand read hits in DRAM.
+ *
+ * Accuracy accounting: every prefetched page is remembered until a
+ * demand read consumes it; prefetchUseful / prefetchIssued is the
+ * prefetch hit ratio surfaced through RunStats.
+ */
+
+#ifndef SSDRR_HOST_FILTER_READAHEAD_HH
+#define SSDRR_HOST_FILTER_READAHEAD_HH
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "host/filter/filter.hh"
+
+namespace ssdrr::host::filter {
+
+class ReadaheadFilter : public RequestFilter
+{
+  public:
+    ReadaheadFilter(const FilterSpec &spec, const Context &ctx);
+
+    const char *kind() const override { return "readahead"; }
+    void submit(const ssd::HostRequest &req) override;
+    void complete(const ssd::HostCompletion &c) override;
+    void collectStats(ssd::RunStats &s) const override;
+
+    // ----- observability (unit tests) -----
+    std::uint64_t prefetchIssued() const { return prefetch_issued_; }
+    std::uint64_t prefetchUseful() const { return prefetch_useful_; }
+    std::size_t inflightPrefetches() const { return pending_.size(); }
+
+  private:
+    struct Stream {
+        std::uint64_t next = 0;    ///< expected next lpn
+        std::uint64_t lastUse = 0; ///< logical use counter
+    };
+
+    void issuePrefetch(std::uint64_t from);
+    void rememberPrefetched(std::uint64_t lpn, std::uint32_t pages);
+
+    std::uint32_t window_pages_;
+    std::uint32_t max_streams_;
+    std::uint64_t logical_pages_;
+    /** Bound on the prefetched-page memory (accuracy bookkeeping). */
+    std::size_t remember_cap_;
+
+    std::vector<Stream> streams_;
+    std::uint64_t use_counter_ = 0;
+
+    /** Prefetches in flight below us, absorbed on completion. */
+    std::unordered_set<std::uint64_t> pending_;
+    /** Pages prefetched and not yet consumed by a demand read. */
+    std::unordered_set<std::uint64_t> prefetched_;
+    std::deque<std::uint64_t> prefetched_order_; ///< FIFO bound
+
+    std::uint64_t prefetch_issued_ = 0; ///< pages
+    std::uint64_t prefetch_useful_ = 0; ///< pages later demanded
+
+};
+
+} // namespace ssdrr::host::filter
+
+#endif // SSDRR_HOST_FILTER_READAHEAD_HH

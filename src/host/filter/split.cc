@@ -1,0 +1,155 @@
+#include "host/filter/split.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::host::filter {
+
+SplitCoalesceFilter::SplitCoalesceFilter(const FilterSpec &spec)
+    : max_pages_(std::max<std::uint32_t>(1, spec.maxPages)),
+      coalesce_ticks_(sim::usec(spec.coalesceWindowUs))
+{
+}
+
+void
+SplitCoalesceFilter::dispatch(std::vector<Member> members,
+                              std::uint64_t lpn, std::uint32_t pages,
+                              bool is_read, sim::Tick arrival,
+                              std::uint32_t channel_mask)
+{
+    // Transparent path: one original command, already small enough.
+    // Forward it under its own id with no bookkeeping, so a chain of
+    // pass-through requests is indistinguishable from no filter.
+    if (members.size() == 1 && pages <= max_pages_) {
+        ssd::HostRequest req;
+        req.id = members[0].id;
+        req.arrival = arrival;
+        req.lpn = lpn;
+        req.pages = pages;
+        req.isRead = is_read;
+        req.channelMask = channel_mask;
+        down(req);
+        return;
+    }
+
+    const std::uint64_t key = newId();
+    Bundle &b = bundles_[key];
+    b.isRead = is_read;
+    if (members.size() > 1)
+        coalesced_requests_ += members.size() - 1;
+    b.members = std::move(members);
+
+    std::uint32_t issued = 0;
+    for (std::uint64_t off = 0; off < pages; off += max_pages_) {
+        ssd::HostRequest piece;
+        piece.id = newId();
+        piece.arrival = eq().now();
+        piece.lpn = lpn + off;
+        piece.pages = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(max_pages_, pages - off));
+        piece.isRead = is_read;
+        piece.channelMask = channel_mask;
+        piece_[piece.id] = key;
+        ++issued;
+        ++b.remaining;
+        down(piece);
+    }
+    if (issued > 1)
+        ++split_requests_;
+}
+
+void
+SplitCoalesceFilter::flushStaged()
+{
+    if (!staged_)
+        return;
+    staged_ = false;
+    if (flush_event_ != 0) {
+        eq().cancel(flush_event_);
+        flush_event_ = 0;
+    }
+    dispatch(std::move(staged_members_), staged_lpn_, staged_pages_,
+             staged_read_, staged_arrival_, staged_mask_);
+    staged_members_.clear();
+}
+
+void
+SplitCoalesceFilter::submit(const ssd::HostRequest &req)
+{
+    if (coalesce_ticks_ == 0) {
+        // Split-only mode: no staging, no added latency. Requests
+        // within the cap pass through verbatim.
+        if (req.pages <= max_pages_) {
+            down(req);
+            return;
+        }
+        dispatch({Member{req.id, req.arrival, req.pages}}, req.lpn,
+                 req.pages, req.isRead, req.arrival, req.channelMask);
+        return;
+    }
+
+    // Contiguous same-direction successor within the size cap merges
+    // into the staged request.
+    if (staged_ && req.isRead == staged_read_ &&
+        staged_lpn_ + staged_pages_ == req.lpn &&
+        std::uint64_t{staged_pages_} + req.pages <= max_pages_) {
+        staged_members_.push_back(
+            Member{req.id, req.arrival, req.pages});
+        staged_pages_ += req.pages;
+        return;
+    }
+
+    // Not mergeable: release whatever is staged, then hold this one
+    // for the coalesce window.
+    flushStaged();
+    staged_ = true;
+    staged_members_.assign(1, Member{req.id, req.arrival, req.pages});
+    staged_lpn_ = req.lpn;
+    staged_pages_ = req.pages;
+    staged_read_ = req.isRead;
+    staged_arrival_ = req.arrival;
+    staged_mask_ = req.channelMask;
+    flush_event_ = eq().scheduleAfter(coalesce_ticks_, [this] {
+        flush_event_ = 0;
+        flushStaged();
+    });
+}
+
+void
+SplitCoalesceFilter::complete(const ssd::HostCompletion &c)
+{
+    auto pit = piece_.find(c.id);
+    if (pit == piece_.end()) {
+        up(c); // a transparent pass-through (or someone else's)
+        return;
+    }
+    const std::uint64_t key = pit->second;
+    piece_.erase(pit);
+
+    auto bit = bundles_.find(key);
+    SSDRR_ASSERT(bit != bundles_.end(), "piece for unknown bundle");
+    Bundle &b = bit->second;
+    SSDRR_ASSERT(b.remaining > 0, "bundle already complete");
+    if (--b.remaining > 0)
+        return;
+
+    // Last piece in: every original command completes now, each with
+    // its own end-to-end latency.
+    const sim::Tick now = eq().now();
+    const Bundle done = std::move(b);
+    bundles_.erase(bit);
+    for (const Member &m : done.members) {
+        up(ssd::HostCompletion{m.id, m.arrival, now, done.isRead,
+                               sim::toUsec(now - m.arrival), m.pages});
+    }
+}
+
+void
+SplitCoalesceFilter::collectStats(ssd::RunStats &s) const
+{
+    s.splitRequests += split_requests_;
+    s.coalescedRequests += coalesced_requests_;
+}
+
+} // namespace ssdrr::host::filter

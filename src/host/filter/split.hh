@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Split/coalesce filter: normalizes request sizes before the array's
+ * layout fan-out.
+ *
+ * Splitting: a request larger than maxPages goes down as several
+ * pieces of at most maxPages each; the host-visible completion fires
+ * when the last piece returns. Coalescing (coalesceWindowUs > 0): a
+ * request may be held up to the window for a contiguous same-
+ * direction successor to arrive; merged requests go down as one and
+ * each original command still completes individually upward.
+ *
+ * A request that needs neither (single member, already within
+ * maxPages, no coalesce window) passes through untouched — id,
+ * arrival, and event stream identical to no filter at all.
+ */
+
+#ifndef SSDRR_HOST_FILTER_SPLIT_HH
+#define SSDRR_HOST_FILTER_SPLIT_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "host/filter/filter.hh"
+
+namespace ssdrr::host::filter {
+
+class SplitCoalesceFilter : public RequestFilter
+{
+  public:
+    explicit SplitCoalesceFilter(const FilterSpec &spec);
+
+    const char *kind() const override { return "split"; }
+    void submit(const ssd::HostRequest &req) override;
+    void complete(const ssd::HostCompletion &c) override;
+    void collectStats(ssd::RunStats &s) const override;
+
+    // ----- observability (unit tests) -----
+    std::uint64_t splitRequests() const { return split_requests_; }
+    std::uint64_t coalescedRequests() const
+    {
+        return coalesced_requests_;
+    }
+
+  private:
+    /** One host command folded into a bundle; completed upward
+     *  individually when the bundle's last piece returns. */
+    struct Member {
+        std::uint64_t id = 0;
+        sim::Tick arrival = 0;
+        std::uint32_t pages = 1;
+    };
+
+    struct Bundle {
+        std::vector<Member> members;
+        std::uint32_t remaining = 0; ///< outstanding pieces
+        bool isRead = true;
+    };
+
+    /** Send one (possibly merged) request down, splitting as needed. */
+    void dispatch(std::vector<Member> members, std::uint64_t lpn,
+                  std::uint32_t pages, bool is_read,
+                  sim::Tick arrival, std::uint32_t channel_mask);
+    void flushStaged();
+
+    std::uint32_t max_pages_;
+    sim::Tick coalesce_ticks_;
+
+    // ----- coalescing stage (at most one held request) -----
+    bool staged_ = false;
+    std::vector<Member> staged_members_;
+    std::uint64_t staged_lpn_ = 0;
+    std::uint32_t staged_pages_ = 0;
+    bool staged_read_ = true;
+    sim::Tick staged_arrival_ = 0;
+    std::uint32_t staged_mask_ = 0;
+    sim::EventId flush_event_ = 0;
+
+    // ----- split bookkeeping -----
+    std::unordered_map<std::uint64_t, std::uint64_t> piece_; ///< ->key
+    std::unordered_map<std::uint64_t, Bundle> bundles_;
+
+    std::uint64_t split_requests_ = 0;
+    std::uint64_t coalesced_requests_ = 0;
+};
+
+} // namespace ssdrr::host::filter
+
+#endif // SSDRR_HOST_FILTER_SPLIT_HH

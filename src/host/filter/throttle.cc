@@ -1,0 +1,60 @@
+#include "host/filter/throttle.hh"
+
+namespace ssdrr::host::filter {
+
+ThrottleFilter::ThrottleFilter(const FilterSpec &spec)
+{
+    bucket_.configure(spec.rateIops, spec.burst);
+}
+
+void
+ThrottleFilter::submit(const ssd::HostRequest &req)
+{
+    if (!bucket_.configured()) {
+        down(req);
+        return;
+    }
+    bucket_.refill(eq().now());
+    if (queue_.empty() && bucket_.hasToken()) {
+        bucket_.consume();
+        down(req);
+        return;
+    }
+    ++throttled_;
+    queue_.push_back(req);
+    armDrain();
+}
+
+void
+ThrottleFilter::armDrain()
+{
+    if (drain_armed_ || queue_.empty())
+        return;
+    drain_armed_ = true;
+    const sim::Tick at = bucket_.nextTokenTick(eq().now());
+    eq().schedule(at, [this] {
+        drain_armed_ = false;
+        drain();
+    });
+}
+
+void
+ThrottleFilter::drain()
+{
+    bucket_.refill(eq().now());
+    while (!queue_.empty() && bucket_.hasToken()) {
+        bucket_.consume();
+        const ssd::HostRequest req = queue_.front();
+        queue_.pop_front();
+        down(req);
+    }
+    armDrain();
+}
+
+void
+ThrottleFilter::collectStats(ssd::RunStats &s) const
+{
+    s.throttledRequests += throttled_;
+}
+
+} // namespace ssdrr::host::filter

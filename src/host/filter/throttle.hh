@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Throttle filter: token-bucket admission control as a chain stage.
+ *
+ * The same bucket math the per-queue QoS throttle uses (see
+ * token_bucket.hh), applied to the whole chain position: requests
+ * that find a token forward synchronously; the rest queue in FIFO
+ * order and drain as tokens accrue. throttledRequests counts the
+ * requests that had to wait.
+ */
+
+#ifndef SSDRR_HOST_FILTER_THROTTLE_HH
+#define SSDRR_HOST_FILTER_THROTTLE_HH
+
+#include <deque>
+
+#include "host/filter/filter.hh"
+#include "host/filter/token_bucket.hh"
+
+namespace ssdrr::host::filter {
+
+class ThrottleFilter : public RequestFilter
+{
+  public:
+    explicit ThrottleFilter(const FilterSpec &spec);
+
+    const char *kind() const override { return "throttle"; }
+    void submit(const ssd::HostRequest &req) override;
+    void collectStats(ssd::RunStats &s) const override;
+
+    // ----- observability (unit tests) -----
+    std::uint64_t throttledRequests() const { return throttled_; }
+    std::size_t queued() const { return queue_.size(); }
+
+  private:
+    void drain();
+    void armDrain();
+
+    TokenBucket bucket_;
+    std::deque<ssd::HostRequest> queue_;
+    bool drain_armed_ = false;
+    std::uint64_t throttled_ = 0;
+};
+
+} // namespace ssdrr::host::filter
+
+#endif // SSDRR_HOST_FILTER_THROTTLE_HH

@@ -1,0 +1,39 @@
+#include "host/filter/xfer.hh"
+
+namespace ssdrr::host::filter {
+
+XferFilter::XferFilter(const FilterSpec &spec, const Context &ctx)
+    : us_per_kb_(spec.usPerKb),
+      page_kb_(static_cast<double>(ctx.pageBytes) / 1024.0)
+{
+}
+
+void
+XferFilter::submit(const ssd::HostRequest &req)
+{
+    const sim::Tick xfer = xferTicks(req.pages);
+    if (xfer == 0) {
+        down(req);
+        return;
+    }
+    // The command reaches the array once its bytes crossed the link;
+    // arrival stays at issue time so end-to-end latency includes the
+    // transfer.
+    eq().scheduleAfter(xfer, [this, req] { down(req); });
+}
+
+void
+XferFilter::complete(const ssd::HostCompletion &c)
+{
+    const sim::Tick xfer = xferTicks(c.pages);
+    if (xfer == 0) {
+        up(c);
+        return;
+    }
+    ssd::HostCompletion d = c;
+    d.finish = eq().now() + xfer;
+    d.responseUs = sim::toUsec(d.finish - d.arrival);
+    eq().schedule(d.finish, [this, d] { up(d); });
+}
+
+} // namespace ssdrr::host::filter

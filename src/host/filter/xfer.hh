@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Transfer filter: host-link transfer time charged per request.
+ *
+ * Models the interconnect data-movement cost that used to live in
+ * SsdArray::Options::transferUsPerKb. Submissions are delayed by
+ * usPerKb × request size before reaching the array; completions are
+ * delayed by the same amount on the way back (the data has to cross
+ * the link in both directions for writes and reads respectively, but
+ * the simulator has always charged both edges, so the filter does
+ * too). Charged per host command, not per layout subrequest.
+ */
+
+#ifndef SSDRR_HOST_FILTER_XFER_HH
+#define SSDRR_HOST_FILTER_XFER_HH
+
+#include "host/filter/filter.hh"
+
+namespace ssdrr::host::filter {
+
+class XferFilter : public RequestFilter
+{
+  public:
+    XferFilter(const FilterSpec &spec, const Context &ctx);
+
+    const char *kind() const override { return "xfer"; }
+    void submit(const ssd::HostRequest &req) override;
+    void complete(const ssd::HostCompletion &c) override;
+
+  private:
+    sim::Tick xferTicks(std::uint32_t pages) const
+    {
+        return sim::usec(us_per_kb_ * page_kb_ * pages);
+    }
+
+    double us_per_kb_;
+    double page_kb_;
+};
+
+} // namespace ssdrr::host::filter
+
+#endif // SSDRR_HOST_FILTER_XFER_HH

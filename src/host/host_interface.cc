@@ -7,13 +7,21 @@
 namespace ssdrr::host {
 
 HostInterface::HostInterface(SsdArray &array, Options opt)
-    : array_(array), opt_(opt),
-      device_slots_(opt.maxDeviceInflight > 0 ? opt.maxDeviceInflight
-                                              : 8 * array.drives()),
-      arbiter_(opt.arbitration)
+    : array_(array), opt_(std::move(opt)),
+      device_slots_(opt_.maxDeviceInflight > 0 ? opt_.maxDeviceInflight
+                                               : 8 * array.drives()),
+      arbiter_(opt_.arbitration)
 {
-    array_.onHostComplete(
+    filter::Context fctx;
+    fctx.eq = &array_.eventQueue();
+    fctx.logicalPages = array_.logicalPages();
+    fctx.pageBytes = array_.pageBytes();
+    chain_.build(opt_.filters, fctx);
+    chain_.bind(
+        [this](const ssd::HostRequest &req) { array_.submit(req); },
         [this](const ssd::HostCompletion &c) { onArrayComplete(c); });
+    array_.onHostComplete(
+        [this](const ssd::HostCompletion &c) { chain_.complete(c); });
 }
 
 std::uint32_t
@@ -62,7 +70,7 @@ HostInterface::pump()
         SqEntry e = qps_[qid].fetch();
         owner_[e.req.id] = e.qid;
         ++device_inflight_;
-        array_.submit(e.req);
+        chain_.submit(e.req);
     }
 
     // If free device slots remain but every queue with work is

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "host/array.hh"
+#include "host/filter/filter.hh"
 #include "host/queue_pair.hh"
 #include "sim/callback.hh"
 
@@ -41,6 +42,13 @@ class HostInterface
          * two per channel on the default 4-channel geometry).
          */
         std::uint32_t maxDeviceInflight = 0;
+        /**
+         * Ordered filter chain between command fetch and the array
+         * (host/filter/filter.hh). Fetched commands travel down it,
+         * array completions travel up it; empty (the default) is a
+         * wire — bit-identical to the pre-chain engine.
+         */
+        std::vector<filter::FilterSpec> filters;
     };
 
     HostInterface(SsdArray &array, Options opt);
@@ -80,12 +88,23 @@ class HostInterface
     std::uint32_t deviceInflight() const { return device_inflight_; }
     std::uint32_t deviceSlots() const { return device_slots_; }
 
+    /** The filter chain between command fetch and the array. */
+    const filter::FilterChain &filterChain() const { return chain_; }
+    /** Fold per-filter counters into @p s (no-op on an empty chain). */
+    void collectFilterStats(ssd::RunStats &s) const
+    {
+        chain_.collectStats(s);
+    }
+
   private:
     void pump();
     void onArrayComplete(const ssd::HostCompletion &c);
 
     SsdArray &array_;
     Options opt_;
+    /** Request filter chain; commands enter it in pump() and its
+     *  downstream endpoint submits to the array. */
+    filter::FilterChain chain_;
     std::uint32_t device_slots_;
     std::vector<QueuePair> qps_;
     std::vector<CompletionFn> callbacks_;

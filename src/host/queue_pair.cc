@@ -17,10 +17,7 @@ QueuePair::QueuePair(std::uint32_t qid, std::uint32_t depth,
     SSDRR_ASSERT(qos_.burst >= 0.0, "negative burst");
     SSDRR_ASSERT(qos_.sloUs >= 0.0, "negative SLO");
     slo_ticks_ = sim::usec(qos_.sloUs);
-    if (qos_.rateIops > 0.0) {
-        burst_cmds_ = qos_.burst > 0.0 ? qos_.burst : 1.0;
-        tokens_ = burst_cmds_; // start full: the first burst is free
-    }
+    bucket_.configure(qos_.rateIops, qos_.burst);
 }
 
 std::uint32_t
@@ -34,14 +31,7 @@ QueuePair::freeSlots() const
 void
 QueuePair::refill(sim::Tick now)
 {
-    if (qos_.rateIops <= 0.0)
-        return;
-    SSDRR_ASSERT(now >= last_refill_, "token bucket running backwards");
-    tokens_ = std::min(burst_cmds_,
-                       tokens_ + qos_.rateIops * 1e-9 *
-                                     static_cast<double>(now -
-                                                         last_refill_));
-    last_refill_ = now;
+    bucket_.refill(now);
 }
 
 sim::Tick
@@ -49,13 +39,7 @@ QueuePair::nextTokenTick(sim::Tick now) const
 {
     if (!throttled())
         return sim::kTickNever;
-    const double deficit = 1.0 - tokens_;
-    // Round up and pad by one tick: undershooting would schedule a
-    // fetch round that still finds the bucket empty and re-schedules
-    // itself at the same tick forever.
-    const double wait_ns =
-        std::ceil(deficit / qos_.rateIops * 1e9) + 1.0;
-    return now + static_cast<sim::Tick>(wait_ns);
+    return bucket_.nextTokenTick(now);
 }
 
 sim::Tick
@@ -86,9 +70,10 @@ SqEntry
 QueuePair::fetch()
 {
     SSDRR_ASSERT(!sq_.empty(), "fetch from empty SQ ", qid_);
-    if (qos_.rateIops > 0.0) {
-        SSDRR_ASSERT(tokens_ >= 1.0, "fetch from throttled SQ ", qid_);
-        tokens_ -= 1.0;
+    if (bucket_.configured()) {
+        SSDRR_ASSERT(bucket_.hasToken(), "fetch from throttled SQ ",
+                     qid_);
+        bucket_.consume();
     }
     SqEntry e = sq_.front();
     sq_.pop_front();

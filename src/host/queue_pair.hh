@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "host/filter/token_bucket.hh"
 #include "ssd/ssd.hh"
 
 namespace ssdrr::host {
@@ -72,12 +73,14 @@ class QueuePair
     /** Has a posted command AND a rate-limit token for it. */
     bool fetchable() const
     {
-        return !sq_.empty() && (qos_.rateIops <= 0.0 || tokens_ >= 1.0);
+        return !sq_.empty() &&
+               (!bucket_.configured() || bucket_.hasToken());
     }
     /** Has posted commands it cannot fetch yet (bucket empty). */
     bool throttled() const
     {
-        return !sq_.empty() && qos_.rateIops > 0.0 && tokens_ < 1.0;
+        return !sq_.empty() && bucket_.configured() &&
+               !bucket_.hasToken();
     }
 
     /**
@@ -126,9 +129,8 @@ class QueuePair
     std::uint32_t weight_;
     QueueQos qos_;
     sim::Tick slo_ticks_ = 0;
-    double tokens_ = 0.0;     ///< current bucket level (commands)
-    double burst_cmds_ = 0.0; ///< bucket depth (commands)
-    sim::Tick last_refill_ = 0;
+    /** QoS rate limiter (unconfigured when rateIops == 0). */
+    filter::TokenBucket bucket_;
     std::uint32_t inflight_ = 0;
     std::uint64_t total_fetched_ = 0;
     std::uint64_t total_completed_ = 0;

@@ -172,10 +172,19 @@ runScenario(const ScenarioConfig &cfg)
     aopt.failedDrives = cfg.failedDrives;
     aopt.hostLink = sim::usec(cfg.hostLinkUs);
     aopt.threads = cfg.threads;
-    aopt.transferUsPerKb = cfg.transferUsPerKb;
     SsdArray array(cfg.ssd, cfg.mech, aopt);
     array.precondition();
-    HostInterface hif(array, cfg.host);
+    HostInterface::Options hopt = cfg.host;
+    if (cfg.transferUsPerKb > 0.0) {
+        // Spec-level sugar: the transfer knob becomes an implicit
+        // xfer filter at the bottom of the chain (closest to the
+        // array, below any cache — a DRAM hit pays no link cost).
+        filter::FilterSpec x;
+        x.type = "xfer";
+        x.usPerKb = cfg.transferUsPerKb;
+        hopt.filters.push_back(x);
+    }
+    HostInterface hif(array, std::move(hopt));
 
     const std::uint64_t slice =
         array.logicalPages() / cfg.tenants.size();
@@ -250,6 +259,7 @@ runScenario(const ScenarioConfig &cfg)
     for (auto &t : tenants)
         res.tenants.push_back(t->stats());
     res.array = array.stats();
+    hif.collectFilterStats(res.array);
     for (std::uint32_t q = 0; q < hif.queuePairs(); ++q)
         res.fetchedPerQueue.push_back(hif.queuePair(q).totalFetched());
     return res;

@@ -84,8 +84,10 @@ struct ScenarioConfig {
     std::vector<TenantSpec> tenants;
     /**
      * Link transfer cost in microseconds per KiB moved, charged per
-     * subrequest on dispatch and completion in addition to the fixed
-     * hostLinkUs turnaround (0 = off, the legacy event stream).
+     * host command on dispatch and completion in addition to the
+     * fixed hostLinkUs turnaround (0 = off, the legacy event
+     * stream). Sugar for an implicit "xfer" filter appended at the
+     * bottom of host.filters (see host/filter/xfer.hh).
      */
     double transferUsPerKb = 0.0;
     /**

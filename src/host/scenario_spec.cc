@@ -236,6 +236,81 @@ tenantFromJson(const Value &v, const std::string &where)
     return t;
 }
 
+Value
+filterToJson(const filter::FilterSpec &f)
+{
+    // Emit only the selected type's knobs: the other fields are
+    // per-type defaults, and fromJson restores them, so the
+    // round-trip is exact and the files stay readable.
+    Value o = Value::object();
+    o.set("type", Value(f.type));
+    if (f.type == "cache") {
+        o.set("sizeBytes", Value(f.sizeBytes));
+        o.set("eviction", Value(f.eviction));
+        o.set("admission", Value(f.admission));
+        o.set("hitLatencyUs", Value(f.hitLatencyUs));
+    } else if (f.type == "readahead") {
+        o.set("windowPages", Value(std::uint64_t{f.windowPages}));
+        o.set("streams", Value(std::uint64_t{f.streams}));
+    } else if (f.type == "split") {
+        o.set("maxPages", Value(std::uint64_t{f.maxPages}));
+        o.set("coalesceWindowUs", Value(f.coalesceWindowUs));
+    } else if (f.type == "delay") {
+        o.set("delayUs", Value(f.delayUs));
+        o.set("applies", Value(f.applies));
+    } else if (f.type == "throttle") {
+        o.set("rateIops", Value(f.rateIops));
+        o.set("burst", Value(f.burst));
+    } else if (f.type == "xfer") {
+        o.set("usPerKb", Value(f.usPerKb));
+    }
+    return o;
+}
+
+filter::FilterSpec
+filterFromJson(const Value &v, const std::string &where)
+{
+    requireObject(v, where);
+    filter::FilterSpec f;
+    f.type = getString(v, "type", where, "");
+    if (f.type == "cache") {
+        checkKeys(v, where,
+                  {"type", "sizeBytes", "eviction", "admission",
+                   "hitLatencyUs"});
+        f.sizeBytes = getUint(v, "sizeBytes", where, f.sizeBytes);
+        f.eviction = getString(v, "eviction", where, f.eviction);
+        f.admission = getString(v, "admission", where, f.admission);
+        f.hitLatencyUs =
+            getNumber(v, "hitLatencyUs", where, f.hitLatencyUs);
+    } else if (f.type == "readahead") {
+        checkKeys(v, where, {"type", "windowPages", "streams"});
+        f.windowPages =
+            getUint32(v, "windowPages", where, f.windowPages);
+        f.streams = getUint32(v, "streams", where, f.streams);
+    } else if (f.type == "split") {
+        checkKeys(v, where, {"type", "maxPages", "coalesceWindowUs"});
+        f.maxPages = getUint32(v, "maxPages", where, f.maxPages);
+        f.coalesceWindowUs = getNumber(v, "coalesceWindowUs", where,
+                                       f.coalesceWindowUs);
+    } else if (f.type == "delay") {
+        checkKeys(v, where, {"type", "delayUs", "applies"});
+        f.delayUs = getNumber(v, "delayUs", where, f.delayUs);
+        f.applies = getString(v, "applies", where, f.applies);
+    } else if (f.type == "throttle") {
+        checkKeys(v, where, {"type", "rateIops", "burst"});
+        f.rateIops = getNumber(v, "rateIops", where, f.rateIops);
+        f.burst = getNumber(v, "burst", where, f.burst);
+    } else if (f.type == "xfer") {
+        checkKeys(v, where, {"type", "usPerKb"});
+        f.usPerKb = getNumber(v, "usPerKb", where, f.usPerKb);
+    } else {
+        specFail(where + ".type: unknown filter \"" + f.type +
+                 "\" (known: cache, readahead, split, delay, "
+                 "throttle, xfer)");
+    }
+    return f;
+}
+
 } // namespace
 
 // --------------------------------------------------------- SsdSpec
@@ -295,7 +370,7 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
            maxDeviceInflight == o.maxDeviceInflight &&
            hostLinkUs == o.hostLinkUs &&
            transferUsPerKb == o.transferUsPerKb &&
-           tenants == o.tenants;
+           filters == o.filters && tenants == o.tenants;
 }
 
 // ---------------------------------------------------- serialization
@@ -341,6 +416,12 @@ ScenarioSpec::toJson() const
            Value(std::uint64_t{maxDeviceInflight}));
     hv.set("hostLinkUs", Value(hostLinkUs));
     hv.set("transferUsPerKb", Value(transferUsPerKb));
+    if (!filters.empty()) {
+        Value fv = Value::array();
+        for (const filter::FilterSpec &f : filters)
+            fv.push(filterToJson(f));
+        hv.set("filters", std::move(fv));
+    }
     root.set("host", std::move(hv));
 
     Value tv = Value::array();
@@ -442,7 +523,7 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
         requireObject(*hv, "host");
         checkKeys(*hv, "host",
                   {"queueDepth", "arbitration", "maxDeviceInflight",
-                   "hostLinkUs", "transferUsPerKb"});
+                   "hostLinkUs", "transferUsPerKb", "filters"});
         spec.queueDepth =
             getUint32(*hv, "queueDepth", "host", spec.queueDepth);
         spec.arbitration =
@@ -454,6 +535,17 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
         spec.transferUsPerKb = getNumber(*hv, "transferUsPerKb",
                                          "host",
                                          spec.transferUsPerKb);
+        if (const Value *fv = hv->find("filters")) {
+            if (!fv->isArray())
+                specFail("host.filters: expected an array of filter "
+                         "objects, got " +
+                         std::string(fv->typeName()));
+            std::size_t i = 0;
+            for (const Value &f : fv->elements())
+                spec.filters.push_back(filterFromJson(
+                    f,
+                    "host.filters[" + std::to_string(i++) + "]"));
+        }
     }
 
     if (const Value *tv = v.find("tenants")) {
@@ -613,6 +705,70 @@ ScenarioSpec::validate() const
     if (!(transferUsPerKb >= 0.0) || transferUsPerKb > 1e9)
         specFail("host.transferUsPerKb: must be a per-KiB transfer "
                  "cost in [0, 1e9] microseconds");
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+        const filter::FilterSpec &f = filters[i];
+        const std::string w =
+            "host.filters[" + std::to_string(i) + "]";
+        if (f.type == "cache") {
+            if (f.sizeBytes < cfg.pageBytes)
+                specFail(w + ".sizeBytes: " +
+                         std::to_string(f.sizeBytes) +
+                         " holds no whole page (the \"" +
+                         ssd.geometry + "\" geometry's page is " +
+                         std::to_string(cfg.pageBytes) + " bytes)");
+            if (f.sizeBytes > (1ull << 40))
+                specFail(w + ".sizeBytes: " +
+                         std::to_string(f.sizeBytes) +
+                         " exceeds 1 TiB of host DRAM");
+            if (f.eviction != "lru" && f.eviction != "fifo")
+                specFail(w + ".eviction: unknown policy \"" +
+                         f.eviction +
+                         "\" (expected \"lru\" or \"fifo\")");
+            if (f.admission != "reads" && f.admission != "all")
+                specFail(w + ".admission: unknown policy \"" +
+                         f.admission +
+                         "\" (expected \"reads\" or \"all\")");
+            if (!(f.hitLatencyUs >= 0.0) || f.hitLatencyUs > 1e6)
+                specFail(w + ".hitLatencyUs: must be a DRAM service "
+                             "latency in [0, 1e6] microseconds");
+        } else if (f.type == "readahead") {
+            if (f.windowPages < 1 || f.windowPages > 1024)
+                specFail(w + ".windowPages: must be in [1, 1024]");
+            if (f.streams < 1 || f.streams > 1024)
+                specFail(w + ".streams: must be in [1, 1024]");
+        } else if (f.type == "split") {
+            if (f.maxPages < 1 || f.maxPages > 4096)
+                specFail(w + ".maxPages: must be in [1, 4096]");
+            if (!(f.coalesceWindowUs >= 0.0) ||
+                f.coalesceWindowUs > 1e9)
+                specFail(w + ".coalesceWindowUs: must be a hold "
+                             "window in [0, 1e9] microseconds");
+        } else if (f.type == "delay") {
+            if (!(f.delayUs >= 0.0) || f.delayUs > 1e9)
+                specFail(w + ".delayUs: must be an added latency in "
+                             "[0, 1e9] microseconds");
+            if (f.applies != "all" && f.applies != "reads" &&
+                f.applies != "writes")
+                specFail(w + ".applies: unknown selector \"" +
+                         f.applies +
+                         "\" (expected \"all\", \"reads\", or "
+                         "\"writes\")");
+        } else if (f.type == "throttle") {
+            if (!(f.rateIops > 0.0) || f.rateIops > 1e12)
+                specFail(w + ".rateIops: must be a refill rate in "
+                             "(0, 1e12] commands/second");
+            if (!(f.burst >= 0.0))
+                specFail(w + ".burst: must be >= 0");
+        } else if (f.type == "xfer") {
+            if (!(f.usPerKb > 0.0) || f.usPerKb > 1e9)
+                specFail(w + ".usPerKb: must be a per-KiB transfer "
+                             "cost in (0, 1e9] microseconds");
+        } else {
+            specFail(w + ".type: unknown filter \"" + f.type +
+                     "\" (known: cache, readahead, split, delay, "
+                     "throttle, xfer)");
+        }
+    }
     if (queueDepth < 1)
         specFail("host.queueDepth: must be >= 1");
     Arbitration arb;
@@ -736,6 +892,7 @@ ScenarioSpec::toConfig(core::Mechanism mech, TraceCache *cache) const
     sc.host.queueDepth = queueDepth;
     sc.host.arbitration = parseArbitration(arbitration);
     sc.host.maxDeviceInflight = maxDeviceInflight;
+    sc.host.filters = filters;
     sc.hostLinkUs = hostLinkUs;
     sc.transferUsPerKb = transferUsPerKb;
     sc.threads = threads;
@@ -912,6 +1069,31 @@ ScenarioBuilder::maxDeviceInflight(std::uint32_t n)
 {
     spec_.maxDeviceInflight = n;
     return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::addFilter(const filter::FilterSpec &spec)
+{
+    spec_.filters.push_back(spec);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::dramCache(std::uint64_t sizeBytes)
+{
+    filter::FilterSpec f;
+    f.type = "cache";
+    f.sizeBytes = sizeBytes;
+    return addFilter(f);
+}
+
+ScenarioBuilder &
+ScenarioBuilder::readahead(std::uint32_t windowPages)
+{
+    filter::FilterSpec f;
+    f.type = "readahead";
+    f.windowPages = windowPages;
+    return addFilter(f);
 }
 
 ScenarioBuilder &

@@ -112,11 +112,20 @@ struct ScenarioSpec {
     double hostLinkUs = 0.0;
     /**
      * Link transfer cost in microseconds per KiB moved, charged per
-     * subrequest on dispatch and completion in addition to the fixed
-     * hostLinkUs turnaround. 0 (default) keeps the legacy event
-     * stream on either engine.
+     * host command on dispatch and completion in addition to the
+     * fixed hostLinkUs turnaround. 0 (default) keeps the legacy
+     * event stream on either engine. Sugar for an implicit "xfer"
+     * filter appended below host.filters.
      */
     double transferUsPerKb = 0.0;
+    /**
+     * Ordered host-side filter chain (JSON array "host.filters").
+     * Requests travel down it first-to-last before the array;
+     * completions travel up it last-to-first. Empty (default) is a
+     * wire — bit-identical to the pre-chain engine. See
+     * host/filter/filter.hh for the filter types and their knobs.
+     */
+    std::vector<filter::FilterSpec> filters;
     std::vector<TenantSpec> tenants;
 
     /**
@@ -223,6 +232,14 @@ class ScenarioBuilder
     ScenarioBuilder &arbitration(const std::string &policy);
     ScenarioBuilder &arbitration(Arbitration policy);
     ScenarioBuilder &maxDeviceInflight(std::uint32_t n);
+
+    // ----- host filter chain -----
+    /** Append a filter to host.filters (order = chain order). */
+    ScenarioBuilder &addFilter(const filter::FilterSpec &spec);
+    /** Sugar: append a DRAM read cache of @p sizeBytes. */
+    ScenarioBuilder &dramCache(std::uint64_t sizeBytes);
+    /** Sugar: append a readahead filter with @p windowPages. */
+    ScenarioBuilder &readahead(std::uint32_t windowPages);
 
     // ----- tenants -----
     /** Append a tenant; subsequent per-tenant setters apply to it. */

@@ -123,7 +123,19 @@ writeBenchJson(const std::string &path, const std::string &label,
         f << "      \"p99_degraded_read_us\": "
           << fixed3(r.p99DegradedReadUs) << ",\n";
         f << "      \"p999_degraded_read_us\": "
-          << fixed3(r.p999DegradedReadUs) << "\n";
+          << fixed3(r.p999DegradedReadUs) << ",\n";
+        f << "      \"cache_hits\": " << r.cacheHits << ",\n";
+        f << "      \"cache_misses\": " << r.cacheMisses << ",\n";
+        f << "      \"cache_evictions\": " << r.cacheEvictions
+          << ",\n";
+        f << "      \"prefetch_issued\": " << r.prefetchIssued
+          << ",\n";
+        f << "      \"prefetch_useful\": " << r.prefetchUseful
+          << ",\n";
+        f << "      \"host_p99_read_us\": " << fixed3(r.hostP99ReadUs)
+          << ",\n";
+        f << "      \"unreliable\": "
+          << (r.unreliable ? "true" : "false") << "\n";
         f << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     f << "  ]\n";

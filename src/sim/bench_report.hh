@@ -56,6 +56,22 @@ struct BenchRun {
     std::uint64_t parityWrites = 0;
     double p99DegradedReadUs = 0.0;
     double p999DegradedReadUs = 0.0;
+    // ----- host filter-chain accounting (informational, not
+    // digested: zero outside the cached-workload sections, and the
+    // golden digest predates the chain) -----
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEvictions = 0;
+    std::uint64_t prefetchIssued = 0;
+    std::uint64_t prefetchUseful = 0;
+    double hostP99ReadUs = 0.0;
+    /**
+     * True when the measurement environment cannot support the run's
+     * premise (e.g. a 4-thread speedup measured on fewer than 4
+     * hardware threads): keep the entry for trajectory continuity but
+     * flag it so dashboards exclude it.
+     */
+    bool unreliable = false;
 };
 
 /**

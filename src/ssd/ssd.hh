@@ -116,6 +116,29 @@ struct RunStats {
     /** Page-profile cache hits/misses (read-path memoization). */
     std::uint64_t profileCacheHits = 0;
     std::uint64_t profileCacheMisses = 0;
+    // ----- host filter chain accounting (host/filter/; zero when
+    // the chain is empty) -----
+    /** DRAM read-cache hits / misses (requests) and evicted pages. */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEvictions = 0;
+    /** Readahead pages prefetched / later consumed by demand reads. */
+    std::uint64_t prefetchIssued = 0;
+    std::uint64_t prefetchUseful = 0;
+    /** Requests split into pieces / merged away by coalescing. */
+    std::uint64_t splitRequests = 0;
+    std::uint64_t coalescedRequests = 0;
+    /** Requests held by a delay filter. */
+    std::uint64_t delayedRequests = 0;
+    /** Requests that waited for a throttle-filter token. */
+    std::uint64_t throttledRequests = 0;
+    /** Host-surface read view (above the chain: cache hits included,
+     *  prefetches excluded). Zero when the chain is empty. */
+    std::uint64_t hostReads = 0;
+    double avgHostReadUs = 0.0;
+    double p50HostReadUs = 0.0;
+    double p99HostReadUs = 0.0;
+    double p999HostReadUs = 0.0;
     /**
      * Events executed on the event queue driving this SSD. Drives
      * sharing a queue (legacy host::SsdArray) all report the

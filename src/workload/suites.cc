@@ -61,6 +61,14 @@ allWorkloads()
     auto all = msrcSuite();
     auto ycsb = ycsbSuite();
     all.insert(all.end(), ycsb.begin(), ycsb.end());
+    // seq_scan (not in Table 2): analytics-style cold-region scans.
+    // Most reads continue a sequential stream in multi-page chunks,
+    // the access shape host-side readahead exists for; kept last so
+    // the twelve Table-2 entries stay at their historical indices.
+    SyntheticSpec scan = spec("seq_scan", 0.95, 0.8, 2000.0, 0.7);
+    scan.seqRatio = 0.7;
+    scan.meanPages = 4.0;
+    all.push_back(scan);
     return all;
 }
 

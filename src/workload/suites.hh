@@ -2,7 +2,9 @@
  * @file
  * The twelve evaluated workloads (paper Table 2): six MSR-Cambridge
  * enterprise traces and six YCSB cloud-serving workloads, expressed
- * as synthetic specs matching the published read/cold ratios.
+ * as synthetic specs matching the published read/cold ratios — plus
+ * seq_scan, a scan-heavy extra used by the host-side filter-chain
+ * (readahead/cache) scenarios.
  */
 
 #ifndef SSDRR_WORKLOAD_SUITES_HH
@@ -20,7 +22,8 @@ std::vector<SyntheticSpec> msrcSuite();
 /** YCSB-A .. YCSB-F. */
 std::vector<SyntheticSpec> ycsbSuite();
 
-/** All twelve, MSRC first (Table 2 order). */
+/** All thirteen: the twelve Table-2 entries, MSRC first, then
+ *  seq_scan (sequential-heavy cold scans for readahead/cache runs). */
 std::vector<SyntheticSpec> allWorkloads();
 
 /** Find a spec by name; fatal if unknown. */

@@ -50,6 +50,8 @@ generateSynthetic(const SyntheticSpec &spec, std::uint64_t logical_pages,
     recs.reserve(requests);
     double t_ns = 0.0;
     const double mean_gap_ns = 1e9 / spec.iops;
+    // Sequential-scan cursor over the cold region (seqRatio > 0).
+    std::uint64_t seq_next = cold_base;
 
     for (std::uint64_t i = 0; i < requests; ++i) {
         t_ns += rng.exponential(1.0 / mean_gap_ns);
@@ -59,6 +61,18 @@ generateSynthetic(const SyntheticSpec &spec, std::uint64_t logical_pages,
         r.pages = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(1 + rng.geometric(size_p),
                                     spec.maxPages));
+        // The seqRatio > 0 guard short-circuits the chance() draw, so
+        // seqRatio == 0 consumes exactly the legacy RNG stream and
+        // every Table-2 trace stays bit-identical.
+        if (r.isRead && spec.seqRatio > 0.0 &&
+            rng.chance(spec.seqRatio)) {
+            if (seq_next + r.pages > cold_base + cold_pages)
+                seq_next = cold_base; // wrap the scan
+            r.lpn = seq_next;
+            seq_next += r.pages;
+            recs.push_back(r);
+            continue;
+        }
         if (r.isRead && rng.chance(spec.coldRatio)) {
             const std::uint64_t off = cold_pick(rng);
             r.lpn = cold_base + std::min(off, cold_pages - r.pages);

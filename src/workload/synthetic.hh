@@ -35,6 +35,13 @@ struct SyntheticSpec {
     double footprintFraction = 0.5; ///< of logical space touched
     double meanPages = 1.3;   ///< mean request size in pages
     std::uint32_t maxPages = 8;
+    /**
+     * Fraction of reads that continue a sequential scan of the cold
+     * region instead of drawing a Zipfian page (0 = fully random,
+     * the Table-2 default). Models scan-heavy tenants whose streams
+     * host-side readahead can detect.
+     */
+    double seqRatio = 0.0;
 };
 
 /**

@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Unit tests for the host-side request filter chain
+ * (src/host/filter/): per-filter behavior at its edges, the empty
+ * chain's transparency, and the token bucket the throttle filter and
+ * the queue-pair QoS path share.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "host/filter/filter.hh"
+#include "host/filter/token_bucket.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace ssdrr::host::filter {
+namespace {
+
+/**
+ * A chain wired between a scripted host and a fake array: everything
+ * reaching the array endpoint is recorded (with its submit tick) and,
+ * by default, completed back up the chain after a fixed latency.
+ */
+class ChainHarness
+{
+  public:
+    explicit ChainHarness(const std::vector<FilterSpec> &specs,
+                          double array_latency_us = 100.0)
+        : array_latency_(sim::usec(array_latency_us))
+    {
+        Context ctx;
+        ctx.eq = &eq;
+        ctx.logicalPages = 1 << 20;
+        ctx.pageBytes = kPageBytes;
+        chain.build(specs, ctx);
+        chain.bind(
+            [this](const ssd::HostRequest &r) {
+                submitted.push_back(r);
+                submitTicks.push_back(eq.now());
+                const sim::Tick done = eq.now() + array_latency_;
+                eq.schedule(done, [this, r, done] {
+                    chain.complete({r.id, r.arrival, done, r.isRead,
+                                    sim::toUsec(done - r.arrival),
+                                    r.pages});
+                });
+            },
+            [this](const ssd::HostCompletion &c) {
+                completed.push_back(c);
+            });
+    }
+
+    void
+    read(std::uint64_t id, std::uint64_t lpn, std::uint32_t pages = 1)
+    {
+        ssd::HostRequest r;
+        r.id = id;
+        r.arrival = eq.now();
+        r.lpn = lpn;
+        r.pages = pages;
+        r.isRead = true;
+        chain.submit(r);
+    }
+
+    void
+    write(std::uint64_t id, std::uint64_t lpn, std::uint32_t pages = 1)
+    {
+        ssd::HostRequest r;
+        r.id = id;
+        r.arrival = eq.now();
+        r.lpn = lpn;
+        r.pages = pages;
+        r.isRead = false;
+        chain.submit(r);
+    }
+
+    /** Drain the event queue and return the collected counters. */
+    ssd::RunStats
+    runAndCollect()
+    {
+        eq.run();
+        ssd::RunStats s;
+        chain.collectStats(s);
+        return s;
+    }
+
+    /** Count of array submissions for @p lpn (demand or prefetch). */
+    std::size_t
+    arrayReadsOf(std::uint64_t lpn) const
+    {
+        std::size_t n = 0;
+        for (const ssd::HostRequest &r : submitted)
+            if (r.isRead && r.lpn <= lpn && lpn < r.lpn + r.pages)
+                ++n;
+        return n;
+    }
+
+    static constexpr std::uint32_t kPageBytes = 16384;
+
+    sim::EventQueue eq;
+    FilterChain chain;
+    std::vector<ssd::HostRequest> submitted;
+    std::vector<sim::Tick> submitTicks;
+    std::vector<ssd::HostCompletion> completed;
+
+  private:
+    sim::Tick array_latency_;
+};
+
+FilterSpec
+cacheSpec(std::uint64_t pages, const std::string &eviction = "lru",
+          const std::string &admission = "reads")
+{
+    FilterSpec f;
+    f.type = "cache";
+    f.sizeBytes = pages * ChainHarness::kPageBytes;
+    f.eviction = eviction;
+    f.admission = admission;
+    f.hitLatencyUs = 2.0;
+    return f;
+}
+
+// ---------------------------------------------------------------- empty
+
+TEST(FilterChain, EmptyChainIsATransparentWire)
+{
+    ChainHarness h({});
+    EXPECT_TRUE(h.chain.empty());
+    h.read(1, 100, 2);
+    ASSERT_EQ(h.submitted.size(), 1u);
+    EXPECT_EQ(h.submitted[0].id, 1u);
+    EXPECT_EQ(h.submitted[0].pages, 2u);
+    const ssd::RunStats s = h.runAndCollect();
+    ASSERT_EQ(h.completed.size(), 1u);
+    EXPECT_EQ(h.completed[0].id, 1u);
+    // The empty chain reports nothing: scenarios without filters are
+    // bit-identical to the pre-chain engine, stats included.
+    EXPECT_EQ(s.hostReads, 0u);
+    EXPECT_EQ(s.cacheHits, 0u);
+    EXPECT_EQ(s.cacheMisses, 0u);
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(DramCacheFilter, MissFillsThenHitServesFromDram)
+{
+    ChainHarness h({cacheSpec(8)});
+    h.read(1, 42);
+    h.eq.run();
+    ASSERT_EQ(h.completed.size(), 1u);
+    const double miss_us = h.completed[0].responseUs;
+
+    h.read(2, 42);
+    const ssd::RunStats s = h.runAndCollect();
+    ASSERT_EQ(h.completed.size(), 2u);
+    EXPECT_EQ(h.completed[1].id, 2u);
+    // The hit never reaches the array and completes at DRAM latency.
+    EXPECT_EQ(h.arrayReadsOf(42), 1u);
+    EXPECT_DOUBLE_EQ(h.completed[1].responseUs, 2.0);
+    EXPECT_LT(h.completed[1].responseUs, miss_us);
+    EXPECT_EQ(s.cacheHits, 1u);
+    EXPECT_EQ(s.cacheMisses, 1u);
+    // Host-surface histogram saw both reads.
+    EXPECT_EQ(s.hostReads, 2u);
+}
+
+TEST(DramCacheFilter, MultiPageReadHitsOnlyWhenFullyResident)
+{
+    ChainHarness h({cacheSpec(8)});
+    h.read(1, 10); // fills page 10 only
+    h.eq.run();
+    h.read(2, 10, 2); // needs 10 and 11 -> miss
+    const ssd::RunStats s = h.runAndCollect();
+    EXPECT_EQ(s.cacheHits, 0u);
+    EXPECT_EQ(s.cacheMisses, 2u);
+}
+
+TEST(DramCacheFilter, LruEvictsColdestNotMostRecentlyTouched)
+{
+    ChainHarness h({cacheSpec(2)});
+    h.read(1, 0);
+    h.eq.run();
+    h.read(2, 1);
+    h.eq.run();
+    h.read(3, 0); // hit: page 0 becomes most-recently-used
+    h.eq.run();
+    h.read(4, 2); // fill evicts LRU page 1, not page 0
+    h.eq.run();
+    h.read(5, 0);
+    h.read(6, 1);
+    const ssd::RunStats s = h.runAndCollect();
+    EXPECT_EQ(h.arrayReadsOf(0), 1u); // still resident after evict
+    EXPECT_EQ(h.arrayReadsOf(1), 2u); // was evicted, refetched
+    EXPECT_GE(s.cacheEvictions, 1u);
+}
+
+TEST(DramCacheFilter, FifoEvictsInsertionOrderDespiteTouches)
+{
+    ChainHarness h({cacheSpec(2, "fifo")});
+    h.read(1, 0);
+    h.eq.run();
+    h.read(2, 1);
+    h.eq.run();
+    h.read(3, 0); // hit: FIFO ignores recency
+    h.eq.run();
+    h.read(4, 2); // evicts page 0 (oldest insertion)
+    h.eq.run();
+    h.read(5, 0);
+    h.runAndCollect();
+    EXPECT_EQ(h.arrayReadsOf(0), 2u); // evicted despite the touch
+}
+
+TEST(DramCacheFilter, WriteInvalidatesUnderReadsAdmission)
+{
+    ChainHarness h({cacheSpec(8, "lru", "reads")});
+    h.read(1, 5);
+    h.eq.run();
+    h.write(2, 5);
+    h.eq.run();
+    h.read(3, 5); // stale copy was dropped -> must refetch
+    const ssd::RunStats s = h.runAndCollect();
+    EXPECT_EQ(h.arrayReadsOf(5), 2u);
+    EXPECT_EQ(s.cacheHits, 0u);
+}
+
+TEST(DramCacheFilter, AllAdmissionAllocatesOnWrite)
+{
+    ChainHarness h({cacheSpec(8, "lru", "all")});
+    h.write(1, 5);
+    h.eq.run();
+    h.read(2, 5); // write-through copy serves the read
+    const ssd::RunStats s = h.runAndCollect();
+    EXPECT_EQ(h.arrayReadsOf(5), 0u);
+    EXPECT_EQ(s.cacheHits, 1u);
+    // The write itself still reached the array (write-through).
+    ASSERT_FALSE(h.submitted.empty());
+    EXPECT_FALSE(h.submitted[0].isRead);
+}
+
+// ------------------------------------------------------------ readahead
+
+TEST(ReadaheadFilter, SecondSequentialReadTriggersWindowPrefetch)
+{
+    FilterSpec f;
+    f.type = "readahead";
+    f.windowPages = 4;
+    ChainHarness h({f});
+    h.read(1, 10); // first touch: stream registered, no prefetch
+    EXPECT_EQ(h.submitted.size(), 1u);
+    h.read(2, 11); // continuation: prefetch 12..15
+    ssd::RunStats s = h.runAndCollect();
+    EXPECT_EQ(s.prefetchIssued, 4u); // counted in pages
+    // The window goes down as one internal multi-page request, and
+    // prefetches are absorbed on completion: the host sees exactly
+    // its own two commands back.
+    std::size_t internal = 0;
+    for (const ssd::HostRequest &r : h.submitted)
+        if (r.id & FilterChain::kInternalIdBit) {
+            ++internal;
+            EXPECT_EQ(r.lpn, 12u);
+            EXPECT_EQ(r.pages, 4u);
+        }
+    EXPECT_EQ(internal, 1u);
+    ASSERT_EQ(h.completed.size(), 2u);
+    for (const ssd::HostCompletion &c : h.completed)
+        EXPECT_FALSE(c.id & FilterChain::kInternalIdBit);
+
+    // A demand read of a prefetched page counts as useful.
+    h.read(3, 12);
+    s = h.runAndCollect();
+    EXPECT_GE(s.prefetchUseful, 1u);
+}
+
+TEST(ReadaheadFilter, RandomReadsNeverPrefetch)
+{
+    FilterSpec f;
+    f.type = "readahead";
+    f.windowPages = 4;
+    ChainHarness h({f});
+    h.read(1, 10);
+    h.eq.run();
+    h.read(2, 500);
+    h.eq.run();
+    h.read(3, 9000);
+    const ssd::RunStats s = h.runAndCollect();
+    EXPECT_EQ(s.prefetchIssued, 0u);
+    EXPECT_EQ(h.submitted.size(), 3u);
+}
+
+TEST(ReadaheadFilter, PrefetchClampsAtLogicalSpaceEnd)
+{
+    FilterSpec f;
+    f.type = "readahead";
+    f.windowPages = 8;
+    ChainHarness h({f});
+    const std::uint64_t last = (1 << 20) - 1;
+    h.read(1, last - 1);
+    h.eq.run();
+    h.read(2, last); // window would run past the end of the space
+    const ssd::RunStats s = h.runAndCollect();
+    EXPECT_EQ(s.prefetchIssued, 0u);
+    for (const ssd::HostRequest &r : h.submitted)
+        EXPECT_LT(r.lpn + r.pages - 1, std::uint64_t{1} << 20);
+}
+
+// ------------------------------------------------------- split/coalesce
+
+TEST(SplitCoalesceFilter, LargeRequestSplitsAndReassembles)
+{
+    FilterSpec f;
+    f.type = "split";
+    f.maxPages = 2;
+    ChainHarness h({f});
+    h.read(1, 100, 8);
+    const ssd::RunStats s = h.runAndCollect();
+    // Four 2-page pieces under internal ids...
+    ASSERT_EQ(h.submitted.size(), 4u);
+    for (const ssd::HostRequest &r : h.submitted) {
+        EXPECT_EQ(r.pages, 2u);
+        EXPECT_TRUE(r.id & FilterChain::kInternalIdBit);
+    }
+    // ...reassembled into exactly one host completion.
+    ASSERT_EQ(h.completed.size(), 1u);
+    EXPECT_EQ(h.completed[0].id, 1u);
+    EXPECT_EQ(h.completed[0].pages, 8u);
+    EXPECT_EQ(s.splitRequests, 1u);
+}
+
+TEST(SplitCoalesceFilter, SmallRequestPassesVerbatim)
+{
+    FilterSpec f;
+    f.type = "split";
+    f.maxPages = 8;
+    ChainHarness h({f});
+    ssd::HostRequest r;
+    r.id = 1;
+    r.lpn = 7;
+    r.pages = 8; // exactly at the boundary: no split
+    r.isRead = true;
+    r.channelMask = 0x5;
+    h.chain.submit(r);
+    const ssd::RunStats s = h.runAndCollect();
+    ASSERT_EQ(h.submitted.size(), 1u);
+    EXPECT_EQ(h.submitted[0].id, 1u);
+    EXPECT_EQ(h.submitted[0].channelMask, 0x5u);
+    EXPECT_EQ(s.splitRequests, 0u);
+}
+
+TEST(SplitCoalesceFilter, ContiguousReadsCoalesceWithinWindow)
+{
+    FilterSpec f;
+    f.type = "split";
+    f.maxPages = 8;
+    f.coalesceWindowUs = 50.0;
+    ChainHarness h({f});
+    h.read(1, 10, 1);
+    h.read(2, 11, 1); // contiguous successor inside the hold window
+    const ssd::RunStats s = h.runAndCollect();
+    // One merged 2-page array request, two host completions.
+    ASSERT_EQ(h.submitted.size(), 1u);
+    EXPECT_EQ(h.submitted[0].pages, 2u);
+    ASSERT_EQ(h.completed.size(), 2u);
+    EXPECT_EQ(s.coalescedRequests, 1u);
+}
+
+TEST(SplitCoalesceFilter, NonContiguousFlushesTheStagedRequest)
+{
+    FilterSpec f;
+    f.type = "split";
+    f.maxPages = 8;
+    f.coalesceWindowUs = 50.0;
+    ChainHarness h({f});
+    h.read(1, 10, 1);
+    h.read(2, 500, 1); // different run: staged request flushes
+    const ssd::RunStats s = h.runAndCollect();
+    EXPECT_EQ(h.submitted.size(), 2u);
+    EXPECT_EQ(h.completed.size(), 2u);
+    EXPECT_EQ(s.coalescedRequests, 0u);
+}
+
+// ------------------------------------------------------------ delay
+
+TEST(DelayFilter, DelaysOnlyTheConfiguredDirection)
+{
+    FilterSpec f;
+    f.type = "delay";
+    f.delayUs = 25.0;
+    f.applies = "reads";
+    ChainHarness h({f});
+    h.read(1, 10);
+    h.write(2, 20);
+    EXPECT_EQ(h.submitted.size(), 1u); // write passed synchronously
+    EXPECT_FALSE(h.submitted[0].isRead);
+    const ssd::RunStats s = h.runAndCollect();
+    ASSERT_EQ(h.submitted.size(), 2u);
+    EXPECT_EQ(h.submitTicks[1], sim::usec(25.0));
+    EXPECT_EQ(s.delayedRequests, 1u);
+}
+
+// ---------------------------------------------------------- throttle
+
+TEST(ThrottleFilter, PacesBeyondTheBurst)
+{
+    FilterSpec f;
+    f.type = "throttle";
+    f.rateIops = 10000.0; // one token per 100 us
+    f.burst = 1.0;
+    ChainHarness h({f});
+    h.read(1, 10);
+    h.read(2, 20);
+    h.read(3, 30);
+    EXPECT_EQ(h.submitted.size(), 1u); // only the burst passes at t=0
+    const ssd::RunStats s = h.runAndCollect();
+    ASSERT_EQ(h.submitted.size(), 3u);
+    EXPECT_GE(h.submitTicks[1], sim::usec(100.0));
+    EXPECT_GE(h.submitTicks[2], sim::usec(200.0));
+    EXPECT_EQ(s.throttledRequests, 2u);
+    EXPECT_EQ(h.completed.size(), 3u);
+}
+
+// -------------------------------------------------------------- xfer
+
+TEST(XferFilter, ChargesTransferOnBothEdges)
+{
+    FilterSpec f;
+    f.type = "xfer";
+    f.usPerKb = 1.0; // 16 us per 16-KiB page
+    ChainHarness h({f}, /*array_latency_us=*/100.0);
+    h.read(1, 10, 2); // 32 KiB -> 32 us per edge
+    EXPECT_TRUE(h.submitted.empty()); // dispatch edge is deferred
+    h.runAndCollect();
+    ASSERT_EQ(h.submitted.size(), 1u);
+    EXPECT_EQ(h.submitTicks[0], sim::usec(32.0));
+    ASSERT_EQ(h.completed.size(), 1u);
+    // End-to-end: dispatch xfer + array latency + completion xfer.
+    EXPECT_DOUBLE_EQ(h.completed[0].responseUs, 32.0 + 100.0 + 32.0);
+}
+
+// ----------------------------------------------------------- stacking
+
+TEST(FilterChain, ReadaheadAboveCacheFillsItForTheStream)
+{
+    FilterSpec ra;
+    ra.type = "readahead";
+    ra.windowPages = 4;
+    ChainHarness h({ra, cacheSpec(64, "lru", "all")});
+    h.read(1, 10);
+    h.eq.run();
+    h.read(2, 11); // triggers prefetch of 12..15 through the cache
+    h.eq.run();
+    h.read(3, 12); // the prefetched page is already in DRAM
+    const ssd::RunStats s = h.runAndCollect();
+    EXPECT_GE(s.cacheHits, 1u);
+    EXPECT_GE(s.prefetchUseful, 1u);
+    EXPECT_EQ(h.arrayReadsOf(12), 1u); // the prefetch, not the demand
+    ASSERT_EQ(h.completed.size(), 3u);
+}
+
+// -------------------------------------------------------- token bucket
+
+TEST(TokenBucket, UnconfiguredNeverLimits)
+{
+    TokenBucket b;
+    EXPECT_FALSE(b.configured());
+    b.configure(0.0, 0.0);
+    EXPECT_FALSE(b.configured());
+}
+
+TEST(TokenBucket, StartsFullAndRefillsAtRate)
+{
+    TokenBucket b;
+    b.configure(1000.0, 2.0); // 1 token/ms, depth 2
+    ASSERT_TRUE(b.configured());
+    EXPECT_TRUE(b.hasToken());
+    b.consume();
+    b.consume();
+    EXPECT_FALSE(b.hasToken());
+    b.refill(sim::usec(1000.0)); // 1 ms -> one token back
+    EXPECT_TRUE(b.hasToken());
+    b.consume();
+    EXPECT_FALSE(b.hasToken());
+    // Refill caps at the burst depth, never beyond.
+    b.refill(sim::usec(100000.0));
+    b.consume();
+    b.consume();
+    EXPECT_FALSE(b.hasToken());
+}
+
+TEST(TokenBucket, NextTokenTickLandsAfterTheShortfall)
+{
+    TokenBucket b;
+    b.configure(1000.0, 1.0);
+    b.consume();
+    const sim::Tick next = b.nextTokenTick(0);
+    EXPECT_GE(next, sim::usec(1000.0));
+    b.refill(next);
+    EXPECT_TRUE(b.hasToken());
+}
+
+} // namespace
+} // namespace ssdrr::host::filter

@@ -31,9 +31,30 @@ expectIdenticalDegraded(const ssd::RunStats &a, const ssd::RunStats &b)
 }
 
 void
+expectIdenticalFilterStats(const ssd::RunStats &a,
+                           const ssd::RunStats &b)
+{
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_EQ(a.cacheEvictions, b.cacheEvictions);
+    EXPECT_EQ(a.prefetchIssued, b.prefetchIssued);
+    EXPECT_EQ(a.prefetchUseful, b.prefetchUseful);
+    EXPECT_EQ(a.splitRequests, b.splitRequests);
+    EXPECT_EQ(a.coalescedRequests, b.coalescedRequests);
+    EXPECT_EQ(a.delayedRequests, b.delayedRequests);
+    EXPECT_EQ(a.throttledRequests, b.throttledRequests);
+    EXPECT_EQ(a.hostReads, b.hostReads);
+    EXPECT_EQ(a.avgHostReadUs, b.avgHostReadUs);
+    EXPECT_EQ(a.p50HostReadUs, b.p50HostReadUs);
+    EXPECT_EQ(a.p99HostReadUs, b.p99HostReadUs);
+    EXPECT_EQ(a.p999HostReadUs, b.p999HostReadUs);
+}
+
+void
 expectIdenticalArray(const ssd::RunStats &a, const ssd::RunStats &b)
 {
     expectIdenticalDegraded(a, b);
+    expectIdenticalFilterStats(a, b);
     // EXPECT_EQ on doubles is exact comparison, deliberately: a
     // cross-domain ordering leak would first show up as a 1-ULP
     // drift in a floating-point accumulation, which a tolerant
@@ -210,6 +231,75 @@ TEST(ParallelDeterminism, Raid5DegradedMatchesAcrossThreads)
     EXPECT_GT(one.array.parityWrites, 0u);
     const host::ScenarioResult two = runRaid5Degraded(2);
     const host::ScenarioResult four = runRaid5Degraded(4);
+    {
+        SCOPED_TRACE("threads 1 vs 2");
+        expectIdenticalResult(one, two);
+    }
+    {
+        SCOPED_TRACE("threads 1 vs 4");
+        expectIdenticalResult(one, four);
+    }
+}
+
+/**
+ * Full filter chain on the sharded engine: readahead feeding a DRAM
+ * cache, plus a delay and a split stage — cache hits complete on the
+ * host domain without ever crossing into a drive, prefetches are
+ * chain-internal, split pieces rejoin across window boundaries. The
+ * chain lives entirely on the host domain, so every counter and the
+ * host-surface histogram must be bit-identical for any worker count.
+ */
+host::ScenarioResult
+runFilterChain(std::uint32_t threads)
+{
+    host::ScenarioBuilder b;
+    b.name("filter-chain-determinism")
+        .geometry("small")
+        .pec(1.0)
+        .retention(6.0)
+        .seed(23)
+        .drives(4)
+        .hostLinkUs(10.0)
+        .queueDepth(16)
+        .mechanism(core::Mechanism::PnAR2);
+    b.readahead(8);
+    host::filter::FilterSpec cache;
+    cache.type = "cache";
+    cache.sizeBytes = 4ull << 20;
+    cache.admission = "all";
+    cache.hitLatencyUs = 2.0;
+    b.addFilter(cache);
+    host::filter::FilterSpec delay;
+    delay.type = "delay";
+    delay.delayUs = 3.0;
+    delay.applies = "writes";
+    b.addFilter(delay);
+    host::filter::FilterSpec split;
+    split.type = "split";
+    split.maxPages = 2;
+    b.addFilter(split);
+    b.tenant("scan", "seq_scan", 250).qdLimit(16);
+    b.tenant("kv", "YCSB-C", 250).qdLimit(8);
+    b.tenant("log", "stg_0", 200).qdLimit(8);
+    host::ScenarioConfig cfg =
+        b.build().toConfig(core::Mechanism::PnAR2);
+    cfg.threads = threads;
+    return host::runScenario(cfg);
+}
+
+TEST(ParallelDeterminism, FilterChainMatchesAcrossThreads)
+{
+    const host::ScenarioResult one = runFilterChain(1);
+    // The scenario must actually exercise every filter, or the
+    // equalities below prove nothing.
+    EXPECT_GT(one.array.cacheHits, 0u);
+    EXPECT_GT(one.array.prefetchIssued, 0u);
+    EXPECT_GT(one.array.prefetchUseful, 0u);
+    EXPECT_GT(one.array.splitRequests, 0u);
+    EXPECT_GT(one.array.delayedRequests, 0u);
+    EXPECT_GT(one.array.hostReads, 0u);
+    const host::ScenarioResult two = runFilterChain(2);
+    const host::ScenarioResult four = runFilterChain(4);
     {
         SCOPED_TRACE("threads 1 vs 2");
         expectIdenticalResult(one, two);

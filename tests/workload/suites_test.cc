@@ -69,15 +69,33 @@ TEST(Suites, Table2ColdRatiosExact)
     EXPECT_DOUBLE_EQ(findWorkload("YCSB-F").coldRatio, 0.87);
 }
 
-TEST(Suites, AllWorkloadsIsMsrcThenYcsb)
+TEST(Suites, AllWorkloadsIsMsrcThenYcsbThenScan)
 {
+    // The twelve Table-2 entries keep their historical indices; the
+    // scan-heavy extra rides at the end.
     const auto all = allWorkloads();
-    ASSERT_EQ(all.size(), 12u);
+    ASSERT_EQ(all.size(), 13u);
     EXPECT_EQ(all[0].name, "stg_0");
     EXPECT_EQ(all[6].name, "YCSB-A");
+    EXPECT_EQ(all[12].name, "seq_scan");
     std::set<std::string> names;
     for (const auto &s : all)
         EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+}
+
+TEST(Suites, SeqScanIsSequentialHeavy)
+{
+    // seq_scan exists to exercise host-side readahead: mostly reads,
+    // mostly continuing sequential streams, in multi-page chunks.
+    // Table-2 entries stay fully random.
+    const auto scan = findWorkload("seq_scan");
+    EXPECT_DOUBLE_EQ(scan.readRatio, 0.95);
+    EXPECT_DOUBLE_EQ(scan.seqRatio, 0.7);
+    EXPECT_GE(scan.meanPages, 2.0);
+    for (const auto &s : msrcSuite())
+        EXPECT_DOUBLE_EQ(s.seqRatio, 0.0) << s.name;
+    for (const auto &s : ycsbSuite())
+        EXPECT_DOUBLE_EQ(s.seqRatio, 0.0) << s.name;
 }
 
 TEST(Suites, FindUnknownWorkloadFatals)
@@ -89,6 +107,7 @@ TEST(Suites, WriteDominantVsReadDominantSplit)
 {
     // The paper splits Fig. 14 into write-dominant (stg_0, hm_0) and
     // read-dominant (the rest); our specs must respect that split.
+    // (seq_scan is read-dominant too, so the loop covers it.)
     for (const auto &s : allWorkloads()) {
         if (s.name == "stg_0" || s.name == "hm_0")
             EXPECT_LT(s.readRatio, 0.5) << s.name;

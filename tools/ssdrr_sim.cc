@@ -51,8 +51,17 @@
  *                                doorbell/interrupt path and runs
  *                                drives on private event queues)
  *     --transfer-us-per-kb X     size-proportional link transfer cost
- *                                charged per subrequest on dispatch
- *                                and completion (default 0)
+ *                                charged per host command on dispatch
+ *                                and completion (default 0; sugar for
+ *                                an implicit "xfer" filter)
+ *     --cache-mb N               host-side DRAM read cache of N MiB
+ *                                (a "cache" filter on the chain; hits
+ *                                complete in DRAM latency without
+ *                                touching the array)
+ *     --readahead PAGES          prefetch PAGES pages beyond detected
+ *                                sequential read streams (a
+ *                                "readahead" filter, stacked above
+ *                                the cache so prefetches fill it)
  *
  * Scenario files (declarative API v2; see README "Scenario files"
  * and docs/SCENARIOS.md):
@@ -137,6 +146,10 @@ struct Options {
     bool openLoop = false;
     double hostLinkUs = 0.0;
     double transferUsPerKb = 0.0;
+    /** Host DRAM read cache in MiB (0 = no cache filter). */
+    std::uint32_t cacheMb = 0;
+    /** Readahead window in pages (0 = no readahead filter). */
+    std::uint32_t readaheadPages = 0;
     std::uint32_t threads = 1;
     bool threadsSet = false;
     /** Scenario-file mode (mutually exclusive with legacy flags). */
@@ -168,6 +181,7 @@ usage(const char *argv0)
                  "[--failed-drives A,B,...]\n"
                  "  [--host-link-us X] [--transfer-us-per-kb X] "
                  "[--threads N]\n"
+                 "  [--cache-mb N] [--readahead PAGES]\n"
                  "  [--scenario FILE.json] [--dump-scenario] "
                  "[--list-workloads] [--bench-json PATH]\n",
                  argv0);
@@ -330,6 +344,14 @@ parseArgs(int argc, char **argv)
             opt.hostLinkUs = parseDouble(arg, next());
             opt.hostFlags.push_back(arg);
             legacy();
+        } else if (arg == "--cache-mb") {
+            opt.cacheMb = parseUint32(arg, next());
+            opt.hostFlags.push_back(arg);
+            legacy();
+        } else if (arg == "--readahead") {
+            opt.readaheadPages = parseUint32(arg, next());
+            opt.hostFlags.push_back(arg);
+            legacy();
         } else if (arg == "--threads") {
             // An execution knob, not a scenario property: legal with
             // --scenario too (it overrides the file's "threads") and
@@ -377,6 +399,12 @@ benchRunFrom(const std::string &name, const ssd::RunStats &st,
     run.p999ReadUs = st.p999ReadResponseUs;
     run.profileCacheHits = st.profileCacheHits;
     run.profileCacheMisses = st.profileCacheMisses;
+    run.cacheHits = st.cacheHits;
+    run.cacheMisses = st.cacheMisses;
+    run.cacheEvictions = st.cacheEvictions;
+    run.prefetchIssued = st.prefetchIssued;
+    run.prefetchUseful = st.prefetchUseful;
+    run.hostP99ReadUs = st.p99HostReadUs;
     if (wall_seconds > 0.0) {
         run.eventsPerSecond =
             static_cast<double>(st.executedEvents) / wall_seconds;
@@ -408,6 +436,21 @@ specFromFlags(const Options &opt)
     spec.arbitration = opt.arbitration;
     spec.hostLinkUs = opt.hostLinkUs;
     spec.transferUsPerKb = opt.transferUsPerKb;
+    // Readahead stacks above the cache (chain order = array order):
+    // its prefetch completions travel up through the cache filter and
+    // fill it, so the stream's next demand read hits in DRAM.
+    if (opt.readaheadPages > 0) {
+        host::filter::FilterSpec f;
+        f.type = "readahead";
+        f.windowPages = opt.readaheadPages;
+        spec.filters.push_back(f);
+    }
+    if (opt.cacheMb > 0) {
+        host::filter::FilterSpec f;
+        f.type = "cache";
+        f.sizeBytes = std::uint64_t{opt.cacheMb} << 20;
+        spec.filters.push_back(f);
+    }
 
     const bool wrr = opt.arbitration == "wrr";
     // Keep total work comparable to the single-replay mode: the
@@ -514,6 +557,53 @@ runSpec(const host::ScenarioSpec &spec, const std::string &bench_json,
                             a.degradedReads),
                         a.avgDegradedReadUs, a.p50DegradedReadUs,
                         a.p99DegradedReadUs, a.p999DegradedReadUs);
+        // Host filter-chain accounting (host/filter/): the read
+        // latency seen above the chain, plus per-filter counters.
+        // All of this is zero — and silent — when the chain is empty.
+        if (a.hostReads > 0)
+            std::printf("%-10s %-14s %3s %6llu %10.1f %10.1f %10.1f "
+                        "%10.1f\n",
+                        mname.c_str(), "host(reads)", "-",
+                        static_cast<unsigned long long>(a.hostReads),
+                        a.avgHostReadUs, a.p50HostReadUs,
+                        a.p99HostReadUs, a.p999HostReadUs);
+        if (a.cacheHits + a.cacheMisses > 0)
+            std::printf("%-10s %-14s     hits %llu/%llu (%.1f%%), "
+                        "evictions %llu\n",
+                        mname.c_str(), "cache",
+                        static_cast<unsigned long long>(a.cacheHits),
+                        static_cast<unsigned long long>(a.cacheHits +
+                                                        a.cacheMisses),
+                        100.0 * static_cast<double>(a.cacheHits) /
+                            static_cast<double>(a.cacheHits +
+                                                a.cacheMisses),
+                        static_cast<unsigned long long>(
+                            a.cacheEvictions));
+        if (a.prefetchIssued > 0)
+            std::printf("%-10s %-14s     issued %llu, useful %llu "
+                        "(%.1f%%)\n",
+                        mname.c_str(), "readahead",
+                        static_cast<unsigned long long>(
+                            a.prefetchIssued),
+                        static_cast<unsigned long long>(
+                            a.prefetchUseful),
+                        100.0 *
+                            static_cast<double>(a.prefetchUseful) /
+                            static_cast<double>(a.prefetchIssued));
+        if (a.splitRequests + a.coalescedRequests + a.delayedRequests +
+                a.throttledRequests >
+            0)
+            std::printf("%-10s %-14s     split %llu, coalesced %llu, "
+                        "delayed %llu, throttled %llu\n",
+                        mname.c_str(), "shaping",
+                        static_cast<unsigned long long>(
+                            a.splitRequests),
+                        static_cast<unsigned long long>(
+                            a.coalescedRequests),
+                        static_cast<unsigned long long>(
+                            a.delayedRequests),
+                        static_cast<unsigned long long>(
+                            a.throttledRequests));
     }
     if (!bench_json.empty()) {
         if (!sim::writeBenchJson(bench_json, label, bench_runs))
