@@ -18,11 +18,13 @@
  * parallel speedup (recorded as the par4d-1t / par4d-4t entries of
  * the JSON; it needs >= 4 free cores to show the full effect).
  *
- * Two more sections ride along: raid5-* (degraded-read
- * reconstruction, healthy vs one failed drive) and cached-* (the
+ * Three more sections ride along: raid5-* (degraded-read
+ * reconstruction, healthy vs one failed drive), cached-* (the
  * host filter chain — a DRAM read-cache tier absorbing re-reads
  * from scan-heavy tenants, reporting hit ratio, evictions and the
- * host-surface read p99 the cache buys).
+ * host-surface read p99 the cache buys) and fault-* (the fault
+ * timeline — healthy vs an open-ended fail-slow vs a mid-run
+ * fail-stop with timeout-driven failover and rebuild-to-spare).
  *
  * The golden digest covers only the two single-queue tail runs, so
  * it stays comparable across machines, thread counts and the
@@ -136,6 +138,13 @@ measureScenario(const std::string &name, const MakeConfig &make_config,
     run.prefetchIssued = a.prefetchIssued;
     run.prefetchUseful = a.prefetchUseful;
     run.hostP99ReadUs = a.p99HostReadUs;
+    run.hostTimeouts = a.hostTimeouts;
+    run.hostRetries = a.hostRetries;
+    run.hostFailovers = a.hostFailovers;
+    run.ueccReads = a.ueccReads;
+    run.failedRequests = a.failedRequests;
+    run.rebuildReads = a.rebuildReads;
+    run.timeToRebuildMs = a.timeToRebuildMs;
     if (best > 0.0) {
         run.eventsPerSecond =
             static_cast<double>(a.executedEvents) / best;
@@ -295,6 +304,77 @@ measureCached(bool cached, std::uint64_t requests_per_tenant,
         repeat);
 }
 
+/**
+ * Fault-timeline section: the raid5 array shape (4 drives, rotating
+ * parity, unit 4) at the mid-life operating point, per mechanism, in
+ * three health states. "healthy" is the no-fault control; "failslow"
+ * puts an open-ended 3x latency multiplier on one drive (every I/O it
+ * serves stretches, nothing fails); "failstop" kills drive 0 at
+ * t=4 ms — the host detects it through per-subrequest deadlines,
+ * fails over reads to stripe-mate reconstruction, and a background
+ * rebuild agent re-reads 48 rows to a spare. The comparison shows
+ * what each degradation mode costs the foreground tail and how much
+ * array bandwidth the rebuild consumes.
+ */
+enum class FaultMode { Healthy, FailSlow, FailStopRebuild };
+
+host::ScenarioConfig
+faultScenario(core::Mechanism mech,
+              std::uint64_t requests_per_tenant, FaultMode mode)
+{
+    host::ScenarioBuilder b;
+    b.geometry("small")
+        .pec(1.0)
+        .retention(6.0)
+        .seed(42)
+        .drives(4)
+        .raid("raid5")
+        .stripeUnitPages(4)
+        .queueDepth(16);
+    if (mode == FaultMode::FailSlow)
+        b.failSlow(2, 500.0, 0.0, 3.0);
+    if (mode == FaultMode::FailStopRebuild) {
+        // Deadline far above the healthy tail: timeouts implicate
+        // only the dead drive, never a merely-slow one.
+        b.timeoutUs(20000.0).retryMax(2).retryBackoffUs(100.0);
+        b.failStop(0, 4000.0, /*rebuild=*/true, /*rebuild_rows=*/48);
+    }
+    b.mechanism(mech);
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        b.tenant("t" + std::to_string(t), "usr_1",
+                 requests_per_tenant)
+            .qdLimit(16);
+    }
+    return b.build().toConfig(mech);
+}
+
+const char *
+faultModeName(FaultMode mode)
+{
+    switch (mode) {
+    case FaultMode::Healthy:
+        return "healthy";
+    case FaultMode::FailSlow:
+        return "failslow";
+    case FaultMode::FailStopRebuild:
+        return "failstop";
+    }
+    return "?";
+}
+
+sim::BenchRun
+measureFault(core::Mechanism mech, FaultMode mode,
+             std::uint64_t requests_per_tenant, int repeat)
+{
+    return measureScenario(
+        std::string("fault-") + faultModeName(mode) + "-" +
+            core::name(mech),
+        [&] {
+            return faultScenario(mech, requests_per_tenant, mode);
+        },
+        repeat);
+}
+
 /** The deterministic fields two thread counts must agree on. */
 bool
 identicalResults(const sim::BenchRun &a, const sim::BenchRun &b)
@@ -353,9 +433,11 @@ main(int argc, char **argv)
     const std::uint64_t par_per_tenant = short_mode ? 400 : 2000;
     const std::uint64_t r5_per_tenant = short_mode ? 300 : 1000;
     const std::uint64_t cd_per_tenant = short_mode ? 300 : 1000;
-    // Four scenarios share this file: the digested tail runs, then
-    // the par4d-* sharded-engine, raid5-* degraded-read and cached-*
-    // filter-chain runs appended after them.
+    const std::uint64_t ft_per_tenant = short_mode ? 300 : 1000;
+    // Five scenarios share this file: the digested tail runs, then
+    // the par4d-* sharded-engine, raid5-* degraded-read, cached-*
+    // filter-chain and fault-* fault-timeline runs appended after
+    // them.
     const std::string label =
         std::string("multi_tenant_tail ") +
         (short_mode ? "short" : "full") +
@@ -372,7 +454,11 @@ main(int argc, char **argv)
         "4 closed-loop tenants x " +
         std::to_string(cd_per_tenant) +
         " seq_scan/YCSB-C reqs, QD 16, 2-drive array, PnAR2, "
-        "uncached vs 64 MiB DRAM cache";
+        "uncached vs 64 MiB DRAM cache; fault-*: 4 closed-loop "
+        "tenants x " +
+        std::to_string(ft_per_tenant) +
+        " usr_1 reqs, QD 16, 4-drive raid5 (unit 4), healthy vs 3x "
+        "fail-slow vs fail-stop at 4 ms + 48-row rebuild-to-spare";
 
     std::printf("sim_throughput — %s\n\n", label.c_str());
     std::printf("%-10s %12s %14s %12s %12s %10s\n", "mechanism",
@@ -498,6 +584,43 @@ main(int argc, char **argv)
                     cached_runs[0].p99ReadUs,
                     cached_runs[1].hostP99ReadUs);
     runs.insert(runs.end(), cached_runs.begin(), cached_runs.end());
+
+    // ----- fault timeline: healthy vs fail-slow vs fail-stop -----
+    std::printf("\nfault timeline — 4 closed-loop tenants x %llu "
+                "usr_1 reqs, QD 16, 4-drive raid5 (unit 4), healthy "
+                "vs open-ended 3x fail-slow on drive 2 vs drive 0 "
+                "fail-stop at 4 ms + rebuild-to-spare (48 rows, "
+                "20 ms deadline)\n",
+                static_cast<unsigned long long>(ft_per_tenant));
+    std::printf("%-24s %12s %10s %10s %10s %10s %10s\n", "config",
+                "wall[s]", "p99r[us]", "timeouts", "failovers",
+                "rbld-reads", "ttr[ms]");
+    for (core::Mechanism m :
+         {core::Mechanism::Baseline, core::Mechanism::PnAR2}) {
+        for (FaultMode mode :
+             {FaultMode::Healthy, FaultMode::FailSlow,
+              FaultMode::FailStopRebuild}) {
+            runs.push_back(
+                measureFault(m, mode, ft_per_tenant, repeat));
+            const sim::BenchRun &r = runs.back();
+            std::printf(
+                "%-24s %12.3f %10.1f %10llu %10llu %10llu %10.2f\n",
+                r.name.c_str(), r.wallSeconds, r.p99ReadUs,
+                static_cast<unsigned long long>(r.hostTimeouts),
+                static_cast<unsigned long long>(r.hostFailovers),
+                static_cast<unsigned long long>(r.rebuildReads),
+                r.timeToRebuildMs);
+            if (mode == FaultMode::FailStopRebuild &&
+                r.failedRequests > 0)
+                std::fprintf(stderr,
+                             "WARN: %s lost %llu requests — the "
+                             "failover path should reconstruct every "
+                             "foreground read\n",
+                             r.name.c_str(),
+                             static_cast<unsigned long long>(
+                                 r.failedRequests));
+        }
+    }
 
     if (!sim::writeBenchJson(json_path, label, runs))
         return 1;

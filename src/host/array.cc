@@ -21,9 +21,31 @@ SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
                    const Options &opt)
     : mech_(mech), link_(opt.hostLink),
       layout_(makeArrayLayout(opt.raid, opt.drives,
-                              opt.stripeUnitPages, opt.failedDrives))
+                              opt.stripeUnitPages, opt.failedDrives)),
+      timeout_(opt.timeout), retry_max_(opt.retryMax),
+      retry_backoff_(opt.retryBackoff)
 {
     SSDRR_ASSERT(opt.drives >= 1, "array needs at least one drive");
+    for (std::uint32_t d : opt.failedDrives)
+        dead_mask_ |= std::uint64_t{1} << d;
+    if (!opt.faults.empty()) {
+        faults_ = std::make_unique<sim::FaultInjector>(
+            opt.faults, opt.faultSeed, opt.drives);
+        // A fail-stopped drive stops completing; only the deadline
+        // machinery can rescue its in-flight subrequests.
+        SSDRR_ASSERT(!faults_->anyFailStop() || timeout_ > 0,
+                     "fail-stop faults require a host timeout");
+        // Detection: the host learns of a fail-stop when commands to
+        // the drive stop answering — modeled as a deterministic,
+        // traffic-independent event at the fail tick + timeout.
+        for (std::uint32_t d = 0; d < opt.drives; ++d) {
+            const sim::Tick t = faults_->failStopTick(d);
+            if (t == sim::kTickNever)
+                continue;
+            eq_.schedule(t + timeout_,
+                         [this, d] { onDriveDetected(d); });
+        }
+    }
     if (link_ > 0) {
         exec_ = std::make_unique<sim::ParallelExecutor>(
             link_, opt.threads == 0 ? 1 : opt.threads);
@@ -84,13 +106,17 @@ SsdArray::dispatch(std::uint32_t d, const ssd::HostRequest &sub)
 void
 SsdArray::issueSub(std::uint64_t parent_id, sim::Tick arrival,
                    std::uint32_t channel_mask,
-                   const ArrayLayout::SubOp &op)
+                   const ArrayLayout::SubOp &op, std::uint32_t attempt)
 {
-    if (op.isRead) {
-        if (op.cls == ArrayLayout::OpClass::Rebuild)
-            ++reconstruction_reads_;
-    } else if (op.cls == ArrayLayout::OpClass::Parity) {
-        ++parity_writes_;
+    if (attempt == 1) {
+        // Layout accounting counts logical ops once; reissues of the
+        // same op are host retries, not extra reconstruction fan-out.
+        if (op.isRead) {
+            if (op.cls == ArrayLayout::OpClass::Rebuild)
+                ++reconstruction_reads_;
+        } else if (op.cls == ArrayLayout::OpClass::Parity) {
+            ++parity_writes_;
+        }
     }
     ssd::HostRequest sub;
     sub.id = next_sub_id_++;
@@ -99,8 +125,26 @@ SsdArray::issueSub(std::uint64_t parent_id, sim::Tick arrival,
     sub.pages = op.pages;
     sub.isRead = op.isRead;
     sub.channelMask = channel_mask;
-    sub_parent_[sub.id] = parent_id;
-    dispatch(op.drive, sub);
+
+    SubState st;
+    st.parent = parent_id;
+    st.op = op;
+    st.channelMask = channel_mask;
+    st.attempt = attempt;
+    // A fail-stopped drive swallows the command: nothing is
+    // dispatched and only the deadline rescues the slot (the array
+    // constructor asserts a timeout exists alongside fail-stops).
+    const bool drive_up =
+        !faults_ || !faults_->failStopped(op.drive, eq_.now());
+    st.expectCompletion = drive_up;
+    if (timeout_ > 0) {
+        const std::uint64_t sub_id = sub.id;
+        st.timeoutEv = eq_.scheduleAfter(
+            timeout_, [this, sub_id] { onSubTimeout(sub_id); });
+    }
+    subs_.emplace(sub.id, std::move(st));
+    if (drive_up)
+        dispatch(op.drive, sub);
 }
 
 void
@@ -155,20 +199,69 @@ SsdArray::subComplete(const ssd::HostCompletion &c)
     // Every completion must be a subrequest we issued: member drives
     // are driven only through submit(), and drive-internal writes
     // (refresh) carry kNoHost, which never reaches the hook.
-    auto sit = sub_parent_.find(c.id);
-    SSDRR_ASSERT(sit != sub_parent_.end(),
+    auto sit = subs_.find(c.id);
+    SSDRR_ASSERT(sit != subs_.end(),
                  "completion for unknown subrequest ", c.id);
-    const std::uint64_t parent_id = sit->second;
-    sub_parent_.erase(sit);
+    SubState &st = sit->second;
+    if (st.abandoned) {
+        // Deadline expired while the device was still working; the
+        // slot was already retried or failed over. Drop the late
+        // completion (the device's work was wasted, realistically).
+        subs_.erase(sit);
+        return;
+    }
+    if (faults_) {
+        if (faults_->failStopped(st.op.drive, c.finish)) {
+            // The drive stopped completing before it raised this —
+            // the completion is lost. The deadline (guaranteed by
+            // the constructor) rescues the slot; nothing further
+            // will arrive for this sub id.
+            st.expectCompletion = false;
+            return;
+        }
+        if (!st.stretched) {
+            const double m = faults_->slowdownAt(st.op.drive, c.finish);
+            if (m > 1.0) {
+                // Fail-slow: stretch the device service time
+                // (finish - delivered arrival) by the window's
+                // multiplier and redeliver on the host queue. The
+                // deadline may expire during the stretch.
+                st.stretched = true;
+                const auto extra = static_cast<sim::Tick>(
+                    (m - 1.0) *
+                    static_cast<double>(c.finish - c.arrival));
+                eq_.scheduleAfter(extra,
+                                  [this, c] { subComplete(c); });
+                return;
+            }
+        }
+        // Seeded transient-UECC draw, keyed on the subrequest id so
+        // every retry attempt re-draws independently.
+        if (st.op.isRead && faults_->ueccAt(st.op.drive, c.finish, c.id)) {
+            ++uecc_reads_;
+            resolveFailedSub(c.id, /*timed_out=*/false);
+            return;
+        }
+    }
+    if (st.timeoutEv != 0)
+        eq_.cancel(st.timeoutEv);
+    const std::uint64_t parent_id = st.parent;
+    subs_.erase(sit);
+    finishSlot(parent_id);
+}
 
+void
+SsdArray::finishSlot(std::uint64_t parent_id)
+{
     auto pit = parents_.find(parent_id);
-    SSDRR_ASSERT(pit != parents_.end(), "orphan subrequest ", c.id);
+    SSDRR_ASSERT(pit != parents_.end(), "orphan subrequest of parent ",
+                 parent_id);
     Parent &p = pit->second;
     SSDRR_ASSERT(p.remaining > 0, "parent already complete");
     if (--p.remaining > 0)
         return;
 
-    if (!p.phase2.empty()) {
+    if (!p.phase2.empty() && !p.failed) {
         // Two-phase plan: every pre-read is in, release the writes.
         // Re-seat remaining before issuing (issueSub never touches
         // parents_, but keep the bookkeeping ordered anyway).
@@ -181,6 +274,10 @@ SsdArray::subComplete(const ssd::HostCompletion &c)
         return;
     }
 
+    // A failed parent skips its phase-2 writes (the data is gone;
+    // there is nothing consistent to write) and completes with
+    // status Failed. Its latency still records: the time until the
+    // host returns the error is a real response time.
     const double resp_us = sim::toUsec(eq_.now() - p.arrival);
     if (p.isRead) {
         resp_read_.add(resp_us);
@@ -189,11 +286,142 @@ SsdArray::subComplete(const ssd::HostCompletion &c)
     } else {
         resp_write_.add(resp_us);
     }
-    const ssd::HostCompletion done{parent_id, p.arrival, eq_.now(),
-                                   p.isRead, resp_us, p.pages};
+    ssd::HostCompletion done{parent_id, p.arrival, eq_.now(),
+                             p.isRead, resp_us, p.pages};
+    if (p.failed) {
+        ++failed_requests_;
+        done.status = ssd::CompletionStatus::Failed;
+    }
     parents_.erase(pit);
     if (on_complete_)
         on_complete_(done);
+}
+
+void
+SsdArray::onSubTimeout(std::uint64_t sub_id)
+{
+    auto sit = subs_.find(sub_id);
+    SSDRR_ASSERT(sit != subs_.end(), "timeout for unknown subrequest ",
+                 sub_id);
+    sit->second.timeoutEv = 0;
+    ++host_timeouts_;
+    resolveFailedSub(sub_id, /*timed_out=*/true);
+}
+
+void
+SsdArray::resolveFailedSub(std::uint64_t sub_id, bool timed_out)
+{
+    auto sit = subs_.find(sub_id);
+    SSDRR_ASSERT(sit != subs_.end(), "resolve of unknown subrequest ",
+                 sub_id);
+    const SubState st = sit->second; // copy: the entry is retired now
+    if (timed_out && st.expectCompletion) {
+        // The device is still working on it; keep the entry so the
+        // late completion is recognized and dropped.
+        sit->second.abandoned = true;
+    } else {
+        // UECC (we are inside the completion), or a sub that was
+        // never dispatched / whose completion was swallowed: nothing
+        // further arrives under this id.
+        if (st.timeoutEv != 0)
+            eq_.cancel(st.timeoutEv);
+        subs_.erase(sit);
+    }
+
+    // Retry with exponential backoff — unless the host already knows
+    // the drive is dead (detected fail-stop), where waiting out more
+    // deadlines would be pointless.
+    if (!driveDead(st.op.drive) && st.attempt <= retry_max_) {
+        ++host_retries_;
+        const sim::Tick backoff = retry_backoff_
+                                  << (st.attempt - 1);
+        const std::uint64_t parent_id = st.parent;
+        const std::uint32_t mask = st.channelMask;
+        const ArrayLayout::SubOp op = st.op;
+        const std::uint32_t attempt = st.attempt + 1;
+        eq_.scheduleAfter(backoff, [this, parent_id, mask, op, attempt] {
+            issueSub(parent_id, eq_.now(), mask, op, attempt);
+        });
+        return;
+    }
+    failover(st);
+}
+
+void
+SsdArray::failover(const SubState &st)
+{
+    auto pit = parents_.find(st.parent);
+    SSDRR_ASSERT(pit != parents_.end(), "failover for unknown parent ",
+                 st.parent);
+    Parent &p = pit->second;
+
+    const bool raid5 = layout_->level() == RaidLevel::Raid5;
+    if (raid5 && st.op.isRead &&
+        st.op.cls == ArrayLayout::OpClass::Data) {
+        // Convert the lost data read into the existing degraded-read
+        // reconstruction join: the same drive-local range of every
+        // surviving stripe mate (data mates + parity) reconstructs
+        // the lost chunk.
+        bool mates_alive = true;
+        for (std::uint32_t d = 0; d < drives() && mates_alive; ++d)
+            if (d != st.op.drive && driveDead(d))
+                mates_alive = false;
+        if (mates_alive) {
+            ++host_failovers_;
+            p.degraded = true;
+            // The failed slot stays un-decremented; it is replaced
+            // by drives-1 reconstruction reads.
+            p.remaining += drives() - 2;
+            ArrayLayout::SubOp mate = st.op;
+            mate.cls = ArrayLayout::OpClass::Rebuild;
+            for (std::uint32_t d = 0; d < drives(); ++d) {
+                if (d == st.op.drive)
+                    continue;
+                mate.drive = d;
+                issueSub(st.parent, eq_.now(), st.channelMask, mate);
+            }
+            return;
+        }
+        // A second dead drive: the chunk is unrecoverable.
+        p.failed = true;
+        finishSlot(st.parent);
+        return;
+    }
+    if (raid5 && !st.op.isRead) {
+        // A lost write on a redundant layout is absorbed: the data
+        // (or parity) chunk goes unwritten but the stripe's
+        // redundancy covers it — served degraded / unprotected.
+        ++host_failovers_;
+        p.degraded = true;
+        finishSlot(st.parent);
+        return;
+    }
+    if (raid5 && st.op.cls == ArrayLayout::OpClass::Parity) {
+        // Lost parity pre-read: the read-modify-write proceeds
+        // without parity protection (like a failed parity drive).
+        ++host_failovers_;
+        p.degraded = true;
+        finishSlot(st.parent);
+        return;
+    }
+    // No redundancy left (RAID-0, or a reconstruction input died):
+    // the parent fails.
+    p.failed = true;
+    finishSlot(st.parent);
+}
+
+void
+SsdArray::onDriveDetected(std::uint32_t d)
+{
+    if (driveDead(d))
+        return;
+    dead_mask_ |= std::uint64_t{1} << d;
+    // Route new plans around the drive when the layout has the
+    // redundancy for it; without it (RAID-0, tolerance exhausted)
+    // plans keep addressing the dead drive and its requests fail.
+    layout_->markFailed(d);
+    if (on_drive_failed_)
+        on_drive_failed_(d);
 }
 
 void
@@ -248,6 +476,15 @@ SsdArray::stats() const
     s.degradedReads = resp_degraded_.count();
     s.reconstructionReads = reconstruction_reads_;
     s.parityWrites = parity_writes_;
+
+    // Fault-timeline robustness accounting (all zero on a faultless
+    // run with no timeout). Rebuild counters are filled by the
+    // scenario layer, which owns the rebuild agent.
+    s.hostTimeouts = host_timeouts_;
+    s.hostRetries = host_retries_;
+    s.hostFailovers = host_failovers_;
+    s.ueccReads = uecc_reads_;
+    s.failedRequests = failed_requests_;
     if (resp_degraded_.count()) {
         s.avgDegradedReadUs = resp_degraded_.mean();
         s.p50DegradedReadUs = resp_degraded_.percentile(50.0);

@@ -37,6 +37,21 @@
  *    contract, produce bit-identical results for ANY thread count,
  *    including 1.
  *
+ * Robustness (Options::faults / timeout / retry): a declared
+ * sim::FaultInjector timeline makes drives fail-stop, fail-slow, or
+ * return uncorrectable reads mid-run. All fault decisions execute on
+ * the host domain (dispatch drop, completion swallow/stretch, seeded
+ * UECC draw keyed on the subrequest id), so worker-count invariance
+ * holds and an empty timeline is bit-identical to a faultless array.
+ * With a timeout set, every subrequest carries a deadline; expiry
+ * retries it with exponential backoff and, once attempts are
+ * exhausted, fails over: a RAID-5 data read becomes the existing
+ * reconstruction join, redundant writes are absorbed, and anything
+ * unrecoverable completes the parent with CompletionStatus::Failed.
+ * A fail-stop is detected at its fail tick + timeout (deterministic,
+ * traffic-independent); detection marks the layout failed so new
+ * plans go degraded, and fires the onDriveFailed hook (rebuild).
+ *
  * Size-proportional link transfer time is no longer an array
  * concern: it moved to the host filter chain's "xfer" filter
  * (host/filter/xfer.hh), which charges per host command above the
@@ -47,12 +62,14 @@
 #ifndef SSDRR_HOST_ARRAY_HH
 #define SSDRR_HOST_ARRAY_HH
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "host/array_layout.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_injector.hh"
 #include "sim/parallel_executor.hh"
 #include "ssd/ssd.hh"
 
@@ -80,6 +97,21 @@ class SsdArray
         /** Worker threads for the windowed engine (ignored when
          *  hostLink == 0; results do not depend on it). */
         std::uint32_t threads = 1;
+        /** Fault timeline injected at the host boundary (empty =
+         *  faultless, bit-identical to an array without the
+         *  machinery). Fail-stop events require a timeout. */
+        std::vector<sim::FaultEvent> faults;
+        /** Seed for seeded fault draws (UECC probability). */
+        std::uint64_t faultSeed = 0;
+        /** Per-subrequest deadline in ticks; on expiry the sub is
+         *  retried and eventually failed over. 0 disables deadline
+         *  tracking entirely (no timeout events are scheduled). */
+        sim::Tick timeout = 0;
+        /** Reissue attempts after the first issue (timeout or UECC)
+         *  before the host fails over. */
+        std::uint32_t retryMax = 2;
+        /** Backoff before the first reissue; doubles per attempt. */
+        sim::Tick retryBackoff = 0;
     };
 
     /**
@@ -142,6 +174,23 @@ class SsdArray
     void onHostComplete(CompletionFn fn) { on_complete_ = std::move(fn); }
 
     /**
+     * Hook fired (on the host domain) when the host detects a
+     * fail-stopped drive — at its fail tick plus the timeout. The
+     * layout has already been marked failed when this runs; scenario
+     * wiring uses it to start a rebuild-to-spare.
+     */
+    void onDriveFailed(std::function<void(std::uint32_t)> fn)
+    {
+        on_drive_failed_ = std::move(fn);
+    }
+
+    /** The fault timeline, or null when the array runs faultless. */
+    const sim::FaultInjector *faultInjector() const
+    {
+        return faults_.get();
+    }
+
+    /**
      * Submit a request against the global LPN space at the current
      * simulated time. Request ids must be unique among outstanding
      * requests. Must be called from the host side (a host event, or
@@ -184,19 +233,55 @@ class SsdArray
         std::uint32_t channelMask = 0;
         bool isRead = true;
         bool degraded = false; ///< plan reconstructed lost data
+        bool failed = false;   ///< completes CompletionStatus::Failed
         /** Phase-2 write ops, issued when phase 1 fully completes. */
         std::vector<ArrayLayout::SubOp> phase2;
     };
 
-    /** Issue one planned op as a drive subrequest. */
+    /** Per-subrequest tracking (the op is kept so timeouts can
+     *  reissue or fail over; everything lives on the host domain). */
+    struct SubState {
+        std::uint64_t parent = 0;
+        ArrayLayout::SubOp op; ///< as planned (drive-local LPN)
+        std::uint32_t channelMask = 0;
+        std::uint32_t attempt = 1; ///< 1 = original issue
+        sim::EventId timeoutEv = 0;
+        /** Fail-slow stretch already applied to this completion. */
+        bool stretched = false;
+        /** Deadline expired; a late completion is silently dropped. */
+        bool abandoned = false;
+        /** A device completion will still arrive (false when the
+         *  dispatch was dropped by a fail-stop). */
+        bool expectCompletion = true;
+    };
+
+    /** Issue one planned op as a drive subrequest; @p attempt > 1
+     *  marks a reissue (layout accounting counts first issues only). */
     void issueSub(std::uint64_t parent_id, sim::Tick arrival,
                   std::uint32_t channel_mask,
-                  const ArrayLayout::SubOp &op);
+                  const ArrayLayout::SubOp &op,
+                  std::uint32_t attempt = 1);
     void subComplete(const ssd::HostCompletion &c);
     /** Drive-side completion hook in sharded mode: forward to the
      *  host domain with the completion turnaround applied. */
     void driveComplete(std::uint32_t d, const ssd::HostCompletion &c);
     void dispatch(std::uint32_t d, const ssd::HostRequest &sub);
+    /** One subrequest slot of @p parent_id finished (completed,
+     *  reconstructed, or absorbed): the old subComplete tail. */
+    void finishSlot(std::uint64_t parent_id);
+    /** Deadline expiry for subrequest @p sub_id. */
+    void onSubTimeout(std::uint64_t sub_id);
+    /** A sub was lost (timeout) or came back UECC: retry with
+     *  backoff, or fail over once attempts are exhausted. */
+    void resolveFailedSub(std::uint64_t sub_id, bool timed_out);
+    /** Retries exhausted: reconstruct / absorb / fail the parent. */
+    void failover(const SubState &st);
+    /** The host detects a fail-stop (fail tick + timeout). */
+    void onDriveDetected(std::uint32_t d);
+    bool driveDead(std::uint32_t d) const
+    {
+        return (dead_mask_ >> d) & 1u;
+    }
 
     sim::EventQueue eq_; ///< host-side queue (shared queue in legacy)
     core::Mechanism mech_;
@@ -210,10 +295,28 @@ class SsdArray
     sim::ParallelExecutor::DomainId host_dom_ = 0;
     std::vector<sim::ParallelExecutor::DomainId> drive_dom_;
 
-    std::unordered_map<std::uint64_t, std::uint64_t> sub_parent_;
+    std::unordered_map<std::uint64_t, SubState> subs_;
     std::unordered_map<std::uint64_t, Parent> parents_;
     std::uint64_t next_sub_id_ = 1;
     CompletionFn on_complete_;
+
+    /** Fault timeline (null = faultless) and host robustness knobs.
+     *  All queries and decisions run on the host domain. */
+    std::unique_ptr<sim::FaultInjector> faults_;
+    sim::Tick timeout_ = 0;
+    std::uint32_t retry_max_ = 2;
+    sim::Tick retry_backoff_ = 0;
+    /** Drives the host knows are unusable: static failedDrives plus
+     *  detected fail-stops. */
+    std::uint64_t dead_mask_ = 0;
+    std::function<void(std::uint32_t)> on_drive_failed_;
+
+    /** Robustness accounting (see stats()). */
+    std::uint64_t host_timeouts_ = 0;
+    std::uint64_t host_retries_ = 0;
+    std::uint64_t host_failovers_ = 0;
+    std::uint64_t uecc_reads_ = 0;
+    std::uint64_t failed_requests_ = 0;
 
     /** Scratch for submit()'s fan-out plan (no per-request
      *  allocation on the injection hot path). */

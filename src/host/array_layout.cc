@@ -208,6 +208,24 @@ Raid5Layout::plan(std::uint64_t lpn, std::uint32_t pages, bool is_read,
     }
 }
 
+bool
+Raid5Layout::markFailed(std::uint32_t drive)
+{
+    SSDRR_ASSERT(drive < drives_, "markFailed drive ", drive,
+                 " out of range for ", drives_, " drives");
+    if (isFailed(drive))
+        return true; // already routing around it
+    // Count current failures against the tolerance; a second failure
+    // is data loss and plans cannot route around it.
+    std::uint32_t failures = 0;
+    for (std::uint32_t d = 0; d < drives_; ++d)
+        failures += isFailed(d) ? 1u : 0u;
+    if (failures >= faultTolerance())
+        return false;
+    failed_mask_ |= std::uint64_t{1} << drive;
+    return true;
+}
+
 // --------------------------------------------------------- factory
 
 std::uint64_t

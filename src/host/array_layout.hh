@@ -117,6 +117,16 @@ class ArrayLayout
      */
     virtual void plan(std::uint64_t lpn, std::uint32_t pages,
                       bool is_read, Plan &out) = 0;
+
+    /**
+     * Mark member @p drive failed mid-run (the host detected a
+     * fail-stop): subsequent plans route around it in degraded mode.
+     * @retval false when the layout cannot serve through the failure
+     * (no redundancy, or tolerance already exhausted) — the caller
+     * keeps planning against the dead drive and fails the affected
+     * requests instead.
+     */
+    virtual bool markFailed(std::uint32_t drive) = 0;
 };
 
 /**
@@ -145,6 +155,8 @@ class Raid0Layout final : public ArrayLayout
     }
     void plan(std::uint64_t lpn, std::uint32_t pages, bool is_read,
               Plan &out) override;
+    /** No redundancy: a failed member is unrecoverable. */
+    bool markFailed(std::uint32_t) override { return false; }
 
   private:
     std::uint32_t drives_;
@@ -199,6 +211,7 @@ class Raid5Layout final : public ArrayLayout
     Location locate(std::uint64_t lpn) const override;
     void plan(std::uint64_t lpn, std::uint32_t pages, bool is_read,
               Plan &out) override;
+    bool markFailed(std::uint32_t drive) override;
 
     std::uint32_t stripeUnitPages() const { return unit_; }
     /** Parity-holding drive of stripe row @p row. */

@@ -1,0 +1,105 @@
+#include "host/rebuild.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ssdrr::host {
+
+RebuildAgent::RebuildAgent(HostInterface &hif, const Options &opt)
+    : hif_(hif), opt_(opt)
+{
+    const ArrayLayout &layout = hif.array().layout();
+    SSDRR_ASSERT(layout.level() == RaidLevel::Raid5,
+                 "rebuild-to-spare requires a RAID-5 array");
+    const auto &r5 = static_cast<const Raid5Layout &>(layout);
+    drives_ = r5.drives();
+    unit_ = r5.stripeUnitPages();
+    opt_.window = std::max(1u, std::min(opt_.window,
+                                        hif.options().queueDepth));
+    qid_ = hif_.addQueuePair(opt_.weight);
+    hif_.bindCompletion(qid_, [this](const ssd::HostCompletion &c) {
+        onComplete(c);
+    });
+}
+
+void
+RebuildAgent::start(std::uint32_t drive)
+{
+    if (started_)
+        return;
+    started_ = true;
+    drive_ = drive;
+    start_tick_ = hif_.array().eventQueue().now();
+    // One row rebuilds one stripe unit of the dead drive; the
+    // exported capacity is whole rows only, so this is exact.
+    const std::uint64_t all_rows =
+        hif_.array().logicalPages() /
+        (static_cast<std::uint64_t>(unit_) * (drives_ - 1));
+    total_rows_ =
+        opt_.rows == 0 ? all_rows : std::min(opt_.rows, all_rows);
+    for (std::uint32_t i = 0; i < opt_.window; ++i)
+        postNext();
+}
+
+void
+RebuildAgent::postNext()
+{
+    if (next_row_ >= total_rows_)
+        return;
+    const std::uint64_t row = next_row_++;
+    const auto &r5 =
+        static_cast<const Raid5Layout &>(hif_.array().layout());
+    const std::uint64_t row_lpn =
+        row * (drives_ - 1) * unit_; ///< first global LPN of the row
+    ssd::HostRequest req;
+    req.arrival = hif_.array().eventQueue().now();
+    req.isRead = true;
+    const std::uint32_t parity = r5.parityDriveOfRow(row);
+    if (parity == drive_) {
+        // The dead drive held this row's parity: recompute it from
+        // the whole row's data, all of which survives.
+        req.lpn = row_lpn;
+        req.pages = (drives_ - 1) * unit_;
+    } else {
+        // The dead drive held data unit k of the row (the k-th
+        // member, skipping the parity drive): read its global range.
+        // The layout is marked failed, so this becomes the normal
+        // degraded-read reconstruction join.
+        const std::uint32_t k = drive_ - (drive_ > parity ? 1 : 0);
+        req.lpn = row_lpn + static_cast<std::uint64_t>(k) * unit_;
+        req.pages = unit_;
+    }
+    const bool posted = hif_.post(qid_, req);
+    SSDRR_ASSERT(posted, "rebuild queue pair rejected a command "
+                         "(window exceeds queue depth?)");
+    ++inflight_;
+}
+
+void
+RebuildAgent::onComplete(const ssd::HostCompletion &)
+{
+    SSDRR_ASSERT(inflight_ > 0, "rebuild completion with none in flight");
+    --inflight_;
+    ++rows_done_;
+    ++reads_done_;
+    if (next_row_ < total_rows_) {
+        postNext();
+        return;
+    }
+    if (inflight_ == 0) {
+        // Last row in: the (virtual) spare now holds the drive.
+        time_to_rebuild_ms_ = sim::toMsec(
+            hif_.array().eventQueue().now() - start_tick_);
+    }
+}
+
+void
+RebuildAgent::collectStats(ssd::RunStats &s) const
+{
+    s.rebuildReads = reads_done_;
+    s.rebuildProgress = progress();
+    s.timeToRebuildMs = time_to_rebuild_ms_;
+}
+
+} // namespace ssdrr::host

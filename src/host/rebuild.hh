@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Rebuild-to-spare, modeled as a background tenant.
+ *
+ * When the host detects a fail-stopped RAID-5 member
+ * (SsdArray::onDriveFailed), the RebuildAgent walks the dead drive's
+ * stripe units row by row and issues the reads that reconstruct each
+ * unit onto a (virtual) hot spare:
+ *  - a data unit of the dead drive is read at its global address —
+ *    the layout is already marked failed, so the array turns the
+ *    read into the normal degraded-read reconstruction join;
+ *  - a parity unit of the dead drive is recomputed by reading the
+ *    whole row's data span (all of it on surviving drives).
+ *
+ * The reads are ordinary host commands on the agent's own queue
+ * pair: they flow through command-fetch arbitration, the filter
+ * chain, and the array exactly like foreground traffic, so rebuild
+ * bandwidth competes with tenants under the configured arbitration
+ * policy. Writing the reconstructed unit to the spare is modeled as
+ * free (the spare is not an array member, so its writes would not
+ * contend with anything the simulation models).
+ *
+ * The agent runs closed-loop with a small window and is fully
+ * deterministic: it reacts only to host-domain events (the detection
+ * hook and its own completions).
+ */
+
+#ifndef SSDRR_HOST_REBUILD_HH
+#define SSDRR_HOST_REBUILD_HH
+
+#include <cstdint>
+
+#include "host/host_interface.hh"
+
+namespace ssdrr::host {
+
+class RebuildAgent
+{
+  public:
+    struct Options {
+        /** Concurrent reconstruction reads (clamped to the host
+         *  interface's queue depth). */
+        std::uint32_t window = 4;
+        /** Arbitration weight of the rebuild queue pair. */
+        std::uint32_t weight = 1;
+        /** Stripe rows to rebuild (bounds the modeled rebuild
+         *  region; 0 = the whole array). */
+        std::uint64_t rows = 0;
+    };
+
+    /** Creates the agent's queue pair on @p hif; requires a RAID-5
+     *  array. Idle until start() fires. */
+    RebuildAgent(HostInterface &hif, const Options &opt);
+
+    /** Begin rebuilding failed member @p drive (wired to
+     *  SsdArray::onDriveFailed). A second call is ignored. */
+    void start(std::uint32_t drive);
+
+    bool active() const { return started_ && !finished(); }
+    bool finished() const
+    {
+        return started_ && next_row_ >= total_rows_ && inflight_ == 0;
+    }
+
+    /** Reconstruction reads completed so far. */
+    std::uint64_t rebuildReads() const { return reads_done_; }
+    /** Fraction of the scheduled rebuild region completed (0..1). */
+    double progress() const
+    {
+        return total_rows_ == 0
+                   ? 0.0
+                   : static_cast<double>(rows_done_) /
+                         static_cast<double>(total_rows_);
+    }
+    /** Simulated milliseconds from detection to the last row (0
+     *  until the rebuild finishes). */
+    double timeToRebuildMs() const { return time_to_rebuild_ms_; }
+
+    /** Fold the agent's counters into a run summary. */
+    void collectStats(ssd::RunStats &s) const;
+
+  private:
+    void postNext();
+    void onComplete(const ssd::HostCompletion &c);
+
+    HostInterface &hif_;
+    Options opt_;
+    std::uint32_t qid_ = 0;
+    std::uint32_t drives_ = 0;
+    std::uint32_t unit_ = 1;
+
+    bool started_ = false;
+    std::uint32_t drive_ = 0;       ///< member being rebuilt
+    std::uint64_t total_rows_ = 0;  ///< scheduled rebuild region
+    std::uint64_t next_row_ = 0;    ///< next row to issue
+    std::uint32_t inflight_ = 0;
+    std::uint64_t rows_done_ = 0;
+    std::uint64_t reads_done_ = 0;
+    sim::Tick start_tick_ = 0;
+    double time_to_rebuild_ms_ = 0.0;
+};
+
+} // namespace ssdrr::host
+
+#endif // SSDRR_HOST_REBUILD_HH

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "host/rebuild.hh"
 #include "sim/logging.hh"
 #include "workload/msr_parser.hh"
 #include "workload/suites.hh"
@@ -172,6 +173,11 @@ runScenario(const ScenarioConfig &cfg)
     aopt.failedDrives = cfg.failedDrives;
     aopt.hostLink = sim::usec(cfg.hostLinkUs);
     aopt.threads = cfg.threads;
+    aopt.faults = cfg.faults;
+    aopt.faultSeed = cfg.ssd.seed;
+    aopt.timeout = sim::usec(cfg.timeoutUs);
+    aopt.retryMax = cfg.retryMax;
+    aopt.retryBackoff = sim::usec(cfg.retryBackoffUs);
     SsdArray array(cfg.ssd, cfg.mech, aopt);
     array.precondition();
     HostInterface::Options hopt = cfg.host;
@@ -251,6 +257,25 @@ runScenario(const ScenarioConfig &cfg)
         tenants.push_back(std::make_unique<Tenant>(
             std::move(tname), std::move(trace), topt, hif));
     }
+    // Rebuild-to-spare: a fail-stop fault flagged `rebuild` starts a
+    // background reconstruction tenant when the host detects the
+    // failure. Its queue pair is created after the tenants' so
+    // foreground qids stay 0..n-1.
+    std::unique_ptr<RebuildAgent> rebuild;
+    for (const sim::FaultEvent &e : cfg.faults) {
+        if (e.kind == sim::FaultEvent::Kind::FailStop && e.rebuild) {
+            RebuildAgent::Options ropt;
+            ropt.rows = e.rebuildRows;
+            rebuild = std::make_unique<RebuildAgent>(hif, ropt);
+            break;
+        }
+    }
+    if (rebuild) {
+        RebuildAgent *agent = rebuild.get();
+        array.onDriveFailed(
+            [agent](std::uint32_t d) { agent->start(d); });
+    }
+
     for (auto &t : tenants)
         t->start();
     array.drain();
@@ -259,6 +284,8 @@ runScenario(const ScenarioConfig &cfg)
     for (auto &t : tenants)
         res.tenants.push_back(t->stats());
     res.array = array.stats();
+    if (rebuild)
+        rebuild->collectStats(res.array);
     hif.collectFilterStats(res.array);
     for (std::uint32_t q = 0; q < hif.queuePairs(); ++q)
         res.fetchedPerQueue.push_back(hif.queuePair(q).totalFetched());

@@ -80,6 +80,16 @@ struct ScenarioConfig {
     /** Failed member drives: RAID-5 serves their data through
      *  degraded-mode reconstruction. */
     std::vector<std::uint32_t> failedDrives;
+    /** Fault timeline injected mid-run (sim/fault_injector.hh);
+     *  empty = faultless, bit-identical to the pre-fault engine. */
+    std::vector<sim::FaultEvent> faults;
+    /** Per-subrequest deadline in microseconds (0 = no timeout
+     *  tracking; required > 0 by any fail-stop fault). */
+    double timeoutUs = 0.0;
+    /** Reissue attempts after a timeout/UECC before failover. */
+    std::uint32_t retryMax = 2;
+    /** Backoff before the first reissue (doubles per attempt). */
+    double retryBackoffUs = 100.0;
     HostInterface::Options host;
     std::vector<TenantSpec> tenants;
     /**

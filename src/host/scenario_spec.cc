@@ -237,6 +237,61 @@ tenantFromJson(const Value &v, const std::string &where)
 }
 
 Value
+faultToJson(const FaultSpec &f)
+{
+    // Like filters: emit only the selected type's knobs, so the
+    // round-trip is exact and the files stay readable.
+    Value o = Value::object();
+    o.set("type", Value(f.type));
+    o.set("drive", Value(std::uint64_t{f.drive}));
+    o.set("atUs", Value(f.atUs));
+    if (f.type == "failStop") {
+        if (f.rebuild) {
+            o.set("rebuild", Value(f.rebuild));
+            o.set("rebuildRows", Value(f.rebuildRows));
+        }
+    } else {
+        o.set("untilUs", Value(f.untilUs));
+        if (f.type == "failSlow")
+            o.set("multiplier", Value(f.multiplier));
+        else if (f.type == "uecc")
+            o.set("probability", Value(f.probability));
+    }
+    return o;
+}
+
+FaultSpec
+faultFromJson(const Value &v, const std::string &where)
+{
+    requireObject(v, where);
+    FaultSpec f;
+    f.type = getString(v, "type", where, "");
+    if (f.type == "failStop") {
+        checkKeys(v, where,
+                  {"type", "drive", "atUs", "rebuild", "rebuildRows"});
+        f.rebuild = getBool(v, "rebuild", where, f.rebuild);
+        f.rebuildRows = getUint(v, "rebuildRows", where, f.rebuildRows);
+    } else if (f.type == "failSlow") {
+        checkKeys(v, where,
+                  {"type", "drive", "atUs", "untilUs", "multiplier"});
+        f.untilUs = getNumber(v, "untilUs", where, f.untilUs);
+        f.multiplier = getNumber(v, "multiplier", where, f.multiplier);
+    } else if (f.type == "uecc") {
+        checkKeys(v, where,
+                  {"type", "drive", "atUs", "untilUs", "probability"});
+        f.untilUs = getNumber(v, "untilUs", where, f.untilUs);
+        f.probability =
+            getNumber(v, "probability", where, f.probability);
+    } else {
+        specFail(where + ".type: unknown fault \"" + f.type +
+                 "\" (known: failStop, failSlow, uecc)");
+    }
+    f.drive = getUint32(v, "drive", where, f.drive);
+    f.atUs = getNumber(v, "atUs", where, f.atUs);
+    return f;
+}
+
+Value
 filterToJson(const filter::FilterSpec &f)
 {
     // Emit only the selected type's knobs: the other fields are
@@ -345,6 +400,40 @@ SsdSpec::operator==(const SsdSpec &o) const
            suspension == o.suspension && seed == o.seed;
 }
 
+// -------------------------------------------------------- FaultSpec
+
+sim::FaultEvent
+FaultSpec::toEvent() const
+{
+    sim::FaultEvent e;
+    if (type == "failStop")
+        e.kind = sim::FaultEvent::Kind::FailStop;
+    else if (type == "failSlow")
+        e.kind = sim::FaultEvent::Kind::FailSlow;
+    else if (type == "uecc")
+        e.kind = sim::FaultEvent::Kind::Uecc;
+    else
+        specFail("fault.type: unknown fault \"" + type +
+                 "\" (known: failStop, failSlow, uecc)");
+    e.drive = drive;
+    e.at = sim::usec(atUs);
+    e.until = untilUs > 0.0 ? sim::usec(untilUs) : sim::kTickNever;
+    e.multiplier = multiplier;
+    e.probability = probability;
+    e.rebuild = rebuild;
+    e.rebuildRows = rebuildRows;
+    return e;
+}
+
+bool
+FaultSpec::operator==(const FaultSpec &o) const
+{
+    return type == o.type && drive == o.drive && atUs == o.atUs &&
+           untilUs == o.untilUs && multiplier == o.multiplier &&
+           probability == o.probability && rebuild == o.rebuild &&
+           rebuildRows == o.rebuildRows;
+}
+
 bool
 operator==(const TenantSpec &a, const TenantSpec &b)
 {
@@ -364,10 +453,12 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
            mechanisms == o.mechanisms && drives == o.drives &&
            raidLevel == o.raidLevel &&
            stripeUnitPages == o.stripeUnitPages &&
-           failedDrives == o.failedDrives && threads == o.threads &&
-           queueDepth == o.queueDepth &&
+           failedDrives == o.failedDrives && faults == o.faults &&
+           threads == o.threads && queueDepth == o.queueDepth &&
            arbitration == o.arbitration &&
            maxDeviceInflight == o.maxDeviceInflight &&
+           timeoutUs == o.timeoutUs && retryMax == o.retryMax &&
+           retryBackoffUs == o.retryBackoffUs &&
            hostLinkUs == o.hostLinkUs &&
            transferUsPerKb == o.transferUsPerKb &&
            filters == o.filters && tenants == o.tenants;
@@ -407,6 +498,13 @@ ScenarioSpec::toJson() const
     av.set("failedDrives", std::move(fv));
     root.set("array", std::move(av));
 
+    if (!faults.empty()) {
+        Value fav = Value::array();
+        for (const FaultSpec &f : faults)
+            fav.push(faultToJson(f));
+        root.set("faults", std::move(fav));
+    }
+
     root.set("threads", Value(std::uint64_t{threads}));
 
     Value hv = Value::object();
@@ -414,6 +512,9 @@ ScenarioSpec::toJson() const
     hv.set("arbitration", Value(arbitration));
     hv.set("maxDeviceInflight",
            Value(std::uint64_t{maxDeviceInflight}));
+    hv.set("timeoutUs", Value(timeoutUs));
+    hv.set("retryMax", Value(std::uint64_t{retryMax}));
+    hv.set("retryBackoffUs", Value(retryBackoffUs));
     hv.set("hostLinkUs", Value(hostLinkUs));
     hv.set("transferUsPerKb", Value(transferUsPerKb));
     if (!filters.empty()) {
@@ -443,7 +544,7 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
     requireObject(v, "scenario");
     checkKeys(v, "scenario",
               {"name", "ssd", "mechanisms", "drives", "array",
-               "threads", "host", "tenants"});
+               "faults", "threads", "host", "tenants"});
     ScenarioSpec spec;
     spec.name = getString(v, "name", "scenario", "");
 
@@ -517,12 +618,24 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
         }
     }
 
+    if (const Value *fav = v.find("faults")) {
+        if (!fav->isArray())
+            specFail("faults: expected an array of fault objects, "
+                     "got " +
+                     std::string(fav->typeName()));
+        std::size_t i = 0;
+        for (const Value &f : fav->elements())
+            spec.faults.push_back(faultFromJson(
+                f, "faults[" + std::to_string(i++) + "]"));
+    }
+
     spec.threads = getUint32(v, "threads", "scenario", spec.threads);
 
     if (const Value *hv = v.find("host")) {
         requireObject(*hv, "host");
         checkKeys(*hv, "host",
                   {"queueDepth", "arbitration", "maxDeviceInflight",
+                   "timeoutUs", "retryMax", "retryBackoffUs",
                    "hostLinkUs", "transferUsPerKb", "filters"});
         spec.queueDepth =
             getUint32(*hv, "queueDepth", "host", spec.queueDepth);
@@ -530,6 +643,12 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
             getString(*hv, "arbitration", "host", spec.arbitration);
         spec.maxDeviceInflight = getUint32(
             *hv, "maxDeviceInflight", "host", spec.maxDeviceInflight);
+        spec.timeoutUs =
+            getNumber(*hv, "timeoutUs", "host", spec.timeoutUs);
+        spec.retryMax =
+            getUint32(*hv, "retryMax", "host", spec.retryMax);
+        spec.retryBackoffUs = getNumber(*hv, "retryBackoffUs", "host",
+                                        spec.retryBackoffUs);
         spec.hostLinkUs =
             getNumber(*hv, "hostLinkUs", "host", spec.hostLinkUs);
         spec.transferUsPerKb = getNumber(*hv, "transferUsPerKb",
@@ -683,6 +802,78 @@ ScenarioSpec::validate() const
                       : "none; raid0 has no redundancy") +
                  ")");
 
+    bool any_fail_stop = false;
+    bool any_rebuild = false;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const FaultSpec &f = faults[i];
+        const std::string w = "faults[" + std::to_string(i) + "]";
+        if (f.type != "failStop" && f.type != "failSlow" &&
+            f.type != "uecc")
+            specFail(w + ".type: unknown fault \"" + f.type +
+                     "\" (known: failStop, failSlow, uecc)");
+        if (f.drive >= drives)
+            specFail(w + ".drive: drive " + std::to_string(f.drive) +
+                     " is out of range (the array has " +
+                     std::to_string(drives) + " drives)");
+        for (std::uint32_t dead : failedDrives)
+            if (f.drive == dead)
+                specFail(w + ".drive: drive " +
+                         std::to_string(f.drive) +
+                         " is already listed in array.failedDrives "
+                         "(it failed before the run; a fault cannot "
+                         "hit it again)");
+        if (!(f.atUs >= 0.0) || f.atUs > 1e9)
+            specFail(w + ".atUs: must be a start time in [0, 1e9] "
+                         "microseconds");
+        if (f.type == "failStop") {
+            if (f.untilUs != 0.0)
+                specFail(w + ".untilUs: a failStop fault is "
+                             "permanent; drop untilUs");
+            for (std::size_t j = 0; j < i; ++j)
+                if (faults[j].type == "failStop" &&
+                    faults[j].drive == f.drive)
+                    specFail(w + ".drive: drive " +
+                             std::to_string(f.drive) +
+                             " fail-stops twice on the timeline");
+            any_fail_stop = true;
+        } else {
+            if (f.untilUs != 0.0 && f.untilUs <= f.atUs)
+                specFail(w + ".untilUs: the window must end after "
+                             "atUs (or be 0, open-ended)");
+            if (f.untilUs > 1e9)
+                specFail(w + ".untilUs: must be a window end in "
+                             "[0, 1e9] microseconds");
+        }
+        if (f.type == "failSlow" &&
+            (!(f.multiplier > 1.0) || f.multiplier > 1e6))
+            specFail(w + ".multiplier: must be a device-latency "
+                         "stretch in (1, 1e6]");
+        if (f.type == "uecc" &&
+            (!(f.probability > 0.0) || f.probability > 1.0))
+            specFail(w + ".probability: must be a per-read UECC "
+                         "probability in (0, 1]");
+        if (f.rebuild) {
+            if (f.type != "failStop")
+                specFail(w + ".rebuild: only a failStop fault can "
+                             "start a rebuild-to-spare");
+            if (raid != RaidLevel::Raid5)
+                specFail(w + ".rebuild: rebuild-to-spare "
+                             "reconstructs from RAID-5 stripe mates; "
+                             "set array.raidLevel \"raid5\"");
+            if (any_rebuild)
+                specFail(w + ".rebuild: the run models one rebuild; "
+                             "a second fault already set it");
+            any_rebuild = true;
+        } else if (f.rebuildRows != 0) {
+            specFail(w + ".rebuildRows: set without rebuild (it "
+                         "bounds the rebuild region)");
+        }
+    }
+    if (any_fail_stop && timeoutUs <= 0.0)
+        specFail("host.timeoutUs: a failStop fault needs a "
+                 "per-subrequest deadline > 0 — the host only "
+                 "detects a silent drive through timeouts");
+
     if (threads < 1)
         specFail("threads: must be >= 1");
     if (!(hostLinkUs >= 0.0) || hostLinkUs > 1e9)
@@ -769,6 +960,16 @@ ScenarioSpec::validate() const
                      "throttle, xfer)");
         }
     }
+    if (!(timeoutUs >= 0.0) || timeoutUs > 1e9)
+        specFail("host.timeoutUs: must be a deadline in [0, 1e9] "
+                 "microseconds (0 = no deadline tracking)");
+    if (retryMax > 16)
+        specFail("host.retryMax: " + std::to_string(retryMax) +
+                 " reissues of one subrequest is runaway; the cap "
+                 "is 16");
+    if (!(retryBackoffUs >= 0.0) || retryBackoffUs > 1e9)
+        specFail("host.retryBackoffUs: must be a backoff in "
+                 "[0, 1e9] microseconds");
     if (queueDepth < 1)
         specFail("host.queueDepth: must be >= 1");
     Arbitration arb;
@@ -889,6 +1090,11 @@ ScenarioSpec::toConfig(core::Mechanism mech, TraceCache *cache) const
     sc.raid = parseRaidLevel(raidLevel);
     sc.stripeUnitPages = stripeUnitPages;
     sc.failedDrives = failedDrives;
+    for (const FaultSpec &f : faults)
+        sc.faults.push_back(f.toEvent());
+    sc.timeoutUs = timeoutUs;
+    sc.retryMax = retryMax;
+    sc.retryBackoffUs = retryBackoffUs;
     sc.host.queueDepth = queueDepth;
     sc.host.arbitration = parseArbitration(arbitration);
     sc.host.maxDeviceInflight = maxDeviceInflight;
@@ -1026,6 +1232,73 @@ ScenarioBuilder &
 ScenarioBuilder::threads(std::uint32_t n)
 {
     spec_.threads = n;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::fault(const FaultSpec &spec)
+{
+    spec_.faults.push_back(spec);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::failStop(std::uint32_t drive, double at_us,
+                          bool rebuild, std::uint64_t rebuild_rows)
+{
+    FaultSpec f;
+    f.type = "failStop";
+    f.drive = drive;
+    f.atUs = at_us;
+    f.rebuild = rebuild;
+    f.rebuildRows = rebuild ? rebuild_rows : 0;
+    return fault(f);
+}
+
+ScenarioBuilder &
+ScenarioBuilder::failSlow(std::uint32_t drive, double at_us,
+                          double until_us, double multiplier)
+{
+    FaultSpec f;
+    f.type = "failSlow";
+    f.drive = drive;
+    f.atUs = at_us;
+    f.untilUs = until_us;
+    f.multiplier = multiplier;
+    return fault(f);
+}
+
+ScenarioBuilder &
+ScenarioBuilder::ueccFault(std::uint32_t drive, double at_us,
+                           double until_us, double probability)
+{
+    FaultSpec f;
+    f.type = "uecc";
+    f.drive = drive;
+    f.atUs = at_us;
+    f.untilUs = until_us;
+    f.probability = probability;
+    return fault(f);
+}
+
+ScenarioBuilder &
+ScenarioBuilder::timeoutUs(double us)
+{
+    spec_.timeoutUs = us;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::retryMax(std::uint32_t attempts)
+{
+    spec_.retryMax = attempts;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::retryBackoffUs(double us)
+{
+    spec_.retryBackoffUs = us;
     return *this;
 }
 

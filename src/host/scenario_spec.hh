@@ -69,6 +69,39 @@ struct SsdSpec {
 };
 
 /**
+ * One fault event on the scenario's timeline (JSON array "faults").
+ * Times are microseconds of simulated time; the fault machinery is
+ * deterministic, so the same spec reproduces the same faults for any
+ * thread count (see sim/fault_injector.hh).
+ */
+struct FaultSpec {
+    /** "failStop", "failSlow", or "uecc". */
+    std::string type = "failStop";
+    /** Member drive the fault hits. */
+    std::uint32_t drive = 0;
+    /** Fault start in microseconds of simulated time. */
+    double atUs = 0.0;
+    /** Window end for failSlow/uecc (0 = open-ended; must stay 0
+     *  for failStop, which is permanent). */
+    double untilUs = 0.0;
+    /** failSlow: device-latency multiplier (> 1). */
+    double multiplier = 1.0;
+    /** uecc: per-read probability in (0, 1]. */
+    double probability = 0.0;
+    /** failStop: start a rebuild-to-spare on detection. */
+    bool rebuild = false;
+    /** failStop + rebuild: stripe rows to rebuild (bounds the
+     *  modeled rebuild region; 0 = the whole array). */
+    std::uint64_t rebuildRows = 0;
+
+    /** @throws SpecError on an unknown type name. */
+    sim::FaultEvent toEvent() const;
+
+    bool operator==(const FaultSpec &o) const;
+    bool operator!=(const FaultSpec &o) const { return !(*this == o); }
+};
+
+/**
  * The full, serializable description of one scenario run (possibly
  * swept over several mechanisms).
  */
@@ -88,6 +121,11 @@ struct ScenarioSpec {
     /** Failed member drives; must respect the layout's fault
      *  tolerance (none for raid0, one for raid5). */
     std::vector<std::uint32_t> failedDrives;
+    // ----- fault timeline (JSON array "faults") -----
+    /** Seeded mid-run faults; empty (default) is bit-identical to
+     *  the pre-fault engine. Must not name drives already listed in
+     *  array.failedDrives. */
+    std::vector<FaultSpec> faults;
     /**
      * Worker threads for the sharded per-drive engine. 1 (default)
      * runs everything on the calling thread; N > 1 simulates the
@@ -102,6 +140,20 @@ struct ScenarioSpec {
     std::string arbitration = "rr";
     /** 0 = auto (8 command slots per drive). */
     std::uint32_t maxDeviceInflight = 0;
+    /**
+     * Per-subrequest deadline in microseconds ("host.timeoutUs").
+     * On expiry the sub is reissued with exponential backoff
+     * (retryMax attempts, retryBackoffUs base) and finally failed
+     * over (RAID-5 reads reconstruct; unrecoverable requests
+     * complete Failed). 0 (default) disables deadline tracking —
+     * bit-identical to the pre-timeout engine. Required > 0 when the
+     * timeline has a failStop fault.
+     */
+    double timeoutUs = 0.0;
+    /** Reissue attempts after a timeout/UECC before failover. */
+    std::uint32_t retryMax = 2;
+    /** Backoff before the first reissue; doubles per attempt. */
+    double retryBackoffUs = 100.0;
     /**
      * Host dispatch/completion turnaround in microseconds (the
      * PCIe/NVMe doorbell-fetch and interrupt paths). 0 = legacy
@@ -224,6 +276,26 @@ class ScenarioBuilder
     ScenarioBuilder &failedDrives(const std::vector<std::uint32_t> &d);
     /** Worker threads (needs hostLinkUs() > 0 when > 1). */
     ScenarioBuilder &threads(std::uint32_t n);
+    /** Append a fault event to the timeline. */
+    ScenarioBuilder &fault(const FaultSpec &spec);
+    /** Sugar: drive stops completing at @p at_us; optionally start
+     *  a rebuild-to-spare over @p rebuild_rows stripe rows on
+     *  detection (0 = whole array; pass rebuild=false to skip). */
+    ScenarioBuilder &failStop(std::uint32_t drive, double at_us,
+                              bool rebuild = false,
+                              std::uint64_t rebuild_rows = 0);
+    /** Sugar: drive latency multiplied in [at_us, until_us). */
+    ScenarioBuilder &failSlow(std::uint32_t drive, double at_us,
+                              double until_us, double multiplier);
+    /** Sugar: seeded UECC reads in [at_us, until_us). */
+    ScenarioBuilder &ueccFault(std::uint32_t drive, double at_us,
+                               double until_us, double probability);
+    /** Per-subrequest deadline in microseconds (0 = off). */
+    ScenarioBuilder &timeoutUs(double us);
+    /** Reissue attempts before failover. */
+    ScenarioBuilder &retryMax(std::uint32_t attempts);
+    /** Base reissue backoff in microseconds (doubles per attempt). */
+    ScenarioBuilder &retryBackoffUs(double us);
     /** Host dispatch/completion turnaround in microseconds. */
     ScenarioBuilder &hostLinkUs(double us);
     /** Per-KiB link transfer cost in microseconds. */

@@ -134,6 +134,14 @@ writeBenchJson(const std::string &path, const std::string &label,
           << ",\n";
         f << "      \"host_p99_read_us\": " << fixed3(r.hostP99ReadUs)
           << ",\n";
+        f << "      \"host_timeouts\": " << r.hostTimeouts << ",\n";
+        f << "      \"host_retries\": " << r.hostRetries << ",\n";
+        f << "      \"host_failovers\": " << r.hostFailovers << ",\n";
+        f << "      \"uecc_reads\": " << r.ueccReads << ",\n";
+        f << "      \"failed_requests\": " << r.failedRequests << ",\n";
+        f << "      \"rebuild_reads\": " << r.rebuildReads << ",\n";
+        f << "      \"time_to_rebuild_ms\": "
+          << fixed3(r.timeToRebuildMs) << ",\n";
         f << "      \"unreliable\": "
           << (r.unreliable ? "true" : "false") << "\n";
         f << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";

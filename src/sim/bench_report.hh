@@ -65,6 +65,16 @@ struct BenchRun {
     std::uint64_t prefetchIssued = 0;
     std::uint64_t prefetchUseful = 0;
     double hostP99ReadUs = 0.0;
+    // ----- fault-timeline / robustness accounting (informational,
+    // not digested: zero outside the fault sections, and the golden
+    // digest predates the fault machinery) -----
+    std::uint64_t hostTimeouts = 0;
+    std::uint64_t hostRetries = 0;
+    std::uint64_t hostFailovers = 0;
+    std::uint64_t ueccReads = 0;
+    std::uint64_t failedRequests = 0;
+    std::uint64_t rebuildReads = 0;
+    double timeToRebuildMs = 0.0;
     /**
      * True when the measurement environment cannot support the run's
      * premise (e.g. a 4-thread speedup measured on fewer than 4

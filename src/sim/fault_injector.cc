@@ -1,0 +1,78 @@
+#include "sim/fault_injector.hh"
+
+#include "sim/logging.hh"
+
+namespace ssdrr::sim {
+
+namespace {
+
+/** splitmix64 finalizer: avalanches a 64-bit key. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform draw in [0, 1) keyed on (seed, drive, event, token). */
+double
+draw(std::uint64_t seed, std::uint32_t drive, std::size_t event,
+     std::uint64_t token)
+{
+    std::uint64_t h = mix64(seed ^ mix64(token));
+    h = mix64(h ^ (static_cast<std::uint64_t>(drive) << 32 | event));
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool
+inWindow(const FaultEvent &e, Tick t)
+{
+    return t >= e.at && (e.until == kTickNever || t < e.until);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(std::vector<FaultEvent> timeline,
+                             std::uint64_t seed, std::uint32_t drives)
+    : timeline_(std::move(timeline)), seed_(seed),
+      fail_stop_(drives, kTickNever)
+{
+    for (const FaultEvent &e : timeline_) {
+        SSDRR_ASSERT(e.drive < drives, "fault event names drive ",
+                     e.drive, " but the array has ", drives);
+        if (e.kind != FaultEvent::Kind::FailStop)
+            continue;
+        any_fail_stop_ = true;
+        if (e.at < fail_stop_[e.drive])
+            fail_stop_[e.drive] = e.at;
+    }
+}
+
+double
+FaultInjector::slowdownAt(std::uint32_t drive, Tick t) const
+{
+    double m = 1.0;
+    for (const FaultEvent &e : timeline_)
+        if (e.kind == FaultEvent::Kind::FailSlow && e.drive == drive &&
+            inWindow(e, t))
+            m *= e.multiplier;
+    return m;
+}
+
+bool
+FaultInjector::ueccAt(std::uint32_t drive, Tick t,
+                      std::uint64_t token) const
+{
+    for (std::size_t i = 0; i < timeline_.size(); ++i) {
+        const FaultEvent &e = timeline_[i];
+        if (e.kind == FaultEvent::Kind::Uecc && e.drive == drive &&
+            inWindow(e, t) && draw(seed_, drive, i, token) < e.probability)
+            return true;
+    }
+    return false;
+}
+
+} // namespace ssdrr::sim

@@ -53,6 +53,20 @@ struct HostRequest {
 };
 
 /**
+ * How a host request (or array subrequest) completed. Devices always
+ * raise Ok — uncorrectable reads are injected above the device by the
+ * fault timeline (sim/fault_injector.hh), which flips subrequest
+ * completions to Uecc at the host boundary; Failed marks an array
+ * request whose data could not be recovered (retries exhausted and no
+ * reconstruction path).
+ */
+enum class CompletionStatus : std::uint8_t {
+    Ok,
+    Uecc,   ///< read completed uncorrectable (transient fault window)
+    Failed, ///< unrecoverable: retries exhausted, no redundancy left
+};
+
+/**
  * Completion record delivered to the host-side completion hook when
  * the last page of a host request finishes. The host interface layer
  * (src/host/) uses this to route completions back to the submitting
@@ -68,6 +82,7 @@ struct HostCompletion {
     /** HostRequest::pages, echoed so the host layer can charge
      *  size-proportional completion transfer time. */
     std::uint32_t pages = 1;
+    CompletionStatus status = CompletionStatus::Ok;
 };
 
 /** End-of-run result summary. */
@@ -132,6 +147,26 @@ struct RunStats {
     std::uint64_t delayedRequests = 0;
     /** Requests that waited for a throttle-filter token. */
     std::uint64_t throttledRequests = 0;
+    // ----- fault timeline + host robustness accounting (zero when
+    // the scenario declares no faults and no host.timeoutUs) -----
+    /** Subrequest deadlines that expired (host.timeoutUs). */
+    std::uint64_t hostTimeouts = 0;
+    /** Subrequests reissued after a timeout or UECC completion. */
+    std::uint64_t hostRetries = 0;
+    /** Subrequests converted to a reconstruction join (or absorbed
+     *  by redundancy) after retries ran out. */
+    std::uint64_t hostFailovers = 0;
+    /** Subrequest reads that completed uncorrectable. */
+    std::uint64_t ueccReads = 0;
+    /** Array requests that completed with CompletionStatus::Failed. */
+    std::uint64_t failedRequests = 0;
+    /** Rebuild-to-spare reconstruction reads completed. */
+    std::uint64_t rebuildReads = 0;
+    /** Fraction of the scheduled rebuild region completed (0..1). */
+    double rebuildProgress = 0.0;
+    /** Wall-clock (simulated) time from failure detection to rebuild
+     *  completion, in milliseconds (0 when no rebuild finished). */
+    double timeToRebuildMs = 0.0;
     /** Host-surface read view (above the chain: cache hits included,
      *  prefetches excluded). Zero when the chain is empty. */
     std::uint64_t hostReads = 0;

@@ -252,6 +252,117 @@ TEST(ScenarioSpec, RejectsInvalidArrayLayouts)
         "array.failedDrives: expected an array");
 }
 
+TEST(ScenarioSpec, FaultTimelineRoundTripsAndReachesTheConfig)
+{
+    const ScenarioSpec spec = ScenarioBuilder()
+                                  .drives(4)
+                                  .raid("raid5")
+                                  .stripeUnitPages(4)
+                                  .hostLinkUs(10.0)
+                                  .timeoutUs(1500.0)
+                                  .retryMax(3)
+                                  .retryBackoffUs(250.0)
+                                  .failSlow(2, 500.0, 4000.0, 4.0)
+                                  .ueccFault(1, 0.0, 8000.0, 0.02)
+                                  .failStop(0, 3000.0, true, 48)
+                                  .tenant("t", "usr_1", 100)
+                                  .build();
+    const ScenarioSpec back =
+        ScenarioSpec::fromJsonText(spec.toJsonText());
+    EXPECT_TRUE(back == spec);
+    ASSERT_EQ(back.faults.size(), 3u);
+    EXPECT_EQ(back.faults[0].type, "failSlow");
+    EXPECT_EQ(back.faults[2].rebuildRows, 48u);
+    EXPECT_DOUBLE_EQ(back.timeoutUs, 1500.0);
+    EXPECT_EQ(back.retryMax, 3u);
+    EXPECT_DOUBLE_EQ(back.retryBackoffUs, 250.0);
+
+    const ScenarioConfig cfg =
+        spec.toConfig(core::Mechanism::Baseline);
+    ASSERT_EQ(cfg.faults.size(), 3u);
+    EXPECT_EQ(cfg.faults[0].kind, sim::FaultEvent::Kind::FailSlow);
+    EXPECT_EQ(cfg.faults[0].at, sim::usec(500.0));
+    EXPECT_EQ(cfg.faults[0].until, sim::usec(4000.0));
+    EXPECT_DOUBLE_EQ(cfg.faults[0].multiplier, 4.0);
+    EXPECT_EQ(cfg.faults[1].kind, sim::FaultEvent::Kind::Uecc);
+    EXPECT_DOUBLE_EQ(cfg.faults[1].probability, 0.02);
+    EXPECT_EQ(cfg.faults[2].kind, sim::FaultEvent::Kind::FailStop);
+    EXPECT_EQ(cfg.faults[2].until, sim::kTickNever);
+    EXPECT_TRUE(cfg.faults[2].rebuild);
+    EXPECT_EQ(cfg.faults[2].rebuildRows, 48u);
+    EXPECT_DOUBLE_EQ(cfg.timeoutUs, 1500.0);
+    EXPECT_EQ(cfg.retryMax, 3u);
+    EXPECT_DOUBLE_EQ(cfg.retryBackoffUs, 250.0);
+}
+
+TEST(ScenarioSpec, RejectsInvalidFaultTimelines)
+{
+    expectRejects(
+        R"({"faults": [{"type": "meteor"}], "tenants": [{}]})",
+        "faults[0].type: unknown fault \"meteor\"");
+    expectRejects(
+        R"({"faults": [{"type": "failSlow", "drive": 2,
+                        "multiplier": 3}],
+            "drives": 2, "tenants": [{}]})",
+        "faults[0].drive: drive 2 is out of range");
+    // A pre-failed drive cannot fault again mid-run.
+    expectRejects(
+        R"({"drives": 4,
+            "array": {"raidLevel": "raid5", "failedDrives": [1]},
+            "faults": [{"type": "failSlow", "drive": 1,
+                        "multiplier": 3}],
+            "tenants": [{}]})",
+        "faults[0].drive: drive 1 is already listed in "
+        "array.failedDrives");
+    // Fail-stop needs the host deadline that detects it.
+    expectRejects(
+        R"({"drives": 2,
+            "faults": [{"type": "failStop", "drive": 0}],
+            "tenants": [{}]})",
+        "host.timeoutUs: a failStop fault needs");
+    expectRejects(
+        R"({"drives": 2,
+            "faults": [{"type": "failStop", "drive": 0},
+                       {"type": "failStop", "drive": 0}],
+            "host": {"timeoutUs": 500}, "tenants": [{}]})",
+        "faults[1].drive: drive 0 fail-stops twice");
+    expectRejects(
+        R"({"faults": [{"type": "failSlow", "drive": 0,
+                        "multiplier": 1.0}],
+            "tenants": [{}]})",
+        "faults[0].multiplier");
+    expectRejects(
+        R"({"faults": [{"type": "uecc", "drive": 0,
+                        "probability": 1.5}],
+            "tenants": [{}]})",
+        "faults[0].probability");
+    expectRejects(
+        R"({"faults": [{"type": "failSlow", "drive": 0, "atUs": 500,
+                        "untilUs": 400, "multiplier": 2}],
+            "tenants": [{}]})",
+        "faults[0].untilUs");
+    // Rebuild rides on a raid5 failStop only.
+    expectRejects(
+        R"({"drives": 2,
+            "faults": [{"type": "failStop", "drive": 0,
+                        "rebuild": true}],
+            "host": {"timeoutUs": 500}, "tenants": [{}]})",
+        "faults[0].rebuild: rebuild-to-spare");
+    // Per-type key schema: a failStop has no window.
+    expectRejects(
+        R"({"faults": [{"type": "failStop", "untilUs": 900}],
+            "tenants": [{}]})",
+        "faults[0]: unknown key \"untilUs\"");
+    expectRejects(R"({"faults": {}, "tenants": [{}]})",
+                  "faults: expected an array");
+    expectRejects(
+        R"({"host": {"retryMax": 99}, "tenants": [{}]})",
+        "host.retryMax");
+    expectRejects(
+        R"({"host": {"timeoutUs": -4}, "tenants": [{}]})",
+        "host.timeoutUs");
+}
+
 TEST(ScenarioSpec, ShardedEngineFieldsReachTheConfig)
 {
     const ScenarioSpec spec = fullSpec();

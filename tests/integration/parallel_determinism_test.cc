@@ -51,10 +51,25 @@ expectIdenticalFilterStats(const ssd::RunStats &a,
 }
 
 void
+expectIdenticalFaultStats(const ssd::RunStats &a,
+                          const ssd::RunStats &b)
+{
+    EXPECT_EQ(a.hostTimeouts, b.hostTimeouts);
+    EXPECT_EQ(a.hostRetries, b.hostRetries);
+    EXPECT_EQ(a.hostFailovers, b.hostFailovers);
+    EXPECT_EQ(a.ueccReads, b.ueccReads);
+    EXPECT_EQ(a.failedRequests, b.failedRequests);
+    EXPECT_EQ(a.rebuildReads, b.rebuildReads);
+    EXPECT_EQ(a.rebuildProgress, b.rebuildProgress);
+    EXPECT_EQ(a.timeToRebuildMs, b.timeToRebuildMs);
+}
+
+void
 expectIdenticalArray(const ssd::RunStats &a, const ssd::RunStats &b)
 {
     expectIdenticalDegraded(a, b);
     expectIdenticalFilterStats(a, b);
+    expectIdenticalFaultStats(a, b);
     // EXPECT_EQ on doubles is exact comparison, deliberately: a
     // cross-domain ordering leak would first show up as a 1-ULP
     // drift in a floating-point accumulation, which a tolerant
@@ -300,6 +315,73 @@ TEST(ParallelDeterminism, FilterChainMatchesAcrossThreads)
     EXPECT_GT(one.array.hostReads, 0u);
     const host::ScenarioResult two = runFilterChain(2);
     const host::ScenarioResult four = runFilterChain(4);
+    {
+        SCOPED_TRACE("threads 1 vs 2");
+        expectIdenticalResult(one, two);
+    }
+    {
+        SCOPED_TRACE("threads 1 vs 4");
+        expectIdenticalResult(one, four);
+    }
+}
+
+/**
+ * Fault timeline on the sharded engine: a fail-slow window, seeded
+ * UECC reads, and a mid-run fail-stop whose detection triggers a
+ * rebuild-to-spare — timeouts, retries with backoff, failover
+ * reconstruction joins, and the rebuild agent's background queue
+ * pair all at once. All fault decisions live on the host domain, so
+ * threads 1/2/4 must agree bit for bit, including every new
+ * robustness counter.
+ */
+host::ScenarioResult
+runFaultTimeline(std::uint32_t threads)
+{
+    const host::ScenarioSpec spec =
+        host::ScenarioBuilder()
+            .name("fault-timeline-determinism")
+            .geometry("small")
+            .pec(1.0)
+            .retention(6.0)
+            .seed(23)
+            .drives(4)
+            .raid("raid5")
+            .stripeUnitPages(4)
+            .hostLinkUs(10.0)
+            .transferUsPerKb(0.2)
+            .queueDepth(16)
+            .timeoutUs(2500.0)
+            .retryMax(2)
+            .retryBackoffUs(100.0)
+            .failSlow(2, 500.0, 6000.0, 3.0)
+            .ueccFault(1, 0.0, 0.0, 0.05)
+            .failStop(0, 4000.0, /*rebuild=*/true,
+                      /*rebuild_rows=*/48)
+            .mechanism(core::Mechanism::PnAR2)
+            .tenant("reader", "usr_1", 200)
+            .qdLimit(16)
+            .tenant("mixed", "stg_0", 150)
+            .qdLimit(8)
+            .build();
+    host::ScenarioConfig cfg =
+        spec.toConfig(core::Mechanism::PnAR2);
+    cfg.threads = threads;
+    return host::runScenario(cfg);
+}
+
+TEST(ParallelDeterminism, FaultTimelineMatchesAcrossThreads)
+{
+    const host::ScenarioResult one = runFaultTimeline(1);
+    // The scenario must actually trip every robustness path, or the
+    // equalities below prove nothing.
+    EXPECT_GT(one.array.hostTimeouts, 0u);
+    EXPECT_GT(one.array.hostRetries, 0u);
+    EXPECT_GT(one.array.hostFailovers, 0u);
+    EXPECT_GT(one.array.ueccReads, 0u);
+    EXPECT_GT(one.array.rebuildReads, 0u);
+    EXPECT_GT(one.array.degradedReads, 0u);
+    const host::ScenarioResult two = runFaultTimeline(2);
+    const host::ScenarioResult four = runFaultTimeline(4);
     {
         SCOPED_TRACE("threads 1 vs 2");
         expectIdenticalResult(one, two);

@@ -62,6 +62,16 @@
  *                                sequential read streams (a
  *                                "readahead" filter, stacked above
  *                                the cache so prefetches fill it)
+ *     --fault K=V,...            append a fault event to the run's
+ *                                timeline (repeatable). Keys are the
+ *                                scenario-file fields: type=failStop|
+ *                                failSlow|uecc, drive=N, atUs=X, and
+ *                                per-type untilUs=X, multiplier=X,
+ *                                probability=X, rebuild=true|false,
+ *                                rebuildRows=N
+ *     --timeout-us X             per-subrequest deadline (scenario
+ *                                host.timeoutUs; required by any
+ *                                failStop fault)
  *
  * Scenario files (declarative API v2; see README "Scenario files"
  * and docs/SCENARIOS.md):
@@ -105,6 +115,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <limits>
 #include <string>
 #include <vector>
@@ -150,6 +161,10 @@ struct Options {
     std::uint32_t cacheMb = 0;
     /** Readahead window in pages (0 = no readahead filter). */
     std::uint32_t readaheadPages = 0;
+    /** Fault timeline from --fault flags (empty = faultless). */
+    std::vector<host::FaultSpec> faults;
+    /** Per-subrequest deadline in microseconds (0 = off). */
+    double timeoutUs = 0.0;
     std::uint32_t threads = 1;
     bool threadsSet = false;
     /** Scenario-file mode (mutually exclusive with legacy flags). */
@@ -181,7 +196,8 @@ usage(const char *argv0)
                  "[--failed-drives A,B,...]\n"
                  "  [--host-link-us X] [--transfer-us-per-kb X] "
                  "[--threads N]\n"
-                 "  [--cache-mb N] [--readahead PAGES]\n"
+                 "  [--cache-mb N] [--readahead PAGES] "
+                 "[--fault K=V,...] [--timeout-us X]\n"
                  "  [--scenario FILE.json] [--dump-scenario] "
                  "[--list-workloads] [--bench-json PATH]\n",
                  argv0);
@@ -249,6 +265,49 @@ splitCommas(const std::string &s)
         pos = end + 1;
     }
     return out;
+}
+
+/** Parse one --fault K=V,... value (keys = scenario-file fields). */
+host::FaultSpec
+parseFault(const std::string &flag, const char *text)
+{
+    host::FaultSpec f;
+    for (const std::string &kv : splitCommas(text)) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == kv.size())
+            flagError(flag,
+                      "expected key=value, got '" + kv + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        if (key == "type") {
+            f.type = val;
+        } else if (key == "drive") {
+            f.drive = parseUint32(flag, val.c_str());
+        } else if (key == "atUs") {
+            f.atUs = parseDouble(flag, val.c_str());
+        } else if (key == "untilUs") {
+            f.untilUs = parseDouble(flag, val.c_str());
+        } else if (key == "multiplier") {
+            f.multiplier = parseDouble(flag, val.c_str());
+        } else if (key == "probability") {
+            f.probability = parseDouble(flag, val.c_str());
+        } else if (key == "rebuild") {
+            if (val != "true" && val != "false")
+                flagError(flag, "rebuild expects true or false, "
+                                "got '" +
+                                    val + "'");
+            f.rebuild = val == "true";
+        } else if (key == "rebuildRows") {
+            f.rebuildRows = parseUint(flag, val.c_str());
+        } else {
+            flagError(flag, "unknown key '" + key +
+                                "' (known: type, drive, atUs, "
+                                "untilUs, multiplier, probability, "
+                                "rebuild, rebuildRows)");
+        }
+    }
+    return f;
 }
 
 Options
@@ -352,6 +411,14 @@ parseArgs(int argc, char **argv)
             opt.readaheadPages = parseUint32(arg, next());
             opt.hostFlags.push_back(arg);
             legacy();
+        } else if (arg == "--fault") {
+            opt.faults.push_back(parseFault(arg, next()));
+            opt.hostFlags.push_back(arg);
+            legacy();
+        } else if (arg == "--timeout-us") {
+            opt.timeoutUs = parseDouble(arg, next());
+            opt.hostFlags.push_back(arg);
+            legacy();
         } else if (arg == "--threads") {
             // An execution knob, not a scenario property: legal with
             // --scenario too (it overrides the file's "threads") and
@@ -405,6 +472,13 @@ benchRunFrom(const std::string &name, const ssd::RunStats &st,
     run.prefetchIssued = st.prefetchIssued;
     run.prefetchUseful = st.prefetchUseful;
     run.hostP99ReadUs = st.p99HostReadUs;
+    run.hostTimeouts = st.hostTimeouts;
+    run.hostRetries = st.hostRetries;
+    run.hostFailovers = st.hostFailovers;
+    run.ueccReads = st.ueccReads;
+    run.failedRequests = st.failedRequests;
+    run.rebuildReads = st.rebuildReads;
+    run.timeToRebuildMs = st.timeToRebuildMs;
     if (wall_seconds > 0.0) {
         run.eventsPerSecond =
             static_cast<double>(st.executedEvents) / wall_seconds;
@@ -431,6 +505,8 @@ specFromFlags(const Options &opt)
     spec.raidLevel = opt.raid;
     spec.stripeUnitPages = opt.stripeUnit;
     spec.failedDrives = opt.failedDrives;
+    spec.faults = opt.faults;
+    spec.timeoutUs = opt.timeoutUs;
     spec.threads = opt.threads;
     spec.queueDepth = opt.queueDepth;
     spec.arbitration = opt.arbitration;
@@ -604,6 +680,33 @@ runSpec(const host::ScenarioSpec &spec, const std::string &bench_json,
                             a.delayedRequests),
                         static_cast<unsigned long long>(
                             a.throttledRequests));
+        // Fault-timeline accounting (sim/fault_injector.hh plus the
+        // host's timeout/retry/failover machinery); all zero — and
+        // silent — on a faultless run.
+        if (a.hostTimeouts + a.hostRetries + a.hostFailovers +
+                a.ueccReads + a.failedRequests >
+            0)
+            std::printf("%-10s %-14s     timeouts %llu, retries "
+                        "%llu, failovers %llu, uecc %llu, "
+                        "failed %llu\n",
+                        mname.c_str(), "faults",
+                        static_cast<unsigned long long>(
+                            a.hostTimeouts),
+                        static_cast<unsigned long long>(
+                            a.hostRetries),
+                        static_cast<unsigned long long>(
+                            a.hostFailovers),
+                        static_cast<unsigned long long>(a.ueccReads),
+                        static_cast<unsigned long long>(
+                            a.failedRequests));
+        if (a.rebuildReads > 0)
+            std::printf("%-10s %-14s     reads %llu, progress "
+                        "%.1f%%, time-to-rebuild %.2f ms\n",
+                        mname.c_str(), "rebuild",
+                        static_cast<unsigned long long>(
+                            a.rebuildReads),
+                        100.0 * a.rebuildProgress,
+                        a.timeToRebuildMs);
     }
     if (!bench_json.empty()) {
         if (!sim::writeBenchJson(bench_json, label, bench_runs))
@@ -672,6 +775,8 @@ validateLegacyFlags(const Options &opt)
             flagError("--stripe-unit", "needs at least 1 page");
         if (opt.hostLinkUs < 0.0)
             flagError("--host-link-us", "must be >= 0");
+        if (opt.timeoutUs < 0.0)
+            flagError("--timeout-us", "must be >= 0");
         if (opt.transferUsPerKb < 0.0)
             flagError("--transfer-us-per-kb", "must be >= 0");
         if (opt.threads < 1)
@@ -690,10 +795,8 @@ validateLegacyFlags(const Options &opt)
     }
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+realMain(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
 
@@ -840,4 +943,21 @@ main(int argc, char **argv)
         std::printf("\nwrote %s\n", opt.benchJson.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Last-resort guard: no uncaught exception may escape as a raw
+    // std::terminate — a scripted caller (CI, the bench harness)
+    // gets a one-line diagnostic and the same exit code as every
+    // other usage error.
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
 }
