@@ -18,13 +18,17 @@
  * parallel speedup (recorded as the par4d-1t / par4d-4t entries of
  * the JSON; it needs >= 4 free cores to show the full effect).
  *
- * Three more sections ride along: raid5-* (degraded-read
+ * Four more sections ride along: raid5-* (degraded-read
  * reconstruction, healthy vs one failed drive), cached-* (the
  * host filter chain — a DRAM read-cache tier absorbing re-reads
  * from scan-heavy tenants, reporting hit ratio, evictions and the
- * host-surface read p99 the cache buys) and fault-* (the fault
+ * host-surface read p99 the cache buys), fault-* (the fault
  * timeline — healthy vs an open-ended fail-slow vs a mid-run
- * fail-stop with timeout-driven failover and rebuild-to-spare).
+ * fail-stop with timeout-driven failover and rebuild-to-spare) and
+ * fabric-* (the storage fabric — a flat per-drive link vs a
+ * two-switch tree vs the same tree with oversubscribed uplinks,
+ * per mechanism, reporting the per-read fabric wait and the link
+ * queueing the topology induces).
  *
  * The golden digest covers only the two single-queue tail runs, so
  * it stays comparable across machines, thread counts and the
@@ -53,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "fabric/topology.hh"
 #include "host/scenario.hh"
 #include "host/scenario_spec.hh"
 #include "sim/bench_report.hh"
@@ -145,6 +150,13 @@ measureScenario(const std::string &name, const MakeConfig &make_config,
     run.failedRequests = a.failedRequests;
     run.rebuildReads = a.rebuildReads;
     run.timeToRebuildMs = a.timeToRebuildMs;
+    run.avgFabricWaitUs = a.avgFabricWaitUs;
+    for (const ssd::RunStats::FabricLinkStats &l : a.fabricLinks) {
+        run.fabricBusyUs += l.busyUs;
+        run.fabricBytes += l.bytesCarried;
+        if (l.maxQueueDepth > run.fabricMaxQueueDepth)
+            run.fabricMaxQueueDepth = l.maxQueueDepth;
+    }
     if (best > 0.0) {
         run.eventsPerSecond =
             static_cast<double>(a.executedEvents) / best;
@@ -375,6 +387,81 @@ measureFault(core::Mechanism mech, FaultMode mode,
         repeat);
 }
 
+/**
+ * Storage-fabric section: the raid0 tail shape on a 4-drive array,
+ * per mechanism, in three cablings. "flat" gives every drive its own
+ * host link (the fabric equivalent of the flat hostLink engine);
+ * "tree" routes pairs of drives through two top-of-rack switches at
+ * the same per-link cost; "oversub" is the same tree with the two
+ * uplinks' serialization charge raised 16x, so concurrent
+ * subrequests to drives behind one switch queue on the shared hop.
+ * The per-read fabric wait and max link queue depth quantify what
+ * the topology costs; retry-heavy mechanisms amplify it with every
+ * extra drive-time their reads spend holding queue slots. Runs with
+ * 4 workers — each fabric node is its own domain, and results are
+ * worker-count-invariant like everything else.
+ */
+enum class FabricMode { Flat, Tree, Oversub };
+
+host::ScenarioConfig
+fabricScenario(core::Mechanism mech,
+               std::uint64_t requests_per_tenant, FabricMode mode)
+{
+    host::ScenarioBuilder b;
+    b.geometry("small")
+        .pec(1.0)
+        .retention(6.0)
+        .seed(42)
+        .drives(4)
+        .queueDepth(16);
+    if (mode == FabricMode::Flat) {
+        b.fabricPreset("flat");
+    } else {
+        fabric::TopologySpec topo = fabric::makePreset("tree:2x2", 4);
+        if (mode == FabricMode::Oversub)
+            for (fabric::LinkSpec &l : topo.links)
+                if (l.from == "host0")
+                    l.usPerKb = 0.8;
+        b.fabric(topo);
+    }
+    b.mechanism(mech);
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        b.tenant("t" + std::to_string(t), "usr_1",
+                 requests_per_tenant)
+            .qdLimit(16);
+    }
+    host::ScenarioConfig cfg = b.build().toConfig(mech);
+    cfg.threads = 4;
+    return cfg;
+}
+
+const char *
+fabricModeName(FabricMode mode)
+{
+    switch (mode) {
+    case FabricMode::Flat:
+        return "flat";
+    case FabricMode::Tree:
+        return "tree";
+    case FabricMode::Oversub:
+        return "oversub";
+    }
+    return "?";
+}
+
+sim::BenchRun
+measureFabric(core::Mechanism mech, FabricMode mode,
+              std::uint64_t requests_per_tenant, int repeat)
+{
+    return measureScenario(
+        std::string("fabric-") + fabricModeName(mode) + "-" +
+            core::name(mech),
+        [&] {
+            return fabricScenario(mech, requests_per_tenant, mode);
+        },
+        repeat);
+}
+
 /** The deterministic fields two thread counts must agree on. */
 bool
 identicalResults(const sim::BenchRun &a, const sim::BenchRun &b)
@@ -434,10 +521,11 @@ main(int argc, char **argv)
     const std::uint64_t r5_per_tenant = short_mode ? 300 : 1000;
     const std::uint64_t cd_per_tenant = short_mode ? 300 : 1000;
     const std::uint64_t ft_per_tenant = short_mode ? 300 : 1000;
-    // Five scenarios share this file: the digested tail runs, then
+    const std::uint64_t fb_per_tenant = short_mode ? 300 : 1000;
+    // Six scenarios share this file: the digested tail runs, then
     // the par4d-* sharded-engine, raid5-* degraded-read, cached-*
-    // filter-chain and fault-* fault-timeline runs appended after
-    // them.
+    // filter-chain, fault-* fault-timeline and fabric-* storage-
+    // fabric runs appended after them.
     const std::string label =
         std::string("multi_tenant_tail ") +
         (short_mode ? "short" : "full") +
@@ -458,7 +546,12 @@ main(int argc, char **argv)
         "tenants x " +
         std::to_string(ft_per_tenant) +
         " usr_1 reqs, QD 16, 4-drive raid5 (unit 4), healthy vs 3x "
-        "fail-slow vs fail-stop at 4 ms + 48-row rebuild-to-spare";
+        "fail-slow vs fail-stop at 4 ms + 48-row rebuild-to-spare; "
+        "fabric-*: 4 closed-loop tenants x " +
+        std::to_string(fb_per_tenant) +
+        " usr_1 reqs, QD 16, 4-drive array, 4 workers, flat "
+        "per-drive links vs a 2-switch tree vs the tree with 16x "
+        "oversubscribed uplinks";
 
     std::printf("sim_throughput — %s\n\n", label.c_str());
     std::printf("%-10s %12s %14s %12s %12s %10s\n", "mechanism",
@@ -521,7 +614,8 @@ main(int argc, char **argv)
         for (sim::BenchRun &r : par_runs)
             r.unreliable = true;
         std::printf("note: fewer than 4 hardware threads — par4d-* "
-                    "wall times marked unreliable in the JSON\n");
+                    "and fabric-* wall times marked unreliable in "
+                    "the JSON\n");
     }
     runs.insert(runs.end(), par_runs.begin(), par_runs.end());
 
@@ -621,6 +715,40 @@ main(int argc, char **argv)
                                  r.failedRequests));
         }
     }
+
+    // ----- storage fabric: flat vs switched vs oversubscribed -----
+    std::printf("\nstorage fabric — 4 closed-loop tenants x %llu "
+                "usr_1 reqs, QD 16, 4-drive array, 4 workers, flat "
+                "per-drive links vs 2-switch tree vs 16x "
+                "oversubscribed uplinks\n",
+                static_cast<unsigned long long>(fb_per_tenant));
+    std::printf("%-24s %12s %10s %12s %10s %8s\n", "config",
+                "wall[s]", "p99r[us]", "fabwait[us]", "fab-KiB",
+                "maxQ");
+    std::vector<sim::BenchRun> fabric_runs;
+    for (core::Mechanism m :
+         {core::Mechanism::Baseline, core::Mechanism::PnAR2}) {
+        for (FabricMode mode :
+             {FabricMode::Flat, FabricMode::Tree,
+              FabricMode::Oversub}) {
+            fabric_runs.push_back(
+                measureFabric(m, mode, fb_per_tenant, repeat));
+            const sim::BenchRun &r = fabric_runs.back();
+            std::printf("%-24s %12.3f %10.1f %12.2f %10llu %8u\n",
+                        r.name.c_str(), r.wallSeconds, r.p99ReadUs,
+                        r.avgFabricWaitUs,
+                        static_cast<unsigned long long>(
+                            r.fabricBytes >> 10),
+                        r.fabricMaxQueueDepth);
+        }
+    }
+    if (std::thread::hardware_concurrency() < 4) {
+        // Same caveat as par4d-*: the 4-worker wall times presume 4
+        // hardware threads.
+        for (sim::BenchRun &r : fabric_runs)
+            r.unreliable = true;
+    }
+    runs.insert(runs.end(), fabric_runs.begin(), fabric_runs.end());
 
     if (!sim::writeBenchJson(json_path, label, runs))
         return 1;

@@ -46,7 +46,22 @@ SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
                          [this, d] { onDriveDetected(d); });
         }
     }
-    if (link_ > 0) {
+    if (!opt.fabric.empty()) {
+        // Fabric engine: same sharded machinery, but crossings are
+        // routed hop-by-hop. The conservative window is the cheapest
+        // link's latency — no hop can deliver faster than that.
+        SSDRR_ASSERT(link_ == 0,
+                     "fabric and hostLink are mutually exclusive");
+        fabric::Topology topo =
+            fabric::Topology::compile(opt.fabric, opt.drives);
+        exec_ = std::make_unique<sim::ParallelExecutor>(
+            topo.minLinkLatency(), opt.threads == 0 ? 1 : opt.threads);
+        host_dom_ = exec_->addDomain(eq_);
+        // Registers the switch domains, in node-declaration order.
+        fabric_ = std::make_unique<fabric::Fabric>(std::move(topo),
+                                                   *exec_, host_dom_,
+                                                   eq_);
+    } else if (link_ > 0) {
         exec_ = std::make_unique<sim::ParallelExecutor>(
             link_, opt.threads == 0 ? 1 : opt.threads);
         host_dom_ = exec_->addDomain(eq_);
@@ -64,6 +79,9 @@ SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
             ssds_.push_back(std::make_unique<ssd::Ssd>(dc, mech));
             drive_dom_.push_back(
                 exec_->addDomain(ssds_.back()->eventQueue()));
+            if (fabric_)
+                fabric_->attachDrive(d, drive_dom_.back(),
+                                     ssds_.back()->eventQueue());
             ssds_.back()->onHostComplete(
                 [this, d](const ssd::HostCompletion &c) {
                     driveComplete(d, c);
@@ -92,6 +110,24 @@ SsdArray::dispatch(std::uint32_t d, const ssd::HostRequest &sub)
 {
     if (!exec_) {
         ssds_[d]->submit(sub);
+        return;
+    }
+    if (fabric_) {
+        // Fabric mode: the command rides the precomputed path to the
+        // drive's port, contending for every shared hop. Writes
+        // serialize their payload on the way down; read commands are
+        // latency-only. The drive accounts its device-side latency
+        // from the (contention-dependent) delivery tick.
+        const std::uint64_t bytes =
+            sub.isRead ? 0
+                       : static_cast<std::uint64_t>(sub.pages) *
+                             pageBytes();
+        ssd::HostRequest delivered = sub;
+        fabric_->toDrive(
+            d, bytes, sub.isRead, [this, d, delivered]() mutable {
+                delivered.arrival = ssds_[d]->eventQueue().now();
+                ssds_[d]->submit(delivered);
+            });
         return;
     }
     // Sharded mode: the command crosses the host link. The drive
@@ -188,6 +224,17 @@ SsdArray::driveComplete(std::uint32_t d, const ssd::HostCompletion &c)
     // executes on the host domain at the delivery tick. Uses only
     // the completion record and immutable config — host-side maps
     // stay host-domain-confined.
+    if (fabric_) {
+        // Read completions carry the page payload back up the tree;
+        // write acknowledgements are latency-only.
+        const std::uint64_t bytes =
+            c.isRead ? static_cast<std::uint64_t>(c.pages) *
+                           pageBytes()
+                     : 0;
+        fabric_->toHost(d, bytes, c.isRead,
+                        [this, c] { subComplete(c); });
+        return;
+    }
     exec_->send(drive_dom_[d], host_dom_,
                 ssds_[d]->eventQueue().now() + link_,
                 [this, c] { subComplete(c); });
@@ -468,6 +515,25 @@ SsdArray::stats() const
     // distributions below.
     s.reads = resp_read_.count();
     s.writes = resp_write_.count();
+    if (fabric_) {
+        // Switch queues drove the run too; their events count like
+        // the host's and the drives'.
+        s.executedEvents += fabric_->switchExecutedEvents();
+        for (const fabric::LinkReport &r : fabric_->linkReports()) {
+            ssd::RunStats::FabricLinkStats ls;
+            ls.link = r.link;
+            ls.messages = r.messages;
+            ls.bytesCarried = r.bytesCarried;
+            ls.busyUs = r.busyUs;
+            ls.waitUs = r.waitUs;
+            ls.maxQueueDepth = r.maxQueueDepth;
+            s.fabricLinks.push_back(std::move(ls));
+        }
+        if (s.reads > 0)
+            s.avgFabricWaitUs =
+                sim::toUsec(fabric_->readWaitTicks()) /
+                static_cast<double>(s.reads);
+    }
     s.channelUtilization /= ssds_.size();
     s.eccUtilization /= ssds_.size();
     s.simulatedMs = sim::toMsec(eq_.now());

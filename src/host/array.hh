@@ -36,6 +36,13 @@
  *    `threads` workers — and, by the executor's determinism
  *    contract, produce bit-identical results for ANY thread count,
  *    including 1.
+ *  - Options::fabric non-empty (mutually exclusive with hostLink):
+ *    the sharded engine again, but dispatch/completion crossings are
+ *    routed hop-by-hop through a fabric::Fabric — a tree of switches
+ *    and links with per-hop latency, byte-proportional serialization,
+ *    and FIFO contention (see fabric/fabric.hh). Every switch is its
+ *    own executor domain; the window is the topology's minimum link
+ *    latency, so worker-count invariance carries over unchanged.
  *
  * Robustness (Options::faults / timeout / retry): a declared
  * sim::FaultInjector timeline makes drives fail-stop, fail-slow, or
@@ -67,6 +74,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fabric/fabric.hh"
 #include "host/array_layout.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault_injector.hh"
@@ -94,9 +102,13 @@ class SsdArray
          *  legacy shared-queue engine, > 0 selects the windowed
          *  per-drive engine (see file comment). */
         sim::Tick hostLink = 0;
-        /** Worker threads for the windowed engine (ignored when
-         *  hostLink == 0; results do not depend on it). */
+        /** Worker threads for the windowed engine (ignored by the
+         *  legacy shared-queue engine; results do not depend on it). */
         std::uint32_t threads = 1;
+        /** Fabric topology routing dispatch/completion crossings
+         *  hop-by-hop (empty = no fabric). Non-empty selects the
+         *  windowed per-drive engine and excludes hostLink. */
+        fabric::TopologySpec fabric;
         /** Fault timeline injected at the host boundary (empty =
          *  faultless, bit-identical to an array without the
          *  machinery). Fail-stop events require a timeout. */
@@ -143,6 +155,8 @@ class SsdArray
     sim::Tick hostLink() const { return link_; }
     /** True when drives run on private queues behind mailboxes. */
     bool sharded() const { return exec_ != nullptr; }
+    /** The fabric transport, or null for flat-link / legacy modes. */
+    const fabric::Fabric *fabric() const { return fabric_.get(); }
     /** The address layout mapping the flat space onto drives. */
     const ArrayLayout &layout() const { return *layout_; }
 
@@ -294,6 +308,8 @@ class SsdArray
     std::unique_ptr<sim::ParallelExecutor> exec_;
     sim::ParallelExecutor::DomainId host_dom_ = 0;
     std::vector<sim::ParallelExecutor::DomainId> drive_dom_;
+    /** Fabric transport (sharded mode with a topology only). */
+    std::unique_ptr<fabric::Fabric> fabric_;
 
     std::unordered_map<std::uint64_t, SubState> subs_;
     std::unordered_map<std::uint64_t, Parent> parents_;

@@ -110,9 +110,17 @@ struct ScenarioConfig {
     double hostLinkUs = 0.0;
     /**
      * Worker threads for the windowed engine (needs hostLinkUs > 0
-     * to matter). Results are bit-identical for any value.
+     * or a fabric to matter). Results are bit-identical for any
+     * value.
      */
     std::uint32_t threads = 1;
+    /**
+     * Storage-fabric topology routing dispatch/completion crossings
+     * hop-by-hop with per-link contention (empty = no fabric).
+     * Mutually exclusive with hostLinkUs > 0; selects the windowed
+     * per-drive engine (see fabric/fabric.hh).
+     */
+    fabric::TopologySpec fabric;
     /** Optional CSV parse cache shared across runScenario calls. */
     TraceCache *traceCache = nullptr;
 };

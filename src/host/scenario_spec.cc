@@ -366,6 +366,96 @@ filterFromJson(const Value &v, const std::string &where)
     return f;
 }
 
+Value
+fabricToJson(const fabric::TopologySpec &f)
+{
+    Value o = Value::object();
+    Value nodes = Value::array();
+    for (const fabric::NodeSpec &n : f.nodes) {
+        Value nv = Value::object();
+        nv.set("name", Value(n.name));
+        nv.set("kind", Value(n.kind));
+        nodes.push(std::move(nv));
+    }
+    o.set("nodes", std::move(nodes));
+    Value links = Value::array();
+    for (const fabric::LinkSpec &l : f.links) {
+        Value lv = Value::object();
+        lv.set("from", Value(l.from));
+        lv.set("to", Value(l.to));
+        lv.set("latencyUs", Value(l.latencyUs));
+        lv.set("usPerKb", Value(l.usPerKb));
+        links.push(std::move(lv));
+    }
+    o.set("links", std::move(links));
+    Value drives = Value::array();
+    for (const std::string &d : f.drives)
+        drives.push(Value(d));
+    o.set("drives", std::move(drives));
+    return o;
+}
+
+fabric::TopologySpec
+fabricFromJson(const Value &v)
+{
+    requireObject(v, "fabric");
+    checkKeys(v, "fabric", {"nodes", "links", "drives"});
+    fabric::TopologySpec f;
+    if (const Value *nodes = v.find("nodes")) {
+        if (!nodes->isArray())
+            specFail("fabric.nodes: expected an array of node "
+                     "objects, got " +
+                     std::string(nodes->typeName()));
+        std::size_t i = 0;
+        for (const Value &n : nodes->elements()) {
+            const std::string where =
+                "fabric.nodes[" + std::to_string(i++) + "]";
+            requireObject(n, where);
+            checkKeys(n, where, {"name", "kind"});
+            fabric::NodeSpec node;
+            node.name = getString(n, "name", where, "");
+            node.kind = getString(n, "kind", where, "");
+            f.nodes.push_back(std::move(node));
+        }
+    }
+    if (const Value *links = v.find("links")) {
+        if (!links->isArray())
+            specFail("fabric.links: expected an array of link "
+                     "objects, got " +
+                     std::string(links->typeName()));
+        std::size_t i = 0;
+        for (const Value &l : links->elements()) {
+            const std::string where =
+                "fabric.links[" + std::to_string(i++) + "]";
+            requireObject(l, where);
+            checkKeys(l, where, {"from", "to", "latencyUs", "usPerKb"});
+            fabric::LinkSpec link;
+            link.from = getString(l, "from", where, "");
+            link.to = getString(l, "to", where, "");
+            link.latencyUs =
+                getNumber(l, "latencyUs", where, link.latencyUs);
+            link.usPerKb = getNumber(l, "usPerKb", where, link.usPerKb);
+            f.links.push_back(std::move(link));
+        }
+    }
+    if (const Value *drives = v.find("drives")) {
+        if (!drives->isArray())
+            specFail("fabric.drives: expected an array of node "
+                     "names, got " +
+                     std::string(drives->typeName()));
+        std::size_t i = 0;
+        for (const Value &d : drives->elements()) {
+            const std::string where =
+                "fabric.drives[" + std::to_string(i++) + "]";
+            if (!d.isString())
+                specFail(where + ": expected a node name, got " +
+                         d.typeName());
+            f.drives.push_back(d.asString());
+        }
+    }
+    return f;
+}
+
 } // namespace
 
 // --------------------------------------------------------- SsdSpec
@@ -461,7 +551,8 @@ ScenarioSpec::operator==(const ScenarioSpec &o) const
            retryBackoffUs == o.retryBackoffUs &&
            hostLinkUs == o.hostLinkUs &&
            transferUsPerKb == o.transferUsPerKb &&
-           filters == o.filters && tenants == o.tenants;
+           fabric == o.fabric && filters == o.filters &&
+           tenants == o.tenants;
 }
 
 // ---------------------------------------------------- serialization
@@ -507,6 +598,9 @@ ScenarioSpec::toJson() const
 
     root.set("threads", Value(std::uint64_t{threads}));
 
+    if (!fabric.empty())
+        root.set("fabric", fabricToJson(fabric));
+
     Value hv = Value::object();
     hv.set("queueDepth", Value(std::uint64_t{queueDepth}));
     hv.set("arbitration", Value(arbitration));
@@ -544,7 +638,7 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
     requireObject(v, "scenario");
     checkKeys(v, "scenario",
               {"name", "ssd", "mechanisms", "drives", "array",
-               "faults", "threads", "host", "tenants"});
+               "faults", "threads", "fabric", "host", "tenants"});
     ScenarioSpec spec;
     spec.name = getString(v, "name", "scenario", "");
 
@@ -630,6 +724,9 @@ ScenarioSpec::fromJson(const sim::json::Value &v)
     }
 
     spec.threads = getUint32(v, "threads", "scenario", spec.threads);
+
+    if (const Value *fb = v.find("fabric"))
+        spec.fabric = fabricFromJson(*fb);
 
     if (const Value *hv = v.find("host")) {
         requireObject(*hv, "host");
@@ -885,14 +982,27 @@ ScenarioSpec::validate() const
                  "which would silently fall back to the legacy "
                  "shared-queue engine; use 0 explicitly, or at least "
                  "0.001");
-    if (threads > 1 && hostLinkUs <= 0.0)
+    if (threads > 1 && hostLinkUs <= 0.0 && fabric.empty())
         specFail("threads: " + std::to_string(threads) +
-                 " worker threads need host.hostLinkUs > 0 — the "
-                 "parallel engine synchronizes drives at host-link "
-                 "turnaround windows, and an instantaneous link "
-                 "leaves no window to run concurrently in; set "
-                 "host.hostLinkUs (a few microseconds of NVMe "
-                 "doorbell/interrupt latency) or drop threads");
+                 " worker threads need host.hostLinkUs > 0 or a "
+                 "fabric — the parallel engine synchronizes drives "
+                 "at cross-domain-latency windows, and an "
+                 "instantaneous link leaves no window to run "
+                 "concurrently in; set host.hostLinkUs (a few "
+                 "microseconds of NVMe doorbell/interrupt latency), "
+                 "declare a fabric, or drop threads");
+    if (!fabric.empty()) {
+        if (hostLinkUs > 0.0)
+            specFail("host.hostLinkUs: set alongside a fabric — the "
+                     "fabric's links replace the flat host link; "
+                     "drop hostLinkUs (its role is played by the "
+                     "host-adjacent link's latencyUs)");
+        try {
+            fabric.validate(drives);
+        } catch (const fabric::TopologyError &e) {
+            specFail(e.what());
+        }
+    }
     if (!(transferUsPerKb >= 0.0) || transferUsPerKb > 1e9)
         specFail("host.transferUsPerKb: must be a per-KiB transfer "
                  "cost in [0, 1e9] microseconds");
@@ -1102,6 +1212,7 @@ ScenarioSpec::toConfig(core::Mechanism mech, TraceCache *cache) const
     sc.hostLinkUs = hostLinkUs;
     sc.transferUsPerKb = transferUsPerKb;
     sc.threads = threads;
+    sc.fabric = fabric;
     sc.tenants = tenants;
     sc.traceCache = cache;
     return sc;
@@ -1232,6 +1343,24 @@ ScenarioBuilder &
 ScenarioBuilder::threads(std::uint32_t n)
 {
     spec_.threads = n;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::fabric(const fabric::TopologySpec &topo)
+{
+    spec_.fabric = topo;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::fabricPreset(const std::string &preset)
+{
+    try {
+        spec_.fabric = fabric::makePreset(preset, spec_.drives);
+    } catch (const fabric::TopologyError &e) {
+        specFail(e.what());
+    }
     return *this;
 }
 

@@ -129,11 +129,22 @@ struct ScenarioSpec {
     /**
      * Worker threads for the sharded per-drive engine. 1 (default)
      * runs everything on the calling thread; N > 1 simulates the
-     * drives concurrently and requires hostLinkUs > 0 (the engine's
-     * synchronization window is the host-link turnaround). Results
-     * are bit-identical for every value of threads.
+     * drives concurrently and requires hostLinkUs > 0 or a fabric
+     * (the engine's synchronization window is the host-link
+     * turnaround / the fabric's cheapest link). Results are
+     * bit-identical for every value of threads.
      */
     std::uint32_t threads = 1;
+    // ----- storage fabric (JSON object "fabric") -----
+    /**
+     * Host<->drive interconnect topology: nodes, links, and the
+     * drive attachment map (see fabric/topology.hh). Empty (default)
+     * keeps the flat hostLinkUs coupling, bit-identical to the
+     * pre-fabric engine; non-empty routes every dispatch/completion
+     * hop-by-hop with per-link FIFO contention and excludes
+     * hostLinkUs > 0.
+     */
+    fabric::TopologySpec fabric;
     // ----- host-interface options -----
     std::uint32_t queueDepth = 16;
     /** "rr", "wrr", or "slo" (see host::Arbitration). */
@@ -274,8 +285,14 @@ class ScenarioBuilder
     ScenarioBuilder &stripeUnitPages(std::uint32_t pages);
     /** Failed member drives (degraded mode). */
     ScenarioBuilder &failedDrives(const std::vector<std::uint32_t> &d);
-    /** Worker threads (needs hostLinkUs() > 0 when > 1). */
+    /** Worker threads (needs hostLinkUs() > 0 or a fabric when
+     *  > 1). */
     ScenarioBuilder &threads(std::uint32_t n);
+    /** Storage-fabric topology (excludes hostLinkUs() > 0). */
+    ScenarioBuilder &fabric(const fabric::TopologySpec &topo);
+    /** Sugar: generate a preset topology ("flat", "tree:SxD") for
+     *  the drive count set so far — call after drives(). */
+    ScenarioBuilder &fabricPreset(const std::string &preset);
     /** Append a fault event to the timeline. */
     ScenarioBuilder &fault(const FaultSpec &spec);
     /** Sugar: drive stops completing at @p at_us; optionally start

@@ -142,6 +142,13 @@ writeBenchJson(const std::string &path, const std::string &label,
         f << "      \"rebuild_reads\": " << r.rebuildReads << ",\n";
         f << "      \"time_to_rebuild_ms\": "
           << fixed3(r.timeToRebuildMs) << ",\n";
+        f << "      \"avg_fabric_wait_us\": "
+          << fixed3(r.avgFabricWaitUs) << ",\n";
+        f << "      \"fabric_busy_us\": " << fixed3(r.fabricBusyUs)
+          << ",\n";
+        f << "      \"fabric_bytes\": " << r.fabricBytes << ",\n";
+        f << "      \"fabric_max_queue_depth\": "
+          << r.fabricMaxQueueDepth << ",\n";
         f << "      \"unreliable\": "
           << (r.unreliable ? "true" : "false") << "\n";
         f << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";

@@ -75,6 +75,13 @@ struct BenchRun {
     std::uint64_t failedRequests = 0;
     std::uint64_t rebuildReads = 0;
     double timeToRebuildMs = 0.0;
+    // ----- storage-fabric accounting (informational, not digested:
+    // zero outside the fabric sections, and the golden digest
+    // predates the fabric subsystem) -----
+    double avgFabricWaitUs = 0.0;
+    double fabricBusyUs = 0.0;
+    std::uint64_t fabricBytes = 0;
+    std::uint32_t fabricMaxQueueDepth = 0;
     /**
      * True when the measurement environment cannot support the run's
      * premise (e.g. a 4-thread speedup measured on fewer than 4

@@ -13,6 +13,7 @@
 #define SSDRR_SSD_SSD_HH
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -167,6 +168,22 @@ struct RunStats {
     /** Wall-clock (simulated) time from failure detection to rebuild
      *  completion, in milliseconds (0 when no rebuild finished). */
     double timeToRebuildMs = 0.0;
+    // ----- storage-fabric accounting (fabric/; empty/zero when the
+    // scenario declares no fabric and the flat host link is used) -----
+    /** Per-link queueing counters, in fabric.links declaration order
+     *  (both directions of a link merged). */
+    struct FabricLinkStats {
+        std::string link;               ///< "a<->b" label
+        std::uint64_t messages = 0;     ///< hops carried
+        std::uint64_t bytesCarried = 0; ///< payload bytes serialized
+        double busyUs = 0.0;            ///< total serialization time
+        double waitUs = 0.0;            ///< total FIFO queueing wait
+        std::uint32_t maxQueueDepth = 0;
+    };
+    std::vector<FabricLinkStats> fabricLinks;
+    /** Mean fabric FIFO wait charged to each array read (dispatch +
+     *  completion hops summed over the read's subrequests). */
+    double avgFabricWaitUs = 0.0;
     /** Host-surface read view (above the chain: cache hits included,
      *  prefetches excluded). Zero when the chain is empty. */
     std::uint64_t hostReads = 0;

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Fabric topology: structural validation (every violation must name
+ * the offending `fabric.*` JSON path), preset generation, compiled
+ * path routing, and the scenario-JSON round trip of the `fabric`
+ * object.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fabric/topology.hh"
+#include "host/scenario_spec.hh"
+
+namespace ssdrr::fabric {
+namespace {
+
+/** Two switches, two drives each — the canonical small rack. */
+TopologySpec
+rackSpec()
+{
+    TopologySpec spec;
+    spec.nodes = {{"host0", "host"}, {"tor0", "switch"},
+                  {"tor1", "switch"}, {"bay0", "drive"},
+                  {"bay1", "drive"},  {"bay2", "drive"},
+                  {"bay3", "drive"}};
+    spec.links = {{"host0", "tor0", 2.0, 0.4},
+                  {"host0", "tor1", 2.0, 0.4},
+                  {"tor0", "bay0", 1.0, 0.05},
+                  {"tor0", "bay1", 1.0, 0.05},
+                  {"tor1", "bay2", 1.0, 0.05},
+                  {"tor1", "bay3", 1.0, 0.05}};
+    spec.drives = {"bay0", "bay1", "bay2", "bay3"};
+    return spec;
+}
+
+void
+expectRejects(const TopologySpec &spec, std::uint32_t drive_count,
+              const std::string &needle)
+{
+    try {
+        spec.validate(drive_count);
+        FAIL() << "expected rejection containing: " << needle;
+    } catch (const TopologyError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+TEST(FabricTopology, ValidSpecPasses)
+{
+    EXPECT_NO_THROW(rackSpec().validate(4));
+}
+
+TEST(FabricTopology, RejectsEmptyObject)
+{
+    expectRejects(TopologySpec{}, 4, "fabric: empty object");
+}
+
+TEST(FabricTopology, RejectsBadNodesNamingThePath)
+{
+    TopologySpec s = rackSpec();
+    s.nodes[2].name = "";
+    expectRejects(s, 4, "fabric.nodes[2].name: must not be empty");
+
+    s = rackSpec();
+    s.nodes[1].kind = "router";
+    expectRejects(s, 4,
+                  "fabric.nodes[1].kind: unknown kind \"router\"");
+
+    s = rackSpec();
+    s.nodes[4].name = "bay0";
+    expectRejects(s, 4, "fabric.nodes[4].name: duplicate node name "
+                        "\"bay0\"");
+
+    s = rackSpec();
+    s.nodes[2].kind = "host";
+    expectRejects(s, 4, "fabric.nodes[2].kind: second \"host\" node");
+
+    s = rackSpec();
+    s.nodes[0].kind = "switch";
+    expectRejects(s, 4, "fabric.nodes: no node of kind \"host\"");
+}
+
+TEST(FabricTopology, RejectsBadLinksNamingThePath)
+{
+    TopologySpec s = rackSpec();
+    s.links[3].to = "bay9";
+    expectRejects(s, 4, "fabric.links[3].to: unknown node \"bay9\"");
+
+    s = rackSpec();
+    s.links[0].from = "ghost";
+    expectRejects(s, 4,
+                  "fabric.links[0].from: unknown node \"ghost\"");
+
+    s = rackSpec();
+    s.links[1].to = "host0";
+    expectRejects(s, 4, "fabric.links[1]: self-loop");
+
+    s = rackSpec();
+    s.links[2].latencyUs = 0.0;
+    expectRejects(s, 4, "fabric.links[2].latencyUs: must be > 0");
+
+    s = rackSpec();
+    s.links[2].latencyUs = 0.0004; // < 1 tick
+    expectRejects(s, 4, "rounds to zero ticks");
+
+    s = rackSpec();
+    s.links[5].usPerKb = -0.1;
+    expectRejects(s, 4, "fabric.links[5].usPerKb: must be >= 0");
+
+    s = rackSpec();
+    s.links.push_back({"tor1", "bay0", 1.0, 0.0});
+    expectRejects(s, 4, "fabric.links[6]: link \"tor1\" -> \"bay0\" "
+                        "creates a cycle");
+}
+
+TEST(FabricTopology, RejectsUnreachableDrive)
+{
+    TopologySpec s = rackSpec();
+    s.links.pop_back(); // orphan bay3
+    expectRejects(s, 4, "fabric.nodes[6]: drive node \"bay3\" is "
+                        "unreachable from the host \"host0\"");
+}
+
+TEST(FabricTopology, RejectsBadDriveAttachment)
+{
+    TopologySpec s = rackSpec();
+    s.drives.pop_back();
+    expectRejects(s, 4, "fabric.drives: 3 attachment entries for an "
+                        "array of 4 drives");
+
+    s = rackSpec();
+    s.drives[1] = "bay9";
+    expectRejects(s, 4, "fabric.drives[1]: unknown node \"bay9\"");
+
+    s = rackSpec();
+    s.drives[2] = "tor0";
+    expectRejects(s, 4, "fabric.drives[2]: node \"tor0\" has kind "
+                        "\"switch\" (must be \"drive\")");
+
+    s = rackSpec();
+    s.drives[3] = "bay0";
+    expectRejects(s, 4, "fabric.drives[3]: node \"bay0\" attached to "
+                        "more than one drive");
+
+    s = rackSpec();
+    s.nodes.push_back({"spare", "drive"});
+    s.links.push_back({"tor1", "spare", 1.0, 0.0});
+    expectRejects(s, 4, "fabric.nodes[7]: drive node \"spare\" is "
+                        "not mapped to any array drive");
+}
+
+TEST(FabricTopology, FlatPresetLinksEveryDriveToTheHost)
+{
+    const TopologySpec s = makePreset("flat", 3);
+    EXPECT_NO_THROW(s.validate(3));
+    ASSERT_EQ(s.nodes.size(), 4u);
+    EXPECT_EQ(s.nodes[0].kind, "host");
+    ASSERT_EQ(s.links.size(), 3u);
+    for (const LinkSpec &l : s.links)
+        EXPECT_EQ(l.from, "host0");
+    EXPECT_EQ(s.drives,
+              (std::vector<std::string>{"d0", "d1", "d2"}));
+}
+
+TEST(FabricTopology, TreePresetBuildsSwitchTiers)
+{
+    const TopologySpec s = makePreset("tree:2x4", 8);
+    EXPECT_NO_THROW(s.validate(8));
+    // 1 host + 2 switches + 8 drives; 2 uplinks + 8 downlinks.
+    EXPECT_EQ(s.nodes.size(), 11u);
+    EXPECT_EQ(s.links.size(), 10u);
+    const Topology t = Topology::compile(s, 8);
+    EXPECT_EQ(t.switchNodes().size(), 2u);
+    EXPECT_EQ(t.pathNames(0),
+              (std::vector<std::string>{"host0", "sw0", "d0"}));
+    EXPECT_EQ(t.pathNames(7),
+              (std::vector<std::string>{"host0", "sw1", "d7"}));
+}
+
+TEST(FabricTopology, PresetErrorsNameThePreset)
+{
+    try {
+        makePreset("tree:2x3", 4);
+        FAIL() << "expected drive-count mismatch";
+    } catch (const TopologyError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "describes 6 drives but the array has 4"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(makePreset("tree:0x4", 0), TopologyError);
+    EXPECT_THROW(makePreset("tree:abc", 4), TopologyError);
+    EXPECT_THROW(makePreset("mesh", 4), TopologyError);
+}
+
+TEST(FabricTopology, CompileRoutesUniquePaths)
+{
+    const Topology t = Topology::compile(rackSpec(), 4);
+    EXPECT_EQ(t.pathCount(), 4u);
+    EXPECT_EQ(t.pathNames(0),
+              (std::vector<std::string>{"host0", "tor0", "bay0"}));
+    EXPECT_EQ(t.pathNames(3),
+              (std::vector<std::string>{"host0", "tor1", "bay3"}));
+    // Each hop's link label honors the traversal direction.
+    const auto &path = t.pathTo(2);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(t.linkName(path[0].link, path[0].forward),
+              "host0->tor1");
+    EXPECT_EQ(t.linkName(path[1].link, path[1].forward),
+              "tor1->bay2");
+    EXPECT_EQ(t.linkName(path[1].link, !path[1].forward),
+              "bay2->tor1");
+}
+
+TEST(FabricTopology, MinLinkLatencyIsTheWindowWidth)
+{
+    const Topology t = Topology::compile(rackSpec(), 4);
+    // Cheapest link is 1 us; the rack's uplinks are 2 us.
+    EXPECT_EQ(t.minLinkLatency(), sim::usec(1.0));
+}
+
+TEST(FabricTopology, ScenarioJsonRoundTripsTheFabricObject)
+{
+    host::ScenarioSpec spec =
+        host::ScenarioBuilder()
+            .geometry("small")
+            .drives(4)
+            .mechanism(core::Mechanism::Baseline)
+            .tenant("t", "usr_1", 50)
+            .fabric(rackSpec())
+            .build();
+    const host::ScenarioSpec back =
+        host::ScenarioSpec::fromJsonText(spec.toJsonText());
+    EXPECT_TRUE(back == spec);
+    EXPECT_TRUE(back.fabric == rackSpec());
+}
+
+TEST(FabricTopology, ScenarioRejectsFabricWithHostLink)
+{
+    host::ScenarioBuilder b;
+    b.geometry("small")
+        .drives(4)
+        .hostLinkUs(10.0)
+        .mechanism(core::Mechanism::Baseline)
+        .tenant("t", "usr_1", 50)
+        .fabric(rackSpec());
+    try {
+        b.build();
+        FAIL() << "expected hostLinkUs/fabric conflict";
+    } catch (const host::SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("host.hostLinkUs"),
+                  std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+TEST(FabricTopology, ScenarioSurfacesTopologyErrorsAsSpecErrors)
+{
+    host::ScenarioBuilder b;
+    TopologySpec bad = rackSpec();
+    bad.links[3].to = "bay9";
+    b.geometry("small")
+        .drives(4)
+        .mechanism(core::Mechanism::Baseline)
+        .tenant("t", "usr_1", 50)
+        .fabric(bad);
+    try {
+        b.build();
+        FAIL() << "expected fabric.links[3].to rejection";
+    } catch (const host::SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("fabric.links[3].to"),
+                  std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+} // namespace
+} // namespace ssdrr::fabric

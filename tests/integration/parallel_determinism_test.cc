@@ -65,11 +65,32 @@ expectIdenticalFaultStats(const ssd::RunStats &a,
 }
 
 void
+expectIdenticalFabricStats(const ssd::RunStats &a,
+                           const ssd::RunStats &b)
+{
+    EXPECT_EQ(a.avgFabricWaitUs, b.avgFabricWaitUs);
+    ASSERT_EQ(a.fabricLinks.size(), b.fabricLinks.size());
+    for (std::size_t l = 0; l < a.fabricLinks.size(); ++l) {
+        SCOPED_TRACE("link " + a.fabricLinks[l].link);
+        EXPECT_EQ(a.fabricLinks[l].link, b.fabricLinks[l].link);
+        EXPECT_EQ(a.fabricLinks[l].messages,
+                  b.fabricLinks[l].messages);
+        EXPECT_EQ(a.fabricLinks[l].bytesCarried,
+                  b.fabricLinks[l].bytesCarried);
+        EXPECT_EQ(a.fabricLinks[l].busyUs, b.fabricLinks[l].busyUs);
+        EXPECT_EQ(a.fabricLinks[l].waitUs, b.fabricLinks[l].waitUs);
+        EXPECT_EQ(a.fabricLinks[l].maxQueueDepth,
+                  b.fabricLinks[l].maxQueueDepth);
+    }
+}
+
+void
 expectIdenticalArray(const ssd::RunStats &a, const ssd::RunStats &b)
 {
     expectIdenticalDegraded(a, b);
     expectIdenticalFilterStats(a, b);
     expectIdenticalFaultStats(a, b);
+    expectIdenticalFabricStats(a, b);
     // EXPECT_EQ on doubles is exact comparison, deliberately: a
     // cross-domain ordering leak would first show up as a 1-ULP
     // drift in a floating-point accumulation, which a tolerant
@@ -390,6 +411,103 @@ TEST(ParallelDeterminism, FaultTimelineMatchesAcrossThreads)
         SCOPED_TRACE("threads 1 vs 4");
         expectIdenticalResult(one, four);
     }
+}
+
+/**
+ * Storage fabric on the sharded engine: every dispatch and completion
+ * multi-hops through switch domains with per-link FIFO contention,
+ * and the oversubscribed uplinks force queueing — the cross-domain
+ * traffic pattern with the most intermediate state the array can
+ * generate. Threads 1/2/4 must agree bit for bit, including every
+ * per-link counter.
+ */
+host::ScenarioResult
+runFabric(std::uint32_t threads)
+{
+    fabric::TopologySpec topo;
+    topo.nodes = {{"host0", "host"}, {"tor0", "switch"},
+                  {"tor1", "switch"}, {"bay0", "drive"},
+                  {"bay1", "drive"},  {"bay2", "drive"},
+                  {"bay3", "drive"}};
+    topo.links = {{"host0", "tor0", 2.0, 0.4},
+                  {"host0", "tor1", 2.0, 0.4},
+                  {"tor0", "bay0", 1.0, 0.05},
+                  {"tor0", "bay1", 1.0, 0.05},
+                  {"tor1", "bay2", 1.0, 0.05},
+                  {"tor1", "bay3", 1.0, 0.05}};
+    topo.drives = {"bay0", "bay1", "bay2", "bay3"};
+    const host::ScenarioSpec spec =
+        host::ScenarioBuilder()
+            .name("fabric-determinism")
+            .geometry("small")
+            .pec(1.0)
+            .retention(6.0)
+            .seed(31)
+            .drives(4)
+            .queueDepth(16)
+            .arbitration("wrr")
+            .mechanism(core::Mechanism::PnAR2)
+            .tenant("kv", "YCSB-C", 200)
+            .qdLimit(16)
+            .weight(3)
+            .tenant("log", "stg_0", 150)
+            .qdLimit(8)
+            .weight(1)
+            .fabric(topo)
+            .build();
+    host::ScenarioConfig cfg = spec.toConfig(core::Mechanism::PnAR2);
+    cfg.threads = threads;
+    return host::runScenario(cfg);
+}
+
+TEST(ParallelDeterminism, FabricScenarioMatchesAcrossThreads)
+{
+    const host::ScenarioResult one = runFabric(1);
+    // The scenario must actually push traffic through the fabric —
+    // and queue on the oversubscribed uplinks — or the equalities
+    // below prove nothing.
+    ASSERT_EQ(one.array.fabricLinks.size(), 6u);
+    EXPECT_GT(one.array.fabricLinks[0].messages, 0u);
+    EXPECT_GT(one.array.fabricLinks[0].bytesCarried, 0u);
+    EXPECT_GT(one.array.fabricLinks[0].waitUs, 0.0);
+    EXPECT_GT(one.array.avgFabricWaitUs, 0.0);
+    const host::ScenarioResult two = runFabric(2);
+    const host::ScenarioResult four = runFabric(4);
+    {
+        SCOPED_TRACE("threads 1 vs 2");
+        expectIdenticalResult(one, two);
+    }
+    {
+        SCOPED_TRACE("threads 1 vs 4");
+        expectIdenticalResult(one, four);
+    }
+}
+
+/** The tree preset behind the --fabric sugar must behave the same. */
+TEST(ParallelDeterminism, FabricPresetMatchesAcrossThreads)
+{
+    auto run = [](std::uint32_t threads) {
+        const host::ScenarioSpec spec =
+            host::ScenarioBuilder()
+                .geometry("small")
+                .pec(1.0)
+                .retention(6.0)
+                .seed(7)
+                .drives(4)
+                .queueDepth(16)
+                .mechanism(core::Mechanism::Baseline)
+                .tenant("t", "usr_1", 200)
+                .qdLimit(16)
+                .fabricPreset("tree:2x2")
+                .build();
+        host::ScenarioConfig cfg =
+            spec.toConfig(core::Mechanism::Baseline);
+        cfg.threads = threads;
+        return host::runScenario(cfg);
+    };
+    const host::ScenarioResult one = run(1);
+    EXPECT_GT(one.array.fabricLinks.size(), 0u);
+    expectIdenticalResult(one, run(4));
 }
 
 TEST(ParallelDeterminism, OpenLoopHorizonScenarioMatches)

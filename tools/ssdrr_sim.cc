@@ -72,6 +72,14 @@
  *     --timeout-us X             per-subrequest deadline (scenario
  *                                host.timeoutUs; required by any
  *                                failStop fault)
+ *     --fabric PRESET            storage-fabric preset between host
+ *                                and drives (scenario "fabric"
+ *                                object): "flat" = one direct link
+ *                                per drive, "tree:SxD" = S switches
+ *                                with D drives each (SxD must equal
+ *                                --array). Mutually exclusive with
+ *                                --host-link-us; adds a "fabric"
+ *                                output row per mechanism
  *
  * Scenario files (declarative API v2; see README "Scenario files"
  * and docs/SCENARIOS.md):
@@ -120,6 +128,7 @@
 #include <string>
 #include <vector>
 
+#include "fabric/topology.hh"
 #include "host/scenario.hh"
 #include "host/scenario_spec.hh"
 #include "sim/bench_report.hh"
@@ -157,6 +166,8 @@ struct Options {
     bool openLoop = false;
     double hostLinkUs = 0.0;
     double transferUsPerKb = 0.0;
+    /** Fabric preset name ("flat", "tree:SxD"; "" = no fabric). */
+    std::string fabricPreset;
     /** Host DRAM read cache in MiB (0 = no cache filter). */
     std::uint32_t cacheMb = 0;
     /** Readahead window in pages (0 = no readahead filter). */
@@ -195,7 +206,7 @@ usage(const char *argv0)
                  "  [--raid raid0|raid5] [--stripe-unit N] "
                  "[--failed-drives A,B,...]\n"
                  "  [--host-link-us X] [--transfer-us-per-kb X] "
-                 "[--threads N]\n"
+                 "[--fabric flat|tree:SxD] [--threads N]\n"
                  "  [--cache-mb N] [--readahead PAGES] "
                  "[--fault K=V,...] [--timeout-us X]\n"
                  "  [--scenario FILE.json] [--dump-scenario] "
@@ -403,6 +414,10 @@ parseArgs(int argc, char **argv)
             opt.hostLinkUs = parseDouble(arg, next());
             opt.hostFlags.push_back(arg);
             legacy();
+        } else if (arg == "--fabric") {
+            opt.fabricPreset = next();
+            opt.hostFlags.push_back(arg);
+            legacy();
         } else if (arg == "--cache-mb") {
             opt.cacheMb = parseUint32(arg, next());
             opt.hostFlags.push_back(arg);
@@ -479,6 +494,13 @@ benchRunFrom(const std::string &name, const ssd::RunStats &st,
     run.failedRequests = st.failedRequests;
     run.rebuildReads = st.rebuildReads;
     run.timeToRebuildMs = st.timeToRebuildMs;
+    run.avgFabricWaitUs = st.avgFabricWaitUs;
+    for (const ssd::RunStats::FabricLinkStats &l : st.fabricLinks) {
+        run.fabricBusyUs += l.busyUs;
+        run.fabricBytes += l.bytesCarried;
+        if (l.maxQueueDepth > run.fabricMaxQueueDepth)
+            run.fabricMaxQueueDepth = l.maxQueueDepth;
+    }
     if (wall_seconds > 0.0) {
         run.eventsPerSecond =
             static_cast<double>(st.executedEvents) / wall_seconds;
@@ -512,6 +534,14 @@ specFromFlags(const Options &opt)
     spec.arbitration = opt.arbitration;
     spec.hostLinkUs = opt.hostLinkUs;
     spec.transferUsPerKb = opt.transferUsPerKb;
+    if (!opt.fabricPreset.empty()) {
+        try {
+            spec.fabric =
+                fabric::makePreset(opt.fabricPreset, opt.array);
+        } catch (const fabric::TopologyError &e) {
+            flagError("--fabric", e.what());
+        }
+    }
     // Readahead stacks above the cache (chain order = array order):
     // its prefetch completions travel up through the cache filter and
     // fill it, so the stream's next demand read hits in DRAM.
@@ -707,6 +737,23 @@ runSpec(const host::ScenarioSpec &spec, const std::string &bench_json,
                             a.rebuildReads),
                         100.0 * a.rebuildProgress,
                         a.timeToRebuildMs);
+        // Storage-fabric accounting (fabric/): the per-read fabric
+        // wait plus one row per link; empty — and silent — when the
+        // scenario declares no fabric.
+        if (!a.fabricLinks.empty()) {
+            std::printf("%-10s %-14s     avg wait %.2f us/read\n",
+                        mname.c_str(), "fabric", a.avgFabricWaitUs);
+            for (const ssd::RunStats::FabricLinkStats &l :
+                 a.fabricLinks)
+                std::printf("%-10s   %-17s msgs %llu, KiB %llu, "
+                            "busy %.1f us, maxQ %u\n",
+                            mname.c_str(), l.link.c_str(),
+                            static_cast<unsigned long long>(
+                                l.messages),
+                            static_cast<unsigned long long>(
+                                l.bytesCarried >> 10),
+                            l.busyUs, l.maxQueueDepth);
+        }
     }
     if (!bench_json.empty()) {
         if (!sim::writeBenchJson(bench_json, label, bench_runs))
@@ -781,11 +828,16 @@ validateLegacyFlags(const Options &opt)
             flagError("--transfer-us-per-kb", "must be >= 0");
         if (opt.threads < 1)
             flagError("--threads", "needs at least 1 worker");
-        if (opt.threads > 1 && opt.hostLinkUs <= 0.0)
+        if (!opt.fabricPreset.empty() && opt.hostLinkUs > 0.0)
+            flagError("--fabric",
+                      "cannot be combined with --host-link-us (the "
+                      "fabric's links replace the flat host link)");
+        if (opt.threads > 1 && opt.hostLinkUs <= 0.0 &&
+            opt.fabricPreset.empty())
             flagError("--threads",
-                      "worker threads need --host-link-us > 0 (the "
-                      "parallel engine synchronizes drives at "
-                      "host-link turnaround windows)");
+                      "worker threads need --host-link-us > 0 or a "
+                      "--fabric (the parallel engine synchronizes "
+                      "drives at link turnaround windows)");
     } else if (opt.threadsSet && opt.scenarioPath.empty()) {
         flagError("--threads", "requires --tenants or --scenario");
     } else if (!opt.hostFlags.empty()) {
