@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "host/scenario_spec.hh"
+#include "host/bench_scenarios.hh"
 
 using namespace ssdrr;
 
@@ -25,17 +25,8 @@ namespace {
 host::ScenarioResult
 runOne(core::Mechanism mech, host::Arbitration arb)
 {
-    host::ScenarioBuilder b;
-    b.pec(1.0).retention(6.0).drives(2).queueDepth(16)
-        .arbitration(arb).mechanism(mech);
-    for (std::uint32_t t = 0; t < 4; ++t) {
-        b.tenant("tenant" + std::to_string(t), "usr_1", 400)
-            .qdLimit(16)
-            .weight(arb == host::Arbitration::WeightedRoundRobin
-                        ? t + 1
-                        : 1);
-    }
-    return host::runScenario(b.build(), mech);
+    return host::runScenario(host::buildBenchScenario(400, arb),
+                             mech);
 }
 
 void

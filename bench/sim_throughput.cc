@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "fabric/topology.hh"
+#include "host/bench_scenarios.hh"
 #include "host/scenario.hh"
 #include "host/scenario_spec.hh"
 #include "sim/bench_report.hh"
@@ -70,23 +71,8 @@ namespace {
 host::ScenarioConfig
 tailScenario(core::Mechanism mech, std::uint64_t requests_per_tenant)
 {
-    host::ScenarioConfig sc;
-    sc.ssd = ssd::Config::small();
-    sc.ssd.basePeKilo = 1.0;
-    sc.ssd.baseRetentionMonths = 6.0;
-    sc.mech = mech;
-    sc.drives = 2;
-    sc.host.queueDepth = 16;
-    sc.host.arbitration = host::Arbitration::RoundRobin;
-    for (std::uint32_t t = 0; t < 4; ++t) {
-        host::TenantSpec ts;
-        ts.workload = "usr_1";
-        ts.name = "tenant" + std::to_string(t);
-        ts.requests = requests_per_tenant;
-        ts.qdLimit = 16;
-        sc.tenants.push_back(ts);
-    }
-    return sc;
+    return host::buildBenchScenario(requests_per_tenant)
+        .toConfig(mech);
 }
 
 /**

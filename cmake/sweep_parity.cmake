@@ -1,0 +1,74 @@
+# Runs ssdrr_sweep over the same grid at --jobs 1 and --jobs 4 and
+# requires the text table and the JSON aggregate to be byte-identical
+# — the determinism contract that makes sweep digests usable as
+# regression goldens. A second grid contains a cell that cannot run
+# (its workload axis points at a nonexistent trace file); both job
+# counts must exit 3 with, again, identical aggregates, proving a
+# failing cell degrades to an error row rather than perturbing its
+# neighbours.
+#
+# Inputs (all -D):
+#   SWEEP_TOOL      path to the ssdrr_sweep binary
+#   SWEEP_FILE      a well-formed mini grid
+#   BAD_SWEEP_FILE  a grid with one unrunnable cell
+#   WORK_DIR        scratch directory for outputs
+
+foreach(var SWEEP_TOOL SWEEP_FILE BAD_SWEEP_FILE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "sweep_parity.cmake: ${var} not set")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_sweep sweep jobs out_prefix expect_code)
+    execute_process(
+        COMMAND "${SWEEP_TOOL}" --sweep "${sweep}" --jobs "${jobs}"
+                --json "${out_prefix}.json"
+        OUTPUT_FILE "${out_prefix}.txt"
+        ERROR_VARIABLE stderr_text
+        RESULT_VARIABLE code)
+    if(NOT code EQUAL expect_code)
+        message(FATAL_ERROR
+            "ssdrr_sweep --jobs ${jobs} on ${sweep}: expected exit "
+            "${expect_code}, got ${code}\n${stderr_text}")
+    endif()
+endfunction()
+
+function(require_identical a b what)
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files "${a}" "${b}"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+            "${what} differs between --jobs 1 and --jobs 4 "
+            "(${a} vs ${b}) — the aggregate is not "
+            "order-independent")
+    endif()
+endfunction()
+
+run_sweep("${SWEEP_FILE}" 1 "${WORK_DIR}/grid_j1" 0)
+run_sweep("${SWEEP_FILE}" 4 "${WORK_DIR}/grid_j4" 0)
+require_identical("${WORK_DIR}/grid_j1.txt" "${WORK_DIR}/grid_j4.txt"
+                  "text table")
+require_identical("${WORK_DIR}/grid_j1.json"
+                  "${WORK_DIR}/grid_j4.json" "JSON aggregate")
+
+run_sweep("${BAD_SWEEP_FILE}" 1 "${WORK_DIR}/bad_j1" 3)
+run_sweep("${BAD_SWEEP_FILE}" 4 "${WORK_DIR}/bad_j4" 3)
+require_identical("${WORK_DIR}/bad_j1.txt" "${WORK_DIR}/bad_j4.txt"
+                  "failing-cell text table")
+require_identical("${WORK_DIR}/bad_j1.json" "${WORK_DIR}/bad_j4.json"
+                  "failing-cell JSON aggregate")
+
+# The failing grid must still report the healthy cells and carry the
+# per-cell error message in the table.
+file(READ "${WORK_DIR}/bad_j1.txt" bad_table)
+if(NOT bad_table MATCHES "error")
+    message(FATAL_ERROR "failing cell left no error row:\n${bad_table}")
+endif()
+if(NOT bad_table MATCHES "ok")
+    message(FATAL_ERROR "healthy cells vanished from the failing "
+                        "grid's table:\n${bad_table}")
+endif()
+
+message(STATUS "sweep aggregates byte-identical at --jobs 1 and 4")

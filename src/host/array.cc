@@ -55,7 +55,8 @@ SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
         fabric::Topology topo =
             fabric::Topology::compile(opt.fabric, opt.drives);
         exec_ = std::make_unique<sim::ParallelExecutor>(
-            topo.minLinkLatency(), opt.threads == 0 ? 1 : opt.threads);
+            topo.minLinkLatency(), opt.threads == 0 ? 1 : opt.threads,
+            opt.batchMailbox);
         host_dom_ = exec_->addDomain(eq_);
         // Registers the switch domains, in node-declaration order.
         fabric_ = std::make_unique<fabric::Fabric>(std::move(topo),
@@ -63,7 +64,8 @@ SsdArray::SsdArray(const ssd::Config &cfg, core::Mechanism mech,
                                                    eq_);
     } else if (link_ > 0) {
         exec_ = std::make_unique<sim::ParallelExecutor>(
-            link_, opt.threads == 0 ? 1 : opt.threads);
+            link_, opt.threads == 0 ? 1 : opt.threads,
+            opt.batchMailbox);
         host_dom_ = exec_->addDomain(eq_);
     }
     for (std::uint32_t d = 0; d < opt.drives; ++d) {

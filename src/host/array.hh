@@ -105,6 +105,12 @@ class SsdArray
         /** Worker threads for the windowed engine (ignored by the
          *  legacy shared-queue engine; results do not depend on it). */
         std::uint32_t threads = 1;
+        /** Doorbell batching for the windowed engine: coalesce
+         *  mailbox crossings sharing a (receiver, delivery tick)
+         *  into one heap event at the window barrier. Bit-identical
+         *  to unbatched delivery (see sim::ParallelExecutor); off
+         *  exists for the batched-vs-unbatched parity oracle. */
+        bool batchMailbox = true;
         /** Fabric topology routing dispatch/completion crossings
          *  hop-by-hop (empty = no fabric). Non-empty selects the
          *  windowed per-drive engine and excludes hostLink. */

@@ -1,0 +1,28 @@
+#include "host/bench_scenarios.hh"
+
+#include <string>
+
+namespace ssdrr::host {
+
+ScenarioSpec
+buildBenchScenario(std::uint64_t requests_per_tenant, Arbitration arb)
+{
+    ScenarioBuilder b;
+    b.name("bench-tail")
+        .pec(1.0)
+        .retention(6.0)
+        .drives(2)
+        .queueDepth(16)
+        .arbitration(arb);
+    for (const char *m : {"Baseline", "PR2", "AR2", "PnAR2", "NoRR"})
+        b.mechanism(m);
+    for (std::uint32_t t = 0; t < 4; ++t)
+        b.tenant("tenant" + std::to_string(t), "usr_1",
+                 requests_per_tenant)
+            .qdLimit(16)
+            .weight(arb == Arbitration::WeightedRoundRobin ? t + 1
+                                                           : 1);
+    return b.build();
+}
+
+} // namespace ssdrr::host

@@ -173,6 +173,7 @@ runScenario(const ScenarioConfig &cfg)
     aopt.failedDrives = cfg.failedDrives;
     aopt.hostLink = sim::usec(cfg.hostLinkUs);
     aopt.threads = cfg.threads;
+    aopt.batchMailbox = cfg.batchMailbox;
     aopt.fabric = cfg.fabric;
     aopt.faults = cfg.faults;
     aopt.faultSeed = cfg.ssd.seed;

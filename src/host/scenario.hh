@@ -115,6 +115,15 @@ struct ScenarioConfig {
      */
     std::uint32_t threads = 1;
     /**
+     * Doorbell batching for the windowed engine: coalesce mailbox
+     * crossings that share a (receiver, delivery tick) into one heap
+     * event per window barrier. Bit-identical to unbatched delivery
+     * for any thread count (an engine tuning knob like threads, not
+     * part of the scenario's observable spec — it has no JSON field);
+     * off exists for the batched-vs-unbatched parity tests.
+     */
+    bool batchMailbox = true;
+    /**
      * Storage-fabric topology routing dispatch/completion crossings
      * hop-by-hop with per-link contention (empty = no fabric).
      * Mutually exclusive with hostLinkUs > 0; selects the windowed

@@ -122,6 +122,22 @@ EventQueue::scheduleAfter(Tick delay, Callback cb)
     return schedule(now_ + delay, std::move(cb));
 }
 
+EventId
+EventQueue::scheduleBatch(Tick when, std::vector<Callback> cbs)
+{
+    SSDRR_ASSERT(!cbs.empty(), "scheduling an empty batch");
+    if (cbs.size() == 1)
+        return schedule(when, std::move(cbs.front()));
+    // One event carries the whole batch; run() counts it once, so the
+    // batch callback accounts for the other size()-1 executions to
+    // keep executedEvents() identical to individual scheduling.
+    return schedule(when, [this, cbs = std::move(cbs)]() mutable {
+        executed_ += cbs.size() - 1;
+        for (Callback &cb : cbs)
+            cb();
+    });
+}
+
 bool
 EventQueue::cancel(EventId id)
 {

@@ -81,6 +81,28 @@ class EventQueue
     EventId scheduleAfter(Tick delay, Callback cb);
 
     /**
+     * Schedule a batch of callbacks at absolute time @p when (must be
+     * >= now()) as ONE heap event that runs them in vector order —
+     * the doorbell-batching primitive: a window's worth of mailbox
+     * crossings bound for the same (queue, tick) pays one slot, one
+     * heap entry, and one sift instead of cbs.size() of each.
+     *
+     * Observable behavior is identical to scheduling each callback
+     * individually in vector order at a point where no other
+     * schedule() call can interleave: the callbacks run back-to-back
+     * at the same now(), anything they schedule at the same tick gets
+     * a later sequence number either way, and executedEvents()
+     * advances by cbs.size() (the batch accounts each callback as its
+     * own executed event), so event counts stay bit-identical to the
+     * unbatched schedule.
+     *
+     * The batch cannot be cancelled piecemeal (no per-callback ids);
+     * callers batch only messages that are never cancelled (mailbox
+     * deliveries). @p cbs must be non-empty with no null callbacks.
+     */
+    EventId scheduleBatch(Tick when, std::vector<Callback> cbs);
+
+    /**
      * Cancel a pending event.
      * @retval true if the event was pending and is now cancelled.
      * @retval false if it already ran, was cancelled, or never

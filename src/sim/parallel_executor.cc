@@ -23,8 +23,10 @@ relax(unsigned &spins)
 
 } // namespace
 
-ParallelExecutor::ParallelExecutor(Tick window, unsigned threads)
-    : window_(window), threads_(threads == 0 ? 1 : threads)
+ParallelExecutor::ParallelExecutor(Tick window, unsigned threads,
+                                   bool batch_mailbox)
+    : window_(window), threads_(threads == 0 ? 1 : threads),
+      batch_mailbox_(batch_mailbox)
 {
     SSDRR_ASSERT(window_ > 0,
                  "synchronization window must be positive (it is the "
@@ -88,8 +90,43 @@ ParallelExecutor::route()
                       return a.from < b.from;
                   return a.seq < b.seq;
               });
-    for (Msg &m : route_scratch_)
-        doms_[m.to].q->schedule(m.when, std::move(m.cb));
+    messages_routed_ += route_scratch_.size();
+    if (!batch_mailbox_) {
+        for (Msg &m : route_scratch_)
+            doms_[m.to].q->schedule(m.when, std::move(m.cb));
+        route_scratch_.clear();
+        return;
+    }
+    // Doorbell batching: a run of sorted messages sharing a
+    // (receiver, tick) becomes one scheduleBatch event that executes
+    // them in the sorted (sender id, send order) sequence. This is
+    // bit-identical to individual scheduling: the run's members would
+    // have received consecutive sequence numbers (route() is the only
+    // scheduler between barriers), so nothing could interleave inside
+    // the run anyway, and anything a batched callback schedules at
+    // the same tick sequences after the whole run either way.
+    // scheduleBatch keeps executedEvents() exact, and mailbox
+    // deliveries are never cancelled, so the merged event is safe.
+    std::size_t i = 0;
+    while (i < route_scratch_.size()) {
+        std::size_t j = i + 1;
+        while (j < route_scratch_.size() &&
+               route_scratch_[j].to == route_scratch_[i].to &&
+               route_scratch_[j].when == route_scratch_[i].when)
+            ++j;
+        Msg &head = route_scratch_[i];
+        if (j == i + 1) {
+            doms_[head.to].q->schedule(head.when, std::move(head.cb));
+        } else {
+            std::vector<Callback> cbs;
+            cbs.reserve(j - i);
+            for (std::size_t k = i; k < j; ++k)
+                cbs.push_back(std::move(route_scratch_[k].cb));
+            doms_[head.to].q->scheduleBatch(head.when, std::move(cbs));
+            messages_coalesced_ += (j - i) - 1;
+        }
+        i = j;
+    }
     route_scratch_.clear();
 }
 

@@ -64,8 +64,17 @@ class ParallelExecutor
      * @param threads worker threads for the window phase (clamped to
      *                [1, domains]; 1 = run domains inline, no
      *                threads). Results are identical for any value.
+     * @param batch_mailbox doorbell batching: coalesce messages that
+     *                share a (receiver, delivery tick) into one
+     *                EventQueue::scheduleBatch call at the window
+     *                barrier, so a burst of same-window crossings
+     *                pays one heap event instead of one per message.
+     *                Bit-identical to unbatched delivery (see
+     *                route()); on by default, off exists for the
+     *                batched-vs-unbatched parity oracle.
      */
-    explicit ParallelExecutor(Tick window, unsigned threads = 1);
+    explicit ParallelExecutor(Tick window, unsigned threads = 1,
+                              bool batch_mailbox = true);
     ~ParallelExecutor();
 
     ParallelExecutor(const ParallelExecutor &) = delete;
@@ -80,8 +89,19 @@ class ParallelExecutor
     }
     Tick window() const { return window_; }
     unsigned threads() const { return threads_; }
+    /** True when same-(receiver, tick) deliveries are coalesced. */
+    bool batchMailbox() const { return batch_mailbox_; }
     /** Windows executed so far (introspection / tests). */
     std::uint64_t windowsRun() const { return windows_run_; }
+    /** Messages delivered so far (batched or not). */
+    std::uint64_t messagesRouted() const { return messages_routed_; }
+    /** Messages that rode in a coalesced batch behind another message
+     *  with the same (receiver, tick) — the heap events doorbell
+     *  batching saved. Zero when batching is off. */
+    std::uint64_t messagesCoalesced() const
+    {
+        return messages_coalesced_;
+    }
 
     /**
      * Queue @p cb for execution on domain @p to at tick
@@ -130,9 +150,12 @@ class ParallelExecutor
 
     Tick window_;
     unsigned threads_;
+    bool batch_mailbox_;
     std::vector<Domain> doms_;
     std::vector<Msg> route_scratch_;
     std::uint64_t windows_run_ = 0;
+    std::uint64_t messages_routed_ = 0;
+    std::uint64_t messages_coalesced_ = 0;
 
     // ----- window-phase worker handshake -----
     // The coordinator publishes window_end_ and bumps epoch_

@@ -186,11 +186,12 @@ fourDriveSpec()
 }
 
 host::ScenarioResult
-runWithThreads(std::uint32_t threads)
+runWithThreads(std::uint32_t threads, bool batch_mailbox = true)
 {
     host::ScenarioConfig cfg =
         fourDriveSpec().toConfig(core::Mechanism::PnAR2);
     cfg.threads = threads;
+    cfg.batchMailbox = batch_mailbox;
     return host::runScenario(cfg);
 }
 
@@ -422,7 +423,7 @@ TEST(ParallelDeterminism, FaultTimelineMatchesAcrossThreads)
  * per-link counter.
  */
 host::ScenarioResult
-runFabric(std::uint32_t threads)
+runFabric(std::uint32_t threads, bool batch_mailbox = true)
 {
     fabric::TopologySpec topo;
     topo.nodes = {{"host0", "host"}, {"tor0", "switch"},
@@ -457,6 +458,7 @@ runFabric(std::uint32_t threads)
             .build();
     host::ScenarioConfig cfg = spec.toConfig(core::Mechanism::PnAR2);
     cfg.threads = threads;
+    cfg.batchMailbox = batch_mailbox;
     return host::runScenario(cfg);
 }
 
@@ -539,6 +541,43 @@ TEST(ParallelDeterminism, OpenLoopHorizonScenarioMatches)
         return host::runScenario(cfg);
     };
     expectIdenticalResult(run(1), run(4));
+}
+
+/**
+ * Doorbell batching (coalescing same-window mailbox crossings that
+ * share a receiver and delivery tick into one heap event) is an
+ * engine optimization, not a model change: with batching on — the
+ * default — every statistic including executedEvents must match the
+ * unbatched event stream bit for bit, at every worker count. This is
+ * the acceptance oracle for sim::ParallelExecutor's batched route().
+ */
+TEST(ParallelDeterminism, DoorbellBatchingParityAcrossThreads)
+{
+    for (std::uint32_t threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        expectIdenticalResult(
+            runWithThreads(threads, /*batch_mailbox=*/false),
+            runWithThreads(threads, /*batch_mailbox=*/true));
+    }
+}
+
+/**
+ * The fabric engine shares route() with the flat-link engine, so
+ * batching applies to hop-by-hop switch traffic too — per-link
+ * counters and queueing must be unaffected.
+ */
+TEST(ParallelDeterminism, DoorbellBatchingParityOnFabric)
+{
+    {
+        SCOPED_TRACE("threads 1");
+        expectIdenticalResult(runFabric(1, /*batch_mailbox=*/false),
+                              runFabric(1, /*batch_mailbox=*/true));
+    }
+    {
+        SCOPED_TRACE("threads 4");
+        expectIdenticalResult(runFabric(4, /*batch_mailbox=*/false),
+                              runFabric(4, /*batch_mailbox=*/true));
+    }
 }
 
 } // namespace

@@ -179,6 +179,70 @@ TEST(ParallelExecutor, WorkerCountDoesNotChangeExecution)
     EXPECT_EQ(total, 600u); // 200 hops x 3 records
 }
 
+TEST(ParallelExecutor, DoorbellBatchingIsBitIdenticalAndEngages)
+{
+    // Three senders race two messages each to one receiver at a
+    // common delivery tick — exactly the shape doorbell batching
+    // coalesces. The delivery order, the receiver's executed-event
+    // count, and a second staggered-tick wave must all be identical
+    // with batching on and off; the coalesced counter proves the
+    // batched run actually merged mailbox crossings rather than
+    // trivially passing because nothing coalesced.
+    struct Outcome {
+        std::vector<int> order;
+        std::uint64_t executed = 0;
+        std::uint64_t routed = 0;
+        std::uint64_t coalesced = 0;
+    };
+    auto run = [](bool batch) {
+        Outcome out;
+        Recorder recv;
+        std::vector<std::unique_ptr<Recorder>> senders;
+        ParallelExecutor exec(kWindow, 2, batch);
+        const auto dr = exec.addDomain(recv.q);
+        std::vector<ParallelExecutor::DomainId> ds;
+        for (int s = 0; s < 3; ++s) {
+            senders.push_back(std::make_unique<Recorder>());
+            ds.push_back(exec.addDomain(senders.back()->q));
+        }
+        for (int s = 0; s < 3; ++s) {
+            Recorder &sd = *senders[s];
+            const auto dom = ds[s];
+            sd.q.schedule(10, [&exec, &sd, &out, dom, dr, s] {
+                for (int k = 0; k < 2; ++k) {
+                    // First wave shares one delivery tick; second
+                    // wave staggers per sender so singletons mix
+                    // with coalescible runs in the same barrier.
+                    exec.send(dom, dr, sd.q.now() + kWindow,
+                              [&out, s, k] {
+                                  out.order.push_back(10 * s + k);
+                              });
+                    exec.send(dom, dr, sd.q.now() + 2 * kWindow + s,
+                              [&out, s, k] {
+                                  out.order.push_back(100 + 10 * s + k);
+                              });
+                }
+            });
+        }
+        exec.run();
+        out.executed = recv.q.executedEvents();
+        out.routed = exec.messagesRouted();
+        out.coalesced = exec.messagesCoalesced();
+        return out;
+    };
+
+    const Outcome batched = run(true);
+    const Outcome plain = run(false);
+    EXPECT_EQ(batched.order, plain.order);
+    EXPECT_EQ(batched.executed, plain.executed);
+    EXPECT_EQ(batched.executed, 12u);
+    EXPECT_EQ(batched.routed, plain.routed);
+    EXPECT_EQ(plain.coalesced, 0u);
+    // Wave 1: 6 messages at one tick -> 5 merged. Wave 2: three
+    // per-sender pairs -> 1 merged each.
+    EXPECT_EQ(batched.coalesced, 8u);
+}
+
 TEST(ParallelExecutor, RunCanBeCalledAgainAfterNewWork)
 {
     Recorder a;

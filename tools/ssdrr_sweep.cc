@@ -1,0 +1,338 @@
+/**
+ * @file
+ * ssdrr_sweep — grid-of-scenarios driver.
+ *
+ * Expands a sweep file (a base scenario plus axes of values, see
+ * host/sweep.hh and docs/SWEEPS.md) into its cross product of
+ * concrete scenarios, fans the cells out over a pool of worker
+ * processes, and folds the per-cell results into one deterministic
+ * aggregate: an aligned text table on stdout, optionally a JSON
+ * document, and a stable digest. The aggregate is byte-identical for
+ * any --jobs value and any cell completion order, so a sweep's
+ * digest is a meaningful regression golden.
+ *
+ * Usage:
+ *   ssdrr_sweep --sweep FILE [options]
+ *     --jobs N           worker processes (default 1)
+ *     --json PATH        also write the aggregate JSON document
+ *     --check-digest F   compare the digest against golden file F
+ *                        (first token = expected hex; exit 1 on
+ *                        mismatch)
+ *     --write-digest F   write/overwrite golden file F
+ *     --cells-dir DIR    keep per-cell result files in DIR instead
+ *                        of a deleted temp directory
+ *     --list             print the expanded cells and exit
+ *
+ * Worker mode (internal; the pool invokes itself):
+ *     --cell I --cell-out PATH   run cell I, write its rows to PATH
+ *
+ * Exit status: 0 = all cells ran; 1 = digest mismatch; 2 = bad
+ * usage or a malformed sweep file; 3 = the aggregate was produced
+ * but at least one cell failed (its rows carry status "error").
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "host/sweep.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --sweep FILE [--jobs N] [--json PATH]\n"
+        "  [--check-digest FILE | --write-digest FILE]\n"
+        "  [--cells-dir DIR] [--list]\n"
+        "worker mode: --cell I --cell-out PATH\n",
+        argv0);
+    std::exit(2);
+}
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "ssdrr_sweep: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+struct Options {
+    std::string sweepFile;
+    std::string jsonOut;
+    std::string checkDigest;
+    std::string writeDigest;
+    std::string cellsDir;
+    unsigned jobs = 1;
+    bool list = false;
+    long cell = -1;
+    std::string cellOut;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fail(std::string(flag) + ": missing value");
+            return argv[++i];
+        };
+        if (a == "--sweep") {
+            opt.sweepFile = next("--sweep");
+        } else if (a == "--jobs") {
+            const char *v = next("--jobs");
+            char *end = nullptr;
+            const long n = std::strtol(v, &end, 10);
+            if (end == v || *end || n < 1)
+                fail("--jobs: expected a positive integer, got '" +
+                     std::string(v) + "'");
+            opt.jobs = static_cast<unsigned>(n);
+        } else if (a == "--json") {
+            opt.jsonOut = next("--json");
+        } else if (a == "--check-digest") {
+            opt.checkDigest = next("--check-digest");
+        } else if (a == "--write-digest") {
+            opt.writeDigest = next("--write-digest");
+        } else if (a == "--cells-dir") {
+            opt.cellsDir = next("--cells-dir");
+        } else if (a == "--list") {
+            opt.list = true;
+        } else if (a == "--cell") {
+            const char *v = next("--cell");
+            char *end = nullptr;
+            opt.cell = std::strtol(v, &end, 10);
+            if (end == v || *end || opt.cell < 0)
+                fail("--cell: expected a cell index, got '" +
+                     std::string(v) + "'");
+        } else if (a == "--cell-out") {
+            opt.cellOut = next("--cell-out");
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opt.sweepFile.empty())
+        usage(argv[0]);
+    if ((opt.cell >= 0) != !opt.cellOut.empty())
+        fail("--cell and --cell-out must be given together");
+    return opt;
+}
+
+void
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        fail("cannot write '" + path + "'");
+    out << text;
+}
+
+/**
+ * Worker mode: run one cell and leave its rows (or an error row) at
+ * --cell-out. The exit status is the cell's status; the parent reads
+ * the file either way, so a failed cell still reports *why* in its
+ * own row instead of poisoning the aggregate.
+ */
+int
+runWorker(const host::SweepSpec &sweep, const Options &opt)
+{
+    const std::size_t cell = static_cast<std::size_t>(opt.cell);
+    if (cell >= sweep.cells())
+        fail("--cell: index " + std::to_string(cell) +
+             " out of range (sweep has " +
+             std::to_string(sweep.cells()) + " cells)");
+    try {
+        writeText(opt.cellOut,
+                  host::runSweepCell(sweep, cell).dump(2) + "\n");
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ssdrr_sweep: cell %zu: %s\n", cell,
+                     e.what());
+        writeText(opt.cellOut,
+                  host::sweepErrorRow(sweep, cell, 2, e.what())
+                          .dump(2) +
+                      "\n");
+        return 2;
+    }
+}
+
+std::string
+cellPath(const std::string &dir, std::size_t cell)
+{
+    return dir + "/cell_" + std::to_string(cell) + ".json";
+}
+
+/** Fork/exec this binary in worker mode for one cell. */
+pid_t
+spawnWorker(const std::string &self, const Options &opt,
+            const std::string &dir, std::size_t cell)
+{
+    const pid_t pid = fork();
+    if (pid < 0)
+        fail(std::string("fork: ") + std::strerror(errno));
+    if (pid == 0) {
+        const std::string idx = std::to_string(cell);
+        const std::string out = cellPath(dir, cell);
+        execl(self.c_str(), "ssdrr_sweep", "--sweep",
+              opt.sweepFile.c_str(), "--cell", idx.c_str(),
+              "--cell-out", out.c_str(), (char *)nullptr);
+        std::fprintf(stderr, "ssdrr_sweep: exec %s: %s\n",
+                     self.c_str(), std::strerror(errno));
+        std::_Exit(127);
+    }
+    return pid;
+}
+
+int
+runPool(const host::SweepSpec &sweep, const Options &opt,
+        const char *argv0)
+{
+    const std::size_t cells = sweep.cells();
+
+    std::string dir = opt.cellsDir;
+    bool cleanup = false;
+    if (dir.empty()) {
+        char tmpl[] = "/tmp/ssdrr_sweep.XXXXXX";
+        if (!mkdtemp(tmpl))
+            fail(std::string("mkdtemp: ") + std::strerror(errno));
+        dir = tmpl;
+        cleanup = true;
+    }
+
+    // /proc/self/exe survives PATH-less invocation and chdir; fall
+    // back to argv[0] on exotic setups.
+    std::string self = "/proc/self/exe";
+    if (access(self.c_str(), X_OK) != 0)
+        self = argv0;
+
+    std::map<pid_t, std::size_t> running;
+    std::vector<int> exit_code(cells, -1);
+    std::size_t next = 0;
+    const auto reap = [&]() {
+        int status = 0;
+        const pid_t pid = waitpid(-1, &status, 0);
+        if (pid < 0)
+            fail(std::string("waitpid: ") + std::strerror(errno));
+        const auto it = running.find(pid);
+        if (it == running.end())
+            return;
+        exit_code[it->second] =
+            WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+        running.erase(it);
+    };
+    while (next < cells || !running.empty()) {
+        if (next < cells && running.size() < opt.jobs) {
+            running.emplace(spawnWorker(self, opt, dir, next), next);
+            ++next;
+        } else {
+            reap();
+        }
+    }
+
+    // Collect per-cell files in cell order — the aggregate's bytes
+    // depend only on the cells' contents, never on completion order
+    // or the job count.
+    std::vector<sim::json::Value> results(cells);
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < cells; ++i) {
+        if (exit_code[i] != 0)
+            ++failed;
+        std::ifstream in(cellPath(dir, i));
+        std::ostringstream buf;
+        bool ok = static_cast<bool>(in);
+        if (ok)
+            buf << in.rdbuf();
+        std::string err;
+        sim::json::Value v;
+        if (ok)
+            v = sim::json::parse(buf.str(), &err);
+        if (!ok || !err.empty())
+            v = host::sweepErrorRow(
+                sweep, i, exit_code[i],
+                "worker exited with status " +
+                    std::to_string(exit_code[i]) +
+                    " and left no result");
+        results[i] = std::move(v);
+        if (cleanup)
+            ::unlink(cellPath(dir, i).c_str());
+    }
+    if (cleanup)
+        ::rmdir(dir.c_str());
+
+    const sim::json::Value agg = host::aggregateSweep(sweep, results);
+    const std::string digest = host::sweepDigest(agg);
+    std::fputs(host::sweepTable(agg).c_str(), stdout);
+    if (!opt.jsonOut.empty())
+        writeText(opt.jsonOut, agg.dump(2) + "\n");
+    if (!opt.writeDigest.empty())
+        writeText(opt.writeDigest,
+                  digest + " ssdrr_sweep aggregate digest (" +
+                      std::to_string(cells) + " cells)\n");
+    if (!opt.checkDigest.empty()) {
+        std::ifstream in(opt.checkDigest);
+        std::string expected;
+        if (!(in >> expected))
+            fail("cannot read golden digest file '" +
+                 opt.checkDigest + "'");
+        if (expected != digest) {
+            std::fprintf(stderr,
+                         "ssdrr_sweep: digest mismatch: expected %s "
+                         "(from %s), got %s\n",
+                         expected.c_str(), opt.checkDigest.c_str(),
+                         digest.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "sweep digest matches %s\n",
+                     opt.checkDigest.c_str());
+    }
+    return failed ? 3 : 0;
+}
+
+int
+realMain(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    host::SweepSpec sweep;
+    try {
+        sweep = host::SweepSpec::loadFile(opt.sweepFile);
+    } catch (const host::SpecError &e) {
+        fail(e.what());
+    }
+    if (opt.list) {
+        std::printf("%zu cells:\n", sweep.cells());
+        for (std::size_t i = 0; i < sweep.cells(); ++i)
+            std::printf("  %4zu: %s\n", i, sweep.label(i).c_str());
+        return 0;
+    }
+    if (opt.cell >= 0)
+        return runWorker(sweep, opt);
+    return runPool(sweep, opt, argv[0]);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return realMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ssdrr_sweep: error: %s\n", e.what());
+        return 2;
+    }
+}
