@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the EventQueue primitives the
+ * drain-tick engine is built from: schedule/run churn at varying
+ * same-tick density, cancel (including the eager root-prune path),
+ * scheduleBatch vs. per-event scheduling for a same-tick burst, the
+ * drain-tick run loop itself, and the nextPendingTick() probe the
+ * parallel executor polls every window.
+ *
+ * These isolate the event-engine costs that bench_sim_throughput
+ * measures end-to-end; CI runs them in short mode (--benchmark_min_time
+ * trimmed) in the perf-smoke job so a kernel regression shows up next
+ * to the digest check.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace ssdrr;
+
+namespace {
+
+/**
+ * Schedule-then-drain throughput at a given same-tick density:
+ * range(0) events spread over range(1) distinct ticks. density 1
+ * (every event on its own tick) is the heap's worst case; higher
+ * densities exercise the drain-tick batch extraction.
+ */
+void
+BM_ScheduleRun(benchmark::State &state)
+{
+    const int events = static_cast<int>(state.range(0));
+    const int ticks = static_cast<int>(state.range(1));
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        eq.reserve(static_cast<std::size_t>(events));
+        for (int i = 0; i < events; ++i)
+            eq.schedule(static_cast<sim::Tick>((i * 7919) % ticks + 1),
+                        [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_ScheduleRun)
+    ->Args({4096, 4096})
+    ->Args({4096, 512})
+    ->Args({4096, 64});
+
+/**
+ * Schedule + cancel churn: half the scheduled events are cancelled
+ * before run(). Odd-indexed victims regularly sit at the heap root
+ * when cancelled, so this covers the eager root-prune path as well as
+ * the O(1) in-place tombstone.
+ */
+void
+BM_ScheduleCancelRun(benchmark::State &state)
+{
+    const int events = static_cast<int>(state.range(0));
+    std::uint64_t sink = 0;
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(events));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        eq.reserve(static_cast<std::size_t>(events));
+        ids.clear();
+        for (int i = 0; i < events; ++i)
+            ids.push_back(eq.schedule(
+                static_cast<sim::Tick>((i * 7919) % events + 1),
+                [&sink] { ++sink; }));
+        for (int i = 0; i < events; i += 2)
+            eq.cancel(ids[static_cast<std::size_t>(i)]);
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_ScheduleCancelRun)->Arg(4096);
+
+/**
+ * A same-tick burst of range(0) callbacks delivered as one
+ * scheduleBatch event vs. range(0) individual schedule calls
+ * (BM_BurstUnbatched). The pair quantifies what the producers'
+ * micro-batching saves per burst: one slot + one heap entry + one
+ * sift, instead of N of each.
+ */
+void
+BM_BurstBatched(benchmark::State &state)
+{
+    const int burst = static_cast<int>(state.range(0));
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::vector<sim::EventQueue::Callback> cbs;
+        cbs.reserve(static_cast<std::size_t>(burst));
+        for (int i = 0; i < burst; ++i)
+            cbs.emplace_back([&sink] { ++sink; });
+        eq.scheduleBatch(100, std::move(cbs));
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_BurstBatched)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_BurstUnbatched(benchmark::State &state)
+{
+    const int burst = static_cast<int>(state.range(0));
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        for (int i = 0; i < burst; ++i)
+            eq.schedule(100, [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_BurstUnbatched)->Arg(2)->Arg(8)->Arg(32);
+
+/**
+ * Steady-state drain-tick loop: a self-rescheduling workload that
+ * keeps range(0) events in flight, each rescheduling itself a prime
+ * stride ahead so ticks collide at varying density — the closed-loop
+ * shape of the simulator's retry ladders, without the model math.
+ */
+void
+BM_DrainTickSteadyState(benchmark::State &state)
+{
+    const int inflight = static_cast<int>(state.range(0));
+    constexpr std::uint64_t kEventsPerIter = 1 << 16;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::uint64_t remaining = kEventsPerIter;
+        sim::InlineCallback tickfn;
+        struct Hop {
+            sim::EventQueue *eq;
+            std::uint64_t *remaining;
+            void operator()() const
+            {
+                if (*remaining == 0)
+                    return;
+                --*remaining;
+                eq->scheduleAfter(97, Hop{*this});
+            }
+        };
+        for (int i = 0; i < inflight; ++i)
+            eq.schedule(static_cast<sim::Tick>(i * 13 + 1),
+                        Hop{&eq, &remaining});
+        eq.run();
+        benchmark::DoNotOptimize(remaining);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kEventsPerIter));
+}
+BENCHMARK(BM_DrainTickSteadyState)->Arg(16)->Arg(256);
+
+/**
+ * The executor's window probe: nextPendingTick() on a populated
+ * queue. Must stay a pure O(1) read of the heap root — the parallel
+ * executor calls it twice per domain per window.
+ */
+void
+BM_NextPendingTick(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 4096; ++i)
+        eq.schedule(static_cast<sim::Tick>(i + 1), [&sink] { ++sink; });
+    for (auto _ : state) {
+        sim::Tick t = eq.nextPendingTick();
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_NextPendingTick);
+
+} // namespace
+
+BENCHMARK_MAIN();

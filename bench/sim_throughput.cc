@@ -137,6 +137,10 @@ measureScenario(const std::string &name, const MakeConfig &make_config,
     run.rebuildReads = a.rebuildReads;
     run.timeToRebuildMs = a.timeToRebuildMs;
     run.avgFabricWaitUs = a.avgFabricWaitUs;
+    run.windowsRun = a.executorWindowsRun;
+    run.windowsSkipped = a.executorWindowsSkipped;
+    run.parks = a.executorParks;
+    run.spins = a.executorSpins;
     for (const ssd::RunStats::FabricLinkStats &l : a.fabricLinks) {
         run.fabricBusyUs += l.busyUs;
         run.fabricBytes += l.bytesCarried;
@@ -321,6 +325,11 @@ faultScenario(core::Mechanism mech,
               std::uint64_t requests_per_tenant, FaultMode mode)
 {
     host::ScenarioBuilder b;
+    // Runs on the sharded per-drive engine (50 us host link, 4
+    // workers) since PR 10: the fault machinery is host-domain-
+    // confined, and a faulted array is exactly where the executor's
+    // idle-window fast-forward matters — a dead drive leaves sparse
+    // windows where only one domain has work.
     b.geometry("small")
         .pec(1.0)
         .retention(6.0)
@@ -328,6 +337,7 @@ faultScenario(core::Mechanism mech,
         .drives(4)
         .raid("raid5")
         .stripeUnitPages(4)
+        .hostLinkUs(50.0)
         .queueDepth(16);
     if (mode == FaultMode::FailSlow)
         b.failSlow(2, 500.0, 0.0, 3.0);
@@ -343,7 +353,9 @@ faultScenario(core::Mechanism mech,
                  requests_per_tenant)
             .qdLimit(16);
     }
-    return b.build().toConfig(mech);
+    host::ScenarioConfig cfg = b.build().toConfig(mech);
+    cfg.threads = 4;
+    return cfg;
 }
 
 const char *
@@ -531,8 +543,9 @@ main(int argc, char **argv)
         "uncached vs 64 MiB DRAM cache; fault-*: 4 closed-loop "
         "tenants x " +
         std::to_string(ft_per_tenant) +
-        " usr_1 reqs, QD 16, 4-drive raid5 (unit 4), healthy vs 3x "
-        "fail-slow vs fail-stop at 4 ms + 48-row rebuild-to-spare; "
+        " usr_1 reqs, QD 16, 4-drive raid5 (unit 4), 50 us host "
+        "link, 4 workers, healthy vs 3x fail-slow vs fail-stop at "
+        "4 ms + 48-row rebuild-to-spare; "
         "fabric-*: 4 closed-loop tenants x " +
         std::to_string(fb_per_tenant) +
         " usr_1 reqs, QD 16, 4-drive array, 4 workers, flat "
@@ -667,10 +680,10 @@ main(int argc, char **argv)
 
     // ----- fault timeline: healthy vs fail-slow vs fail-stop -----
     std::printf("\nfault timeline — 4 closed-loop tenants x %llu "
-                "usr_1 reqs, QD 16, 4-drive raid5 (unit 4), healthy "
-                "vs open-ended 3x fail-slow on drive 2 vs drive 0 "
-                "fail-stop at 4 ms + rebuild-to-spare (48 rows, "
-                "20 ms deadline)\n",
+                "usr_1 reqs, QD 16, 4-drive raid5 (unit 4), 50 us "
+                "host link, 4 workers, healthy vs open-ended 3x "
+                "fail-slow on drive 2 vs drive 0 fail-stop at 4 ms "
+                "+ rebuild-to-spare (48 rows, 20 ms deadline)\n",
                 static_cast<unsigned long long>(ft_per_tenant));
     std::printf("%-24s %12s %10s %10s %10s %10s %10s\n", "config",
                 "wall[s]", "p99r[us]", "timeouts", "failovers",

@@ -20,6 +20,7 @@ BlockManager::BlockManager(const AddressLayout &layout, double base_pe_kilo)
         // base epoch", so nothing is written until pages are used.
         pl.owner.assign(pages_per_plane);
         pl.epoch.assign(pages_per_plane);
+        pl.epochDirty.assign((layout_.blocksPerPlane + 63) / 64, 0);
         for (std::uint32_t b = 0; b < layout_.blocksPerPlane; ++b)
             pl.freeList.push_back(b);
     }
@@ -67,6 +68,12 @@ BlockManager::allocate(std::uint32_t plane, Lpn lpn, sim::Tick epoch)
     const std::uint64_t pi = pageIndex(pl.frontier, blk.writePtr);
     pl.owner[pi] = lpn + 1;
     pl.epoch[pi] = epoch + 1;
+    // Preconditioning programs at kBaseEpoch, whose raw form is 0 —
+    // the block's epoch span stays all-zero, so only runtime
+    // programs mark it dirty.
+    if (epoch + 1 != 0)
+        pl.epochDirty[pl.frontier >> 6] |= std::uint64_t{1}
+                                           << (pl.frontier & 63);
     ++blk.valid;
     ++blk.writePtr;
     if (blk.writePtr == layout_.pagesPerBlock)
@@ -210,8 +217,13 @@ BlockManager::erase(std::uint32_t plane, std::uint32_t b)
                  " valid pages");
     const std::uint64_t base = pageIndex(b, 0);
     std::fill_n(pl.owner.begin() + base, layout_.pagesPerBlock, Lpn{0});
-    std::fill_n(pl.epoch.begin() + base, layout_.pagesPerBlock,
-                sim::Tick{0});
+    // Erase restores the all-zero (kBaseEpoch) epoch span; a block
+    // never programmed at runtime is already there.
+    if ((pl.epochDirty[b >> 6] >> (b & 63)) & 1) {
+        std::fill_n(pl.epoch.begin() + base, layout_.pagesPerBlock,
+                    sim::Tick{0});
+        pl.epochDirty[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
     blk.preconditioned = false;
     blk.writePtr = 0;
     ++blk.eraseCount;
@@ -233,9 +245,15 @@ BlockManager::epochOf(const Ppn &ppn) const
     SSDRR_ASSERT(ppn.plane < planes_.size() &&
                      ppn.block < layout_.blocksPerPlane,
                  "address out of range");
+    const Plane &pl = planes_[ppn.plane];
+    // Block never programmed at runtime: its whole epoch span is
+    // raw 0, answered from the bitmap without touching the (huge)
+    // per-page array.
+    if (!((pl.epochDirty[ppn.block >> 6] >> (ppn.block & 63)) & 1))
+        return sim::Tick{0} - 1;
     // Raw 0 (never programmed at runtime) wraps back to kTickNever,
     // i.e. kBaseEpoch.
-    return planes_[ppn.plane].epoch[pageIndex(ppn.block, ppn.page)] - 1;
+    return pl.epoch[pageIndex(ppn.block, ppn.page)] - 1;
 }
 
 } // namespace ssdrr::ftl

@@ -119,6 +119,15 @@ class BlockManager
          * pages need no epoch writes at all.
          */
         sim::ZeroedArray<sim::Tick> epoch;
+        /**
+         * One bit per block: any nonzero entry in its `epoch` span?
+         * The epoch array is hundreds of MiB and a retention lookup
+         * is once per read, so proving "whole block still at
+         * kBaseEpoch" from this L1-resident bitmap skips a
+         * guaranteed cache+TLB miss on the common (never rewritten)
+         * path; see epochOf().
+         */
+        std::vector<std::uint64_t> epochDirty;
         std::deque<std::uint32_t> freeList;
         std::uint32_t frontier = kNoFrontier;
         /** Striping parameters of preconditionPlane. */

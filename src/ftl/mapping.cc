@@ -3,7 +3,8 @@
 namespace ssdrr::ftl {
 
 PageMap::PageMap(std::uint64_t logical_pages)
-    : l2p_(logical_pages)
+    : l2p_(logical_pages),
+      chunk_dirty_(((logical_pages >> kChunkShift) + 64) / 64, 0)
 {
 }
 

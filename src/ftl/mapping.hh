@@ -20,6 +20,8 @@
 #ifndef SSDRR_FTL_MAPPING_HH
 #define SSDRR_FTL_MAPPING_HH
 
+#include <vector>
+
 #include "ftl/address.hh"
 #include "sim/logging.hh"
 #include "sim/zeroed_array.hh"
@@ -58,6 +60,15 @@ class PageMap
     lookup(Lpn lpn) const
     {
         SSDRR_ASSERT(lpn < l2p_.size(), "LPN out of range: ", lpn);
+        // The l2p table is hundreds of MiB, so a random read is a
+        // guaranteed cache+TLB miss — but under the striped default,
+        // entries only materialize when a page moves (host write,
+        // GC). The chunk-dirty bitmap (~1 bit per 4096 LPNs, L1
+        // resident) proves "no override anywhere near this LPN"
+        // without touching the table, which is the overwhelmingly
+        // common case in read-heavy scenarios.
+        if (striped_ && !chunkDirty(lpn))
+            return stripedFlat(lpn);
         const std::uint64_t raw = l2p_[lpn];
         if (raw != 0 && raw != kUnmappedRaw)
             return raw - 1;
@@ -76,6 +87,7 @@ class PageMap
         if (!was_mapped)
             ++mapped_;
         l2p_[lpn] = fp + 1;
+        markChunkDirty(lpn);
     }
 
     /** Remove the binding of @p lpn (returns the old flat page). */
@@ -89,6 +101,7 @@ class PageMap
         const std::uint64_t old =
             raw != 0 ? raw - 1 : stripedFlat(lpn);
         l2p_[lpn] = kUnmappedRaw;
+        markChunkDirty(lpn);
         --mapped_;
         return old;
     }
@@ -97,6 +110,8 @@ class PageMap
 
   private:
     static constexpr std::uint64_t kUnmappedRaw = ~std::uint64_t{0};
+    /** LPNs per chunk-dirty bit (as a shift). */
+    static constexpr std::uint32_t kChunkShift = 12;
 
     std::uint64_t
     stripedFlat(Lpn lpn) const
@@ -105,7 +120,23 @@ class PageMap
                (lpn >> plane_shift_);
     }
 
+    bool
+    chunkDirty(Lpn lpn) const
+    {
+        const std::uint64_t c = lpn >> kChunkShift;
+        return (chunk_dirty_[c >> 6] >> (c & 63)) & 1;
+    }
+
+    void
+    markChunkDirty(Lpn lpn)
+    {
+        const std::uint64_t c = lpn >> kChunkShift;
+        chunk_dirty_[c >> 6] |= std::uint64_t{1} << (c & 63);
+    }
+
     sim::ZeroedArray<std::uint64_t> l2p_;
+    /** One bit per 2^kChunkShift LPNs: any override in the chunk? */
+    std::vector<std::uint64_t> chunk_dirty_;
     std::uint64_t mapped_ = 0;
     bool striped_ = false;
     std::uint64_t plane_mask_ = 0;

@@ -517,6 +517,12 @@ SsdArray::stats() const
     // distributions below.
     s.reads = resp_read_.count();
     s.writes = resp_write_.count();
+    if (exec_) {
+        s.executorWindowsRun = exec_->windowsRun();
+        s.executorWindowsSkipped = exec_->windowsSkipped();
+        s.executorParks = exec_->parks();
+        s.executorSpins = exec_->spins();
+    }
     if (fabric_) {
         // Switch queues drove the run too; their events count like
         // the host's and the drives'.

@@ -1,9 +1,11 @@
 #include "host/scenario_spec.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "workload/suites.hh"
 
@@ -971,8 +973,6 @@ ScenarioSpec::validate() const
                  "per-subrequest deadline > 0 — the host only "
                  "detects a silent drive through timeouts");
 
-    if (threads < 1)
-        specFail("threads: must be >= 1");
     if (!(hostLinkUs >= 0.0) || hostLinkUs > 1e9)
         specFail("host.hostLinkUs: must be a turnaround in [0, 1e9] "
                  "microseconds");
@@ -982,8 +982,14 @@ ScenarioSpec::validate() const
                  "which would silently fall back to the legacy "
                  "shared-queue engine; use 0 explicitly, or at least "
                  "0.001");
-    if (threads > 1 && hostLinkUs <= 0.0 && fabric.empty())
-        specFail("threads: " + std::to_string(threads) +
+    // threads == 0 is "use hardware_concurrency" sugar, resolved at
+    // toConfig() time; like any multi-worker request it needs an
+    // engine with synchronization windows to parallelize over.
+    if (threads != 1 && hostLinkUs <= 0.0 && fabric.empty())
+        specFail("threads: " +
+                 (threads == 0
+                      ? std::string("0 (hardware concurrency)")
+                      : std::to_string(threads)) +
                  " worker threads need host.hostLinkUs > 0 or a "
                  "fabric — the parallel engine synchronizes drives "
                  "at cross-domain-latency windows, and an "
@@ -1211,7 +1217,14 @@ ScenarioSpec::toConfig(core::Mechanism mech, TraceCache *cache) const
     sc.host.filters = filters;
     sc.hostLinkUs = hostLinkUs;
     sc.transferUsPerKb = transferUsPerKb;
-    sc.threads = threads;
+    // threads: 0 resolves to the machine's core count here — the
+    // *spec* keeps the literal 0 (so it round-trips through
+    // --dump-scenario and stays machine-independent on disk); only
+    // the executable config is machine-specific. Results are
+    // bit-identical either way.
+    sc.threads = threads != 0
+                     ? threads
+                     : std::max(1u, std::thread::hardware_concurrency());
     sc.fabric = fabric;
     sc.tenants = tenants;
     sc.traceCache = cache;

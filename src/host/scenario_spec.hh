@@ -131,8 +131,12 @@ struct ScenarioSpec {
      * runs everything on the calling thread; N > 1 simulates the
      * drives concurrently and requires hostLinkUs > 0 or a fabric
      * (the engine's synchronization window is the host-link
-     * turnaround / the fabric's cheapest link). Results are
-     * bit-identical for every value of threads.
+     * turnaround / the fabric's cheapest link). 0 is sugar for "use
+     * the machine's hardware concurrency", resolved at toConfig()
+     * time — the spec keeps the literal 0 so it round-trips through
+     * --dump-scenario machine-independently; it carries the same
+     * link/fabric requirement as N > 1. Results are bit-identical
+     * for every value of threads.
      */
     std::uint32_t threads = 1;
     // ----- storage fabric (JSON object "fabric") -----
@@ -285,8 +289,8 @@ class ScenarioBuilder
     ScenarioBuilder &stripeUnitPages(std::uint32_t pages);
     /** Failed member drives (degraded mode). */
     ScenarioBuilder &failedDrives(const std::vector<std::uint32_t> &d);
-    /** Worker threads (needs hostLinkUs() > 0 or a fabric when
-     *  > 1). */
+    /** Worker threads (needs hostLinkUs() > 0 or a fabric when not
+     *  exactly 1; 0 = use hardware concurrency). */
     ScenarioBuilder &threads(std::uint32_t n);
     /** Storage-fabric topology (excludes hostLinkUs() > 0). */
     ScenarioBuilder &fabric(const fabric::TopologySpec &topo);

@@ -88,6 +88,22 @@ Chip::occupyRead(std::uint32_t d, sim::Tick until, Callback done)
     beginArrayOp(d, DieOp::Read, until - eq_.now(), std::move(done));
 }
 
+Chip::Callback
+Chip::occupyReadDeferred(std::uint32_t d, sim::Tick until, Callback done)
+{
+    SSDRR_ASSERT(until >= eq_.now(), "read window ends in the past");
+    Die &s = die(d);
+    SSDRR_ASSERT(s.op == DieOp::None, "die ", d, " of chip ", chip_id_,
+                 " already busy with op ", static_cast<int>(s.op));
+    s.op = DieOp::Read;
+    s.freeAt = until;
+    s.pendingDone = std::move(done);
+    // No completion EventId: reads are never suspended, so nothing
+    // would ever cancel it. complete() tolerates the 0 handle.
+    s.completion = 0;
+    return [this, d] { complete(d); };
+}
+
 void
 Chip::beginProgram(std::uint32_t d, Callback done)
 {

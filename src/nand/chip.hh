@@ -68,6 +68,20 @@ class Chip
      */
     void occupyRead(std::uint32_t die, sim::Tick until, Callback done);
 
+    /**
+     * Like occupyRead(), but instead of scheduling the die-end
+     * completion itself the chip hands it back: the caller MUST run
+     * the returned callback exactly once at tick @p until (typically
+     * inside an EventQueue::scheduleBatch with other work due at the
+     * same tick, so a read whose die release and TSU completion
+     * coincide costs one heap event instead of two). Safe because
+     * read occupancy is never suspended or cancelled — suspension
+     * applies to program/erase only — so nothing needs the EventId
+     * a self-scheduled completion would have recorded.
+     */
+    Callback occupyReadDeferred(std::uint32_t die, sim::Tick until,
+                                Callback done);
+
     /** Begin a program; completes after tPROG unless suspended. */
     void beginProgram(std::uint32_t die, Callback done);
 

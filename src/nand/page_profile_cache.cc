@@ -24,7 +24,7 @@ PageProfileCache::PageProfileCache(const ErrorModel &model,
 {
     if (capacity > 0) {
         const std::size_t cap = roundUpPow2(capacity);
-        entries_.resize(cap);
+        entries_.assign(cap);
         mask_ = cap - 1;
     }
 }
@@ -34,7 +34,8 @@ PageProfileCache::packKey(std::uint64_t chip, std::uint64_t block,
                           std::uint64_t page)
 {
     // chip (channel) and page-in-block are small; block is a flat
-    // SSD-wide block id. The packed key must stay below kEmpty.
+    // SSD-wide block id. The packed key must stay below ~0 so the
+    // stored key + 1 slot tag cannot collide with the empty tag 0.
     SSDRR_DEBUG_ASSERT(chip < (1ull << 12) && block < (1ull << 40) &&
                            page < (1ull << 12),
                        "page coordinates overflow the cache key");
@@ -63,12 +64,13 @@ PageProfileCache::get(std::uint64_t chip, std::uint64_t block,
     }
 
     const std::uint64_t key = packKey(chip, block, page);
+    const std::uint64_t tag = key + 1;
     const std::uint64_t h = sim::mix64(key);
     std::size_t victim = h & mask_;
     for (std::size_t p = 0; p < kProbes; ++p) {
         const std::size_t i = (h + p) & mask_;
         Entry &e = entries_[i];
-        if (e.key == key) {
+        if (e.tag == tag) {
             if (sameOp(e.op, op)) {
                 ++hits_;
                 return e.prof;
@@ -77,7 +79,7 @@ PageProfileCache::get(std::uint64_t chip, std::uint64_t block,
             victim = i;
             break;
         }
-        if (e.key == Entry::kEmpty) {
+        if (e.tag == Entry::kEmptyTag) {
             victim = i;
             break;
         }
@@ -85,7 +87,7 @@ PageProfileCache::get(std::uint64_t chip, std::uint64_t block,
 
     ++misses_;
     Entry &e = entries_[victim];
-    e.key = key;
+    e.tag = tag;
     e.op = op;
     e.prof = model_.pageProfile(chip, block, page, op);
     return e.prof;
@@ -99,11 +101,11 @@ PageProfileCache::invalidateBlock(std::uint64_t chip, std::uint64_t block)
     // Erases are orders of magnitude rarer than reads; a linear scan
     // of the fixed-size table is cheaper than maintaining per-block
     // chains on every insert.
-    const std::uint64_t lo = packKey(chip, block, 0);
-    const std::uint64_t hi = packKey(chip, block + 1, 0);
+    const std::uint64_t lo = packKey(chip, block, 0) + 1;
+    const std::uint64_t hi = packKey(chip, block + 1, 0) + 1;
     for (Entry &e : entries_) {
-        if (e.key != Entry::kEmpty && e.key >= lo && e.key < hi) {
-            e.key = Entry::kEmpty;
+        if (e.tag != Entry::kEmptyTag && e.tag >= lo && e.tag < hi) {
+            e.tag = Entry::kEmptyTag;
             ++invalidations_;
         }
     }
@@ -113,7 +115,7 @@ void
 PageProfileCache::clear()
 {
     for (Entry &e : entries_)
-        e.key = Entry::kEmpty;
+        e.tag = Entry::kEmptyTag;
 }
 
 } // namespace ssdrr::nand

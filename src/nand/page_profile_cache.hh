@@ -23,10 +23,10 @@
 #define SSDRR_NAND_PAGE_PROFILE_CACHE_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "nand/error_model.hh"
 #include "nand/types.hh"
+#include "sim/zeroed_array.hh"
 
 namespace ssdrr::nand {
 
@@ -67,9 +67,16 @@ class PageProfileCache
     std::uint64_t invalidations() const { return invalidations_; }
 
   private:
+    /**
+     * Slot entry. `tag` is the packed key + 1 so that 0 means
+     * "empty": the table is a calloc-backed ZeroedArray, making a
+     * multi-MiB cache cost nothing to construct (it used to be a
+     * value-initializing vector sweep, a visible slice of every
+     * scenario's setup).
+     */
     struct Entry {
-        static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
-        std::uint64_t key = kEmpty;
+        static constexpr std::uint64_t kEmptyTag = 0;
+        std::uint64_t tag;
         OperatingPoint op;
         PageErrorProfile prof;
     };
@@ -79,7 +86,7 @@ class PageProfileCache
     static bool sameOp(const OperatingPoint &a, const OperatingPoint &b);
 
     const ErrorModel &model_;
-    std::vector<Entry> entries_;
+    sim::ZeroedArray<Entry> entries_;
     std::uint64_t mask_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

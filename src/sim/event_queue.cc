@@ -65,17 +65,22 @@ EventQueue::freeSlot(std::uint32_t idx)
 void
 EventQueue::heapPush(HeapEntry e)
 {
-    // Sift-up on a plain vector: entries are 24-byte PODs, so every
-    // swap is a trivial move (no allocation, no callback relocation).
+    // Sift-up on a plain vector: entries are 24-byte PODs, so moving
+    // them is trivial (no allocation, no callback relocation). The
+    // sift propagates a hole — each displaced parent is written once
+    // and the new entry lands in its final position, instead of
+    // three-move swaps at every level. Final layout is identical to
+    // the swap formulation.
     heap_.push_back(e);
     std::size_t i = heap_.size() - 1;
     while (i > 0) {
         const std::size_t parent = (i - 1) / 2;
-        if (!before(heap_[i], heap_[parent]))
+        if (!before(e, heap_[parent]))
             break;
-        std::swap(heap_[i], heap_[parent]);
+        heap_[i] = heap_[parent];
         i = parent;
     }
+    heap_[i] = e;
 }
 
 EventQueue::HeapEntry
@@ -83,23 +88,30 @@ EventQueue::heapPop()
 {
     SSDRR_DEBUG_ASSERT(!heap_.empty(), "pop from empty heap");
     const HeapEntry top = heap_.front();
-    heap_.front() = heap_.back();
+    const HeapEntry last = heap_.back();
     heap_.pop_back();
     const std::size_t n = heap_.size();
+    if (n == 0)
+        return top;
+    // Hole-propagating sift-down of the detached last entry: the
+    // smaller child moves up while it precedes `last`, then `last`
+    // drops into the hole. Same comparisons and final layout as the
+    // swap formulation, one write per level instead of three.
     std::size_t i = 0;
     while (true) {
         const std::size_t l = 2 * i + 1;
-        const std::size_t r = l + 1;
-        std::size_t best = i;
-        if (l < n && before(heap_[l], heap_[best]))
-            best = l;
-        if (r < n && before(heap_[r], heap_[best]))
-            best = r;
-        if (best == i)
+        if (l >= n)
             break;
-        std::swap(heap_[i], heap_[best]);
+        std::size_t best = l;
+        const std::size_t r = l + 1;
+        if (r < n && before(heap_[r], heap_[l]))
+            best = r;
+        if (!before(heap_[best], last))
+            break;
+        heap_[i] = heap_[best];
         i = best;
     }
+    heap_[i] = last;
     return top;
 }
 
@@ -160,50 +172,59 @@ EventQueue::cancel(EventId id)
     s.cb = nullptr; // release the capture eagerly
     SSDRR_DEBUG_ASSERT(pending_ > 0, "cancel with no pending events");
     --pending_;
+    // Keep nextPendingTick() a pure probe: if the killed event was
+    // the heap root, prune here (amortized O(log n) against this
+    // cancel) rather than leaving a tombstone for readers to skip.
+    // The heap can be empty mid-drain (the victim may already be
+    // extracted into run()'s batch; executeEntry() then skips it).
+    if (!heap_.empty() && heap_.front().slot == slot)
+        pruneCancelledTop();
     return true;
 }
 
-bool
-EventQueue::popRunnable(HeapEntry &out, Callback &cb)
+void
+EventQueue::pruneCancelledTop()
 {
-    // nextPendingTick() is the one place that prunes lazily-deleted
-    // cancelled entries off the heap top; after it returns a tick,
-    // the top is guaranteed Pending.
-    if (nextPendingTick() == kTickNever) {
-        SSDRR_DEBUG_ASSERT(pending_ == 0, "empty heap but pending_ = ",
-                           pending_);
-        return false;
+    while (!heap_.empty() &&
+           slots_[heap_.front().slot].state == SlotState::Cancelled) {
+        const std::uint32_t slot = heap_.front().slot;
+        heapPop();
+        freeSlot(slot);
     }
-    const HeapEntry e = heapPop();
+}
+
+void
+EventQueue::executeEntry(const HeapEntry &e)
+{
     Slot &s = slots_[e.slot];
+    if (s.state == SlotState::Cancelled) {
+        // Cancelled after extraction by an earlier callback of the
+        // same drained tick; cancel() already dropped pending_.
+        freeSlot(e.slot);
+        return;
+    }
     SSDRR_DEBUG_ASSERT(s.state == SlotState::Pending,
                        "heap entry references a free slot ", e.slot);
-    cb = std::move(s.cb);
+    Callback cb = std::move(s.cb);
     freeSlot(e.slot);
-    SSDRR_DEBUG_ASSERT(pending_ > 0, "runnable pop with pending_ == 0");
+    SSDRR_DEBUG_ASSERT(pending_ > 0, "execute with pending_ == 0");
     --pending_;
-    out = e;
-    return true;
+    ++executed_;
+    cb();
 }
 
 Tick
-EventQueue::nextPendingTick()
+EventQueue::nextPendingTick() const
 {
-    while (!heap_.empty()) {
-        const HeapEntry &top = heap_.front();
-        Slot &s = slots_[top.slot];
-        if (s.state == SlotState::Cancelled) {
-            const std::uint32_t slot = top.slot;
-            heapPop();
-            freeSlot(slot);
-            continue;
-        }
-        SSDRR_DEBUG_ASSERT(s.state == SlotState::Pending,
-                           "heap entry references a free slot ",
-                           top.slot);
-        return top.when;
+    if (heap_.empty()) {
+        SSDRR_DEBUG_ASSERT(pending_ == 0, "empty heap but pending_ = ",
+                           pending_);
+        return kTickNever;
     }
-    return kTickNever;
+    SSDRR_DEBUG_ASSERT(slots_[heap_.front().slot].state ==
+                           SlotState::Pending,
+                       "cancelled entry at heap root");
+    return heap_.front().when;
 }
 
 void
@@ -219,21 +240,48 @@ EventQueue::advanceTo(Tick t)
 Tick
 EventQueue::run(Tick until)
 {
-    // nextPendingTick() prunes cancelled heap tops, so the horizon
-    // check always inspects a *pending* event — a cancelled entry
-    // inside the horizon must not let a pending event beyond it slip
-    // through.
+    // Drain-tick loop. Each iteration picks the earliest tick t and
+    // retires *every* entry at t before looking at the clock again:
+    // the lone-event case (by far the most common) runs straight off
+    // the heap, and a same-tick burst is extracted in one maintenance
+    // pass and executed from a flat scratch vector in seq order.
+    // Callbacks that schedule *at* t get seq numbers above every
+    // extracted entry, so the outer loop re-draining t preserves the
+    // exact pop-one-at-a-time order; callbacks that cancel a not-yet-
+    // run same-tick event are honored by executeEntry()'s slot-state
+    // re-check.
     while (true) {
-        const Tick next = nextPendingTick();
-        if (next == kTickNever || next > until)
+        // Cancelled entries surface only while popping; re-establish
+        // the pending-root invariant before reading the clock so a
+        // tombstone inside the horizon can't hide a pending event
+        // beyond it (and so exits leave nextPendingTick() pure).
+        pruneCancelledTop();
+        if (heap_.empty() || heap_.front().when > until)
             break;
-        HeapEntry e;
-        Callback cb;
-        popRunnable(e, cb);
-        SSDRR_ASSERT(e.when >= now_, "time went backwards");
-        now_ = e.when;
-        ++executed_;
-        cb();
+        const Tick t = heap_.front().when;
+        SSDRR_DEBUG_ASSERT(t >= now_, "time went backwards");
+        now_ = t;
+
+        const HeapEntry e = heapPop();
+        if (heap_.empty() || heap_.front().when != t) {
+            // Lone event at t; the pruned root was Pending.
+            executeEntry(e);
+            continue;
+        }
+
+        // Burst: extract the whole tick, then run it. The scratch's
+        // capacity is reused across ticks but stolen into a local so
+        // a reentrant run()/step() from a callback can't clobber it.
+        std::vector<HeapEntry> batch = std::move(drain_);
+        batch.clear();
+        batch.push_back(e);
+        do {
+            batch.push_back(heapPop());
+        } while (!heap_.empty() && heap_.front().when == t);
+        for (const HeapEntry &b : batch)
+            executeEntry(b);
+        batch.clear();
+        drain_ = std::move(batch);
     }
     return now_;
 }
@@ -241,13 +289,16 @@ EventQueue::run(Tick until)
 bool
 EventQueue::step()
 {
-    HeapEntry e;
-    Callback cb;
-    if (!popRunnable(e, cb))
+    pruneCancelledTop();
+    if (heap_.empty()) {
+        SSDRR_DEBUG_ASSERT(pending_ == 0, "empty heap but pending_ = ",
+                           pending_);
         return false;
+    }
+    const HeapEntry e = heapPop();
     now_ = e.when;
-    ++executed_;
-    cb();
+    executeEntry(e);
+    pruneCancelledTop();
     return true;
 }
 

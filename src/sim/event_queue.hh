@@ -14,11 +14,22 @@
  *    allocation for typical captures and never clones a capture.
  *  - The heap holds 24-byte POD entries (when, seq, slot); callbacks
  *    live in a generation-stamped slot table on the side, so sifting
- *    the heap moves trivial data only.
+ *    the heap moves trivial data only. Sifts propagate a hole instead
+ *    of swapping, writing each displaced entry once.
  *  - cancel() and pending() are O(1): an EventId encodes its slot
  *    index and the slot's generation, so stale ids — including ids
  *    of events that already executed and whose slot was reused — are
  *    rejected without hashing and without corrupting pending().
+ *  - run() is a drain-tick loop: it extracts every entry at the top
+ *    tick in one heap maintenance pass, advances now() once, and
+ *    executes the extracted batch in sequence order, instead of
+ *    paying a probe + pop + horizon re-check per event. Same-tick
+ *    producers additionally collapse whole bursts into one heap
+ *    entry via scheduleBatch().
+ *  - Cancelled entries are pruned off the heap root eagerly (by
+ *    cancel() itself and by the run/step loops), never left for a
+ *    reader to clean up, so nextPendingTick() is a pure O(1) probe —
+ *    cheap enough for the parallel executor to poll every window.
  *
  * Ownership and thread-safety contract:
  *  - An EventQueue is owned by exactly one simulation domain (a
@@ -121,6 +132,16 @@ class EventQueue
     /**
      * Run events until the queue drains or @p until is reached.
      * Events scheduled exactly at @p until are executed.
+     *
+     * Drain-tick batching: each iteration extracts *all* entries at
+     * the earliest tick in one heap maintenance pass and executes
+     * them back-to-back in sequence order. Observable behavior is
+     * identical to the pop-one-at-a-time loop — entries extract in
+     * (tick, seq) order, anything a callback schedules at the same
+     * tick gets a larger seq than every extracted entry (so the next
+     * drain pass picks it up in order), and a callback cancelling a
+     * later same-tick event is honored because each extracted entry
+     * re-checks its slot state immediately before running.
      * @return the tick of the last executed event (now()).
      */
     Tick run(Tick until = kTickNever);
@@ -133,11 +154,18 @@ class EventQueue
 
     /**
      * Tick of the earliest pending event, or kTickNever if the queue
-     * is empty. Lazily prunes cancelled heap entries, so the answer
-     * is always a *runnable* event's tick (the conservative window
-     * synchronizer derives its next window start from this).
+     * is empty.
+     *
+     * O(1) and mutation-free by contract (hence const): the parallel
+     * executor probes every domain's queue once per window to pick
+     * the next window start, and the idle-window fast-forward probes
+     * them all again, so this must stay a pure read of the heap
+     * root. The invariant that the root is never a cancelled entry
+     * at public API boundaries is maintained by the writers instead:
+     * cancel() prunes eagerly when it kills the root, and run()/
+     * step() re-prune after popping (debug builds assert it here).
      */
-    Tick nextPendingTick();
+    Tick nextPendingTick() const;
 
     /**
      * Move now() forward to @p t without executing anything. Only
@@ -182,8 +210,12 @@ class EventQueue
     void freeSlot(std::uint32_t idx);
     void heapPush(HeapEntry e);
     HeapEntry heapPop();
-    /** Pop entries until a runnable one surfaces; false if none. */
-    bool popRunnable(HeapEntry &out, Callback &cb);
+    /** Pop cancelled entries off the heap root (restores the
+     *  root-is-pending invariant nextPendingTick() relies on). */
+    void pruneCancelledTop();
+    /** Move a popped entry's callback out and run it, honoring a
+     *  cancellation that raced in after extraction. */
+    void executeEntry(const HeapEntry &e);
 
     Tick now_ = 0;
     std::uint64_t next_seq_ = 1;
@@ -192,6 +224,10 @@ class EventQueue
     std::vector<HeapEntry> heap_;
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> free_slots_;
+    /** Scratch for run()'s drain-tick extraction (capacity reused
+     *  across ticks; stolen/restored around callbacks so a reentrant
+     *  run() sees an empty vector). */
+    std::vector<HeapEntry> drain_;
 };
 
 } // namespace ssdrr::sim

@@ -13,6 +13,21 @@
  * causality. Within a window, domains share nothing and run
  * concurrently on a worker pool.
  *
+ * Two idle-path optimizations keep sparse phases cheap without
+ * touching the determinism contract:
+ *  - Idle-window fast-forward: each window starts at the global
+ *    minimum pending tick, and when every domain but one is idle
+ *    past the window end the coordinator runs the lone active domain
+ *    inline instead of engaging the fleet (windowsSkipped counts
+ *    these). Both decisions derive from queue state only, so window
+ *    placement is still identical for every worker count.
+ *  - Adaptive parking: epoch waits are bounded-spin-then-park on a
+ *    condvar, with a spin budget sized to how many hardware cores
+ *    back the pool — oversubscribed pools park almost immediately
+ *    instead of stealing the running thread's timeslice (spin/park
+ *    counters are exposed for reporting; they are timing-dependent
+ *    and carry no determinism guarantee).
+ *
  * Determinism contract (the point of this design): results are
  * bit-identical for any worker count, including 1. This follows from
  * three properties, each enforced here:
@@ -41,7 +56,9 @@
 #define SSDRR_SIM_PARALLEL_EXECUTOR_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "sim/callback.hh"
@@ -93,6 +110,25 @@ class ParallelExecutor
     bool batchMailbox() const { return batch_mailbox_; }
     /** Windows executed so far (introspection / tests). */
     std::uint64_t windowsRun() const { return windows_run_; }
+    /**
+     * Idle-window fast-forward count: windows in which every domain
+     * but one had its nextPendingTick() at or past the window end
+     * (and outboxes were empty, as they always are at the window
+     * decision point), so the coordinator ran the one active domain
+     * inline and never engaged the worker fleet. Derived purely from
+     * queue state, so — like windowsRun() — it is deterministic and
+     * identical for every worker count.
+     */
+    std::uint64_t windowsSkipped() const { return windows_skipped_; }
+    /**
+     * Times any thread (workers + coordinator) gave up its bounded
+     * spin and blocked on the parking condvar. Timing-dependent —
+     * never compare across runs, only report.
+     */
+    std::uint64_t parks() const;
+    /** Total bounded-spin iterations burned while waiting (workers +
+     *  coordinator). Timing-dependent, report-only. */
+    std::uint64_t spins() const;
     /** Messages delivered so far (batched or not). */
     std::uint64_t messagesRouted() const { return messages_routed_; }
     /** Messages that rode in a coalesced batch behind another message
@@ -142,11 +178,20 @@ class ParallelExecutor
         std::uint64_t next_seq = 1;
     };
 
+    /** Per-thread wait accounting (slot 0 = coordinator, slot 1+i =
+     *  worker i); cache-line sized so workers never share a line. */
+    struct alignas(64) WaitCounters {
+        std::uint64_t spins = 0;
+        std::uint64_t parks = 0;
+    };
+
     /** Route all outboxes onto the receiving queues (coordinator). */
     void route();
     /** Run domains d with d % stride == offset up to window_end_. */
     void runShard(unsigned offset, unsigned stride);
     void workerLoop(unsigned index, std::uint64_t start_epoch);
+    /** Wake any workers parked waiting for a new epoch. */
+    void wakeWorkers();
 
     Tick window_;
     unsigned threads_;
@@ -154,6 +199,7 @@ class ParallelExecutor
     std::vector<Domain> doms_;
     std::vector<Msg> route_scratch_;
     std::uint64_t windows_run_ = 0;
+    std::uint64_t windows_skipped_ = 0;
     std::uint64_t messages_routed_ = 0;
     std::uint64_t messages_coalesced_ = 0;
 
@@ -162,11 +208,27 @@ class ParallelExecutor
     // (release); workers observe the new epoch (acquire), run their
     // shard, and bump done_. Dedicated worker threads exist only
     // while run() executes and only when threads_ > 1.
+    //
+    // Waits are bounded-spin-then-park: each side busy-polls for a
+    // spin budget (small when the pool is oversubscribed — spinning
+    // against a descheduled peer only burns the peer's timeslice —
+    // larger when cores are plentiful), then blocks on park_mu_/
+    // park_cv_. Wakers bump the watched atomic first and only take
+    // the mutex when the parked counter says someone is actually
+    // asleep, so the uncontended window pays two atomic ops and no
+    // syscalls.
     Tick window_end_ = 0; ///< exclusive; valid for the current epoch
     std::atomic<std::uint64_t> epoch_{0};
     std::atomic<unsigned> done_{0};
     std::atomic<bool> stop_{false};
     unsigned pool_size_ = 0; ///< spawned workers (threads_ - 1)
+    unsigned spin_budget_ = 0; ///< per-wait iterations before parking
+    std::mutex park_mu_;
+    std::condition_variable park_cv_; ///< workers: new epoch
+    std::condition_variable done_cv_; ///< coordinator: shards done
+    std::atomic<unsigned> parked_workers_{0};
+    std::atomic<bool> coord_parked_{false};
+    std::vector<WaitCounters> wait_counters_;
 };
 
 } // namespace ssdrr::sim

@@ -7,17 +7,27 @@
 namespace ssdrr::sim {
 
 Tick
-ReservationTimeline::acquire(Tick earliest, Tick dur)
+ReservationTimeline::acquireSlow(Tick earliest, Tick dur)
 {
-    SSDRR_ASSERT(dur > 0, "zero-length reservation");
-
     // First candidate conflict: the first interval whose end is
     // beyond `earliest`. Ends are sorted (intervals are disjoint and
-    // start-sorted), so binary search applies.
-    auto it = std::lower_bound(busy_.begin(), busy_.end(), earliest,
-                               [](const Interval &iv, Tick t) {
-                                   return iv.end <= t;
-                               });
+    // start-sorted), so binary search applies — but a retry plan
+    // acquires a forward-walking chain of windows on the same
+    // timeline, so the previous grant is usually the best starting
+    // point: when the hinted interval ends at or before `earliest`,
+    // every interval left of it does too (sorted ends), and a short
+    // linear hop beats the branchy lower_bound.
+    auto it = busy_.begin();
+    if (hint_ < busy_.size() && busy_[hint_].end <= earliest) {
+        it += static_cast<std::ptrdiff_t>(hint_) + 1;
+        while (it != busy_.end() && it->end <= earliest)
+            ++it;
+    } else {
+        it = std::lower_bound(busy_.begin(), busy_.end(), earliest,
+                              [](const Interval &iv, Tick t) {
+                                  return iv.end <= t;
+                              });
+    }
 
     // Slide the window past every conflicting interval; the first
     // gap that fits wins (identical semantics to the old tree walk).
@@ -36,14 +46,18 @@ ReservationTimeline::acquire(Tick earliest, Tick dur)
     const bool merge_left = it != busy_.begin() &&
                             std::prev(it)->end == start;
     if (merge_left && merge_right) {
+        hint_ = static_cast<std::size_t>(it - busy_.begin()) - 1;
         std::prev(it)->end = it->end;
         busy_.erase(it);
     } else if (merge_left) {
         std::prev(it)->end = end;
+        hint_ = static_cast<std::size_t>(it - busy_.begin()) - 1;
     } else if (merge_right) {
         it->start = start;
+        hint_ = static_cast<std::size_t>(it - busy_.begin());
     } else {
-        busy_.insert(it, Interval{start, end});
+        it = busy_.insert(it, Interval{start, end});
+        hint_ = static_cast<std::size_t>(it - busy_.begin());
     }
 
     total_busy_ += dur;
@@ -63,7 +77,12 @@ ReservationTimeline::releaseBefore(Tick now)
     auto it = busy_.begin();
     while (it != busy_.end() && it->end <= now)
         ++it;
+    const auto removed = static_cast<std::size_t>(it - busy_.begin());
     busy_.erase(busy_.begin(), it);
+    // Keep the search hint pointing at the same interval. A stale
+    // hint is never a correctness issue (acquireSlow re-validates
+    // against current contents), only a missed shortcut.
+    hint_ = hint_ >= removed ? hint_ - removed : 0;
 }
 
 } // namespace ssdrr::sim

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace ssdrr::sim {
@@ -35,8 +36,33 @@ class ReservationTimeline
      * Reserve @p dur starting no earlier than @p earliest; the
      * earliest gap that fits wins. Adjacent reservations are merged.
      * @return granted start tick.
+     *
+     * The append-at-tail case (no reservation ends after @p earliest,
+     * i.e. zero candidate conflicts) is inlined: it is the common
+     * grant on a resource whose timeline is trimmed every read, and
+     * skipping the binary search + memmove-backed insert is worth
+     * several percent of whole-SSD wall time.
      */
-    Tick acquire(Tick earliest, Tick dur);
+    Tick
+    acquire(Tick earliest, Tick dur)
+    {
+        SSDRR_ASSERT(dur > 0, "zero-length reservation");
+        if (busy_.empty() || earliest >= busy_.back().end) {
+            // Ends are sorted, so nothing conflicts: the grant is
+            // [earliest, earliest + dur), merged into the tail
+            // reservation when adjacent.
+            total_busy_ += dur;
+            ++grants_;
+            if (!busy_.empty() && busy_.back().end == earliest) {
+                busy_.back().end = earliest + dur;
+            } else {
+                busy_.push_back(Interval{earliest, earliest + dur});
+            }
+            hint_ = busy_.size() - 1;
+            return earliest;
+        }
+        return acquireSlow(earliest, dur);
+    }
 
     /** End of the last reservation (0 if none). */
     Tick horizon() const;
@@ -64,8 +90,18 @@ class ReservationTimeline
         Tick end;
     };
 
+    /** Gap-filling path for grants that have candidate conflicts. */
+    Tick acquireSlow(Tick earliest, Tick dur);
+
     /** Disjoint, sorted by start (ends are therefore sorted too). */
     std::vector<Interval> busy_;
+    /**
+     * Index of the interval touched by the last grant — the search
+     * shortcut for the forward-walking acquire chains a pipelined
+     * retry plan issues. Purely advisory: acquireSlow() re-validates
+     * it against current contents before trusting it.
+     */
+    std::size_t hint_ = 0;
     Tick total_busy_ = 0;
     std::uint64_t grants_ = 0;
 };

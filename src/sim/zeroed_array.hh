@@ -29,8 +29,11 @@ namespace ssdrr::sim {
 template <typename T>
 class ZeroedArray
 {
-    static_assert(std::is_trivial_v<T>,
-                  "ZeroedArray skips construction; T must be trivial");
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ZeroedArray skips construction and destruction; T "
+                  "must be trivially copyable and destructible, and "
+                  "all-bits-zero must be a valid (empty) value of T");
 
   public:
     ZeroedArray() = default;
@@ -74,6 +77,7 @@ class ZeroedArray
     }
 
     std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
 
     T &
     operator[](std::size_t i)

@@ -291,16 +291,33 @@ Ssd::replay(const workload::Trace &trace)
     // the past.
     const sim::Tick base = eq_.now();
     std::uint64_t next_id = 1;
-    for (const auto &rec : trace.records()) {
-        HostRequest req;
-        req.id = next_id++;
-        req.arrival = base + rec.arrival;
-        req.lpn = rec.lpn;
-        req.pages = rec.pages;
-        req.isRead = rec.isRead;
-        SSDRR_ASSERT(req.lpn + req.pages <= ftl_.logicalPages(),
-                     "trace touches LPNs beyond the SSD capacity");
-        eq_.schedule(base + rec.arrival, [this, req] { submit(req); });
+    const auto &records = trace.records();
+    // Runs of records sharing an arrival tick (bursty traces, fused
+    // multi-stream captures) become one batched heap event; grouping
+    // only *consecutive* records preserves the per-tick submit order
+    // of an out-of-order trace, since a later run at the same tick
+    // still carries a later sequence number.
+    std::vector<sim::InlineCallback> burst;
+    for (std::size_t i = 0; i < records.size();) {
+        const sim::Tick when = base + records[i].arrival;
+        std::size_t j = i;
+        do {
+            const auto &rec = records[j];
+            HostRequest req;
+            req.id = next_id++;
+            req.arrival = when;
+            req.lpn = rec.lpn;
+            req.pages = rec.pages;
+            req.isRead = rec.isRead;
+            SSDRR_ASSERT(req.lpn + req.pages <= ftl_.logicalPages(),
+                         "trace touches LPNs beyond the SSD capacity");
+            burst.emplace_back([this, req] { submit(req); });
+            ++j;
+        } while (j < records.size() &&
+                 base + records[j].arrival == when);
+        eq_.scheduleBatch(when, std::move(burst));
+        burst.clear();
+        i = j;
     }
     drain();
     return stats();

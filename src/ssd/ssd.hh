@@ -199,6 +199,22 @@ struct RunStats {
      * own count and the array sums host + drive queues.
      */
     std::uint64_t executedEvents = 0;
+    // ----- parallel-executor accounting (zero on the legacy
+    // single-queue engine) -----
+    /** Synchronization windows the executor ran. Deterministic:
+     *  window placement derives from queue state only. */
+    std::uint64_t executorWindowsRun = 0;
+    /** Windows fast-forwarded: only one domain had work before the
+     *  window end, so it ran inline on the coordinator and the
+     *  worker fleet was never engaged. Deterministic, identical for
+     *  every worker count. */
+    std::uint64_t executorWindowsSkipped = 0;
+    /** Condvar parks across workers + coordinator. Timing-dependent
+     *  (report-only — never compare across runs or thread counts). */
+    std::uint64_t executorParks = 0;
+    /** Bounded-spin iterations across workers + coordinator.
+     *  Timing-dependent, report-only. */
+    std::uint64_t executorSpins = 0;
 };
 
 class Ssd

@@ -143,9 +143,22 @@ Tsu::execRead(std::uint32_t g, Txn txn)
     const std::uint32_t idx = poolAcquire(std::move(txn));
     pool_[idx].plan = plan;
 
-    chip.occupyRead(die, plan.dieEnd, [this, g] { dieFreed(g); });
-
-    eq_.schedule(plan.completion, [this, idx] { finishRead(idx); });
+    if (plan.dieEnd == plan.completion) {
+        // Die release and host-visible completion land on the same
+        // tick (pipelined plans whose last transfer hides inside the
+        // die window): one batched heap event instead of two, in the
+        // same order the two schedules would have run.
+        std::vector<sim::InlineCallback> batch;
+        batch.reserve(2);
+        batch.push_back(
+            chip.occupyReadDeferred(die, plan.dieEnd,
+                                    [this, g] { dieFreed(g); }));
+        batch.emplace_back([this, idx] { finishRead(idx); });
+        eq_.scheduleBatch(plan.completion, std::move(batch));
+    } else {
+        chip.occupyRead(die, plan.dieEnd, [this, g] { dieFreed(g); });
+        eq_.schedule(plan.completion, [this, idx] { finishRead(idx); });
+    }
 }
 
 void

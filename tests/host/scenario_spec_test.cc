@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "host/scenario_spec.hh"
 
@@ -188,8 +189,10 @@ TEST(ScenarioSpec, RejectsSemanticConflicts)
     // named.
     expectRejects(R"({"threads": 4, "tenants": [{}]})",
                   "need host.hostLinkUs > 0");
+    // threads: 0 is "use hardware concurrency" — a multi-worker
+    // request, so it carries the same link requirement.
     expectRejects(R"({"threads": 0, "tenants": [{}]})",
-                  "threads: must be >= 1");
+                  "need host.hostLinkUs > 0");
     expectRejects(
         R"({"host": {"hostLinkUs": -3}, "tenants": [{}]})",
         "host.hostLinkUs");
@@ -370,6 +373,30 @@ TEST(ScenarioSpec, ShardedEngineFieldsReachTheConfig)
         spec.toConfig(core::Mechanism::Baseline);
     EXPECT_EQ(cfg.threads, 3u);
     EXPECT_DOUBLE_EQ(cfg.hostLinkUs, 12.5);
+}
+
+TEST(ScenarioSpec, ThreadsZeroIsHardwareConcurrencySugar)
+{
+    // The spec keeps the literal 0 (machine-independent on disk, so
+    // --dump-scenario round-trips it); only toConfig() resolves it
+    // to the machine's core count.
+    ScenarioSpec spec = ScenarioSpec::fromJsonText(
+        R"({"threads": 0,
+            "host": {"hostLinkUs": 10},
+            "tenants": [{"workload": "YCSB-C", "requests": 10}]})");
+    EXPECT_EQ(spec.threads, 0u);
+    spec.validate();
+
+    const ScenarioSpec reparsed =
+        ScenarioSpec::fromJsonText(spec.toJsonText());
+    EXPECT_EQ(reparsed.threads, 0u);
+    EXPECT_EQ(reparsed, spec);
+
+    const ScenarioConfig cfg =
+        spec.toConfig(core::Mechanism::Baseline);
+    const unsigned hw = std::thread::hardware_concurrency();
+    EXPECT_EQ(cfg.threads, hw != 0 ? hw : 1u);
+    EXPECT_GE(cfg.threads, 1u);
 }
 
 TEST(ScenarioSpec, FullChannelListIsNoRestriction)

@@ -544,6 +544,70 @@ TEST(ParallelDeterminism, OpenLoopHorizonScenarioMatches)
 }
 
 /**
+ * Idle-window fast-forward and the parking handshake at scenario
+ * scale: a single queue-depth-1 tenant leaves exactly one request in
+ * flight, ping-ponging between the host domain and one drive, so
+ * nearly every window has a lone active domain and fast-forwards
+ * inline while the worker fleet stays parked. windowsRun and
+ * windowsSkipped derive from queue state only and must be identical
+ * at threads 1/2/4 — alongside the full simulation results — while
+ * parks/spins are timing-dependent and deliberately unchecked. Under
+ * the CI tsan job this doubles as the race probe for park/wake at
+ * whole-scenario scale.
+ */
+host::ScenarioResult
+runSparseQd1(std::uint32_t threads)
+{
+    const host::ScenarioSpec spec =
+        host::ScenarioBuilder()
+            .name("sparse-fastforward-determinism")
+            .geometry("small")
+            .pec(1.0)
+            .retention(6.0)
+            .seed(17)
+            .drives(4)
+            .hostLinkUs(10.0)
+            .queueDepth(4)
+            .mechanism(core::Mechanism::PnAR2)
+            .tenant("lone", "usr_1", 200)
+            .qdLimit(1)
+            .build();
+    host::ScenarioConfig cfg = spec.toConfig(core::Mechanism::PnAR2);
+    cfg.threads = threads;
+    return host::runScenario(cfg);
+}
+
+TEST(ParallelDeterminism, FastForwardCountersMatchAcrossThreads)
+{
+    const host::ScenarioResult one = runSparseQd1(1);
+    EXPECT_GT(one.array.executorWindowsRun, 0u);
+    // QD 1 means at most one domain has in-window work, so the
+    // sparse path must actually engage or this test proves nothing.
+    EXPECT_GT(one.array.executorWindowsSkipped, 0u);
+    // Single-thread runs have no worker pool and must never park.
+    EXPECT_EQ(one.array.executorParks, 0u);
+    EXPECT_EQ(one.array.executorSpins, 0u);
+    const host::ScenarioResult two = runSparseQd1(2);
+    const host::ScenarioResult four = runSparseQd1(4);
+    for (const host::ScenarioResult *r : {&two, &four}) {
+        EXPECT_EQ(r->array.executorWindowsRun,
+                  one.array.executorWindowsRun)
+            << "windowsRun must be worker-count-invariant";
+        EXPECT_EQ(r->array.executorWindowsSkipped,
+                  one.array.executorWindowsSkipped)
+            << "windowsSkipped must be worker-count-invariant";
+    }
+    {
+        SCOPED_TRACE("threads 1 vs 2");
+        expectIdenticalResult(one, two);
+    }
+    {
+        SCOPED_TRACE("threads 1 vs 4");
+        expectIdenticalResult(one, four);
+    }
+}
+
+/**
  * Doorbell batching (coalescing same-window mailbox crossings that
  * share a receiver and delivery tick into one heap event) is an
  * engine optimization, not a model change: with batching on — the

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <tuple>
 #include <vector>
 
 #include "sim/parallel_executor.hh"
@@ -241,6 +243,131 @@ TEST(ParallelExecutor, DoorbellBatchingIsBitIdenticalAndEngages)
     // Wave 1: 6 messages at one tick -> 5 merged. Wave 2: three
     // per-sender pairs -> 1 merged each.
     EXPECT_EQ(batched.coalesced, 8u);
+}
+
+TEST(ParallelExecutor, FastForwardRunsLoneDomainWindowsInline)
+{
+    // A strict ping-pong leaves exactly one domain with in-window
+    // work at every step — the shape idle-window fast-forward exists
+    // for. The skip decision derives from queue state only, so the
+    // logs AND the windowsRun/windowsSkipped counters must be
+    // identical at every worker count; parks/spins are timing-
+    // dependent and deliberately unchecked.
+    struct Outcome {
+        std::vector<std::pair<Tick, int>> log_a, log_b;
+        std::uint64_t windows = 0;
+        std::uint64_t skipped = 0;
+    };
+    auto run = [](unsigned threads) {
+        Outcome out;
+        Recorder a, b;
+        ParallelExecutor exec(kWindow, threads);
+        const auto da = exec.addDomain(a.q);
+        const auto db = exec.addDomain(b.q);
+        struct Ctx {
+            ParallelExecutor *exec;
+            Recorder *a, *b;
+            ParallelExecutor::DomainId da, db;
+            int hops = 0;
+        } ctx{&exec, &a, &b, da, db, 0};
+        std::function<void(bool)> hop = [&ctx, &hop](bool at_a) {
+            Recorder &r = at_a ? *ctx.a : *ctx.b;
+            r.record(at_a ? 1 : 2);
+            if (++ctx.hops >= 40)
+                return;
+            ctx.exec->send(at_a ? ctx.da : ctx.db,
+                           at_a ? ctx.db : ctx.da,
+                           r.q.now() + kWindow,
+                           [&hop, at_a] { hop(!at_a); });
+        };
+        a.q.schedule(1, [&hop] { hop(true); });
+        exec.run();
+        out.log_a = a.log;
+        out.log_b = b.log;
+        out.windows = exec.windowsRun();
+        out.skipped = exec.windowsSkipped();
+        return out;
+    };
+
+    const Outcome one = run(1);
+    EXPECT_EQ(one.log_a.size() + one.log_b.size(), 40u);
+    // Every window of a ping-pong has a lone active domain.
+    EXPECT_GT(one.skipped, 0u);
+    EXPECT_EQ(one.skipped, one.windows);
+    for (unsigned threads : {2u, 4u}) {
+        SCOPED_TRACE(threads);
+        const Outcome n = run(threads);
+        EXPECT_EQ(n.log_a, one.log_a);
+        EXPECT_EQ(n.log_b, one.log_b);
+        EXPECT_EQ(n.windows, one.windows);
+        EXPECT_EQ(n.skipped, one.skipped);
+    }
+}
+
+TEST(ParallelExecutor, ParkingCountersAccountSingleThreadAsZero)
+{
+    // With no worker pool there is no handshake to wait on: the
+    // parking counters must stay exactly zero (they feed the bench
+    // JSON, where a nonzero single-thread park count would be a
+    // bug), and dense multi-domain work must still complete.
+    Recorder a, b, c;
+    ParallelExecutor exec(kWindow, 1);
+    exec.addDomain(a.q);
+    exec.addDomain(b.q);
+    exec.addDomain(c.q);
+    for (Tick t = 1; t <= 5 * kWindow; t += 7) {
+        a.q.schedule(t, [&] { a.record(1); });
+        b.q.schedule(t, [&] { b.record(2); });
+        c.q.schedule(t, [&] { c.record(3); });
+    }
+    exec.run();
+    EXPECT_EQ(exec.parks(), 0u);
+    EXPECT_EQ(exec.spins(), 0u);
+    EXPECT_GT(exec.windowsRun(), 0u);
+    EXPECT_EQ(a.log.size(), b.log.size());
+}
+
+TEST(ParallelExecutor, ParkedWorkersSurviveSparseThenDensePhases)
+{
+    // Alternating dense (all domains active -> full handshake) and
+    // sparse (lone domain -> fast-forward, fleet stays parked)
+    // phases: workers must wake correctly after arbitrarily long
+    // parked stretches, and the results must not depend on the
+    // worker count. Run under tsan in CI, this is the lost-wakeup
+    // and data-race probe for the park/wake handshake.
+    auto run = [](unsigned threads) {
+        Recorder a, b;
+        ParallelExecutor exec(kWindow, threads);
+        exec.addDomain(a.q);
+        exec.addDomain(b.q);
+        Tick t = 1;
+        for (int phase = 0; phase < 6; ++phase) {
+            if (phase % 2 == 0) {
+                // Dense: both domains busy for a few windows.
+                for (Tick d = 0; d < 3 * kWindow; d += 11) {
+                    a.q.schedule(t + d, [&a] { a.record(1); });
+                    b.q.schedule(t + d, [&b] { b.record(2); });
+                }
+                t += 3 * kWindow;
+            } else {
+                // Sparse: a lone domain, far apart — fast-forwarded
+                // windows during which the fleet parks.
+                for (int i = 0; i < 4; ++i) {
+                    a.q.schedule(t, [&a] { a.record(3); });
+                    t += 20 * kWindow;
+                }
+            }
+        }
+        exec.run();
+        return std::make_tuple(a.log, b.log, exec.windowsRun(),
+                               exec.windowsSkipped());
+    };
+    const auto one = run(1);
+    EXPECT_GT(std::get<3>(one), 0u);
+    const auto two = run(2);
+    const auto four = run(4);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, four);
 }
 
 TEST(ParallelExecutor, RunCanBeCalledAgainAfterNewWork)

@@ -94,8 +94,10 @@
  *
  * Execution (allowed with either mode; never changes results):
  *     --threads N                worker threads for the sharded
- *                                per-drive engine (default 1; N > 1
- *                                needs a positive host link —
+ *                                per-drive engine (default 1; 0 =
+ *                                use the machine's hardware
+ *                                concurrency; anything but 1 needs
+ *                                a positive host link —
  *                                --host-link-us or the scenario's
  *                                host.hostLinkUs). Overrides a
  *                                scenario file's "threads" field.
@@ -826,13 +828,13 @@ validateLegacyFlags(const Options &opt)
             flagError("--timeout-us", "must be >= 0");
         if (opt.transferUsPerKb < 0.0)
             flagError("--transfer-us-per-kb", "must be >= 0");
-        if (opt.threads < 1)
-            flagError("--threads", "needs at least 1 worker");
         if (!opt.fabricPreset.empty() && opt.hostLinkUs > 0.0)
             flagError("--fabric",
                       "cannot be combined with --host-link-us (the "
                       "fabric's links replace the flat host link)");
-        if (opt.threads > 1 && opt.hostLinkUs <= 0.0 &&
+        // 0 is "use hardware concurrency" sugar; like any
+        // multi-worker request it needs a window to parallelize over.
+        if (opt.threads != 1 && opt.hostLinkUs <= 0.0 &&
             opt.fabricPreset.empty())
             flagError("--threads",
                       "worker threads need --host-link-us > 0 or a "
